@@ -1,0 +1,131 @@
+(* Reproduction harness: regenerates every table and figure of
+   Fisher & Freudenberger (ASPLOS 1992).
+
+   Usage:
+     main.exe                    run every experiment, print paper-style output
+     main.exe <section> ...      run selected sections only; sections:
+                                 table1 table2 table3 fig1 fig2 fig3
+                                 taken combine heuristics crossmode
+                                 dynamic inline
+     main.exe --bechamel         additionally run Bechamel wall-clock
+                                 micro-benchmarks (one Test.make per
+                                 table/figure harness, on a trimmed study)
+
+   The experiment pipeline executes every (program, dataset) pair once on
+   the simulator; everything is derived from those runs. *)
+
+let sections_needing_study =
+  [ "table1"; "table3"; "fig1"; "fig2"; "fig3"; "taken"; "combine";
+    "heuristics"; "crossmode"; "dynamic"; "inline"; "gaps"; "switchsort"; "overhead"; "coverage" ]
+
+let run_section study name =
+  let module E = Fisher92.Experiments in
+  match name with
+  | "table1" -> print_endline (E.render_table1 (E.table1 (Lazy.force study)))
+  | "table2" -> print_endline (E.render_table2 ())
+  | "table3" -> print_endline (E.render_table3 (E.table3 (Lazy.force study)))
+  | "fig1" -> print_endline (E.render_fig1 (E.fig1 (Lazy.force study)))
+  | "fig2" -> print_endline (E.render_fig2 (E.fig2 (Lazy.force study)))
+  | "fig3" -> print_endline (E.render_fig3 (E.fig3 (Lazy.force study)))
+  | "taken" -> print_endline (E.render_taken (E.taken (Lazy.force study)))
+  | "combine" -> print_endline (E.render_combine (E.combine (Lazy.force study)))
+  | "heuristics" ->
+    print_endline (E.render_heuristics (E.heuristics (Lazy.force study)))
+  | "crossmode" ->
+    print_endline (E.render_crossmode (E.crossmode (Lazy.force study)))
+  | "dynamic" -> print_endline (E.render_dynamic (E.dynamic (Lazy.force study)))
+  | "inline" ->
+    print_endline (E.render_inline (E.inline_ablation (Lazy.force study)))
+  | "gaps" -> print_endline (E.render_gaps (E.gaps (Lazy.force study)))
+  | "switchsort" ->
+    print_endline (E.render_switchsort (E.switchsort (Lazy.force study)))
+  | "overhead" ->
+    print_endline (E.render_overhead (E.overhead (Lazy.force study)))
+  | "coverage" ->
+    print_endline (E.render_coverage (E.coverage (Lazy.force study)))
+  | other ->
+    Printf.eprintf "unknown section %S; known: table1 table2 table3 fig1 fig2 \
+                    fig3 taken combine heuristics crossmode dynamic inline gaps \
+                    switchsort\n"
+      other;
+    exit 2
+
+(* ---------- bechamel timing micro-benchmarks ---------- *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  (* a small but non-trivial study: one FP and three C workloads *)
+  let mini =
+    lazy
+      (Fisher92.Study.load
+         ~workloads:
+           [
+             Fisher92_workloads.Registry.find "doduc";
+             Fisher92_workloads.Registry.find "compress";
+             Fisher92_workloads.Registry.find "uncompress";
+             Fisher92_workloads.Registry.find "spiff";
+           ]
+         ())
+  in
+  let module E = Fisher92.Experiments in
+  let bench name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    [
+      bench "study-load(doduc)" (fun () ->
+          Fisher92.Study.load
+            ~workloads:[ Fisher92_workloads.Registry.find "doduc" ]
+            ());
+      bench "table1(dead-code)" (fun () -> E.table1 (Lazy.force mini));
+      bench "table3(self-ipb)" (fun () -> E.table3 (Lazy.force mini));
+      bench "fig1(unpredicted)" (fun () -> E.fig1 (Lazy.force mini));
+      bench "fig2(predicted)" (fun () -> E.fig2 (Lazy.force mini));
+      bench "fig3(best-worst)" (fun () -> E.fig3 (Lazy.force mini));
+      bench "taken(percent)" (fun () -> E.taken (Lazy.force mini));
+      bench "combine(strategies)" (fun () -> E.combine (Lazy.force mini));
+      bench "heuristics" (fun () -> E.heuristics (Lazy.force mini));
+      bench "crossmode" (fun () -> E.crossmode (Lazy.force mini));
+      bench "dynamic(1/2-bit)" (fun () -> E.dynamic (Lazy.force mini));
+      bench "inline-ablation" (fun () -> E.inline_ablation (Lazy.force mini));
+      bench "gaps(distribution)" (fun () -> E.gaps (Lazy.force mini));
+      bench "switchsort(reorder)" (fun () -> E.switchsort (Lazy.force mini));
+    ]
+  in
+  let test = Test.make_grouped ~name:"fisher92" tests in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 50) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true
+        ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  let raw = benchmark test in
+  let results = analyze raw in
+  print_endline "Bechamel wall-clock (monotonic ns per run):";
+  let rows = ref [] in
+  Hashtbl.iter (fun name ols -> rows := (name, ols) :: !rows) results;
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-36s %14.0f ns\n" name est
+      | _ -> Printf.printf "  %-36s (no estimate)\n" name)
+    (List.sort compare !rows)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let bech = List.mem "--bechamel" args in
+  let sections = List.filter (fun a -> a <> "--bechamel") args in
+  let sections =
+    if sections = [] then "table2" :: sections_needing_study else sections
+  in
+  let t0 = Unix.gettimeofday () in
+  let study = lazy (Fisher92.Study.load ()) in
+  List.iter (run_section study) sections;
+  Printf.printf "\n[experiments completed in %.1fs]\n" (Unix.gettimeofday () -. t0);
+  if bech then bechamel_suite ()

@@ -1,0 +1,284 @@
+(* Command-line interface to the reproduction study.
+
+   fisher92 list                        programs and datasets (Table 2)
+   fisher92 run PROG DATASET            execute one pair, print counters
+   fisher92 profile PROG                profile every dataset, dump the
+                                        IFPROB database / directives
+   fisher92 predict PROG TARGET         cross-predict one dataset from
+                                        the others
+   fisher92 experiments [SECTION...]    regenerate paper tables/figures
+   fisher92 disasm PROG                 dump the compiled IR *)
+
+open Cmdliner
+module Registry = Fisher92_workloads.Registry
+module Workload = Fisher92_workloads.Workload
+module Vm = Fisher92_vm.Vm
+module Profile = Fisher92_profile.Profile
+module Measure = Fisher92_metrics.Measure
+module Table = Fisher92_report.Table
+
+let compile w =
+  Fisher92_minic.Compile.compile ~options:(Workload.compile_options w)
+    w.Workload.w_program
+
+let execute ir (d : Workload.dataset) =
+  Vm.run ir ~iargs:d.ds_iargs ~fargs:d.ds_fargs ~arrays:d.ds_arrays
+
+let find_workload name =
+  match Registry.find name with
+  | w -> w
+  | exception Not_found ->
+    Printf.eprintf "unknown program %S; try `fisher92 list`\n" name;
+    exit 2
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () = print_string (Fisher92.Experiments.render_table2 ()) in
+  Cmd.v (Cmd.info "list" ~doc:"Show the program sample base (paper Table 2)")
+    Term.(const run $ const ())
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run prog dataset =
+    let w = find_workload prog in
+    let d =
+      match Workload.dataset w dataset with
+      | d -> d
+      | exception Not_found ->
+        Printf.eprintf "unknown dataset %S for %s\n" dataset prog;
+        exit 2
+    in
+    let ir = compile w in
+    let r = execute ir d in
+    let m = Measure.of_result ~program:prog ~dataset r in
+    Printf.printf "%s / %s\n" prog dataset;
+    Printf.printf "  dynamic instructions:  %s\n" (Table.inum r.total);
+    List.iter
+      (fun kind ->
+        let count = Vm.kind_count r kind in
+        if count > 0 then
+          Printf.printf "    %-8s %s\n"
+            (Fisher92_ir.Insn.kind_name kind)
+            (Table.inum count))
+      Fisher92_ir.Insn.all_kinds;
+    Printf.printf "  branch sites covered:  %d / %d\n"
+      (Profile.covered_sites m.profile)
+      (Profile.n_sites m.profile);
+    Printf.printf "  %% branches taken:      %s\n" (Table.pct (Measure.percent_taken m));
+    Printf.printf "  instrs/break (none):   %s\n" (Table.fnum (Measure.ipb_unpredicted m));
+    Printf.printf "  instrs/break (self):   %s\n" (Table.fnum (Measure.ipb_self m));
+    Printf.printf "  outputs (first 8):     %s\n"
+      (String.concat " "
+         (List.filteri (fun k _ -> k < 8) r.outputs
+         |> List.map (function
+              | Vm.Out_int k -> string_of_int k
+              | Vm.Out_float x -> Printf.sprintf "%g" x)))
+  in
+  let prog = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM") in
+  let dataset = Arg.(required & pos 1 (some string) None & info [] ~docv:"DATASET") in
+  Cmd.v (Cmd.info "run" ~doc:"Execute one (program, dataset) pair on the simulator")
+    Term.(const run $ prog $ dataset)
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let run prog directives output =
+    let w = find_workload prog in
+    let ir = compile w in
+    let db =
+      Fisher92_profile.Db.create ~program:prog
+        ~n_sites:(Fisher92_ir.Program.n_sites ir)
+    in
+    List.iter
+      (fun (d : Workload.dataset) ->
+        let r = execute ir d in
+        Fisher92_profile.Db.record db ~dataset:d.ds_name
+          (Profile.of_run ~program:prog r))
+      w.w_datasets;
+    let text =
+      if directives then
+        Fisher92_profile.Directive.render_all
+          (Fisher92_profile.Directive.of_profile ir
+             (Fisher92_profile.Db.accumulated db))
+      else Fisher92_profile.Db.save db
+    in
+    match output with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length text)
+  in
+  let prog = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM") in
+  let directives =
+    Arg.(value & flag & info [ "directives" ] ~doc:"Print IFPROB directives instead of the raw database")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to a file instead of stdout")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile every dataset and print the IFPROBBER database")
+    Term.(const run $ prog $ directives $ output)
+
+(* ---- predict ---- *)
+
+let predict_cmd =
+  let run prog target =
+    let w = find_workload prog in
+    let ir = compile w in
+    let runs =
+      List.map
+        (fun (d : Workload.dataset) ->
+          Measure.of_result ~program:prog ~dataset:d.ds_name (execute ir d))
+        w.w_datasets
+    in
+    let entries = Fisher92_metrics.Cross.analyze runs in
+    let selected =
+      match target with
+      | None -> entries
+      | Some t -> List.filter (fun e -> e.Fisher92_metrics.Cross.target = t) entries
+    in
+    if selected = [] then begin
+      Printf.eprintf "no such dataset\n";
+      exit 2
+    end;
+    print_string
+      (Table.render
+         ~header:[ "TARGET"; "SELF I/B"; "OTHERS I/B"; "BEST"; "WORST" ]
+         (List.map
+            (fun (e : Fisher92_metrics.Cross.entry) ->
+              [
+                e.target;
+                Table.fnum e.self_ipb;
+                (match e.others_ipb with Some v -> Table.fnum v | None -> "-");
+                (match e.best with
+                | Some (n, q) -> Printf.sprintf "%s (%.0f%%)" n (100.0 *. q)
+                | None -> "-");
+                (match e.worst with
+                | Some (n, q) -> Printf.sprintf "%s (%.0f%%)" n (100.0 *. q)
+                | None -> "-");
+              ])
+            selected))
+  in
+  let prog = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM") in
+  let target = Arg.(value & pos 1 (some string) None & info [] ~docv:"DATASET") in
+  Cmd.v
+    (Cmd.info "predict" ~doc:"Cross-dataset prediction summary for one program")
+    Term.(const run $ prog $ target)
+
+(* ---- experiments ---- *)
+
+let experiments_cmd =
+  let run sections =
+    let study = lazy (Fisher92.Study.load ()) in
+    let all =
+      [ "table2"; "table1"; "fig1"; "fig2"; "table3"; "fig3"; "taken";
+        "combine"; "heuristics"; "crossmode"; "dynamic"; "inline"; "gaps";
+        "switchsort"; "overhead"; "coverage" ]
+    in
+    let sections = if sections = [] then all else sections in
+    List.iter
+      (fun section ->
+        let module E = Fisher92.Experiments in
+        let text =
+          match section with
+          | "table1" -> E.render_table1 (E.table1 (Lazy.force study))
+          | "table2" -> E.render_table2 ()
+          | "table3" -> E.render_table3 (E.table3 (Lazy.force study))
+          | "fig1" -> E.render_fig1 (E.fig1 (Lazy.force study))
+          | "fig2" -> E.render_fig2 (E.fig2 (Lazy.force study))
+          | "fig3" -> E.render_fig3 (E.fig3 (Lazy.force study))
+          | "taken" -> E.render_taken (E.taken (Lazy.force study))
+          | "combine" -> E.render_combine (E.combine (Lazy.force study))
+          | "heuristics" -> E.render_heuristics (E.heuristics (Lazy.force study))
+          | "crossmode" -> E.render_crossmode (E.crossmode (Lazy.force study))
+          | "dynamic" -> E.render_dynamic (E.dynamic (Lazy.force study))
+          | "inline" -> E.render_inline (E.inline_ablation (Lazy.force study))
+          | "gaps" -> E.render_gaps (E.gaps (Lazy.force study))
+          | "switchsort" -> E.render_switchsort (E.switchsort (Lazy.force study))
+          | "overhead" -> E.render_overhead (E.overhead (Lazy.force study))
+          | "coverage" -> E.render_coverage (E.coverage (Lazy.force study))
+          | other ->
+            Printf.eprintf "unknown section %S\n" other;
+            exit 2
+        in
+        print_endline text)
+      sections
+  in
+  let sections = Arg.(value & pos_all string [] & info [] ~docv:"SECTION") in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures (all, or named sections)")
+    Term.(const run $ sections)
+
+(* ---- hotspots ---- *)
+
+let hotspots_cmd =
+  let run prog dataset top =
+    let w = find_workload prog in
+    let d =
+      match Workload.dataset w dataset with
+      | d -> d
+      | exception Not_found ->
+        Printf.eprintf "unknown dataset %S for %s\n" dataset prog;
+        exit 2
+    in
+    let ir = compile w in
+    let r = execute ir d in
+    let sites =
+      List.init (Array.length r.site_encountered) (fun s ->
+          (r.site_encountered.(s), r.site_taken.(s), s))
+      |> List.sort compare |> List.rev
+    in
+    print_string
+      (Table.render
+         ~header:[ "SITE"; "EXECUTED"; "TAKEN"; "% TAKEN"; "SHARE" ]
+         (List.filteri (fun k _ -> k < top) sites
+         |> List.map (fun (enc, taken, s) ->
+                [
+                  Fisher92_ir.Program.site_label ir s;
+                  Table.inum enc;
+                  Table.inum taken;
+                  Table.pct (Fisher92_util.Stats.percent taken (max enc 1));
+                  Table.pct
+                    (Fisher92_util.Stats.percent enc
+                       (Fisher92_vm.Vm.conditional_branches r));
+                ])))
+  in
+  let prog = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM") in
+  let dataset = Arg.(required & pos 1 (some string) None & info [] ~docv:"DATASET") in
+  let top =
+    Arg.(value & opt int 15 & info [ "n"; "top" ] ~docv:"N" ~doc:"How many sites to show")
+  in
+  Cmd.v
+    (Cmd.info "hotspots" ~doc:"Show the busiest branch sites of one run")
+    Term.(const run $ prog $ dataset $ top)
+
+(* ---- disasm ---- *)
+
+let disasm_cmd =
+  let run prog =
+    let w = find_workload prog in
+    print_string (Fisher92_ir.Pretty.program_to_string (compile w))
+  in
+  let prog = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM") in
+  Cmd.v (Cmd.info "disasm" ~doc:"Dump a workload's compiled IR")
+    Term.(const run $ prog)
+
+let () =
+  let info =
+    Cmd.info "fisher92" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of Fisher & Freudenberger, 'Predicting Conditional \
+         Branch Directions From Previous Runs of a Program' (ASPLOS 1992)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; profile_cmd; predict_cmd; experiments_cmd;
+            hotspots_cmd; disasm_cmd ]))

@@ -1,0 +1,1 @@
+examples/ifprob_workflow.mli:

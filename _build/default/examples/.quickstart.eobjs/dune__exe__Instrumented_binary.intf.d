@@ -1,0 +1,1 @@
+examples/instrumented_binary.mli:

@@ -1,0 +1,57 @@
+(* Static prediction sources compared, on one branchy workload: profile
+   feedback vs the paper's "very simple heuristics" vs hardware 1/2-bit
+   counters (Smith 81).
+
+   Run with:  dune exec examples/compiler_hints.exe *)
+
+module Registry = Fisher92_workloads.Registry
+module Workload = Fisher92_workloads.Workload
+module Vm = Fisher92_vm.Vm
+module Measure = Fisher92_metrics.Measure
+module Heuristic = Fisher92_predict.Heuristic
+module Dynamic = Fisher92_predict.Dynamic
+module Table = Fisher92_report.Table
+
+let () =
+  let w = Registry.find "li" in
+  let ir =
+    Fisher92_minic.Compile.compile
+      ~options:(Workload.compile_options w)
+      w.w_program
+  in
+  let d = Workload.dataset w "sieve" in
+  let r = Vm.run ir ~iargs:d.ds_iargs ~fargs:d.ds_fargs ~arrays:d.ds_arrays in
+  let run = Measure.of_result ~program:"li" ~dataset:"sieve" r in
+
+  let static_rows =
+    ("self profile (best possible)", Measure.self_prediction run)
+    :: List.map (fun (name, h) -> ("heuristic: " ^ name, h ir)) Heuristic.all
+  in
+  let rows =
+    List.map
+      (fun (name, p) ->
+        [
+          name;
+          Table.pct (Measure.percent_correct run p);
+          Table.fnum (Measure.ipb_predicted run p);
+        ])
+      static_rows
+  in
+  (* dynamic predictors need to watch the run *)
+  let dynamic_row scheme =
+    let sim = Dynamic.create scheme ~n_sites:(Fisher92_ir.Program.n_sites ir) in
+    let config =
+      { Vm.default_config with on_branch = Some (Dynamic.hook sim) }
+    in
+    let (_ : Vm.result) =
+      Vm.run ~config ir ~iargs:d.ds_iargs ~fargs:d.ds_fargs ~arrays:d.ds_arrays
+    in
+    [
+      "hardware: " ^ Dynamic.scheme_name scheme;
+      Table.pct (Dynamic.percent_correct sim);
+      "-";
+    ]
+  in
+  let rows = rows @ [ dynamic_row Dynamic.Last_direction; dynamic_row Dynamic.Two_bit ] in
+  print_string
+    (Table.render ~header:[ "PREDICTOR"; "% CORRECT"; "INSTRS/BREAK" ] rows)

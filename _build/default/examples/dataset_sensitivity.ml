@@ -1,0 +1,62 @@
+(* The paper's central question on one program: how well does each spice
+   dataset predict each other one?  Prints the full predictor x target
+   quality matrix plus the accumulated-predictor column, showing both the
+   "branches are predictable" headline and the spice anomaly.
+
+   Run with:  dune exec examples/dataset_sensitivity.exe *)
+
+module Registry = Fisher92_workloads.Registry
+module Workload = Fisher92_workloads.Workload
+module Vm = Fisher92_vm.Vm
+module Measure = Fisher92_metrics.Measure
+module Cross = Fisher92_metrics.Cross
+module Table = Fisher92_report.Table
+
+let () =
+  let w = Registry.find "spice" in
+  let ir =
+    Fisher92_minic.Compile.compile
+      ~options:(Workload.compile_options w)
+      w.w_program
+  in
+  let runs =
+    List.map
+      (fun (d : Workload.dataset) ->
+        let r = Vm.run ir ~iargs:d.ds_iargs ~fargs:d.ds_fargs ~arrays:d.ds_arrays in
+        Measure.of_result ~program:"spice" ~dataset:d.ds_name r)
+      w.w_datasets
+  in
+  let names = List.map (fun (r : Measure.run) -> r.dataset) runs in
+  let matrix = Cross.matrix runs in
+  let quality p t =
+    match
+      List.find_opt (fun (p', t', _) -> String.equal p p' && String.equal t t') matrix
+    with
+    | Some (_, _, q) -> Printf.sprintf "%3.0f" (100.0 *. q)
+    | None -> "  -"
+  in
+  print_endline
+    "Cross-prediction quality (% of self-prediction), predictor rows x target columns:";
+  print_string
+    (Table.render
+       ~header:("PREDICTOR \\ TARGET" :: names)
+       (List.map (fun p -> p :: List.map (fun t -> quality p t) names) names));
+  print_newline ();
+  print_endline "Summary per target (best/worst single predictor, sum-of-others):";
+  print_string
+    (Table.render
+       ~header:[ "TARGET"; "SELF I/B"; "OTHERS I/B"; "BEST"; "WORST" ]
+       (List.map
+          (fun (e : Cross.entry) ->
+            [
+              e.target;
+              Table.fnum e.self_ipb;
+              (match e.others_ipb with Some v -> Table.fnum v | None -> "-");
+              (match e.best with
+              | Some (n, q) -> Printf.sprintf "%s (%.0f%%)" n (100.0 *. q)
+              | None -> "-");
+              (match e.worst with
+              | Some (n, q) -> Printf.sprintf "%s (%.0f%%)" n (100.0 *. q)
+              | None -> "-");
+            ])
+          (Cross.analyze runs)))

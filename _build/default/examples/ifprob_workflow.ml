@@ -1,0 +1,74 @@
+(* The paper's IFPROBBER workflow, end to end:
+
+   1. run the instrumented program over several datasets, accumulating
+      branch counters in a database;
+   2. save/reload the database (the paper kept it across runs);
+   3. feed the totals back as IFPROB directives;
+   4. use the accumulated profile to predict a fresh dataset.
+
+   Run with:  dune exec examples/ifprob_workflow.exe *)
+
+module Registry = Fisher92_workloads.Registry
+module Workload = Fisher92_workloads.Workload
+module Vm = Fisher92_vm.Vm
+module Profile = Fisher92_profile.Profile
+module Db = Fisher92_profile.Db
+module Directive = Fisher92_profile.Directive
+module Prediction = Fisher92_predict.Prediction
+module Measure = Fisher92_metrics.Measure
+
+let () =
+  let w = Registry.find "compress" in
+  let ir =
+    Fisher92_minic.Compile.compile
+      ~options:(Workload.compile_options w)
+      w.w_program
+  in
+  let db = Db.create ~program:"compress" ~n_sites:(Fisher92_ir.Program.n_sites ir) in
+
+  (* 1. profile all but one dataset *)
+  let training, held_out =
+    match w.w_datasets with
+    | held :: rest -> (rest, held)
+    | [] -> assert false
+  in
+  List.iter
+    (fun (d : Workload.dataset) ->
+      let r = Vm.run ir ~iargs:d.ds_iargs ~fargs:d.ds_fargs ~arrays:d.ds_arrays in
+      Db.record db ~dataset:d.ds_name (Profile.of_run ~program:"compress" r);
+      Printf.printf "profiled %-8s %9d instructions, %8d branches\n" d.ds_name
+        r.total (Vm.conditional_branches r))
+    training;
+
+  (* 2. serialize and reload, as the on-disk database would *)
+  let text = Db.save db in
+  let db = Db.load text in
+  Printf.printf "\ndatabase: %d bytes, datasets: %s\n" (String.length text)
+    (String.concat ", " (Db.datasets db));
+
+  (* 3. render the feedback directives the compiler would consume *)
+  let accumulated = Db.accumulated db in
+  let directives = Directive.of_profile ir accumulated in
+  Printf.printf "\nfirst directives fed back into the source:\n";
+  List.iteri
+    (fun k d -> if k < 6 then Printf.printf "  %s\n" (Directive.render d))
+    directives;
+  Printf.printf "  ... (%d total)\n" (List.length directives);
+
+  (* 4. predict the held-out dataset *)
+  let r =
+    Vm.run ir ~iargs:held_out.ds_iargs ~fargs:held_out.ds_fargs
+      ~arrays:held_out.ds_arrays
+  in
+  let target = Measure.of_result ~program:"compress" ~dataset:held_out.ds_name r in
+  let prediction = Prediction.of_profile accumulated in
+  Printf.printf
+    "\npredicting held-out dataset %s with the accumulated profile:\n"
+    held_out.ds_name;
+  Printf.printf "  %% correct:          %.1f%%\n"
+    (Measure.percent_correct target prediction);
+  Printf.printf "  instrs/break:       %.1f (best possible %.1f)\n"
+    (Measure.ipb_predicted target prediction)
+    (Measure.ipb_self target);
+  Printf.printf "  quality:            %.1f%% of best\n"
+    (100.0 *. Measure.prediction_quality target prediction)

@@ -1,0 +1,78 @@
+(* Quickstart: write a small program, compile it, profile a run, and see
+   how well the profile predicts another input.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Fisher92_minic.Dsl
+module Ast = Fisher92_minic.Ast
+module Vm = Fisher92_vm.Vm
+module Profile = Fisher92_profile.Profile
+module Prediction = Fisher92_predict.Prediction
+module Measure = Fisher92_metrics.Measure
+
+(* A branchy little program: counts values in an input array that clear a
+   threshold, with a special case for multiples of seven. *)
+let source =
+  program "threshold" ~entry:"main"
+    ~globals:[ gint "n" 0; gint "cut" 50 ]
+    ~arrays:[ iarr "input" 4096 ]
+    [
+      fn "main" [] ~ret:Ast.Tint
+        [
+          leti "hits" (i 0);
+          leti "sevens" (i 0);
+          for_ "k" (i 0) (g "n")
+            [
+              leti "x" (ld "input" (v "k"));
+              when_ (v "x" >: g "cut")
+                [
+                  incr_ "hits";
+                  when_ (v "x" %: i 7 =: i 0) [ incr_ "sevens" ];
+                ];
+            ];
+          out (v "hits");
+          out (v "sevens");
+          ret (v "hits");
+        ];
+    ]
+
+let make_input ~seed ~n ~bias =
+  let rng = Fisher92_util.Rng.create seed in
+  Array.init n (fun _ -> Fisher92_util.Rng.int rng bias)
+
+let run ir input =
+  Vm.run ir ~iargs:[] ~fargs:[]
+    ~arrays:[ ("input", `Ints input); ("$n", `Ints [| Array.length input |]) ]
+
+let () =
+  (* 1. compile (paper configuration: classical opts on, DCE off) *)
+  let ir = Fisher92_minic.Compile.compile source in
+  Printf.printf "compiled %s: %d static instructions, %d branch sites\n\n"
+    "threshold"
+    (Fisher92_ir.Program.static_size ir)
+    (Fisher92_ir.Program.n_sites ir);
+
+  (* 2. run a training input and collect the branch profile *)
+  let training = make_input ~seed:1 ~n:3000 ~bias:100 in
+  let r1 = run ir training in
+  let profile = Profile.of_run ~program:"threshold" r1 in
+  Printf.printf "training run: %d instructions, %d branches, %.1f%% taken\n"
+    r1.total
+    (Vm.conditional_branches r1)
+    (Profile.percent_taken profile);
+
+  (* 3. predict a different input with that profile *)
+  let test_input = make_input ~seed:2 ~n:3000 ~bias:90 in
+  let r2 = run ir test_input in
+  let target = Measure.of_result ~program:"threshold" ~dataset:"test" r2 in
+  let prediction = Prediction.of_profile profile in
+  Printf.printf "\ntest run predicted by the training profile:\n";
+  Printf.printf "  %% branches correct:        %.1f%%\n"
+    (Measure.percent_correct target prediction);
+  Printf.printf "  instrs/break (no pred):    %.1f\n"
+    (Measure.ipb_unpredicted target);
+  Printf.printf "  instrs/break (profile):    %.1f\n"
+    (Measure.ipb_predicted target prediction);
+  Printf.printf "  instrs/break (best case):  %.1f\n" (Measure.ipb_self target);
+  Printf.printf "  fraction of best achieved: %.1f%%\n"
+    (100.0 *. Measure.prediction_quality target prediction)

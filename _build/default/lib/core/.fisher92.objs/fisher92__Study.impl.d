@@ -1,0 +1,1 @@
+lib/core/study.ml: Fisher92_ir Fisher92_metrics Fisher92_minic Fisher92_vm Fisher92_workloads List String

@@ -1,0 +1,1 @@
+lib/core/study.mli: Fisher92_ir Fisher92_metrics Fisher92_vm Fisher92_workloads

@@ -1,0 +1,898 @@
+module Workload = Fisher92_workloads.Workload
+module Registry = Fisher92_workloads.Registry
+module Measure = Fisher92_metrics.Measure
+module Cross = Fisher92_metrics.Cross
+module Breaks = Fisher92_metrics.Breaks
+module Prediction = Fisher92_predict.Prediction
+module Combine = Fisher92_predict.Combine
+module Heuristic = Fisher92_predict.Heuristic
+module Dynamic = Fisher92_predict.Dynamic
+module Profile = Fisher92_profile.Profile
+module Vm = Fisher92_vm.Vm
+module Table = Fisher92_report.Table
+module Chart = Fisher92_report.Chart
+module Stats = Fisher92_util.Stats
+
+let lang_of (l : Study.loaded) = l.workload.Workload.w_lang
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type fig1_row = {
+  f1_program : string;
+  f1_dataset : string;
+  f1_lang : Workload.lang;
+  f1_no_calls : float;
+  f1_with_calls : float;
+}
+
+let fig1 study =
+  List.concat_map
+    (fun (l : Study.loaded) ->
+      List.map
+        (fun (run : Measure.run) ->
+          {
+            f1_program = l.workload.w_name;
+            f1_dataset = run.dataset;
+            f1_lang = lang_of l;
+            f1_no_calls = Measure.ipb_unpredicted run;
+            f1_with_calls = Measure.ipb_unpredicted ~with_calls:true run;
+          })
+        l.runs)
+    (Study.items study)
+
+let fig1_chart title rows =
+  Chart.grouped ~title ~unit_label:"instructions per break in control"
+    (List.map
+       (fun r ->
+         ( Printf.sprintf "%s/%s" r.f1_program r.f1_dataset,
+           [
+             { Chart.s_name = "no call brks"; s_value = r.f1_no_calls };
+             { Chart.s_name = "+call/ret"; s_value = r.f1_with_calls };
+           ] ))
+       rows)
+
+let render_fig1 rows =
+  let fortran = List.filter (fun r -> r.f1_lang = Workload.Fortran_fp) rows in
+  let c = List.filter (fun r -> r.f1_lang = Workload.C_int) rows in
+  fig1_chart
+    "Figure 1a: instructions per break, NO prediction (FORTRAN/FP)"
+    fortran
+  ^ "\n"
+  ^ fig1_chart "Figure 1b: instructions per break, NO prediction (C/Integer)" c
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type fig2_row = {
+  f2_program : string;
+  f2_dataset : string;
+  f2_lang : Workload.lang;
+  f2_self : float;
+  f2_others : float option;
+}
+
+let fig2 study =
+  List.concat_map
+    (fun (l : Study.loaded) ->
+      if List.length l.runs < 2 then []
+      else
+        List.map
+          (fun (entry : Cross.entry) ->
+            {
+              f2_program = l.workload.w_name;
+              f2_dataset = entry.target;
+              f2_lang = lang_of l;
+              f2_self = entry.self_ipb;
+              f2_others = entry.others_ipb;
+            })
+          (Cross.analyze l.runs))
+    (Study.items study)
+
+let fig2_chart title rows =
+  Chart.grouped ~title ~unit_label:"instructions per mispredicted break"
+    (List.map
+       (fun r ->
+         ( Printf.sprintf "%s/%s" r.f2_program r.f2_dataset,
+           {
+             Chart.s_name = "self (best)";
+             s_value = r.f2_self;
+           }
+           ::
+           (match r.f2_others with
+           | Some v -> [ { Chart.s_name = "sum of others"; s_value = v } ]
+           | None -> []) ))
+       rows)
+
+let render_fig2 rows =
+  let spice = List.filter (fun r -> r.f2_program = "spice") rows in
+  let c = List.filter (fun r -> r.f2_lang = Workload.C_int) rows in
+  let other_fp =
+    List.filter
+      (fun r -> r.f2_lang = Workload.Fortran_fp && r.f2_program <> "spice")
+      rows
+  in
+  fig2_chart
+    "Figure 2a: instructions per break WITH prediction (spice datasets)"
+    spice
+  ^ "\n"
+  ^ fig2_chart
+      "Figure 2b: instructions per break WITH prediction (C/Integer)" c
+  ^
+  if other_fp = [] then ""
+  else
+    "\n"
+    ^ fig2_chart
+        "Figure 2 (suppl.): multi-dataset FORTRAN programs" other_fp
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type fig3_row = {
+  f3_program : string;
+  f3_dataset : string;
+  f3_lang : Workload.lang;
+  f3_best : string * float;
+  f3_worst : string * float;
+}
+
+let fig3 study =
+  List.concat_map
+    (fun (l : Study.loaded) ->
+      if List.length l.runs < 2 then []
+      else
+        List.filter_map
+          (fun (entry : Cross.entry) ->
+            match (entry.best, entry.worst) with
+            | Some best, Some worst ->
+              Some
+                {
+                  f3_program = l.workload.w_name;
+                  f3_dataset = entry.target;
+                  f3_lang = lang_of l;
+                  f3_best = best;
+                  f3_worst = worst;
+                }
+            | _ -> None)
+          (Cross.analyze l.runs))
+    (Study.items study)
+
+let fig3_chart title rows =
+  Chart.grouped ~title ~unit_label:"% of best possible (self) prediction"
+    (List.map
+       (fun r ->
+         let bname, bq = r.f3_best and wname, wq = r.f3_worst in
+         ( Printf.sprintf "%s/%s" r.f3_program r.f3_dataset,
+           [
+             {
+               Chart.s_name = Printf.sprintf "best (%s)" bname;
+               s_value = 100.0 *. bq;
+             };
+             {
+               Chart.s_name = Printf.sprintf "worst (%s)" wname;
+               s_value = 100.0 *. wq;
+             };
+           ] ))
+       rows)
+
+let render_fig3 rows =
+  let spice = List.filter (fun r -> r.f3_program = "spice") rows in
+  let c = List.filter (fun r -> r.f3_lang = Workload.C_int) rows in
+  fig3_chart "Figure 3a: best/worst single-dataset predictor (spice)" spice
+  ^ "\n"
+  ^ fig3_chart "Figure 3b: best/worst single-dataset predictor (C/Integer)" c
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: dead code                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type table1_row = { t1_program : string; t1_dead_pct : float }
+
+let table1 study =
+  List.map
+    (fun (l : Study.loaded) ->
+      let w = l.workload in
+      let dataset = List.hd w.w_datasets in
+      let raw =
+        match l.runs with
+        | run :: _ -> run.counts.instructions
+        | [] -> invalid_arg "table1: no runs"
+      in
+      let dce_ir = Study.compile_variant ~dce:true w in
+      let dce_run = Study.execute dce_ir dataset () in
+      let dce_insns = (Breaks.of_result dce_run).instructions in
+      {
+        t1_program = w.w_name;
+        t1_dead_pct = 100.0 *. (1.0 -. (float_of_int dce_insns /. float_of_int raw));
+      })
+    (Study.items study)
+
+let render_table1 rows =
+  "Table 1: dynamic dead code that global DCE would eliminate\n"
+  ^ Table.render ~header:[ "PROGRAM"; "DEAD CODE" ]
+      (List.map
+         (fun r -> [ r.t1_program; Table.pct r.t1_dead_pct ])
+         (List.sort
+            (fun a b -> compare b.t1_dead_pct a.t1_dead_pct)
+            rows))
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: the sample base                                            *)
+(* ------------------------------------------------------------------ *)
+
+let render_table2 () =
+  let rows lang =
+    List.concat_map
+      (fun (w : Workload.t) ->
+        List.mapi
+          (fun k (d : Workload.dataset) ->
+            [
+              (if k = 0 then w.w_name else "");
+              (if k = 0 then w.w_paper_name else "");
+              d.ds_name;
+              d.ds_descr;
+            ])
+          w.w_datasets)
+      (List.filter (fun w -> w.Workload.w_lang = lang) (Registry.all ()))
+  in
+  "Table 2: programs and datasets (FORTRAN/FP)\n"
+  ^ Table.render
+      ~header:[ "PROGRAM"; "MODELS"; "DATASET"; "DESCRIPTION" ]
+      (rows Workload.Fortran_fp)
+  ^ "\nTable 2 (cont.): programs and datasets (C/Integer)\n"
+  ^ Table.render
+      ~header:[ "PROGRAM"; "MODELS"; "DATASET"; "DESCRIPTION" ]
+      (rows Workload.C_int)
+
+(* ------------------------------------------------------------------ *)
+(* Table 3                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type table3_row = { t3_program : string; t3_dataset : string; t3_ipb : float }
+
+let table3 study =
+  List.concat_map
+    (fun (l : Study.loaded) ->
+      if lang_of l <> Workload.Fortran_fp || l.workload.w_name = "spice" then []
+      else
+        List.map
+          (fun (run : Measure.run) ->
+            {
+              t3_program = l.workload.w_name;
+              t3_dataset = run.dataset;
+              t3_ipb = Measure.ipb_self run;
+            })
+          l.runs)
+    (Study.items study)
+
+let render_table3 rows =
+  "Table 3: instructions/break, FORTRAN programs with little dataset \
+   variability (self-predicted)\n"
+  ^ Table.render ~header:[ "PROGRAM"; "DATASET"; "INSTRS/BREAK" ]
+      (List.map
+         (fun r ->
+           [
+             r.t3_program;
+             (if r.t3_dataset = "self" then "" else r.t3_dataset);
+             Table.fnum ~decimals:0 r.t3_ipb;
+           ])
+         (List.sort (fun a b -> compare b.t3_ipb a.t3_ipb) rows))
+
+(* ------------------------------------------------------------------ *)
+(* Percent taken                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type taken_row = {
+  tk_program : string;
+  tk_per_dataset : (string * float) list;
+  tk_spread : float;
+}
+
+let taken study =
+  List.map
+    (fun (l : Study.loaded) ->
+      let per =
+        List.map
+          (fun (run : Measure.run) -> (run.dataset, Measure.percent_taken run))
+          l.runs
+      in
+      let values = List.map snd per in
+      let lo, hi = Stats.min_max values in
+      {
+        tk_program = l.workload.w_name;
+        tk_per_dataset = per;
+        tk_spread = hi -. lo;
+      })
+    (Study.items study)
+
+let render_taken rows =
+  "Branch percent-taken as a \"program constant\" (paper: max spread 9%\n\
+   except spice)\n"
+  ^ Table.render ~header:[ "PROGRAM"; "DATASET"; "% TAKEN"; "SPREAD" ]
+      (List.concat_map
+         (fun r ->
+           List.mapi
+             (fun k (ds, pct) ->
+               [
+                 (if k = 0 then r.tk_program else "");
+                 ds;
+                 Table.pct pct;
+                 (if k = 0 then Table.pct r.tk_spread else "");
+               ])
+             r.tk_per_dataset)
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* Combination strategies                                              *)
+(* ------------------------------------------------------------------ *)
+
+type combine_row = {
+  cb_program : string;
+  cb_scaled : float;
+  cb_unscaled : float;
+  cb_polling : float;
+}
+
+let combine study =
+  List.filter_map
+    (fun (l : Study.loaded) ->
+      if List.length l.runs < 2 then None
+      else
+        let mean_quality strategy =
+          Stats.mean
+            (List.map
+               (fun (target : Measure.run) ->
+                 let others =
+                   List.filter
+                     (fun (r : Measure.run) -> r.dataset <> target.dataset)
+                     l.runs
+                 in
+                 let profiles = List.map (fun (r : Measure.run) -> r.profile) others in
+                 let p = Combine.predict strategy profiles in
+                 Measure.prediction_quality target p)
+               l.runs)
+        in
+        Some
+          {
+            cb_program = l.workload.w_name;
+            cb_scaled = mean_quality Combine.Scaled;
+            cb_unscaled = mean_quality Combine.Unscaled;
+            cb_polling = mean_quality Combine.Polling;
+          })
+    (Study.items study)
+
+let render_combine rows =
+  "Scaled vs unscaled vs polling summary predictors (mean fraction of\n\
+   self-prediction quality; paper: scaled ~ unscaled, polling poor)\n"
+  ^ Table.render ~header:[ "PROGRAM"; "SCALED"; "UNSCALED"; "POLLING" ]
+      (List.map
+         (fun r ->
+           [
+             r.cb_program;
+             Table.pct (100.0 *. r.cb_scaled);
+             Table.pct (100.0 *. r.cb_unscaled);
+             Table.pct (100.0 *. r.cb_polling);
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* Heuristics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type heuristic_row = {
+  h_program : string;
+  h_dataset : string;
+  h_self : float;
+  h_btfn : float;
+  h_loop_label : float;
+  h_taken : float;
+  h_not_taken : float;
+}
+
+let heuristics study =
+  List.map
+    (fun (l : Study.loaded) ->
+      let run = List.hd l.runs in
+      let apply h = Measure.ipb_predicted run (h l.ir) in
+      {
+        h_program = l.workload.w_name;
+        h_dataset = run.dataset;
+        h_self = Measure.ipb_self run;
+        h_btfn = apply Heuristic.backward_taken;
+        h_loop_label = apply Heuristic.loop_label;
+        h_taken = apply Heuristic.always_taken;
+        h_not_taken = apply Heuristic.always_not_taken;
+      })
+    (Study.items study)
+
+let render_heuristics rows =
+  let ratios =
+    List.filter_map
+      (fun r ->
+        if r.h_btfn > 0.0 && r.h_self < infinity then Some (r.h_self /. r.h_btfn)
+        else None)
+      rows
+  in
+  "Simple opcode/loop heuristics vs profile feedback (instrs per\n\
+   mispredicted break; paper: heuristics give up ~2x)\n"
+  ^ Table.render
+      ~header:
+        [ "PROGRAM"; "DATASET"; "SELF"; "BTFN"; "LOOP-LABEL"; "TAKEN"; "NOT-TAKEN" ]
+      (List.map
+         (fun r ->
+           [
+             r.h_program;
+             r.h_dataset;
+             Table.fnum r.h_self;
+             Table.fnum r.h_btfn;
+             Table.fnum r.h_loop_label;
+             Table.fnum r.h_taken;
+             Table.fnum r.h_not_taken;
+           ])
+         rows)
+  ^ Printf.sprintf "geomean self/BTFN ratio: %.2fx\n" (Stats.geomean ratios)
+
+(* ------------------------------------------------------------------ *)
+(* compress <-> uncompress                                             *)
+(* ------------------------------------------------------------------ *)
+
+type crossmode_row = {
+  cm_predictor : string;
+  cm_target : string;
+  cm_dataset : string;
+  cm_quality : float;
+}
+
+let crossmode study =
+  match
+    (Study.find study "compress", Study.find study "uncompress")
+  with
+  | exception Not_found -> []
+  | comp, unc ->
+    let accumulated (l : Study.loaded) =
+      Profile.sum (List.map (fun (r : Measure.run) -> r.profile) l.runs)
+    in
+    let one ~predictor ~from_name ~target_loaded ~target_name =
+      let p = Prediction.of_profile predictor in
+      List.map
+        (fun (run : Measure.run) ->
+          {
+            cm_predictor = from_name;
+            cm_target = target_name;
+            cm_dataset = run.dataset;
+            cm_quality = Measure.prediction_quality run p;
+          })
+        target_loaded.Study.runs
+    in
+    one ~predictor:(accumulated comp) ~from_name:"compress"
+      ~target_loaded:unc ~target_name:"uncompress"
+    @ one ~predictor:(accumulated unc) ~from_name:"uncompress"
+        ~target_loaded:comp ~target_name:"compress"
+
+let render_crossmode rows =
+  "compress <-> uncompress cross-mode prediction (paper: \"no\n\
+   correlation ... a very bad idea\"; quality = fraction of self)\n"
+  ^ Table.render
+      ~header:[ "PREDICTOR"; "TARGET"; "DATASET"; "QUALITY" ]
+      (List.map
+         (fun r ->
+           [
+             r.cm_predictor;
+             r.cm_target;
+             r.cm_dataset;
+             Table.pct (100.0 *. r.cm_quality);
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* Static vs dynamic                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type dynamic_row = {
+  dy_program : string;
+  dy_dataset : string;
+  dy_static_pct : float;
+  dy_onebit_pct : float;
+  dy_twobit_pct : float;
+}
+
+let dynamic study =
+  List.map
+    (fun (l : Study.loaded) ->
+      let run = List.hd l.runs in
+      let dataset = List.hd l.workload.w_datasets in
+      let n_sites = Fisher92_ir.Program.n_sites l.ir in
+      let simulate scheme =
+        let sim = Dynamic.create scheme ~n_sites in
+        let config =
+          { Vm.default_config with on_branch = Some (Dynamic.hook sim) }
+        in
+        let (_ : Vm.result) = Study.execute l.ir dataset ~config () in
+        Dynamic.percent_correct sim
+      in
+      {
+        dy_program = l.workload.w_name;
+        dy_dataset = run.dataset;
+        dy_static_pct =
+          Measure.percent_correct run (Measure.self_prediction run);
+        dy_onebit_pct = simulate Dynamic.Last_direction;
+        dy_twobit_pct = simulate Dynamic.Two_bit;
+      })
+    (Study.items study)
+
+let render_dynamic rows =
+  "Static (self profile) vs dynamic hardware predictors (% branches\n\
+   correct; paper context: simple hardware got 80-90% on systems codes)\n"
+  ^ Table.render
+      ~header:[ "PROGRAM"; "DATASET"; "STATIC-SELF"; "1-BIT"; "2-BIT" ]
+      (List.map
+         (fun r ->
+           [
+             r.dy_program;
+             r.dy_dataset;
+             Table.pct r.dy_static_pct;
+             Table.pct r.dy_onebit_pct;
+             Table.pct r.dy_twobit_pct;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* Inlining ablation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type inline_row = {
+  il_program : string;
+  il_dataset : string;
+  il_base_with_calls : float;
+  il_inlined_with_calls : float;
+  il_calls_removed_pct : float;
+}
+
+let inline_ablation study =
+  List.map
+    (fun (l : Study.loaded) ->
+      let run = List.hd l.runs in
+      let dataset = List.hd l.workload.w_datasets in
+      let inl_ir = Study.compile_variant ~inline:true l.workload in
+      let inl_result = Study.execute inl_ir dataset () in
+      let inl_counts = Breaks.of_result inl_result in
+      let base_calls = run.counts.direct_call_ret in
+      let removed =
+        if base_calls = 0 then 0.0
+        else
+          100.0
+          *. (1.0
+             -. (float_of_int inl_counts.direct_call_ret /. float_of_int base_calls))
+      in
+      {
+        il_program = l.workload.w_name;
+        il_dataset = run.dataset;
+        il_base_with_calls = Measure.ipb_unpredicted ~with_calls:true run;
+        il_inlined_with_calls =
+          Breaks.per_break ~instructions:inl_counts.instructions
+            ~breaks:(Breaks.unpredicted_breaks ~with_calls:true inl_counts);
+        il_calls_removed_pct = removed;
+      })
+    (Study.items study)
+
+let render_inline rows =
+  "Inlining ablation: unpredicted instrs/break counting call/return\n\
+   breaks, before and after inlining small functions\n"
+  ^ Table.render
+      ~header:[ "PROGRAM"; "DATASET"; "BASE"; "INLINED"; "CALLS REMOVED" ]
+      (List.map
+         (fun r ->
+           [
+             r.il_program;
+             r.il_dataset;
+             Table.fnum r.il_base_with_calls;
+             Table.fnum r.il_inlined_with_calls;
+             Table.pct r.il_calls_removed_pct;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* Gap distribution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type gaps_row = {
+  gp_program : string;
+  gp_dataset : string;
+  gp_mean : float;
+  gp_median : float;
+  gp_p90 : float;
+  gp_skew : float;
+}
+
+let gaps study =
+  List.map
+    (fun (l : Study.loaded) ->
+      let run = List.hd l.runs in
+      let dataset = List.hd l.workload.w_datasets in
+      let config =
+        {
+          Vm.default_config with
+          predicted = Some (Measure.self_prediction run);
+        }
+      in
+      let r = Study.execute l.ir dataset ~config () in
+      let s = Fisher92_metrics.Gaps.summarize r in
+      {
+        gp_program = l.workload.w_name;
+        gp_dataset = run.dataset;
+        gp_mean = s.g_mean;
+        gp_median = s.g_median;
+        gp_p90 = s.g_p90;
+        gp_skew = s.g_skew;
+      })
+    (Study.items study)
+
+let render_gaps rows =
+  "Distribution of instruction runs between breaks (self-predicted;\n\
+   paper: \"branches in real programs are not evenly spaced\")\n"
+  ^ Table.render
+      ~header:[ "PROGRAM"; "DATASET"; "MEAN GAP"; "MEDIAN"; "P90"; "MEAN/MEDIAN" ]
+      (List.map
+         (fun r ->
+           [
+             r.gp_program;
+             r.gp_dataset;
+             Table.fnum r.gp_mean;
+             Table.fnum r.gp_median;
+             Table.fnum r.gp_p90;
+             Printf.sprintf "%.1fx" r.gp_skew;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* Switch reordering                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type switchsort_row = {
+  ss_program : string;
+  ss_dataset : string;
+  ss_base_insns : int;
+  ss_sorted_insns : int;
+  ss_insns_saved_pct : float;
+  ss_base_ipb : float;
+  ss_sorted_ipb : float;
+}
+
+(* Per-(function, case-constant) selection counts, recovered from the
+   branch profile through the site labels the compiler attaches to each
+   cascade test ("fname#N:caseK"; the test's taken count = how often the
+   case was selected). *)
+let case_heat ir (profile : Profile.t) =
+  let tbl = Hashtbl.create 64 in
+  for s = 0 to Profile.n_sites profile - 1 do
+    let label = Fisher92_ir.Program.site_label ir s in
+    match String.index_opt label '#' with
+    | None -> ()
+    | Some hash -> (
+      let fname = String.sub label 0 hash in
+      match String.rindex_opt label ':' with
+      | None -> ()
+      | Some colon ->
+        let hint = String.sub label (colon + 1) (String.length label - colon - 1) in
+        if String.length hint > 4 && String.sub hint 0 4 = "case" then
+          match int_of_string_opt (String.sub hint 4 (String.length hint - 4)) with
+          | None -> ()
+          | Some k ->
+            let key = (fname, k) in
+            let prev = try Hashtbl.find tbl key with Not_found -> 0 in
+            Hashtbl.replace tbl key (prev + profile.taken.(s)))
+  done;
+  fun ~fname k -> try Hashtbl.find tbl (fname, k) with Not_found -> 0
+
+let program_has_switch (p : Fisher92_minic.Ast.program) =
+  let found = ref false in
+  List.iter
+    (fun f ->
+      ignore
+        (Fisher92_minic.Ast.map_block
+           (fun s ->
+             (match s with Fisher92_minic.Ast.Switch _ -> found := true | _ -> ());
+             s)
+           f.Fisher92_minic.Ast.f_body))
+    p.Fisher92_minic.Ast.funcs;
+  !found
+
+let switchsort study =
+  List.filter_map
+    (fun (l : Study.loaded) ->
+      if not (program_has_switch l.workload.w_program) then None
+      else begin
+        let run = List.hd l.runs in
+        let dataset = List.hd l.workload.w_datasets in
+        let heat = case_heat l.ir run.profile in
+        let options =
+          {
+            (Fisher92_workloads.Workload.compile_options l.workload) with
+            switch_heat = Some heat;
+          }
+        in
+        let sorted_ir =
+          Fisher92_minic.Compile.compile ~options l.workload.w_program
+        in
+        let sorted_result = Study.execute sorted_ir dataset () in
+        let sorted_run =
+          Measure.of_result ~program:l.workload.w_name ~dataset:run.dataset
+            sorted_result
+        in
+        let base = run.counts.instructions in
+        let sorted = sorted_run.counts.instructions in
+        Some
+          {
+            ss_program = l.workload.w_name;
+            ss_dataset = run.dataset;
+            ss_base_insns = base;
+            ss_sorted_insns = sorted;
+            ss_insns_saved_pct =
+              100.0 *. (1.0 -. (float_of_int sorted /. float_of_int base));
+            ss_base_ipb = Measure.ipb_self run;
+            ss_sorted_ipb = Measure.ipb_self sorted_run;
+          }
+      end)
+    (Study.items study)
+
+let render_switchsort rows =
+  "Profile-guided switch reordering (hottest case first; paper: a\n\
+   feedback compiler should order multi-way cascades by probability)\n"
+  ^ Table.render
+      ~header:
+        [ "PROGRAM"; "DATASET"; "BASE INSNS"; "SORTED"; "SAVED"; "BASE I/B";
+          "SORTED I/B" ]
+      (List.map
+         (fun r ->
+           [
+             r.ss_program;
+             r.ss_dataset;
+             Table.inum r.ss_base_insns;
+             Table.inum r.ss_sorted_insns;
+             Table.pct r.ss_insns_saved_pct;
+             Table.fnum r.ss_base_ipb;
+             Table.fnum r.ss_sorted_ipb;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation overhead                                            *)
+(* ------------------------------------------------------------------ *)
+
+type overhead_row = {
+  ov_program : string;
+  ov_dataset : string;
+  ov_clean_insns : int;
+  ov_instrumented_insns : int;
+  ov_overhead_pct : float;
+  ov_counters_match : bool;
+}
+
+let overhead study =
+  List.map
+    (fun (l : Study.loaded) ->
+      let run = List.hd l.runs in
+      let dataset = List.hd l.workload.w_datasets in
+      let instrumented = Fisher92_ir.Instrument.branch_counters l.ir in
+      let config =
+        {
+          Vm.default_config with
+          dump_arrays = [ Fisher92_ir.Instrument.counters_array ];
+        }
+      in
+      let r = Study.execute instrumented dataset ~config () in
+      let counters_match =
+        match r.dumped with
+        | [ (_, `Ints counters) ] ->
+          let ok = ref true in
+          Array.iteri
+            (fun s enc ->
+              let taken = run.profile.taken.(s) in
+              if counters.(2 * s) <> enc || counters.((2 * s) + 1) <> taken then
+                ok := false)
+            run.profile.encountered;
+          !ok
+        | _ -> false
+      in
+      let clean = run.counts.instructions in
+      let inst = (Breaks.of_result r).instructions in
+      {
+        ov_program = l.workload.w_name;
+        ov_dataset = run.dataset;
+        ov_clean_insns = clean;
+        ov_instrumented_insns = inst;
+        ov_overhead_pct =
+          100.0 *. ((float_of_int inst /. float_of_int clean) -. 1.0);
+        ov_counters_match = counters_match;
+      })
+    (Study.items study)
+
+let render_overhead rows =
+  "IFPROBBER instrumentation overhead: counter updates before every\n\
+   branch (the perturbation the paper's two-binary methodology factored\n\
+   out); the in-program counters must equal the external profile\n"
+  ^ Table.render
+      ~header:
+        [ "PROGRAM"; "DATASET"; "CLEAN"; "INSTRUMENTED"; "OVERHEAD";
+          "COUNTERS OK" ]
+      (List.map
+         (fun r ->
+           [
+             r.ov_program;
+             r.ov_dataset;
+             Table.inum r.ov_clean_insns;
+             Table.inum r.ov_instrumented_insns;
+             Table.pct r.ov_overhead_pct;
+             (if r.ov_counters_match then "yes" else "NO");
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* Coverage correlation                                                *)
+(* ------------------------------------------------------------------ *)
+
+type coverage_row = {
+  co_program : string;
+  co_pairs : int;
+  co_coverage_r : float;
+  co_agreement_r : float;
+}
+
+let coverage study =
+  List.filter_map
+    (fun (l : Study.loaded) ->
+      if List.length l.runs < 2 then None
+      else
+        let c = Fisher92_metrics.Coverage.correlate l.runs in
+        Some
+          {
+            co_program = c.cr_program;
+            co_pairs = c.cr_n;
+            co_coverage_r = c.cr_coverage_r;
+            co_agreement_r = c.cr_agreement_r;
+          })
+    (Study.items study)
+
+let render_coverage rows =
+  "The paper's \"Coverage\" quantification attempt: does predictor\n\
+   emphasis (coverage) or direction agreement explain prediction\n\
+   quality?  (paper: \"nothing we tried seemed to correlate well\")\n"
+  ^ Table.render
+      ~header:[ "PROGRAM"; "PAIRS"; "r(COVERAGE)"; "r(AGREEMENT)" ]
+      (List.map
+         (fun r ->
+           [
+             r.co_program;
+             string_of_int r.co_pairs;
+             Printf.sprintf "%+.2f" r.co_coverage_r;
+             Printf.sprintf "%+.2f" r.co_agreement_r;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+
+let render_all study =
+  let sections =
+    [
+      render_table2 ();
+      render_table1 (table1 study);
+      render_fig1 (fig1 study);
+      render_fig2 (fig2 study);
+      render_table3 (table3 study);
+      render_fig3 (fig3 study);
+      render_taken (taken study);
+      render_combine (combine study);
+      render_heuristics (heuristics study);
+      render_crossmode (crossmode study);
+      render_dynamic (dynamic study);
+      render_inline (inline_ablation study);
+      render_gaps (gaps study);
+      render_switchsort (switchsort study);
+      render_overhead (overhead study);
+      render_coverage (coverage study);
+    ]
+  in
+  String.concat "\n\n" sections

@@ -1,0 +1,214 @@
+(** Every table and figure of the paper, computed from a loaded study and
+    rendered as plain text.  Each experiment returns structured rows (for
+    tests and further analysis) alongside a [render_*] function.
+
+    Paper references:
+    - Table 1: dynamic dead code eliminated by global DCE
+    - Table 2: the program sample base
+    - Table 3: instructions/break of the low-variability FORTRAN programs
+    - Figure 1a/1b: instrs per break, no prediction, ± call/return breaks
+    - Figure 2a/2b: instrs per break, self vs scaled-other prediction
+    - Figure 3a/3b: best and worst single-dataset predictors
+    - §3 informal: percent-taken stability, combination strategies,
+      heuristics, compress↔uncompress
+    - extensions: static vs dynamic predictors, inlining ablation *)
+
+type fig1_row = {
+  f1_program : string;
+  f1_dataset : string;
+  f1_lang : Fisher92_workloads.Workload.lang;
+  f1_no_calls : float;  (** instrs/break, calls+returns not counted *)
+  f1_with_calls : float;  (** instrs/break, direct calls+returns counted *)
+}
+
+val fig1 : Study.t -> fig1_row list
+val render_fig1 : fig1_row list -> string
+
+type fig2_row = {
+  f2_program : string;
+  f2_dataset : string;
+  f2_lang : Fisher92_workloads.Workload.lang;
+  f2_self : float;  (** best possible: dataset predicts itself *)
+  f2_others : float option;  (** scaled sum of the other datasets *)
+}
+
+val fig2 : Study.t -> fig2_row list
+(** Only workloads with ≥2 datasets (the single-dataset FORTRAN programs
+    are Table 3's subject). *)
+
+val render_fig2 : fig2_row list -> string
+
+type fig3_row = {
+  f3_program : string;
+  f3_dataset : string;
+  f3_lang : Fisher92_workloads.Workload.lang;
+  f3_best : string * float;  (** best single other dataset, quality ratio *)
+  f3_worst : string * float;
+}
+
+val fig3 : Study.t -> fig3_row list
+val render_fig3 : fig3_row list -> string
+
+type table1_row = {
+  t1_program : string;
+  t1_dead_pct : float;
+      (** % of the measured build's dynamic instructions that vanish when
+          global DCE is enabled *)
+}
+
+val table1 : Study.t -> table1_row list
+val render_table1 : table1_row list -> string
+
+val render_table2 : unit -> string
+(** The program/dataset inventory (needs no study). *)
+
+type table3_row = { t3_program : string; t3_dataset : string; t3_ipb : float }
+
+val table3 : Study.t -> table3_row list
+(** Self-predicted instrs/break for the FORTRAN programs outside the
+    spice cross-prediction study. *)
+
+val render_table3 : table3_row list -> string
+
+type taken_row = {
+  tk_program : string;
+  tk_per_dataset : (string * float) list;  (** % taken per dataset *)
+  tk_spread : float;  (** max - min, the paper's "remarkably constant" *)
+}
+
+val taken : Study.t -> taken_row list
+val render_taken : taken_row list -> string
+
+type combine_row = {
+  cb_program : string;
+  cb_scaled : float;  (** mean quality ratio over targets *)
+  cb_unscaled : float;
+  cb_polling : float;
+}
+
+val combine : Study.t -> combine_row list
+val render_combine : combine_row list -> string
+
+type heuristic_row = {
+  h_program : string;
+  h_dataset : string;
+  h_self : float;  (** instrs/break, self profile *)
+  h_btfn : float;
+  h_loop_label : float;
+  h_taken : float;
+  h_not_taken : float;
+}
+
+val heuristics : Study.t -> heuristic_row list
+val render_heuristics : heuristic_row list -> string
+
+type crossmode_row = {
+  cm_predictor : string;  (** "compress" or "uncompress" (accumulated) *)
+  cm_target : string;
+  cm_dataset : string;
+  cm_quality : float;  (** fraction of self-prediction achieved *)
+}
+
+val crossmode : Study.t -> crossmode_row list
+(** The paper's "using the data from one to predict the other is a very
+    bad idea". *)
+
+val render_crossmode : crossmode_row list -> string
+
+type dynamic_row = {
+  dy_program : string;
+  dy_dataset : string;
+  dy_static_pct : float;  (** self-profile static prediction, % correct *)
+  dy_onebit_pct : float;
+  dy_twobit_pct : float;
+}
+
+val dynamic : Study.t -> dynamic_row list
+(** Re-executes the first dataset of each workload with predictor hooks. *)
+
+val render_dynamic : dynamic_row list -> string
+
+type inline_row = {
+  il_program : string;
+  il_dataset : string;
+  il_base_with_calls : float;  (** unpredicted i/break incl. call breaks *)
+  il_inlined_with_calls : float;  (** same, after the inlining pass *)
+  il_calls_removed_pct : float;  (** dynamic direct calls eliminated *)
+}
+
+val inline_ablation : Study.t -> inline_row list
+val render_inline : inline_row list -> string
+
+val render_all : Study.t -> string
+(** Every experiment in paper order, ready for stdout. *)
+
+type gaps_row = {
+  gp_program : string;
+  gp_dataset : string;
+  gp_mean : float;  (** mean instructions between breaks (self-predicted) *)
+  gp_median : float;
+  gp_p90 : float;
+  gp_skew : float;  (** mean/median; > 1 = long runs behind a small typical gap *)
+}
+
+val gaps : Study.t -> gaps_row list
+(** Paper §3: "the distribution of runs of instructions between
+    mispredicted branches will not be constant ... branches in real
+    programs are not evenly spaced."  Re-executes each workload's first
+    dataset with its self prediction and summarizes the gap histogram. *)
+
+val render_gaps : gaps_row list -> string
+
+type switchsort_row = {
+  ss_program : string;
+  ss_dataset : string;
+  ss_base_insns : int;
+  ss_sorted_insns : int;  (** after hottest-first switch reordering *)
+  ss_insns_saved_pct : float;
+  ss_base_ipb : float;  (** self-predicted instrs/break, source order *)
+  ss_sorted_ipb : float;  (** same, probability order *)
+}
+
+val switchsort : Study.t -> switchsort_row list
+(** Paper §2 (multiple destination branches): a feedback compiler should
+    order cascades by probability.  Profiles the first dataset, recompiles
+    with hottest-first switch cases, and re-measures.  Only workloads
+    whose programs contain switches are reported. *)
+
+val render_switchsort : switchsort_row list -> string
+
+type overhead_row = {
+  ov_program : string;
+  ov_dataset : string;
+  ov_clean_insns : int;
+  ov_instrumented_insns : int;
+  ov_overhead_pct : float;
+      (** extra instructions from the in-program counters — the
+          perturbation the paper's two-binary methodology existed to
+          factor out *)
+  ov_counters_match : bool;
+      (** do the in-program counters agree exactly with the simulator's
+          external profile? *)
+}
+
+val overhead : Study.t -> overhead_row list
+(** Build each workload's IFPROBBER-instrumented binary (real counter
+    updates before every conditional branch), run its first dataset, and
+    compare against the clean build. *)
+
+val render_overhead : overhead_row list -> string
+
+type coverage_row = {
+  co_program : string;
+  co_pairs : int;
+  co_coverage_r : float;  (** Pearson r of predictor-coverage vs quality *)
+  co_agreement_r : float;
+      (** Pearson r of shared-direction agreement vs quality *)
+}
+
+val coverage : Study.t -> coverage_row list
+(** The paper's "Coverage" quantification attempt (§3's informal
+    observations): correlate two candidate emphasis measures with
+    cross-prediction quality, per multi-dataset program. *)
+
+val render_coverage : coverage_row list -> string

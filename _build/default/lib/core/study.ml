@@ -1,0 +1,44 @@
+module Workload = Fisher92_workloads.Workload
+module Registry = Fisher92_workloads.Registry
+module Compile = Fisher92_minic.Compile
+module Vm = Fisher92_vm.Vm
+module Measure = Fisher92_metrics.Measure
+
+type loaded = {
+  workload : Workload.t;
+  ir : Fisher92_ir.Program.t;
+  runs : Measure.run list;
+}
+
+type t = { items : loaded list }
+
+let compile_variant ?(dce = false) ?(inline = false) (w : Workload.t) =
+  Compile.compile ~options:(Workload.compile_options ~dce ~inline w) w.w_program
+
+let execute ir (d : Workload.dataset) ?config () =
+  Vm.run ?config ir ~iargs:d.ds_iargs ~fargs:d.ds_fargs ~arrays:d.ds_arrays
+
+let load ?workloads () =
+  let workloads =
+    match workloads with Some ws -> ws | None -> Registry.all ()
+  in
+  let items =
+    List.map
+      (fun (w : Workload.t) ->
+        let ir = compile_variant w in
+        let runs =
+          List.map
+            (fun (d : Workload.dataset) ->
+              let result = execute ir d () in
+              Measure.of_result ~program:w.w_name ~dataset:d.ds_name result)
+            w.w_datasets
+        in
+        { workload = w; ir; runs })
+      workloads
+  in
+  { items }
+
+let items t = t.items
+
+let find t name =
+  List.find (fun l -> String.equal l.workload.Workload.w_name name) t.items

@@ -1,0 +1,40 @@
+(** The experiment driver: compile every workload with the paper's
+    measured configuration (classical optimizations on, global DCE off,
+    no inlining), run every dataset once, and keep the per-run
+    measurements for the analysis passes.
+
+    One [load] executes every (program, dataset) pair exactly once; all
+    figures and tables are then derived from the stored profiles and
+    counts, mirroring how the paper derived everything from one
+    IFPROBBER + MFPixie collection per run. *)
+
+type loaded = {
+  workload : Fisher92_workloads.Workload.t;
+  ir : Fisher92_ir.Program.t;  (** measured build (no DCE, no inlining) *)
+  runs : Fisher92_metrics.Measure.run list;  (** one per dataset, in order *)
+}
+
+type t
+
+val load : ?workloads:Fisher92_workloads.Workload.t list -> unit -> t
+(** Compile and execute; default is the full registry.  Deterministic. *)
+
+val items : t -> loaded list
+
+val find : t -> string -> loaded
+(** By workload name.  @raise Not_found. *)
+
+val execute :
+  Fisher92_ir.Program.t ->
+  Fisher92_workloads.Workload.dataset ->
+  ?config:Fisher92_vm.Vm.config ->
+  unit ->
+  Fisher92_vm.Vm.result
+(** Run one dataset against a compiled image (used by the ablation
+    experiments that need special builds or VM hooks). *)
+
+val compile_variant :
+  ?dce:bool -> ?inline:bool -> Fisher92_workloads.Workload.t ->
+  Fisher92_ir.Program.t
+(** Compile a workload with non-default pass settings (Table 1 uses
+    [~dce:true], the inlining ablation [~inline:true]). *)

@@ -1,0 +1,1 @@
+lib/ir/instrument.ml: Array Insn Program

@@ -1,0 +1,1 @@
+lib/ir/instrument.mli: Program

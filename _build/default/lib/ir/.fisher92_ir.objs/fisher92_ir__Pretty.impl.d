@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Array Format Insn List Printf Program String

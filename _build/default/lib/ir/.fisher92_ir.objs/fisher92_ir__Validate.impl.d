@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Format Insn List Printf Program String

@@ -1,0 +1,125 @@
+type ireg = int
+type freg = int
+type array_id = int
+type func_id = int
+type site = int
+
+type ibin = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Min | Max
+type fbin = Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax
+type funop = Fneg | Fabs | Fsqrt | Fexp | Flog | Fsin | Fcos
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type dest = No_dest | Int_dest of ireg | Float_dest of freg
+type ret = Ret_none | Ret_int of ireg | Ret_float of freg
+
+type insn =
+  | Iconst of ireg * int
+  | Fconst of freg * float
+  | Imov of ireg * ireg
+  | Fmov of freg * freg
+  | Ibin of ibin * ireg * ireg * ireg
+  | Ibini of ibin * ireg * ireg * int
+  | Inot of ireg * ireg
+  | Ineg of ireg * ireg
+  | Fbin of fbin * freg * freg * freg
+  | Funop of funop * freg * freg
+  | Icmp of cmp * ireg * ireg * ireg
+  | Fcmp of cmp * ireg * freg * freg
+  | Itof of freg * ireg
+  | Ftoi of ireg * freg
+  | Iload of ireg * array_id * ireg
+  | Istore of array_id * ireg * ireg
+  | Fload of freg * array_id * ireg
+  | Fstore of array_id * ireg * freg
+  | Select of ireg * ireg * ireg * ireg
+  | Fselect of freg * ireg * freg * freg
+  | Br of { cond : ireg; target : int; site : site }
+  | Jump of int
+  | Call of { callee : func_id; iargs : ireg list; fargs : freg list; dst : dest }
+  | Callind of { table : ireg; iargs : ireg list; fargs : freg list; dst : dest }
+  | Ret of ret
+  | Output of ireg
+  | Foutput of freg
+  | Halt
+
+type kind =
+  | K_ialu
+  | K_falu
+  | K_mem
+  | K_cbranch
+  | K_jump
+  | K_call
+  | K_callind
+  | K_ret
+  | K_output
+  | K_halt
+
+let kind = function
+  | Iconst _ | Imov _ | Ibin _ | Ibini _ | Inot _ | Ineg _ | Icmp _ | Fcmp _
+  | Select _ ->
+    K_ialu
+  | Fconst _ | Fmov _ | Fbin _ | Funop _ | Itof _ | Ftoi _ | Fselect _ -> K_falu
+  | Iload _ | Istore _ | Fload _ | Fstore _ -> K_mem
+  | Br _ -> K_cbranch
+  | Jump _ -> K_jump
+  | Call _ -> K_call
+  | Callind _ -> K_callind
+  | Ret _ -> K_ret
+  | Output _ | Foutput _ -> K_output
+  | Halt -> K_halt
+
+let kind_name = function
+  | K_ialu -> "ialu"
+  | K_falu -> "falu"
+  | K_mem -> "mem"
+  | K_cbranch -> "cbranch"
+  | K_jump -> "jump"
+  | K_call -> "call"
+  | K_callind -> "callind"
+  | K_ret -> "ret"
+  | K_output -> "output"
+  | K_halt -> "halt"
+
+let all_kinds =
+  [ K_ialu; K_falu; K_mem; K_cbranch; K_jump; K_call; K_callind; K_ret;
+    K_output; K_halt ]
+
+let branch_site = function Br { site; _ } -> Some site | _ -> None
+
+let cmp_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let ibin_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Min -> "min"
+  | Max -> "max"
+
+let fbin_name = function
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+  | Fmin -> "fmin"
+  | Fmax -> "fmax"
+
+let funop_name = function
+  | Fneg -> "fneg"
+  | Fabs -> "fabs"
+  | Fsqrt -> "fsqrt"
+  | Fexp -> "fexp"
+  | Flog -> "flog"
+  | Fsin -> "fsin"
+  | Fcos -> "fcos"

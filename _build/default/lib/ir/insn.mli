@@ -1,0 +1,123 @@
+(** The RISC-like instruction set of the simulated machine.
+
+    This models the measurement substrate of the paper: the Multiflow Trace
+    14/300 viewed as a sequential RISC (the paper factored out VLIW-ness).
+    Instructions are fixed-format three-register operations over two typed
+    register files (integer and floating-point), with memory reached only
+    through explicit loads and stores on named global arrays.
+
+    Every executed instruction counts as exactly one dynamic instruction —
+    the unit of the paper's "instructions per break in control" measure. *)
+
+type ireg = int
+(** Index into a function's integer register file. *)
+
+type freg = int
+(** Index into a function's floating-point register file. *)
+
+type array_id = int
+(** Index of a global array declared by the program. *)
+
+type func_id = int
+(** Index of a function in the program's function table. *)
+
+type site = int
+(** Static conditional-branch site, unique across the whole program.  The
+    IFPROBBER-analogue counters are keyed by this. *)
+
+(** Integer ALU operations. *)
+type ibin =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** truncating; division by zero traps *)
+  | Rem  (** remainder; division by zero traps *)
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr  (** arithmetic shift right *)
+  | Min
+  | Max
+
+(** Floating-point ALU operations. *)
+type fbin = Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax
+
+(** Unary floating-point operations (the Trace had FP assist hardware;
+    transcendentals count as single instructions, as a millicode call
+    would have been inlined). *)
+type funop = Fneg | Fabs | Fsqrt | Fexp | Flog | Fsin | Fcos
+
+(** Comparison conditions, shared by integer and FP compares. *)
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+(** Where a call puts its result. *)
+type dest = No_dest | Int_dest of ireg | Float_dest of freg
+
+(** What a return carries. *)
+type ret = Ret_none | Ret_int of ireg | Ret_float of freg
+
+type insn =
+  | Iconst of ireg * int  (** load integer constant *)
+  | Fconst of freg * float  (** load FP constant *)
+  | Imov of ireg * ireg
+  | Fmov of freg * freg
+  | Ibin of ibin * ireg * ireg * ireg  (** dst, src1, src2 *)
+  | Ibini of ibin * ireg * ireg * int  (** immediate second operand *)
+  | Inot of ireg * ireg  (** logical not: dst <- (src = 0) *)
+  | Ineg of ireg * ireg
+  | Fbin of fbin * freg * freg * freg
+  | Funop of funop * freg * freg
+  | Icmp of cmp * ireg * ireg * ireg  (** int dst <- 0/1 *)
+  | Fcmp of cmp * ireg * freg * freg  (** int dst <- 0/1 *)
+  | Itof of freg * ireg
+  | Ftoi of ireg * freg  (** truncation *)
+  | Iload of ireg * array_id * ireg  (** dst <- arr[idx] *)
+  | Istore of array_id * ireg * ireg  (** arr[idx] <- src *)
+  | Fload of freg * array_id * ireg
+  | Fstore of array_id * ireg * freg
+  | Select of ireg * ireg * ireg * ireg  (** dst <- if cond<>0 then a else b *)
+  | Fselect of freg * ireg * freg * freg
+  | Br of { cond : ireg; target : int; site : site }
+      (** conditional branch: taken (to [target]) iff [cond] <> 0, else
+          falls through.  The only instruction that creates a branch site. *)
+  | Jump of int  (** unconditional, intra-function *)
+  | Call of { callee : func_id; iargs : ireg list; fargs : freg list; dst : dest }
+  | Callind of { table : ireg; iargs : ireg list; fargs : freg list; dst : dest }
+      (** indirect call through the program's function-pointer table:
+          [table] holds an index into [Program.func_table].  An unavoidable
+          break in control, as is the matching return. *)
+  | Ret of ret
+  | Output of ireg  (** append an integer to the run's output stream *)
+  | Foutput of freg
+  | Halt  (** stop the machine (valid only in the entry function) *)
+
+(** Coarse classification used by the dynamic instruction counters. *)
+type kind =
+  | K_ialu  (** integer ALU, moves, constants, compares, selects, not/neg *)
+  | K_falu  (** FP ALU, moves, constants, conversions *)
+  | K_mem  (** loads and stores *)
+  | K_cbranch  (** conditional branches *)
+  | K_jump  (** unconditional intra-function jumps *)
+  | K_call  (** direct calls *)
+  | K_callind  (** indirect calls *)
+  | K_ret  (** returns *)
+  | K_output  (** output instructions *)
+  | K_halt
+
+val kind : insn -> kind
+(** Classification of an instruction for the dynamic counters. *)
+
+val kind_name : kind -> string
+(** Short printable name ("ialu", "mem", ...). *)
+
+val all_kinds : kind list
+(** Every kind, in display order. *)
+
+val branch_site : insn -> site option
+(** [Some s] iff the instruction is a conditional branch at site [s]. *)
+
+val cmp_name : cmp -> string
+val ibin_name : ibin -> string
+val fbin_name : fbin -> string
+val funop_name : funop -> string

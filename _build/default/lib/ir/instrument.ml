@@ -1,0 +1,85 @@
+open Insn
+
+let counters_array = "$ifprob"
+
+(* Counter update emitted before a branch on site [s] with condition
+   register [cond], using scratch integer registers r0..r3:
+     iconst r0, 2s          ; execution-count cell
+     ild    r1, cnt[r0]
+     addi   r1, r1, 1
+     ist    cnt[r0], r1
+     iconst r0, 2s+1        ; taken-count cell
+     icmp.ne r2, cond, r3   ; r3 holds 0
+     ild    r1, cnt[r0]
+     add    r1, r1, r2
+     ist    cnt[r0], r1 *)
+let update_length = 9
+
+let instrument_function ~counters_id (f : Program.func) =
+  let r0 = f.n_iregs
+  and r1 = f.n_iregs + 1
+  and r2 = f.n_iregs + 2
+  and r3 = f.n_iregs + 3 in
+  let len = Array.length f.code in
+  (* new pc of each old instruction *)
+  let new_pc = Array.make (len + 1) 0 in
+  let shift = ref 0 in
+  for pc = 0 to len - 1 do
+    new_pc.(pc) <- pc + !shift;
+    match f.code.(pc) with
+    | Br _ -> shift := !shift + update_length
+    | _ -> ()
+  done;
+  new_pc.(len) <- len + !shift;
+  let out = Array.make (len + !shift) Halt in
+  Array.iteri
+    (fun pc insn ->
+      match insn with
+      | Br { cond; target; site } ->
+        let at = new_pc.(pc) in
+        out.(at) <- Iconst (r0, 2 * site);
+        out.(at + 1) <- Iload (r1, counters_id, r0);
+        out.(at + 2) <- Ibini (Add, r1, r1, 1);
+        out.(at + 3) <- Istore (counters_id, r0, r1);
+        out.(at + 4) <- Iconst (r0, (2 * site) + 1);
+        out.(at + 5) <- Icmp (Ne, r2, cond, r3);
+        out.(at + 6) <- Iload (r1, counters_id, r0);
+        out.(at + 7) <- Ibin (Add, r1, r1, r2);
+        out.(at + 8) <- Istore (counters_id, r0, r1);
+        out.(at + 9) <- Br { cond; target = new_pc.(target); site }
+      | Jump target -> out.(new_pc.(pc)) <- Jump new_pc.(target)
+      | other -> out.(new_pc.(pc)) <- other)
+    f.code;
+  (* r3 must hold zero; registers start zeroed and the scratch registers
+     are never written except r0..r2 above, so no initialization insn is
+     needed — keeping the per-branch cost at exactly [update_length]. *)
+  { f with code = out; n_iregs = f.n_iregs + 4 }
+
+let branch_counters (p : Program.t) =
+  if Array.exists (fun (a : Program.array_decl) -> a.aname = counters_array) p.arrays
+  then invalid_arg "Instrument.branch_counters: program already instrumented";
+  let counters_id = Array.length p.arrays in
+  let arrays =
+    Array.append p.arrays
+      [|
+        {
+          Program.aname = counters_array;
+          acls = Program.Cint;
+          asize = max 1 (2 * Program.n_sites p);
+          ainit = 0.0;
+        };
+      |]
+  in
+  let funcs = Array.map (instrument_function ~counters_id) p.funcs in
+  (* site program counters moved; recompute them from the rewritten code *)
+  let sites = Array.copy p.sites in
+  Array.iteri
+    (fun fid (f : Program.func) ->
+      Array.iteri
+        (fun pc insn ->
+          match branch_site insn with
+          | Some s -> sites.(s) <- { (sites.(s)) with Program.s_func = fid; s_pc = pc }
+          | None -> ())
+        f.code)
+    funcs;
+  { p with funcs; arrays; sites }

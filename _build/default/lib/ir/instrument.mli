@@ -1,0 +1,28 @@
+(** IFPROBBER-style in-program branch instrumentation.
+
+    The paper's tool compiled a *separate binary* with counters before
+    each conditional branch; the counters perturb the instruction counts,
+    which is why the study needed a second (MFPixie) binary and had to
+    disable dead-code elimination to keep the two aligned.  Our simulator
+    collects profiles externally and needs none of that — but to
+    reproduce the methodology (and measure the perturbation the paper
+    engineered around), this pass builds the instrumented binary for
+    real: straight-line counter updates before every conditional branch,
+    recording both executions and taken outcomes into a global array.
+
+    No edge splitting is needed: a branch is taken iff its condition
+    register is non-zero, which is observable before the branch. *)
+
+val counters_array : string
+(** Name of the added int array (["$ifprob"]); cell [2s] holds site [s]'s
+    execution count and cell [2s+1] its taken count. *)
+
+val branch_counters : Program.t -> Program.t
+(** Return a copy of the program with counter updates inserted before
+    every conditional branch (roughly 9 extra instructions per dynamic
+    branch).  Each function gains four scratch integer registers; all
+    branch and jump targets are remapped; site ids, labels and program
+    semantics are unchanged.  The result passes {!Validate.check}.
+
+    @raise Invalid_argument if the program already has an array named
+    {!counters_array}. *)

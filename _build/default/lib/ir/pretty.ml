@@ -1,0 +1,85 @@
+open Insn
+
+let pp_dest ppf = function
+  | No_dest -> Format.fprintf ppf "_"
+  | Int_dest r -> Format.fprintf ppf "i%d" r
+  | Float_dest r -> Format.fprintf ppf "f%d" r
+
+let pp_args ppf (iargs, fargs) =
+  let items =
+    List.map (Printf.sprintf "i%d") iargs @ List.map (Printf.sprintf "f%d") fargs
+  in
+  Format.fprintf ppf "%s" (String.concat ", " items)
+
+let insn ppf = function
+  | Iconst (d, k) -> Format.fprintf ppf "iconst i%d, %d" d k
+  | Fconst (d, x) -> Format.fprintf ppf "fconst f%d, %h" d x
+  | Imov (d, s) -> Format.fprintf ppf "imov i%d, i%d" d s
+  | Fmov (d, s) -> Format.fprintf ppf "fmov f%d, f%d" d s
+  | Ibin (op, d, a, b) ->
+    Format.fprintf ppf "%s i%d, i%d, i%d" (ibin_name op) d a b
+  | Ibini (op, d, a, k) ->
+    Format.fprintf ppf "%si i%d, i%d, %d" (ibin_name op) d a k
+  | Inot (d, s) -> Format.fprintf ppf "not i%d, i%d" d s
+  | Ineg (d, s) -> Format.fprintf ppf "neg i%d, i%d" d s
+  | Fbin (op, d, a, b) ->
+    Format.fprintf ppf "%s f%d, f%d, f%d" (fbin_name op) d a b
+  | Funop (op, d, s) -> Format.fprintf ppf "%s f%d, f%d" (funop_name op) d s
+  | Icmp (c, d, a, b) ->
+    Format.fprintf ppf "icmp.%s i%d, i%d, i%d" (cmp_name c) d a b
+  | Fcmp (c, d, a, b) ->
+    Format.fprintf ppf "fcmp.%s i%d, f%d, f%d" (cmp_name c) d a b
+  | Itof (d, s) -> Format.fprintf ppf "itof f%d, i%d" d s
+  | Ftoi (d, s) -> Format.fprintf ppf "ftoi i%d, f%d" d s
+  | Iload (d, a, i) -> Format.fprintf ppf "ild i%d, a%d[i%d]" d a i
+  | Istore (a, i, s) -> Format.fprintf ppf "ist a%d[i%d], i%d" a i s
+  | Fload (d, a, i) -> Format.fprintf ppf "fld f%d, a%d[i%d]" d a i
+  | Fstore (a, i, s) -> Format.fprintf ppf "fst a%d[i%d], f%d" a i s
+  | Select (d, c, a, b) ->
+    Format.fprintf ppf "select i%d, i%d ? i%d : i%d" d c a b
+  | Fselect (d, c, a, b) ->
+    Format.fprintf ppf "fselect f%d, i%d ? f%d : f%d" d c a b
+  | Br { cond; target; site } ->
+    Format.fprintf ppf "br i%d, @%d    ; site %d" cond target site
+  | Jump target -> Format.fprintf ppf "jump @%d" target
+  | Call { callee; iargs; fargs; dst } ->
+    Format.fprintf ppf "call %a, fn%d(%a)" pp_dest dst callee pp_args
+      (iargs, fargs)
+  | Callind { table; iargs; fargs; dst } ->
+    Format.fprintf ppf "callind %a, [i%d](%a)" pp_dest dst table pp_args
+      (iargs, fargs)
+  | Ret Ret_none -> Format.fprintf ppf "ret"
+  | Ret (Ret_int r) -> Format.fprintf ppf "ret i%d" r
+  | Ret (Ret_float r) -> Format.fprintf ppf "ret f%d" r
+  | Output r -> Format.fprintf ppf "out i%d" r
+  | Foutput r -> Format.fprintf ppf "fout f%d" r
+  | Halt -> Format.fprintf ppf "halt"
+
+let func ppf (f : Program.func) =
+  Format.fprintf ppf "@[<v>func %s (ip=%d fp=%d iregs=%d fregs=%d):@," f.fname
+    f.n_iparams f.n_fparams f.n_iregs f.n_fregs;
+  Array.iteri
+    (fun pc i -> Format.fprintf ppf "  %4d: %a@," pc insn i)
+    f.code;
+  Format.fprintf ppf "@]"
+
+let program ppf (p : Program.t) =
+  Format.fprintf ppf "@[<v>program %s@," p.pname;
+  Array.iteri
+    (fun i (a : Program.array_decl) ->
+      Format.fprintf ppf "array a%d %s : %s[%d]@," i a.aname
+        (match a.acls with Program.Cint -> "int" | Program.Cfloat -> "float")
+        a.asize)
+    p.arrays;
+  if Array.length p.func_table > 0 then begin
+    let entries =
+      Array.to_list p.func_table |> List.map string_of_int |> String.concat " "
+    in
+    Format.fprintf ppf "functable [%s]@," entries
+  end;
+  Format.fprintf ppf "entry fn%d@," p.entry;
+  Array.iteri (fun i f -> Format.fprintf ppf "; fn%d@,%a@," i func f) p.funcs;
+  Format.fprintf ppf "@]"
+
+let insn_to_string i = Format.asprintf "%a" insn i
+let program_to_string p = Format.asprintf "%a" program p

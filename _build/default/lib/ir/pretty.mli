@@ -1,0 +1,13 @@
+(** Textual dump of IR programs, for debugging and golden tests. *)
+
+val insn : Format.formatter -> Insn.insn -> unit
+(** One instruction, assembly style, e.g. ["add  i3, i1, i2"]. *)
+
+val func : Format.formatter -> Program.func -> unit
+(** A whole function with pc-numbered lines. *)
+
+val program : Format.formatter -> Program.t -> unit
+(** Arrays, function table, then every function. *)
+
+val insn_to_string : Insn.insn -> string
+val program_to_string : Program.t -> string

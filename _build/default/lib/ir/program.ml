@@ -1,0 +1,62 @@
+type value_class = Cint | Cfloat
+
+type array_decl = { aname : string; acls : value_class; asize : int; ainit : float }
+
+type func = {
+  fname : string;
+  n_iparams : int;
+  n_fparams : int;
+  n_iregs : int;
+  n_fregs : int;
+  code : Insn.insn array;
+}
+
+type site_info = { s_func : Insn.func_id; s_pc : int; s_label : string }
+
+type t = {
+  pname : string;
+  funcs : func array;
+  arrays : array_decl array;
+  func_table : Insn.func_id array;
+  entry : Insn.func_id;
+  sites : site_info array;
+}
+
+let func t id =
+  if id < 0 || id >= Array.length t.funcs then
+    invalid_arg (Printf.sprintf "Program.func: bad id %d in %s" id t.pname);
+  t.funcs.(id)
+
+let find_by_name name_of arr name =
+  let rec go i =
+    if i >= Array.length arr then raise Not_found
+    else if String.equal (name_of arr.(i)) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let find_func t name = find_by_name (fun f -> f.fname) t.funcs name
+let find_array t name = find_by_name (fun a -> a.aname) t.arrays name
+
+let n_sites t = Array.length t.sites
+
+let site_label t s =
+  if s < 0 || s >= Array.length t.sites then Printf.sprintf "<bad site %d>" s
+  else t.sites.(s).s_label
+
+let static_size t =
+  Array.fold_left (fun acc f -> acc + Array.length f.code) 0 t.funcs
+
+let static_branches t =
+  Array.fold_left
+    (fun acc f ->
+      Array.fold_left
+        (fun acc insn ->
+          match Insn.branch_site insn with Some _ -> acc + 1 | None -> acc)
+        acc f.code)
+    0 t.funcs
+
+let iter_insns t visit =
+  Array.iteri
+    (fun fid f -> Array.iteri (fun pc insn -> visit fid pc insn) f.code)
+    t.funcs

@@ -1,0 +1,65 @@
+(** Whole-program container for the RISC-like IR.
+
+    A program is a set of functions over two typed register files, a set of
+    named global arrays (the only memory), a function-pointer table for
+    indirect calls, and a table of conditional-branch sites. *)
+
+type value_class = Cint | Cfloat
+
+type array_decl = {
+  aname : string;  (** unique name, used by datasets to seed inputs *)
+  acls : value_class;
+  asize : int;
+  ainit : float;  (** initial value of every cell (truncated for int
+                      arrays); carries global-scalar initializers *)
+}
+
+type func = {
+  fname : string;  (** unique name *)
+  n_iparams : int;  (** incoming args occupy int registers [0..n_iparams-1] *)
+  n_fparams : int;  (** and float registers [0..n_fparams-1] *)
+  n_iregs : int;  (** size of the integer register file *)
+  n_fregs : int;
+  code : Insn.insn array;
+}
+
+type site_info = {
+  s_func : Insn.func_id;  (** enclosing function *)
+  s_pc : int;  (** index of the [Br] in that function's code *)
+  s_label : string;  (** source-level hint, e.g. ["while@lzw_emit#3"] *)
+}
+
+type t = {
+  pname : string;
+  funcs : func array;
+  arrays : array_decl array;
+  func_table : Insn.func_id array;
+      (** indirect-call table: a [Callind] register value indexes here *)
+  entry : Insn.func_id;
+  sites : site_info array;  (** one entry per static conditional branch *)
+}
+
+val func : t -> Insn.func_id -> func
+(** @raise Invalid_argument when out of range. *)
+
+val find_func : t -> string -> Insn.func_id
+(** Function index by name.  @raise Not_found. *)
+
+val find_array : t -> string -> Insn.array_id
+(** Array index by name.  @raise Not_found. *)
+
+val n_sites : t -> int
+(** Number of static conditional-branch sites. *)
+
+val site_label : t -> Insn.site -> string
+(** Human-readable label of a site. *)
+
+val static_size : t -> int
+(** Total static instruction count over all functions. *)
+
+val static_branches : t -> int
+(** Static count of conditional-branch instructions (equals [n_sites] for a
+    validated program). *)
+
+val iter_insns : t -> (Insn.func_id -> int -> Insn.insn -> unit) -> unit
+(** Visit every instruction as [(f, pc, insn)]. *)

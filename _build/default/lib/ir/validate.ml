@@ -1,0 +1,175 @@
+open Insn
+
+type error = { location : string; message : string }
+
+let check (p : Program.t) =
+  let errors = ref [] in
+  let report location fmt =
+    Format.kasprintf (fun message -> errors := { location; message } :: !errors) fmt
+  in
+  let n_funcs = Array.length p.funcs in
+  let n_arrays = Array.length p.arrays in
+  let seen_sites = Array.make (Array.length p.sites) false in
+  if p.entry < 0 || p.entry >= n_funcs then
+    report p.pname "entry function %d out of range" p.entry;
+  Array.iteri
+    (fun i fid ->
+      if fid < 0 || fid >= n_funcs then
+        report p.pname "func_table[%d] = %d out of range" i fid)
+    p.func_table;
+  Array.iteri
+    (fun fid (f : Program.func) ->
+      let len = Array.length f.code in
+      let loc pc = Printf.sprintf "%s/%s@%d" p.pname f.fname pc in
+      if f.n_iparams > f.n_iregs then
+        report f.fname "n_iparams %d exceeds n_iregs %d" f.n_iparams f.n_iregs;
+      if f.n_fparams > f.n_fregs then
+        report f.fname "n_fparams %d exceeds n_fregs %d" f.n_fparams f.n_fregs;
+      if len = 0 then report f.fname "empty code array";
+      let ireg pc r =
+        if r < 0 || r >= f.n_iregs then report (loc pc) "int register i%d out of range" r
+      in
+      let freg pc r =
+        if r < 0 || r >= f.n_fregs then report (loc pc) "float register f%d out of range" r
+      in
+      let target pc t =
+        if t < 0 || t >= len then report (loc pc) "branch target %d out of range" t
+      in
+      let arr pc cls a =
+        if a < 0 || a >= n_arrays then report (loc pc) "array a%d out of range" a
+        else if p.arrays.(a).acls <> cls then
+          report (loc pc) "array a%d (%s) used at wrong class" a p.arrays.(a).aname
+      in
+      let dest pc = function
+        | No_dest -> ()
+        | Int_dest r -> ireg pc r
+        | Float_dest r -> freg pc r
+      in
+      let call_arity pc callee iargs fargs =
+        if callee < 0 || callee >= n_funcs then
+          report (loc pc) "callee fn%d out of range" callee
+        else begin
+          let g = p.funcs.(callee) in
+          if List.length iargs <> g.n_iparams then
+            report (loc pc) "call to %s passes %d int args, expects %d" g.fname
+              (List.length iargs) g.n_iparams;
+          if List.length fargs <> g.n_fparams then
+            report (loc pc) "call to %s passes %d float args, expects %d" g.fname
+              (List.length fargs) g.n_fparams
+        end
+      in
+      Array.iteri
+        (fun pc insn ->
+          match insn with
+          | Iconst (d, _) -> ireg pc d
+          | Fconst (d, _) -> freg pc d
+          | Imov (d, s) | Inot (d, s) | Ineg (d, s) ->
+            ireg pc d;
+            ireg pc s
+          | Fmov (d, s) | Funop (_, d, s) ->
+            freg pc d;
+            freg pc s
+          | Ibin (_, d, a, b) | Icmp (_, d, a, b) ->
+            ireg pc d;
+            ireg pc a;
+            ireg pc b
+          | Ibini (_, d, a, _) ->
+            ireg pc d;
+            ireg pc a
+          | Fbin (_, d, a, b) ->
+            freg pc d;
+            freg pc a;
+            freg pc b
+          | Fcmp (_, d, a, b) ->
+            ireg pc d;
+            freg pc a;
+            freg pc b
+          | Itof (d, s) ->
+            freg pc d;
+            ireg pc s
+          | Ftoi (d, s) ->
+            ireg pc d;
+            freg pc s
+          | Iload (d, a, i) ->
+            ireg pc d;
+            arr pc Program.Cint a;
+            ireg pc i
+          | Istore (a, i, s) ->
+            arr pc Program.Cint a;
+            ireg pc i;
+            ireg pc s
+          | Fload (d, a, i) ->
+            freg pc d;
+            arr pc Program.Cfloat a;
+            ireg pc i
+          | Fstore (a, i, s) ->
+            arr pc Program.Cfloat a;
+            ireg pc i;
+            freg pc s
+          | Select (d, c, a, b) ->
+            ireg pc d;
+            ireg pc c;
+            ireg pc a;
+            ireg pc b
+          | Fselect (d, c, a, b) ->
+            freg pc d;
+            ireg pc c;
+            freg pc a;
+            freg pc b
+          | Br { cond; target = t; site } ->
+            ireg pc cond;
+            target pc t;
+            if site < 0 || site >= Array.length p.sites then
+              report (loc pc) "branch site %d out of range" site
+            else begin
+              if seen_sites.(site) then report (loc pc) "branch site %d reused" site;
+              seen_sites.(site) <- true;
+              let info = p.sites.(site) in
+              if info.s_func <> fid || info.s_pc <> pc then
+                report (loc pc) "site %d back-pointer mismatch (points to fn%d@%d)"
+                  site info.s_func info.s_pc
+            end
+          | Jump t -> target pc t
+          | Call { callee; iargs; fargs; dst } ->
+            List.iter (ireg pc) iargs;
+            List.iter (freg pc) fargs;
+            dest pc dst;
+            call_arity pc callee iargs fargs
+          | Callind { table; iargs; fargs; dst } ->
+            ireg pc table;
+            List.iter (ireg pc) iargs;
+            List.iter (freg pc) fargs;
+            dest pc dst
+          | Ret Ret_none -> ()
+          | Ret (Ret_int r) -> ireg pc r
+          | Ret (Ret_float r) -> freg pc r
+          | Output r -> ireg pc r
+          | Foutput r -> freg pc r
+          | Halt ->
+            if fid <> p.entry then report (loc pc) "halt outside entry function")
+        f.code;
+      (* Falling off the end of the code array is a VM error; require the
+         last instruction to be an unconditional transfer. *)
+      if len > 0 then
+        match f.code.(len - 1) with
+        | Ret _ | Jump _ | Halt -> ()
+        | _ -> report (loc (len - 1)) "function can fall off the end")
+    p.funcs;
+  Array.iteri
+    (fun site seen ->
+      if not seen then
+        report p.pname "site %d declared in Program.sites but absent from code" site)
+    seen_sites;
+  List.rev !errors
+
+let check_exn p =
+  match check p with
+  | [] -> ()
+  | errs ->
+    let lines =
+      List.map (fun e -> Printf.sprintf "  %s: %s" e.location e.message) errs
+    in
+    invalid_arg
+      (Printf.sprintf "Validate.check_exn: %d error(s) in %s:\n%s"
+         (List.length errs) p.pname
+         (String.concat "\n" lines))

@@ -1,0 +1,17 @@
+(** Static well-formedness checks for IR programs.
+
+    The VM assumes validated programs; the compiler validates its output in
+    tests.  Checks: register indices within the declared files, parameter
+    counts within the files, branch/jump targets in range, call argument
+    arities consistent with callee parameter counts, array ids in range,
+    function-table entries in range, branch sites numbered densely [0..n-1]
+    with correct back-pointers in [Program.sites], and a terminating last
+    instruction on every code path that can fall off the end. *)
+
+type error = { location : string; message : string }
+
+val check : Program.t -> error list
+(** All violations found (empty means well-formed). *)
+
+val check_exn : Program.t -> unit
+(** @raise Invalid_argument with a readable report if [check] is non-empty. *)

@@ -1,0 +1,1 @@
+lib/metrics/breaks.ml: Fisher92_ir Fisher92_vm

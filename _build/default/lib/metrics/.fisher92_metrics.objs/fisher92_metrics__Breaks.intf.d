@@ -1,0 +1,1 @@
+lib/metrics/breaks.mli: Fisher92_vm

@@ -1,0 +1,1 @@
+lib/metrics/coverage.ml: Array Cross Fisher92_predict Fisher92_profile Fisher92_util List Measure String

@@ -1,0 +1,1 @@
+lib/metrics/cross.ml: Fisher92_predict List Measure String

@@ -1,0 +1,1 @@
+lib/metrics/cross.mli: Fisher92_predict Measure

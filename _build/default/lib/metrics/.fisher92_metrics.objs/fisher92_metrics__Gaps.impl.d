@@ -1,0 +1,1 @@
+lib/metrics/gaps.ml: Array Fisher92_vm

@@ -1,0 +1,1 @@
+lib/metrics/gaps.mli: Fisher92_vm

@@ -1,0 +1,1 @@
+lib/metrics/measure.ml: Breaks Fisher92_predict Fisher92_profile Fisher92_vm

@@ -1,0 +1,34 @@
+module Vm = Fisher92_vm.Vm
+module I = Fisher92_ir.Insn
+
+type counts = {
+  instructions : int;
+  cond_branches : int;
+  unavoidable : int;
+  direct_call_ret : int;
+  jumps : int;
+}
+
+let of_result (r : Vm.result) =
+  {
+    instructions = r.total - Vm.kind_count r I.K_halt;
+    cond_branches = Vm.kind_count r I.K_cbranch;
+    unavoidable = Vm.kind_count r I.K_callind + r.rets_from_indirect;
+    direct_call_ret = Vm.kind_count r I.K_call + r.rets_from_direct;
+    jumps = Vm.kind_count r I.K_jump;
+  }
+
+let unpredicted_breaks ~with_calls c =
+  c.cond_branches + c.unavoidable + if with_calls then c.direct_call_ret else 0
+
+let predicted_breaks ~mispredicts c =
+  if mispredicts < 0 || mispredicts > c.cond_branches then
+    invalid_arg "Breaks.predicted_breaks: mispredict count out of range";
+  mispredicts + c.unavoidable
+
+let per_break ~instructions ~breaks =
+  if breaks = 0 then infinity
+  else float_of_int instructions /. float_of_int breaks
+
+let instructions_per_branch c =
+  per_break ~instructions:c.instructions ~breaks:c.cond_branches

@@ -1,0 +1,40 @@
+(** Breaks-in-control accounting (paper §2).
+
+    The paper classifies control transfers as:
+
+    - {b unavoidable breaks}: indirect calls/jumps and their returns — no
+      compiler trick moves ILP past them;
+    - {b avoidable breaks}: direct calls and returns (reported both ways),
+      unconditional jumps (assumed eliminated by code layout, so never
+      counted), and multi-destination branches (already lowered by our
+      compiler into conditional-branch cascades, so they appear as
+      conditional branches);
+    - {b conditional branches}: breaks when unpredicted or mispredicted.
+
+    Instructions are everything the machine executed.  [Halt] is the
+    simulator's stop and is not counted. *)
+
+type counts = {
+  instructions : int;  (** dynamic instructions (excluding [Halt]) *)
+  cond_branches : int;  (** dynamic conditional branches *)
+  unavoidable : int;  (** indirect calls + their returns *)
+  direct_call_ret : int;  (** direct calls + their returns *)
+  jumps : int;  (** unconditional jumps (never breaks, reported for info) *)
+}
+
+val of_result : Fisher92_vm.Vm.result -> counts
+
+val unpredicted_breaks : with_calls:bool -> counts -> int
+(** Figure 1's denominator: every conditional branch is a break, plus the
+    unavoidable breaks; [with_calls] adds direct calls and returns (the
+    white bars). *)
+
+val predicted_breaks : mispredicts:int -> counts -> int
+(** Figure 2's denominator: only mispredicted conditional branches break,
+    plus the unavoidable breaks (direct calls assumed inlined). *)
+
+val per_break : instructions:int -> breaks:int -> float
+(** Instructions per break; [infinity] when there are no breaks. *)
+
+val instructions_per_branch : counts -> float
+(** Branch density (the paper: li ≈ every 10 instructions, fpppp ≈ 170). *)

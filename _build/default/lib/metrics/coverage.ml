@@ -1,0 +1,69 @@
+module Profile = Fisher92_profile.Profile
+module Prediction = Fisher92_predict.Prediction
+module Stats = Fisher92_util.Stats
+
+type pair = {
+  cv_predictor : string;
+  cv_target : string;
+  cv_coverage : float;
+  cv_agreement : float;
+  cv_quality : float;
+}
+
+let one ~(predictor : Measure.run) ~(target : Measure.run) =
+  let p = predictor.profile and t = target.profile in
+  let covered = ref 0 in
+  let agreeing = ref 0 in
+  let total = Profile.total_branches t in
+  Array.iteri
+    (fun s n ->
+      if n > 0 && p.Profile.encountered.(s) > 0 then begin
+        covered := !covered + n;
+        match (Profile.majority_taken p s, Profile.majority_taken t s) with
+        | Some a, Some b when a = b -> agreeing := !agreeing + n
+        | _ -> ()
+      end)
+    t.Profile.encountered;
+  {
+    cv_predictor = predictor.dataset;
+    cv_target = target.dataset;
+    cv_coverage = Stats.ratio !covered total;
+    cv_agreement = Stats.ratio !agreeing (max !covered 1);
+    cv_quality = Cross.pair_quality ~predictor ~target;
+  }
+
+let pairs runs =
+  List.concat_map
+    (fun (target : Measure.run) ->
+      List.filter_map
+        (fun (predictor : Measure.run) ->
+          if String.equal predictor.dataset target.dataset then None
+          else Some (one ~predictor ~target))
+        runs)
+    runs
+
+type correlation = {
+  cr_program : string;
+  cr_n : int;
+  cr_coverage_r : float;
+  cr_agreement_r : float;
+}
+
+let correlate runs =
+  match runs with
+  | [] | [ _ ] -> invalid_arg "Coverage.correlate: need at least two runs"
+  | first :: _ ->
+    List.iter
+      (fun (r : Measure.run) ->
+        if not (String.equal r.program first.Measure.program) then
+          invalid_arg "Coverage.correlate: mixed programs")
+      runs;
+    let ps = pairs runs in
+    {
+      cr_program = first.Measure.program;
+      cr_n = List.length ps;
+      cr_coverage_r =
+        Stats.pearson (List.map (fun p -> (p.cv_coverage, p.cv_quality)) ps);
+      cr_agreement_r =
+        Stats.pearson (List.map (fun p -> (p.cv_agreement, p.cv_quality)) ps);
+    }

@@ -1,0 +1,35 @@
+(** The paper's "Coverage" informal observation, §3: "we felt that when a
+    dataset predictor did poorly, it was usually because it emphasized a
+    different part of the program than the target dataset, rather than
+    that the branches changed direction.  We tried many schemes to
+    capture this concept in some measurable quantity ... Nothing we
+    tried seemed to correlate well with the results."
+
+    This module reproduces the attempt with two of the paper's candidate
+    quantities and correlates them against prediction quality. *)
+
+type pair = {
+  cv_predictor : string;
+  cv_target : string;
+  cv_coverage : float;
+      (** fraction of the target's dynamic branches whose site the
+          predictor exercised at least once (the "emphasis" overlap) *)
+  cv_agreement : float;
+      (** on the covered sites, the fraction of the target's dynamic
+          branches whose majority direction the two runs share (the
+          "branches changed direction" alternative) *)
+  cv_quality : float;  (** prediction quality, as in {!Cross} *)
+}
+
+val pairs : Measure.run list -> pair list
+(** Every ordered (predictor, target) pair of one program's runs. *)
+
+type correlation = {
+  cr_program : string;
+  cr_n : int;  (** pairs *)
+  cr_coverage_r : float;  (** Pearson r of coverage vs quality *)
+  cr_agreement_r : float;  (** Pearson r of direction agreement vs quality *)
+}
+
+val correlate : Measure.run list -> correlation
+(** @raise Invalid_argument on fewer than two runs or mixed programs. *)

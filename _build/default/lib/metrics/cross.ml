@@ -1,0 +1,88 @@
+module Prediction = Fisher92_predict.Prediction
+module Combine = Fisher92_predict.Combine
+
+type entry = {
+  target : string;
+  self_ipb : float;
+  others_ipb : float option;
+  best : (string * float) option;
+  worst : (string * float) option;
+}
+
+let pair_quality ~predictor ~target =
+  let p = Prediction.of_profile predictor.Measure.profile in
+  Measure.prediction_quality target p
+
+let check_same_program runs =
+  match runs with
+  | [] -> invalid_arg "Cross.analyze: no runs"
+  | first :: rest ->
+    List.iter
+      (fun r ->
+        if not (String.equal r.Measure.program first.Measure.program) then
+          invalid_arg "Cross.analyze: runs from different programs")
+      rest;
+    first
+
+let analyze ?(strategy = Combine.Scaled) runs =
+  let (_ : Measure.run) = check_same_program runs in
+  List.map
+    (fun target ->
+      let others =
+        List.filter
+          (fun r -> not (String.equal r.Measure.dataset target.Measure.dataset))
+          runs
+      in
+      let others_ipb =
+        match others with
+        | [] -> None
+        | _ ->
+          let profiles = List.map (fun r -> r.Measure.profile) others in
+          let p = Combine.predict strategy profiles in
+          Some (Measure.ipb_predicted target p)
+      in
+      let qualities =
+        List.map
+          (fun predictor ->
+            (predictor.Measure.dataset, pair_quality ~predictor ~target))
+          others
+      in
+      let best =
+        List.fold_left
+          (fun acc (name, q) ->
+            match acc with
+            | Some (_, bq) when bq >= q -> acc
+            | _ -> Some (name, q))
+          None qualities
+      in
+      let worst =
+        List.fold_left
+          (fun acc (name, q) ->
+            match acc with
+            | Some (_, wq) when wq <= q -> acc
+            | _ -> Some (name, q))
+          None qualities
+      in
+      {
+        target = target.Measure.dataset;
+        self_ipb = Measure.ipb_self target;
+        others_ipb;
+        best;
+        worst;
+      })
+    runs
+
+let matrix runs =
+  List.concat_map
+    (fun target ->
+      List.filter_map
+        (fun predictor ->
+          if String.equal predictor.Measure.dataset target.Measure.dataset then
+            None
+          else
+            Some
+              ( predictor.Measure.dataset,
+                target.Measure.dataset,
+                pair_quality ~predictor ~target ))
+        runs)
+    runs

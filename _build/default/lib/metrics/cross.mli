@@ -1,0 +1,28 @@
+(** Cross-dataset prediction over the runs of one program: the machinery
+    behind Figures 2 and 3 and the compress↔uncompress observation. *)
+
+type entry = {
+  target : string;  (** dataset being predicted *)
+  self_ipb : float;  (** best possible: dataset predicts itself *)
+  others_ipb : float option;
+      (** scaled sum of all other datasets as predictor; [None] when the
+          program has a single dataset *)
+  best : (string * float) option;
+      (** best single other dataset: name and quality ratio (1.0 = as good
+          as self-prediction) *)
+  worst : (string * float) option;  (** worst single other dataset *)
+}
+
+val analyze :
+  ?strategy:Fisher92_predict.Combine.strategy ->
+  Measure.run list ->
+  entry list
+(** One entry per run, in input order.  All runs must be of the same
+    program.  Default combining strategy is [Scaled], as in the paper.
+    @raise Invalid_argument on an empty list or mixed programs. *)
+
+val pair_quality : predictor:Measure.run -> target:Measure.run -> float
+(** Quality ratio of predicting [target] with [predictor]'s profile. *)
+
+val matrix : Measure.run list -> (string * string * float) list
+(** Every (predictor, target, quality) pair with predictor ≠ target. *)

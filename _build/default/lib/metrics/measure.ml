@@ -1,0 +1,41 @@
+module Profile = Fisher92_profile.Profile
+module Prediction = Fisher92_predict.Prediction
+
+type run = {
+  program : string;
+  dataset : string;
+  counts : Breaks.counts;
+  profile : Profile.t;
+}
+
+let of_result ~program ~dataset (r : Fisher92_vm.Vm.result) =
+  {
+    program;
+    dataset;
+    counts = Breaks.of_result r;
+    profile = Profile.of_run ~program r;
+  }
+
+let self_prediction run = Prediction.of_profile run.profile
+
+let ipb_unpredicted ?(with_calls = false) run =
+  Breaks.per_break ~instructions:run.counts.instructions
+    ~breaks:(Breaks.unpredicted_breaks ~with_calls run.counts)
+
+let ipb_predicted run prediction =
+  let mispredicts = Prediction.mispredicts prediction run.profile in
+  Breaks.per_break ~instructions:run.counts.instructions
+    ~breaks:(Breaks.predicted_breaks ~mispredicts run.counts)
+
+let ipb_self run = ipb_predicted run (self_prediction run)
+
+let percent_correct run prediction =
+  Prediction.percent_correct prediction run.profile
+
+let percent_taken run = Profile.percent_taken run.profile
+
+let prediction_quality run prediction =
+  let self = ipb_self run in
+  let this = ipb_predicted run prediction in
+  if self = infinity then if this = infinity then 1.0 else 0.0
+  else this /. self

@@ -1,0 +1,41 @@
+(** Per-run measurements: one executed (program, dataset) pair with its
+    instruction counts and branch profile, and the paper's derived
+    quantities. *)
+
+type run = {
+  program : string;
+  dataset : string;
+  counts : Breaks.counts;
+  profile : Fisher92_profile.Profile.t;
+}
+
+val of_result :
+  program:string -> dataset:string -> Fisher92_vm.Vm.result -> run
+
+val self_prediction : run -> Fisher92_predict.Prediction.t
+(** The run's own majority directions — the paper's "best possible
+    prediction" upper bound. *)
+
+val ipb_unpredicted : ?with_calls:bool -> run -> float
+(** Figure 1: instructions per break with no branch prediction.
+    [with_calls] defaults to false (black bars). *)
+
+val ipb_predicted : run -> Fisher92_predict.Prediction.t -> float
+(** Figure 2: instructions per break when branches are predicted; only
+    mispredicts and unavoidable transfers break. *)
+
+val ipb_self : run -> float
+(** [ipb_predicted run (self_prediction run)]. *)
+
+val percent_correct : run -> Fisher92_predict.Prediction.t -> float
+(** Traditional measure: % of dynamic conditional branches predicted
+    correctly. *)
+
+val percent_taken : run -> float
+(** % of dynamic conditional branches that were taken. *)
+
+val prediction_quality : run -> Fisher92_predict.Prediction.t -> float
+(** Figure 3's ratio: [ipb_predicted run p / ipb_self run], i.e. the
+    fraction of the best possible instructions-per-break achieved (1.0 =
+    as good as self-prediction).  Defined as 1.0 when the run has no
+    breaks at all under self prediction. *)

@@ -1,0 +1,1 @@
+lib/minic/compile.ml: Fisher92_ir Fold Lower Passes Typecheck

@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Array Ast Fisher92_ir Hashtbl List Printf Typecheck

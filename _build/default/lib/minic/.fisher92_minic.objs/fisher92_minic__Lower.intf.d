@@ -1,0 +1,1 @@
+lib/minic/lower.mli: Fisher92_ir Typecheck

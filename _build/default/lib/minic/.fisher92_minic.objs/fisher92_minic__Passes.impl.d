@@ -1,0 +1,1 @@
+lib/minic/passes.ml: Ast Fold Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/minic/passes.mli: Ast

@@ -1,0 +1,39 @@
+type options = {
+  fold : bool;
+  dce : bool;
+  dce_seeded_globals : string list;
+  inline : bool;
+  inline_max_stmts : int;
+  switch_heat : (fname:string -> int -> int) option;
+}
+
+let default_options =
+  {
+    fold = true;
+    dce = false;
+    dce_seeded_globals = [];
+    inline = false;
+    inline_max_stmts = 8;
+    switch_heat = None;
+  }
+
+let optimized_ast options prog =
+  let prog =
+    match options.switch_heat with
+    | Some heat -> Passes.reorder_switches ~heat prog
+    | None -> prog
+  in
+  let prog = if options.inline then Passes.inline_calls ~max_stmts:options.inline_max_stmts prog else prog in
+  let prog = if options.fold then Fold.program prog else prog in
+  let prog =
+    if options.dce then Passes.dce ~seeded_globals:options.dce_seeded_globals prog
+    else prog
+  in
+  prog
+
+let compile ?(options = default_options) prog =
+  let prog = optimized_ast options prog in
+  let env = Typecheck.check prog in
+  let ir = Lower.lower env in
+  Fisher92_ir.Validate.check_exn ir;
+  ir

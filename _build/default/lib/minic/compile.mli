@@ -1,0 +1,34 @@
+(** The compile pipeline: typecheck → (passes) → lower → validate.
+
+    The default option set reproduces the paper's measured configuration:
+    classical expression optimizations on ([fold]), global dead-code
+    elimination off ([dce = false]; the paper had to disable it to keep
+    IFPROBBER and MFPixie branch counts aligned, and Table 1 measures what
+    that leaves in), inlining off (Figure 1 quantifies call/return breaks
+    without it). *)
+
+type options = {
+  fold : bool;  (** literal constant folding (default true) *)
+  dce : bool;  (** global dead-code elimination (default false) *)
+  dce_seeded_globals : string list;
+      (** globals that datasets overwrite at load time; never treated as
+          constants by DCE *)
+  inline : bool;  (** inline small functions (default false) *)
+  inline_max_stmts : int;  (** inliner size threshold (default 8) *)
+  switch_heat : (fname:string -> int -> int) option;
+      (** when set, reorder switch cascades hottest-first using these
+          per-(function, case-constant) selection counts before lowering
+          — the paper's suggested feedback use for multi-way branches
+          (default [None], i.e. source order like the Multiflow compiler) *)
+}
+
+val default_options : options
+
+val compile : ?options:options -> Ast.program -> Fisher92_ir.Program.t
+(** @raise Typecheck.Type_error on an ill-typed program
+    @raise Invalid_argument if the generated IR fails validation (a
+    compiler bug, not a user error). *)
+
+val optimized_ast : options -> Ast.program -> Ast.program
+(** The AST after the option-selected passes, before lowering (exposed for
+    tests and the dead-code experiment). *)

@@ -1,0 +1,82 @@
+open Ast
+
+let i n = Int n
+let fl x = Float x
+let v name = Var name
+let g name = Global name
+let ld arr idx = Load (arr, idx)
+
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( /: ) a b = Binop (Div, a, b)
+let ( %: ) a b = Binop (Rem, a, b)
+
+let ( =: ) a b = Cmp (Ceq, a, b)
+let ( <>: ) a b = Cmp (Cne, a, b)
+let ( <: ) a b = Cmp (Clt, a, b)
+let ( <=: ) a b = Cmp (Cle, a, b)
+let ( >: ) a b = Cmp (Cgt, a, b)
+let ( >=: ) a b = Cmp (Cge, a, b)
+
+let ( &&: ) a b = And (a, b)
+let ( ||: ) a b = Or (a, b)
+let not_ e = Unop (Lnot, e)
+let neg e = Unop (Neg, e)
+
+let band a b = Binop (Band, a, b)
+let bor a b = Binop (Bor, a, b)
+let bxor a b = Binop (Bxor, a, b)
+let shl a b = Binop (Shl, a, b)
+let shr a b = Binop (Shr, a, b)
+let imin a b = Binop (Imin, a, b)
+let imax a b = Binop (Imax, a, b)
+
+let sqrt_ e = Unop (Fsqrt, e)
+let abs_ e = Unop (Fabs, e)
+let exp_ e = Unop (Fexp, e)
+let log_ e = Unop (Flog, e)
+let sin_ e = Unop (Fsin, e)
+let cos_ e = Unop (Fcos, e)
+
+let cond_ c a b = Cond (c, a, b)
+let call name args = Call (name, args)
+let callp ?ret f args = Call_ptr (f, args, ret)
+let fnptr name = Fnptr name
+let to_int e = Cast (Tint, e)
+let to_float e = Cast (Tfloat, e)
+
+let leti name e = Let (name, Tint, e)
+let letf name e = Let (name, Tfloat, e)
+let set name e = Assign (name, e)
+let gset name e = Global_assign (name, e)
+let st arr idx value = Store (arr, idx, value)
+let if_ c a b = If (c, a, b)
+let when_ c a = If (c, a, [])
+let while_ c body = While (c, body)
+let for_ var lo hi body = For (var, lo, hi, body)
+let switch_ e cases default = Switch (e, cases, default)
+let case label body = ([ label ], body)
+let cases labels body = (labels, body)
+let expr_ e = Expr e
+let ret e = Return (Some e)
+let ret0 = Return None
+let brk = Break
+let cont = Continue
+let out e = Output e
+let incr_ name = Assign (name, Binop (Add, Var name, Int 1))
+
+let pi name = { p_name = name; p_ty = Tint }
+let pf name = { p_name = name; p_ty = Tfloat }
+
+let fn name params ?ret body =
+  { f_name = name; f_params = params; f_ret = ret; f_body = body }
+
+let gint name init = { g_name = name; g_ty = Tint; g_init = float_of_int init }
+let gfloat name init = { g_name = name; g_ty = Tfloat; g_init = init }
+let iarr name size = { a_name = name; a_ty = Tint; a_size = size }
+let farr name size = { a_name = name; a_ty = Tfloat; a_size = size }
+
+let program prog_name ~entry ?(fn_table = []) ?(globals = []) ?(arrays = [])
+    funcs =
+  { prog_name; globals; arrays; funcs; entry; fn_table }

@@ -1,0 +1,116 @@
+(** Combinators for writing MiniC programs in OCaml.
+
+    All workload programs are written against this module.  Arithmetic and
+    comparison operators are type-agnostic (the typechecker resolves int
+    vs. float from the operands), so [v "x" +: i 1] and
+    [v "y" +: fl 1.0] both work. *)
+
+open Ast
+
+(** {1 Expressions} *)
+
+val i : int -> expr
+val fl : float -> expr
+val v : string -> expr  (** local variable / parameter *)
+
+val g : string -> expr  (** global scalar *)
+
+val ld : string -> expr -> expr  (** array element *)
+
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val ( %: ) : expr -> expr -> expr  (** remainder, int only *)
+
+val ( =: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+
+val ( &&: ) : expr -> expr -> expr  (** short-circuit: compiles to a branch *)
+
+val ( ||: ) : expr -> expr -> expr  (** short-circuit: compiles to a branch *)
+
+val not_ : expr -> expr
+val neg : expr -> expr
+
+val band : expr -> expr -> expr
+val bor : expr -> expr -> expr
+val bxor : expr -> expr -> expr
+val shl : expr -> expr -> expr
+val shr : expr -> expr -> expr
+val imin : expr -> expr -> expr
+val imax : expr -> expr -> expr
+
+val sqrt_ : expr -> expr
+val abs_ : expr -> expr
+val exp_ : expr -> expr
+val log_ : expr -> expr
+val sin_ : expr -> expr
+val cos_ : expr -> expr
+
+val cond_ : expr -> expr -> expr -> expr
+(** ternary; branch-free (select) when both arms are pure *)
+
+val call : string -> expr list -> expr
+val callp : ?ret:ty -> expr -> expr list -> expr  (** indirect call *)
+
+val fnptr : string -> expr  (** function-pointer value (table slot) *)
+
+val to_int : expr -> expr
+val to_float : expr -> expr
+
+(** {1 Statements} *)
+
+val leti : string -> expr -> stmt  (** declare an int local *)
+
+val letf : string -> expr -> stmt  (** declare a float local *)
+
+val set : string -> expr -> stmt
+val gset : string -> expr -> stmt
+val st : string -> expr -> expr -> stmt  (** [st arr index value] *)
+
+val if_ : expr -> block -> block -> stmt
+val when_ : expr -> block -> stmt  (** [if] without [else] *)
+
+val while_ : expr -> block -> stmt
+val for_ : string -> expr -> expr -> block -> stmt
+    (** [for_ v lo hi body]: v from lo while v < hi, step 1 *)
+
+val switch_ : expr -> (int list * block) list -> block -> stmt
+val case : int -> block -> int list * block
+val cases : int list -> block -> int list * block
+val expr_ : expr -> stmt  (** evaluate for effect *)
+
+val ret : expr -> stmt
+val ret0 : stmt
+val brk : stmt
+val cont : stmt
+val out : expr -> stmt
+val incr_ : string -> stmt  (** v <- v + 1 *)
+
+(** {1 Declarations} *)
+
+val pi : string -> param  (** int parameter *)
+
+val pf : string -> param
+
+val fn : string -> param list -> ?ret:ty -> block -> fundecl
+(** [ret] omitted means procedure *)
+
+val gint : string -> int -> global_decl
+val gfloat : string -> float -> global_decl
+val iarr : string -> int -> array_decl
+val farr : string -> int -> array_decl
+
+val program :
+  string ->
+  entry:string ->
+  ?fn_table:string list ->
+  ?globals:global_decl list ->
+  ?arrays:array_decl list ->
+  fundecl list ->
+  program

@@ -1,0 +1,135 @@
+open Ast
+
+let truth b = Int (if b then 1 else 0)
+
+let icmp c (a : int) b =
+  match c with
+  | Ceq -> a = b
+  | Cne -> a <> b
+  | Clt -> a < b
+  | Cle -> a <= b
+  | Cgt -> a > b
+  | Cge -> a >= b
+
+let fcmp c (a : float) b =
+  match c with
+  | Ceq -> a = b
+  | Cne -> a <> b
+  | Clt -> a < b
+  | Cle -> a <= b
+  | Cgt -> a > b
+  | Cge -> a >= b
+
+(* Mirrors the VM: shifts mask their count, division by zero is left
+   unfolded so the trap still happens at the original point. *)
+let ibinop op a b =
+  match op with
+  | Add -> Some (a + b)
+  | Sub -> Some (a - b)
+  | Mul -> Some (a * b)
+  | Div -> if b = 0 then None else Some (a / b)
+  | Rem -> if b = 0 then None else Some (a mod b)
+  | Band -> Some (a land b)
+  | Bor -> Some (a lor b)
+  | Bxor -> Some (a lxor b)
+  | Shl -> Some (a lsl (b land 63))
+  | Shr -> Some (a asr (b land 63))
+  | Imin -> Some (min a b)
+  | Imax -> Some (max a b)
+
+let fbinop op a b =
+  match op with
+  | Add -> Some (a +. b)
+  | Sub -> Some (a -. b)
+  | Mul -> Some (a *. b)
+  | Div -> Some (a /. b)
+  | Imin -> Some (Float.min a b)
+  | Imax -> Some (Float.max a b)
+  | Rem | Band | Bor | Bxor | Shl | Shr -> None
+
+let rec expr e =
+  match e with
+  | Int _ | Float _ | Var _ | Global _ | Fnptr _ -> e
+  | Load (a, idx) -> Load (a, expr idx)
+  | Unop (op, a) -> (
+    let a = expr a in
+    match (op, a) with
+    | Neg, Int k -> Int (-k)
+    | Neg, Float x -> Float (-.x)
+    | Lnot, Int k -> truth (k = 0)
+    | Fabs, Float x -> Float (Float.abs x)
+    | Fsqrt, Float x when x >= 0.0 -> Float (sqrt x)
+    | _ -> Unop (op, a))
+  | Binop (op, a, b) -> (
+    let a = expr a and b = expr b in
+    match (a, b) with
+    | Int x, Int y -> (
+      match ibinop op x y with Some r -> Int r | None -> Binop (op, a, b))
+    | Float x, Float y -> (
+      match fbinop op x y with Some r -> Float r | None -> Binop (op, a, b))
+    | _ -> (
+      (* algebraic identities that do not change evaluation structure *)
+      match (op, a, b) with
+      | (Add | Sub | Bor | Bxor | Shl | Shr), x, Int 0 -> x
+      | Add, Int 0, x -> x
+      | Mul, x, Int 1 | Div, x, Int 1 -> x
+      | Mul, Int 1, x -> x
+      | (Add | Sub), x, Float 0.0 -> x
+      | Add, Float 0.0, x -> x
+      | (Mul | Div), x, Float 1.0 -> x
+      | Mul, Float 1.0, x -> x
+      | _ -> Binop (op, a, b)))
+  | Cmp (c, a, b) -> (
+    let a = expr a and b = expr b in
+    match (a, b) with
+    | Int x, Int y -> truth (icmp c x y)
+    | Float x, Float y -> truth (fcmp c x y)
+    | _ -> Cmp (c, a, b))
+  | And (a, b) -> (
+    let a = expr a and b = expr b in
+    match a with
+    | Int 0 -> Int 0
+    | Int _ -> (
+      match b with Int k -> truth (k <> 0) | _ -> And (a, b))
+    | _ -> And (a, b))
+  | Or (a, b) -> (
+    let a = expr a and b = expr b in
+    match a with
+    | Int 0 -> ( match b with Int k -> truth (k <> 0) | _ -> Or (a, b))
+    | Int _ -> Int 1
+    | _ -> Or (a, b))
+  | Cond (c, a, b) -> (
+    let c = expr c and a = expr a and b = expr b in
+    match c with Int 0 -> b | Int _ -> a | _ -> Cond (c, a, b))
+  | Call (name, args) -> Call (name, List.map expr args)
+  | Call_ptr (f, args, ret) -> Call_ptr (expr f, List.map expr args, ret)
+  | Cast (ty, a) -> (
+    let a = expr a in
+    match (ty, a) with
+    | Tint, Int _ -> a
+    | Tfloat, Float _ -> a
+    | Tint, Float x -> Int (int_of_float x)
+    | Tfloat, Int k -> Float (float_of_int k)
+    | _ -> Cast (ty, a))
+
+let rec stmt s =
+  match s with
+  | Let (n, ty, e) -> Let (n, ty, expr e)
+  | Assign (n, e) -> Assign (n, expr e)
+  | Global_assign (n, e) -> Global_assign (n, expr e)
+  | Store (a, i, v) -> Store (a, expr i, expr v)
+  | If (c, t, f) -> If (expr c, block t, block f)
+  | While (c, body) -> While (expr c, block body)
+  | For (var, lo, hi, body) -> For (var, expr lo, expr hi, block body)
+  | Switch (e, cases, default) ->
+    Switch
+      (expr e, List.map (fun (ls, b) -> (ls, block b)) cases, block default)
+  | Expr e -> Expr (expr e)
+  | Return (Some e) -> Return (Some (expr e))
+  | Return None | Break | Continue -> s
+  | Output e -> Output (expr e)
+
+and block b = List.map stmt b
+
+let program (p : program) =
+  { p with funcs = List.map (fun f -> { f with f_body = block f.f_body }) p.funcs }

@@ -1,0 +1,17 @@
+(** Literal constant folding — the "classical optimization" subset that the
+    paper's measured builds kept enabled.
+
+    Folding only combines literals and applies algebraic identities whose
+    rewrite cannot change which statements execute ([x + 0], [x * 1], ...).
+    It never substitutes globals and never deletes statements or branches:
+    branch removal belongs to {!Passes.dce}, which the paper's measured
+    configuration had switched off (Table 1 quantifies what that leaves
+    behind). *)
+
+val expr : Ast.expr -> Ast.expr
+(** Fold one expression bottom-up. *)
+
+val block : Ast.block -> Ast.block
+(** Fold every expression of a block, leaving statement structure intact. *)
+
+val program : Ast.program -> Ast.program

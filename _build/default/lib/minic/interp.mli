@@ -1,0 +1,35 @@
+(** Reference interpreter for MiniC, used for differential testing of the
+    compiler: a program must produce the same output stream through
+    [Interp.run] as through [Compile.compile] + [Vm.run].
+
+    Semantics match the compiled code: locals are zero before their [Let]
+    executes, [for] re-evaluates its bound each iteration and [continue]
+    jumps to the increment, division by zero and out-of-range array
+    accesses raise {!Error}, shifts mask their count to 62 bits, and
+    float-to-int casts truncate.  One deliberate difference is documented
+    in {!Dsl.cond_}: a pure ternary compiles to an eager [select], so its
+    untaken arm may trap in the VM but not here — programs must keep pure
+    ternary arms in-bounds. *)
+
+exception Error of string
+
+type output = O_int of int | O_float of float
+
+type result = {
+  outputs : output list;
+  return_value : int option;  (** entry's integer return, if any *)
+  steps : int;  (** AST nodes evaluated; a coarse work measure, not the
+                    instruction count (the VM owns that) *)
+}
+
+val run :
+  ?max_steps:int ->
+  Ast.program ->
+  iargs:int list ->
+  fargs:float list ->
+  arrays:(string * [ `Ints of int array | `Floats of float array ]) list ->
+  result
+(** Execute the entry function, mirroring {!Fisher92_vm.Vm.run}'s calling
+    convention: scalar arguments feed the entry function's parameters and
+    [arrays] seeds global arrays and ["$global"] scalar cells by name.
+    Default [max_steps] is 200 million. *)

@@ -1,0 +1,725 @@
+open Ast
+module I = Fisher92_ir.Insn
+module P = Fisher92_ir.Program
+
+let scalar_array_name name = "$" ^ name
+
+(* Pre-resolution instruction stream: labels and label-relative transfers
+   are patched into pc-relative form once the whole function is emitted. *)
+type item =
+  | Ins of I.insn
+  | Lbl of int
+  | Br_to of I.ireg * int * int  (* cond reg, label, site id *)
+  | Jump_to of int
+
+type loop_ctx = { l_continue : int; l_break : int }
+
+type fctx = {
+  env : Typecheck.env;
+  fname : string;
+  fid : int;
+  func_id : string -> int;
+  array_id : string -> int;
+  slot_of : string -> int;
+  fresh_site : string -> int;  (* takes a label hint, returns a site id *)
+  ivar : (string, int) Hashtbl.t;
+  fvar : (string, int) Hashtbl.t;
+  mutable items : item list;  (* reversed *)
+  mutable next_label : int;
+  base_i : int;  (* first int temp register *)
+  base_f : int;
+  mutable next_i : int;
+  mutable next_f : int;
+  mutable max_i : int;
+  mutable max_f : int;
+  mutable stmt_counter : int;
+}
+
+let emit ctx insn = ctx.items <- Ins insn :: ctx.items
+
+let fresh_label ctx =
+  let l = ctx.next_label in
+  ctx.next_label <- l + 1;
+  l
+
+let place ctx label = ctx.items <- Lbl label :: ctx.items
+let jump_to ctx label = ctx.items <- Jump_to label :: ctx.items
+
+let branch_to ctx cond label ~hint =
+  let site = ctx.fresh_site (Printf.sprintf "%s#%d:%s" ctx.fname ctx.stmt_counter hint) in
+  ctx.items <- Br_to (cond, label, site) :: ctx.items
+
+let alloc_i ctx =
+  let r = ctx.next_i in
+  ctx.next_i <- r + 1;
+  if ctx.next_i > ctx.max_i then ctx.max_i <- ctx.next_i;
+  r
+
+let alloc_f ctx =
+  let r = ctx.next_f in
+  ctx.next_f <- r + 1;
+  if ctx.next_f > ctx.max_f then ctx.max_f <- ctx.next_f;
+  r
+
+let with_temps ctx body =
+  let si = ctx.next_i and sf = ctx.next_f in
+  body ();
+  ctx.next_i <- si;
+  ctx.next_f <- sf
+
+let expr_ty ctx e = Typecheck.type_expr ctx.env ~fname:ctx.fname e
+
+let ibin_of = function
+  | Add -> I.Add
+  | Sub -> I.Sub
+  | Mul -> I.Mul
+  | Div -> I.Div
+  | Rem -> I.Rem
+  | Band -> I.And
+  | Bor -> I.Or
+  | Bxor -> I.Xor
+  | Shl -> I.Shl
+  | Shr -> I.Shr
+  | Imin -> I.Min
+  | Imax -> I.Max
+
+let fbin_of = function
+  | Add -> I.Fadd
+  | Sub -> I.Fsub
+  | Mul -> I.Fmul
+  | Div -> I.Fdiv
+  | Imin -> I.Fmin
+  | Imax -> I.Fmax
+  | Rem | Band | Bor | Bxor | Shl | Shr ->
+    invalid_arg "Lower.fbin_of: integer-only operator on floats"
+
+let cmp_of = function
+  | Ceq -> I.Eq
+  | Cne -> I.Ne
+  | Clt -> I.Lt
+  | Cle -> I.Le
+  | Cgt -> I.Gt
+  | Cge -> I.Ge
+
+let negate_cmp = function
+  | Ceq -> Cne
+  | Cne -> Ceq
+  | Clt -> Cge
+  | Cle -> Cgt
+  | Cgt -> Cle
+  | Cge -> Clt
+
+(* An expression already known to evaluate to 0 or 1, sparing an extra
+   normalization when used as a boolean. *)
+let rec is_boolish = function
+  | Cmp _ | And _ | Or _ | Unop (Lnot, _) -> true
+  | Int (0 | 1) -> true
+  | Cond (_, a, b) -> is_boolish a && is_boolish b
+  | _ -> false
+
+let rec eval_int ?dst ctx e : I.ireg =
+  let into dst_opt make =
+    let d = match dst_opt with Some d -> d | None -> alloc_i ctx in
+    make d;
+    d
+  in
+  match e with
+  | Int k -> into dst (fun d -> emit ctx (I.Iconst (d, k)))
+  | Var name -> (
+    let home = Hashtbl.find ctx.ivar name in
+    match dst with
+    | None -> home
+    | Some d ->
+      if d <> home then emit ctx (I.Imov (d, home));
+      d)
+  | Global name ->
+    let aid = ctx.array_id (scalar_array_name name) in
+    let ridx = alloc_i ctx in
+    emit ctx (I.Iconst (ridx, 0));
+    into dst (fun d -> emit ctx (I.Iload (d, aid, ridx)))
+  | Load (arr, idx) ->
+    let aid = ctx.array_id arr in
+    let ridx = eval_int ctx idx in
+    into dst (fun d -> emit ctx (I.Iload (d, aid, ridx)))
+  | Unop (Neg, a) ->
+    let ra = eval_int ctx a in
+    into dst (fun d -> emit ctx (I.Ineg (d, ra)))
+  | Unop (Lnot, a) ->
+    let ra = eval_int ctx a in
+    into dst (fun d -> emit ctx (I.Inot (d, ra)))
+  | Unop ((Fsqrt | Fabs | Fexp | Flog | Fsin | Fcos), _) ->
+    invalid_arg "Lower.eval_int: float intrinsic in int context"
+  | Binop (op, a, Int k) when op <> Imin && op <> Imax ->
+    let ra = eval_int ctx a in
+    into dst (fun d -> emit ctx (I.Ibini (ibin_of op, d, ra, k)))
+  | Binop (op, a, b) ->
+    let ra = eval_int ctx a in
+    let rb = eval_int ctx b in
+    into dst (fun d -> emit ctx (I.Ibin (ibin_of op, d, ra, rb)))
+  | Cmp (c, a, b) -> (
+    match expr_ty ctx a with
+    | Tint ->
+      let ra = eval_int ctx a in
+      let rb = eval_int ctx b in
+      into dst (fun d -> emit ctx (I.Icmp (cmp_of c, d, ra, rb)))
+    | Tfloat ->
+      let ra = eval_float ctx a in
+      let rb = eval_float ctx b in
+      into dst (fun d -> emit ctx (I.Fcmp (cmp_of c, d, ra, rb))))
+  | And (a, b) ->
+    (* d <- a short-circuit-and b, with C semantics: b unevaluated if a=0 *)
+    let d = match dst with Some d -> d | None -> alloc_i ctx in
+    let l_false = fresh_label ctx and l_end = fresh_label ctx in
+    branch_if_false ctx a l_false ~hint:"&&";
+    let rb = eval_bool ctx b in
+    if rb <> d then emit ctx (I.Imov (d, rb));
+    jump_to ctx l_end;
+    place ctx l_false;
+    emit ctx (I.Iconst (d, 0));
+    place ctx l_end;
+    d
+  | Or (a, b) ->
+    let d = match dst with Some d -> d | None -> alloc_i ctx in
+    let l_true = fresh_label ctx and l_end = fresh_label ctx in
+    branch_if_true ctx a l_true ~hint:"||";
+    let rb = eval_bool ctx b in
+    if rb <> d then emit ctx (I.Imov (d, rb));
+    jump_to ctx l_end;
+    place ctx l_true;
+    emit ctx (I.Iconst (d, 1));
+    place ctx l_end;
+    d
+  | Cond (c, a, b) when is_pure a && is_pure b ->
+    let rc = eval_int ctx c in
+    let ra = eval_int ctx a in
+    let rb = eval_int ctx b in
+    into dst (fun d -> emit ctx (I.Select (d, rc, ra, rb)))
+  | Cond (c, a, b) ->
+    let d = match dst with Some d -> d | None -> alloc_i ctx in
+    let l_else = fresh_label ctx and l_end = fresh_label ctx in
+    branch_if_false ctx c l_else ~hint:"?:";
+    let (_ : I.ireg) = eval_int ~dst:d ctx a in
+    jump_to ctx l_end;
+    place ctx l_else;
+    let (_ : I.ireg) = eval_int ~dst:d ctx b in
+    place ctx l_end;
+    d
+  | Call (name, args) -> lower_call ctx ~dst_int:dst name args
+  | Call_ptr (f, args, _ret) -> lower_call_ptr ctx ~dst_int:dst f args
+  | Fnptr name -> into dst (fun d -> emit ctx (I.Iconst (d, ctx.slot_of name)))
+  | Cast (Tint, e) -> (
+    match expr_ty ctx e with
+    | Tint -> eval_int ?dst ctx e
+    | Tfloat ->
+      let rf = eval_float ctx e in
+      into dst (fun d -> emit ctx (I.Ftoi (d, rf))))
+  | Cast (Tfloat, _) -> invalid_arg "Lower.eval_int: float cast in int context"
+  | Float _ -> invalid_arg "Lower.eval_int: float literal in int context"
+
+and eval_float ?dst ctx e : I.freg =
+  let into dst_opt make =
+    let d = match dst_opt with Some d -> d | None -> alloc_f ctx in
+    make d;
+    d
+  in
+  match e with
+  | Float x -> into dst (fun d -> emit ctx (I.Fconst (d, x)))
+  | Var name -> (
+    let home = Hashtbl.find ctx.fvar name in
+    match dst with
+    | None -> home
+    | Some d ->
+      if d <> home then emit ctx (I.Fmov (d, home));
+      d)
+  | Global name ->
+    let aid = ctx.array_id (scalar_array_name name) in
+    let ridx = alloc_i ctx in
+    emit ctx (I.Iconst (ridx, 0));
+    into dst (fun d -> emit ctx (I.Fload (d, aid, ridx)))
+  | Load (arr, idx) ->
+    let aid = ctx.array_id arr in
+    let ridx = eval_int ctx idx in
+    into dst (fun d -> emit ctx (I.Fload (d, aid, ridx)))
+  | Unop (Neg, a) ->
+    let ra = eval_float ctx a in
+    into dst (fun d -> emit ctx (I.Funop (I.Fneg, d, ra)))
+  | Unop (Fsqrt, a) -> float_unop ctx dst I.Fsqrt a
+  | Unop (Fabs, a) -> float_unop ctx dst I.Fabs a
+  | Unop (Fexp, a) -> float_unop ctx dst I.Fexp a
+  | Unop (Flog, a) -> float_unop ctx dst I.Flog a
+  | Unop (Fsin, a) -> float_unop ctx dst I.Fsin a
+  | Unop (Fcos, a) -> float_unop ctx dst I.Fcos a
+  | Unop (Lnot, _) -> invalid_arg "Lower.eval_float: ! in float context"
+  | Binop (op, a, b) ->
+    let ra = eval_float ctx a in
+    let rb = eval_float ctx b in
+    into dst (fun d -> emit ctx (I.Fbin (fbin_of op, d, ra, rb)))
+  | Cond (c, a, b) when is_pure a && is_pure b ->
+    let rc = eval_int ctx c in
+    let ra = eval_float ctx a in
+    let rb = eval_float ctx b in
+    into dst (fun d -> emit ctx (I.Fselect (d, rc, ra, rb)))
+  | Cond (c, a, b) ->
+    let d = match dst with Some d -> d | None -> alloc_f ctx in
+    let l_else = fresh_label ctx and l_end = fresh_label ctx in
+    branch_if_false ctx c l_else ~hint:"?:";
+    let (_ : I.freg) = eval_float ~dst:d ctx a in
+    jump_to ctx l_end;
+    place ctx l_else;
+    let (_ : I.freg) = eval_float ~dst:d ctx b in
+    place ctx l_end;
+    d
+  | Call (name, args) -> lower_call_f ctx ~dst_float:dst name args
+  | Call_ptr (f, args, _ret) -> lower_call_ptr_f ctx ~dst_float:dst f args
+  | Cast (Tfloat, e) -> (
+    match expr_ty ctx e with
+    | Tfloat -> eval_float ?dst ctx e
+    | Tint ->
+      let ri = eval_int ctx e in
+      into dst (fun d -> emit ctx (I.Itof (d, ri))))
+  | Cast (Tint, _) | Int _ | Cmp _ | And _ | Or _ | Fnptr _ ->
+    invalid_arg "Lower.eval_float: int expression in float context"
+
+and float_unop ctx dst op a =
+  let ra = eval_float ctx a in
+  let d = match dst with Some d -> d | None -> alloc_f ctx in
+  emit ctx (I.Funop (op, d, ra));
+  d
+
+(* Evaluate an int expression known to be used as a boolean, producing a
+   0/1 register (adds a normalization compare only when needed). *)
+and eval_bool ctx e =
+  let r = eval_int ctx e in
+  if is_boolish e then r
+  else begin
+    let rz = alloc_i ctx in
+    emit ctx (I.Iconst (rz, 0));
+    let d = alloc_i ctx in
+    emit ctx (I.Icmp (I.Ne, d, r, rz));
+    d
+  end
+
+(* Conditional-branch generation that distributes short-circuit operators
+   into branch cascades (one site per source-level test, like a C
+   compiler). *)
+and branch_if_true ctx e label ~hint =
+  match e with
+  | Cmp (Cne, a, Int 0) when expr_ty ctx a = Tint ->
+    (* bnez: the machine branches on a nonzero register directly *)
+    let r = eval_int ctx a in
+    branch_to ctx r label ~hint
+  | Cmp (Ceq, a, Int 0) when expr_ty ctx a = Tint ->
+    let r = eval_int ctx a in
+    let rn = alloc_i ctx in
+    emit ctx (I.Inot (rn, r));
+    branch_to ctx rn label ~hint
+  | And (a, b) ->
+    let l_skip = fresh_label ctx in
+    branch_if_false ctx a l_skip ~hint;
+    branch_if_true ctx b label ~hint;
+    place ctx l_skip
+  | Or (a, b) ->
+    branch_if_true ctx a label ~hint;
+    branch_if_true ctx b label ~hint
+  | Unop (Lnot, a) -> branch_if_false ctx a label ~hint
+  | _ ->
+    let r = eval_int ctx e in
+    branch_to ctx r label ~hint
+
+and branch_if_false ctx e label ~hint =
+  match e with
+  | Cmp (Ceq, a, Int 0) when expr_ty ctx a = Tint ->
+    let r = eval_int ctx a in
+    branch_to ctx r label ~hint
+  | Cmp (Cne, a, Int 0) when expr_ty ctx a = Tint ->
+    let r = eval_int ctx a in
+    let rn = alloc_i ctx in
+    emit ctx (I.Inot (rn, r));
+    branch_to ctx rn label ~hint
+  | And (a, b) ->
+    branch_if_false ctx a label ~hint;
+    branch_if_false ctx b label ~hint
+  | Or (a, b) ->
+    let l_skip = fresh_label ctx in
+    branch_if_true ctx a l_skip ~hint;
+    branch_if_false ctx b label ~hint;
+    place ctx l_skip
+  | Unop (Lnot, a) -> branch_if_true ctx a label ~hint
+  | Cmp (c, a, b) -> branch_if_true ctx (Cmp (negate_cmp c, a, b)) label ~hint
+  | Int k -> if k = 0 then jump_to ctx label
+  | _ ->
+    let r = eval_int ctx e in
+    let rn = alloc_i ctx in
+    emit ctx (I.Inot (rn, r));
+    branch_to ctx rn label ~hint
+
+and lower_args ctx name args =
+  let params, _ret = Typecheck.func_sig ctx.env name in
+  let iargs = ref [] and fargs = ref [] in
+  List.iter2
+    (fun p a ->
+      match p.p_ty with
+      | Tint -> iargs := eval_int ctx a :: !iargs
+      | Tfloat -> fargs := eval_float ctx a :: !fargs)
+    params args;
+  (List.rev !iargs, List.rev !fargs)
+
+and lower_call ctx ~dst_int name args =
+  let iargs, fargs = lower_args ctx name args in
+  let d = match dst_int with Some d -> d | None -> alloc_i ctx in
+  emit ctx (I.Call { callee = ctx.func_id name; iargs; fargs; dst = I.Int_dest d });
+  d
+
+and lower_call_f ctx ~dst_float name args =
+  let iargs, fargs = lower_args ctx name args in
+  let d = match dst_float with Some d -> d | None -> alloc_f ctx in
+  emit ctx
+    (I.Call { callee = ctx.func_id name; iargs; fargs; dst = I.Float_dest d });
+  d
+
+and lower_ptr_args ctx args =
+  let iargs = ref [] and fargs = ref [] in
+  List.iter
+    (fun a ->
+      match expr_ty ctx a with
+      | Tint -> iargs := eval_int ctx a :: !iargs
+      | Tfloat -> fargs := eval_float ctx a :: !fargs)
+    args;
+  (List.rev !iargs, List.rev !fargs)
+
+and lower_call_ptr ctx ~dst_int f args =
+  let rf = eval_int ctx f in
+  let iargs, fargs = lower_ptr_args ctx args in
+  let d = match dst_int with Some d -> d | None -> alloc_i ctx in
+  emit ctx (I.Callind { table = rf; iargs; fargs; dst = I.Int_dest d });
+  d
+
+and lower_call_ptr_f ctx ~dst_float f args =
+  let rf = eval_int ctx f in
+  let iargs, fargs = lower_ptr_args ctx args in
+  let d = match dst_float with Some d -> d | None -> alloc_f ctx in
+  emit ctx (I.Callind { table = rf; iargs; fargs; dst = I.Float_dest d });
+  d
+
+(* Call for effect only (possibly void). *)
+let lower_call_void ctx e =
+  match e with
+  | Call (name, args) ->
+    let iargs, fargs = lower_args ctx name args in
+    emit ctx (I.Call { callee = ctx.func_id name; iargs; fargs; dst = I.No_dest })
+  | Call_ptr (f, args, _) ->
+    let rf = eval_int ctx f in
+    let iargs, fargs = lower_ptr_args ctx args in
+    emit ctx (I.Callind { table = rf; iargs; fargs; dst = I.No_dest })
+  | _ -> (
+    (* evaluate for effect; result discarded *)
+    match expr_ty ctx e with
+    | Tint -> ignore (eval_int ctx e)
+    | Tfloat -> ignore (eval_float ctx e))
+
+let store_global ctx name value =
+  let aid = ctx.array_id (scalar_array_name name) in
+  match Typecheck.global_ty ctx.env name with
+  | Tint ->
+    let rv = eval_int ctx value in
+    let ridx = alloc_i ctx in
+    emit ctx (I.Iconst (ridx, 0));
+    emit ctx (I.Istore (aid, ridx, rv))
+  | Tfloat ->
+    let rv = eval_float ctx value in
+    let ridx = alloc_i ctx in
+    emit ctx (I.Iconst (ridx, 0));
+    emit ctx (I.Fstore (aid, ridx, rv))
+
+let rec lower_stmt ctx ~loop stmt =
+  ctx.stmt_counter <- ctx.stmt_counter + 1;
+  with_temps ctx (fun () ->
+      match stmt with
+      | Let (name, _, init) | Assign (name, init) -> (
+        match Hashtbl.find_opt ctx.ivar name with
+        | Some home -> ignore (eval_int ~dst:home ctx init)
+        | None -> ignore (eval_float ~dst:(Hashtbl.find ctx.fvar name) ctx init))
+      | Global_assign (name, e) -> store_global ctx name e
+      | Store (arr, idx, value) -> (
+        let aid = ctx.array_id arr in
+        let ridx = eval_int ctx idx in
+        match expr_ty ctx value with
+        | Tint ->
+          let rv = eval_int ctx value in
+          emit ctx (I.Istore (aid, ridx, rv))
+        | Tfloat ->
+          let rv = eval_float ctx value in
+          emit ctx (I.Fstore (aid, ridx, rv)))
+      | If (c, a, []) ->
+        let l_end = fresh_label ctx in
+        branch_if_false ctx c l_end ~hint:"if";
+        lower_block ctx ~loop a;
+        place ctx l_end
+      | If (c, [], b) ->
+        let l_end = fresh_label ctx in
+        branch_if_true ctx c l_end ~hint:"if";
+        lower_block ctx ~loop b;
+        place ctx l_end
+      | If (c, a, b) ->
+        let l_else = fresh_label ctx and l_end = fresh_label ctx in
+        branch_if_false ctx c l_else ~hint:"if";
+        lower_block ctx ~loop a;
+        jump_to ctx l_end;
+        place ctx l_else;
+        lower_block ctx ~loop b;
+        place ctx l_end
+      | While (c, body) ->
+        (* Bottom-test: the back-edge branch is taken while iterating. *)
+        let l_body = fresh_label ctx in
+        let l_test = fresh_label ctx in
+        let l_end = fresh_label ctx in
+        jump_to ctx l_test;
+        place ctx l_body;
+        lower_block ctx ~loop:(Some { l_continue = l_test; l_break = l_end }) body;
+        place ctx l_test;
+        branch_if_true ctx c l_body ~hint:"while";
+        place ctx l_end
+      | For (var, lo, hi, body) ->
+        let home = Hashtbl.find ctx.ivar var in
+        ignore (eval_int ~dst:home ctx lo);
+        let l_body = fresh_label ctx in
+        let l_inc = fresh_label ctx in
+        let l_test = fresh_label ctx in
+        let l_end = fresh_label ctx in
+        jump_to ctx l_test;
+        place ctx l_body;
+        lower_block ctx ~loop:(Some { l_continue = l_inc; l_break = l_end }) body;
+        place ctx l_inc;
+        emit ctx (I.Ibini (I.Add, home, home, 1));
+        place ctx l_test;
+        let rhi = eval_int ctx hi in
+        let rc = alloc_i ctx in
+        emit ctx (I.Icmp (I.Lt, rc, home, rhi));
+        branch_to ctx rc l_body ~hint:"for";
+        place ctx l_end
+      | Switch (e, cases, default) ->
+        (* Source-order cascade of equality tests, like the paper's
+           compiler turning multi-way branches into linear ifs. *)
+        let re = eval_int ctx e in
+        let l_end = fresh_label ctx in
+        let case_labels =
+          List.map
+            (fun (labels, _) ->
+              let l_case = fresh_label ctx in
+              List.iter
+                (fun k ->
+                  let rk = alloc_i ctx in
+                  emit ctx (I.Iconst (rk, k));
+                  let rc = alloc_i ctx in
+                  emit ctx (I.Icmp (I.Eq, rc, re, rk));
+                  branch_to ctx rc l_case ~hint:(Printf.sprintf "case%d" k))
+                labels;
+              l_case)
+            cases
+        in
+        lower_block ctx ~loop default;
+        jump_to ctx l_end;
+        List.iter2
+          (fun l_case (_, body) ->
+            place ctx l_case;
+            lower_block ctx ~loop body;
+            jump_to ctx l_end)
+          case_labels cases;
+        place ctx l_end
+      | Expr e -> lower_call_void ctx e
+      | Return None -> emit ctx (I.Ret I.Ret_none)
+      | Return (Some e) -> (
+        match expr_ty ctx e with
+        | Tint ->
+          let r = eval_int ctx e in
+          emit ctx (I.Ret (I.Ret_int r))
+        | Tfloat ->
+          let r = eval_float ctx e in
+          emit ctx (I.Ret (I.Ret_float r)))
+      | Break -> (
+        match loop with
+        | Some l -> jump_to ctx l.l_break
+        | None -> invalid_arg "Lower: break outside loop")
+      | Continue -> (
+        match loop with
+        | Some l -> jump_to ctx l.l_continue
+        | None -> invalid_arg "Lower: continue outside loop")
+      | Output e -> (
+        match expr_ty ctx e with
+        | Tint ->
+          let r = eval_int ctx e in
+          emit ctx (I.Output r)
+        | Tfloat ->
+          let r = eval_float ctx e in
+          emit ctx (I.Foutput r)))
+
+and lower_block ctx ~loop block = List.iter (lower_stmt ctx ~loop) block
+
+(* Patch labels into pc targets and fill in site program counters. *)
+let resolve items n_labels =
+  let items = Array.of_list (List.rev items) in
+  let label_pc = Array.make n_labels (-1) in
+  let pc = ref 0 in
+  Array.iter
+    (function
+      | Lbl l -> label_pc.(l) <- !pc
+      | Ins _ | Br_to _ | Jump_to _ -> incr pc)
+    items;
+  let code = Array.make !pc I.Halt in
+  let site_pcs = ref [] in
+  let pc = ref 0 in
+  Array.iter
+    (function
+      | Lbl _ -> ()
+      | Ins insn ->
+        code.(!pc) <- insn;
+        incr pc
+      | Br_to (cond, label, site) ->
+        assert (label_pc.(label) >= 0);
+        code.(!pc) <- I.Br { cond; target = label_pc.(label); site };
+        site_pcs := (site, !pc) :: !site_pcs;
+        incr pc
+      | Jump_to label ->
+        assert (label_pc.(label) >= 0);
+        code.(!pc) <- I.Jump label_pc.(label);
+        incr pc)
+    items;
+  (code, !site_pcs)
+
+let lower (env : Typecheck.env) : P.t =
+  let prog = Typecheck.program env in
+  let func_ids = Hashtbl.create 16 in
+  List.iteri (fun i fd -> Hashtbl.add func_ids fd.f_name i) prog.funcs;
+  let array_ids = Hashtbl.create 16 in
+  let array_decls = ref [] in
+  let add_array name cls size init =
+    Hashtbl.add array_ids name (Hashtbl.length array_ids);
+    array_decls :=
+      { P.aname = name; acls = cls; asize = size; ainit = init } :: !array_decls
+  in
+  List.iter
+    (fun (a : Ast.array_decl) ->
+      add_array a.a_name
+        (match a.a_ty with Tint -> P.Cint | Tfloat -> P.Cfloat)
+        a.a_size 0.0)
+    prog.arrays;
+  List.iter
+    (fun (gd : Ast.global_decl) ->
+      add_array (scalar_array_name gd.g_name)
+        (match gd.g_ty with Tint -> P.Cint | Tfloat -> P.Cfloat)
+        1 gd.g_init)
+    prog.globals;
+  let slot_table = Hashtbl.create 16 in
+  List.iteri (fun i name -> Hashtbl.add slot_table name i) prog.fn_table;
+  let sites = ref [] in
+  let n_sites = ref 0 in
+  let fresh_site label =
+    let s = !n_sites in
+    incr n_sites;
+    sites := (s, label) :: !sites;
+    s
+  in
+  (* s_func/s_pc are filled per function after resolution *)
+  let site_infos = Hashtbl.create 64 in
+  let funcs =
+    List.mapi
+      (fun fid (fd : fundecl) ->
+        let ivar = Hashtbl.create 16 and fvar = Hashtbl.create 16 in
+        let ni = ref 0 and nf = ref 0 in
+        let bind name ty =
+          match ty with
+          | Tint ->
+            Hashtbl.add ivar name !ni;
+            incr ni
+          | Tfloat ->
+            Hashtbl.add fvar name !nf;
+            incr nf
+        in
+        let n_iparams = ref 0 and n_fparams = ref 0 in
+        List.iter
+          (fun p ->
+            bind p.p_name p.p_ty;
+            match p.p_ty with
+            | Tint -> incr n_iparams
+            | Tfloat -> incr n_fparams)
+          fd.f_params;
+        List.iter (fun (name, ty) -> bind name ty) (Typecheck.locals env fd.f_name);
+        let ctx =
+          {
+            env;
+            fname = fd.f_name;
+            fid;
+            func_id =
+              (fun name ->
+                match Hashtbl.find_opt func_ids name with
+                | Some id -> id
+                | None -> invalid_arg ("Lower: unknown function " ^ name));
+            array_id =
+              (fun name ->
+                match Hashtbl.find_opt array_ids name with
+                | Some id -> id
+                | None -> invalid_arg ("Lower: unknown array " ^ name));
+            slot_of =
+              (fun name ->
+                match Hashtbl.find_opt slot_table name with
+                | Some s -> s
+                | None -> invalid_arg ("Lower: not in fn_table: " ^ name));
+            fresh_site;
+            ivar;
+            fvar;
+            items = [];
+            next_label = 0;
+            base_i = !ni;
+            base_f = !nf;
+            next_i = !ni;
+            next_f = !nf;
+            max_i = !ni;
+            max_f = !nf;
+            stmt_counter = 0;
+          }
+        in
+        lower_block ctx ~loop:None fd.f_body;
+        (* Guarantee a terminator on the fall-through path. *)
+        (match fd.f_ret with
+        | None -> emit ctx (I.Ret I.Ret_none)
+        | Some Tint ->
+          let r = alloc_i ctx in
+          emit ctx (I.Iconst (r, 0));
+          emit ctx (I.Ret (I.Ret_int r))
+        | Some Tfloat ->
+          let r = alloc_f ctx in
+          emit ctx (I.Fconst (r, 0.0));
+          emit ctx (I.Ret (I.Ret_float r)));
+        let code, site_pcs = resolve ctx.items ctx.next_label in
+        List.iter
+          (fun (site, pc) -> Hashtbl.replace site_infos site (fid, pc))
+          site_pcs;
+        {
+          P.fname = fd.f_name;
+          n_iparams = !n_iparams;
+          n_fparams = !n_fparams;
+          n_iregs = max ctx.max_i 1;
+          n_fregs = max ctx.max_f 1;
+          code;
+        })
+      prog.funcs
+  in
+  let site_array =
+    Array.init !n_sites (fun s ->
+        let label = List.assoc s !sites in
+        let s_func, s_pc =
+          match Hashtbl.find_opt site_infos s with
+          | Some fp -> fp
+          | None -> (-1, -1)
+        in
+        { P.s_func; s_pc; s_label = label })
+  in
+  {
+    P.pname = prog.prog_name;
+    funcs = Array.of_list funcs;
+    arrays = Array.of_list (List.rev !array_decls);
+    func_table =
+      Array.of_list (List.map (fun n -> Hashtbl.find func_ids n) prog.fn_table);
+    entry = Hashtbl.find func_ids prog.entry;
+    sites = site_array;
+  }

@@ -1,0 +1,24 @@
+(** Code generation from typed MiniC to the RISC-like IR.
+
+    Lowering mirrors the paper's Multiflow front end where it matters to the
+    experiment:
+
+    - short-circuit [&&]/[||] and multi-way [switch] become cascades of
+      conditional branches, each with its own static branch site;
+    - loops are bottom-tested (the back edge is a conditional branch that is
+      taken while the loop repeats);
+    - pure ternaries become branch-free [select] instructions (the Trace
+      front ends did this select-conversion);
+    - global scalars live in memory (one single-cell IR array per global,
+      named ["$<global>"]), so a global access costs an address constant
+      plus a load/store.
+
+    Every conditional branch in the output carries a dense site id and a
+    human-readable label recorded in [Program.sites]. *)
+
+val lower : Typecheck.env -> Fisher92_ir.Program.t
+(** Compile the checked program.  The result passes
+    {!Fisher92_ir.Validate.check}. *)
+
+val scalar_array_name : string -> string
+(** IR array name holding a MiniC global scalar (["$" ^ name]). *)

@@ -1,0 +1,767 @@
+open Ast
+
+let rec count_stmts block = List.fold_left (fun acc s -> acc + stmt_size s) 0 block
+
+and stmt_size = function
+  | If (_, a, b) -> 1 + count_stmts a + count_stmts b
+  | While (_, b) | For (_, _, _, b) -> 1 + count_stmts b
+  | Switch (_, cases, default) ->
+    1
+    + List.fold_left (fun acc (_, b) -> acc + count_stmts b) 0 cases
+    + count_stmts default
+  | Let _ | Assign _ | Global_assign _ | Store _ | Expr _ | Return _ | Break
+  | Continue | Output _ ->
+    1
+
+(* Rewrite every expression of a statement in place (shallow: sub-blocks are
+   handled by the caller's recursion). *)
+let map_exprs_shallow rewrite = function
+  | Let (n, ty, e) -> Let (n, ty, rewrite e)
+  | Assign (n, e) -> Assign (n, rewrite e)
+  | Global_assign (n, e) -> Global_assign (n, rewrite e)
+  | Store (a, i, v) -> Store (a, rewrite i, rewrite v)
+  | If (c, t, f) -> If (rewrite c, t, f)
+  | While (c, b) -> While (rewrite c, b)
+  | For (v, lo, hi, b) -> For (v, rewrite lo, rewrite hi, b)
+  | Switch (e, cases, default) -> Switch (rewrite e, cases, default)
+  | Expr e -> Expr (rewrite e)
+  | Return (Some e) -> Return (Some (rewrite e))
+  | (Return None | Break | Continue) as s -> s
+  | Output e -> Output (rewrite e)
+
+let rec map_exprs rewrite block =
+  List.map
+    (fun s ->
+      let s =
+        match s with
+        | If (c, t, f) -> If (c, map_exprs rewrite t, map_exprs rewrite f)
+        | While (c, b) -> While (c, map_exprs rewrite b)
+        | For (v, lo, hi, b) -> For (v, lo, hi, map_exprs rewrite b)
+        | Switch (e, cases, default) ->
+          Switch
+            ( e,
+              List.map (fun (ls, b) -> (ls, map_exprs rewrite b)) cases,
+              map_exprs rewrite default )
+        | _ -> s
+      in
+      map_exprs_shallow rewrite s)
+    block
+
+(* Block-level rewrite where one statement may become several (or none). *)
+let rec flat_map_block expand block =
+  List.concat_map
+    (fun s ->
+      let s =
+        match s with
+        | If (c, t, f) -> If (c, flat_map_block expand t, flat_map_block expand f)
+        | While (c, b) -> While (c, flat_map_block expand b)
+        | For (v, lo, hi, b) -> For (v, lo, hi, flat_map_block expand b)
+        | Switch (e, cases, default) ->
+          Switch
+            ( e,
+              List.map (fun (ls, b) -> (ls, flat_map_block expand b)) cases,
+              flat_map_block expand default )
+        | _ -> s
+      in
+      expand s)
+    block
+
+(* ------------------------------------------------------------------ *)
+(* Global dead-code elimination                                        *)
+(* ------------------------------------------------------------------ *)
+
+let assigned_globals prog =
+  let assigned = Hashtbl.create 16 in
+  let rec scan_stmt = function
+    | Global_assign (name, _) -> Hashtbl.replace assigned name ()
+    | If (_, a, b) ->
+      List.iter scan_stmt a;
+      List.iter scan_stmt b
+    | While (_, b) -> List.iter scan_stmt b
+    | For (_, _, _, b) -> List.iter scan_stmt b
+    | Switch (_, cases, default) ->
+      List.iter (fun (_, b) -> List.iter scan_stmt b) cases;
+      List.iter scan_stmt default
+    | Let _ | Assign _ | Store _ | Expr _ | Return _ | Break | Continue
+    | Output _ ->
+      ()
+  in
+  List.iter (fun f -> List.iter scan_stmt f.f_body) prog.funcs;
+  assigned
+
+let substitute_constant_globals ~seeded prog =
+  let assigned = assigned_globals prog in
+  let constant = Hashtbl.create 16 in
+  List.iter
+    (fun gd ->
+      if (not (Hashtbl.mem assigned gd.g_name)) && not (List.mem gd.g_name seeded)
+      then
+        Hashtbl.replace constant gd.g_name
+          (match gd.g_ty with
+          | Tint -> Int (int_of_float gd.g_init)
+          | Tfloat -> Float gd.g_init))
+    prog.globals;
+  if Hashtbl.length constant = 0 then prog
+  else begin
+    let rec rewrite e =
+      match e with
+      | Global name -> (
+        match Hashtbl.find_opt constant name with Some lit -> lit | None -> e)
+      | Int _ | Float _ | Var _ | Fnptr _ -> e
+      | Load (a, i) -> Load (a, rewrite i)
+      | Unop (op, a) -> Unop (op, rewrite a)
+      | Binop (op, a, b) -> Binop (op, rewrite a, rewrite b)
+      | Cmp (c, a, b) -> Cmp (c, rewrite a, rewrite b)
+      | And (a, b) -> And (rewrite a, rewrite b)
+      | Or (a, b) -> Or (rewrite a, rewrite b)
+      | Cond (c, a, b) -> Cond (rewrite c, rewrite a, rewrite b)
+      | Call (n, args) -> Call (n, List.map rewrite args)
+      | Call_ptr (f, args, ret) -> Call_ptr (rewrite f, List.map rewrite args, ret)
+      | Cast (ty, a) -> Cast (ty, rewrite a)
+    in
+    {
+      prog with
+      funcs =
+        List.map
+          (fun f -> { f with f_body = map_exprs rewrite f.f_body })
+          prog.funcs;
+    }
+  end
+
+(* Locals declared in a block, with their types (For counters are int). *)
+let rec block_locals_typed b =
+  List.concat_map
+    (function
+      | Let (x, ty, _) -> [ (x, ty) ]
+      | For (v, _, _, body) -> (v, Tint) :: block_locals_typed body
+      | If (_, a, c) -> block_locals_typed a @ block_locals_typed c
+      | While (_, body) -> block_locals_typed body
+      | Switch (_, cases, default) ->
+        List.concat_map (fun (_, body) -> block_locals_typed body) cases
+        @ block_locals_typed default
+      | Assign _ | Global_assign _ | Store _ | Expr _ | Return _ | Break
+      | Continue | Output _ ->
+        [])
+    b
+
+(* Prune control flow with constant outcome (folding has already run).
+   Declarations inside pruned code are re-emitted as zero-initialized
+   Lets at the top of the function: an unexecuted [Let] leaves its local
+   at zero, so this preserves both typing and semantics. *)
+let prune_constant_branches prog =
+  let dropped = ref [] in
+  let drop_decls b = dropped := block_locals_typed b @ !dropped in
+  let expand = function
+    | If (Int 0, a, b) ->
+      drop_decls a;
+      b
+    | If (Int _, a, b) ->
+      drop_decls b;
+      a
+    | While (Int 0, body) ->
+      drop_decls body;
+      []
+    | Switch (Int k, cases, default) -> (
+      let keep, rest =
+        List.partition (fun (labels, _) -> List.mem k labels) cases
+      in
+      List.iter (fun (_, body) -> drop_decls body) rest;
+      match keep with
+      | (_, body) :: _ ->
+        drop_decls default;
+        body
+      | [] -> default)
+    | s -> [ s ]
+  in
+  {
+    prog with
+    funcs =
+      List.map
+        (fun f ->
+          dropped := [];
+          let body = flat_map_block expand f.f_body in
+          let live = block_locals_typed body in
+          let resurrect =
+            List.filter_map
+              (fun (name, ty) ->
+                if List.mem_assoc name live then None
+                else
+                  Some
+                    (Let (name, ty, match ty with Tint -> Int 0 | Tfloat -> Float 0.0)))
+              (List.sort_uniq compare !dropped)
+          in
+          { f with f_body = resurrect @ body })
+        prog.funcs;
+  }
+
+(* Arrays that are loaded anywhere in the program. *)
+let loaded_arrays prog =
+  let loaded = Hashtbl.create 16 in
+  let rec scan = function
+    | Load (a, i) ->
+      Hashtbl.replace loaded a ();
+      scan i
+    | Int _ | Float _ | Var _ | Global _ | Fnptr _ -> ()
+    | Unop (_, a) | Cast (_, a) -> scan a
+    | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      scan a;
+      scan b
+    | Cond (c, a, b) ->
+      scan c;
+      scan a;
+      scan b
+    | Call (_, args) -> List.iter scan args
+    | Call_ptr (f, args, _) ->
+      scan f;
+      List.iter scan args
+  in
+  List.iter
+    (fun f -> List.iter (iter_exprs_stmt scan) f.f_body)
+    prog.funcs;
+  loaded
+
+let rec expr_has_call = function
+  | Call _ | Call_ptr _ -> true
+  | Int _ | Float _ | Var _ | Global _ | Fnptr _ -> false
+  | Load (_, e) | Unop (_, e) | Cast (_, e) -> expr_has_call e
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+    expr_has_call a || expr_has_call b
+  | Cond (c, a, b) -> expr_has_call c || expr_has_call a || expr_has_call b
+
+(* Delete stores to arrays never loaded (keeping impure operand effects). *)
+let eliminate_dead_stores prog =
+  let loaded = loaded_arrays prog in
+  let expand = function
+    | Store (a, i, v) when not (Hashtbl.mem loaded a) ->
+      let keep e = if expr_has_call e then [ Expr e ] else [] in
+      keep i @ keep v
+    | s -> [ s ]
+  in
+  {
+    prog with
+    funcs =
+      List.map (fun f -> { f with f_body = flat_map_block expand f.f_body }) prog.funcs;
+  }
+
+(* Variables of an expression. *)
+let expr_vars e =
+  let acc = ref [] in
+  let rec scan = function
+    | Var v -> acc := v :: !acc
+    | Int _ | Float _ | Global _ | Fnptr _ -> ()
+    | Load (_, e) | Unop (_, e) | Cast (_, e) -> scan e
+    | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      scan a;
+      scan b
+    | Cond (c, a, b) ->
+      scan c;
+      scan a;
+      scan b
+    | Call (_, args) -> List.iter scan args
+    | Call_ptr (f, args, _) ->
+      scan f;
+      List.iter scan args
+  in
+  scan e;
+  !acc
+
+(* Dead-assignment elimination within one function: an assignment to a
+   local is deleted when the local is not in the closure of "essential"
+   reads (conditions, stores, outputs, returns, call arguments, loop
+   bounds/counters) through the assignment dependency graph. *)
+let eliminate_dead_assignments (f : fundecl) =
+  let roots = Hashtbl.create 16 in
+  let deps : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let add_root v = Hashtbl.replace roots v () in
+  let add_dep target e =
+    let existing = try Hashtbl.find deps target with Not_found -> [] in
+    Hashtbl.replace deps target (expr_vars e @ existing)
+  in
+  let root_expr e = List.iter add_root (expr_vars e) in
+  let rec scan = function
+    | Let (x, _, e) | Assign (x, e) ->
+      add_dep x e;
+      if expr_has_call e then root_expr e
+    | Global_assign (_, e) | Expr e | Output e -> root_expr e
+    | Store (_, i, v) ->
+      root_expr i;
+      root_expr v
+    | Return (Some e) -> root_expr e
+    | Return None | Break | Continue -> ()
+    | If (c, a, b) ->
+      root_expr c;
+      List.iter scan a;
+      List.iter scan b
+    | While (c, b) ->
+      root_expr c;
+      List.iter scan b
+    | For (v, lo, hi, b) ->
+      (* the counter bounds the iteration count: always essential *)
+      add_root v;
+      root_expr lo;
+      root_expr hi;
+      List.iter scan b
+    | Switch (e, cases, default) ->
+      root_expr e;
+      List.iter (fun (_, b) -> List.iter scan b) cases;
+      List.iter scan default
+  in
+  List.iter scan f.f_body;
+  (* close roots over the dependency graph *)
+  let live = Hashtbl.copy roots in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun target vars ->
+        if Hashtbl.mem live target then
+          List.iter
+            (fun v ->
+              if not (Hashtbl.mem live v) then begin
+                Hashtbl.replace live v ();
+                changed := true
+              end)
+            vars)
+      deps
+  done;
+  let expand = function
+    | (Let (x, _, e) | Assign (x, e)) when not (Hashtbl.mem live x) ->
+      if expr_has_call e then [ Expr e ] else []
+    | For (v, lo, hi, []) when not (Hashtbl.mem roots v) ->
+      (* empty loop whose counter is otherwise unused *)
+      let keep e = if expr_has_call e then [ Expr e ] else [] in
+      ignore v;
+      keep lo @ keep hi
+    | s -> [ s ]
+  in
+  { f with f_body = flat_map_block expand f.f_body }
+
+(* Functions reachable from the entry and the pointer table. *)
+let reachable_functions prog =
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace by_name f.f_name f) prog.funcs;
+  let reached = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem reached name) then begin
+      Hashtbl.replace reached name ();
+      match Hashtbl.find_opt by_name name with
+      | None -> ()
+      | Some f ->
+        let rec scan_expr = function
+          | Call (callee, args) ->
+            visit callee;
+            List.iter scan_expr args
+          | Call_ptr (fp, args, _) ->
+            scan_expr fp;
+            List.iter scan_expr args
+          | Fnptr callee -> visit callee
+          | Int _ | Float _ | Var _ | Global _ -> ()
+          | Load (_, e) | Unop (_, e) | Cast (_, e) -> scan_expr e
+          | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+            scan_expr a;
+            scan_expr b
+          | Cond (c, a, b) ->
+            scan_expr c;
+            scan_expr a;
+            scan_expr b
+        in
+        List.iter (iter_exprs_stmt scan_expr) f.f_body
+    end
+  in
+  visit prog.entry;
+  List.iter visit prog.fn_table;
+  reached
+
+let drop_unreachable_functions prog =
+  let reached = reachable_functions prog in
+  { prog with funcs = List.filter (fun f -> Hashtbl.mem reached f.f_name) prog.funcs }
+
+let dce ?(seeded_globals = []) prog =
+  let step prog =
+    let prog = substitute_constant_globals ~seeded:seeded_globals prog in
+    let prog = Fold.program prog in
+    let prog = prune_constant_branches prog in
+    let prog = eliminate_dead_stores prog in
+    let prog =
+      { prog with funcs = List.map eliminate_dead_assignments prog.funcs }
+    in
+    drop_unreachable_functions prog
+  in
+  let rec fixpoint n prog =
+    if n = 0 then prog
+    else
+      let prog' = step prog in
+      if prog' = prog then prog else fixpoint (n - 1) prog'
+  in
+  fixpoint 8 prog
+
+(* ------------------------------------------------------------------ *)
+(* Inlining                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Statements with no observable side effects beyond local variables:
+   safe to hoist ahead of loads evaluated earlier in the same statement. *)
+let rec body_is_pure block =
+  List.for_all
+    (fun s ->
+      match s with
+      | Let (_, _, e) | Assign (_, e) -> not (expr_has_call e)
+      | Return (Some e) -> not (expr_has_call e)
+      | Return None | Break | Continue -> true
+      | If (c, a, b) -> (not (expr_has_call c)) && body_is_pure a && body_is_pure b
+      | While (c, b) -> (not (expr_has_call c)) && body_is_pure b
+      | For (_, lo, hi, b) ->
+        (not (expr_has_call lo)) && (not (expr_has_call hi)) && body_is_pure b
+      | Switch (e, cases, default) ->
+        (not (expr_has_call e))
+        && List.for_all (fun (_, b) -> body_is_pure b) cases
+        && body_is_pure default
+      | Global_assign _ | Store _ | Expr _ | Output _ -> false)
+    block
+
+let returns_only_at_end block =
+  let rec block_ok ~tail b =
+    match b with
+    | [] -> true
+    | [ Return _ ] -> tail
+    | s :: rest ->
+      stmt_ok s && block_ok ~tail rest
+  and stmt_ok = function
+    | Return _ -> false
+    | If (_, a, b) -> block_ok ~tail:false a && block_ok ~tail:false b
+    | While (_, b) | For (_, _, _, b) -> block_ok ~tail:false b
+    | Switch (_, cases, default) ->
+      List.for_all (fun (_, b) -> block_ok ~tail:false b) cases
+      && block_ok ~tail:false default
+    | Let _ | Assign _ | Global_assign _ | Store _ | Expr _ | Break | Continue
+    | Output _ ->
+      true
+  in
+  block_ok ~tail:true block
+
+(* Direct call graph, used to reject (mutually) recursive inline targets. *)
+let calls_of f =
+  let acc = ref [] in
+  let rec scan = function
+    | Call (n, args) ->
+      acc := n :: !acc;
+      List.iter scan args
+    | Call_ptr (fp, args, _) ->
+      scan fp;
+      List.iter scan args
+    | Int _ | Float _ | Var _ | Global _ | Fnptr _ -> ()
+    | Load (_, e) | Unop (_, e) | Cast (_, e) -> scan e
+    | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      scan a;
+      scan b
+    | Cond (c, a, b) ->
+      scan c;
+      scan a;
+      scan b
+  in
+  List.iter (iter_exprs_stmt scan) f.f_body;
+  !acc
+
+let is_self_reachable prog name =
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace by_name f.f_name f) prog.funcs;
+  let visited = Hashtbl.create 16 in
+  let rec visit n =
+    match Hashtbl.find_opt by_name n with
+    | None -> false
+    | Some f ->
+      List.exists
+        (fun callee ->
+          String.equal callee name
+          ||
+          if Hashtbl.mem visited callee then false
+          else begin
+            Hashtbl.replace visited callee ();
+            visit callee
+          end)
+        (calls_of f)
+  in
+  visit name
+
+let fresh_counter = ref 0
+
+let fresh_name base =
+  incr fresh_counter;
+  Printf.sprintf "%%inl%d_%s" !fresh_counter base
+
+let rename_expr table e =
+  let rec go = function
+    | Var v -> Var (try Hashtbl.find table v with Not_found -> v)
+    | (Int _ | Float _ | Global _ | Fnptr _) as e -> e
+    | Load (a, i) -> Load (a, go i)
+    | Unop (op, a) -> Unop (op, go a)
+    | Binop (op, a, b) -> Binop (op, go a, go b)
+    | Cmp (c, a, b) -> Cmp (c, go a, go b)
+    | And (a, b) -> And (go a, go b)
+    | Or (a, b) -> Or (go a, go b)
+    | Cond (c, a, b) -> Cond (go c, go a, go b)
+    | Call (n, args) -> Call (n, List.map go args)
+    | Call_ptr (f, args, r) -> Call_ptr (go f, List.map go args, r)
+    | Cast (ty, a) -> Cast (ty, go a)
+  in
+  go e
+
+let rec rename_block table b = List.map (rename_stmt table) b
+
+and rename_stmt table = function
+  | Let (x, ty, e) -> Let (Hashtbl.find table x, ty, rename_expr table e)
+  | Assign (x, e) ->
+    Assign ((try Hashtbl.find table x with Not_found -> x), rename_expr table e)
+  | Global_assign (gname, e) -> Global_assign (gname, rename_expr table e)
+  | Store (a, i, v) -> Store (a, rename_expr table i, rename_expr table v)
+  | If (c, a, b) -> If (rename_expr table c, rename_block table a, rename_block table b)
+  | While (c, b) -> While (rename_expr table c, rename_block table b)
+  | For (v, lo, hi, b) ->
+    For
+      ( (try Hashtbl.find table v with Not_found -> v),
+        rename_expr table lo,
+        rename_expr table hi,
+        rename_block table b )
+  | Switch (e, cases, default) ->
+    Switch
+      ( rename_expr table e,
+        List.map (fun (ls, b) -> (ls, rename_block table b)) cases,
+        rename_block table default )
+  | Expr e -> Expr (rename_expr table e)
+  | Return (Some e) -> Return (Some (rename_expr table e))
+  | (Return None | Break | Continue) as s -> s
+  | Output e -> Output (rename_expr table e)
+
+(* Locals declared in a block (Lets and For counters). *)
+let rec block_locals b =
+  List.concat_map
+    (function
+      | Let (x, _, _) -> [ x ]
+      | For (v, _, _, body) -> v :: block_locals body
+      | If (_, a, c) -> block_locals a @ block_locals c
+      | While (_, body) -> block_locals body
+      | Switch (_, cases, default) ->
+        List.concat_map (fun (_, body) -> block_locals body) cases
+        @ block_locals default
+      | Assign _ | Global_assign _ | Store _ | Expr _ | Return _ | Break
+      | Continue | Output _ ->
+        [])
+    b
+
+type inline_target = {
+  it_fun : fundecl;
+  it_pure : bool;  (* body free of stores/outputs/calls *)
+}
+
+(* Find the first (evaluation-order) inlinable call in an expression. *)
+let rec find_call targets e =
+  match e with
+  | Call (n, args) -> (
+    match List.find_map (find_call targets) args with
+    | Some c -> Some c
+    | None -> if Hashtbl.mem targets n then Some e else None)
+  | Call_ptr (f, args, _) -> (
+    match find_call targets f with
+    | Some c -> Some c
+    | None -> List.find_map (find_call targets) args)
+  | Int _ | Float _ | Var _ | Global _ | Fnptr _ -> None
+  | Load (_, a) | Unop (_, a) | Cast (_, a) -> find_call targets a
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) -> (
+    match find_call targets a with Some c -> Some c | None -> find_call targets b)
+  | Cond (c, a, b) -> (
+    match find_call targets c with
+    | Some r -> Some r
+    | None -> (
+      match find_call targets a with
+      | Some r -> Some r
+      | None -> find_call targets b))
+
+let replace_expr ~target ~replacement e =
+  let rec go x =
+    if x == target then replacement
+    else
+      match x with
+      | Int _ | Float _ | Var _ | Global _ | Fnptr _ -> x
+      | Load (a, i) -> Load (a, go i)
+      | Unop (op, a) -> Unop (op, go a)
+      | Binop (op, a, b) -> Binop (op, go a, go b)
+      | Cmp (c, a, b) -> Cmp (c, go a, go b)
+      | And (a, b) -> And (go a, go b)
+      | Or (a, b) -> Or (go a, go b)
+      | Cond (c, a, b) -> Cond (go c, go a, go b)
+      | Call (n, args) -> Call (n, List.map go args)
+      | Call_ptr (f, args, r) -> Call_ptr (go f, List.map go args, r)
+      | Cast (ty, a) -> Cast (ty, go a)
+  in
+  go e
+
+(* Expand one call: argument bindings, renamed body, result binding. *)
+let expand_call (target : inline_target) args =
+  let callee = target.it_fun in
+  let table = Hashtbl.create 16 in
+  let arg_lets =
+    List.map2
+      (fun p arg ->
+        let fresh = fresh_name p.p_name in
+        Hashtbl.replace table p.p_name fresh;
+        Let (fresh, p.p_ty, arg))
+      callee.f_params args
+  in
+  List.iter
+    (fun local ->
+      if not (Hashtbl.mem table local) then
+        Hashtbl.replace table local (fresh_name local))
+    (block_locals callee.f_body);
+  let body = rename_block table callee.f_body in
+  match (callee.f_ret, List.rev body) with
+  | Some ty, Return (Some e) :: rev_rest ->
+    let result = fresh_name "result" in
+    (arg_lets @ List.rev rev_rest @ [ Let (result, ty, e) ], Some (Var result))
+  | Some ty, _ ->
+    (* value function falling off the end returns 0 *)
+    let result = fresh_name "result" in
+    let zero = match ty with Tint -> Int 0 | Tfloat -> Float 0.0 in
+    (arg_lets @ body @ [ Let (result, ty, zero) ], Some (Var result))
+  | None, Return None :: rev_rest -> (arg_lets @ List.rev rev_rest, None)
+  | None, _ -> (arg_lets @ body, None)
+
+let inline_calls ?(max_stmts = 8) prog =
+  let targets = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if
+        (not (List.mem f.f_name prog.fn_table))
+        && count_stmts f.f_body <= max_stmts
+        && returns_only_at_end f.f_body
+        && not (is_self_reachable prog f.f_name)
+      then
+        Hashtbl.replace targets f.f_name
+          { it_fun = f; it_pure = body_is_pure f.f_body })
+    prog.funcs;
+  if Hashtbl.length targets = 0 then prog
+  else begin
+    (* Expand sites repeatedly; bounded passes keep nested inlining finite. *)
+    let expand_stmt s =
+      let try_exprs mk exprs =
+        (* find the first statement expression containing an inlinable
+           call whose hoisting is order-safe *)
+        let rec pick = function
+          | [] -> None
+          | e :: rest -> (
+            match find_call targets e with
+            | None -> pick rest
+            | Some (Call (n, args) as c) ->
+              let t = Hashtbl.find targets n in
+              (* order-safe: a pure callee commutes with any prefix, and a
+                 call that IS the whole expression has no prefix *)
+              if t.it_pure || c == e then Some (e, c, n, args) else None
+            | Some _ -> None)
+        in
+        match pick exprs with
+        | None -> [ s ]
+        | Some (e, c, n, args) ->
+          let t = Hashtbl.find targets n in
+          let prelude, result = expand_call t args in
+          let e' =
+            match result with
+            | Some r -> replace_expr ~target:c ~replacement:r e
+            | None -> e
+          in
+          prelude @ [ mk e e' ]
+      in
+      match s with
+      | Expr (Call (n, args)) when Hashtbl.mem targets n ->
+        let t = Hashtbl.find targets n in
+        let prelude, _result = expand_call t args in
+        prelude
+      | Let (x, ty, e) -> try_exprs (fun _old e' -> Let (x, ty, e')) [ e ]
+      | Assign (x, e) -> try_exprs (fun _old e' -> Assign (x, e')) [ e ]
+      | Global_assign (gname, e) ->
+        try_exprs (fun _old e' -> Global_assign (gname, e')) [ e ]
+      | Expr e -> try_exprs (fun _old e' -> Expr e') [ e ]
+      | Output e -> try_exprs (fun _old e' -> Output e') [ e ]
+      | Return (Some e) -> try_exprs (fun _old e' -> Return (Some e')) [ e ]
+      | Store (a, i, v) ->
+        (* two expressions: i evaluates first *)
+        let pick_one =
+          match find_call targets i with
+          | Some _ -> Some (`Index)
+          | None -> ( match find_call targets v with Some _ -> Some `Value | None -> None)
+        in
+        (match pick_one with
+        | Some `Index -> try_exprs (fun _old i' -> Store (a, i', v)) [ i ]
+        | Some `Value -> (
+          (* the index evaluates before the hoisted call; require a clean
+             index or a pure callee *)
+          match find_call targets v with
+          | Some (Call (n, args) as c) ->
+            let t = Hashtbl.find targets n in
+            if t.it_pure || (c == v && not (expr_has_call i)) then begin
+              let prelude, result = expand_call t args in
+              match result with
+              | Some r ->
+                prelude @ [ Store (a, i, replace_expr ~target:c ~replacement:r v) ]
+              | None -> [ s ]
+            end
+            else [ s ]
+          | _ -> [ s ])
+        | None -> [ s ])
+      | If _ | While _ | For _ | Switch _ ->
+        (* conditions with inlinable calls are left alone: hoisting out of
+           a loop condition would change per-iteration evaluation *)
+        [ s ]
+      | Return None | Break | Continue -> [ s ]
+    in
+    let pass prog =
+      {
+        prog with
+        funcs =
+          List.map
+            (fun f -> { f with f_body = flat_map_block expand_stmt f.f_body })
+            prog.funcs;
+      }
+    in
+    let rec fixpoint n prog =
+      if n = 0 then prog
+      else
+        let prog' = pass prog in
+        if prog' = prog then prog else fixpoint (n - 1) prog'
+    in
+    fixpoint 5 prog
+  end
+
+
+(* ------------------------------------------------------------------ *)
+(* Profile-guided switch reordering                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper argues a feedback-equipped ILP compiler should order
+   multi-destination branch cascades by probability ("we believe a
+   compiler for ILP with access to good branch predictions should be
+   augmented to use a technique that mirrors the above argument").  Our
+   compiler lowers switch cases in source order; this pass reorders them
+   hottest-first using per-case selection counts recovered from a branch
+   profile.  Case labels are disjoint, so any order is semantics-
+   preserving. *)
+let reorder_switches ~heat prog =
+  let rewrite_in fname =
+    map_block (function
+      | Switch (e, cases, default) ->
+        let weight (labels, _) =
+          List.fold_left (fun acc k -> acc + heat ~fname k) 0 labels
+        in
+        let indexed = List.mapi (fun idx c -> (idx, weight c, c)) cases in
+        let sorted =
+          List.stable_sort
+            (fun (ia, wa, _) (ib, wb, _) ->
+              if wa <> wb then compare wb wa else compare ia ib)
+            indexed
+        in
+        Switch (e, List.map (fun (_, _, c) -> c) sorted, default)
+      | s -> s)
+  in
+  {
+    prog with
+    funcs =
+      List.map (fun f -> { f with f_body = rewrite_in f.f_name f.f_body }) prog.funcs;
+  }

@@ -1,0 +1,46 @@
+(** AST-level optimization passes.
+
+    {!dce} is the "global dead-code elimination" the paper had to switch
+    off to keep IFPROBBER and MFPixie branch counts synchronized (its
+    effect is what Table 1 quantifies).  {!inline_calls} is the inlining
+    the paper says ILP compilers must do; we expose it as an ablation. *)
+
+val dce : ?seeded_globals:string list -> Ast.program -> Ast.program
+(** Global dead-code elimination:
+
+    - globals never assigned anywhere (and not listed in
+      [seeded_globals], which datasets may overwrite at load time) are
+      replaced by their initializers;
+    - expressions are re-folded; conditionals and switches with constant
+      selectors are pruned (this removes branches with constant outcome,
+      exactly the paper's "dead branches");
+    - assignments to locals that are never read, and stores to arrays that
+      are never loaded, are deleted when their right-hand sides are pure
+      (impure right-hand sides are kept as expression statements);
+    - [for] loops whose induction variable is never read and whose body
+      became empty are deleted;
+    - functions that are unreachable from the entry and the pointer table
+      are dropped.
+
+    Iterates to a fixpoint. *)
+
+val inline_calls : ?max_stmts:int -> Ast.program -> Ast.program
+(** Inline direct calls to small functions.  A function is inlinable when
+    it is not recursive (directly or mutually), is not in the pointer
+    table, has at most [max_stmts] statements (default 8, counted
+    recursively), and contains no [Return] other than optionally as its
+    final statement.  Calls are replaced leftmost-innermost, preserving
+    evaluation order; callee locals are renamed fresh.  The entry function
+    is never inlined away. *)
+
+val count_stmts : Ast.block -> int
+(** Recursive statement count (used by the inliner's size threshold). *)
+
+val reorder_switches :
+  heat:(fname:string -> int -> int) -> Ast.program -> Ast.program
+(** Reorder every [switch]'s cases hottest-first.  [heat ~fname k] is the
+    observed selection count of case constant [k] inside function
+    [fname] (from a branch profile; see
+    {!Fisher92_profile.Directive}-style site labels).  Case labels are
+    disjoint, so reordering preserves semantics; it shortens the
+    conditional-branch cascade the common cases fall through. *)

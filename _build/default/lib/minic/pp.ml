@@ -1,0 +1,135 @@
+open Ast
+
+let unop_name = function
+  | Neg -> "-"
+  | Lnot -> "!"
+  | Fsqrt -> "sqrt"
+  | Fabs -> "fabs"
+  | Fexp -> "exp"
+  | Flog -> "log"
+  | Fsin -> "sin"
+  | Fcos -> "cos"
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Imin -> "`min`"
+  | Imax -> "`max`"
+
+let cmp_name = function
+  | Ceq -> "=="
+  | Cne -> "!="
+  | Clt -> "<"
+  | Cle -> "<="
+  | Cgt -> ">"
+  | Cge -> ">="
+
+let rec expr_to_string = function
+  | Int k -> string_of_int k
+  | Float x -> Printf.sprintf "%g" x
+  | Var v -> v
+  | Global g -> "@" ^ g
+  | Load (a, i) -> Printf.sprintf "%s[%s]" a (expr_to_string i)
+  | Unop (((Neg | Lnot) as op), e) ->
+    Printf.sprintf "%s(%s)" (unop_name op) (expr_to_string e)
+  | Unop (op, e) -> Printf.sprintf "%s(%s)" (unop_name op) (expr_to_string e)
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_name op)
+      (expr_to_string b)
+  | Cmp (c, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (cmp_name c) (expr_to_string b)
+  | And (a, b) ->
+    Printf.sprintf "(%s && %s)" (expr_to_string a) (expr_to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s || %s)" (expr_to_string a) (expr_to_string b)
+  | Cond (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (expr_to_string c) (expr_to_string a)
+      (expr_to_string b)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | Call_ptr (f, args, _) ->
+    Printf.sprintf "(*%s)(%s)" (expr_to_string f)
+      (String.concat ", " (List.map expr_to_string args))
+  | Fnptr f -> "&" ^ f
+  | Cast (Tint, e) -> Printf.sprintf "(int)(%s)" (expr_to_string e)
+  | Cast (Tfloat, e) -> Printf.sprintf "(float)(%s)" (expr_to_string e)
+
+let ty_name = function Tint -> "int" | Tfloat -> "float"
+
+let rec stmt_to_string ?(indent = 0) s =
+  let pad = String.make indent ' ' in
+  let block b = block_to_string ~indent:(indent + 2) b in
+  match s with
+  | Let (x, ty, e) ->
+    Printf.sprintf "%s%s %s = %s;" pad (ty_name ty) x (expr_to_string e)
+  | Assign (x, e) -> Printf.sprintf "%s%s = %s;" pad x (expr_to_string e)
+  | Global_assign (g, e) -> Printf.sprintf "%s@%s = %s;" pad g (expr_to_string e)
+  | Store (a, i, v) ->
+    Printf.sprintf "%s%s[%s] = %s;" pad a (expr_to_string i) (expr_to_string v)
+  | If (c, a, []) ->
+    Printf.sprintf "%sif (%s) {\n%s\n%s}" pad (expr_to_string c) (block a) pad
+  | If (c, a, b) ->
+    Printf.sprintf "%sif (%s) {\n%s\n%s} else {\n%s\n%s}" pad (expr_to_string c)
+      (block a) pad (block b) pad
+  | While (c, body) ->
+    Printf.sprintf "%swhile (%s) {\n%s\n%s}" pad (expr_to_string c) (block body)
+      pad
+  | For (v, lo, hi, body) ->
+    Printf.sprintf "%sfor (%s = %s; %s < %s; %s++) {\n%s\n%s}" pad v
+      (expr_to_string lo) v (expr_to_string hi) v (block body) pad
+  | Switch (e, cases, default) ->
+    let case_text =
+      String.concat "\n"
+        (List.map
+           (fun (labels, body) ->
+             Printf.sprintf "%s  case %s:\n%s" pad
+               (String.concat ", " (List.map string_of_int labels))
+               (block_to_string ~indent:(indent + 4) body))
+           cases)
+    in
+    Printf.sprintf "%sswitch (%s) {\n%s\n%s  default:\n%s\n%s}" pad
+      (expr_to_string e) case_text pad
+      (block_to_string ~indent:(indent + 4) default)
+      pad
+  | Expr e -> Printf.sprintf "%s%s;" pad (expr_to_string e)
+  | Return None -> pad ^ "return;"
+  | Return (Some e) -> Printf.sprintf "%sreturn %s;" pad (expr_to_string e)
+  | Break -> pad ^ "break;"
+  | Continue -> pad ^ "continue;"
+  | Output e -> Printf.sprintf "%soutput %s;" pad (expr_to_string e)
+
+and block_to_string ?(indent = 0) b =
+  String.concat "\n" (List.map (stmt_to_string ~indent) b)
+
+let program_to_string (p : program) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "// program %s (entry %s)\n" p.prog_name p.entry);
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s @%s = %g;\n" (ty_name g.g_ty) g.g_name g.g_init))
+    p.globals;
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s[%d];\n" (ty_name a.a_ty) a.a_name a.a_size))
+    p.arrays;
+  List.iter
+    (fun f ->
+      let params =
+        String.concat ", "
+          (List.map (fun p -> ty_name p.p_ty ^ " " ^ p.p_name) f.f_params)
+      in
+      let ret = match f.f_ret with None -> "void" | Some ty -> ty_name ty in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s(%s) {\n%s\n}\n" ret f.f_name params
+           (block_to_string ~indent:2 f.f_body)))
+    p.funcs;
+  Buffer.contents buf

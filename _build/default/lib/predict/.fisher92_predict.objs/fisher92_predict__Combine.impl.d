@@ -1,0 +1,1 @@
+lib/predict/combine.ml: Array Fisher92_profile List String

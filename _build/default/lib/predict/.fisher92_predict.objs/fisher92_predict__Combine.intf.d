@@ -1,0 +1,1 @@
+lib/predict/combine.mli: Fisher92_profile Prediction

@@ -1,0 +1,1 @@
+lib/predict/dynamic.ml: Array Fisher92_util Prediction

@@ -1,0 +1,1 @@
+lib/predict/dynamic.mli: Fisher92_ir Prediction

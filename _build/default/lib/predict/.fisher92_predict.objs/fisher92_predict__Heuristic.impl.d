@@ -1,0 +1,1 @@
+lib/predict/heuristic.ml: Array Fisher92_ir List Prediction String

@@ -1,0 +1,1 @@
+lib/predict/heuristic.mli: Fisher92_ir Prediction

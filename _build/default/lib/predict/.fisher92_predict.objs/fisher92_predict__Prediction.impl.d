@@ -1,0 +1,1 @@
+lib/predict/prediction.ml: Array Fisher92_profile Fisher92_util

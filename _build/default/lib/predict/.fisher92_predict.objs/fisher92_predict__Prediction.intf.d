@@ -1,0 +1,1 @@
+lib/predict/prediction.mli: Fisher92_profile

@@ -1,0 +1,64 @@
+module Profile = Fisher92_profile.Profile
+
+type weighted = {
+  program : string;
+  w_encountered : float array;
+  w_taken : float array;
+}
+
+type strategy = Unscaled | Scaled | Polling
+
+let strategy_name = function
+  | Unscaled -> "unscaled"
+  | Scaled -> "scaled"
+  | Polling -> "polling"
+
+let combine strategy profiles =
+  match profiles with
+  | [] -> invalid_arg "Combine.combine: no profiles"
+  | first :: _ ->
+    let n = Profile.n_sites first in
+    List.iter
+      (fun (p : Profile.t) ->
+        if Profile.n_sites p <> n || not (String.equal p.program first.program)
+        then invalid_arg "Combine.combine: inconsistent profiles")
+      profiles;
+    let w_encountered = Array.make n 0.0 in
+    let w_taken = Array.make n 0.0 in
+    List.iter
+      (fun (p : Profile.t) ->
+        match strategy with
+        | Unscaled ->
+          Array.iteri
+            (fun s cnt ->
+              w_encountered.(s) <- w_encountered.(s) +. float_of_int cnt;
+              w_taken.(s) <- w_taken.(s) +. float_of_int p.taken.(s))
+            p.encountered
+        | Scaled ->
+          let total = Profile.total_branches p in
+          if total > 0 then begin
+            let scale = 1.0 /. float_of_int total in
+            Array.iteri
+              (fun s cnt ->
+                w_encountered.(s) <- w_encountered.(s) +. (float_of_int cnt *. scale);
+                w_taken.(s) <- w_taken.(s) +. (float_of_int p.taken.(s) *. scale))
+              p.encountered
+          end
+        | Polling ->
+          Array.iteri
+            (fun s cnt ->
+              if cnt > 0 then begin
+                w_encountered.(s) <- w_encountered.(s) +. 1.0;
+                if 2 * p.taken.(s) >= cnt then w_taken.(s) <- w_taken.(s) +. 1.0
+              end)
+            p.encountered)
+      profiles;
+    { program = first.program; w_encountered; w_taken }
+
+let to_prediction ?(default = false) w =
+  Array.init (Array.length w.w_encountered) (fun s ->
+      let n = w.w_encountered.(s) in
+      if n = 0.0 then default else 2.0 *. w.w_taken.(s) >= n)
+
+let predict ?default strategy profiles =
+  to_prediction ?default (combine strategy profiles)

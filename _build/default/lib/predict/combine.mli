@@ -1,0 +1,33 @@
+(** Combining several datasets' profiles into one predictor.
+
+    The paper (§3, "Scaled vs. unscaled summary predictors") tried three
+    ways of merging the counts of all datasets other than the target:
+
+    - {b unscaled}: add the raw counts;
+    - {b scaled}: divide each dataset's counts by its total branch count
+      first, giving every dataset equal weight regardless of run length
+      (the variant the paper reports);
+    - {b polling}: each dataset casts one vote per site for its majority
+      direction ("performed poorly and was discarded").
+
+    All three produce a weighted profile from which a prediction is read
+    by per-site majority. *)
+
+type weighted = {
+  program : string;
+  w_encountered : float array;
+  w_taken : float array;
+}
+
+type strategy = Unscaled | Scaled | Polling
+
+val strategy_name : strategy -> string
+
+val combine : strategy -> Fisher92_profile.Profile.t list -> weighted
+(** @raise Invalid_argument on an empty or inconsistent list. *)
+
+val to_prediction : ?default:bool -> weighted -> Prediction.t
+(** Majority direction per site; unseen sites get [default] (not taken). *)
+
+val predict : ?default:bool -> strategy -> Fisher92_profile.Profile.t list -> Prediction.t
+(** [to_prediction (combine strategy profiles)]. *)

@@ -1,0 +1,38 @@
+type scheme = Last_direction | Two_bit | Static of Prediction.t
+
+let scheme_name = function
+  | Last_direction -> "1-bit"
+  | Two_bit -> "2-bit"
+  | Static _ -> "static"
+
+type t = {
+  scheme : scheme;
+  state : int array;  (* 1-bit: 0/1; 2-bit: 0..3, >=2 predicts taken *)
+  mutable correct : int;
+  mutable incorrect : int;
+}
+
+let create scheme ~n_sites =
+  { scheme; state = Array.make n_sites 0; correct = 0; incorrect = 0 }
+
+let hook t site taken =
+  let predicted =
+    match t.scheme with
+    | Last_direction -> t.state.(site) = 1
+    | Two_bit -> t.state.(site) >= 2
+    | Static p -> p.(site)
+  in
+  if predicted = taken then t.correct <- t.correct + 1
+  else t.incorrect <- t.incorrect + 1;
+  match t.scheme with
+  | Last_direction -> t.state.(site) <- (if taken then 1 else 0)
+  | Two_bit ->
+    t.state.(site) <-
+      (if taken then min 3 (t.state.(site) + 1) else max 0 (t.state.(site) - 1))
+  | Static _ -> ()
+
+let correct t = t.correct
+let incorrect t = t.incorrect
+
+let percent_correct t =
+  Fisher92_util.Stats.percent t.correct (t.correct + t.incorrect)

@@ -1,0 +1,29 @@
+(** Dynamic (hardware) branch predictors, for the static-vs-dynamic
+    ablation.
+
+    The paper contrasts its static scheme with the 1- and 2-bit per-branch
+    counters of [Smith 81] / [Lee and Smith 84].  These simulators attach
+    to a VM run through {!Fisher92_vm.Vm.config}'s [on_branch] hook and
+    update their state on every dynamic branch, so they see the program in
+    execution order just as a branch-prediction cache would. *)
+
+type scheme =
+  | Last_direction  (** 1-bit: predict whatever the branch last did *)
+  | Two_bit  (** 2-bit saturating counter per site *)
+  | Static of Prediction.t  (** fixed assignment, for head-to-head runs *)
+
+val scheme_name : scheme -> string
+
+type t
+
+val create : scheme -> n_sites:int -> t
+(** Counters start predicting not-taken (a cold predictor). *)
+
+val hook : t -> Fisher92_ir.Insn.site -> bool -> unit
+(** Feed one dynamic branch: records correct/incorrect, then updates. *)
+
+val correct : t -> int
+
+val incorrect : t -> int
+
+val percent_correct : t -> float

@@ -1,0 +1,34 @@
+module I = Fisher92_ir.Insn
+module P = Fisher92_ir.Program
+
+let backward_taken (prog : P.t) =
+  let pred = Array.make (P.n_sites prog) false in
+  P.iter_insns prog (fun _fid pc insn ->
+      match insn with
+      | I.Br { target; site; _ } -> pred.(site) <- target <= pc
+      | _ -> ());
+  pred
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let loop_label (prog : P.t) =
+  Array.init (P.n_sites prog) (fun s ->
+      let label = P.site_label prog s in
+      contains_sub ~sub:":while" label || contains_sub ~sub:":for" label)
+
+let always_taken prog = Prediction.always true ~n_sites:(P.n_sites prog)
+let always_not_taken prog = Prediction.always false ~n_sites:(P.n_sites prog)
+
+let all =
+  [
+    ("btfn", backward_taken);
+    ("loop-label", loop_label);
+    ("always-taken", always_taken);
+    ("always-not-taken", always_not_taken);
+  ]
+
+let name_of f =
+  List.find_map (fun (name, g) -> if g == f then Some name else None) all

@@ -1,0 +1,26 @@
+(** Static prediction without profiles: the "very simple heuristics,
+    distinguishing between loops and nonloops" whose results the paper
+    calls "unsurprisingly, terrible" (about a factor of two in
+    instructions per break on non-vector codes).
+
+    These heuristics inspect only the compiled program, never a run. *)
+
+val backward_taken : Fisher92_ir.Program.t -> Prediction.t
+(** BTFN: a branch whose target precedes it (a loop back edge) is
+    predicted taken; forward branches not taken.  This is the classic
+    [Smith 81]-era opcode-free heuristic. *)
+
+val loop_label : Fisher92_ir.Program.t -> Prediction.t
+(** Source-structure variant: branches whose site label marks a loop test
+    ([while]/[for]) are predicted taken, everything else not taken —
+    i.e. "assume loops repeat, assume ifs fall through". *)
+
+val always_taken : Fisher92_ir.Program.t -> Prediction.t
+
+val always_not_taken : Fisher92_ir.Program.t -> Prediction.t
+
+val name_of : (Fisher92_ir.Program.t -> Prediction.t) -> string option
+(** Display name for the four heuristics above. *)
+
+val all : (string * (Fisher92_ir.Program.t -> Prediction.t)) list
+(** Every heuristic with its display name. *)

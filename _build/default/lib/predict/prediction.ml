@@ -1,0 +1,24 @@
+module Profile = Fisher92_profile.Profile
+
+type t = bool array
+
+let always dir ~n_sites = Array.make n_sites dir
+
+let of_profile ?(default = false) (p : Profile.t) =
+  Array.init (Profile.n_sites p) (fun s ->
+      match Profile.majority_taken p s with Some dir -> dir | None -> default)
+
+let mispredicts t p = Profile.mispredicts ~prediction:t p
+
+let percent_correct t p =
+  let total = Profile.total_branches p in
+  Fisher92_util.Stats.percent (total - mispredicts t p) total
+
+let agreement a b ~on:(p : Profile.t) =
+  if Array.length a <> Array.length b || Array.length a <> Profile.n_sites p
+  then invalid_arg "Prediction.agreement: size mismatch";
+  let agree = ref 0 in
+  Array.iteri
+    (fun s n -> if a.(s) = b.(s) then agree := !agree + n)
+    p.encountered;
+  Fisher92_util.Stats.ratio !agree (Profile.total_branches p)

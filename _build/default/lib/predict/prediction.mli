@@ -1,0 +1,26 @@
+(** Static branch predictions: one fixed direction per branch site.
+
+    This is the object the paper attaches at compile time: "static methods
+    attach one direction to each conditional branch ... the branch is then
+    always predicted to go in that direction". *)
+
+type t = bool array
+(** [t.(s)] is true when site [s] is predicted taken. *)
+
+val always : bool -> n_sites:int -> t
+
+val of_profile : ?default:bool -> Fisher92_profile.Profile.t -> t
+(** Majority direction per site.  Sites the profile never saw get
+    [default] (default: not taken — an unprofiled branch is usually an
+    error path). *)
+
+val mispredicts : t -> Fisher92_profile.Profile.t -> int
+(** Dynamic mispredicts this prediction incurs on a target run. *)
+
+val percent_correct : t -> Fisher92_profile.Profile.t -> float
+(** The traditional measure the paper argues against — reported for
+    comparison with prior work. *)
+
+val agreement : t -> t -> on:Fisher92_profile.Profile.t -> float
+(** Fraction of dynamic branches (per [on]'s weights) on which two
+    predictions agree. *)

@@ -1,0 +1,1 @@
+lib/profile/db.ml: Array Buffer Format Hashtbl List Printf Profile String

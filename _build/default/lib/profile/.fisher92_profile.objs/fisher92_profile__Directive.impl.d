@@ -1,0 +1,1 @@
+lib/profile/directive.ml: Array Fisher92_ir List Printf Profile String

@@ -1,0 +1,1 @@
+lib/profile/directive.mli: Fisher92_ir Profile

@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Array Fisher92_util Fisher92_vm List Printf String

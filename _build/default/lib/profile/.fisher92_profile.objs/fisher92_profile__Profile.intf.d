@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Fisher92_ir Fisher92_vm

@@ -1,0 +1,138 @@
+type t = {
+  db_program : string;
+  db_sites : int;
+  tbl : (string, Profile.t) Hashtbl.t;
+  mutable order : string list;  (* reversed *)
+}
+
+let create ~program ~n_sites =
+  { db_program = program; db_sites = n_sites; tbl = Hashtbl.create 8; order = [] }
+
+let program t = t.db_program
+
+let record t ~dataset (p : Profile.t) =
+  if not (String.equal p.program t.db_program) then
+    invalid_arg
+      (Printf.sprintf "Db.record: profile for %s recorded into db for %s"
+         p.program t.db_program);
+  if Profile.n_sites p <> t.db_sites then
+    invalid_arg "Db.record: site count mismatch";
+  match Hashtbl.find_opt t.tbl dataset with
+  | Some existing -> Hashtbl.replace t.tbl dataset (Profile.add existing p)
+  | None ->
+    Hashtbl.replace t.tbl dataset p;
+    t.order <- dataset :: t.order
+
+let datasets t = List.rev t.order
+
+let profile t ~dataset = Hashtbl.find t.tbl dataset
+
+let accumulated t =
+  match datasets t with
+  | [] -> Profile.empty ~program:t.db_program ~n_sites:t.db_sites
+  | ds -> Profile.sum (List.map (fun d -> profile t ~dataset:d) ds)
+
+let accumulated_except t ~dataset =
+  match List.filter (fun d -> not (String.equal d dataset)) (datasets t) with
+  | [] -> None
+  | ds -> Some (Profile.sum (List.map (fun d -> profile t ~dataset:d) ds))
+
+(* Format:
+     ifprobdb <program> <n_sites>
+     dataset <name-len> <name>
+     <site> <encountered> <taken>     (only non-zero sites)
+     end
+*)
+let save t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "ifprobdb %s %d\n" t.db_program t.db_sites);
+  List.iter
+    (fun d ->
+      let p = profile t ~dataset:d in
+      Buffer.add_string buf (Printf.sprintf "dataset %d %s\n" (String.length d) d);
+      Array.iteri
+        (fun s n ->
+          if n > 0 then
+            Buffer.add_string buf (Printf.sprintf "%d %d %d\n" s n p.taken.(s)))
+        p.encountered;
+      Buffer.add_string buf "end\n")
+    (datasets t);
+  Buffer.contents buf
+
+let load text =
+  let lines = String.split_on_char '\n' text in
+  let fail fmt = Format.kasprintf failwith fmt in
+  match lines with
+  | [] -> fail "Db.load: empty input"
+  | header :: rest -> (
+    match String.split_on_char ' ' header with
+    | [ "ifprobdb"; prog; sites ] ->
+      let n_sites =
+        match int_of_string_opt sites with
+        | Some n when n >= 0 -> n
+        | _ -> fail "Db.load: bad site count %s" sites
+      in
+      let db = create ~program:prog ~n_sites in
+      let current = ref None in
+      List.iter
+        (fun line ->
+          if String.equal line "" then ()
+          else if String.length line > 8 && String.sub line 0 8 = "dataset " then begin
+            let after = String.sub line 8 (String.length line - 8) in
+            match String.index_opt after ' ' with
+            | None -> fail "Db.load: malformed dataset line"
+            | Some i ->
+              let len =
+                match int_of_string_opt (String.sub after 0 i) with
+                | Some l -> l
+                | None -> fail "Db.load: malformed dataset length"
+              in
+              let name = String.sub after (i + 1) len in
+              current := Some (name, Profile.empty ~program:prog ~n_sites)
+          end
+          else if String.equal line "end" then begin
+            match !current with
+            | None -> fail "Db.load: end without dataset"
+            | Some (name, p) ->
+              record db ~dataset:name p;
+              current := None
+          end
+          else
+            match !current with
+            | None -> fail "Db.load: counter line outside dataset"
+            | Some (_, p) -> (
+              match
+                String.split_on_char ' ' line |> List.map int_of_string_opt
+              with
+              | [ Some s; Some n; Some taken ] ->
+                if s < 0 || s >= n_sites then fail "Db.load: bad site %d" s;
+                if taken < 0 || taken > n then fail "Db.load: bad counts";
+                p.encountered.(s) <- p.encountered.(s) + n;
+                p.taken.(s) <- p.taken.(s) + taken
+              | _ -> fail "Db.load: malformed counter line %S" line))
+        rest;
+      (match !current with
+      | Some _ -> fail "Db.load: missing final end"
+      | None -> ());
+      db
+    | _ -> fail "Db.load: bad header %S" header)
+
+let save_file t path =
+  let oc = open_out path in
+  (try output_string oc (save t)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let load_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text =
+    try really_input_string ic n
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  load text

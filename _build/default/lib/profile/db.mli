@@ -1,0 +1,45 @@
+(** The IFPROBBER database: accumulated branch counters across runs.
+
+    The paper's flow was: every instrumented run adds its counters to a
+    per-program database; a utility later reads the database and feeds the
+    totals back into the source as directives.  This module is that
+    database, keyed by dataset name so that experiment code can also pull
+    out per-dataset profiles (the paper kept those separate when studying
+    cross-dataset prediction). *)
+
+type t
+
+val create : program:string -> n_sites:int -> t
+
+val program : t -> string
+
+val record : t -> dataset:string -> Profile.t -> unit
+(** Add one run's counters under [dataset] (accumulating if the dataset
+    was already recorded, as repeated runs did in the paper).
+    @raise Invalid_argument on a profile for a different program. *)
+
+val datasets : t -> string list
+(** Recorded dataset names, in first-recorded order. *)
+
+val profile : t -> dataset:string -> Profile.t
+(** @raise Not_found. *)
+
+val accumulated : t -> Profile.t
+(** Sum over every recorded dataset — what the feedback utility would
+    write back into the source. *)
+
+val accumulated_except : t -> dataset:string -> Profile.t option
+(** Sum over all datasets except one (the paper's "sum of the other
+    datasets" predictor); [None] if that leaves nothing. *)
+
+val save : t -> string
+(** Serialize to a line-oriented text format. *)
+
+val load : string -> t
+(** @raise Failure on malformed input. *)
+
+val save_file : t -> string -> unit
+(** Write {!save}'s text to a path (the paper's on-disk database). *)
+
+val load_file : string -> t
+(** @raise Sys_error if unreadable, [Failure] if malformed. *)

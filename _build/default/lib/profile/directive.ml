@@ -1,0 +1,59 @@
+type t = { d_label : string; d_taken : int; d_not_taken : int }
+
+let of_profile (prog : Fisher92_ir.Program.t) (p : Profile.t) =
+  let acc = ref [] in
+  for s = Profile.n_sites p - 1 downto 0 do
+    let n = p.encountered.(s) in
+    if n > 0 then
+      acc :=
+        {
+          d_label = Fisher92_ir.Program.site_label prog s;
+          d_taken = p.taken.(s);
+          d_not_taken = n - p.taken.(s);
+        }
+        :: !acc
+  done;
+  !acc
+
+let render d =
+  Printf.sprintf "!MF! IFPROB %S (%d, %d)" d.d_label d.d_taken d.d_not_taken
+
+let render_all ds = String.concat "\n" (List.map render ds) ^ "\n"
+
+let parse line =
+  (* !MF! IFPROB "<label>" (<t>, <n>) *)
+  let line = String.trim line in
+  let prefix = "!MF! IFPROB \"" in
+  let plen = String.length prefix in
+  if String.length line <= plen || String.sub line 0 plen <> prefix then None
+  else
+    match String.index_from_opt line plen '"' with
+    | None -> None
+    | Some close -> (
+      let label = String.sub line plen (close - plen) in
+      let rest = String.sub line (close + 1) (String.length line - close - 1) in
+      let rest = String.trim rest in
+      if
+        String.length rest < 2
+        || rest.[0] <> '('
+        || rest.[String.length rest - 1] <> ')'
+      then None
+      else
+        let inner = String.sub rest 1 (String.length rest - 2) in
+        match String.split_on_char ',' inner with
+        | [ a; b ] -> (
+          match
+            (int_of_string_opt (String.trim a), int_of_string_opt (String.trim b))
+          with
+          | Some d_taken, Some d_not_taken when d_taken >= 0 && d_not_taken >= 0
+            ->
+            Some { d_label = label; d_taken; d_not_taken }
+          | _ -> None)
+        | _ -> None)
+
+let parse_all text =
+  String.split_on_char '\n' text |> List.filter_map parse
+
+let probability_taken d =
+  let total = d.d_taken + d.d_not_taken in
+  if total = 0 then 0.0 else float_of_int d.d_taken /. float_of_int total

@@ -1,0 +1,30 @@
+(** IFPROB feedback directives.
+
+    The paper's utility read the accumulated database and inserted
+    directives like [C!MF! IFPROB (32543, 20, 0)] into the source, telling
+    the compiler how often each branch went each way.  Our equivalent
+    renders one directive per branch site, keyed by the site's
+    source-level label, and can parse them back into a prediction for the
+    compiler (the switch-reordering pass consumes these). *)
+
+type t = {
+  d_label : string;  (** site label, e.g. ["gcd#2:while"] *)
+  d_taken : int;
+  d_not_taken : int;
+}
+
+val of_profile : Fisher92_ir.Program.t -> Profile.t -> t list
+(** One directive per site encountered at least once, in site order. *)
+
+val render : t -> string
+(** ["!MF! IFPROB \"<label>\" (<taken>, <not_taken>)"]. *)
+
+val render_all : t list -> string
+
+val parse : string -> t option
+(** Inverse of {!render}; [None] on lines that are not directives. *)
+
+val parse_all : string -> t list
+
+val probability_taken : t -> float
+(** Fraction of executions in which the branch was taken. *)

@@ -1,0 +1,69 @@
+type t = { program : string; encountered : int array; taken : int array }
+
+let empty ~program ~n_sites =
+  { program; encountered = Array.make n_sites 0; taken = Array.make n_sites 0 }
+
+let of_run ~program (r : Fisher92_vm.Vm.result) =
+  {
+    program;
+    encountered = Array.copy r.site_encountered;
+    taken = Array.copy r.site_taken;
+  }
+
+let check_compatible a b =
+  if
+    (not (String.equal a.program b.program))
+    || Array.length a.encountered <> Array.length b.encountered
+  then
+    invalid_arg
+      (Printf.sprintf "Profile: incompatible profiles (%s/%d vs %s/%d)"
+         a.program
+         (Array.length a.encountered)
+         b.program
+         (Array.length b.encountered))
+
+let add a b =
+  check_compatible a b;
+  {
+    program = a.program;
+    encountered = Array.map2 ( + ) a.encountered b.encountered;
+    taken = Array.map2 ( + ) a.taken b.taken;
+  }
+
+let sum = function
+  | [] -> invalid_arg "Profile.sum: empty list"
+  | p :: rest -> List.fold_left add p rest
+
+let n_sites t = Array.length t.encountered
+let total_branches t = Array.fold_left ( + ) 0 t.encountered
+let total_taken t = Array.fold_left ( + ) 0 t.taken
+
+let percent_taken t =
+  Fisher92_util.Stats.percent (total_taken t) (total_branches t)
+
+let majority_taken t site =
+  let n = t.encountered.(site) in
+  if n = 0 then None else Some (2 * t.taken.(site) >= n)
+
+let covered_sites t =
+  Array.fold_left (fun acc n -> if n > 0 then acc + 1 else acc) 0 t.encountered
+
+let mispredicts ~prediction t =
+  if Array.length prediction <> n_sites t then
+    invalid_arg "Profile.mispredicts: size mismatch";
+  let acc = ref 0 in
+  Array.iteri
+    (fun s n ->
+      let taken = t.taken.(s) in
+      acc := !acc + if prediction.(s) then n - taken else taken)
+    t.encountered;
+  !acc
+
+let best_mispredicts t =
+  let acc = ref 0 in
+  Array.iteri
+    (fun s n ->
+      let taken = t.taken.(s) in
+      acc := !acc + min taken (n - taken))
+    t.encountered;
+  !acc

@@ -1,0 +1,49 @@
+(** Branch-direction profiles: the IFPROBBER's data.
+
+    A profile holds, for every static conditional-branch site of one
+    compiled program, how many times the branch was encountered and how
+    many times its condition was true (the branch was taken).  Profiles
+    from different runs of the same binary can be added, which is exactly
+    how the paper's tool accumulated its database across runs. *)
+
+type t = {
+  program : string;  (** program the sites belong to *)
+  encountered : int array;  (** per site *)
+  taken : int array;  (** per site; [taken.(s) <= encountered.(s)] *)
+}
+
+val empty : program:string -> n_sites:int -> t
+
+val of_run : program:string -> Fisher92_vm.Vm.result -> t
+(** Extract the per-site counters of one VM run. *)
+
+val add : t -> t -> t
+(** Pointwise sum.  @raise Invalid_argument on program/size mismatch. *)
+
+val sum : t list -> t
+(** @raise Invalid_argument on the empty list or mismatched profiles. *)
+
+val n_sites : t -> int
+
+val total_branches : t -> int
+(** Dynamic conditional branches recorded (sum of [encountered]). *)
+
+val total_taken : t -> int
+
+val percent_taken : t -> float
+(** Paper §3 "branch percent taken as a program constant". *)
+
+val majority_taken : t -> Fisher92_ir.Insn.site -> bool option
+(** Majority direction of a site; [None] when never encountered.
+    Ties predict taken. *)
+
+val covered_sites : t -> int
+(** Sites encountered at least once. *)
+
+val mispredicts : prediction:bool array -> t -> int
+(** Dynamic mispredicts that a fixed per-site direction assignment incurs
+    against this profile.  @raise Invalid_argument on size mismatch. *)
+
+val best_mispredicts : t -> int
+(** Mispredicts of the profile's own majority prediction — the floor any
+    static prediction can reach on this run. *)

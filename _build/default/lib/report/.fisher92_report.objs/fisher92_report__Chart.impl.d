@@ -1,0 +1,1 @@
+lib/report/chart.ml: Buffer Float List Printf String Table

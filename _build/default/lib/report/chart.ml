@@ -1,0 +1,54 @@
+type series = { s_name : string; s_value : float }
+
+let grouped ?(width = 46) ~title ~unit_label items =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (String.length title) '=');
+  Buffer.add_char buf '\n';
+  let finite_max =
+    List.fold_left
+      (fun acc (_, series) ->
+        List.fold_left
+          (fun acc s ->
+            if s.s_value = infinity || Float.is_nan s.s_value then acc
+            else Float.max acc s.s_value)
+          acc series)
+      1.0 items
+  in
+  let label_w =
+    List.fold_left (fun acc (label, _) -> max acc (String.length label)) 0 items
+  in
+  let series_w =
+    List.fold_left
+      (fun acc (_, series) ->
+        List.fold_left (fun acc s -> max acc (String.length s.s_name)) acc series)
+      0 items
+  in
+  List.iter
+    (fun (label, series) ->
+      List.iteri
+        (fun k s ->
+          let item_label = if k = 0 then label else "" in
+          let bar_len =
+            if s.s_value = infinity then width
+            else
+              int_of_float
+                (Float.round (s.s_value /. finite_max *. float_of_int width))
+          in
+          let bar_len = max 0 (min width bar_len) in
+          let value_text =
+            if s.s_value = infinity then "inf"
+            else Table.fnum s.s_value
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s  %-*s |%s%s %s\n" label_w item_label
+               series_w s.s_name
+               (String.make bar_len '#')
+               (String.make (width - bar_len) ' ')
+               value_text))
+        series;
+      Buffer.add_char buf '\n')
+    items;
+  Buffer.add_string buf (Printf.sprintf "  (bar scale: %s)\n" unit_label);
+  Buffer.contents buf

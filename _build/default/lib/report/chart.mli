@@ -1,0 +1,14 @@
+(** ASCII bar charts in the style of the paper's figures: per item, one
+    bar per series (the paper's black and white bars). *)
+
+type series = { s_name : string; s_value : float }
+
+val grouped :
+  ?width:int ->
+  title:string ->
+  unit_label:string ->
+  (string * series list) list ->
+  string
+(** [grouped ~title ~unit_label items] renders each item's series as
+    horizontal bars scaled to the global maximum (default width 46
+    characters).  Infinite values render as full bars tagged ["inf"]. *)

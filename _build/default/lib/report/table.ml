@@ -1,0 +1,69 @@
+let inum n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + 8) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun k ch ->
+      if k > 0 && (len - k) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
+let fnum ?(decimals = 1) x =
+  if x = infinity then "inf"
+  else if x = neg_infinity then "-inf"
+  else if Float.is_nan x then "nan"
+  else if Float.abs x >= 10000.0 then inum (int_of_float (Float.round x))
+  else Printf.sprintf "%.*f" decimals x
+
+let pct x = Printf.sprintf "%.1f%%" x
+
+let looks_numeric cell =
+  cell <> ""
+  && String.for_all
+       (fun ch -> (ch >= '0' && ch <= '9') || String.contains "+-.,%infax " ch)
+       cell
+
+let render ~header rows =
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  let measure row =
+    List.iteri
+      (fun c cell ->
+        if c < cols then widths.(c) <- max widths.(c) (String.length cell))
+      row
+  in
+  measure header;
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let emit_row row ~is_header =
+    List.iteri
+      (fun c cell ->
+        if c > 0 then Buffer.add_string buf "  ";
+        let w = if c < cols then widths.(c) else String.length cell in
+        let pad = max 0 (w - String.length cell) in
+        if (not is_header) && looks_numeric cell then begin
+          Buffer.add_string buf (String.make pad ' ');
+          Buffer.add_string buf cell
+        end
+        else begin
+          Buffer.add_string buf cell;
+          Buffer.add_string buf (String.make pad ' ')
+        end)
+      row;
+    (* trim trailing spaces *)
+    while
+      Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) = ' '
+    do
+      Buffer.truncate buf (Buffer.length buf - 1)
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header ~is_header:true;
+  Buffer.add_string buf
+    (String.concat "  "
+       (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  Buffer.add_char buf '\n';
+  List.iter (fun row -> emit_row row ~is_header:false) rows;
+  Buffer.contents buf

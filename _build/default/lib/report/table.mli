@@ -1,0 +1,15 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+val render : header:string list -> string list list -> string
+(** Aligned columns with a rule under the header.  Numeric-looking cells
+    are right-aligned, text cells left-aligned. *)
+
+val fnum : ?decimals:int -> float -> string
+(** Compact float formatting: thousands separators for big magnitudes,
+    [decimals] places (default 1) otherwise; ["inf"] for infinity. *)
+
+val inum : int -> string
+(** Integer with thousands separators. *)
+
+val pct : float -> string
+(** Percentage with one decimal, e.g. ["83.4%"]. *)

@@ -1,0 +1,69 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* OCaml's native int is 63 bits, so keep 62 bits to stay non-negative *)
+let nonneg t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  assert (bound > 0);
+  nonneg t mod bound
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t bound =
+  let mantissa = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float mantissa /. 9007199254740992.0 *. bound
+
+let chance t p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float t 1.0 < p
+
+let float_in t lo hi = lo +. float t (hi -. lo)
+
+let gaussian t =
+  let rec loop () =
+    let u = float_in t (-1.0) 1.0 and v = float_in t (-1.0) 1.0 in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1.0 || s = 0.0 then loop ()
+    else u *. sqrt (-2.0 *. log s /. s)
+  in
+  loop ()
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let pick_weighted t choices =
+  let total = Array.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  assert (total > 0);
+  let rec go i remaining =
+    let w, x = choices.(i) in
+    if remaining < w then x else go (i + 1) (remaining - w)
+  in
+  go 0 (int t total)
+
+let split t = { state = next_int64 t }

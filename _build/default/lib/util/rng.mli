@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generation.
+
+    All dataset generators in this repository draw from this splitmix64
+    implementation so that every run of every experiment sees bit-identical
+    inputs.  The standard-library [Random] module is deliberately not used:
+    its sequence is not guaranteed stable across OCaml releases. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Equal seeds yield equal
+    sequences. *)
+
+val copy : t -> t
+(** Independent clone with the same current state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value of the splitmix64 sequence. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in the inclusive range [\[lo, hi\]]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [\[0,1\]]). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val float_in : t -> float -> float -> float
+(** Uniform in [\[lo, hi)]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box-Muller, one value per call). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_weighted : t -> (int * 'a) array -> 'a
+(** [pick_weighted t choices] picks proportionally to the integer weights,
+    which must sum to a positive value. *)
+
+val split : t -> t
+(** Derive an independent child generator, advancing the parent. *)

@@ -1,0 +1,53 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let logsum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (logsum /. float_of_int (List.length xs))
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) y -> (Float.min lo y, Float.max hi y)) (x, x) xs
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let percent part whole = 100.0 *. ratio part whole
+
+let weighted_mean pairs =
+  let wsum = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 pairs in
+  if wsum = 0.0 then 0.0
+  else List.fold_left (fun acc (w, x) -> acc +. (w *. x)) 0.0 pairs /. wsum
+
+let pearson pairs =
+  let n = List.length pairs in
+  if n < 2 then 0.0
+  else begin
+    let xs = List.map fst pairs and ys = List.map snd pairs in
+    let mx = mean xs and my = mean ys in
+    let cov =
+      List.fold_left (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my))) 0.0 pairs
+    in
+    let sx = sqrt (List.fold_left (fun a x -> a +. ((x -. mx) ** 2.0)) 0.0 xs) in
+    let sy = sqrt (List.fold_left (fun a y -> a +. ((y -. my) ** 2.0)) 0.0 ys) in
+    if sx = 0.0 || sy = 0.0 then 0.0 else cov /. (sx *. sy)
+  end

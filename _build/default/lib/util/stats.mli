@@ -1,0 +1,29 @@
+(** Small summary-statistics helpers used by the metrics and report code. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0 for the empty list. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest element.  @raise Invalid_argument on []. *)
+
+val median : float list -> float
+(** Median (mean of the two middle elements for even lengths). *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for lists shorter than 2. *)
+
+val ratio : int -> int -> float
+(** [ratio num den] as a float; 0 when [den] is 0. *)
+
+val percent : int -> int -> float
+(** [percent part whole] in 0..100; 0 when [whole] is 0. *)
+
+val weighted_mean : (float * float) list -> float
+(** [weighted_mean \[(w, x); ...\]]; 0 when total weight is 0. *)
+
+val pearson : (float * float) list -> float
+(** Pearson correlation coefficient of paired samples; 0 when either
+    side has no variance or fewer than 2 pairs. *)

@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Array Fisher92_ir Float Format Insn List Printf Program

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Lazy List String W_cc1 W_compress W_doduc W_eqntott W_espresso W_fpppp W_lfk W_li W_matrix300 W_mfcom W_nasa7 W_spice W_spiff W_tomcatv Workload

@@ -1,0 +1,1 @@
+lib/workloads/textgen.ml: Array Buffer Char Fisher92_util Printf String

@@ -1,0 +1,1 @@
+lib/workloads/w_cc1.ml: Array Buffer Char Fisher92_minic Fisher92_util List Printf String Textgen Workload

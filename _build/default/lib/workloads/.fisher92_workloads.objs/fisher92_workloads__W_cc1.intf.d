@@ -1,0 +1,1 @@
+lib/workloads/w_cc1.mli: Fisher92_minic Workload

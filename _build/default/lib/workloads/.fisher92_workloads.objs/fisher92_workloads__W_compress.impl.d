@@ -1,0 +1,1 @@
+lib/workloads/w_compress.ml: Array Fisher92_minic Hashtbl Lazy List Textgen Workload

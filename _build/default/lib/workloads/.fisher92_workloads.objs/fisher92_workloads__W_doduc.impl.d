@@ -1,0 +1,1 @@
+lib/workloads/w_doduc.ml: Fisher92_minic Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_doduc.mli: Fisher92_minic Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_eqntott.mli: Fisher92_minic Workload

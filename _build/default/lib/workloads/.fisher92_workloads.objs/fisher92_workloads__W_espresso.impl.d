@@ -1,0 +1,1 @@
+lib/workloads/w_espresso.ml: Array Fisher92_minic Fisher92_util Lazy List Workload

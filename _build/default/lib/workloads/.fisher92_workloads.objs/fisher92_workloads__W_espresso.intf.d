@@ -1,0 +1,1 @@
+lib/workloads/w_espresso.mli: Fisher92_minic Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_fpppp.ml: Fisher92_minic Fisher92_util List Printf Workload

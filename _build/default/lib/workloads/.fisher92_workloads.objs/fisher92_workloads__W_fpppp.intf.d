@@ -1,0 +1,1 @@
+lib/workloads/w_fpppp.mli: Fisher92_minic Workload

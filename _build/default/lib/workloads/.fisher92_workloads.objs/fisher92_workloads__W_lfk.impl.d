@@ -1,0 +1,1 @@
+lib/workloads/w_lfk.ml: Fisher92_minic Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_lfk.mli: Fisher92_minic Workload

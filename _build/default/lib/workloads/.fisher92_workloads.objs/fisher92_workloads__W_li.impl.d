@@ -1,0 +1,1 @@
+lib/workloads/w_li.ml: Array Fisher92_minic Hashtbl List Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_li.mli: Fisher92_minic Workload

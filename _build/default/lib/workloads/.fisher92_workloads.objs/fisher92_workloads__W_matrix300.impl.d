@@ -1,0 +1,1 @@
+lib/workloads/w_matrix300.ml: Array Fisher92_minic Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_matrix300.mli: Fisher92_minic Workload

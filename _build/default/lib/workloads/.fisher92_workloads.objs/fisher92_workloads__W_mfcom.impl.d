@@ -1,0 +1,1 @@
+lib/workloads/w_mfcom.ml: Array Fisher92_minic Fisher92_util Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_mfcom.mli: Fisher92_minic Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_nasa7.ml: Fisher92_minic Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_spice.ml: Array Fisher92_minic Fisher92_util List Workload

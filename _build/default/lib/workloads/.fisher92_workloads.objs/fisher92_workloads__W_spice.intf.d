@@ -1,0 +1,1 @@
+lib/workloads/w_spice.mli: Fisher92_minic Workload

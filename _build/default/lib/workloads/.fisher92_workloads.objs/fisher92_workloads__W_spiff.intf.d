@@ -1,0 +1,1 @@
+lib/workloads/w_spiff.mli: Fisher92_minic Workload

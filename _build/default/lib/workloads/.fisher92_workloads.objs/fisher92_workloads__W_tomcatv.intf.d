@@ -1,0 +1,1 @@
+lib/workloads/w_tomcatv.mli: Fisher92_minic Workload

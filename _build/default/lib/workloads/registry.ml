@@ -1,0 +1,39 @@
+let build () =
+  [
+    (* FORTRAN / floating point, paper Table 2 order *)
+    W_spice.workload;
+    W_doduc.workload;
+    W_nasa7.workload;
+    W_matrix300.workload;
+    W_fpppp.workload;
+    W_tomcatv.workload;
+    W_lfk.workload;
+    (* C / integer *)
+    W_cc1.workload;
+    W_espresso.workload;
+    W_li.workload;
+    W_eqntott.workload;
+    W_compress.workload;
+    W_compress.workload_uncompress;
+    W_mfcom.workload;
+    W_spiff.workload;
+  ]
+
+let memo = lazy (build ())
+
+let all () = Lazy.force memo
+
+let find name =
+  List.find (fun w -> String.equal w.Workload.w_name name) (all ())
+
+let fortran_fp () =
+  List.filter (fun w -> w.Workload.w_lang = Workload.Fortran_fp) (all ())
+
+let c_integer () =
+  List.filter (fun w -> w.Workload.w_lang = Workload.C_int) (all ())
+
+let multi_dataset () =
+  List.filter (fun w -> List.length w.Workload.w_datasets >= 2) (all ())
+
+let single_dataset () =
+  List.filter (fun w -> List.length w.Workload.w_datasets < 2) (all ())

@@ -1,0 +1,19 @@
+(** The program sample base (paper Table 2): every workload in one list. *)
+
+val all : unit -> Workload.t list
+(** All fourteen workloads, FORTRAN/FP first, then C/Integer, in the
+    paper's table order.  Dataset construction is deterministic; the list
+    is built once and memoized. *)
+
+val find : string -> Workload.t
+(** Workload by name.  @raise Not_found. *)
+
+val fortran_fp : unit -> Workload.t list
+val c_integer : unit -> Workload.t list
+
+val multi_dataset : unit -> Workload.t list
+(** Workloads with at least two datasets (the ones eligible for the
+    cross-prediction experiments of Figures 2 and 3). *)
+
+val single_dataset : unit -> Workload.t list
+(** Workloads reported in Table 3 (one meaningful dataset). *)

@@ -1,0 +1,646 @@
+(* 001.gcc (cc1) analogue: a compiler front end compiling C-like modules.
+
+   Three real phases over real source text: a character-level lexer
+   (whitespace/comment skipping, identifier/keyword discrimination,
+   number scanning), a recursive-descent parser building an AST into node
+   arrays, a constant-folding pass, and a stack-machine code generator.
+   This is the paper's "systems code": branch-dense (a conditional every
+   handful of instructions), table-free dispatch, data-dependent paths
+   set by the source text being compiled.
+
+   The six datasets play the role of the six SPEC compiler modules the
+   paper reports on: same program, different module character
+   (expression-heavy, control-heavy, declaration-heavy, comment-heavy,
+   flat, deeply nested).
+
+   Tokens: 1 ident, 2 number, 3 +, 4 -, 5 *, 6 /, 7 <, 8 ==, 9 =,
+   10 (, 11 ), 12 {, 13 }, 14 ;, 15 if, 16 else, 17 while, 18 int,
+   19 return, 0 EOF.
+   AST kinds: 1 num, 2 var, 3 binop (operator token in val), 4 neg,
+   5 assign, 6 decl, 7 if, 8 while, 9 block, 10 return, 11 exprstmt. *)
+
+open Fisher92_minic.Dsl
+
+let max_src = 32768
+
+(* the lexer's rolling hash, mirrored for the keyword table *)
+let kw_hash s =
+  String.fold_left (fun h c -> ((h * 31) + Char.code c) land 0xFFFFFFF) 0 s
+let max_toks = 8192
+let max_nodes = 8192
+
+let program =
+  program "cc1" ~entry:"main"
+    ~globals:
+      [
+        gint "src_len" 0;
+        gint "pos" 0;  (* lexer cursor *)
+        gint "n_toks" 0;
+        gint "cursor" 0;  (* parser cursor *)
+        gint "n_nodes" 0;
+        gint "n_errors" 0;
+        gint "n_folds" 0;
+        gint "n_ops" 0;
+        gint "op_checksum" 0;
+      ]
+    ~arrays:
+      [
+        iarr "src" max_src;
+        iarr "tok_kind" max_toks;
+        iarr "tok_val" max_toks;
+        iarr "node_kind" max_nodes;
+        iarr "node_a" max_nodes;
+        iarr "node_b" max_nodes;
+        iarr "node_c" max_nodes;
+        iarr "node_val" max_nodes;
+        iarr "node_next" max_nodes;
+      ]
+    [
+      (* ---------- lexer ---------- *)
+      fn "is_alpha" [ pi "ch" ] ~ret:Fisher92_minic.Ast.Tint
+        [
+          ret
+            (((v "ch" >=: i 97) &&: (v "ch" <=: i 122))
+            ||: (v "ch" =: i 95));
+        ];
+      fn "is_digit" [ pi "ch" ] ~ret:Fisher92_minic.Ast.Tint
+        [ ret ((v "ch" >=: i 48) &&: (v "ch" <=: i 57)) ];
+      (* keyword table: returns token kind, or 1 (ident) *)
+      fn "keyword" [ pi "h"; pi "len" ] ~ret:Fisher92_minic.Ast.Tint
+        [
+          (* h is the lexer's masked rolling hash; keywords are
+             recognized by (len, h) *)
+          when_ ((v "len" =: i 2) &&: (v "h" =: i (kw_hash "if"))) [ ret (i 15) ];
+          when_ ((v "len" =: i 4) &&: (v "h" =: i (kw_hash "else"))) [ ret (i 16) ];
+          when_ ((v "len" =: i 5) &&: (v "h" =: i (kw_hash "while"))) [ ret (i 17) ];
+          when_ ((v "len" =: i 3) &&: (v "h" =: i (kw_hash "int"))) [ ret (i 18) ];
+          when_ ((v "len" =: i 6) &&: (v "h" =: i (kw_hash "return"))) [ ret (i 19) ];
+          ret (i 1);
+        ];
+      fn "emit_tok" [ pi "kind"; pi "value" ]
+        [
+          when_ (g "n_toks" <: i (max_toks - 1))
+            [
+              st "tok_kind" (g "n_toks") (v "kind");
+              st "tok_val" (g "n_toks") (v "value");
+              gset "n_toks" (g "n_toks" +: i 1);
+            ];
+        ];
+      fn "lex" []
+        [
+          leti "n" (g "src_len");
+          leti "dead_chars" (i 0);
+          while_ (g "pos" <: v "n")
+            [
+              leti "ch" (ld "src" (g "pos"));
+              set "dead_chars" (v "dead_chars" +: v "ch");
+              (* whitespace *)
+              if_ ((v "ch" =: i 32) ||: (v "ch" =: i 10) ||: (v "ch" =: i 9))
+                [ gset "pos" (g "pos" +: i 1) ]
+                [
+                  (* comment: / * ... * / *)
+                  if_
+                    ((v "ch" =: i 47)
+                    &&: (g "pos" +: i 1 <: v "n")
+                    &&: (ld "src" (g "pos" +: i 1) =: i 42))
+                    [
+                      gset "pos" (g "pos" +: i 2);
+                      leti "closed" (i 0);
+                      while_ ((v "closed" =: i 0) &&: (g "pos" +: i 1 <: v "n"))
+                        [
+                          if_
+                            ((ld "src" (g "pos") =: i 42)
+                            &&: (ld "src" (g "pos" +: i 1) =: i 47))
+                            [ set "closed" (i 1); gset "pos" (g "pos" +: i 2) ]
+                            [ gset "pos" (g "pos" +: i 1) ];
+                        ];
+                    ]
+                    [
+                      if_ (call "is_alpha" [ v "ch" ] =: i 1)
+                        [
+                          (* identifier or keyword *)
+                          leti "h" (i 0);
+                          leti "len" (i 0);
+                          while_
+                            ((g "pos" <: v "n")
+                            &&: ((call "is_alpha" [ ld "src" (g "pos") ] =: i 1)
+                                ||: (call "is_digit" [ ld "src" (g "pos") ] =: i 1)))
+                            [
+                              set "h" (band ((v "h" *: i 31) +: ld "src" (g "pos")) (i 0xFFFFFFF));
+                              incr_ "len";
+                              gset "pos" (g "pos" +: i 1);
+                            ];
+                          leti "kind" (call "keyword" [ v "h"; v "len" ]);
+                          if_ (v "kind" =: i 1)
+                            [ expr_ (call "emit_tok" [ i 1; v "h" ]) ]
+                            [ expr_ (call "emit_tok" [ v "kind"; i 0 ]) ];
+                        ]
+                        [
+                          if_ (call "is_digit" [ v "ch" ] =: i 1)
+                            [
+                              leti "num" (i 0);
+                              while_
+                                ((g "pos" <: v "n")
+                                &&: (call "is_digit" [ ld "src" (g "pos") ] =: i 1))
+                                [
+                                  set "num"
+                                    ((v "num" *: i 10) +: ld "src" (g "pos") -: i 48);
+                                  gset "pos" (g "pos" +: i 1);
+                                ];
+                              expr_ (call "emit_tok" [ i 2; v "num" ]);
+                            ]
+                            [
+                              (* operators and punctuation *)
+                              gset "pos" (g "pos" +: i 1);
+                              switch_ (v "ch")
+                                [
+                                  case 43 [ expr_ (call "emit_tok" [ i 3; i 0 ]) ];
+                                  case 45 [ expr_ (call "emit_tok" [ i 4; i 0 ]) ];
+                                  case 42 [ expr_ (call "emit_tok" [ i 5; i 0 ]) ];
+                                  case 47 [ expr_ (call "emit_tok" [ i 6; i 0 ]) ];
+                                  case 60 [ expr_ (call "emit_tok" [ i 7; i 0 ]) ];
+                                  case 61
+                                    [
+                                      (* '=' or '==' *)
+                                      if_
+                                        ((g "pos" <: v "n")
+                                        &&: (ld "src" (g "pos") =: i 61))
+                                        [
+                                          gset "pos" (g "pos" +: i 1);
+                                          expr_ (call "emit_tok" [ i 8; i 0 ]);
+                                        ]
+                                        [ expr_ (call "emit_tok" [ i 9; i 0 ]) ];
+                                    ];
+                                  case 40 [ expr_ (call "emit_tok" [ i 10; i 0 ]) ];
+                                  case 41 [ expr_ (call "emit_tok" [ i 11; i 0 ]) ];
+                                  case 123 [ expr_ (call "emit_tok" [ i 12; i 0 ]) ];
+                                  case 125 [ expr_ (call "emit_tok" [ i 13; i 0 ]) ];
+                                  case 59 [ expr_ (call "emit_tok" [ i 14; i 0 ]) ];
+                                ]
+                                [ gset "n_errors" (g "n_errors" +: i 1) ];
+                            ];
+                        ];
+                    ];
+                ];
+            ];
+          expr_ (call "emit_tok" [ i 0; i 0 ]);
+        ];
+      (* ---------- parser ---------- *)
+      fn "peek" [] ~ret:Fisher92_minic.Ast.Tint [ ret (ld "tok_kind" (g "cursor")) ];
+      fn "advance" [] [ gset "cursor" (g "cursor" +: i 1) ];
+      fn "expect" [ pi "kind" ]
+        [
+          if_ (call "peek" [] =: v "kind")
+            [ expr_ (call "advance" []) ]
+            [ gset "n_errors" (g "n_errors" +: i 1); expr_ (call "advance" []) ];
+        ];
+      fn "new_node" [ pi "kind"; pi "a"; pi "b"; pi "value" ] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "id" (g "n_nodes");
+          when_ (v "id" >=: i max_nodes)
+            [ gset "n_errors" (g "n_errors" +: i 1); ret (v "id" -: i 1) ];
+          st "node_kind" (v "id") (v "kind");
+          st "node_a" (v "id") (v "a");
+          st "node_b" (v "id") (v "b");
+          st "node_c" (v "id") (i (-1));
+          st "node_val" (v "id") (v "value");
+          st "node_next" (v "id") (i (-1));
+          gset "n_nodes" (g "n_nodes" +: i 1);
+          ret (v "id");
+        ];
+      fn "parse_factor" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "k" (call "peek" []);
+          when_ (v "k" =: i 2)
+            [
+              leti "value" (ld "tok_val" (g "cursor"));
+              expr_ (call "advance" []);
+              ret (call "new_node" [ i 1; i (-1); i (-1); v "value" ]);
+            ];
+          when_ (v "k" =: i 1)
+            [
+              leti "h" (ld "tok_val" (g "cursor"));
+              expr_ (call "advance" []);
+              ret (call "new_node" [ i 2; i (-1); i (-1); v "h" ]);
+            ];
+          when_ (v "k" =: i 10)
+            [
+              expr_ (call "advance" []);
+              leti "inner" (call "parse_expr" []);
+              expr_ (call "expect" [ i 11 ]);
+              ret (v "inner");
+            ];
+          when_ (v "k" =: i 4)
+            [
+              expr_ (call "advance" []);
+              leti "operand" (call "parse_factor" []);
+              ret (call "new_node" [ i 4; v "operand"; i (-1); i 0 ]);
+            ];
+          (* error recovery: consume and fabricate a zero *)
+          gset "n_errors" (g "n_errors" +: i 1);
+          expr_ (call "advance" []);
+          ret (call "new_node" [ i 1; i (-1); i (-1); i 0 ]);
+        ];
+      fn "parse_term" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "left" (call "parse_factor" []);
+          leti "k" (call "peek" []);
+          while_ ((v "k" =: i 5) ||: (v "k" =: i 6))
+            [
+              expr_ (call "advance" []);
+              leti "right" (call "parse_factor" []);
+              set "left" (call "new_node" [ i 3; v "left"; v "right"; v "k" ]);
+              set "k" (call "peek" []);
+            ];
+          ret (v "left");
+        ];
+      fn "parse_expr" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "left" (call "parse_term" []);
+          leti "k" (call "peek" []);
+          while_
+            ((v "k" =: i 3) ||: (v "k" =: i 4) ||: (v "k" =: i 7) ||: (v "k" =: i 8))
+            [
+              expr_ (call "advance" []);
+              leti "right" (call "parse_term" []);
+              set "left" (call "new_node" [ i 3; v "left"; v "right"; v "k" ]);
+              set "k" (call "peek" []);
+            ];
+          ret (v "left");
+        ];
+      fn "parse_stmt" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "k" (call "peek" []);
+          (* if ( expr ) stmt [else stmt] *)
+          when_ (v "k" =: i 15)
+            [
+              expr_ (call "advance" []);
+              expr_ (call "expect" [ i 10 ]);
+              leti "cond" (call "parse_expr" []);
+              expr_ (call "expect" [ i 11 ]);
+              leti "then_n" (call "parse_stmt" []);
+              leti "node" (call "new_node" [ i 7; v "cond"; v "then_n"; i 0 ]);
+              when_ (call "peek" [] =: i 16)
+                [
+                  expr_ (call "advance" []);
+                  leti "else_n" (call "parse_stmt" []);
+                  st "node_c" (v "node") (v "else_n");
+                ];
+              ret (v "node");
+            ];
+          (* while ( expr ) stmt *)
+          when_ (v "k" =: i 17)
+            [
+              expr_ (call "advance" []);
+              expr_ (call "expect" [ i 10 ]);
+              leti "wcond" (call "parse_expr" []);
+              expr_ (call "expect" [ i 11 ]);
+              leti "wbody" (call "parse_stmt" []);
+              ret (call "new_node" [ i 8; v "wcond"; v "wbody"; i 0 ]);
+            ];
+          (* { stmt* } *)
+          when_ (v "k" =: i 12)
+            [
+              expr_ (call "advance" []);
+              leti "head" (i (-1));
+              leti "tail" (i (-1));
+              while_ ((call "peek" [] <>: i 13) &&: (call "peek" [] <>: i 0))
+                [
+                  leti "child" (call "parse_stmt" []);
+                  if_ (v "tail" =: i (-1))
+                    [ set "head" (v "child") ]
+                    [ st "node_next" (v "tail") (v "child") ];
+                  set "tail" (v "child");
+                ];
+              expr_ (call "expect" [ i 13 ]);
+              ret (call "new_node" [ i 9; v "head"; i (-1); i 0 ]);
+            ];
+          (* int ident = expr ; *)
+          when_ (v "k" =: i 18)
+            [
+              expr_ (call "advance" []);
+              leti "h" (ld "tok_val" (g "cursor"));
+              expr_ (call "expect" [ i 1 ]);
+              expr_ (call "expect" [ i 9 ]);
+              leti "init" (call "parse_expr" []);
+              expr_ (call "expect" [ i 14 ]);
+              ret (call "new_node" [ i 6; v "init"; i (-1); v "h" ]);
+            ];
+          (* return expr ; *)
+          when_ (v "k" =: i 19)
+            [
+              expr_ (call "advance" []);
+              leti "value" (call "parse_expr" []);
+              expr_ (call "expect" [ i 14 ]);
+              ret (call "new_node" [ i 10; v "value"; i (-1); i 0 ]);
+            ];
+          (* ident = expr ;  |  expression statement *)
+          when_ ((v "k" =: i 1) &&: (ld "tok_kind" (g "cursor" +: i 1) =: i 9))
+            [
+              leti "ah" (ld "tok_val" (g "cursor"));
+              expr_ (call "advance" []);
+              expr_ (call "advance" []);
+              leti "rhs" (call "parse_expr" []);
+              expr_ (call "expect" [ i 14 ]);
+              ret (call "new_node" [ i 5; v "rhs"; i (-1); v "ah" ]);
+            ];
+          leti "e" (call "parse_expr" []);
+          expr_ (call "expect" [ i 14 ]);
+          ret (call "new_node" [ i 11; v "e"; i (-1); i 0 ]);
+        ];
+      (* ---------- constant folding ---------- *)
+      fn "fold" [ pi "node" ] ~ret:Fisher92_minic.Ast.Tint
+        [
+          when_ (v "node" =: i (-1)) [ ret (i (-1)) ];
+          leti "k" (ld "node_kind" (v "node"));
+          (* fold children first *)
+          when_ ((v "k" <>: i 1) &&: (v "k" <>: i 2))
+            [
+              st "node_a" (v "node") (call "fold" [ ld "node_a" (v "node") ]);
+              st "node_b" (v "node") (call "fold" [ ld "node_b" (v "node") ]);
+              st "node_c" (v "node") (call "fold" [ ld "node_c" (v "node") ]);
+            ];
+          (* chase statement chains *)
+          when_ (ld "node_next" (v "node") <>: i (-1))
+            [ st "node_next" (v "node") (call "fold" [ ld "node_next" (v "node") ]) ];
+          (* binop of two numbers -> number *)
+          when_ (v "k" =: i 3)
+            [
+              leti "na" (ld "node_a" (v "node"));
+              leti "nb" (ld "node_b" (v "node"));
+              when_
+                ((ld "node_kind" (v "na") =: i 1)
+                &&: (ld "node_kind" (v "nb") =: i 1))
+                [
+                  leti "x" (ld "node_val" (v "na"));
+                  leti "y" (ld "node_val" (v "nb"));
+                  leti "r" (i 0);
+                  leti "ok" (i 1);
+                  switch_ (ld "node_val" (v "node"))
+                    [
+                      case 3 [ set "r" (v "x" +: v "y") ];
+                      case 4 [ set "r" (v "x" -: v "y") ];
+                      case 5 [ set "r" (v "x" *: v "y") ];
+                      case 6
+                        [
+                          if_ (v "y" =: i 0) [ set "ok" (i 0) ]
+                            [ set "r" (v "x" /: v "y") ];
+                        ];
+                      case 7 [ set "r" (v "x" <: v "y") ];
+                      case 8 [ set "r" (v "x" =: v "y") ];
+                    ]
+                    [ set "ok" (i 0) ];
+                  when_ (v "ok" =: i 1)
+                    [
+                      st "node_kind" (v "node") (i 1);
+                      st "node_val" (v "node") (v "r");
+                      gset "n_folds" (g "n_folds" +: i 1);
+                    ];
+                ];
+            ];
+          (* neg of number *)
+          when_ (v "k" =: i 4)
+            [
+              leti "nn" (ld "node_a" (v "node"));
+              when_ (ld "node_kind" (v "nn") =: i 1)
+                [
+                  st "node_kind" (v "node") (i 1);
+                  st "node_val" (v "node") (neg (ld "node_val" (v "nn")));
+                  gset "n_folds" (g "n_folds" +: i 1);
+                ];
+            ];
+          ret (v "node");
+        ];
+      (* ---------- code generation (stack machine) ---------- *)
+      fn "emit" [ pi "op" ]
+        [
+          gset "n_ops" (g "n_ops" +: i 1);
+          gset "op_checksum" (band ((g "op_checksum" *: i 131) +: v "op") (i 0xFFFFFF));
+        ];
+      fn "gen" [ pi "node" ]
+        [
+          when_ (v "node" =: i (-1)) [ ret0 ];
+          leti "k" (ld "node_kind" (v "node"));
+          switch_ (v "k")
+            [
+              case 1 [ expr_ (call "emit" [ i 1 ]) ];  (* push *)
+              case 2 [ expr_ (call "emit" [ i 2 ]) ];  (* load *)
+              case 3
+                [
+                  expr_ (call "gen" [ ld "node_a" (v "node") ]);
+                  expr_ (call "gen" [ ld "node_b" (v "node") ]);
+                  expr_ (call "emit" [ i 10 +: ld "node_val" (v "node") ]);
+                ];
+              case 4
+                [
+                  expr_ (call "gen" [ ld "node_a" (v "node") ]);
+                  expr_ (call "emit" [ i 3 ]);
+                ];
+              cases [ 5; 6 ]
+                [
+                  expr_ (call "gen" [ ld "node_a" (v "node") ]);
+                  expr_ (call "emit" [ i 4 ]);  (* store *)
+                ];
+              case 7
+                [
+                  expr_ (call "gen" [ ld "node_a" (v "node") ]);
+                  expr_ (call "emit" [ i 5 ]);  (* jz *)
+                  expr_ (call "gen" [ ld "node_b" (v "node") ]);
+                  when_ (ld "node_c" (v "node") <>: i (-1))
+                    [
+                      expr_ (call "emit" [ i 6 ]);  (* jmp over else *)
+                      expr_ (call "gen" [ ld "node_c" (v "node") ]);
+                    ];
+                ];
+              case 8
+                [
+                  expr_ (call "gen" [ ld "node_a" (v "node") ]);
+                  expr_ (call "emit" [ i 5 ]);
+                  expr_ (call "gen" [ ld "node_b" (v "node") ]);
+                  expr_ (call "emit" [ i 6 ]);
+                ];
+              case 9
+                [
+                  leti "child" (ld "node_a" (v "node"));
+                  while_ (v "child" <>: i (-1))
+                    [
+                      expr_ (call "gen" [ v "child" ]);
+                      set "child" (ld "node_next" (v "child"));
+                    ];
+                ];
+              case 10
+                [
+                  expr_ (call "gen" [ ld "node_a" (v "node") ]);
+                  expr_ (call "emit" [ i 7 ]);  (* ret *)
+                ];
+              case 11
+                [
+                  expr_ (call "gen" [ ld "node_a" (v "node") ]);
+                  expr_ (call "emit" [ i 8 ]);  (* pop *)
+                ];
+            ]
+            [ gset "n_errors" (g "n_errors" +: i 1) ];
+        ];
+      fn "main" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          expr_ (call "lex" []);
+          (* parse a statement list until EOF *)
+          leti "head" (i (-1));
+          leti "tail" (i (-1));
+          while_ ((call "peek" [] <>: i 0) &&: (g "n_nodes" <: i (max_nodes - 64)))
+            [
+              leti "s" (call "parse_stmt" []);
+              if_ (v "tail" =: i (-1))
+                [ set "head" (v "s") ]
+                [ st "node_next" (v "tail") (v "s") ];
+              set "tail" (v "s");
+            ];
+          leti "root" (call "new_node" [ i 9; v "head"; i (-1); i 0 ]);
+          set "root" (call "fold" [ v "root" ]);
+          expr_ (call "gen" [ v "root" ]);
+          out (g "n_toks");
+          out (g "n_nodes");
+          out (g "n_folds");
+          out (g "n_ops");
+          out (g "op_checksum");
+          out (g "n_errors");
+          ret (g "n_errors");
+        ];
+    ]
+
+(* ---------- source module generation (matches the grammar) ---------- *)
+
+module Rng = Fisher92_util.Rng
+
+type weights = {
+  w_if : int;
+  w_while : int;
+  w_block : int;
+  w_decl : int;
+  w_assign : int;
+  w_return : int;
+  comment_pct : float;
+  expr_depth : int;
+  max_stmts : int;
+}
+
+let gen_module ~seed w =
+  let rng = Rng.create seed in
+  let buf = Buffer.create 8192 in
+  let idents = [| "a"; "b"; "count"; "tmp"; "acc"; "n"; "x"; "y"; "limit" |] in
+  let ident () = Rng.pick rng idents in
+  let rec expr depth =
+    let term d =
+      let factor () =
+        match Rng.int rng 6 with
+        | 0 | 1 -> string_of_int (Rng.int rng 500)
+        | 2 | 3 | 4 -> ident ()
+        | _ when d > 0 -> "(" ^ expr (d - 1) ^ ")"
+        | _ -> "-" ^ ident ()
+      in
+      let parts = 1 + Rng.int rng 2 in
+      String.concat (Rng.pick rng [| " * "; " / " |])
+        (List.init parts (fun _ -> factor ()))
+    in
+    let parts = 1 + Rng.int rng 3 in
+    String.concat
+      (Rng.pick rng [| " + "; " - "; " < "; " == " |])
+      (List.init parts (fun _ -> term depth))
+  in
+  let rec stmt depth =
+    if Rng.chance rng w.comment_pct then
+      Buffer.add_string buf (Printf.sprintf "/* %s %s */\n" (ident ()) (ident ()));
+    let total = w.w_if + w.w_while + w.w_block + w.w_decl + w.w_assign + w.w_return in
+    let roll = Rng.int rng total in
+    let pick_if = w.w_if in
+    let pick_while = pick_if + w.w_while in
+    let pick_block = pick_while + w.w_block in
+    let pick_decl = pick_block + w.w_decl in
+    let pick_assign = pick_decl + w.w_assign in
+    if roll < pick_if && depth < 4 then begin
+      Buffer.add_string buf (Printf.sprintf "if (%s)\n" (expr w.expr_depth));
+      stmt (depth + 1);
+      if Rng.chance rng 0.4 then begin
+        Buffer.add_string buf "else\n";
+        stmt (depth + 1)
+      end
+    end
+    else if roll < pick_while && depth < 4 then begin
+      Buffer.add_string buf (Printf.sprintf "while (%s)\n" (expr w.expr_depth));
+      stmt (depth + 1)
+    end
+    else if roll < pick_block && depth < 4 then begin
+      Buffer.add_string buf "{\n";
+      let inner = 1 + Rng.int rng 4 in
+      for _ = 1 to inner do
+        stmt (depth + 1)
+      done;
+      Buffer.add_string buf "}\n"
+    end
+    else if roll < pick_decl then
+      Buffer.add_string buf
+        (Printf.sprintf "int %s = %s;\n" (ident ()) (expr w.expr_depth))
+    else if roll < pick_assign then
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s;\n" (ident ()) (expr w.expr_depth))
+    else
+      Buffer.add_string buf (Printf.sprintf "return %s;\n" (expr w.expr_depth))
+  in
+  let guard = ref 0 in
+  while Buffer.length buf < w.max_stmts * 24 && !guard < w.max_stmts do
+    incr guard;
+    stmt 0
+  done;
+  Textgen.to_bytes (Buffer.contents buf)
+
+let dataset name descr ~seed w =
+  let src = gen_module ~seed w in
+  assert (Array.length src <= max_src);
+  {
+    Workload.ds_name = name;
+    ds_descr = descr;
+    ds_iargs = [];
+    ds_fargs = [];
+    ds_arrays =
+      [ ("$src_len", `Ints [| Array.length src |]); ("src", `Ints src) ];
+  }
+
+let base =
+  {
+    w_if = 2;
+    w_while = 1;
+    w_block = 2;
+    w_decl = 2;
+    w_assign = 4;
+    w_return = 1;
+    comment_pct = 0.08;
+    expr_depth = 2;
+    max_stmts = 700;
+  }
+
+let workload =
+  {
+    Workload.w_name = "cc1";
+    w_paper_name = "001.gcc 1.35";
+    w_lang = Workload.C_int;
+    w_descr = "compiler front end: lexer, parser, folder, code generator";
+    w_program = program;
+    w_seeded_globals =
+      [ "src_len"; "pos"; "n_toks"; "cursor"; "n_nodes"; "n_errors"; "n_folds";
+        "n_ops"; "op_checksum" ];
+    w_datasets =
+      [
+        dataset "insn-emit" "expression-heavy module" ~seed:901
+          { base with w_assign = 8; expr_depth = 3; w_if = 1 };
+        dataset "jump" "control-heavy module" ~seed:902
+          { base with w_if = 5; w_while = 3; w_assign = 2 };
+        dataset "decl" "declaration-heavy module" ~seed:903
+          { base with w_decl = 8; w_assign = 2; expr_depth = 1 };
+        dataset "stmt" "comment-heavy flat module" ~seed:904
+          { base with comment_pct = 0.45; w_block = 0; w_if = 1 };
+        dataset "fold-const" "numeric module (lots of foldable constants)" ~seed:905
+          { base with w_assign = 9; w_decl = 4; expr_depth = 3; w_if = 0 };
+        dataset "recog" "deeply nested module" ~seed:906
+          { base with w_block = 6; w_if = 4; w_while = 2 };
+      ];
+  }

@@ -1,0 +1,28 @@
+(** 001.gcc analogue: a compiler front end (character-level lexer,
+    recursive-descent parser into node arrays, constant folder,
+    stack-code generator) run over six generated source modules. *)
+
+val program : Fisher92_minic.Ast.program
+
+val kw_hash : string -> int
+(** The lexer's masked rolling identifier hash (exposed for tests). *)
+
+(** Source-module generator shape: production weights per statement
+    kind, comment density, expression depth, size budget. *)
+type weights = {
+  w_if : int;
+  w_while : int;
+  w_block : int;
+  w_decl : int;
+  w_assign : int;
+  w_return : int;
+  comment_pct : float;
+  expr_depth : int;
+  max_stmts : int;
+}
+
+val gen_module : seed:int -> weights -> int array
+(** Generate one source module (bytes) conforming to the parser's
+    grammar. *)
+
+val workload : Workload.t

@@ -1,0 +1,255 @@
+(* compress / uncompress analogue: LZW with 12-bit codes, the algorithm of
+   SPEC 3.0 compress (hash-probed dictionary on compression, stack-based
+   expansion on decompression).
+
+   As in the paper, compression and decompression are ONE program selected
+   by a switch ("although compress is really two distinct programs ...
+   it is one program as seen by our tools"), which is what makes the
+   compress↔uncompress cross-prediction experiment possible: both modes
+   share branch sites.
+
+   Datasets mirror the paper's five: C source, a compiled image, the long
+   reference text, FORTRAN source, and a second image.  [cmprssc] is
+   deliberately the odd one out (it feeds incompressible bytes, flipping
+   the hash-hit branches), reproducing "one dataset, cmprssc, was very
+   different from the others". *)
+
+open Fisher92_minic.Dsl
+
+let max_input = 65536
+let hsize = 8192 (* power of two, probe mask *)
+let max_code = 4096
+
+let program =
+  program "compress" ~entry:"main"
+    ~globals:[ gint "mode" 0; gint "n_in" 0 ]
+    ~arrays:
+      [
+        iarr "input" max_input;
+        iarr "htab" hsize;  (* key + 1, 0 = empty *)
+        iarr "codetab" hsize;
+        iarr "dict_prefix" max_code;
+        iarr "dict_char" max_code;
+        iarr "stack" max_code;
+      ]
+    [
+      fn "do_compress" []
+        [
+          leti "n" (g "n_in");
+          leti "next_code" (i 256);
+          leti "code" (ld "input" (i 0));
+          for_ "k" (i 1) (v "n")
+            [
+              leti "c" (ld "input" (v "k"));
+              leti "key" ((v "code" *: i 256) +: v "c");
+              (* open-addressed probe, like compress's hashing *)
+              leti "h" (band (v "key" *: i 40503) (i (hsize - 1)));
+              leti "step" (bor (band (shr (v "key") (i 6)) (i (hsize - 1))) (i 1));
+              leti "found" (i 0);
+              leti "probing" (i 1);
+              while_ (v "probing" =: i 1)
+                [
+                  leti "slot" (ld "htab" (v "h"));
+                  if_ (v "slot" =: i 0) [ set "probing" (i 0) ]
+                    [
+                      if_ (v "slot" =: v "key" +: i 1)
+                        [ set "found" (i 1); set "probing" (i 0) ]
+                        [ set "h" (band (v "h" +: v "step") (i (hsize - 1))) ];
+                    ];
+                ];
+              if_ (v "found" =: i 1)
+                [ set "code" (ld "codetab" (v "h")) ]
+                [
+                  out (v "code");
+                  when_ (v "next_code" <: i max_code)
+                    [
+                      st "htab" (v "h") (v "key" +: i 1);
+                      st "codetab" (v "h") (v "next_code");
+                      incr_ "next_code";
+                    ];
+                  set "code" (v "c");
+                ];
+            ];
+          out (v "code");
+        ];
+      fn "do_uncompress" []
+        [
+          leti "n" (g "n_in");
+          leti "next_code" (i 256);
+          leti "oldcode" (ld "input" (i 0));
+          leti "finchar" (v "oldcode");
+          out (v "oldcode");
+          for_ "k" (i 1) (v "n")
+            [
+              leti "incode" (ld "input" (v "k"));
+              leti "code" (v "incode");
+              leti "sp" (i 0);
+              (* KwKwK: code not yet in the dictionary *)
+              when_ (v "code" >=: v "next_code")
+                [
+                  st "stack" (v "sp") (v "finchar");
+                  incr_ "sp";
+                  set "code" (v "oldcode");
+                ];
+              while_ (v "code" >=: i 256)
+                [
+                  st "stack" (v "sp") (ld "dict_char" (v "code"));
+                  incr_ "sp";
+                  set "code" (ld "dict_prefix" (v "code"));
+                ];
+              set "finchar" (v "code");
+              out (v "finchar");
+              while_ (v "sp" >: i 0)
+                [
+                  set "sp" (v "sp" -: i 1);
+                  out (ld "stack" (v "sp"));
+                ];
+              when_ (v "next_code" <: i max_code)
+                [
+                  st "dict_prefix" (v "next_code") (v "oldcode");
+                  st "dict_char" (v "next_code") (v "finchar");
+                  incr_ "next_code";
+                ];
+              set "oldcode" (v "incode");
+            ];
+        ];
+      fn "main" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          if_ (g "n_in" <=: i 0) [ ret (i 1) ] [];
+          if_ (g "mode" =: i 0)
+            [ expr_ (call "do_compress" []) ]
+            [ expr_ (call "do_uncompress" []) ];
+          ret (i 0);
+        ];
+    ]
+
+(* ---------- reference implementation (tests + uncompress inputs) ---------- *)
+
+let reference_compress (bytes : int array) : int array =
+  let dict = Hashtbl.create 4096 in
+  let next_code = ref 256 in
+  let out = ref [] in
+  let code = ref bytes.(0) in
+  for k = 1 to Array.length bytes - 1 do
+    let c = bytes.(k) in
+    let key = (!code * 256) + c in
+    match Hashtbl.find_opt dict key with
+    | Some entry -> code := entry
+    | None ->
+      out := !code :: !out;
+      if !next_code < max_code then begin
+        Hashtbl.replace dict key !next_code;
+        incr next_code
+      end;
+      code := c
+  done;
+  out := !code :: !out;
+  Array.of_list (List.rev !out)
+
+let reference_uncompress (codes : int array) : int array =
+  let prefix = Array.make max_code 0 and final = Array.make max_code 0 in
+  let next_code = ref 256 in
+  let out = ref [] in
+  let oldcode = ref codes.(0) in
+  let finchar = ref codes.(0) in
+  out := [ !oldcode ];
+  for k = 1 to Array.length codes - 1 do
+    let incode = codes.(k) in
+    let stack = ref [] in
+    let code = ref incode in
+    if !code >= !next_code then begin
+      stack := [ !finchar ];
+      code := !oldcode
+    end;
+    while !code >= 256 do
+      stack := final.(!code) :: !stack;
+      code := prefix.(!code)
+    done;
+    finchar := !code;
+    out := !code :: !out;
+    List.iter (fun b -> out := b :: !out) !stack;
+    if !next_code < max_code then begin
+      prefix.(!next_code) <- !oldcode;
+      final.(!next_code) <- !finchar;
+      next_code := !next_code + 1
+    end;
+    oldcode := incode
+  done;
+  Array.of_list (List.rev !out)
+
+(* ---------- datasets ---------- *)
+
+let compress_dataset name descr bytes =
+  let n = Array.length bytes in
+  assert (n <= max_input);
+  {
+    Workload.ds_name = name;
+    ds_descr = descr;
+    ds_iargs = [];
+    ds_fargs = [];
+    ds_arrays =
+      [
+        ("$mode", `Ints [| 0 |]);
+        ("$n_in", `Ints [| n |]);
+        ("input", `Ints bytes);
+      ];
+  }
+
+let uncompress_dataset name descr bytes =
+  let codes = reference_compress bytes in
+  let n = Array.length codes in
+  assert (n <= max_input);
+  {
+    Workload.ds_name = name;
+    ds_descr = descr ^ " (compressed form)";
+    ds_iargs = [];
+    ds_fargs = [];
+    ds_arrays =
+      [
+        ("$mode", `Ints [| 1 |]);
+        ("$n_in", `Ints [| n |]);
+        ("input", `Ints codes);
+      ];
+  }
+
+let inputs =
+  lazy
+    [
+      ( "cmprssc",
+        "incompressible bytes (the odd-one-out dataset)",
+        Textgen.random_bytes ~seed:71 ~size:22000 );
+      ( "cmprss",
+        "compiled-image-like bytes",
+        Textgen.binary_image ~seed:72 ~size:30000 );
+      ("long", "long English-like reference text", Textgen.english ~seed:73 ~words:7000);
+      ( "spicef",
+        "FORTRAN source text",
+        Textgen.fortran_source ~seed:74 ~lines:1100 );
+      ( "spice",
+        "second compiled image",
+        Textgen.binary_image ~seed:75 ~size:26000 );
+    ]
+
+let workload =
+  {
+    Workload.w_name = "compress";
+    w_paper_name = "compress (SPEC 3.0)";
+    w_lang = Workload.C_int;
+    w_descr = "UNIX LZW file compression";
+    w_program = program;
+    w_seeded_globals = [ "mode"; "n_in" ];
+    w_datasets =
+      List.map (fun (n, d, b) -> compress_dataset n d b) (Lazy.force inputs);
+  }
+
+let workload_uncompress =
+  {
+    Workload.w_name = "uncompress";
+    w_paper_name = "compress -d";
+    w_lang = Workload.C_int;
+    w_descr = "LZW decompression (same binary as compress, mode switch)";
+    w_program = program;
+    w_seeded_globals = [ "mode"; "n_in" ];
+    w_datasets =
+      List.map (fun (n, d, b) -> uncompress_dataset n d b) (Lazy.force inputs);
+  }

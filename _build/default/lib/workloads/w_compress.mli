@@ -1,0 +1,18 @@
+(** compress / uncompress analogue: LZW with 12-bit codes.  One MiniC
+    program with a mode switch (as in the paper, where both modes share
+    branch sites), exposed as two workloads. *)
+
+val program : Fisher92_minic.Ast.program
+
+val reference_compress : int array -> int array
+(** LZW compression with the same dictionary discipline as the MiniC
+    program; used to build the uncompress datasets and as the test
+    oracle. *)
+
+val reference_uncompress : int array -> int array
+(** Inverse of {!reference_compress}. *)
+
+val workload : Workload.t  (** compression over the five paper datasets *)
+
+val workload_uncompress : Workload.t
+(** decompression of the same five inputs (compressed forms) *)

@@ -1,0 +1,166 @@
+(* 015.doduc analogue: Monte-Carlo simulation of a nuclear reactor
+   component.
+
+   doduc is the least loop-regular of the paper's FORTRAN programs
+   (Table 3: ~260-275 instructions/break): its time loop interleaves
+   table lookups, data-dependent branching on physical thresholds, and
+   short arithmetic blocks.  We reproduce that with a deterministic
+   particle-transport loop: an LCG drives collision sampling through
+   nested threshold tests, energy-group table searches, and absorption/
+   scatter bookkeeping.  Datasets tiny/small/ref differ only in particle
+   count, like SPEC's three similar inputs. *)
+
+open Fisher92_minic.Dsl
+
+let groups = 24
+
+let program =
+  program "doduc" ~entry:"main"
+    ~globals:
+      [
+        gint "particles" 4000;
+        gint "seed" 12345;
+        gfloat "total_path" 0.0;
+        gfloat "total_dose" 0.0;
+      ]
+    ~arrays:
+      [
+        farr "xsect" groups;  (* cross-sections per energy group *)
+        farr "bounds" groups; (* group upper bounds *)
+        iarr "tally_abs" groups;
+        iarr "tally_scat" groups;
+        iarr "tally_leak" 4;
+      ]
+    [
+      (* 16-bit LCG over the "seed" global: deterministic but irregular *)
+      fn "next_random" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          gset "seed" (((g "seed" *: i 1103515245) +: i 12345) %: i 2147483647);
+          ret (g "seed" %: i 65536);
+        ];
+      fn "setup" []
+        [
+          for_ "gp" (i 0) (i groups)
+            [
+              st "bounds" (v "gp")
+                (to_float ((v "gp" +: i 1) *: (v "gp" +: i 1)) *: fl 113.0);
+              st "xsect" (v "gp")
+                (fl 0.5 +: (sin_ (to_float (v "gp") *: fl 0.9) *: fl 0.35));
+            ];
+        ];
+      (* linear search of the energy-group table (the paper-era style) *)
+      fn "group_of" [ pf "energy" ] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "gp" (i 0);
+          while_ ((v "gp" <: i (groups - 1)) &&: (v "energy" >: ld "bounds" (v "gp")))
+            [ incr_ "gp" ];
+          ret (v "gp");
+        ];
+      fn "main" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          expr_ (call "setup" []);
+          leti "np" (g "particles");
+          leti "alive_total" (i 0);
+          for_ "p" (i 0) (v "np")
+            [
+              letf "energy"
+                (to_float ((call "next_random" [] %: i 60000) +: i 200));
+              leti "hops" (i 0);
+              leti "alive" (i 1);
+              leti "dead_rolls" (i 0);
+              while_ ((v "alive" =: i 1) &&: (v "hops" <: i 40))
+                [
+                  leti "gp" (call "group_of" [ v "energy" ]);
+                  letf "sigma" (ld "xsect" (v "gp"));
+                  leti "roll" (call "next_random" [] %: i 1000);
+                  (* free flight: sample a path length and deposit dose
+                     along it (the original's per-step physics block) *)
+                  letf "path"
+                    (neg (log_ ((to_float (v "roll") +: fl 1.0) *: fl 0.000999))
+                    /: (v "sigma" +: fl 0.05));
+                  letf "mu"
+                    (cos_ (to_float (v "roll") *: fl 0.0063) *: fl 0.999);
+                  letf "dose"
+                    (v "path" *: v "sigma"
+                    *: (fl 1.0 +: (v "mu" *: v "mu" *: fl 0.3))
+                    *: exp_ (neg (v "path") *: fl 0.1));
+                  gset "total_path" (g "total_path" +: v "path");
+                  gset "total_dose" (g "total_dose" +: v "dose");
+                  (* collision physics: absorption, scatter, leakage *)
+                  if_ (to_float (v "roll") <: (v "sigma" *: fl 300.0))
+                    [
+                      (* absorbed *)
+                      st "tally_abs" (v "gp") (ld "tally_abs" (v "gp") +: i 1);
+                      set "alive" (i 0);
+                    ]
+                    [
+                      if_ (v "roll" >=: i 970)
+                        [
+                          (* leaked out of the core *)
+                          st "tally_leak" (band (v "roll") (i 3))
+                            (ld "tally_leak" (band (v "roll") (i 3)) +: i 1);
+                          set "alive" (i 0);
+                        ]
+                        [
+                          (* scattered: lose energy, possibly upscatter *)
+                          st "tally_scat" (v "gp") (ld "tally_scat" (v "gp") +: i 1);
+                          if_ (v "roll" %: i 16 =: i 0)
+                            [ set "energy" (v "energy" *: fl 1.08) ]
+                            [
+                              set "energy"
+                                (v "energy"
+                                *: (fl 0.55
+                                   +: (to_float (v "roll" %: i 100) *: fl 0.003)));
+                            ];
+                          when_ (v "energy" <: fl 150.0)
+                            [
+                              (* thermalized: final capture race *)
+                              when_ (v "roll" %: i 3 =: i 0) [ set "alive" (i 0) ];
+                            ];
+                        ];
+                    ];
+                  set "dead_rolls" (v "dead_rolls" +: v "roll");
+                  incr_ "hops";
+                ];
+              set "alive_total" (v "alive_total" +: v "alive");
+            ];
+          leti "absorbed" (i 0);
+          leti "scattered" (i 0);
+          for_ "gp" (i 0) (i groups)
+            [
+              set "absorbed" (v "absorbed" +: ld "tally_abs" (v "gp"));
+              set "scattered" (v "scattered" +: ld "tally_scat" (v "gp"));
+            ];
+          out (v "absorbed");
+          out (v "scattered");
+          out (v "alive_total");
+          out (to_int (g "total_path"));
+          out (to_int (g "total_dose" *: fl 10.0));
+          ret (v "absorbed");
+        ];
+    ]
+
+let dataset name particles descr =
+  {
+    Workload.ds_name = name;
+    ds_descr = descr;
+    ds_iargs = [];
+    ds_fargs = [];
+    ds_arrays = [ ("$particles", `Ints [| particles |]); ("$seed", `Ints [| 12345 |]) ];
+  }
+
+let workload =
+  {
+    Workload.w_name = "doduc";
+    w_paper_name = "015.doduc";
+    w_lang = Workload.Fortran_fp;
+    w_descr = "nuclear reactor Monte-Carlo transport";
+    w_program = program;
+    w_seeded_globals = [ "particles"; "seed" ];
+    w_datasets =
+      [
+        dataset "tiny" 900 "shortest SPEC-style input";
+        dataset "small" 2500 "medium input";
+        dataset "ref" 6000 "reference input";
+      ];
+  }

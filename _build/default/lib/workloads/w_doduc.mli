@@ -1,0 +1,5 @@
+(** 015.doduc analogue: deterministic Monte-Carlo particle transport with
+    energy-group table searches and threshold branching. *)
+
+val program : Fisher92_minic.Ast.program
+val workload : Workload.t

@@ -1,0 +1,352 @@
+(* 023.eqntott analogue: boolean equations to truth tables.
+
+   Like the original, the program (1) evaluates a list of boolean signal
+   definitions over every input assignment, building a truth table,
+   (2) sorts the table rows with a quicksort whose element-wise row
+   comparison (the original's notorious [cmppt]) dominates execution,
+   and (3) collapses duplicate rows.  Datasets are the paper's: naive
+   sum/carry equations for 4-, 5- and 6-bit adders, plus the SPEC
+   priority-circuit input.
+
+   Signal encoding (RPN over an operand stack):
+     0..99          push input variable k
+     100+j          push previously computed signal j
+     200 AND, 201 OR, 202 NOT, 203 XOR  (pop operands, push result)
+   The last [n_outputs] signals are the table's output columns. *)
+
+open Fisher92_minic.Dsl
+
+let max_rpn = 4096
+let max_signals = 64
+let max_rows = 4096
+let max_outputs = 16
+
+let program =
+  program "eqntott" ~entry:"main"
+    ~globals:
+      [
+        gint "n_inputs" 0;
+        gint "n_signals" 0;
+        gint "n_outputs" 0;
+        gint "assignment" 0;
+      ]
+    ~arrays:
+      [
+        iarr "rpn" max_rpn;
+        iarr "sig_start" max_signals;
+        iarr "sig_len" max_signals;
+        iarr "sigval" max_signals;
+        iarr "evalstack" 64;
+        iarr "table" (max_rows * max_outputs);
+        iarr "perm" max_rows;
+        iarr "sortstack" 128;  (* iterative quicksort segments *)
+      ]
+    [
+      fn "eval_signal" [ pi "s" ] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "p" (ld "sig_start" (v "s"));
+          leti "stop" (v "p" +: ld "sig_len" (v "s"));
+          leti "sp" (i 0);
+          leti "a" (g "assignment");
+          leti "dead_toks" (i 0);
+          while_ (v "p" <: v "stop")
+            [
+              leti "tok" (ld "rpn" (v "p"));
+              incr_ "p";
+              set "dead_toks" (v "dead_toks" +: v "tok");
+              if_ (v "tok" <: i 100)
+                [
+                  (* input variable: bit tok of the assignment *)
+                  st "evalstack" (v "sp") (band (shr (v "a") (v "tok")) (i 1));
+                  incr_ "sp";
+                ]
+                [
+                  if_ (v "tok" <: i 200)
+                    [
+                      st "evalstack" (v "sp") (ld "sigval" (v "tok" -: i 100));
+                      incr_ "sp";
+                    ]
+                    [
+                      switch_ (v "tok")
+                        [
+                          case 200
+                            [
+                              set "sp" (v "sp" -: i 1);
+                              st "evalstack" (v "sp" -: i 1)
+                                (band
+                                   (ld "evalstack" (v "sp" -: i 1))
+                                   (ld "evalstack" (v "sp")));
+                            ];
+                          case 201
+                            [
+                              set "sp" (v "sp" -: i 1);
+                              st "evalstack" (v "sp" -: i 1)
+                                (bor
+                                   (ld "evalstack" (v "sp" -: i 1))
+                                   (ld "evalstack" (v "sp")));
+                            ];
+                          case 202
+                            [
+                              st "evalstack" (v "sp" -: i 1)
+                                (bxor (ld "evalstack" (v "sp" -: i 1)) (i 1));
+                            ];
+                          case 203
+                            [
+                              set "sp" (v "sp" -: i 1);
+                              st "evalstack" (v "sp" -: i 1)
+                                (bxor
+                                   (ld "evalstack" (v "sp" -: i 1))
+                                   (ld "evalstack" (v "sp")));
+                            ];
+                        ]
+                        [];
+                    ];
+                ];
+            ];
+          ret (ld "evalstack" (i 0));
+        ];
+      (* cmppt: lexicographic row comparison through the permutation *)
+      fn "cmp_rows" [ pi "ra"; pi "rb" ] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "no" (g "n_outputs");
+          for_ "j" (i 0) (v "no")
+            [
+              leti "d"
+                (ld "table" ((v "ra" *: i max_outputs) +: v "j")
+                -: ld "table" ((v "rb" *: i max_outputs) +: v "j"));
+              when_ (v "d" <>: i 0) [ ret (v "d") ];
+            ];
+          ret (i 0);
+        ];
+      (* iterative quicksort over perm, keyed by cmp_rows *)
+      fn "sort_rows" [ pi "n" ]
+        [
+          leti "top" (i 0);
+          st "sortstack" (i 0) (i 0);
+          st "sortstack" (i 1) (v "n" -: i 1);
+          set "top" (i 2);
+          while_ (v "top" >: i 0)
+            [
+              set "top" (v "top" -: i 2);
+              leti "lo" (ld "sortstack" (v "top"));
+              leti "hi" (ld "sortstack" (v "top" +: i 1));
+              when_ (v "lo" <: v "hi")
+                [
+                  (* partition around the middle element *)
+                  leti "pivot" (ld "perm" ((v "lo" +: v "hi") /: i 2));
+                  leti "l" (v "lo");
+                  leti "r" (v "hi");
+                  while_ (v "l" <=: v "r")
+                    [
+                      while_ (call "cmp_rows" [ ld "perm" (v "l"); v "pivot" ] <: i 0)
+                        [ incr_ "l" ];
+                      while_ (call "cmp_rows" [ ld "perm" (v "r"); v "pivot" ] >: i 0)
+                        [ set "r" (v "r" -: i 1) ];
+                      when_ (v "l" <=: v "r")
+                        [
+                          leti "tmp" (ld "perm" (v "l"));
+                          st "perm" (v "l") (ld "perm" (v "r"));
+                          st "perm" (v "r") (v "tmp");
+                          incr_ "l";
+                          set "r" (v "r" -: i 1);
+                        ];
+                    ];
+                  when_ (v "lo" <: v "r")
+                    [
+                      st "sortstack" (v "top") (v "lo");
+                      st "sortstack" (v "top" +: i 1) (v "r");
+                      set "top" (v "top" +: i 2);
+                    ];
+                  when_ (v "l" <: v "hi")
+                    [
+                      st "sortstack" (v "top") (v "l");
+                      st "sortstack" (v "top" +: i 1) (v "hi");
+                      set "top" (v "top" +: i 2);
+                    ];
+                ];
+            ];
+        ];
+      fn "main" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "ni" (g "n_inputs");
+          leti "ns" (g "n_signals");
+          leti "no" (g "n_outputs");
+          leti "rows" (shl (i 1) (v "ni"));
+          leti "first_out" (v "ns" -: v "no");
+          (* build the truth table *)
+          for_ "a" (i 0) (v "rows")
+            [
+              gset "assignment" (v "a");
+              for_ "s" (i 0) (v "ns")
+                [ st "sigval" (v "s") (call "eval_signal" [ v "s" ]) ];
+              for_ "j" (i 0) (v "no")
+                [
+                  st "table" ((v "a" *: i max_outputs) +: v "j")
+                    (ld "sigval" (v "first_out" +: v "j"));
+                ];
+              st "perm" (v "a") (v "a");
+            ];
+          expr_ (call "sort_rows" [ v "rows" ]);
+          (* collapse duplicate rows, checksum the distinct patterns *)
+          leti "distinct" (i 1);
+          leti "checksum" (i 0);
+          for_ "r" (i 1) (v "rows")
+            [
+              when_
+                (call "cmp_rows" [ ld "perm" (v "r" -: i 1); ld "perm" (v "r") ]
+                <>: i 0)
+                [ incr_ "distinct" ];
+            ];
+          for_ "j" (i 0) (v "no")
+            [
+              set "checksum"
+                ((v "checksum" *: i 31)
+                +: ld "table" ((ld "perm" (i 0) *: i max_outputs) +: v "j"));
+            ];
+          out (v "distinct");
+          out (v "checksum");
+          ret (v "distinct");
+        ];
+    ]
+
+(* ---------- equation construction (OCaml side) ---------- *)
+
+type rpn_tok = V of int | S of int | And | Or | Not | Xor
+
+let tok_code = function
+  | V k ->
+    assert (k < 100);
+    k
+  | S j -> 100 + j
+  | And -> 200
+  | Or -> 201
+  | Not -> 202
+  | Xor -> 203
+
+(* naive ripple-carry adder: inputs x0..x(k-1), y0..y(k-1);
+   signals: c1..c(k-1) (carries), then outputs s0..s(k-1), cout *)
+let adder_equations k =
+  let x b = V b and y b = V (k + b) in
+  (* carry into bit b+1 from bit b: maj(x_b, y_b, c_b) where c_0 = 0 *)
+  let carry_sig b = S (b - 1) in
+  let signals = ref [] in
+  (* carries c1..ck — signal j holds carry into bit j+1 *)
+  for b = 0 to k - 1 do
+    let cin = if b = 0 then [] else [ carry_sig b ] in
+    let maj =
+      match cin with
+      | [] -> [ x b; y b; And ]
+      | [ c ] ->
+        [ x b; y b; And; x b; c; And; Or; y b; c; And; Or ]
+      | _ -> assert false
+    in
+    signals := maj :: !signals
+  done;
+  (* sums s_b = x_b xor y_b xor c_b *)
+  for b = 0 to k - 1 do
+    let base = [ x b; y b; Xor ] in
+    let s = if b = 0 then base else base @ [ carry_sig b; Xor ] in
+    signals := s :: !signals
+  done;
+  (* final carry out = signal k-1 (carry into bit k) repeated as output *)
+  signals := [ carry_sig k ] :: !signals;
+  (List.rev !signals, 2 * k, k + 1)
+
+(* priority circuit: out_b = in_b AND NOT (any higher input) *)
+let priority_equations n =
+  let signals = ref [] in
+  (* signal b (b in 0..n-2): "some input above b is set", built top down *)
+  for b = n - 2 downto 0 do
+    (* above(b) = in_(b+1) OR above(b+1); signal index: n-2-b *)
+    let this = [ V (b + 1) ] in
+    let rest = if b = n - 2 then [] else [ S (n - 2 - b - 1); Or ] in
+    signals := (this @ rest) :: !signals
+  done;
+  let above_sig b = (* signal for "above b" *) S (n - 2 - b) in
+  let signals = List.rev !signals in
+  let outputs =
+    List.init n (fun b ->
+        if b = n - 1 then [ V b ]
+        else [ V b; above_sig b; Not; And ])
+  in
+  (signals @ outputs, n, n)
+
+let dataset name descr (signals, n_inputs, n_outputs) =
+  let n_signals = List.length signals in
+  assert (n_signals <= max_signals && n_outputs <= max_outputs);
+  assert (1 lsl n_inputs <= max_rows);
+  let flat = List.concat signals in
+  let codes = Array.of_list (List.map tok_code flat) in
+  assert (Array.length codes <= max_rpn);
+  let starts = Array.make n_signals 0 and lens = Array.make n_signals 0 in
+  let pos = ref 0 in
+  List.iteri
+    (fun j s ->
+      starts.(j) <- !pos;
+      lens.(j) <- List.length s;
+      pos := !pos + List.length s)
+    signals;
+  {
+    Workload.ds_name = name;
+    ds_descr = descr;
+    ds_iargs = [];
+    ds_fargs = [];
+    ds_arrays =
+      [
+        ("$n_inputs", `Ints [| n_inputs |]);
+        ("$n_signals", `Ints [| n_signals |]);
+        ("$n_outputs", `Ints [| n_outputs |]);
+        ("rpn", `Ints codes);
+        ("sig_start", `Ints starts);
+        ("sig_len", `Ints lens);
+      ];
+  }
+
+(* reference: evaluate the signal list for one assignment *)
+let reference_eval (signals, _n_inputs, _n_outputs) assignment =
+  let values = Array.make (List.length signals) 0 in
+  List.iteri
+    (fun j s ->
+      let stack = ref [] in
+      List.iter
+        (fun tok ->
+          match (tok, !stack) with
+          | V k, st -> stack := ((assignment lsr k) land 1) :: st
+          | S j', st -> stack := values.(j') :: st
+          | And, b :: a :: st -> stack := (a land b) :: st
+          | Or, b :: a :: st -> stack := (a lor b) :: st
+          | Xor, b :: a :: st -> stack := (a lxor b) :: st
+          | Not, a :: st -> stack := (a lxor 1) :: st
+          | _ -> failwith "reference_eval: stack underflow")
+        s;
+      match !stack with
+      | [ r ] -> values.(j) <- r
+      | _ -> failwith "reference_eval: bad signal")
+    signals;
+  values
+
+let reference_distinct_rows ((signals, n_inputs, n_outputs) as eqs) =
+  let n_signals = List.length signals in
+  let rows = ref [] in
+  for a = 0 to (1 lsl n_inputs) - 1 do
+    let values = reference_eval eqs a in
+    rows := Array.to_list (Array.sub values (n_signals - n_outputs) n_outputs) :: !rows
+  done;
+  List.sort_uniq compare !rows |> List.length
+
+let workload =
+  {
+    Workload.w_name = "eqntott";
+    w_paper_name = "023.eqntott";
+    w_lang = Workload.C_int;
+    w_descr = "boolean equations to truth tables (sort-dominated)";
+    w_program = program;
+    w_seeded_globals = [ "n_inputs"; "n_signals"; "n_outputs"; "assignment" ];
+    w_datasets =
+      [
+        dataset "add4" "naive sum and carry equations, 4-bit adder" (adder_equations 4);
+        dataset "add5" "naive sum and carry equations, 5-bit adder" (adder_equations 5);
+        dataset "add6" "naive sum and carry equations, 6-bit adder" (adder_equations 6);
+        dataset "intpri" "priority circuit (SPEC input)" (priority_equations 10);
+      ];
+  }

@@ -1,0 +1,22 @@
+(** 023.eqntott analogue: boolean equations to truth tables with a
+    quicksort whose row comparison dominates (the original's [cmppt]). *)
+
+val program : Fisher92_minic.Ast.program
+
+(** RPN token alphabet for signal definitions. *)
+type rpn_tok = V of int | S of int | And | Or | Not | Xor
+
+val adder_equations : int -> rpn_tok list list * int * int
+(** [adder_equations k] = (signals, n_inputs, n_outputs) for a naive
+    ripple-carry k-bit adder: carries, then sum bits, then carry-out. *)
+
+val priority_equations : int -> rpn_tok list list * int * int
+(** n-input priority circuit (the SPEC intpri role). *)
+
+val reference_eval : rpn_tok list list * int * int -> int -> int array
+(** Evaluate every signal for one input assignment (test oracle). *)
+
+val reference_distinct_rows : rpn_tok list list * int * int -> int
+(** Number of distinct output rows over all assignments (test oracle). *)
+
+val workload : Workload.t

@@ -1,0 +1,262 @@
+(* 008.espresso analogue: two-level logic (PLA) minimization.
+
+   The core of espresso's EXPAND/IRREDUNDANT loop: each ON-set cube is
+   expanded literal by literal as long as the raised cube stays disjoint
+   from the OFF-set, then cubes covered by other cubes are dropped.  The
+   dominant work is cube intersection testing with data-dependent early
+   exits — the branch behaviour that makes espresso one of the paper's
+   less predictable programs (and, per Table 1, 18% dead code: espresso
+   keeps per-cube diagnostic counts nothing consumes).
+
+   Cube encoding, one int per variable: 1 = literal 0, 2 = literal 1,
+   3 = don't care.  Two cubes intersect iff (a AND b) != 0 at every
+   variable.  Cube b covers a iff (a AND b) == a everywhere.
+
+   Datasets bca/cps/ti/tial follow the SPEC reference inputs' roles:
+   different sizes and ON/OFF densities. *)
+
+open Fisher92_minic.Dsl
+module Rng = Fisher92_util.Rng
+
+let max_vars = 14
+let max_cubes = 160
+let max_off = 700
+
+let program =
+  program "espresso" ~entry:"main"
+    ~globals:[ gint "n_vars" 0; gint "n_on" 0; gint "n_off" 0 ]
+    ~arrays:
+      [
+        iarr "oncube" (max_cubes * max_vars);
+        iarr "offcube" (max_off * max_vars);
+        iarr "alive" max_cubes;
+        iarr "raise_count" max_cubes;  (* dead: diagnostic nothing reads *)
+      ]
+    [
+      (* does ON cube c (with variable vidx raised to 3) hit the OFF set? *)
+      fn "hits_offset" [ pi "c" ] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "nv" (g "n_vars");
+          leti "noff" (g "n_off");
+          leti "dead_probes" (i 0);
+          leti "dead_span" (i 0);
+          leti "dead_sig" (i 0);
+          for_ "o" (i 0) (v "noff")
+            [
+              leti "disjoint" (i 0);
+              leti "vv" (i 0);
+              while_ ((v "disjoint" =: i 0) &&: (v "vv" <: v "nv"))
+                [
+                  when_
+                    (band
+                       (ld "oncube" ((v "c" *: i max_vars) +: v "vv"))
+                       (ld "offcube" ((v "o" *: i max_vars) +: v "vv"))
+                    =: i 0)
+                    [ set "disjoint" (i 1) ];
+                  (* dead: probe diagnostics nothing reads (Table 1:
+                     espresso 18%) *)
+                  set "dead_probes" (v "dead_probes" +: v "vv");
+                  set "dead_span" (imax (v "dead_span") (v "o"));
+                  set "dead_sig" (bxor (v "dead_sig") (v "vv"));
+                  incr_ "vv";
+                ];
+              when_ (v "disjoint" =: i 0) [ ret (i 1) ];
+            ];
+          ret (i 0);
+        ];
+      (* expand: raise each literal of each cube while legal *)
+      fn "expand" []
+        [
+          leti "non" (g "n_on");
+          leti "nv" (g "n_vars");
+          for_ "c" (i 0) (v "non")
+            [
+              for_ "vv" (i 0) (v "nv")
+                [
+                  leti "code" (ld "oncube" ((v "c" *: i max_vars) +: v "vv"));
+                  when_ (v "code" <>: i 3)
+                    [
+                      st "oncube" ((v "c" *: i max_vars) +: v "vv") (i 3);
+                      if_ (call "hits_offset" [ v "c" ] =: i 1)
+                        [ st "oncube" ((v "c" *: i max_vars) +: v "vv") (v "code") ]
+                        [
+                          st "raise_count" (v "c")
+                            (ld "raise_count" (v "c") +: i 1);
+                        ];
+                    ];
+                ];
+            ];
+        ];
+      (* does cube b cover cube a? *)
+      fn "covers" [ pi "b"; pi "a" ] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "nv" (g "n_vars");
+          for_ "vv" (i 0) (v "nv")
+            [
+              leti "ca" (ld "oncube" ((v "a" *: i max_vars) +: v "vv"));
+              when_
+                (band (v "ca") (ld "oncube" ((v "b" *: i max_vars) +: v "vv"))
+                <>: v "ca")
+                [ ret (i 0) ];
+            ];
+          ret (i 1);
+        ];
+      (* irredundant-ish: drop cubes covered by another live cube *)
+      fn "reduce_cover" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "non" (g "n_on");
+          leti "left" (i 0);
+          for_ "c" (i 0) (v "non") [ st "alive" (v "c") (i 1) ];
+          for_ "c" (i 0) (v "non")
+            [
+              leti "covered" (i 0);
+              leti "d" (i 0);
+              while_ ((v "covered" =: i 0) &&: (v "d" <: v "non"))
+                [
+                  when_
+                    ((v "d" <>: v "c")
+                    &&: (ld "alive" (v "d") =: i 1)
+                    &&: (call "covers" [ v "d"; v "c" ] =: i 1))
+                    [ set "covered" (i 1) ];
+                  incr_ "d";
+                ];
+              when_ (v "covered" =: i 1) [ st "alive" (v "c") (i 0) ];
+            ];
+          for_ "c" (i 0) (v "non")
+            [ when_ (ld "alive" (v "c") =: i 1) [ incr_ "left" ] ];
+          ret (v "left");
+        ];
+      fn "main" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          expr_ (call "expand" []);
+          leti "left" (call "reduce_cover" []);
+          (* checksum the surviving cover *)
+          leti "checksum" (i 0);
+          leti "non" (g "n_on");
+          leti "nv" (g "n_vars");
+          for_ "c" (i 0) (v "non")
+            [
+              when_ (ld "alive" (v "c") =: i 1)
+                [
+                  for_ "vv" (i 0) (v "nv")
+                    [
+                      set "checksum"
+                        (band
+                           ((v "checksum" *: i 37)
+                           +: ld "oncube" ((v "c" *: i max_vars) +: v "vv"))
+                           (i 0xFFFFFF));
+                    ];
+                ];
+            ];
+          out (v "left");
+          out (v "checksum");
+          ret (v "left");
+        ];
+    ]
+
+(* ---------- dataset generation ---------- *)
+
+(* A hidden random function partitions minterm space: a minterm is ON iff
+   it matches any of the secret generator cubes.  ON cubes are sampled
+   from the generators (specialized); OFF minterms are sampled from the
+   complement — so ON and OFF are consistent by construction. *)
+type pla = {
+  n_vars : int;
+  on : int array array;  (* cubes, codes 1/2/3 *)
+  off : int array array;  (* full minterms, codes 1/2 *)
+}
+
+let minterm_matches cube m =
+  let ok = ref true in
+  Array.iteri
+    (fun k code ->
+      let bitcode = if (m lsr k) land 1 = 1 then 2 else 1 in
+      if code land bitcode = 0 then ok := false)
+    cube;
+  !ok
+
+let generate_pla ~seed ~n_vars ~n_generators ~n_on ~n_off =
+  let rng = Rng.create seed in
+  let generators =
+    Array.init n_generators (fun _ ->
+        Array.init n_vars (fun _ ->
+            match Rng.int rng 4 with 0 -> 1 | 1 -> 2 | _ -> 3))
+  in
+  let is_on m = Array.exists (fun gen -> minterm_matches gen m) generators in
+  (* ON cubes: specialize a generator by pinning some don't-cares *)
+  let on =
+    Array.init n_on (fun _ ->
+        let gen = Rng.pick rng generators in
+        Array.map
+          (fun code ->
+            if code = 3 && Rng.chance rng 0.55 then 1 + Rng.int rng 2 else code)
+          gen)
+  in
+  (* OFF minterms: rejection-sample the complement *)
+  let off = ref [] in
+  let found = ref 0 in
+  let attempts = ref 0 in
+  while !found < n_off && !attempts < n_off * 200 do
+    incr attempts;
+    let m = Rng.int rng (1 lsl n_vars) in
+    if not (is_on m) then begin
+      incr found;
+      off :=
+        Array.init n_vars (fun k -> if (m lsr k) land 1 = 1 then 2 else 1)
+        :: !off
+    end
+  done;
+  { n_vars; on; off = Array.of_list !off }
+
+let dataset name descr pla =
+  let n_on = Array.length pla.on and n_off = Array.length pla.off in
+  assert (pla.n_vars <= max_vars && n_on <= max_cubes && n_off <= max_off);
+  let flatten cubes width =
+    let a = Array.make (Array.length cubes * width) 3 in
+    Array.iteri
+      (fun c cube -> Array.iteri (fun k code -> a.((c * width) + k) <- code) cube)
+      cubes;
+    a
+  in
+  {
+    Workload.ds_name = name;
+    ds_descr = descr;
+    ds_iargs = [];
+    ds_fargs = [];
+    ds_arrays =
+      [
+        ("$n_vars", `Ints [| pla.n_vars |]);
+        ("$n_on", `Ints [| n_on |]);
+        ("$n_off", `Ints [| n_off |]);
+        ("oncube", `Ints (flatten pla.on max_vars));
+        ("offcube", `Ints (flatten pla.off max_vars));
+      ];
+  }
+
+let plas =
+  lazy
+    [
+      ( "bca",
+        "dense control PLA",
+        generate_pla ~seed:811 ~n_vars:12 ~n_generators:9 ~n_on:90 ~n_off:260 );
+      ( "cps",
+        "sparse wide PLA",
+        generate_pla ~seed:812 ~n_vars:14 ~n_generators:5 ~n_on:70 ~n_off:300 );
+      ( "ti",
+        "medium PLA",
+        generate_pla ~seed:813 ~n_vars:12 ~n_generators:12 ~n_on:100 ~n_off:240 );
+      ( "tial",
+        "large dense PLA",
+        generate_pla ~seed:814 ~n_vars:13 ~n_generators:14 ~n_on:120 ~n_off:330 );
+    ]
+
+let workload =
+  {
+    Workload.w_name = "espresso";
+    w_paper_name = "008.espresso";
+    w_lang = Workload.C_int;
+    w_descr = "PLA (two-level logic) minimizer";
+    w_program = program;
+    w_seeded_globals = [ "n_vars"; "n_on"; "n_off" ];
+    w_datasets = List.map (fun (n, d, p) -> dataset n d p) (Lazy.force plas);
+  }

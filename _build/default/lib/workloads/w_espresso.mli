@@ -1,0 +1,21 @@
+(** 008.espresso analogue: PLA cube expansion + cover reduction with
+    data-dependent early-exit intersection tests. *)
+
+val program : Fisher92_minic.Ast.program
+val max_vars : int
+
+type pla = {
+  n_vars : int;
+  on : int array array;  (** cubes, per-variable codes 1/2/3 *)
+  off : int array array;  (** OFF-set minterms, codes 1/2 *)
+}
+
+val generate_pla :
+  seed:int -> n_vars:int -> n_generators:int -> n_on:int -> n_off:int -> pla
+(** Sample a consistent PLA: ON cubes specialize hidden generator cubes,
+    OFF minterms are rejection-sampled from the complement. *)
+
+val minterm_matches : int array -> int -> bool
+(** Does a cube cover a minterm (bit k of the int = variable k)? *)
+
+val workload : Workload.t

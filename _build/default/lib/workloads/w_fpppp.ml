@@ -1,0 +1,112 @@
+(* 042.fpppp analogue: two-electron integral derivatives.
+
+   The original's inner loop is "a giant expression with no flow of
+   control" — one enormous basic block evaluated once per atom quadruple,
+   giving ~150-170 instructions per break even with no prediction
+   (Figure 1a) yet only ~83% of branches going their majority way.  We
+   reproduce that shape by generating a long straight-line block of
+   dependent floating-point statements (deterministically, from a fixed
+   seed) over a pool of scalar temporaries, plus a handful of
+   data-dependent cutoff tests like the original's integral screening.
+
+   Datasets 4atoms/8atoms differ only in the number of quadruples,
+   (natoms choose 4)-ish, as in SPEC. *)
+
+open Fisher92_minic.Dsl
+module Rng = Fisher92_util.Rng
+
+let pool = 14
+let block_len = 85
+
+let tname k = Printf.sprintf "t%d" k
+
+(* A deterministic straight-line block over t0..t13 that keeps every value
+   in [-1, 1] and away from 0: affine mixes, half-differences, damped
+   products, square roots with an offset. *)
+let giant_block rng =
+  List.init block_len (fun _ ->
+      let d = tname (Rng.int rng pool) in
+      let a = v (tname (Rng.int rng pool)) in
+      let b = v (tname (Rng.int rng pool)) in
+      let k = 0.05 +. (0.01 *. float_of_int (Rng.int rng 50)) in
+      match Rng.int rng 12 with
+      | 0 | 1 | 2 -> set d ((a *: fl 0.55) +: (b *: fl 0.35) +: fl (k *. 0.2))
+      | 3 | 4 -> set d (((a -: b) *: fl 0.5) +: fl (k *. 0.1))
+      | 5 | 6 -> set d ((a *: b *: fl 0.8) +: fl k)
+      | 7 -> set d (sqrt_ (abs_ a +: fl k) *: fl 0.9)
+      | 8 -> set d (sin_ ((a *: fl 2.7) +: fl k))
+      | 9 -> set d (cos_ ((b *: fl 1.9) -: fl k) *: fl 0.95)
+      | _ ->
+        (* re-inject dependence on the quadruple index so values do not
+           contract to a q-independent fixed point *)
+        set d
+          ((a *: fl 0.5)
+          +: (sin_ (to_float (v "q") *: fl (0.37 +. k)) *: fl 0.5)))
+
+let program =
+  let rng = Rng.create 0x42f9 in
+  program "fpppp" ~entry:"main"
+    ~globals:[ gint "quads" 3000 ]
+    ~arrays:[ farr "integrals" 4096 ]
+    [
+      fn "main" [] ~ret:Fisher92_minic.Ast.Tint
+        ([
+           leti "nq" (g "quads");
+           letf "total" (fl 0.0);
+           leti "kept" (i 0);
+         ]
+        @ List.init pool (fun k -> letf (tname k) (fl 0.0))
+        @ [
+            for_ "q" (i 0) (v "nq")
+              ((* seed every temporary from the quadruple index *)
+               List.init pool (fun k ->
+                   let c = 0.21 +. (0.17 *. float_of_int k) in
+                   set (tname k) (sin_ (to_float (v "q") *: fl c) *: fl 0.9))
+              @ giant_block rng
+              @ [
+                  (* integral screening: data-dependent cutoffs, the only
+                     conditional work in the block.  Thresholds sit inside
+                     the value distributions so each test has a 15-30%
+                     minority side, matching the paper's 83%-majority
+                     observation for fpppp *)
+                  when_ (v "t0" +: sin_ (to_float (v "q") *: fl 0.917) >: fl 0.62)
+                    [
+                      set "total" (v "total" +: v "t0");
+                      when_ (v "t1" >: fl 0.1)
+                        [ set "total" (v "total" +: (v "t1" *: fl 0.5)) ];
+                    ];
+                  when_ (v "t2" +: sin_ (to_float (v "q") *: fl 1.71) >: fl 0.7)
+                    [ set "kept" (v "kept" +: i 1) ];
+                  when_ (v "t3" -: sin_ (to_float (v "q") *: fl 2.33) >: fl 0.68)
+                    [ set "total" (v "total" -: (v "t3" *: fl 0.25)) ];
+                  st "integrals" (band (v "q") (i 4095)) (v "total");
+                ]);
+            out (v "kept");
+            out (to_int (v "total" *: fl 1000.0));
+            ret (v "kept");
+          ]);
+    ]
+
+let dataset name quads descr =
+  {
+    Workload.ds_name = name;
+    ds_descr = descr;
+    ds_iargs = [];
+    ds_fargs = [];
+    ds_arrays = [ ("$quads", `Ints [| quads |]) ];
+  }
+
+let workload =
+  {
+    Workload.w_name = "fpppp";
+    w_paper_name = "042.fpppp";
+    w_lang = Workload.Fortran_fp;
+    w_descr = "quantum chemistry: giant straight-line FP basic block";
+    w_program = program;
+    w_seeded_globals = [ "quads" ];
+    w_datasets =
+      [
+        dataset "4atoms" 3000 "smaller parameter setting (fewer quadruples)";
+        dataset "8atoms" 9000 "larger parameter setting";
+      ];
+  }

@@ -1,0 +1,6 @@
+(** 042.fpppp analogue: a deterministically generated giant straight-line
+    floating-point basic block per "atom quadruple", plus integral-
+    screening cutoffs calibrated to the paper's 83%-majority branches. *)
+
+val program : Fisher92_minic.Ast.program
+val workload : Workload.t

@@ -1,0 +1,153 @@
+(* Livermore FORTRAN Kernels analogue: a battery of short numeric loops
+   (hydro fragment, ICCG-style reduction, inner product, banded linear
+   equations, tri-diagonal elimination, state fragment, ADI-like sweep,
+   first difference, ...).  Only the kernel subroutine is measured in the
+   paper; here the whole program is the kernels.
+
+   The kernels are individually branch-light but the loops are short, so
+   back-edge mispredicts come more often than in matrix300/tomcatv —
+   matching LFK's middling 399 instructions/break in Table 3. *)
+
+open Fisher92_minic.Dsl
+
+let vlen = 170
+
+let program =
+  program "lfk" ~entry:"main"
+    ~globals:[ gint "loops" 75 ]
+    ~arrays:
+      [
+        farr "xv" vlen;
+        farr "yv" vlen;
+        farr "zv" vlen;
+        farr "uv" vlen;
+        farr "band5" (vlen * 5);
+      ]
+    [
+      fn "setup" []
+        [
+          for_ "k" (i 0) (i vlen)
+            [
+              st "xv" (v "k") (sin_ (to_float (v "k") *: fl 0.011) +: fl 1.5);
+              st "yv" (v "k") (cos_ (to_float (v "k") *: fl 0.017) +: fl 1.5);
+              st "zv" (v "k") (to_float (v "k" %: i 37) *: fl 0.05);
+              st "uv" (v "k") (fl 0.01 *: to_float (v "k" %: i 53));
+            ];
+          for_ "k" (i 0) (i (vlen * 5))
+            [ st "band5" (v "k") (to_float (v "k" %: i 29) *: fl 0.02) ];
+        ];
+      (* kernel 1: hydro fragment *)
+      fn "k1_hydro" [] ~ret:Fisher92_minic.Ast.Tfloat
+        [
+          for_ "k" (i 0) (i (vlen - 12))
+            [
+              st "xv" (v "k")
+                (fl 0.0097
+                +: (ld "yv" (v "k")
+                   *: (fl 0.421 +: (fl 0.089 *: ld "zv" (v "k" +: i 10)))));
+            ];
+          ret (ld "xv" (i 7));
+        ];
+      (* kernel 3: inner product *)
+      fn "k3_inner" [] ~ret:Fisher92_minic.Ast.Tfloat
+        [
+          letf "q" (fl 0.0);
+          for_ "k" (i 0) (i vlen)
+            [ set "q" (v "q" +: (ld "zv" (v "k") *: ld "xv" (v "k"))) ];
+          ret (v "q");
+        ];
+      (* kernel 5: tri-diagonal elimination, below diagonal *)
+      fn "k5_tridiag" [] ~ret:Fisher92_minic.Ast.Tfloat
+        [
+          for_ "k" (i 1) (i vlen)
+            [
+              st "xv" (v "k")
+                (ld "zv" (v "k") *: (ld "yv" (v "k") -: ld "xv" (v "k" -: i 1)));
+            ];
+          ret (ld "xv" (i (vlen - 1)));
+        ];
+      (* kernel 6: general linear recurrence (short inner loop) *)
+      fn "k6_recur" [] ~ret:Fisher92_minic.Ast.Tfloat
+        [
+          for_ "k" (i 1) (i 60)
+            [
+              letf "acc" (fl 0.0);
+              for_ "j" (i 0) (v "k")
+                [
+                  set "acc"
+                    (v "acc" +: (ld "band5" ((v "k" *: i 5) +: (v "j" %: i 5)) *: ld "xv" (v "j")));
+                ];
+              st "uv" (v "k") (ld "uv" (v "k") +: (v "acc" *: fl 0.001));
+            ];
+          ret (ld "uv" (i 31));
+        ];
+      (* kernel 7: equation-of-state fragment (long expression) *)
+      fn "k7_state" [] ~ret:Fisher92_minic.Ast.Tfloat
+        [
+          for_ "k" (i 0) (i (vlen - 8))
+            [
+              st "xv" (v "k")
+                (ld "uv" (v "k")
+                +: (fl 0.314 *: ld "zv" (v "k"))
+                +: (fl 0.271
+                   *: (ld "uv" (v "k" +: i 3)
+                      +: ld "zv" (v "k" +: i 3)
+                      +: ld "uv" (v "k" +: i 6)))
+                +: (fl 0.089 *: ld "yv" (v "k" +: i 2)));
+            ];
+          ret (ld "xv" (i 11));
+        ];
+      (* kernel 11: first sum (prefix) *)
+      fn "k11_prefix" [] ~ret:Fisher92_minic.Ast.Tfloat
+        [
+          st "yv" (i 0) (ld "zv" (i 0));
+          for_ "k" (i 1) (i vlen)
+            [ st "yv" (v "k") ((ld "yv" (v "k" -: i 1) +: ld "zv" (v "k")) *: fl 0.999) ];
+          ret (ld "yv" (i (vlen - 1)));
+        ];
+      (* kernel 12: first difference *)
+      fn "k12_diff" [] ~ret:Fisher92_minic.Ast.Tfloat
+        [
+          for_ "k" (i 0) (i (vlen - 1))
+            [ st "uv" (v "k") (ld "yv" (v "k" +: i 1) -: ld "yv" (v "k")) ];
+          ret (ld "uv" (i 3));
+        ];
+      fn "main" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          expr_ (call "setup" []);
+          leti "reps" (g "loops");
+          letf "sig" (fl 0.0);
+          for_ "rep" (i 0) (v "reps")
+            [
+              set "sig" (v "sig" +: call "k1_hydro" []);
+              set "sig" (v "sig" +: call "k3_inner" []);
+              set "sig" (v "sig" +: call "k5_tridiag" []);
+              set "sig" (v "sig" +: call "k6_recur" []);
+              set "sig" (v "sig" +: call "k7_state" []);
+              set "sig" (v "sig" +: call "k11_prefix" []);
+              set "sig" (v "sig" +: call "k12_diff" []);
+            ];
+          out (to_int (v "sig" *: fl 100.0));
+          ret (i 0);
+        ];
+    ]
+
+let workload =
+  {
+    Workload.w_name = "lfk";
+    w_paper_name = "LFK";
+    w_lang = Workload.Fortran_fp;
+    w_descr = "Livermore FORTRAN Kernels loop battery";
+    w_program = program;
+    w_seeded_globals = [ "loops" ];
+    w_datasets =
+      [
+        {
+          ds_name = "self";
+          ds_descr = "program generates its own data";
+          ds_iargs = [];
+          ds_fargs = [];
+          ds_arrays = [ ("$loops", `Ints [| 75 |]) ];
+        };
+      ];
+  }

@@ -1,0 +1,6 @@
+(** Livermore FORTRAN Kernels analogue: a battery of short numeric
+    loops (hydro, inner product, tri-diagonal, recurrence, state,
+    prefix sum, first difference). *)
+
+val program : Fisher92_minic.Ast.program
+val workload : Workload.t

@@ -1,0 +1,448 @@
+(* 022.li analogue: an interpreter interpreting its input.
+
+   XLISP's behaviour in the paper — "constantly looking at lisp
+   instructions and deciding what to do", a conditional branch every ~10
+   instructions — is the behaviour of any dispatch-loop interpreter.  We
+   implement a stack-machine interpreter in MiniC (a dispatch switch over
+   ~30 opcodes, int and float evaluation stacks, a call stack, static
+   global cells, and dynamically indexed int/float data regions), and the
+   datasets are *programs* for that machine, mirroring the paper's:
+
+   - 8queens / 9queens: backtracking chessboard search (SPEC's input);
+   - kitty: a numeric mesh relaxation — the paper's tomcatv-in-xlisp;
+   - sieve: a prime sieve, "output of a machine language to lisp
+     simulator computing primes".
+
+   Each dataset emphasizes different opcode handlers (queens: compare/
+   branch/int-data; kitty: float ops; sieve: int-data marking), exactly
+   the mechanism the paper credits for interpreter unpredictability.
+   The dispatch cascade is ordered by typical opcode frequency, as a
+   compiler with IFPROB feedback would order it. *)
+
+open Fisher92_minic.Dsl
+
+let code_max = 4096
+let stack_max = 256
+let gvars_max = 64
+let idata_max = 4096
+let fdata_max = 2048
+
+(* Opcodes, ordered roughly by dynamic frequency (the dispatch cascade
+   tests them in this order). *)
+let op_loadg = 0
+let op_pushi = 1
+let op_ilda = 2
+let op_lt = 3
+let op_add = 4
+let op_jz = 5
+let op_jnz = 6
+let op_storeg = 7
+let op_eq = 8
+let op_sub = 9
+let op_jmp = 10
+let op_ista = 11
+let op_dup = 12
+let op_neg = 13
+let op_mul = 14
+let op_div = 15
+let op_mod = 16
+let op_le = 17
+let op_ne = 18
+let op_call = 19
+let op_ret = 20
+let op_out = 21
+let op_drop = 22
+let op_flda = 23
+let op_fsta = 24
+let op_fadd = 25
+let op_fsub = 26
+let op_fmul = 27
+let op_fout = 28
+let op_itof = 29
+let op_halt = 30
+
+let binop_int op_expr =
+  [
+    set "sp" (v "sp" -: i 1);
+    st "istack" (v "sp" -: i 1)
+      (op_expr (ld "istack" (v "sp" -: i 1)) (ld "istack" (v "sp")));
+  ]
+
+let binop_float op_expr =
+  [
+    set "fsp" (v "fsp" -: i 1);
+    st "fstack" (v "fsp" -: i 1)
+      (op_expr (ld "fstack" (v "fsp" -: i 1)) (ld "fstack" (v "fsp")));
+  ]
+
+let program =
+  program "li" ~entry:"main"
+    ~globals:[ gint "code_len" 0 ]
+    ~arrays:
+      [
+        iarr "code" code_max;
+        iarr "istack" stack_max;
+        farr "fstack" stack_max;
+        iarr "rstack" stack_max;
+        iarr "gvars" gvars_max;
+        iarr "idata" idata_max;
+        farr "fdata" fdata_max;
+      ]
+    [
+      fn "main" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "pc" (i 0);
+          leti "sp" (i 0);
+          leti "fsp" (i 0);
+          leti "rsp" (i 0);
+          leti "running" (i 1);
+          leti "executed" (i 0);
+          while_ (v "running" =: i 1)
+            [
+              leti "op" (ld "code" (v "pc"));
+              leti "arg" (ld "code" (v "pc" +: i 1));
+              set "pc" (v "pc" +: i 2);
+              set "executed" (v "executed" +: i 1);
+              switch_ (v "op")
+                [
+                  case op_loadg
+                    [ st "istack" (v "sp") (ld "gvars" (v "arg")); incr_ "sp" ];
+                  case op_pushi [ st "istack" (v "sp") (v "arg"); incr_ "sp" ];
+                  case op_ilda
+                    [
+                      st "istack" (v "sp" -: i 1)
+                        (ld "idata" (ld "istack" (v "sp" -: i 1)));
+                    ];
+                  case op_lt (binop_int (fun a b -> a <: b));
+                  case op_add (binop_int (fun a b -> a +: b));
+                  case op_jz
+                    [
+                      set "sp" (v "sp" -: i 1);
+                      when_ (ld "istack" (v "sp") =: i 0) [ set "pc" (v "arg") ];
+                    ];
+                  case op_jnz
+                    [
+                      set "sp" (v "sp" -: i 1);
+                      when_ (ld "istack" (v "sp") <>: i 0) [ set "pc" (v "arg") ];
+                    ];
+                  case op_storeg
+                    [
+                      set "sp" (v "sp" -: i 1);
+                      st "gvars" (v "arg") (ld "istack" (v "sp"));
+                    ];
+                  case op_eq (binop_int (fun a b -> a =: b));
+                  case op_sub (binop_int (fun a b -> a -: b));
+                  case op_jmp [ set "pc" (v "arg") ];
+                  case op_ista
+                    [
+                      (* value pushed first, index on top *)
+                      set "sp" (v "sp" -: i 2);
+                      st "idata" (ld "istack" (v "sp" +: i 1)) (ld "istack" (v "sp"));
+                    ];
+                  case op_dup
+                    [
+                      st "istack" (v "sp") (ld "istack" (v "sp" -: i 1));
+                      incr_ "sp";
+                    ];
+                  case op_neg
+                    [ st "istack" (v "sp" -: i 1) (neg (ld "istack" (v "sp" -: i 1))) ];
+                  case op_mul (binop_int (fun a b -> a *: b));
+                  case op_div (binop_int (fun a b -> a /: b));
+                  case op_mod (binop_int (fun a b -> a %: b));
+                  case op_le (binop_int (fun a b -> a <=: b));
+                  case op_ne (binop_int (fun a b -> a <>: b));
+                  case op_call
+                    [
+                      st "rstack" (v "rsp") (v "pc");
+                      incr_ "rsp";
+                      set "pc" (v "arg");
+                    ];
+                  case op_ret
+                    [
+                      set "rsp" (v "rsp" -: i 1);
+                      set "pc" (ld "rstack" (v "rsp"));
+                    ];
+                  case op_out
+                    [ set "sp" (v "sp" -: i 1); out (ld "istack" (v "sp")) ];
+                  case op_drop [ set "sp" (v "sp" -: i 1) ];
+                  case op_flda
+                    [
+                      set "sp" (v "sp" -: i 1);
+                      st "fstack" (v "fsp") (ld "fdata" (ld "istack" (v "sp")));
+                      incr_ "fsp";
+                    ];
+                  case op_fsta
+                    [
+                      set "sp" (v "sp" -: i 1);
+                      set "fsp" (v "fsp" -: i 1);
+                      st "fdata" (ld "istack" (v "sp")) (ld "fstack" (v "fsp"));
+                    ];
+                  case op_fadd (binop_float (fun a b -> a +: b));
+                  case op_fsub (binop_float (fun a b -> a -: b));
+                  case op_fmul (binop_float (fun a b -> a *: b));
+                  case op_fout
+                    [
+                      set "fsp" (v "fsp" -: i 1);
+                      out (to_int (ld "fstack" (v "fsp") *: fl 1000000.0));
+                    ];
+                  case op_itof
+                    [
+                      set "sp" (v "sp" -: i 1);
+                      st "fstack" (v "fsp") (to_float (ld "istack" (v "sp")));
+                      incr_ "fsp";
+                    ];
+                  case op_halt [ set "running" (i 0) ];
+                ]
+                [ set "running" (i 0) ];
+            ];
+          out (v "executed");
+          ret (i 0);
+        ];
+    ]
+
+(* ---------- assembler ---------- *)
+
+type asm = Op of int * int | Opl of int * string | Lbl of string
+
+let assemble items =
+  let labels = Hashtbl.create 16 in
+  let pc = ref 0 in
+  List.iter
+    (function
+      | Lbl name -> Hashtbl.replace labels name !pc
+      | Op _ | Opl _ -> pc := !pc + 2)
+    items;
+  let code = Array.make !pc 0 in
+  let at = ref 0 in
+  List.iter
+    (function
+      | Lbl _ -> ()
+      | Op (op, arg) ->
+        code.(!at) <- op;
+        code.(!at + 1) <- arg;
+        at := !at + 2
+      | Opl (op, label) ->
+        code.(!at) <- op;
+        (code.(!at + 1) <-
+          (match Hashtbl.find_opt labels label with
+          | Some target -> target
+          | None -> invalid_arg ("W_li.assemble: unknown label " ^ label)));
+        at := !at + 2)
+    items;
+  code
+
+let pushi k = Op (op_pushi, k)
+let loadg a = Op (op_loadg, a)
+let storeg a = Op (op_storeg, a)
+let jmp l = Opl (op_jmp, l)
+let jz l = Opl (op_jz, l)
+let jnz l = Opl (op_jnz, l)
+let simple op = Op (op, 0)
+
+(* ---------- dataset programs ---------- *)
+
+(* N-queens, iterative backtracking; board in idata[row].
+   gvars: 0=N 1=row 2=count 3=c 4=j 5=pj 7=ok *)
+let queens n =
+  [
+    pushi n; storeg 0;
+    pushi 0; storeg 2;
+    pushi 0; storeg 1;
+    pushi (-1); pushi 0; simple op_ista;
+    Lbl "step";
+    loadg 1; pushi 0; simple op_lt; jnz "done";
+    loadg 1; simple op_ilda; pushi 1; simple op_add; storeg 3;
+    Lbl "scan";
+    loadg 3; loadg 0; simple op_lt; jz "exhausted";
+    pushi 0; storeg 4;
+    pushi 1; storeg 7;
+    Lbl "conf_loop";
+    loadg 4; loadg 1; simple op_lt; jz "conf_done";
+    loadg 4; simple op_ilda; storeg 5;
+    loadg 5; loadg 3; simple op_eq; jnz "conflict";
+    loadg 5; loadg 3; simple op_sub;
+    simple op_dup; pushi 0; simple op_lt; jz "abs_done";
+    simple op_neg;
+    Lbl "abs_done";
+    loadg 1; loadg 4; simple op_sub;
+    simple op_eq; jnz "conflict";
+    loadg 4; pushi 1; simple op_add; storeg 4;
+    jmp "conf_loop";
+    Lbl "conflict";
+    pushi 0; storeg 7;
+    Lbl "conf_done";
+    loadg 7; jnz "placed";
+    loadg 3; pushi 1; simple op_add; storeg 3;
+    jmp "scan";
+    Lbl "placed";
+    loadg 3; loadg 1; simple op_ista;
+    loadg 1; loadg 0; pushi 1; simple op_sub; simple op_eq; jz "descend";
+    loadg 2; pushi 1; simple op_add; storeg 2;
+    loadg 3; pushi 1; simple op_add; storeg 3;
+    jmp "scan";
+    Lbl "descend";
+    loadg 1; pushi 1; simple op_add; storeg 1;
+    pushi (-1); loadg 1; simple op_ista;
+    jmp "step";
+    Lbl "exhausted";
+    loadg 1; pushi 1; simple op_sub; storeg 1;
+    jmp "step";
+    Lbl "done";
+    loadg 2; simple op_out;
+    simple op_halt;
+  ]
+
+(* prime sieve over idata; outputs the prime count.
+   gvars: 0=i 1=j 2=count *)
+let sieve limit =
+  [
+    pushi 2; storeg 0;
+    Lbl "init";
+    loadg 0; pushi limit; simple op_lt; jz "init_done";
+    pushi 1; loadg 0; simple op_ista;
+    loadg 0; pushi 1; simple op_add; storeg 0;
+    jmp "init";
+    Lbl "init_done";
+    pushi 0; storeg 2;
+    pushi 2; storeg 0;
+    Lbl "outer";
+    loadg 0; pushi limit; simple op_lt; jz "finish";
+    loadg 0; simple op_ilda; jz "next_i";
+    loadg 2; pushi 1; simple op_add; storeg 2;
+    loadg 0; loadg 0; simple op_add; storeg 1;
+    Lbl "mark";
+    loadg 1; pushi limit; simple op_lt; jz "next_i";
+    pushi 0; loadg 1; simple op_ista;
+    loadg 1; loadg 0; simple op_add; storeg 1;
+    jmp "mark";
+    Lbl "next_i";
+    loadg 0; pushi 1; simple op_add; storeg 0;
+    jmp "outer";
+    Lbl "finish";
+    loadg 2; simple op_out;
+    simple op_halt;
+  ]
+
+(* kitty: 1D heat relaxation over fdata[base..base+m), like tomcatv
+   rewritten for the interpreter.  fdata[0] holds the 0.5 constant and is
+   seeded by the dataset along with the initial mesh.
+   gvars: 0=k 1=it *)
+let kitty_base = 16
+
+let kitty ~m ~iters =
+  [
+    pushi 0; storeg 1;
+    Lbl "sweep";
+    loadg 1; pushi iters; simple op_lt; jz "done";
+    pushi 1; storeg 0;
+    Lbl "point";
+    loadg 0; pushi (m - 1); simple op_lt; jz "sweep_end";
+    (* fdata[base+k] = (fdata[base+k-1] + fdata[base+k+1]) * 0.5 *)
+    loadg 0; pushi (kitty_base - 1); simple op_add; simple op_flda;
+    loadg 0; pushi (kitty_base + 1); simple op_add; simple op_flda;
+    simple op_fadd;
+    pushi 0; simple op_flda;
+    simple op_fmul;
+    loadg 0; pushi kitty_base; simple op_add; simple op_fsta;
+    loadg 0; pushi 1; simple op_add; storeg 0;
+    jmp "point";
+    Lbl "sweep_end";
+    loadg 1; pushi 1; simple op_add; storeg 1;
+    jmp "sweep";
+    Lbl "done";
+    pushi (kitty_base + (m / 2)); simple op_flda; simple op_fout;
+    simple op_halt;
+  ]
+
+(* ---------- reference results (for tests) ---------- *)
+
+let reference_queens_count n =
+  let pos = Array.make n (-1) in
+  let conflicts row c =
+    let rec go j =
+      j < row
+      && (pos.(j) = c || abs (pos.(j) - c) = row - j || go (j + 1))
+    in
+    (* force full scan semantics equal to bytecode (short-circuit ok) *)
+    go 0
+  in
+  let count = ref 0 in
+  let rec place row =
+    if row = n then incr count
+    else
+      for c = 0 to n - 1 do
+        if not (conflicts row c) then begin
+          pos.(row) <- c;
+          place (row + 1);
+          pos.(row) <- -1
+        end
+      done
+  in
+  place 0;
+  !count
+
+let reference_sieve_count limit =
+  let flags = Array.make (max limit 3) true in
+  let count = ref 0 in
+  for k = 2 to limit - 1 do
+    if flags.(k) then begin
+      incr count;
+      let j = ref (k + k) in
+      while !j < limit do
+        flags.(!j) <- false;
+        j := !j + k
+      done
+    end
+  done;
+  !count
+
+(* ---------- datasets ---------- *)
+
+let bytecode_dataset name descr ?(fdata = [||]) code =
+  assert (Array.length code <= code_max);
+  {
+    Workload.ds_name = name;
+    ds_descr = descr;
+    ds_iargs = [];
+    ds_fargs = [];
+    ds_arrays =
+      (("$code_len", `Ints [| Array.length code |])
+       :: ("code", `Ints code)
+       ::
+       (if Array.length fdata = 0 then [] else [ ("fdata", `Floats fdata) ]));
+  }
+
+let kitty_m = 220
+let kitty_iters = 28
+
+let kitty_fdata =
+  let a = Array.make (kitty_base + kitty_m + 1) 0.0 in
+  a.(0) <- 0.5;
+  for k = 0 to kitty_m do
+    a.(kitty_base + k) <- sin (float_of_int k *. 0.11) +. 1.0
+  done;
+  a
+
+let workload =
+  {
+    Workload.w_name = "li";
+    w_paper_name = "022.li (XLISP 1.6)";
+    w_lang = Workload.C_int;
+    w_descr = "stack-machine interpreter (lisp-machine analogue)";
+    w_program = program;
+    w_seeded_globals = [ "code_len" ];
+    w_datasets =
+      [
+        bytecode_dataset "8queens"
+          "queens backtracking search (board scaled 8->7 for simulator time)"
+          (assemble (queens 7));
+        bytecode_dataset "9queens"
+          "larger queens search (board scaled 9->8 for simulator time)"
+          (assemble (queens 8));
+        bytecode_dataset "kitty" "mesh relaxation (tomcatv rewritten for the interpreter)"
+          ~fdata:kitty_fdata
+          (assemble (kitty ~m:kitty_m ~iters:kitty_iters));
+        bytecode_dataset "sieve" "prime sieve from the pseudo-assembly simulator"
+          (assemble (sieve 2600));
+      ];
+  }

@@ -1,0 +1,36 @@
+(** 022.li analogue: a stack-machine interpreter (dispatch switch over
+    ~30 opcodes) whose datasets are bytecode programs — queens
+    backtracking, a prime sieve, and a numeric relaxation. *)
+
+val program : Fisher92_minic.Ast.program
+
+(** {1 Assembler} *)
+
+type asm =
+  | Op of int * int  (** opcode, literal argument *)
+  | Opl of int * string  (** opcode, label argument *)
+  | Lbl of string  (** label definition *)
+
+val assemble : asm list -> int array
+(** Two-pass assembly to the interpreter's opcode/argument pairs.
+    @raise Invalid_argument on an undefined label. *)
+
+val queens : int -> asm list
+(** Iterative backtracking n-queens; outputs the solution count. *)
+
+val sieve : int -> asm list
+(** Prime sieve below the limit; outputs the prime count. *)
+
+val kitty : m:int -> iters:int -> asm list
+(** 1D relaxation over the float data region (tomcatv-in-the-interpreter);
+    outputs the scaled midpoint value. *)
+
+val kitty_m : int
+val kitty_iters : int
+
+(** {1 Test oracles} *)
+
+val reference_queens_count : int -> int
+val reference_sieve_count : int -> int
+
+val workload : Workload.t

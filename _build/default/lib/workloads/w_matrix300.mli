@@ -1,0 +1,11 @@
+(** 030.matrix300 analogue: dense matrix multiply (see the implementation
+    header for the modelling notes, including the synthesized Table 1
+    dead code). *)
+
+val program : Fisher92_minic.Ast.program
+
+val reference_trace : int -> int
+(** Expected value of the program's diagonal-trace output for size [n]
+    (bit-exact: same operation order as the compiled code). *)
+
+val workload : Workload.t

@@ -1,0 +1,377 @@
+(* mfcom analogue: the Multiflow compiler's common optimizer and backend.
+
+   The paper ran the Multiflow C/FORTRAN compiler over two profiling
+   inputs — 5047 lines of systems C and 5855 lines of scientific FORTRAN
+   — measuring the code shared by both front ends: the optimizer and
+   backend.  We reproduce that: the program consumes a stream of
+   three-address intermediate code (the common representation after a
+   front end) and runs value-numbering CSE, constant folding through a
+   small constant table, dead-code elimination by backward liveness, and
+   a linear-scan register allocator.
+
+   Datasets c_metric / fortran_metric are IR streams with the respective
+   languages' statistics: C-like IR is branchy with short expressions and
+   lots of memory traffic; FORTRAN-like IR has long arithmetic chains,
+   multiply-add triads and few branches.
+
+   IR tuple (per index k): iop, isrc1, isrc2, idst.
+     iop: 0 const-load (isrc1 = literal), 1 add, 2 sub, 3 mul, 4 div,
+          5 load (memory), 6 store, 7 compare, 8 branch (uses isrc1),
+          9 call *)
+
+open Fisher92_minic.Dsl
+module Rng = Fisher92_util.Rng
+
+let max_ir = 6000
+let n_vregs = 512 (* virtual register space of the stream *)
+let n_physical = 16
+
+let program =
+  program "mfcom" ~entry:"main"
+    ~globals:[ gint "n_ir" 0 ]
+    ~arrays:
+      [
+        iarr "iop" max_ir;
+        iarr "isrc1" max_ir;
+        iarr "isrc2" max_ir;
+        iarr "idst" max_ir;
+        iarr "removed" max_ir;  (* marks: 1 = deleted by a pass *)
+        (* value numbering: open-addressed map (op,vn1,vn2) -> vn *)
+        iarr "vn_of_reg" n_vregs;
+        iarr "vn_table_key" 16384;
+        iarr "vn_table_val" 16384;
+        iarr "vn_reg" 8192;  (* canonical register per value number *)
+        (* constants *)
+        iarr "const_known" n_vregs;
+        iarr "const_val" n_vregs;
+        (* liveness + allocation *)
+        iarr "live" n_vregs;
+        iarr "last_use" n_vregs;
+        iarr "assigned" n_vregs;
+        iarr "phys_free" n_physical;
+      ]
+    [
+      (* ---- value numbering / CSE ---- *)
+      fn "vn_lookup" [ pi "key" ] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "h" (band (v "key" *: i 2654435761) (i 16383));
+          leti "tries" (i 0);
+          while_ (v "tries" <: i 16384)
+            [
+              leti "slot" (ld "vn_table_key" (v "h"));
+              when_ (v "slot" =: i 0) [ ret (neg (v "h") -: i 1) ];
+              when_ (v "slot" =: v "key") [ ret (ld "vn_table_val" (v "h")) ];
+              set "h" (band (v "h" +: i 1) (i 16383));
+              incr_ "tries";
+            ];
+          ret (i (-1));
+        ];
+      fn "cse_pass" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "n" (g "n_ir");
+          leti "next_vn" (i 1);
+          leti "eliminated" (i 0);
+          (* every register starts as its own unknown value *)
+          for_ "r" (i 0) (i n_vregs)
+            [
+              st "vn_of_reg" (v "r") (i 0);
+            ];
+          for_ "k" (i 0) (v "n")
+            [
+              leti "op" (ld "iop" (v "k"));
+              when_ ((v "op" >=: i 1) &&: (v "op" <=: i 4))
+                [
+                  leti "v1" (ld "vn_of_reg" (ld "isrc1" (v "k")));
+                  leti "v2" (ld "vn_of_reg" (ld "isrc2" (v "k")));
+                  (* unknown operands get fresh value numbers *)
+                  when_ ((v "v1" =: i 0) &&: (v "next_vn" <: i 8191))
+                    [
+                      set "v1" (v "next_vn");
+                      st "vn_of_reg" (ld "isrc1" (v "k")) (v "v1");
+                      st "vn_reg" (v "v1") (ld "isrc1" (v "k"));
+                      incr_ "next_vn";
+                    ];
+                  when_ ((v "v2" =: i 0) &&: (v "next_vn" <: i 8191))
+                    [
+                      set "v2" (v "next_vn");
+                      st "vn_of_reg" (ld "isrc2" (v "k")) (v "v2");
+                      st "vn_reg" (v "v2") (ld "isrc2" (v "k"));
+                      incr_ "next_vn";
+                    ];
+                  leti "key"
+                    ((((v "op" *: i 8192) +: v "v1") *: i 8192) +: v "v2" +: i 1);
+                  leti "hit" (call "vn_lookup" [ v "key" ]);
+                  if_ (v "hit" >: i 0)
+                    [
+                      (* same computation seen: delete, alias the dst *)
+                      st "removed" (v "k") (i 1);
+                      st "vn_of_reg" (ld "idst" (v "k")) (v "hit");
+                      incr_ "eliminated";
+                    ]
+                    [
+                      when_ ((v "hit" <: i 0) &&: (v "next_vn" <: i 8191))
+                        [
+                          leti "slot" (neg (v "hit") -: i 1);
+                          st "vn_table_key" (v "slot") (v "key");
+                          st "vn_table_val" (v "slot") (v "next_vn");
+                          st "vn_of_reg" (ld "idst" (v "k")) (v "next_vn");
+                          st "vn_reg" (v "next_vn") (ld "idst" (v "k"));
+                          incr_ "next_vn";
+                        ];
+                    ];
+                ];
+              (* loads, calls, compares produce fresh values *)
+              when_
+                ((v "op" =: i 0) ||: (v "op" =: i 5) ||: (v "op" =: i 7)
+                ||: (v "op" =: i 9))
+                [
+                  when_ (v "next_vn" <: i 8191)
+                    [
+                      st "vn_of_reg" (ld "idst" (v "k")) (v "next_vn");
+                      st "vn_reg" (v "next_vn") (ld "idst" (v "k"));
+                      incr_ "next_vn";
+                    ];
+                ];
+            ];
+          ret (v "eliminated");
+        ];
+      (* ---- constant folding ---- *)
+      fn "fold_pass" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "n" (g "n_ir");
+          leti "folded" (i 0);
+          for_ "k" (i 0) (v "n")
+            [
+              when_ (ld "removed" (v "k") =: i 0)
+                [
+                  leti "op" (ld "iop" (v "k"));
+                  if_ (v "op" =: i 0)
+                    [
+                      st "const_known" (ld "idst" (v "k")) (i 1);
+                      st "const_val" (ld "idst" (v "k")) (ld "isrc1" (v "k"));
+                    ]
+                    [
+                      if_
+                        ((v "op" >=: i 1) &&: (v "op" <=: i 4)
+                        &&: (ld "const_known" (ld "isrc1" (v "k")) =: i 1)
+                        &&: (ld "const_known" (ld "isrc2" (v "k")) =: i 1))
+                        [
+                          leti "x" (ld "const_val" (ld "isrc1" (v "k")));
+                          leti "y" (ld "const_val" (ld "isrc2" (v "k")));
+                          leti "r" (i 0);
+                          leti "ok" (i 1);
+                          switch_ (v "op")
+                            [
+                              case 1 [ set "r" (v "x" +: v "y") ];
+                              case 2 [ set "r" (v "x" -: v "y") ];
+                              case 3 [ set "r" (v "x" *: v "y") ];
+                              case 4
+                                [
+                                  if_ (v "y" =: i 0) [ set "ok" (i 0) ]
+                                    [ set "r" (v "x" /: v "y") ];
+                                ];
+                            ]
+                            [ set "ok" (i 0) ];
+                          when_ (v "ok" =: i 1)
+                            [
+                              (* rewrite as a const-load *)
+                              st "iop" (v "k") (i 0);
+                              st "isrc1" (v "k") (v "r");
+                              st "const_known" (ld "idst" (v "k")) (i 1);
+                              st "const_val" (ld "idst" (v "k")) (v "r");
+                              incr_ "folded";
+                            ];
+                        ]
+                        [
+                          (* destination becomes non-constant *)
+                          when_ ((v "op" <>: i 6) &&: (v "op" <>: i 8))
+                            [ st "const_known" (ld "idst" (v "k")) (i 0) ];
+                        ];
+                    ];
+                ];
+            ];
+          ret (v "folded");
+        ];
+      (* ---- dead code elimination: backward liveness ---- *)
+      fn "dce_pass" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "n" (g "n_ir");
+          leti "killed" (i 0);
+          for_ "r" (i 0) (i n_vregs) [ st "live" (v "r") (i 0) ];
+          leti "k" (v "n" -: i 1);
+          while_ (v "k" >=: i 0)
+            [
+              when_ (ld "removed" (v "k") =: i 0)
+                [
+                  leti "op" (ld "iop" (v "k"));
+                  (* stores, branches and calls are always live *)
+                  leti "essential"
+                    ((v "op" =: i 6) ||: (v "op" =: i 8) ||: (v "op" =: i 9));
+                  if_
+                    ((v "essential" =: i 0)
+                    &&: (ld "live" (ld "idst" (v "k")) =: i 0))
+                    [ st "removed" (v "k") (i 1); incr_ "killed" ]
+                    [
+                      (* dst dies here, sources become live *)
+                      when_ (v "essential" =: i 0)
+                        [ st "live" (ld "idst" (v "k")) (i 0) ];
+                      when_ (v "op" >=: i 1)
+                        [ st "live" (ld "isrc1" (v "k")) (i 1) ];
+                      when_ ((v "op" >=: i 1) &&: (v "op" <=: i 4) ||: (v "op" =: i 7))
+                        [ st "live" (ld "isrc2" (v "k")) (i 1) ];
+                    ];
+                ];
+              set "k" (v "k" -: i 1);
+            ];
+          ret (v "killed");
+        ];
+      (* ---- linear scan register allocation ---- *)
+      fn "alloc_pass" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "n" (g "n_ir");
+          leti "spills" (i 0);
+          for_ "r" (i 0) (i n_vregs)
+            [ st "last_use" (v "r") (i (-1)); st "assigned" (v "r") (i (-1)) ];
+          (* last use positions *)
+          for_ "k" (i 0) (v "n")
+            [
+              when_ (ld "removed" (v "k") =: i 0)
+                [
+                  leti "op" (ld "iop" (v "k"));
+                  when_ (v "op" >=: i 1) [ st "last_use" (ld "isrc1" (v "k")) (v "k") ];
+                  when_ ((v "op" >=: i 1) &&: (v "op" <=: i 4) ||: (v "op" =: i 7))
+                    [ st "last_use" (ld "isrc2" (v "k")) (v "k") ];
+                ];
+            ];
+          for_ "p" (i 0) (i n_physical) [ st "phys_free" (v "p") (i (-1)) ];
+          for_ "k" (i 0) (v "n")
+            [
+              when_
+                ((ld "removed" (v "k") =: i 0)
+                &&: (ld "iop" (v "k") <>: i 6)
+                &&: (ld "iop" (v "k") <>: i 8))
+                [
+                  leti "dst" (ld "idst" (v "k"));
+                  (* find a physical register whose holder is expired *)
+                  leti "chosen" (i (-1));
+                  leti "ph" (i 0);
+                  while_ ((v "chosen" =: i (-1)) &&: (v "ph" <: i n_physical))
+                    [
+                      leti "holder" (ld "phys_free" (v "ph"));
+                      when_
+                        ((v "holder" =: i (-1))
+                        ||: (ld "last_use" (v "holder") <: v "k"))
+                        [ set "chosen" (v "ph") ];
+                      incr_ "ph";
+                    ];
+                  if_ (v "chosen" =: i (-1))
+                    [ incr_ "spills" ]
+                    [
+                      st "phys_free" (v "chosen") (v "dst");
+                      st "assigned" (v "dst") (v "chosen");
+                    ];
+                ];
+            ];
+          ret (v "spills");
+        ];
+      fn "main" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "eliminated" (call "cse_pass" []);
+          leti "folded" (call "fold_pass" []);
+          leti "killed" (call "dce_pass" []);
+          leti "spills" (call "alloc_pass" []);
+          leti "remaining" (i 0);
+          leti "n" (g "n_ir");
+          for_ "k" (i 0) (v "n")
+            [ when_ (ld "removed" (v "k") =: i 0) [ incr_ "remaining" ] ];
+          out (v "eliminated");
+          out (v "folded");
+          out (v "killed");
+          out (v "spills");
+          out (v "remaining");
+          ret (v "remaining");
+        ];
+    ]
+
+(* ---------- IR stream generation ---------- *)
+
+type flavour = C_like | Fortran_like
+
+let gen_ir ~seed ~flavour ~count =
+  let rng = Rng.create seed in
+  let iop = Array.make count 0
+  and isrc1 = Array.make count 0
+  and isrc2 = Array.make count 0
+  and idst = Array.make count 0 in
+  let reg () = Rng.int rng n_vregs in
+  for k = 0 to count - 1 do
+    let op =
+      match flavour with
+      | C_like ->
+        (* branchy, memory-heavy, small expressions, calls *)
+        Rng.pick_weighted rng
+          [| (14, 0); (12, 1); (6, 2); (4, 3); (1, 4); (16, 5); (12, 6);
+             (12, 7); (12, 8); (11, 9) |]
+      | Fortran_like ->
+        (* long arithmetic chains, triads, few branches or calls *)
+        Rng.pick_weighted rng
+          [| (10, 0); (28, 1); (12, 2); (30, 3); (4, 4); (8, 5); (4, 6);
+             (2, 7); (1, 8); (1, 9) |]
+    in
+    iop.(k) <- op;
+    (match op with
+    | 0 -> isrc1.(k) <- Rng.int rng 1000
+    | _ ->
+      isrc1.(k) <- reg ();
+      isrc2.(k) <- reg ());
+    (* common subexpressions really do repeat in compiler IR: sometimes
+       re-emit an earlier arithmetic computation verbatim *)
+    if op >= 1 && op <= 4 && k > 8 && Rng.chance rng 0.18 then begin
+      let earlier = Rng.int rng k in
+      if iop.(earlier) >= 1 && iop.(earlier) <= 4 then begin
+        iop.(k) <- iop.(earlier);
+        isrc1.(k) <- isrc1.(earlier);
+        isrc2.(k) <- isrc2.(earlier)
+      end
+    end;
+    (* FORTRAN chains reuse the previous result as an operand often *)
+    if flavour = Fortran_like && op >= 1 && op <= 4 && k > 0 && Rng.chance rng 0.6
+    then isrc1.(k) <- idst.(k - 1);
+    idst.(k) <- reg ()
+  done;
+  (iop, isrc1, isrc2, idst)
+
+let dataset name descr ~seed ~flavour ~count =
+  assert (count <= max_ir);
+  let iop, isrc1, isrc2, idst = gen_ir ~seed ~flavour ~count in
+  {
+    Workload.ds_name = name;
+    ds_descr = descr;
+    ds_iargs = [];
+    ds_fargs = [];
+    ds_arrays =
+      [
+        ("$n_ir", `Ints [| count |]);
+        ("iop", `Ints iop);
+        ("isrc1", `Ints isrc1);
+        ("isrc2", `Ints isrc2);
+        ("idst", `Ints idst);
+      ];
+  }
+
+let workload =
+  {
+    Workload.w_name = "mfcom";
+    w_paper_name = "mfcom (Multiflow compiler)";
+    w_lang = Workload.C_int;
+    w_descr = "compiler common optimizer + backend (CSE, fold, DCE, regalloc)";
+    w_program = program;
+    w_seeded_globals = [ "n_ir" ];
+    w_datasets =
+      [
+        dataset "c_metric" "IR from systems C sources" ~seed:1001
+          ~flavour:C_like ~count:5000;
+        dataset "fortran_metric" "IR from scientific FORTRAN sources"
+          ~seed:1002 ~flavour:Fortran_like ~count:5800;
+      ];
+  }

@@ -1,0 +1,17 @@
+(** mfcom analogue: the Multiflow compiler's common optimizer and
+    backend — value-numbering CSE, constant folding, backward-liveness
+    DCE and linear-scan allocation over three-address IR streams with
+    C-like vs FORTRAN-like statistics. *)
+
+val program : Fisher92_minic.Ast.program
+
+type flavour = C_like | Fortran_like
+
+val gen_ir :
+  seed:int ->
+  flavour:flavour ->
+  count:int ->
+  int array * int array * int array * int array
+(** [(iop, isrc1, isrc2, idst)] streams with the flavour's op mix. *)
+
+val workload : Workload.t

@@ -1,0 +1,221 @@
+(* 020.nasa7 analogue: the seven synthetic NASA Ames kernels (MXM, CFFT2D,
+   CHOLSKY, BTRIX, GMTRY, EMIT, VPENTA), reduced in size but with the same
+   loop structure per kernel: dense triple loops, butterfly strides,
+   triangular dependence, banded solves.
+
+   The original reads no dataset.  Table 1 charges nasa7 with 20% dynamic
+   dead code; each kernel here carries an unconsumed diagnostic
+   computation of about that weight, removable by [Passes.dce]. *)
+
+open Fisher92_minic.Dsl
+
+let n = 48 (* base dimension of every kernel *)
+let nn = n * n
+
+let idx r c = (v r *: i n) +: v c
+
+let program =
+  program "nasa7" ~entry:"main"
+    ~globals:[ gint "reps" 2 ]
+    ~arrays:
+      [
+        farr "ma" nn;
+        farr "mb" nn;
+        farr "mc" nn;
+        farr "vre" 1024;
+        farr "vim" 1024;
+        farr "chol" nn;
+        farr "band" (n * 16);
+        farr "work" nn;
+        farr "deadlog" nn;
+      ]
+    [
+      fn "setup" []
+        [
+          for_ "r" (i 0) (i n)
+            [
+              for_ "c" (i 0) (i n)
+                [
+                  st "ma" (idx "r" "c")
+                    (to_float (((v "r" *: i 5) +: (v "c" *: i 3)) %: i 17)
+                    *: fl 0.0625);
+                  st "mb" (idx "r" "c")
+                    (to_float (((v "r" *: i 2) +: (v "c" *: i 7)) %: i 19)
+                    *: fl 0.05);
+                  (* SPD-ish matrix for cholsky *)
+                  st "chol" (idx "r" "c")
+                    (cond_ (v "r" =: v "c") (fl 40.0)
+                       (fl 1.0
+                       /: (to_float (imax (v "r" -: v "c") (v "c" -: v "r"))
+                          +: fl 1.0)));
+                ];
+            ];
+          for_ "k" (i 0) (i 1024)
+            [
+              st "vre" (v "k") (sin_ (to_float (v "k") *: fl 0.013));
+              st "vim" (v "k") (cos_ (to_float (v "k") *: fl 0.017));
+            ];
+        ];
+      (* MXM: matrix multiply *)
+      fn "mxm" [] ~ret:Fisher92_minic.Ast.Tfloat
+        [
+          letf "trace" (fl 0.0);
+          for_ "r" (i 0) (i n)
+            [
+              for_ "c" (i 0) (i n)
+                [
+                  letf "sum" (fl 0.0);
+                  letf "deadsum" (fl 0.0);
+                  for_ "k" (i 0) (i n)
+                    [
+                      set "sum" (v "sum" +: (ld "ma" (idx "r" "k") *: ld "mb" (idx "k" "c")));
+                      set "deadsum" (v "deadsum" +: ld "mb" (idx "k" "c"));
+                    ];
+                  st "mc" (idx "r" "c") (v "sum");
+                  when_ (v "r" =: v "c") [ set "trace" (v "trace" +: v "sum") ];
+                ];
+            ];
+          ret (v "trace");
+        ];
+      (* CFFT2D: radix-2 butterfly passes over a complex vector *)
+      fn "cfft" [] ~ret:Fisher92_minic.Ast.Tfloat
+        [
+          leti "span" (i 4);
+          while_ (v "span" <: i 1024)
+            [
+              leti "j" (i 0);
+              while_ (v "j" <: i 1024)
+                [
+                  leti "k" (v "j");
+                  while_ (v "k" <: v "j" +: v "span")
+                    [
+                      leti "m" (v "k" +: v "span");
+                      letf "wr" (cos_ (to_float (v "k" -: v "j") *: fl 0.0061));
+                      letf "wi" (sin_ (to_float (v "k" -: v "j") *: fl 0.0061));
+                      letf "tr" ((ld "vre" (v "m") *: v "wr") -: (ld "vim" (v "m") *: v "wi"));
+                      letf "ti" ((ld "vre" (v "m") *: v "wi") +: (ld "vim" (v "m") *: v "wr"));
+                      st "vre" (v "m") ((ld "vre" (v "k") -: v "tr") *: fl 0.5);
+                      st "vim" (v "m") ((ld "vim" (v "k") -: v "ti") *: fl 0.5);
+                      st "vre" (v "k") ((ld "vre" (v "k") +: v "tr") *: fl 0.5);
+                      st "vim" (v "k") ((ld "vim" (v "k") +: v "ti") *: fl 0.5);
+                      st "deadlog" (band (v "k") (i (nn - 1)))
+                        ((v "tr" *: v "tr") +: (v "ti" *: v "ti"));
+                      incr_ "k";
+                    ];
+                  set "j" (v "j" +: (v "span" *: i 2));
+                ];
+              set "span" (v "span" *: i 2);
+            ];
+          ret (ld "vre" (i 1) +: ld "vim" (i 2));
+        ];
+      (* CHOLSKY: Cholesky factorization (lower triangle into work) *)
+      fn "cholsky" [] ~ret:Fisher92_minic.Ast.Tfloat
+        [
+          for_ "r" (i 0) (i n)
+            [
+              for_ "c" (i 0) (v "r" +: i 1)
+                [
+                  letf "sum" (ld "chol" (idx "r" "c"));
+                  for_ "k" (i 0) (v "c")
+                    [
+                      set "sum"
+                        (v "sum" -: (ld "work" (idx "r" "k") *: ld "work" (idx "c" "k")));
+                    ];
+                  if_ (v "r" =: v "c")
+                    [ st "work" (idx "r" "c") (sqrt_ (abs_ (v "sum"))) ]
+                    [
+                      st "work" (idx "r" "c")
+                        (v "sum" /: (ld "work" (idx "c" "c") +: fl 0.000001));
+                    ];
+                ];
+            ];
+          ret (ld "work" (i (nn - 1)));
+        ];
+      (* BTRIX/VPENTA flavour: banded back-substitutions *)
+      fn "banded" [] ~ret:Fisher92_minic.Ast.Tfloat
+        [
+          for_ "r" (i 0) (i n)
+            [
+              for_ "b" (i 0) (i 16)
+                [
+                  st "band" ((v "r" *: i 16) +: v "b")
+                    (sin_ (to_float ((v "r" *: i 16) +: v "b") *: fl 0.05));
+                ];
+            ];
+          letf "acc" (fl 0.0);
+          for_ "sweep" (i 0) (i 6)
+            [
+              for_ "r" (i 2) (i n)
+                [
+                  for_ "b" (i 0) (i 16)
+                    [
+                      leti "here" ((v "r" *: i 16) +: v "b");
+                      st "band" (v "here")
+                        ((ld "band" (v "here")
+                         +: ld "band" (v "here" -: i 16)
+                         +: (ld "band" (v "here" -: i 32) *: fl 0.5))
+                        *: fl 0.4);
+                    ];
+                ];
+              set "acc" (v "acc" +: ld "band" (i (16 * (n - 1))));
+            ];
+          ret (v "acc");
+        ];
+      (* GMTRY/EMIT flavour: gaussian elimination on mc *)
+      fn "gauss" [] ~ret:Fisher92_minic.Ast.Tfloat
+        [
+          for_ "p" (i 0) (i (n - 1))
+            [
+              letf "pivot" (ld "mc" (idx "p" "p") +: fl 0.001);
+              for_ "r" (v "p" +: i 1) (i n)
+                [
+                  letf "factor" (ld "mc" (idx "r" "p") /: v "pivot");
+                  for_ "c" (v "p") (i n)
+                    [
+                      st "mc" (idx "r" "c")
+                        (ld "mc" (idx "r" "c") -: (v "factor" *: ld "mc" (idx "p" "c")));
+                    ];
+                ];
+            ];
+          letf "det" (fl 1.0);
+          for_ "d" (i 0) (i n)
+            [ set "det" (v "det" *: (ld "mc" (idx "d" "d") +: fl 0.0001)) ];
+          ret (v "det");
+        ];
+      fn "main" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "r" (g "reps");
+          letf "sig" (fl 0.0);
+          for_ "rep" (i 0) (v "r")
+            [
+              expr_ (call "setup" []);
+              set "sig" (v "sig" +: call "mxm" []);
+              set "sig" (v "sig" +: call "cfft" []);
+              set "sig" (v "sig" +: call "cholsky" []);
+              set "sig" (v "sig" +: call "banded" []);
+              set "sig" (v "sig" +: call "gauss" []);
+            ];
+          out (to_int (v "sig" *: fl 1000.0));
+          ret (i 0);
+        ];
+    ]
+
+let workload =
+  {
+    Workload.w_name = "nasa7";
+    w_paper_name = "020.nasa7";
+    w_lang = Workload.Fortran_fp;
+    w_descr = "seven synthetic kernels (MXM, CFFT2D, CHOLSKY, banded, gauss)";
+    w_program = program;
+    w_seeded_globals = [ "reps" ];
+    w_datasets =
+      [
+        {
+          ds_name = "self";
+          ds_descr = "program generates its own data";
+          ds_iargs = [];
+          ds_fargs = [];
+          ds_arrays = [ ("$reps", `Ints [| 2 |]) ];
+        };
+      ];
+  }

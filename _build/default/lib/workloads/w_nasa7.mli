@@ -1,0 +1,5 @@
+(** 020.nasa7 analogue: seven reduced NASA Ames kernels (MXM, CFFT2D,
+    CHOLSKY, banded solves, Gaussian elimination). *)
+
+val program : Fisher92_minic.Ast.program
+val workload : Workload.t

@@ -1,0 +1,220 @@
+(* spiff analogue: file comparison with floating-point tolerance.
+
+   spiff diffs two files treating embedded floating-point numbers as
+   equal when they differ by less than a tolerance.  The program here
+   does exactly that: two token streams (per line: a hash for the text
+   part plus up to three parsed floats), an O(n*m) LCS dynamic program
+   over the line-equality predicate, and a backward walk emitting the
+   edit script.  The DP's equality test and the tolerant float compare
+   dominate the branches.
+
+   Datasets mirror the paper's: case1/case2 are tables of floating-point
+   numbers with scattered small differences (within and beyond the
+   tolerance), case3 is a pair of directory-listing-like files differing
+   only in their last few lines. *)
+
+open Fisher92_minic.Dsl
+module Rng = Fisher92_util.Rng
+
+let max_lines = 220
+let floats_per_line = 3
+
+let program =
+  program "spiff" ~entry:"main"
+    ~globals:[ gint "n_a" 0; gint "n_b" 0; gfloat "tolerance" 0.001 ]
+    ~arrays:
+      [
+        iarr "hash_a" max_lines;
+        iarr "hash_b" max_lines;
+        iarr "nf_a" max_lines;  (* floats on each line *)
+        iarr "nf_b" max_lines;
+        farr "fl_a" (max_lines * floats_per_line);
+        farr "fl_b" (max_lines * floats_per_line);
+        iarr "lcs" ((max_lines + 1) * (max_lines + 1));
+        iarr "script" (2 * max_lines);  (* edit ops: 1 del, 2 add, 3 keep *)
+      ]
+    [
+      (* tolerant line equality: hashes must match structurally, floats
+         must agree within tolerance *)
+      fn "lines_equal" [ pi "la"; pi "lb" ] ~ret:Fisher92_minic.Ast.Tint
+        [
+          when_ (ld "hash_a" (v "la") <>: ld "hash_b" (v "lb")) [ ret (i 0) ];
+          when_ (ld "nf_a" (v "la") <>: ld "nf_b" (v "lb")) [ ret (i 0) ];
+          leti "nf" (ld "nf_a" (v "la"));
+          letf "tol" (g "tolerance");
+          for_ "j" (i 0) (v "nf")
+            [
+              letf "d"
+                (abs_
+                   (ld "fl_a" ((v "la" *: i floats_per_line) +: v "j")
+                   -: ld "fl_b" ((v "lb" *: i floats_per_line) +: v "j")));
+              when_ (v "d" >: v "tol") [ ret (i 0) ];
+            ];
+          ret (i 1);
+        ];
+      fn "main" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "na" (g "n_a");
+          leti "nb" (g "n_b");
+          leti "width" (v "nb" +: i 1);
+          (* LCS table, bottom-up *)
+          leti "r" (v "na" -: i 1);
+          while_ (v "r" >=: i 0)
+            [
+              leti "c" (v "nb" -: i 1);
+              while_ (v "c" >=: i 0)
+                [
+                  if_ (call "lines_equal" [ v "r"; v "c" ] =: i 1)
+                    [
+                      st "lcs" ((v "r" *: v "width") +: v "c")
+                        (i 1 +: ld "lcs" (((v "r" +: i 1) *: v "width") +: v "c" +: i 1));
+                    ]
+                    [
+                      st "lcs" ((v "r" *: v "width") +: v "c")
+                        (imax
+                           (ld "lcs" (((v "r" +: i 1) *: v "width") +: v "c"))
+                           (ld "lcs" ((v "r" *: v "width") +: v "c" +: i 1)));
+                    ];
+                  set "c" (v "c" -: i 1);
+                ];
+              set "r" (v "r" -: i 1);
+            ];
+          (* walk the table, emit the edit script *)
+          leti "x" (i 0);
+          leti "y" (i 0);
+          leti "dels" (i 0);
+          leti "adds" (i 0);
+          leti "keeps" (i 0);
+          leti "sp" (i 0);
+          while_ ((v "x" <: v "na") &&: (v "y" <: v "nb"))
+            [
+              if_ (call "lines_equal" [ v "x"; v "y" ] =: i 1)
+                [
+                  st "script" (v "sp") (i 3);
+                  incr_ "keeps";
+                  incr_ "x";
+                  incr_ "y";
+                ]
+                [
+                  if_
+                    (ld "lcs" (((v "x" +: i 1) *: v "width") +: v "y")
+                    >=: ld "lcs" ((v "x" *: v "width") +: v "y" +: i 1))
+                    [ st "script" (v "sp") (i 1); incr_ "dels"; incr_ "x" ]
+                    [ st "script" (v "sp") (i 2); incr_ "adds"; incr_ "y" ];
+                ];
+              incr_ "sp";
+            ];
+          while_ (v "x" <: v "na")
+            [ st "script" (v "sp") (i 1); incr_ "dels"; incr_ "x"; incr_ "sp" ];
+          while_ (v "y" <: v "nb")
+            [ st "script" (v "sp") (i 2); incr_ "adds"; incr_ "y"; incr_ "sp" ];
+          out (v "keeps");
+          out (v "dels");
+          out (v "adds");
+          (* script checksum *)
+          leti "checksum" (i 0);
+          for_ "k" (i 0) (v "sp")
+            [ set "checksum" (band ((v "checksum" *: i 7) +: ld "script" (v "k")) (i 0xFFFFF)) ];
+          out (v "checksum");
+          ret (v "dels" +: v "adds");
+        ];
+    ]
+
+(* ---------- dataset generation ---------- *)
+
+type line = { hash : int; floats : float list }
+
+let lines_to_arrays lines =
+  let n = List.length lines in
+  let hash = Array.make n 0 in
+  let nf = Array.make n 0 in
+  let fls = Array.make (n * floats_per_line) 0.0 in
+  List.iteri
+    (fun k l ->
+      hash.(k) <- l.hash;
+      nf.(k) <- List.length l.floats;
+      List.iteri (fun j x -> fls.((k * floats_per_line) + j) <- x) l.floats)
+    lines;
+  (hash, nf, fls)
+
+let dataset name descr (file_a, file_b) =
+  assert (List.length file_a <= max_lines && List.length file_b <= max_lines);
+  let ha, nfa, fa = lines_to_arrays file_a in
+  let hb, nfb, fb = lines_to_arrays file_b in
+  {
+    Workload.ds_name = name;
+    ds_descr = descr;
+    ds_iargs = [];
+    ds_fargs = [];
+    ds_arrays =
+      [
+        ("$n_a", `Ints [| Array.length ha |]);
+        ("$n_b", `Ints [| Array.length hb |]);
+        ("hash_a", `Ints ha);
+        ("hash_b", `Ints hb);
+        ("nf_a", `Ints nfa);
+        ("nf_b", `Ints nfb);
+        ("fl_a", `Floats fa);
+        ("fl_b", `Floats fb);
+      ];
+  }
+
+(* two float tables that mostly agree; some rows drift slightly (within
+   tolerance), some beyond it, and a few rows are inserted/deleted *)
+let float_pair ~seed ~rows ~beyond_pct ~edit_pct =
+  let rng = Rng.create seed in
+  let base_row r =
+    let x = float_of_int r *. 1.618 in
+    { hash = 42; floats = [ x; x *. 0.5; x +. 0.25 ] }
+  in
+  let a = ref [] and b = ref [] in
+  for r = 0 to rows - 1 do
+    let row = base_row r in
+    a := row :: !a;
+    if Rng.chance rng edit_pct then begin
+      (* structural edit: drop from b, or add an extra row to b *)
+      if Rng.bool rng then b := { row with hash = 43 } :: row :: !b
+      (* insertion *)
+      else () (* deletion: skip row in b *)
+    end
+    else begin
+      let drift =
+        if Rng.chance rng beyond_pct then 0.01 +. Rng.float rng 0.2
+        else Rng.float rng 0.0004
+      in
+      b := { row with floats = List.map (fun x -> x +. drift) row.floats } :: !b
+    end
+  done;
+  (List.rev !a, List.rev !b)
+
+(* directory-listing-like files: text lines (no floats), last few differ *)
+let listing_pair ~seed ~rows ~tail_changes =
+  let rng = Rng.create seed in
+  let a = List.init rows (fun r -> { hash = 1000 + (r * 7); floats = [] }) in
+  let b =
+    List.mapi
+      (fun r l ->
+        if r >= rows - tail_changes then { l with hash = 5000 + Rng.int rng 100 }
+        else l)
+      a
+  in
+  (a, b)
+
+let workload =
+  {
+    Workload.w_name = "spiff";
+    w_paper_name = "spiff";
+    w_lang = Workload.C_int;
+    w_descr = "file comparison with floating-point tolerance (LCS diff)";
+    w_program = program;
+    w_seeded_globals = [ "n_a"; "n_b" ];
+    w_datasets =
+      [
+        dataset "case1" "float tables, small in-tolerance drift"
+          (float_pair ~seed:1101 ~rows:170 ~beyond_pct:0.03 ~edit_pct:0.02);
+        dataset "case2" "float tables, more real differences"
+          (float_pair ~seed:1102 ~rows:170 ~beyond_pct:0.2 ~edit_pct:0.08);
+        dataset "case3" "directory listings, last lines differ"
+          (listing_pair ~seed:1103 ~rows:28 ~tail_changes:4);
+      ];
+  }

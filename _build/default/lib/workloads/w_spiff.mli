@@ -1,0 +1,4 @@
+(** spiff analogue: LCS line diff with floating-point tolerance. *)
+
+val program : Fisher92_minic.Ast.program
+val workload : Workload.t

@@ -1,0 +1,142 @@
+(* 047.tomcatv analogue: vectorized mesh generation with thin-plate
+   relaxation.
+
+   Like the original, the program builds a 2D mesh, then repeatedly
+   sweeps it computing residuals from neighbour stencils and relaxing the
+   coordinates.  The per-point arithmetic is heavy (the original runs
+   ~60 flops per point), so the loop back edges dominate and the program
+   is the most predictable in Table 3 (7461 instructions per break).
+   Table 1 charges tomcatv with 14% dynamic dead code; we synthesize it
+   with an error-field store that nothing reads. *)
+
+open Fisher92_minic.Dsl
+
+let n_max = 64
+
+let program =
+  program "tomcatv" ~entry:"main"
+    ~globals:[ gint "n" 48; gint "iters" 60; gfloat "relax" 0.3 ]
+    ~arrays:
+      [
+        farr "x" (n_max * n_max);
+        farr "y" (n_max * n_max);
+        farr "rx" (n_max * n_max);
+        farr "ry" (n_max * n_max);
+        farr "deadfield" (n_max * n_max);
+      ]
+    [
+      fn "init" []
+        [
+          leti "nn" (g "n");
+          for_ "r" (i 0) (v "nn")
+            [
+              for_ "c" (i 0) (v "nn")
+                [
+                  leti "idx" ((v "r" *: v "nn") +: v "c");
+                  st "x" (v "idx")
+                    (to_float (v "c")
+                    +: (sin_ (to_float (v "r") *: fl 0.21) *: fl 0.7));
+                  st "y" (v "idx")
+                    (to_float (v "r")
+                    +: (cos_ (to_float (v "c") *: fl 0.17) *: fl 0.7));
+                ];
+            ];
+        ];
+      fn "main" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          expr_ (call "init" []);
+          leti "nn" (g "n");
+          leti "steps" (g "iters");
+          letf "w" (g "relax");
+          letf "rmax" (fl 0.0);
+          letf "deadnorm" (fl 0.0);
+          letf "deadavg" (fl 0.0);
+          leti "deadcnt" (i 0);
+          for_ "it" (i 0) (v "steps")
+            [
+              set "rmax" (fl 0.0);
+              (* residual sweep over interior points *)
+              for_ "r" (i 1) (v "nn" -: i 1)
+                [
+                  for_ "c" (i 1) (v "nn" -: i 1)
+                    [
+                      leti "idx" ((v "r" *: v "nn") +: v "c");
+                      letf "xe" (ld "x" (v "idx" +: i 1));
+                      letf "xw" (ld "x" (v "idx" -: i 1));
+                      letf "xn" (ld "x" (v "idx" -: v "nn"));
+                      letf "xs" (ld "x" (v "idx" +: v "nn"));
+                      letf "ye" (ld "y" (v "idx" +: i 1));
+                      letf "yw" (ld "y" (v "idx" -: i 1));
+                      letf "yn" (ld "y" (v "idx" -: v "nn"));
+                      letf "ys" (ld "y" (v "idx" +: v "nn"));
+                      letf "xc" (ld "x" (v "idx"));
+                      letf "yc" (ld "y" (v "idx"));
+                      (* thin-plate-ish stencil: second differences plus
+                         cross terms, like the original's PXX/PYY/PXY mix *)
+                      letf "dxx" (v "xe" +: v "xw" -: (v "xc" *: fl 2.0));
+                      letf "dyy" (v "xn" +: v "xs" -: (v "xc" *: fl 2.0));
+                      letf "exx" (v "ye" +: v "yw" -: (v "yc" *: fl 2.0));
+                      letf "eyy" (v "yn" +: v "ys" -: (v "yc" *: fl 2.0));
+                      letf "cross"
+                        ((v "xe" -: v "xw") *: (v "yn" -: v "ys") *: fl 0.25);
+                      letf "resx"
+                        ((v "dxx" *: fl 0.6) +: (v "dyy" *: fl 0.4)
+                        +: (v "cross" *: fl 0.05));
+                      letf "resy"
+                        ((v "exx" *: fl 0.4) +: (v "eyy" *: fl 0.6)
+                        -: (v "cross" *: fl 0.05));
+                      st "rx" (v "idx") (v "resx");
+                      st "ry" (v "idx") (v "resy");
+                      letf "mag" (abs_ (v "resx") +: abs_ (v "resy"));
+                      set "rmax" (imax (v "rmax") (v "mag"));
+                      (* dead: an error field and norm accumulators
+                         nothing consumes (Table 1: tomcatv 14%) *)
+                      st "deadfield" (v "idx")
+                        ((v "resx" *: v "resx") +: (v "resy" *: v "resy"));
+                      set "deadnorm"
+                        (v "deadnorm" +: (v "resx" *: v "resx")
+                        +: (v "resy" *: v "resy"));
+                      set "deadavg"
+                        ((v "deadavg" *: fl 0.99) +: (v "mag" *: fl 0.01));
+                      set "deadcnt" (v "deadcnt" +: i 1);
+                    ];
+                ];
+              (* relaxation sweep *)
+              for_ "r" (i 1) (v "nn" -: i 1)
+                [
+                  for_ "c" (i 1) (v "nn" -: i 1)
+                    [
+                      leti "p" ((v "r" *: v "nn") +: v "c");
+                      st "x" (v "p") (ld "x" (v "p") +: (v "w" *: ld "rx" (v "p")));
+                      st "y" (v "p") (ld "y" (v "p") +: (v "w" *: ld "ry" (v "p")));
+                    ];
+                ];
+            ];
+          out (to_int (v "rmax" *: fl 1000000.0));
+          letf "sumx" (fl 0.0);
+          for_ "d" (i 0) (v "nn")
+            [ set "sumx" (v "sumx" +: ld "x" ((v "d" *: v "nn") +: v "d")) ];
+          out (to_int (v "sumx" *: fl 1000.0));
+          ret (i 0);
+        ];
+    ]
+
+let workload =
+  {
+    Workload.w_name = "tomcatv";
+    w_paper_name = "047.tomcatv";
+    w_lang = Workload.Fortran_fp;
+    w_descr = "mesh generation with thin-plate relaxation solver";
+    w_program = program;
+    w_seeded_globals = [ "n"; "iters" ];
+    w_datasets =
+      [
+        {
+          ds_name = "self";
+          ds_descr = "program generates its own mesh (48x48, 60 sweeps)";
+          ds_iargs = [];
+          ds_fargs = [];
+          ds_arrays = [ ("$n", `Ints [| 48 |]); ("$iters", `Ints [| 60 |]) ];
+        };
+      ];
+  }

@@ -1,0 +1,4 @@
+(** 047.tomcatv analogue: mesh generation with thin-plate relaxation. *)
+
+val program : Fisher92_minic.Ast.program
+val workload : Workload.t

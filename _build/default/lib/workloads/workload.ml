@@ -1,0 +1,32 @@
+type lang = Fortran_fp | C_int
+
+let lang_name = function Fortran_fp -> "FORTRAN/FP" | C_int -> "C/Integer"
+
+type dataset = {
+  ds_name : string;
+  ds_descr : string;
+  ds_iargs : int list;
+  ds_fargs : float list;
+  ds_arrays : (string * [ `Ints of int array | `Floats of float array ]) list;
+}
+
+type t = {
+  w_name : string;
+  w_paper_name : string;
+  w_lang : lang;
+  w_descr : string;
+  w_program : Fisher92_minic.Ast.program;
+  w_seeded_globals : string list;
+  w_datasets : dataset list;
+}
+
+let dataset t name =
+  List.find (fun d -> String.equal d.ds_name name) t.w_datasets
+
+let compile_options ?(dce = false) ?(inline = false) t =
+  {
+    Fisher92_minic.Compile.default_options with
+    dce;
+    inline;
+    dce_seeded_globals = t.w_seeded_globals;
+  }

@@ -1,0 +1,38 @@
+(** Common shape of the benchmark programs (Table 2 of the paper).
+
+    A workload is one MiniC program plus the datasets it runs over.  Every
+    dataset is generated deterministically (fixed seeds through
+    {!Fisher92_util.Rng}), so experiments are exactly reproducible. *)
+
+type lang = Fortran_fp | C_int
+
+val lang_name : lang -> string
+(** "FORTRAN/FP" or "C/Integer" — the paper's two program classes. *)
+
+type dataset = {
+  ds_name : string;
+  ds_descr : string;
+  ds_iargs : int list;  (** entry function integer arguments *)
+  ds_fargs : float list;
+  ds_arrays : (string * [ `Ints of int array | `Floats of float array ]) list;
+      (** array seeds, by name; ["$g"] seeds global scalar [g] *)
+}
+
+type t = {
+  w_name : string;
+  w_paper_name : string;  (** the original program this one models *)
+  w_lang : lang;
+  w_descr : string;
+  w_program : Fisher92_minic.Ast.program;
+  w_seeded_globals : string list;
+      (** globals that datasets overwrite (DCE must not constant-fold
+          them) *)
+  w_datasets : dataset list;
+}
+
+val dataset : t -> string -> dataset
+(** Find a dataset by name.  @raise Not_found. *)
+
+val compile_options : ?dce:bool -> ?inline:bool -> t -> Fisher92_minic.Compile.options
+(** The paper-faithful options for this workload (threads
+    [w_seeded_globals] into the DCE pass). *)

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Fisher92_ir Fisher92_metrics Fisher92_predict Fisher92_profile Fisher92_vm Float List Printf String

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Ast Compile Dsl Fisher92_ir Fisher92_minic Fisher92_testsupport Interp List Printf String Typecheck

@@ -1,0 +1,1 @@
+test/test_paper_shape.ml: Alcotest Fisher92 Fisher92_metrics Fisher92_util Lazy List Printf String

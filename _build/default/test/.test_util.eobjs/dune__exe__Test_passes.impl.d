@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Ast Compile Fisher92_ir Fisher92_minic Fisher92_testsupport Fisher92_vm Fold List Passes Printf

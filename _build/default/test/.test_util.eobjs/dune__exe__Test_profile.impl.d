@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Filename Fisher92_profile Fisher92_testsupport Fisher92_vm Fun List Option Sys

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Ast Compile Dsl Fisher92_ir Fisher92_minic Fisher92_predict Fisher92_profile Fisher92_testsupport Fisher92_vm Fold Hashtbl List Pp Printf QCheck2 QCheck_alcotest

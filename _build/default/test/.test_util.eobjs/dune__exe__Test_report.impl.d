@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Fisher92_minic Fisher92_report Fisher92_testsupport Float List String

@@ -1,0 +1,1 @@
+test/test_study.ml: Alcotest Fisher92 Fisher92_util Fisher92_workloads Lazy List Printf String

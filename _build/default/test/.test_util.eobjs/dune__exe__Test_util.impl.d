@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fisher92_util Float Hashtbl List Printf

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Fisher92_ir Fisher92_vm List String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Fisher92_minic Fisher92_vm Fisher92_workloads List Printexc Printf

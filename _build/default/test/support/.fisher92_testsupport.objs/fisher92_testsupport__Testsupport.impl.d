@@ -1,0 +1,1 @@
+test/support/testsupport.ml: Alcotest Fisher92_minic Fisher92_vm Float List Printf

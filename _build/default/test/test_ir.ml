@@ -1,0 +1,275 @@
+module I = Fisher92_ir.Insn
+module P = Fisher92_ir.Program
+module Validate = Fisher92_ir.Validate
+module Pretty = Fisher92_ir.Pretty
+
+(* A tiny hand-built well-formed program:
+     fn0 main():   iconst i0, 5; br i0 @3 (site 0); iconst i0, 1; ret i0
+     fn1 helper(i0): addi i1, i0, 1; ret i1 *)
+let good_program () : P.t =
+  {
+    P.pname = "tiny";
+    funcs =
+      [|
+        {
+          P.fname = "main";
+          n_iparams = 0;
+          n_fparams = 0;
+          n_iregs = 2;
+          n_fregs = 1;
+          code =
+            [|
+              I.Iconst (0, 5);
+              I.Br { cond = 0; target = 3; site = 0 };
+              I.Iconst (0, 1);
+              I.Call { callee = 1; iargs = [ 0 ]; fargs = []; dst = I.Int_dest 1 };
+              I.Ret (I.Ret_int 1);
+            |];
+        };
+        {
+          P.fname = "helper";
+          n_iparams = 1;
+          n_fparams = 0;
+          n_iregs = 2;
+          n_fregs = 1;
+          code = [| I.Ibini (I.Add, 1, 0, 1); I.Ret (I.Ret_int 1) |];
+        };
+      |];
+    arrays = [| { P.aname = "buf"; acls = P.Cint; asize = 8; ainit = 0.0 } |];
+    func_table = [| 1 |];
+    entry = 0;
+    sites = [| { P.s_func = 0; s_pc = 1; s_label = "main#1:if" } |];
+  }
+
+let check_ok () =
+  Alcotest.(check (list string)) "no errors" []
+    (List.map (fun (e : Validate.error) -> e.message) (Validate.check (good_program ())))
+
+let expect_errors name mutate =
+  let p = good_program () in
+  let p = mutate p in
+  match Validate.check p with
+  | [] -> Alcotest.failf "%s: expected validation errors, got none" name
+  | _ -> ()
+
+let with_main_code p code =
+  let funcs = Array.copy p.P.funcs in
+  funcs.(0) <- { funcs.(0) with P.code };
+  { p with P.funcs }
+
+let test_bad_register () =
+  expect_errors "bad dst" (fun p ->
+      with_main_code p
+        [| I.Iconst (9, 5); I.Ret I.Ret_none |])
+
+let test_bad_target () =
+  expect_errors "bad target" (fun p ->
+      with_main_code p
+        [| I.Iconst (0, 1); I.Br { cond = 0; target = 99; site = 0 }; I.Ret I.Ret_none |])
+
+let test_bad_site_backpointer () =
+  expect_errors "site backpointer" (fun p ->
+      {
+        p with
+        P.sites = [| { P.s_func = 1; s_pc = 0; s_label = "wrong" } |];
+      })
+
+let test_unused_site () =
+  expect_errors "declared but absent site" (fun p ->
+      with_main_code p [| I.Iconst (0, 1); I.Ret I.Ret_none |])
+
+let test_site_reuse () =
+  expect_errors "site reused" (fun p ->
+      with_main_code p
+        [|
+          I.Iconst (0, 1);
+          I.Br { cond = 0; target = 0; site = 0 };
+          I.Br { cond = 0; target = 0; site = 0 };
+          I.Ret I.Ret_none;
+        |])
+
+let test_fall_off_end () =
+  expect_errors "falls off end" (fun p ->
+      with_main_code p [| I.Iconst (0, 1) |])
+
+let test_call_arity () =
+  expect_errors "wrong arity" (fun p ->
+      with_main_code p
+        [|
+          I.Call { callee = 1; iargs = []; fargs = []; dst = I.No_dest };
+          I.Ret I.Ret_none;
+        |])
+
+let test_bad_callee () =
+  expect_errors "bad callee" (fun p ->
+      with_main_code p
+        [|
+          I.Call { callee = 7; iargs = []; fargs = []; dst = I.No_dest };
+          I.Ret I.Ret_none;
+        |])
+
+let test_bad_functable () =
+  expect_errors "bad func table" (fun p -> { p with P.func_table = [| 9 |] })
+
+let test_bad_entry () =
+  expect_errors "bad entry" (fun p -> { p with P.entry = 5 })
+
+let test_halt_outside_entry () =
+  expect_errors "halt outside entry" (fun p ->
+      let funcs = Array.copy p.P.funcs in
+      funcs.(1) <- { funcs.(1) with P.code = [| I.Halt |] };
+      { p with P.funcs })
+
+let test_wrong_array_class () =
+  expect_errors "float op on int array" (fun p ->
+      with_main_code p
+        [| I.Fload (0, 0, 0); I.Ret I.Ret_none |])
+
+let test_check_exn () =
+  Alcotest.check_raises "raises with report"
+    (Invalid_argument
+       "Validate.check_exn: 1 error(s) in tiny:\n  tiny/main@0: int register \
+        i9 out of range") (fun () ->
+      Validate.check_exn
+        (with_main_code (good_program ())
+           [|
+             I.Iconst (9, 5);
+             I.Br { cond = 0; target = 3; site = 0 };
+             I.Iconst (0, 1);
+             I.Call { callee = 1; iargs = [ 0 ]; fargs = []; dst = I.Int_dest 1 };
+             I.Ret (I.Ret_int 1);
+           |]))
+
+(* ---- program helpers ---- *)
+
+let test_lookups () =
+  let p = good_program () in
+  Alcotest.(check int) "find_func" 1 (P.find_func p "helper");
+  Alcotest.(check int) "find_array" 0 (P.find_array p "buf");
+  Alcotest.(check int) "static size" 7 (P.static_size p);
+  Alcotest.(check int) "static branches" 1 (P.static_branches p);
+  Alcotest.(check int) "n_sites" 1 (P.n_sites p);
+  Alcotest.(check string) "site label" "main#1:if" (P.site_label p 0)
+
+let test_iter_insns () =
+  let p = good_program () in
+  let count = ref 0 in
+  P.iter_insns p (fun _ _ _ -> incr count);
+  Alcotest.(check int) "visits all" 7 !count
+
+(* ---- pretty ---- *)
+
+let test_pretty_insn () =
+  Alcotest.(check string) "iconst" "iconst i3, 42" (Pretty.insn_to_string (I.Iconst (3, 42)));
+  Alcotest.(check string) "add" "add i2, i0, i1"
+    (Pretty.insn_to_string (I.Ibin (I.Add, 2, 0, 1)));
+  Alcotest.(check string) "br" "br i1, @7    ; site 3"
+    (Pretty.insn_to_string (I.Br { cond = 1; target = 7; site = 3 }));
+  Alcotest.(check string) "fcmp" "fcmp.lt i1, f2, f3"
+    (Pretty.insn_to_string (I.Fcmp (I.Lt, 1, 2, 3)))
+
+let test_pretty_program () =
+  let text = Pretty.program_to_string (good_program ()) in
+  List.iter
+    (fun fragment ->
+      if
+        not
+          (let n = String.length fragment and m = String.length text in
+           let rec go i = i + n <= m && (String.sub text i n = fragment || go (i + 1)) in
+           go 0)
+      then Alcotest.failf "missing fragment %S in program dump" fragment)
+    [ "program tiny"; "func main"; "func helper"; "functable [1]"; "array a0 buf" ]
+
+let test_kind_classification () =
+  Alcotest.(check string) "alu" "ialu" (I.kind_name (I.kind (I.Iconst (0, 1))));
+  Alcotest.(check string) "falu" "falu" (I.kind_name (I.kind (I.Fconst (0, 1.0))));
+  Alcotest.(check string) "mem" "mem" (I.kind_name (I.kind (I.Iload (0, 0, 0))));
+  Alcotest.(check string) "branch" "cbranch"
+    (I.kind_name (I.kind (I.Br { cond = 0; target = 0; site = 0 })));
+  Alcotest.(check int) "all kinds listed" 10 (List.length I.all_kinds);
+  Alcotest.(check (option int)) "branch site" (Some 4)
+    (I.branch_site (I.Br { cond = 0; target = 0; site = 4 }));
+  Alcotest.(check (option int)) "non-branch site" None (I.branch_site I.Halt)
+
+(* ---- instrumentation ---- *)
+
+let test_instrument_validates () =
+  let p = Fisher92_ir.Instrument.branch_counters (good_program ()) in
+  Alcotest.(check (list string)) "instrumented program is well-formed" []
+    (List.map (fun (e : Validate.error) -> e.message) (Validate.check p));
+  Alcotest.(check int) "counters array added"
+    (Array.length (good_program ()).P.arrays + 1)
+    (Array.length p.P.arrays);
+  Alcotest.(check bool) "double instrumentation rejected" true
+    (match Fisher92_ir.Instrument.branch_counters p with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_instrument_preserves_behaviour_and_counts () =
+  let module Vm = Fisher92_vm.Vm in
+  let clean = good_program () in
+  let inst = Fisher92_ir.Instrument.branch_counters clean in
+  let run p config = Vm.run ~config p ~iargs:[] ~fargs:[] ~arrays:[] in
+  let r_clean = run clean Vm.default_config in
+  let r_inst =
+    run inst
+      {
+        Vm.default_config with
+        dump_arrays = [ Fisher92_ir.Instrument.counters_array ];
+      }
+  in
+  Alcotest.(check bool) "same outputs" true (r_clean.outputs = r_inst.outputs);
+  Alcotest.(check (array int)) "same site encounters" r_clean.site_encountered
+    r_inst.site_encountered;
+  (match r_inst.dumped with
+  | [ (_, `Ints counters) ] ->
+    Array.iteri
+      (fun site enc ->
+        Alcotest.(check int) "in-program execution counter" enc
+          counters.(2 * site);
+        Alcotest.(check int) "in-program taken counter"
+          r_clean.site_taken.(site)
+          counters.((2 * site) + 1))
+      r_clean.site_encountered
+  | _ -> Alcotest.fail "expected the counters dump");
+  Alcotest.(check bool) "instrumentation costs instructions" true
+    (r_inst.total > r_clean.total)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "validate",
+        [
+          Alcotest.test_case "well-formed passes" `Quick check_ok;
+          Alcotest.test_case "bad register" `Quick test_bad_register;
+          Alcotest.test_case "bad target" `Quick test_bad_target;
+          Alcotest.test_case "site backpointer" `Quick test_bad_site_backpointer;
+          Alcotest.test_case "unused site" `Quick test_unused_site;
+          Alcotest.test_case "site reuse" `Quick test_site_reuse;
+          Alcotest.test_case "fall off end" `Quick test_fall_off_end;
+          Alcotest.test_case "call arity" `Quick test_call_arity;
+          Alcotest.test_case "bad callee" `Quick test_bad_callee;
+          Alcotest.test_case "bad func table" `Quick test_bad_functable;
+          Alcotest.test_case "bad entry" `Quick test_bad_entry;
+          Alcotest.test_case "halt outside entry" `Quick test_halt_outside_entry;
+          Alcotest.test_case "wrong array class" `Quick test_wrong_array_class;
+          Alcotest.test_case "check_exn message" `Quick test_check_exn;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "lookups" `Quick test_lookups;
+          Alcotest.test_case "iter_insns" `Quick test_iter_insns;
+        ] );
+      ( "instrument",
+        [
+          Alcotest.test_case "validates" `Quick test_instrument_validates;
+          Alcotest.test_case "preserves behaviour, matches profile" `Quick
+            test_instrument_preserves_behaviour_and_counts;
+        ] );
+      ( "pretty",
+        [
+          Alcotest.test_case "instructions" `Quick test_pretty_insn;
+          Alcotest.test_case "program dump" `Quick test_pretty_program;
+          Alcotest.test_case "kind classification" `Quick test_kind_classification;
+        ] );
+    ]

@@ -1,0 +1,288 @@
+(* Break accounting on hand-computed miniature programs. *)
+
+module I = Fisher92_ir.Insn
+module P = Fisher92_ir.Program
+module Vm = Fisher92_vm.Vm
+module Breaks = Fisher92_metrics.Breaks
+module Measure = Fisher92_metrics.Measure
+module Cross = Fisher92_metrics.Cross
+
+(* main: 4-iteration loop, one direct call and one indirect call per run.
+   Exact dynamic picture:
+     iconst i0,0; iconst i1,4            (2 ialu)
+     loop: addi i0,1; icmp; br           (4 iterations = 12, br taken 3x)
+     call helper                         (1 call + helper: 1 ialu + 1 ret)
+     iconst i2,0; callind [i2]           (1 ialu + 1 callind + helper again)
+     halt *)
+let measured_program () =
+  let p =
+    {
+      P.pname = "m";
+      funcs =
+        [|
+          {
+            P.fname = "main";
+            n_iparams = 0;
+            n_fparams = 0;
+            n_iregs = 4;
+            n_fregs = 1;
+            code =
+              [|
+                I.Iconst (0, 0);
+                I.Iconst (1, 4);
+                I.Ibini (I.Add, 0, 0, 1);
+                I.Icmp (I.Lt, 2, 0, 1);
+                I.Br { cond = 2; target = 2; site = 0 };
+                I.Call { callee = 1; iargs = []; fargs = []; dst = I.No_dest };
+                I.Iconst (2, 0);
+                I.Callind { table = 2; iargs = []; fargs = []; dst = I.No_dest };
+                I.Halt;
+              |];
+          };
+          {
+            P.fname = "helper";
+            n_iparams = 0;
+            n_fparams = 0;
+            n_iregs = 1;
+            n_fregs = 1;
+            code = [| I.Iconst (0, 7); I.Ret I.Ret_none |];
+          };
+        |];
+      arrays = [||];
+      func_table = [| 1 |];
+      entry = 0;
+      sites = [| { P.s_func = 0; s_pc = 4; s_label = "main#0:for" } |];
+    }
+  in
+  Fisher92_ir.Validate.check_exn p;
+  p
+
+let run () = Vm.run (measured_program ()) ~iargs:[] ~fargs:[] ~arrays:[]
+
+let test_counts () =
+  let c = Breaks.of_result (run ()) in
+  (* total: 2 + 12 + 1(call) + 2(helper) + 1 + 1(callind) + 2(helper) + halt(excluded) *)
+  Alcotest.(check int) "instructions" 21 c.instructions;
+  Alcotest.(check int) "cond branches" 4 c.cond_branches;
+  Alcotest.(check int) "unavoidable = callind + its ret" 2 c.unavoidable;
+  Alcotest.(check int) "direct call + ret" 2 c.direct_call_ret;
+  Alcotest.(check int) "jumps" 0 c.jumps
+
+let test_unpredicted_breaks () =
+  let c = Breaks.of_result (run ()) in
+  Alcotest.(check int) "without calls" (4 + 2)
+    (Breaks.unpredicted_breaks ~with_calls:false c);
+  Alcotest.(check int) "with calls" (4 + 2 + 2)
+    (Breaks.unpredicted_breaks ~with_calls:true c)
+
+let test_predicted_breaks () =
+  let c = Breaks.of_result (run ()) in
+  Alcotest.(check int) "mispredicts + unavoidable" 3
+    (Breaks.predicted_breaks ~mispredicts:1 c);
+  Alcotest.(check bool) "rejects bad mispredicts" true
+    (match Breaks.predicted_breaks ~mispredicts:99 c with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_per_break () =
+  Alcotest.(check (float 1e-9)) "ratio" 3.5
+    (Breaks.per_break ~instructions:21 ~breaks:6);
+  Alcotest.(check (float 0.0)) "no breaks" infinity
+    (Breaks.per_break ~instructions:21 ~breaks:0)
+
+let test_measure () =
+  let run_m = Measure.of_result ~program:"m" ~dataset:"d" (run ()) in
+  (* site 0: encountered 4, taken 3 -> self predicts taken, 1 miss *)
+  Alcotest.(check (float 1e-9)) "ipb unpredicted" (21.0 /. 6.0)
+    (Measure.ipb_unpredicted run_m);
+  Alcotest.(check (float 1e-9)) "ipb with calls" (21.0 /. 8.0)
+    (Measure.ipb_unpredicted ~with_calls:true run_m);
+  Alcotest.(check (float 1e-9)) "ipb self" (21.0 /. 3.0) (Measure.ipb_self run_m);
+  Alcotest.(check (float 1e-9)) "percent taken" 75.0 (Measure.percent_taken run_m);
+  Alcotest.(check (float 1e-9)) "percent correct" 75.0
+    (Measure.percent_correct run_m (Measure.self_prediction run_m));
+  Alcotest.(check (float 1e-9)) "quality of self" 1.0
+    (Measure.prediction_quality run_m (Measure.self_prediction run_m));
+  (* predicting everything not-taken: 3 misses + 2 unavoidable = 5 breaks *)
+  Alcotest.(check (float 1e-9)) "quality of anti-prediction"
+    (21.0 /. 5.0 /. (21.0 /. 3.0))
+    (Measure.prediction_quality run_m [| false |])
+
+(* ---- cross analysis on synthetic runs ---- *)
+
+let fake_run dataset ~encountered ~taken =
+  let counts =
+    {
+      Breaks.instructions = 1000;
+      cond_branches = Array.fold_left ( + ) 0 encountered;
+      unavoidable = 0;
+      direct_call_ret = 0;
+      jumps = 0;
+    }
+  in
+  {
+    Measure.program = "fake";
+    dataset;
+    counts;
+    profile = { Fisher92_profile.Profile.program = "fake"; encountered; taken };
+  }
+
+let test_cross_identical_runs () =
+  let a = fake_run "a" ~encountered:[| 100 |] ~taken:[| 90 |] in
+  let b = fake_run "b" ~encountered:[| 100 |] ~taken:[| 88 |] in
+  Alcotest.(check (float 1e-9)) "b predicts a perfectly" 1.0
+    (Cross.pair_quality ~predictor:b ~target:a)
+
+let test_cross_opposed_runs () =
+  let a = fake_run "a" ~encountered:[| 100 |] ~taken:[| 90 |] in
+  let b = fake_run "b" ~encountered:[| 100 |] ~taken:[| 5 |] in
+  let q = Cross.pair_quality ~predictor:b ~target:a in
+  Alcotest.(check bool) (Printf.sprintf "opposed quality %.3f < 1" q) true (q < 0.5)
+
+let test_analyze_entries () =
+  let a = fake_run "a" ~encountered:[| 100; 10 |] ~taken:[| 90; 10 |] in
+  let b = fake_run "b" ~encountered:[| 100; 10 |] ~taken:[| 80; 10 |] in
+  let c = fake_run "c" ~encountered:[| 100; 10 |] ~taken:[| 10; 0 |] in
+  let entries = Cross.analyze [ a; b; c ] in
+  Alcotest.(check int) "one entry per run" 3 (List.length entries);
+  let ea = List.hd entries in
+  Alcotest.(check string) "target" "a" ea.Cross.target;
+  (match (ea.Cross.best, ea.Cross.worst) with
+  | Some (bn, bq), Some (wn, wq) ->
+    Alcotest.(check string) "best is b" "b" bn;
+    Alcotest.(check string) "worst is c" "c" wn;
+    Alcotest.(check bool) "best >= worst" true (bq >= wq)
+  | _ -> Alcotest.fail "expected best/worst");
+  Alcotest.(check bool) "others present" true (ea.Cross.others_ipb <> None)
+
+let test_analyze_single_run () =
+  let a = fake_run "a" ~encountered:[| 10 |] ~taken:[| 10 |] in
+  match Cross.analyze [ a ] with
+  | [ entry ] ->
+    Alcotest.(check bool) "no others" true (entry.Cross.others_ipb = None);
+    Alcotest.(check bool) "no best" true (entry.Cross.best = None)
+  | _ -> Alcotest.fail "expected one entry"
+
+let test_analyze_rejects_mixed () =
+  let a = fake_run "a" ~encountered:[| 1 |] ~taken:[| 1 |] in
+  let b = { (fake_run "b" ~encountered:[| 1 |] ~taken:[| 1 |]) with Measure.program = "other" } in
+  Alcotest.(check bool) "mixed programs rejected" true
+    (match Cross.analyze [ a; b ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_matrix () =
+  let a = fake_run "a" ~encountered:[| 10 |] ~taken:[| 10 |] in
+  let b = fake_run "b" ~encountered:[| 10 |] ~taken:[| 0 |] in
+  let m = Cross.matrix [ a; b ] in
+  Alcotest.(check int) "pairs" 2 (List.length m);
+  List.iter
+    (fun (p, t, _) ->
+      Alcotest.(check bool) "no self pairs" true (not (String.equal p t)))
+    m
+
+(* ---- gap distribution ---- *)
+
+let test_gap_tracking () =
+  (* run the loop program with its self prediction: the only breaks are
+     the one loop-exit mispredict and the two unavoidable transfers *)
+  let p = measured_program () in
+  let r = Vm.run p ~iargs:[] ~fargs:[] ~arrays:[] in
+  let self =
+    Fisher92_predict.Prediction.of_profile
+      (Fisher92_profile.Profile.of_run ~program:"m" r)
+  in
+  let config = { Vm.default_config with predicted = Some self } in
+  let r2 = Vm.run ~config p ~iargs:[] ~fargs:[] ~arrays:[] in
+  (* breaks: loop-exit mispredict, callind, ret-from-indirect = 3 *)
+  Alcotest.(check int) "gap count" 3 r2.gap_count;
+  Alcotest.(check bool) "gap sum below total" true (r2.gap_sum <= r2.total);
+  let s = Fisher92_metrics.Gaps.summarize r2 in
+  Alcotest.(check int) "summary count" 3 s.g_count;
+  Alcotest.(check bool) "mean positive" true (s.g_mean > 0.0);
+  Alcotest.(check bool) "p90 >= median" true (s.g_p90 >= s.g_median)
+
+let test_gap_disabled_by_default () =
+  let r = run () in
+  Alcotest.(check int) "no gaps without prediction" 0 r.gap_count
+
+let test_gap_buckets () =
+  Alcotest.(check (pair int int)) "bucket 0" (1, 2)
+    (Fisher92_metrics.Gaps.bucket_bounds 0);
+  Alcotest.(check (pair int int)) "bucket 5" (32, 64)
+    (Fisher92_metrics.Gaps.bucket_bounds 5)
+
+let test_gap_empty_summary () =
+  let r = run () in
+  let s = Fisher92_metrics.Gaps.summarize r in
+  Alcotest.(check int) "empty" 0 s.g_count;
+  Alcotest.(check (float 0.0)) "mean" 0.0 s.g_mean
+
+(* ---- coverage ---- *)
+
+let test_coverage_pairs () =
+  (* predictor covers only site 0 of a two-site target *)
+  let predictor = fake_run "p" ~encountered:[| 50; 0 |] ~taken:[| 50; 0 |] in
+  let target = fake_run "t" ~encountered:[| 60; 40 |] ~taken:[| 55; 0 |] in
+  match Fisher92_metrics.Coverage.pairs [ predictor; target ] with
+  | [ p_to_t; t_to_p ] ->
+    (* order: pairs per target; first target is "p" *)
+    Alcotest.(check string) "first predictor" "t" p_to_t.cv_predictor;
+    Alcotest.(check string) "second target" "t" t_to_p.cv_target;
+    let pt =
+      if p_to_t.cv_target = "t" then p_to_t else t_to_p
+    in
+    Alcotest.(check (float 1e-9)) "coverage = 60/100" 0.6 pt.cv_coverage;
+    Alcotest.(check (float 1e-9)) "agreement on the covered site" 1.0
+      pt.cv_agreement
+  | _ -> Alcotest.fail "expected two pairs"
+
+let test_coverage_correlate () =
+  let a = fake_run "a" ~encountered:[| 100; 10 |] ~taken:[| 90; 10 |] in
+  let b = fake_run "b" ~encountered:[| 100; 10 |] ~taken:[| 85; 10 |] in
+  let c = fake_run "c" ~encountered:[| 100; 10 |] ~taken:[| 5; 0 |] in
+  let r = Fisher92_metrics.Coverage.correlate [ a; b; c ] in
+  Alcotest.(check string) "program" "fake" r.cr_program;
+  Alcotest.(check int) "pairs" 6 r.cr_n;
+  Alcotest.(check bool) "rs in range" true
+    (Float.abs r.cr_coverage_r <= 1.0 && Float.abs r.cr_agreement_r <= 1.0);
+  Alcotest.(check bool) "rejects single run" true
+    (match Fisher92_metrics.Coverage.correlate [ a ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "breaks",
+        [
+          Alcotest.test_case "raw counts" `Quick test_counts;
+          Alcotest.test_case "unpredicted breaks" `Quick test_unpredicted_breaks;
+          Alcotest.test_case "predicted breaks" `Quick test_predicted_breaks;
+          Alcotest.test_case "per break" `Quick test_per_break;
+        ] );
+      ("measure", [ Alcotest.test_case "derived quantities" `Quick test_measure ]);
+      ( "coverage",
+        [
+          Alcotest.test_case "pairs" `Quick test_coverage_pairs;
+          Alcotest.test_case "correlate" `Quick test_coverage_correlate;
+        ] );
+      ( "gaps",
+        [
+          Alcotest.test_case "tracking" `Quick test_gap_tracking;
+          Alcotest.test_case "disabled by default" `Quick
+            test_gap_disabled_by_default;
+          Alcotest.test_case "bucket bounds" `Quick test_gap_buckets;
+          Alcotest.test_case "empty summary" `Quick test_gap_empty_summary;
+        ] );
+      ( "cross",
+        [
+          Alcotest.test_case "identical runs" `Quick test_cross_identical_runs;
+          Alcotest.test_case "opposed runs" `Quick test_cross_opposed_runs;
+          Alcotest.test_case "analyze entries" `Quick test_analyze_entries;
+          Alcotest.test_case "single run" `Quick test_analyze_single_run;
+          Alcotest.test_case "rejects mixed programs" `Quick
+            test_analyze_rejects_mixed;
+          Alcotest.test_case "matrix" `Quick test_matrix;
+        ] );
+    ]

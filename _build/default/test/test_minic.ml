@@ -1,0 +1,525 @@
+(* Compiler correctness: MiniC programs behave identically through the
+   reference interpreter and the compile+VM pipeline, and the typechecker
+   rejects ill-formed programs. *)
+
+open Fisher92_minic
+open Fisher92_minic.Dsl
+module T = Fisher92_testsupport.Testsupport
+
+let simple name prog = T.check_compiler_agrees name prog
+
+let test_sample () = T.check_compiler_agrees "sample" T.sample_program ~iargs:[ 10 ]
+
+let test_arith_mix () =
+  simple "arith"
+    (program "arith" ~entry:"main"
+       [
+         fn "main" [] ~ret:Ast.Tint
+           [
+             leti "a" (i 37);
+             leti "b" (i (-5));
+             out ((v "a" +: v "b") *: (v "a" -: v "b"));
+             out (v "a" /: v "b");
+             out (v "a" %: v "b");
+             out (band (v "a") (i 12));
+             out (bor (v "a") (i 64));
+             out (bxor (v "a") (v "a"));
+             out (shl (v "a") (i 3));
+             out (shr (v "a") (i 2));
+             out (imin (v "a") (v "b"));
+             out (imax (v "a") (v "b"));
+             out (neg (v "a"));
+             out (not_ (v "a" >: i 0));
+             ret (i 0);
+           ];
+       ])
+
+let test_float_mix () =
+  simple "floats"
+    (program "floats" ~entry:"main"
+       [
+         fn "main" [] ~ret:Ast.Tint
+           [
+             letf "x" (fl 2.25);
+             letf "y" (fl (-0.5));
+             out (to_int ((v "x" +: v "y") *: fl 1000.0));
+             out (to_int ((v "x" *: v "y") *: fl 1000.0));
+             out (to_int ((v "x" /: v "y") *: fl 1000.0));
+             out (to_int (sqrt_ (v "x") *: fl 1000.0));
+             out (to_int (abs_ (v "y") *: fl 1000.0));
+             out (to_int (exp_ (fl 1.0) *: fl 1000.0));
+             out (to_int (log_ (fl 10.0) *: fl 1000.0));
+             out (to_int (sin_ (fl 1.0) *: fl 1000.0));
+             out (to_int (cos_ (fl 1.0) *: fl 1000.0));
+             out (to_int (imin (v "x") (v "y") *: fl 100.0));
+             out (to_int (imax (v "x") (v "y") *: fl 100.0));
+             out (to_int (to_float (i 7) *: fl 3.0));
+             ret (i 0);
+           ];
+       ])
+
+let test_short_circuit_effects () =
+  (* && and || must not evaluate their right side when short-circuiting;
+     the right side increments a global so evaluation is observable *)
+  simple "short-circuit"
+    (program "sc" ~entry:"main"
+       ~globals:[ gint "hits" 0 ]
+       [
+         fn "bump" [] ~ret:Ast.Tint
+           [ gset "hits" (g "hits" +: i 1); ret (i 1) ];
+         fn "main" [] ~ret:Ast.Tint
+           [
+             leti "r1" ((i 0) &&: (call "bump" [] >: i 0));
+             out (v "r1");
+             out (g "hits");
+             leti "r2" ((i 1) &&: (call "bump" [] >: i 0));
+             out (v "r2");
+             out (g "hits");
+             leti "r3" ((i 1) ||: (call "bump" [] >: i 0));
+             out (v "r3");
+             out (g "hits");
+             leti "r4" ((i 0) ||: (call "bump" [] >: i 0));
+             out (v "r4");
+             out (g "hits");
+             ret (i 0);
+           ];
+       ])
+
+let test_nested_control () =
+  simple "nested control"
+    (program "nest" ~entry:"main"
+       [
+         fn "main" [] ~ret:Ast.Tint
+           [
+             leti "acc" (i 0);
+             for_ "a" (i 0) (i 5)
+               [
+                 for_ "b" (i 0) (i 5)
+                   [
+                     when_ (v "b" =: i 3) [ cont ];
+                     when_ ((v "a" *: v "b") >: i 9) [ brk ];
+                     set "acc" (v "acc" +: (v "a" *: i 10) +: v "b");
+                   ];
+               ];
+             out (v "acc");
+             leti "k" (i 0);
+             while_ (i 1)
+               [
+                 incr_ "k";
+                 when_ (v "k" >=: i 7) [ brk ];
+               ];
+             out (v "k");
+             ret (v "acc");
+           ];
+       ])
+
+let test_switch_semantics () =
+  simple "switch"
+    (program "sw" ~entry:"main"
+       [
+         fn "classify" [ pi "x" ] ~ret:Ast.Tint
+           [
+             switch_ (v "x")
+               [
+                 case 0 [ ret (i 100) ];
+                 cases [ 1; 2 ] [ ret (i 200) ];
+                 case 7 [ ret (i 700) ];
+               ]
+               [ ret (i (-1)) ];
+           ];
+         fn "main" [] ~ret:Ast.Tint
+           [
+             for_ "k" (i (-1)) (i 9) [ out (call "classify" [ v "k" ]) ];
+             ret (i 0);
+           ];
+       ])
+
+let test_recursion () =
+  simple "recursion"
+    (program "rec" ~entry:"main"
+       [
+         fn "fib" [ pi "n" ] ~ret:Ast.Tint
+           [
+             when_ (v "n" <: i 2) [ ret (v "n") ];
+             ret (call "fib" [ v "n" -: i 1 ] +: call "fib" [ v "n" -: i 2 ]);
+           ];
+         fn "main" [] ~ret:Ast.Tint
+           [ for_ "k" (i 0) (i 15) [ out (call "fib" [ v "k" ]) ]; ret (i 0) ];
+       ])
+
+let test_mutual_recursion () =
+  simple "mutual recursion"
+    (program "mutual" ~entry:"main"
+       [
+         fn "is_even" [ pi "n" ] ~ret:Ast.Tint
+           [
+             when_ (v "n" =: i 0) [ ret (i 1) ];
+             ret (call "is_odd" [ v "n" -: i 1 ]);
+           ];
+         fn "is_odd" [ pi "n" ] ~ret:Ast.Tint
+           [
+             when_ (v "n" =: i 0) [ ret (i 0) ];
+             ret (call "is_even" [ v "n" -: i 1 ]);
+           ];
+         fn "main" [] ~ret:Ast.Tint
+           [ for_ "k" (i 0) (i 10) [ out (call "is_even" [ v "k" ]) ]; ret (i 0) ];
+       ])
+
+let test_function_pointers () =
+  simple "function pointers"
+    (program "fp" ~entry:"main"
+       ~fn_table:[ "inc"; "dec"; "sq" ]
+       [
+         fn "inc" [ pi "x" ] ~ret:Ast.Tint [ ret (v "x" +: i 1) ];
+         fn "dec" [ pi "x" ] ~ret:Ast.Tint [ ret (v "x" -: i 1) ];
+         fn "sq" [ pi "x" ] ~ret:Ast.Tint [ ret (v "x" *: v "x") ];
+         fn "main" [] ~ret:Ast.Tint
+           [
+             leti "f" (fnptr "inc");
+             for_ "k" (i 0) (i 3)
+               [
+                 set "f" (cond_ (v "k" =: i 2) (fnptr "sq") (v "f"));
+                 out (callp ~ret:Ast.Tint (v "f") [ i 10 +: v "k" ]);
+               ];
+             out (callp ~ret:Ast.Tint (fnptr "dec") [ i 100 ]);
+             ret (i 0);
+           ];
+       ])
+
+let test_globals_and_arrays () =
+  T.check_compiler_agrees "globals and arrays"
+    ~arrays:[ ("data", `Ints [| 3; 1; 4; 1; 5 |]); ("$bias", `Ints [| 50 |]) ]
+    (program "ga" ~entry:"main"
+       ~globals:[ gint "bias" 7; gfloat "scale" 2.0 ]
+       ~arrays:[ iarr "data" 8; farr "accum" 4 ]
+       [
+         fn "main" [] ~ret:Ast.Tint
+           [
+             leti "total" (i 0);
+             for_ "k" (i 0) (i 5)
+               [ set "total" (v "total" +: ld "data" (v "k")) ];
+             out (v "total");
+             out (g "bias");
+             gset "bias" (g "bias" +: v "total");
+             out (g "bias");
+             st "accum" (i 0) (to_float (v "total") *: g "scale");
+             out (to_int (ld "accum" (i 0)));
+             ret (i 0);
+           ];
+       ])
+
+let test_for_semantics () =
+  (* for re-evaluates its bound; continue jumps to the increment *)
+  simple "for bound re-evaluation"
+    (program "forsem" ~entry:"main"
+       ~globals:[ gint "limit" 6 ]
+       [
+         fn "main" [] ~ret:Ast.Tint
+           [
+             leti "seen" (i 0);
+             for_ "k" (i 0) (g "limit")
+               [
+                 incr_ "seen";
+                 when_ (v "k" =: i 2) [ gset "limit" (i 4) ];
+                 when_ (v "k" =: i 3) [ cont ];
+                 out (v "k");
+               ];
+             out (v "seen");
+             ret (i 0);
+           ];
+       ])
+
+let test_ternary_value () =
+  simple "ternary"
+    (program "tern" ~entry:"main"
+       [
+         fn "main" [] ~ret:Ast.Tint
+           [
+             for_ "k" (i 0) (i 5)
+               [
+                 out (cond_ (v "k" %: i 2 =: i 0) (v "k" *: i 10) (neg (v "k")));
+                 (* impure arm: forces the branchy lowering *)
+                 out (cond_ (v "k" >: i 2) (call "idf" [ v "k" ]) (i 0));
+               ];
+             ret (i 0);
+           ];
+         fn "idf" [ pi "x" ] ~ret:Ast.Tint [ ret (v "x" *: i 7) ];
+       ])
+
+let test_zero_before_let () =
+  (* locals read before their Let executes are zero, in both pipelines *)
+  simple "zero before let"
+    (program "zbl" ~entry:"main"
+       [
+         fn "main" [] ~ret:Ast.Tint
+           [
+             when_ (i 0) [ leti "x" (i 42) ];
+             out (v "x");
+             set "x" (i 9);
+             out (v "x");
+             ret (i 0);
+           ];
+       ])
+
+let test_register_pressure () =
+  (* a deeply right-nested expression must allocate temporaries without
+     clobbering earlier operands *)
+  let rec deep k = if k = 0 then i 1 else i 1 +: (i 2 *: deep (k - 1)) in
+  simple "deep expression"
+    (program "deep" ~entry:"main"
+       [ fn "main" [] ~ret:Ast.Tint [ out (deep 40); ret (i 0) ] ])
+
+(* ---- interpreter error paths ---- *)
+
+let test_interp_step_limit () =
+  let prog =
+    program "spin" ~entry:"main"
+      [ fn "main" [] [ while_ (i 1) [ gset "x" (g "x" +: i 1) ] ] ]
+  in
+  let prog = { prog with Ast.globals = [ Dsl.gint "x" 0 ] } in
+  Alcotest.(check bool) "step limit enforced" true
+    (match Interp.run ~max_steps:10_000 prog ~iargs:[] ~fargs:[] ~arrays:[] with
+    | exception Interp.Error _ -> true
+    | _ -> false)
+
+let test_interp_bad_seeds () =
+  let prog =
+    program "seeded" ~entry:"main" ~arrays:[ iarr "a" 4 ]
+      [ fn "main" [] [ out (ld "a" (i 0)) ] ]
+  in
+  let run arrays = Interp.run prog ~iargs:[] ~fargs:[] ~arrays in
+  List.iter
+    (fun arrays ->
+      Alcotest.(check bool) "rejected" true
+        (match run arrays with
+        | exception Interp.Error _ -> true
+        | _ -> false))
+    [
+      [ ("nope", `Ints [| 1 |]) ];
+      [ ("a", `Floats [| 1.0 |]) ];
+      [ ("a", `Ints [| 1; 2; 3; 4; 5 |]) ];
+      [ ("$missing", `Ints [| 1 |]) ];
+    ]
+
+let test_interp_runtime_errors () =
+  let mk body =
+    program "boom" ~entry:"main" ~arrays:[ iarr "a" 2 ]
+      [ fn "main" [] body ]
+  in
+  List.iter
+    (fun (name, body) ->
+      Alcotest.(check bool) name true
+        (match Interp.run (mk body) ~iargs:[] ~fargs:[] ~arrays:[] with
+        | exception Interp.Error _ -> true
+        | _ -> false))
+    [
+      ("division by zero", [ leti "z" (i 0); out (i 1 /: v "z") ]);
+      ("remainder by zero", [ leti "z" (i 0); out (i 1 %: v "z") ]);
+      ("load out of bounds", [ out (ld "a" (i 9)) ]);
+      ("store out of bounds", [ st "a" (i (-1)) (i 0) ]);
+    ]
+
+(* ---- typechecker rejections ---- *)
+
+let rejects name prog =
+  match Typecheck.check prog with
+  | exception Typecheck.Type_error _ -> ()
+  | _ -> Alcotest.failf "%s: expected Type_error" name
+
+let test_type_errors () =
+  rejects "int/float mix"
+    (program "bad1" ~entry:"main"
+       [ fn "main" [] [ leti "x" (i 1 +: fl 2.0) ] ]);
+  rejects "unknown variable"
+    (program "bad2" ~entry:"main" [ fn "main" [] [ out (v "nope") ] ]);
+  rejects "unknown function"
+    (program "bad3" ~entry:"main" [ fn "main" [] [ expr_ (call "nope" []) ] ]);
+  rejects "arity mismatch"
+    (program "bad4" ~entry:"main"
+       [
+         fn "f" [ pi "x" ] ~ret:Ast.Tint [ ret (v "x") ];
+         fn "main" [] [ out (call "f" []) ];
+       ]);
+  rejects "arg type mismatch"
+    (program "bad5" ~entry:"main"
+       [
+         fn "f" [ pf "x" ] ~ret:Ast.Tfloat [ ret (v "x") ];
+         fn "main" [] [ out (call "f" [ i 3 ]) ];
+       ]);
+  rejects "void call as value"
+    (program "bad6" ~entry:"main"
+       [ fn "p" [] [ ret0 ]; fn "main" [] [ out (call "p" []) ] ]);
+  rejects "break outside loop"
+    (program "bad7" ~entry:"main" [ fn "main" [] [ brk ] ]);
+  rejects "continue outside loop"
+    (program "bad8" ~entry:"main" [ fn "main" [] [ cont ] ]);
+  rejects "duplicate local"
+    (program "bad9" ~entry:"main"
+       [ fn "main" [] [ leti "x" (i 1); leti "x" (i 2) ] ]);
+  rejects "return value from procedure"
+    (program "bad10" ~entry:"main" [ fn "main" [] [ ret (i 3) ] ]);
+  rejects "missing return value"
+    (program "bad11" ~entry:"main"
+       [ fn "main" [] ~ret:Ast.Tint [ ret0 ] ]);
+  rejects "float for-variable"
+    (program "bad12" ~entry:"main"
+       [ fn "main" [] [ letf "k" (fl 1.0); for_ "k" (i 0) (i 3) [] ] ]);
+  rejects "duplicate switch label"
+    (program "bad13" ~entry:"main"
+       [
+         fn "main" []
+           [ switch_ (i 1) [ case 1 []; cases [ 2; 1 ] [] ] [] ];
+       ]);
+  rejects "fnptr not in table"
+    (program "bad14" ~entry:"main"
+       [ fn "f" [] [ ret0 ]; fn "main" [] [ out (fnptr "f") ] ]);
+  rejects "missing entry"
+    (program "bad15" ~entry:"nothere" [ fn "main" [] [ ret0 ] ]);
+  rejects "rem on floats"
+    (program "bad16" ~entry:"main"
+       [ fn "main" [] [ letf "x" (fl 1.0 %: fl 2.0) ] ]);
+  rejects "float switch selector"
+    (program "bad17" ~entry:"main"
+       [ fn "main" [] [ switch_ (fl 1.0) [ case 1 [] ] [] ] ]);
+  rejects "store wrong class"
+    (program "bad18" ~entry:"main" ~arrays:[ iarr "a" 4 ]
+       [ fn "main" [] [ st "a" (i 0) (fl 1.0) ] ]);
+  rejects "unknown array"
+    (program "bad19" ~entry:"main" [ fn "main" [] [ out (ld "a" (i 0)) ] ]);
+  rejects "float index"
+    (program "bad20" ~entry:"main" ~arrays:[ iarr "a" 4 ]
+       [ fn "main" [] [ out (ld "a" (fl 0.0)) ] ])
+
+let test_bnez_peephole () =
+  (* comparing against zero needs no materialized compare: the compiled
+     loop on [x != 0] must be smaller than the same loop on [x != 1] *)
+  let prog cmp_const =
+    program "peep" ~entry:"main"
+      [
+        fn "main" [] ~ret:Ast.Tint
+          [
+            leti "x" (i 100);
+            while_ (v "x" <>: i cmp_const) [ set "x" (v "x" -: i 7) ];
+            ret (v "x");
+          ];
+      ]
+  in
+  let size k = Fisher92_ir.Program.static_size (Compile.compile (prog k)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "bnez form smaller (%d vs %d)" (size 0) (size 1))
+    true
+    (size 0 < size 1)
+
+let test_select_conversion () =
+  (* a pure ternary compiles branch-free; an impure one needs a site *)
+  let prog arm =
+    program "sel" ~entry:"main"
+      [
+        fn "id" [ pi "x" ] ~ret:Ast.Tint [ ret (v "x") ];
+        fn "main" [ pi "n" ] ~ret:Ast.Tint
+          [ out (cond_ (v "n" >: i 0) arm (i 2)); ret (i 0) ];
+      ]
+  in
+  let sites p = Fisher92_ir.Program.n_sites (Compile.compile p) in
+  Alcotest.(check int) "pure arms: no extra branch site" 0
+    (sites (prog (i 1)));
+  Alcotest.(check int) "impure arm: branchy lowering" 1
+    (sites (prog (call "id" [ i 1 ])))
+
+let test_short_circuit_sites () =
+  (* each && / || leg is its own static branch site, like a C compiler *)
+  let prog cond =
+    program "sc2" ~entry:"main"
+      [
+        fn "main" [ pi "a"; pi "b"; pi "c" ] ~ret:Ast.Tint
+          [ when_ cond [ out (i 1) ]; ret (i 0) ];
+      ]
+  in
+  let sites c = Fisher92_ir.Program.n_sites (Compile.compile (prog c)) in
+  let one = sites (v "a" >: i 0) in
+  let two = sites ((v "a" >: i 0) &&: (v "b" >: i 0)) in
+  let three = sites ((v "a" >: i 0) &&: (v "b" >: i 0) &&: (v "c" >: i 0)) in
+  Alcotest.(check int) "single condition" 1 one;
+  Alcotest.(check int) "two legs" 2 two;
+  Alcotest.(check int) "three legs" 3 three
+
+let test_switch_cascade_sites () =
+  (* a k-case switch lowers to k cascade tests (one site per label) *)
+  let prog =
+    program "swk" ~entry:"main"
+      [
+        fn "main" [ pi "x" ] ~ret:Ast.Tint
+          [
+            switch_ (v "x")
+              [ case 1 [ out (i 1) ]; cases [ 2; 3 ] [ out (i 2) ];
+                case 9 [ out (i 3) ] ]
+              [ out (i 0) ];
+            ret (i 0);
+          ];
+      ]
+  in
+  Alcotest.(check int) "four labels, four sites" 4
+    (Fisher92_ir.Program.n_sites (Compile.compile prog))
+
+let test_site_labels () =
+  (* lowering attaches function-qualified labels to every branch site *)
+  let ir = Compile.compile T.sample_program in
+  let labels =
+    List.init (Fisher92_ir.Program.n_sites ir) (Fisher92_ir.Program.site_label ir)
+  in
+  Alcotest.(check bool) "has sites" true (List.length labels > 3);
+  List.iter
+    (fun label ->
+      if not (String.contains label '#') then
+        Alcotest.failf "unqualified site label %S" label)
+    labels
+
+let test_validated_output () =
+  (* every compile result passes the validator (Compile runs it, but make
+     the property explicit) *)
+  let ir = Compile.compile T.sample_program in
+  Alcotest.(check (list string)) "no validation errors" []
+    (List.map
+       (fun (e : Fisher92_ir.Validate.error) -> e.message)
+       (Fisher92_ir.Validate.check ir))
+
+let () =
+  Alcotest.run "minic"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "sample program" `Quick test_sample;
+          Alcotest.test_case "int arithmetic" `Quick test_arith_mix;
+          Alcotest.test_case "float arithmetic" `Quick test_float_mix;
+          Alcotest.test_case "short-circuit effects" `Quick
+            test_short_circuit_effects;
+          Alcotest.test_case "nested control" `Quick test_nested_control;
+          Alcotest.test_case "switch" `Quick test_switch_semantics;
+          Alcotest.test_case "recursion" `Quick test_recursion;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+          Alcotest.test_case "function pointers" `Quick test_function_pointers;
+          Alcotest.test_case "globals and arrays" `Quick test_globals_and_arrays;
+          Alcotest.test_case "for semantics" `Quick test_for_semantics;
+          Alcotest.test_case "ternary" `Quick test_ternary_value;
+          Alcotest.test_case "zero before let" `Quick test_zero_before_let;
+          Alcotest.test_case "register pressure" `Quick test_register_pressure;
+        ] );
+      ( "interp-errors",
+        [
+          Alcotest.test_case "step limit" `Quick test_interp_step_limit;
+          Alcotest.test_case "bad seeds" `Quick test_interp_bad_seeds;
+          Alcotest.test_case "runtime errors" `Quick test_interp_runtime_errors;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "rejections" `Quick test_type_errors;
+          Alcotest.test_case "bnez peephole" `Quick test_bnez_peephole;
+          Alcotest.test_case "select conversion" `Quick test_select_conversion;
+          Alcotest.test_case "short-circuit sites" `Quick
+            test_short_circuit_sites;
+          Alcotest.test_case "switch cascade sites" `Quick
+            test_switch_cascade_sites;
+          Alcotest.test_case "site labels" `Quick test_site_labels;
+          Alcotest.test_case "validated output" `Quick test_validated_output;
+        ] );
+    ]

@@ -1,0 +1,253 @@
+(* The reproduction's headline assertions: the paper's qualitative
+   claims must hold on the FULL study (all fifteen workloads, every
+   dataset).  This is the one suite that runs the complete pipeline. *)
+
+module Study = Fisher92.Study
+module E = Fisher92.Experiments
+module Stats = Fisher92_util.Stats
+
+let study = lazy (Study.load ())
+
+let find_t3 rows program =
+  (List.find (fun (r : E.table3_row) -> r.t3_program = program) rows).t3_ipb
+
+(* Paper Table 3 ordering: tomcatv > matrix300 > nasa7 > fpppp > LFK >
+   doduc. *)
+let test_table3_ordering () =
+  let rows = E.table3 (Lazy.force study) in
+  let order =
+    List.map (find_t3 rows)
+      [ "tomcatv"; "matrix300"; "nasa7"; "fpppp"; "lfk"; "doduc" ]
+  in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ordering %s"
+       (String.concat " > " (List.map (Printf.sprintf "%.0f") order)))
+    true (decreasing order)
+
+(* fpppp: ~150-170 instructions per break even unpredicted (the giant
+   basic block), yet branches only ~70-85% one-directional. *)
+let test_fpppp_character () =
+  let l = Study.find (Lazy.force study) "fpppp" in
+  let run = List.hd l.runs in
+  let unpred = Fisher92_metrics.Measure.ipb_unpredicted run in
+  Alcotest.(check bool)
+    (Printf.sprintf "giant block: %.0f instrs/break unpredicted" unpred)
+    true
+    (unpred > 100.0 && unpred < 250.0);
+  let correct =
+    Fisher92_metrics.Measure.percent_correct run
+      (Fisher92_metrics.Measure.self_prediction run)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "branches only %.0f%% one-directional" correct)
+    true
+    (correct > 60.0 && correct < 90.0)
+
+(* li: a conditional branch every handful of instructions (paper: ~10). *)
+let test_li_branch_density () =
+  let l = Study.find (Lazy.force study) "li" in
+  let run = List.hd l.runs in
+  let density = Fisher92_metrics.Breaks.instructions_per_branch run.counts in
+  Alcotest.(check bool)
+    (Printf.sprintf "li branches every %.1f instructions" density)
+    true
+    (density > 2.0 && density < 15.0)
+
+(* Headline: predicting from the other datasets costs little vs self. *)
+let test_cross_prediction_effective () =
+  let rows = E.fig2 (Lazy.force study) in
+  let qualities =
+    List.filter_map
+      (fun (r : E.fig2_row) ->
+        match r.f2_others with
+        | Some others when r.f2_program <> "spice" -> Some (others /. r.f2_self)
+        | _ -> None)
+      rows
+  in
+  let mean = Stats.mean qualities in
+  Alcotest.(check bool)
+    (Printf.sprintf "non-spice sum-of-others at %.0f%% of self" (100.0 *. mean))
+    true (mean > 0.75)
+
+(* spice is the hard case: its cross-prediction is visibly worse than the
+   other multi-dataset programs'. *)
+let test_spice_is_hardest () =
+  let rows = E.fig3 (Lazy.force study) in
+  let worst_of program =
+    Stats.mean
+      (List.filter_map
+         (fun (r : E.fig3_row) ->
+           if r.f3_program = program then Some (snd r.f3_worst) else None)
+         rows)
+  in
+  let spice = worst_of "spice" and cc1 = worst_of "cc1" in
+  Alcotest.(check bool)
+    (Printf.sprintf "spice worst (%.2f) below cc1 worst (%.2f)" spice cc1)
+    true (spice < cc1)
+
+(* Paper: worst single predictors "tended to hover around 50-70% of what
+   was possible" for the listed programs. *)
+let test_worst_predictor_band () =
+  let rows = E.fig3 (Lazy.force study) in
+  let worsts =
+    List.filter_map
+      (fun (r : E.fig3_row) ->
+        if List.mem r.f3_program [ "espresso"; "li"; "compress"; "eqntott"; "spice" ]
+        then Some (snd r.f3_worst)
+        else None)
+      rows
+  in
+  let mean = Stats.mean worsts in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean worst single predictor %.0f%%" (100.0 *. mean))
+    true
+    (mean > 0.40 && mean < 0.95)
+
+(* Table 1 shape: matrix300 is the most inflated, the heavy dead-code
+   programs are matrix300/espresso/nasa7/tomcatv, li carries none. *)
+let test_table1_shape () =
+  let rows = E.table1 (Lazy.force study) in
+  let dead p =
+    (List.find (fun (r : E.table1_row) -> r.t1_program = p) rows).t1_dead_pct
+  in
+  Alcotest.(check bool) "matrix300 heaviest" true
+    (List.for_all (fun (r : E.table1_row) -> dead "matrix300" >= r.t1_dead_pct) rows);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p ^ " substantial") true (dead p > 8.0))
+    [ "espresso"; "nasa7"; "tomcatv" ];
+  List.iter
+    (fun p -> Alcotest.(check bool) (p ^ " near zero") true (dead p < 2.0))
+    [ "li"; "fpppp"; "spice"; "doduc" ]
+
+(* Percent taken is a near-constant of the program, except spice. *)
+let test_taken_constancy () =
+  let rows = E.taken (Lazy.force study) in
+  let spread p =
+    (List.find (fun (r : E.taken_row) -> r.tk_program = p) rows).tk_spread
+  in
+  Alcotest.(check bool) "spice is the outlier" true (spread "spice" > 9.0);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s spread %.1f small" p (spread p))
+        true
+        (spread p <= 9.0))
+    [ "doduc"; "cc1"; "espresso"; "eqntott"; "mfcom"; "fpppp" ]
+
+(* Heuristics give up roughly a factor of two (paper), with the
+   vectorizable codes the exception. *)
+let test_heuristics_factor () =
+  let rows = E.heuristics (Lazy.force study) in
+  let ratios =
+    List.filter_map
+      (fun (r : E.heuristic_row) ->
+        if r.h_btfn > 0.0 && r.h_self < infinity then Some (r.h_self /. r.h_btfn)
+        else None)
+      rows
+  in
+  let geomean = Stats.geomean ratios in
+  Alcotest.(check bool)
+    (Printf.sprintf "geomean self/BTFN %.2fx in the paper's band" geomean)
+    true
+    (geomean > 1.5 && geomean < 5.0);
+  (* vectorizable codes lose nothing *)
+  List.iter
+    (fun p ->
+      let r = List.find (fun (r : E.heuristic_row) -> r.h_program = p) rows in
+      Alcotest.(check bool) (p ^ " BTFN optimal") true
+        (r.h_btfn >= 0.99 *. r.h_self))
+    [ "matrix300"; "tomcatv"; "lfk" ]
+
+(* compress <-> uncompress: no correlation. *)
+let test_crossmode_uncorrelated () =
+  let rows = E.crossmode (Lazy.force study) in
+  let mean = Stats.mean (List.map (fun r -> r.E.cm_quality) rows) in
+  Alcotest.(check bool)
+    (Printf.sprintf "cross-mode mean quality %.0f%%" (100.0 *. mean))
+    true (mean < 0.6)
+
+(* Static self-profile prediction is competitive with 2-bit hardware. *)
+let test_static_competitive () =
+  let rows = E.dynamic (Lazy.force study) in
+  let wins =
+    List.length
+      (List.filter
+         (fun (r : E.dynamic_row) -> r.dy_static_pct >= r.dy_twobit_pct -. 1.0)
+         rows)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "static within a point of 2-bit on %d/%d programs" wins
+       (List.length rows))
+    true
+    (wins >= List.length rows - 3)
+
+(* Gaps: the irregular programs have mean >> median. *)
+let test_gaps_uneven () =
+  let rows = E.gaps (Lazy.force study) in
+  let skew p =
+    (List.find (fun (r : E.gaps_row) -> r.gp_program = p) rows).gp_skew
+  in
+  Alcotest.(check bool) "spiff very uneven" true (skew "spiff" > 5.0);
+  Alcotest.(check bool) "espresso uneven" true (skew "espresso" > 1.5)
+
+(* Switch reordering helps the dispatch-heavy interpreter. *)
+let test_switchsort_helps_li () =
+  let rows = E.switchsort (Lazy.force study) in
+  let li = List.find (fun (r : E.switchsort_row) -> r.ss_program = "li") rows in
+  Alcotest.(check bool)
+    (Printf.sprintf "li saves %.1f%%" li.ss_insns_saved_pct)
+    true
+    (li.ss_insns_saved_pct > 2.0)
+
+(* Instrumentation overhead exists (the paper's reason for two builds)
+   and the in-program counters agree with the external profile. *)
+let test_instrumentation_faithful () =
+  let rows = E.overhead (Lazy.force study) in
+  List.iter
+    (fun (r : E.overhead_row) ->
+      Alcotest.(check bool) (r.ov_program ^ " counters match") true
+        r.ov_counters_match;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s overhead %.1f%% positive" r.ov_program
+           r.ov_overhead_pct)
+        true
+        (r.ov_overhead_pct > 0.0))
+    rows;
+  (* branch-dense systems code pays far more than the FP outlier *)
+  let pct p =
+    (List.find (fun (r : E.overhead_row) -> r.ov_program = p) rows)
+      .ov_overhead_pct
+  in
+  Alcotest.(check bool) "li pays much more than fpppp" true
+    (pct "li" > 10.0 *. pct "fpppp")
+
+let () =
+  Alcotest.run "paper-shape"
+    [
+      ( "headline",
+        [
+          Alcotest.test_case "table3 ordering" `Slow test_table3_ordering;
+          Alcotest.test_case "fpppp character" `Slow test_fpppp_character;
+          Alcotest.test_case "li branch density" `Slow test_li_branch_density;
+          Alcotest.test_case "cross-prediction effective" `Slow
+            test_cross_prediction_effective;
+          Alcotest.test_case "spice hardest" `Slow test_spice_is_hardest;
+          Alcotest.test_case "worst predictor band" `Slow
+            test_worst_predictor_band;
+          Alcotest.test_case "table1 shape" `Slow test_table1_shape;
+          Alcotest.test_case "taken constancy" `Slow test_taken_constancy;
+          Alcotest.test_case "heuristics factor" `Slow test_heuristics_factor;
+          Alcotest.test_case "crossmode uncorrelated" `Slow
+            test_crossmode_uncorrelated;
+          Alcotest.test_case "static competitive" `Slow test_static_competitive;
+          Alcotest.test_case "gaps uneven" `Slow test_gaps_uneven;
+          Alcotest.test_case "switchsort helps li" `Slow test_switchsort_helps_li;
+          Alcotest.test_case "instrumentation faithful" `Slow
+            test_instrumentation_faithful;
+        ] );
+    ]

@@ -1,0 +1,347 @@
+(* Optimization passes: folding algebra, DCE's dead-code removal and
+   semantic preservation, the inliner's effect and restrictions. *)
+
+open Fisher92_minic
+open Fisher92_minic.Dsl
+module T = Fisher92_testsupport.Testsupport
+
+(* ---- fold ---- *)
+
+let test_fold_literals () =
+  let cases =
+    [
+      (i 2 +: i 3, Ast.Int 5);
+      (i 10 -: i 4, Ast.Int 6);
+      (i 6 *: i 7, Ast.Int 42);
+      (i 7 /: i 2, Ast.Int 3);
+      (i 7 %: i 2, Ast.Int 1);
+      (fl 1.5 +: fl 2.5, Ast.Float 4.0);
+      (i 3 <: i 4, Ast.Int 1);
+      (fl 3.0 >: fl 4.0, Ast.Int 0);
+      (not_ (i 0), Ast.Int 1);
+      (neg (i 5), Ast.Int (-5));
+      (cond_ (i 1) (i 7) (i 8), Ast.Int 7);
+      (cond_ (i 0) (i 7) (i 8), Ast.Int 8);
+      (to_int (fl 3.9), Ast.Int 3);
+      (to_float (i 2), Ast.Float 2.0);
+      ((i 1) &&: (i 0), Ast.Int 0);
+      ((i 0) ||: (i 5), Ast.Int 1);
+    ]
+  in
+  List.iter
+    (fun (e, expected) ->
+      if Fold.expr e <> expected then Alcotest.fail "literal fold mismatch")
+    cases
+
+let test_fold_identities () =
+  let x = v "x" in
+  Alcotest.(check bool) "x+0" true (Fold.expr (x +: i 0) = x);
+  Alcotest.(check bool) "0+x" true (Fold.expr (i 0 +: x) = x);
+  Alcotest.(check bool) "x*1" true (Fold.expr (x *: i 1) = x);
+  Alcotest.(check bool) "x/1" true (Fold.expr (x /: i 1) = x);
+  Alcotest.(check bool) "x-0" true (Fold.expr (x -: i 0) = x)
+
+let test_fold_keeps_div_by_zero () =
+  (* the trap must survive folding *)
+  match Fold.expr (i 1 /: i 0) with
+  | Ast.Binop (Ast.Div, Ast.Int 1, Ast.Int 0) -> ()
+  | _ -> Alcotest.fail "div-by-zero folded away"
+
+let test_fold_nested () =
+  match Fold.expr ((i 2 +: i 3) *: (i 10 -: i 6)) with
+  | Ast.Int 20 -> ()
+  | _ -> Alcotest.fail "nested fold failed"
+
+(* ---- dce ---- *)
+
+let dead_code_program =
+  program "deadly" ~entry:"main"
+    ~globals:[ gint "debug" 0; gint "live_g" 5 ]
+    ~arrays:[ iarr "log" 64; iarr "data" 64 ]
+    [
+      fn "unused_helper" [] ~ret:Ast.Tint [ ret (i 1) ];
+      fn "main" [] ~ret:Ast.Tint
+        [
+          leti "total" (i 0);
+          leti "dead_acc" (i 0);
+          for_ "k" (i 0) (i 20)
+            [
+              st "data" (v "k") (v "k" *: i 3);
+              set "total" (v "total" +: ld "data" (v "k"));
+              (* dead: accumulator never read, log never loaded *)
+              set "dead_acc" (v "dead_acc" +: v "k");
+              st "log" (v "k") (v "total");
+              (* dead branch: debug is never assigned *)
+              when_ (g "debug" >: i 0) [ out (v "total") ];
+            ];
+          out (v "total");
+          out (g "live_g");
+          ret (v "total");
+        ];
+    ]
+
+let count_insns ?options prog =
+  let ir = T.compile ?options prog in
+  (T.run_vm ir).total
+
+let test_dce_shrinks () =
+  let base = count_insns dead_code_program in
+  let dced =
+    count_insns
+      ~options:{ Compile.default_options with dce = true }
+      dead_code_program
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "dce shrinks (%d -> %d)" base dced)
+    true (dced < base);
+  (* the dead branch alone is 5 insns x 20 iterations *)
+  Alcotest.(check bool) "substantial shrink" true (base - dced > 100)
+
+let test_dce_preserves_semantics () =
+  T.check_compiler_agrees "dce semantics" dead_code_program
+
+let test_dce_respects_seeded_globals () =
+  (* when the dataset may overwrite "debug", the branch must survive *)
+  let options =
+    { Compile.default_options with dce = true; dce_seeded_globals = [ "debug" ] }
+  in
+  let plain = count_insns ~options:{ options with dce_seeded_globals = [] } dead_code_program in
+  let seeded = count_insns ~options dead_code_program in
+  Alcotest.(check bool)
+    (Printf.sprintf "seeded global keeps branch (%d vs %d)" seeded plain)
+    true (seeded > plain);
+  (* and the branch must actually fire when the dataset sets debug *)
+  let ir = T.compile ~options dead_code_program in
+  let r = T.run_vm ~arrays:[ ("$debug", `Ints [| 1 |]) ] ir in
+  Alcotest.(check bool) "outputs appear" true (List.length r.outputs > 2)
+
+let test_dce_drops_unreachable_function () =
+  let optimized =
+    Compile.optimized_ast { Compile.default_options with dce = true }
+      dead_code_program
+  in
+  Alcotest.(check bool) "unused_helper dropped" false
+    (List.exists (fun f -> f.Ast.f_name = "unused_helper") optimized.Ast.funcs)
+
+let test_dce_keeps_impure_rhs () =
+  (* an assignment to a dead variable whose RHS calls a function keeps
+     the call's side effects *)
+  let prog =
+    program "impure" ~entry:"main"
+      ~globals:[ gint "hits" 0 ]
+      [
+        fn "bump" [] ~ret:Ast.Tint
+          [ gset "hits" (g "hits" +: i 1); ret (i 7) ];
+        fn "main" [] ~ret:Ast.Tint
+          [
+            leti "dead" (call "bump" []);
+            out (g "hits");
+            ret (i 0);
+          ];
+      ]
+  in
+  T.check_compiler_agrees "impure rhs kept" prog
+
+(* ---- inline ---- *)
+
+let inline_program =
+  program "inl" ~entry:"main"
+    ~globals:[ gint "effects" 0 ]
+    [
+      fn "add3" [ pi "x" ] ~ret:Ast.Tint [ ret (v "x" +: i 3) ];
+      fn "clamp" [ pi "x" ] ~ret:Ast.Tint
+        [
+          when_ (v "x" >: i 100) [ ret (i 100) ];
+          ret (v "x");
+        ];
+      (* big: above the size threshold *)
+      fn "big" [ pi "x" ] ~ret:Ast.Tint
+        [
+          leti "a" (v "x" +: i 1);
+          set "a" (v "a" *: i 2);
+          set "a" (v "a" -: i 3);
+          set "a" (v "a" *: i 5);
+          set "a" (v "a" +: i 7);
+          set "a" (v "a" /: i 2);
+          set "a" (v "a" +: v "x");
+          set "a" (v "a" *: i 3);
+          set "a" (v "a" -: v "x");
+          ret (v "a");
+        ];
+      fn "main" [] ~ret:Ast.Tint
+        [
+          leti "acc" (i 0);
+          for_ "k" (i 0) (i 50)
+            [
+              set "acc" (v "acc" +: call "add3" [ v "k" ]);
+              set "acc" (v "acc" +: call "big" [ v "k" ]);
+            ];
+          out (v "acc");
+          out (call "clamp" [ v "acc" ]);
+          ret (v "acc");
+        ];
+    ]
+
+let dynamic_calls ?options prog =
+  let ir = T.compile ?options prog in
+  Fisher92_vm.Vm.kind_count (T.run_vm ir) Fisher92_ir.Insn.K_call
+
+let test_inline_removes_calls () =
+  let base = dynamic_calls inline_program in
+  let inlined =
+    dynamic_calls ~options:{ Compile.default_options with inline = true }
+      inline_program
+  in
+  (* add3 (50 calls) disappears; big (50 calls, too large) and the
+     mid-body-return clamp stay *)
+  Alcotest.(check int) "baseline calls" 101 base;
+  Alcotest.(check int) "inlined calls" 51 inlined
+
+let test_inline_preserves_semantics () =
+  T.check_compiler_agrees "inline semantics" inline_program
+
+let test_inline_skips_recursive () =
+  let prog =
+    program "recinl" ~entry:"main"
+      [
+        fn "down" [ pi "n" ] ~ret:Ast.Tint
+          [
+            when_ (v "n" <=: i 0) [ ret (i 0) ];
+            ret (call "down" [ v "n" -: i 1 ] +: i 1);
+          ];
+        fn "main" [] ~ret:Ast.Tint [ out (call "down" [ i 5 ]); ret (i 0) ];
+      ]
+  in
+  let inlined =
+    Compile.optimized_ast { Compile.default_options with inline = true } prog
+  in
+  Alcotest.(check bool) "recursive fn kept" true
+    (List.exists (fun f -> f.Ast.f_name = "down") inlined.Ast.funcs);
+  T.check_compiler_agrees "recursive semantics" prog
+
+let test_inline_skips_fn_table () =
+  let prog =
+    program "tblinl" ~entry:"main" ~fn_table:[ "tiny" ]
+      [
+        fn "tiny" [ pi "x" ] ~ret:Ast.Tint [ ret (v "x" +: i 1) ];
+        fn "main" [] ~ret:Ast.Tint
+          [
+            out (call "tiny" [ i 5 ]);
+            out (callp ~ret:Ast.Tint (fnptr "tiny") [ i 9 ]);
+            ret (i 0);
+          ];
+      ]
+  in
+  let base = dynamic_calls prog in
+  let inlined =
+    dynamic_calls ~options:{ Compile.default_options with inline = true } prog
+  in
+  (* address-taken functions are not inline candidates at all *)
+  Alcotest.(check int) "calls unchanged" base inlined;
+  T.check_compiler_agrees "fn_table semantics" prog
+
+(* ---- switch reordering ---- *)
+
+let switchy_program =
+  program "switchy" ~entry:"main"
+    [
+      fn "dispatch" [ pi "x" ] ~ret:Ast.Tint
+        [
+          switch_ (v "x")
+            [
+              case 0 [ ret (i 100) ];
+              case 1 [ ret (i 200) ];
+              case 2 [ ret (i 300) ];
+            ]
+            [ ret (i (-1)) ];
+        ];
+      fn "main" [] ~ret:Ast.Tint
+        [
+          leti "acc" (i 0);
+          (* case 2 is by far the hottest *)
+          for_ "k" (i 0) (i 300)
+            [ set "acc" (v "acc" +: call "dispatch" [ imin (v "k") (i 2) ]) ];
+          out (v "acc");
+          ret (v "acc");
+        ];
+    ]
+
+let test_reorder_switches_semantics () =
+  let heat ~fname k =
+    if fname = "dispatch" then match k with 2 -> 298 | 1 -> 1 | _ -> 1 else 0
+  in
+  T.check_compiler_agrees "reordered semantics" switchy_program
+    ~options_list:
+      [
+        ("sorted", { Compile.default_options with switch_heat = Some heat });
+        ("plain", Compile.default_options);
+      ]
+
+let test_reorder_switches_saves_instructions () =
+  let heat ~fname k =
+    if fname = "dispatch" then match k with 2 -> 298 | 1 -> 1 | _ -> 1 else 0
+  in
+  let base = T.compile switchy_program in
+  let sorted =
+    T.compile
+      ~options:{ Compile.default_options with switch_heat = Some heat }
+      switchy_program
+  in
+  let base_n = (T.run_vm base).total in
+  let sorted_n = (T.run_vm sorted).total in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer cascade tests (%d -> %d)" base_n sorted_n)
+    true (sorted_n < base_n)
+
+let test_reorder_stable_without_heat () =
+  let heat ~fname:_ _ = 0 in
+  let reordered = Passes.reorder_switches ~heat switchy_program in
+  Alcotest.(check bool) "zero heat keeps source order" true
+    (reordered = switchy_program)
+
+let test_count_stmts () =
+  Alcotest.(check int) "flat" 3
+    (Passes.count_stmts [ leti "a" (i 1); out (v "a"); ret0 ]);
+  Alcotest.(check int) "nested" 4
+    (Passes.count_stmts [ when_ (i 1) [ out (i 1); out (i 2) ]; ret0 ])
+
+let () =
+  Alcotest.run "passes"
+    [
+      ( "fold",
+        [
+          Alcotest.test_case "literals" `Quick test_fold_literals;
+          Alcotest.test_case "identities" `Quick test_fold_identities;
+          Alcotest.test_case "div-by-zero kept" `Quick test_fold_keeps_div_by_zero;
+          Alcotest.test_case "nested" `Quick test_fold_nested;
+        ] );
+      ( "dce",
+        [
+          Alcotest.test_case "shrinks dynamic count" `Quick test_dce_shrinks;
+          Alcotest.test_case "preserves semantics" `Quick
+            test_dce_preserves_semantics;
+          Alcotest.test_case "respects seeded globals" `Quick
+            test_dce_respects_seeded_globals;
+          Alcotest.test_case "drops unreachable functions" `Quick
+            test_dce_drops_unreachable_function;
+          Alcotest.test_case "keeps impure RHS" `Quick test_dce_keeps_impure_rhs;
+        ] );
+      ( "inline",
+        [
+          Alcotest.test_case "removes small calls" `Quick test_inline_removes_calls;
+          Alcotest.test_case "preserves semantics" `Quick
+            test_inline_preserves_semantics;
+          Alcotest.test_case "skips recursive" `Quick test_inline_skips_recursive;
+          Alcotest.test_case "skips fn_table" `Quick test_inline_skips_fn_table;
+          Alcotest.test_case "count_stmts" `Quick test_count_stmts;
+        ] );
+      ( "switch-reorder",
+        [
+          Alcotest.test_case "preserves semantics" `Quick
+            test_reorder_switches_semantics;
+          Alcotest.test_case "saves instructions" `Quick
+            test_reorder_switches_saves_instructions;
+          Alcotest.test_case "stable without heat" `Quick
+            test_reorder_stable_without_heat;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+module Profile = Fisher92_profile.Profile
+module Prediction = Fisher92_predict.Prediction
+module Combine = Fisher92_predict.Combine
+module Heuristic = Fisher92_predict.Heuristic
+module Dynamic = Fisher92_predict.Dynamic
+module T = Fisher92_testsupport.Testsupport
+
+let mk encountered taken =
+  {
+    Profile.program = "p";
+    encountered = Array.of_list encountered;
+    taken = Array.of_list taken;
+  }
+
+let test_of_profile () =
+  let p = mk [ 10; 0; 4 ] [ 9; 0; 1 ] in
+  Alcotest.(check (array bool)) "majority" [| true; false; false |]
+    (Prediction.of_profile p);
+  Alcotest.(check (array bool)) "default taken" [| true; true; false |]
+    (Prediction.of_profile ~default:true p)
+
+let test_percent_correct () =
+  let p = mk [ 10 ] [ 8 ] in
+  Alcotest.(check (float 1e-9)) "taken" 80.0
+    (Prediction.percent_correct [| true |] p);
+  Alcotest.(check (float 1e-9)) "not taken" 20.0
+    (Prediction.percent_correct [| false |] p)
+
+let test_agreement () =
+  let p = mk [ 6; 4 ] [ 0; 0 ] in
+  Alcotest.(check (float 1e-9)) "full" 1.0
+    (Prediction.agreement [| true; false |] [| true; false |] ~on:p);
+  Alcotest.(check (float 1e-9)) "weighted partial" 0.6
+    (Prediction.agreement [| true; false |] [| true; true |] ~on:p)
+
+(* ---- combine ---- *)
+
+let test_unscaled_vs_scaled () =
+  (* a huge run dominates the unscaled sum but not the scaled one *)
+  let big = mk [ 1000 ] [ 1000 ] in
+  let small1 = mk [ 10 ] [ 0 ] in
+  let small2 = mk [ 10 ] [ 0 ] in
+  let unscaled = Combine.predict Combine.Unscaled [ big; small1; small2 ] in
+  let scaled = Combine.predict Combine.Scaled [ big; small1; small2 ] in
+  Alcotest.(check (array bool)) "unscaled follows the big run" [| true |] unscaled;
+  Alcotest.(check (array bool)) "scaled follows the majority of runs" [| false |]
+    scaled
+
+let test_polling () =
+  (* polling: one vote per dataset irrespective of counts *)
+  let a = mk [ 100 ] [ 100 ] in
+  let b = mk [ 2 ] [ 0 ] in
+  let c = mk [ 2 ] [ 0 ] in
+  Alcotest.(check (array bool)) "two not-taken votes win" [| false |]
+    (Combine.predict Combine.Polling [ a; b; c ])
+
+let test_combine_unseen_default () =
+  let a = mk [ 0; 5 ] [ 0; 5 ] in
+  Alcotest.(check (array bool)) "unseen site defaults not-taken"
+    [| false; true |]
+    (Combine.predict Combine.Scaled [ a ]);
+  Alcotest.(check (array bool)) "custom default" [| true; true |]
+    (Combine.predict ~default:true Combine.Scaled [ a ])
+
+let test_combine_rejects () =
+  Alcotest.(check bool) "empty list rejected" true
+    (match Combine.combine Combine.Scaled [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_strategy_names () =
+  Alcotest.(check (list string)) "names"
+    [ "unscaled"; "scaled"; "polling" ]
+    (List.map Combine.strategy_name Combine.[ Unscaled; Scaled; Polling ])
+
+(* ---- heuristics ---- *)
+
+let loopy_program =
+  let open Fisher92_minic.Dsl in
+  program "loopy" ~entry:"main"
+    [
+      fn "main" [] ~ret:Fisher92_minic.Ast.Tint
+        [
+          leti "acc" (i 0);
+          for_ "k" (i 0) (i 100) [ set "acc" (v "acc" +: v "k") ];
+          when_ (v "acc" >: i 100) [ out (i 1) ];
+          out (v "acc");
+          ret (i 0);
+        ];
+    ]
+
+let test_btfn_marks_back_edges () =
+  let ir = T.compile loopy_program in
+  let pred = Heuristic.backward_taken ir in
+  (* the program has exactly one backward branch (the for back edge) and
+     one forward branch (the when_) *)
+  let backward = Array.to_list pred |> List.filter (fun b -> b) in
+  Alcotest.(check int) "one backward branch" 1 (List.length backward);
+  Alcotest.(check int) "two sites" 2 (Array.length pred)
+
+let test_loop_label_heuristic () =
+  let ir = T.compile loopy_program in
+  let pred = Heuristic.loop_label ir in
+  (* for-loop site predicted taken, if site not *)
+  Alcotest.(check int) "one loop site" 1
+    (Array.to_list pred |> List.filter (fun b -> b) |> List.length)
+
+let test_btfn_beats_naive_on_loops () =
+  let ir = T.compile loopy_program in
+  let r = T.run_vm ir in
+  let profile = Profile.of_run ~program:"loopy" r in
+  let miss pred = Profile.mispredicts ~prediction:(pred ir) profile in
+  Alcotest.(check bool) "btfn beats always-not-taken" true
+    (miss Heuristic.backward_taken < miss Heuristic.always_not_taken);
+  (* on this loop-dominated program BTFN matches the best static choice *)
+  Alcotest.(check int) "btfn is optimal here"
+    (Profile.best_mispredicts profile)
+    (miss Heuristic.backward_taken)
+
+let test_heuristic_names () =
+  Alcotest.(check (option string)) "btfn name" (Some "btfn")
+    (Heuristic.name_of Heuristic.backward_taken);
+  Alcotest.(check int) "all heuristics" 4 (List.length Heuristic.all)
+
+(* ---- dynamic ---- *)
+
+let feed sim history = List.iter (fun taken -> Dynamic.hook sim 0 taken) history
+
+let test_one_bit () =
+  let sim = Dynamic.create Dynamic.Last_direction ~n_sites:1 in
+  feed sim [ true; true; true; false; true ];
+  (* cold predictor says not-taken: T(miss) T(hit) T(hit) F(miss) T(miss) *)
+  Alcotest.(check int) "correct" 2 (Dynamic.correct sim);
+  Alcotest.(check int) "incorrect" 3 (Dynamic.incorrect sim)
+
+let test_two_bit_hysteresis () =
+  let sim = Dynamic.create Dynamic.Two_bit ~n_sites:1 in
+  (* warm up to strongly-taken, then a single not-taken blip must not
+     flip the next prediction (the point of 2-bit counters) *)
+  feed sim [ true; true; true; true ];
+  let before = Dynamic.correct sim in
+  feed sim [ false ];
+  feed sim [ true ];
+  Alcotest.(check int) "blip costs one miss only"
+    (before + 1)
+    (Dynamic.correct sim);
+  ignore before
+
+let test_static_scheme () =
+  let sim = Dynamic.create (Dynamic.Static [| true |]) ~n_sites:1 in
+  feed sim [ true; false; true ];
+  Alcotest.(check int) "static correct" 2 (Dynamic.correct sim);
+  Alcotest.(check (float 1e-9)) "percent" (100.0 *. 2.0 /. 3.0)
+    (Dynamic.percent_correct sim)
+
+let test_two_bit_tracks_majority () =
+  (* on a heavily biased branch the 2-bit counter approaches the static
+     majority accuracy *)
+  let sim2 = Dynamic.create Dynamic.Two_bit ~n_sites:1 in
+  let rng = Fisher92_util.Rng.create 5 in
+  let history =
+    List.init 10_000 (fun _ -> Fisher92_util.Rng.chance rng 0.9)
+  in
+  List.iter (fun t -> Dynamic.hook sim2 0 t) history;
+  Alcotest.(check bool) "2-bit close to 90%" true
+    (Dynamic.percent_correct sim2 > 84.0)
+
+let () =
+  Alcotest.run "predict"
+    [
+      ( "prediction",
+        [
+          Alcotest.test_case "of_profile" `Quick test_of_profile;
+          Alcotest.test_case "percent correct" `Quick test_percent_correct;
+          Alcotest.test_case "agreement" `Quick test_agreement;
+        ] );
+      ( "combine",
+        [
+          Alcotest.test_case "unscaled vs scaled" `Quick test_unscaled_vs_scaled;
+          Alcotest.test_case "polling" `Quick test_polling;
+          Alcotest.test_case "unseen default" `Quick test_combine_unseen_default;
+          Alcotest.test_case "rejects empty" `Quick test_combine_rejects;
+          Alcotest.test_case "strategy names" `Quick test_strategy_names;
+        ] );
+      ( "heuristic",
+        [
+          Alcotest.test_case "btfn back edges" `Quick test_btfn_marks_back_edges;
+          Alcotest.test_case "loop labels" `Quick test_loop_label_heuristic;
+          Alcotest.test_case "btfn beats naive" `Quick test_btfn_beats_naive_on_loops;
+          Alcotest.test_case "names" `Quick test_heuristic_names;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "1-bit" `Quick test_one_bit;
+          Alcotest.test_case "2-bit hysteresis" `Quick test_two_bit_hysteresis;
+          Alcotest.test_case "static scheme" `Quick test_static_scheme;
+          Alcotest.test_case "2-bit near majority" `Quick
+            test_two_bit_tracks_majority;
+        ] );
+    ]

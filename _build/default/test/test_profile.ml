@@ -1,0 +1,198 @@
+module Profile = Fisher92_profile.Profile
+module Db = Fisher92_profile.Db
+module Directive = Fisher92_profile.Directive
+module T = Fisher92_testsupport.Testsupport
+
+let mk ?(program = "p") encountered taken =
+  {
+    Profile.program;
+    encountered = Array.of_list encountered;
+    taken = Array.of_list taken;
+  }
+
+let test_counters () =
+  let p = mk [ 10; 0; 4 ] [ 7; 0; 4 ] in
+  Alcotest.(check int) "n_sites" 3 (Profile.n_sites p);
+  Alcotest.(check int) "total" 14 (Profile.total_branches p);
+  Alcotest.(check int) "taken" 11 (Profile.total_taken p);
+  Alcotest.(check int) "covered" 2 (Profile.covered_sites p);
+  Alcotest.(check (float 1e-9)) "pct taken" (100.0 *. 11.0 /. 14.0)
+    (Profile.percent_taken p)
+
+let test_majority () =
+  let p = mk [ 10; 0; 4; 6 ] [ 7; 0; 2; 2 ] in
+  Alcotest.(check (option bool)) "mostly taken" (Some true)
+    (Profile.majority_taken p 0);
+  Alcotest.(check (option bool)) "never seen" None (Profile.majority_taken p 1);
+  Alcotest.(check (option bool)) "tie is taken" (Some true)
+    (Profile.majority_taken p 2);
+  Alcotest.(check (option bool)) "mostly not" (Some false)
+    (Profile.majority_taken p 3)
+
+let test_add () =
+  let a = mk [ 1; 2 ] [ 1; 0 ] and b = mk [ 3; 4 ] [ 0; 4 ] in
+  let c = Profile.add a b in
+  Alcotest.(check (array int)) "enc" [| 4; 6 |] c.encountered;
+  Alcotest.(check (array int)) "taken" [| 1; 4 |] c.taken;
+  Alcotest.check_raises "program mismatch"
+    (Invalid_argument "Profile: incompatible profiles (p/2 vs q/2)") (fun () ->
+      ignore (Profile.add a (mk ~program:"q" [ 0; 0 ] [ 0; 0 ])))
+
+let test_mispredicts () =
+  let p = mk [ 10; 6 ] [ 7; 1 ] in
+  Alcotest.(check int) "taken,taken" (3 + 5)
+    (Profile.mispredicts ~prediction:[| true; true |] p);
+  Alcotest.(check int) "best" (3 + 1) (Profile.best_mispredicts p);
+  (* the majority prediction achieves the floor *)
+  let best = [| true; false |] in
+  Alcotest.(check int) "majority = floor" (Profile.best_mispredicts p)
+    (Profile.mispredicts ~prediction:best p)
+
+let test_of_run () =
+  let ir = T.compile T.sample_program in
+  let r = T.run_vm ~iargs:[ 6 ] ir in
+  let p = Profile.of_run ~program:"sample" r in
+  Alcotest.(check int) "branch totals agree"
+    (Fisher92_vm.Vm.conditional_branches r)
+    (Profile.total_branches p)
+
+(* ---- database ---- *)
+
+let test_db_accumulate () =
+  let db = Db.create ~program:"p" ~n_sites:2 in
+  Db.record db ~dataset:"a" (mk [ 4; 0 ] [ 4; 0 ]);
+  Db.record db ~dataset:"b" (mk [ 0; 6 ] [ 0; 1 ]);
+  Db.record db ~dataset:"a" (mk [ 2; 2 ] [ 0; 2 ]);
+  Alcotest.(check (list string)) "datasets" [ "a"; "b" ] (Db.datasets db);
+  let a = Db.profile db ~dataset:"a" in
+  Alcotest.(check (array int)) "a accumulates" [| 6; 2 |] a.encountered;
+  let total = Db.accumulated db in
+  Alcotest.(check (array int)) "sum" [| 6; 8 |] total.encountered;
+  (match Db.accumulated_except db ~dataset:"a" with
+  | Some p -> Alcotest.(check (array int)) "except a" [| 0; 6 |] p.encountered
+  | None -> Alcotest.fail "expected a remainder");
+  Alcotest.(check bool) "except only dataset" true
+    (let db1 = Db.create ~program:"p" ~n_sites:1 in
+     Db.record db1 ~dataset:"only" (mk [ 1 ] [ 1 ]);
+     Db.accumulated_except db1 ~dataset:"only" = None)
+
+let test_db_roundtrip () =
+  let db = Db.create ~program:"prog-x" ~n_sites:5 in
+  Db.record db ~dataset:"first run"
+    (mk ~program:"prog-x" [ 4; 0; 9; 0; 2 ] [ 1; 0; 9; 0; 0 ]);
+  Db.record db ~dataset:"second"
+    (mk ~program:"prog-x" [ 0; 3; 0; 0; 7 ] [ 0; 2; 0; 0; 7 ]);
+  let text = Db.save db in
+  let back = Db.load text in
+  Alcotest.(check string) "program" "prog-x" (Db.program back);
+  Alcotest.(check (list string)) "datasets" [ "first run"; "second" ]
+    (Db.datasets back);
+  List.iter
+    (fun d ->
+      let a = Db.profile db ~dataset:d and b = Db.profile back ~dataset:d in
+      Alcotest.(check (array int)) (d ^ " enc") a.encountered b.encountered;
+      Alcotest.(check (array int)) (d ^ " taken") a.taken b.taken)
+    (Db.datasets db)
+
+let test_db_file_roundtrip () =
+  let db = Db.create ~program:"pf" ~n_sites:3 in
+  Db.record db ~dataset:"a" (mk ~program:"pf" [ 1; 2; 3 ] [ 0; 2; 1 ]);
+  let path = Filename.temp_file "fisher92db" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Db.save_file db path;
+      let back = Db.load_file path in
+      Alcotest.(check (list string)) "datasets survive" [ "a" ]
+        (Db.datasets back);
+      let a = Db.profile back ~dataset:"a" in
+      Alcotest.(check (array int)) "counts survive" [| 1; 2; 3 |] a.encountered)
+
+let test_db_load_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Db.load text with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "accepted %S" text)
+    [
+      "";
+      "nonsense";
+      "ifprobdb p notanumber";
+      "ifprobdb p 2\n5 3 1\nend\n";
+      "ifprobdb p 2\ndataset 1 a\n0 1 2\nend\n" (* taken > encountered *);
+      "ifprobdb p 2\ndataset 1 a\n0 1 1\n" (* missing end *);
+    ]
+
+(* ---- directives ---- *)
+
+let test_directive_roundtrip () =
+  let d = { Directive.d_label = "gcd#2:while"; d_taken = 123; d_not_taken = 4 } in
+  let line = Directive.render d in
+  Alcotest.(check (option (triple string int int)))
+    "parse inverse"
+    (Some (d.d_label, d.d_taken, d.d_not_taken))
+    (Option.map
+       (fun (p : Directive.t) -> (p.d_label, p.d_taken, p.d_not_taken))
+       (Directive.parse line))
+
+let test_directive_parse_rejects () =
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) line true (Directive.parse line = None))
+    [
+      "";
+      "IFPROB (1, 2)";
+      "!MF! IFPROB \"x\" (1)";
+      "!MF! IFPROB \"x\" (a, b)";
+      "!MF! IFPROB \"x\" (-1, 2)";
+    ]
+
+let test_directives_of_profile () =
+  let ir = T.compile T.sample_program in
+  let r = T.run_vm ~iargs:[ 6 ] ir in
+  let p = Profile.of_run ~program:"sample" r in
+  let ds = Directive.of_profile ir p in
+  Alcotest.(check bool) "one directive per covered site" true
+    (List.length ds = Profile.covered_sites p);
+  (* rendering then parsing every line preserves the counts *)
+  let text = Directive.render_all ds in
+  let back = Directive.parse_all text in
+  Alcotest.(check int) "all lines parse" (List.length ds) (List.length back);
+  List.iter2
+    (fun (a : Directive.t) (b : Directive.t) ->
+      Alcotest.(check string) "label" a.d_label b.d_label;
+      Alcotest.(check int) "taken" a.d_taken b.d_taken;
+      Alcotest.(check int) "not taken" a.d_not_taken b.d_not_taken)
+    ds back;
+  List.iter
+    (fun (d : Directive.t) ->
+      let pr = Directive.probability_taken d in
+      if pr < 0.0 || pr > 1.0 then Alcotest.fail "probability out of range")
+    ds
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "majority" `Quick test_majority;
+          Alcotest.test_case "add" `Quick test_add;
+          Alcotest.test_case "mispredicts" `Quick test_mispredicts;
+          Alcotest.test_case "of_run" `Quick test_of_run;
+        ] );
+      ( "db",
+        [
+          Alcotest.test_case "accumulate" `Quick test_db_accumulate;
+          Alcotest.test_case "save/load roundtrip" `Quick test_db_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_db_file_roundtrip;
+          Alcotest.test_case "load rejects garbage" `Quick
+            test_db_load_rejects_garbage;
+        ] );
+      ( "directive",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_directive_roundtrip;
+          Alcotest.test_case "parse rejects" `Quick test_directive_parse_rejects;
+          Alcotest.test_case "of_profile" `Quick test_directives_of_profile;
+        ] );
+    ]

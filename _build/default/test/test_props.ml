@@ -1,0 +1,384 @@
+(* Property-based tests: random MiniC expressions and statement blocks
+   must behave identically through the reference interpreter and every
+   compiler configuration; analysis-layer invariants hold on random
+   profiles. *)
+
+open Fisher92_minic
+module Gen = QCheck2.Gen
+module T = Fisher92_testsupport.Testsupport
+module Profile = Fisher92_profile.Profile
+module Prediction = Fisher92_predict.Prediction
+module Combine = Fisher92_predict.Combine
+
+let locals = [ "x0"; "x1"; "x2"; "x3" ]
+
+(* ---------- random int expressions ---------- *)
+
+(* Division/remainder right operands are forced odd (| 1) so the programs
+   never trap; array indices are masked to the array size. *)
+let expr_sized : int -> Ast.expr Gen.t =
+  let open Gen in
+  let leaf =
+    oneof
+      [
+        map (fun k -> Ast.Int k) (int_range (-100) 100);
+        map (fun name -> Ast.Var name) (oneofl locals);
+        return (Ast.Global "gv");
+      ]
+  in
+  fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           let sub = self (n / 2) in
+           oneof
+             [
+               leaf;
+               map2
+                 (fun op (a, b) -> Ast.Binop (op, a, b))
+                 (oneofl Ast.[ Add; Sub; Mul; Band; Bor; Bxor; Imin; Imax ])
+                 (pair sub sub);
+               (* safe division: denominator forced odd *)
+               map2
+                 (fun op (a, b) ->
+                   Ast.Binop (op, a, Ast.Binop (Ast.Bor, b, Ast.Int 1)))
+                 (oneofl Ast.[ Div; Rem ])
+                 (pair sub sub);
+               (* shifts by small constants *)
+               map2
+                 (fun op (a, k) -> Ast.Binop (op, a, Ast.Int k))
+                 (oneofl Ast.[ Shl; Shr ])
+                 (pair sub (int_range 0 8));
+               map2
+                 (fun c (a, b) -> Ast.Cmp (c, a, b))
+                 (oneofl Ast.[ Ceq; Cne; Clt; Cle; Cgt; Cge ])
+                 (pair sub sub);
+               map (fun (a, b) -> Ast.And (a, b)) (pair sub sub);
+               map (fun (a, b) -> Ast.Or (a, b)) (pair sub sub);
+               map (fun a -> Ast.Unop (Ast.Neg, a)) sub;
+               map (fun a -> Ast.Unop (Ast.Lnot, a)) sub;
+               map
+                 (fun (c, (a, b)) -> Ast.Cond (c, a, b))
+                 (pair sub (pair sub sub));
+               (* masked array read *)
+               map
+                 (fun a -> Ast.Load ("arr", Ast.Binop (Ast.Band, a, Ast.Int 7)))
+                 sub;
+               map (fun a -> Ast.Call ("helper", [ a ])) sub;
+             ])
+
+(* ---------- random statement blocks ---------- *)
+
+let expr_gen : Ast.expr Gen.t = Gen.sized expr_sized
+
+let stmt_list_gen : Ast.block Gen.t =
+  let open Gen in
+  let small_expr = expr_sized 4 in
+  let rec block depth n : Ast.block Gen.t =
+    if n <= 0 then return []
+    else
+      let* s = stmt depth in
+      let* rest = block depth (n - 1) in
+      return (s :: rest)
+  and stmt depth : Ast.stmt Gen.t =
+    let assign =
+      map2 (fun name e -> Ast.Assign (name, e)) (oneofl locals) small_expr
+    in
+    let store =
+      map2
+        (fun idx e -> Ast.Store ("arr", Ast.Binop (Ast.Band, idx, Ast.Int 7), e))
+        small_expr small_expr
+    in
+    let output = map (fun e -> Ast.Output e) small_expr in
+    let gassign = map (fun e -> Ast.Global_assign ("gv", e)) small_expr in
+    if depth <= 0 then oneof [ assign; store; output; gassign ]
+    else
+      oneof
+        [
+          assign;
+          store;
+          output;
+          gassign;
+          (let* c = small_expr in
+           let* a = block (depth - 1) 2 in
+           let* b = block (depth - 1) 2 in
+           return (Ast.If (c, a, b)));
+          (* loop counters live in their own namespace so a body cannot
+             reset its own induction variable into an infinite loop *)
+          (let var = Printf.sprintf "k%d" depth in
+           let* bound = int_range 0 5 in
+           let* body = block (depth - 1) 2 in
+           return (Ast.For (var, Ast.Int 0, Ast.Int bound, body)));
+          (let* e = small_expr in
+           let* cases =
+             list_size (int_range 1 3)
+               (let* k = int_range (-2) 4 in
+                let* b = block (depth - 1) 1 in
+                return ([ k ], b))
+           in
+           (* deduplicate labels to keep the program well-typed *)
+           let seen = Hashtbl.create 8 in
+           let cases =
+             List.filter
+               (fun (labels, _) ->
+                 match labels with
+                 | [ k ] ->
+                   if Hashtbl.mem seen k then false
+                   else begin
+                     Hashtbl.replace seen k ();
+                     true
+                   end
+                 | _ -> false)
+               cases
+           in
+           let* default = block (depth - 1) 1 in
+           return (Ast.Switch (e, cases, default)));
+        ]
+  in
+  let* n = int_range 1 6 in
+  block 2 n
+
+let wrap_block body : Ast.program =
+  let open Dsl in
+  program "prop" ~entry:"main"
+    ~globals:[ gint "gv" 3 ]
+    ~arrays:[ iarr "arr" 8 ]
+    [
+      fn "helper" [ pi "x" ] ~ret:Ast.Tint
+        [ ret (imin (v "x") (i 1000) +: i 13) ];
+      fn "main" [] ~ret:Ast.Tint
+        ((Dsl.leti "x0" (Dsl.i 3)
+         :: Dsl.leti "x1" (Dsl.i (-7))
+         :: Dsl.leti "x2" (Dsl.i 11)
+         :: Dsl.leti "x3" (Dsl.i 0)
+         :: body)
+        @ List.map (fun name -> Dsl.out (Dsl.v name)) locals
+        @ [ Dsl.out (Dsl.g "gv"); Dsl.ret (Dsl.i 0) ]);
+    ]
+
+let wrap_expr e = wrap_block [ Ast.Output e ]
+
+let agree_everywhere prog =
+  let expected = T.interp_outputs (T.run_interp prog) in
+  List.for_all
+    (fun options ->
+      let ir = T.compile ~options prog in
+      T.vm_outputs (T.run_vm ir) = expected)
+    [
+      Compile.default_options;
+      { Compile.default_options with fold = false };
+      { Compile.default_options with dce = true };
+      { Compile.default_options with inline = true };
+      { Compile.default_options with dce = true; inline = true };
+      (* arbitrary deterministic heat: reordering must never change
+         behaviour whatever the counts claim *)
+      {
+        Compile.default_options with
+        switch_heat = Some (fun ~fname:_ k -> (k * 7919) land 0xFF);
+      };
+    ]
+
+let prop_expr_compiles_correctly =
+  QCheck2.Test.make ~count:300 ~name:"random expressions: interp = VM (all configs)"
+    ~print:Pp.expr_to_string expr_gen
+    (fun e -> agree_everywhere (wrap_expr e))
+
+let prop_block_compiles_correctly =
+  QCheck2.Test.make ~count:200 ~name:"random blocks: interp = VM (all configs)"
+    ~print:Pp.block_to_string stmt_list_gen
+    (fun body -> agree_everywhere (wrap_block body))
+
+let prop_fold_preserves_value =
+  QCheck2.Test.make ~count:300 ~name:"folding preserves expression value"
+    expr_gen
+    (fun e ->
+      let a = T.interp_outputs (T.run_interp (wrap_expr e)) in
+      let b = T.interp_outputs (T.run_interp (wrap_expr (Fold.expr e))) in
+      a = b)
+
+let prop_fold_idempotent =
+  QCheck2.Test.make ~count:300 ~name:"folding is idempotent" expr_gen (fun e ->
+      let once = Fold.expr e in
+      Fold.expr once = once)
+
+(* ---------- profile / prediction properties ---------- *)
+
+let profile_gen : Profile.t Gen.t =
+  let open Gen in
+  let* n = int_range 1 12 in
+  let* pairs =
+    list_repeat n
+      (let* enc = int_range 0 50 in
+       let* taken = int_range 0 enc in
+       return (enc, taken))
+  in
+  return
+    {
+      Profile.program = "prop";
+      encountered = Array.of_list (List.map fst pairs);
+      taken = Array.of_list (List.map snd pairs);
+    }
+
+let prediction_gen n = Gen.array_size (Gen.return n) Gen.bool
+
+let prop_majority_is_optimal =
+  QCheck2.Test.make ~count:500
+    ~name:"majority prediction minimizes mispredicts"
+    Gen.(
+      let* p = profile_gen in
+      let* pred = prediction_gen (Profile.n_sites p) in
+      return (p, pred))
+    (fun (p, pred) ->
+      Profile.best_mispredicts p <= Profile.mispredicts ~prediction:pred p
+      && Profile.best_mispredicts p
+         = Profile.mispredicts ~prediction:(Prediction.of_profile p) p)
+
+let prop_mispredicts_bounds =
+  QCheck2.Test.make ~count:500 ~name:"mispredicts within [0, total]"
+    Gen.(
+      let* p = profile_gen in
+      let* pred = prediction_gen (Profile.n_sites p) in
+      return (p, pred))
+    (fun (p, pred) ->
+      let m = Profile.mispredicts ~prediction:pred p in
+      m >= 0 && m <= Profile.total_branches p)
+
+let prop_add_commutes =
+  QCheck2.Test.make ~count:200 ~name:"profile add is commutative"
+    Gen.(
+      let* a = profile_gen in
+      let* pairs =
+        list_repeat (Profile.n_sites a)
+          (let* enc = int_range 0 50 in
+           let* taken = int_range 0 enc in
+           return (enc, taken))
+      in
+      let b =
+        {
+          Profile.program = "prop";
+          encountered = Array.of_list (List.map fst pairs);
+          taken = Array.of_list (List.map snd pairs);
+        }
+      in
+      return (a, b))
+    (fun (a, b) ->
+      let ab = Profile.add a b and ba = Profile.add b a in
+      ab.encountered = ba.encountered && ab.taken = ba.taken)
+
+let prop_identical_profiles_all_strategies_agree =
+  QCheck2.Test.make ~count:200
+    ~name:"combining copies of one profile = its own majority"
+    profile_gen
+    (fun p ->
+      let expected = Prediction.of_profile p in
+      List.for_all
+        (fun strategy -> Combine.predict strategy [ p; p; p ] = expected)
+        Combine.[ Unscaled; Scaled; Polling ])
+
+let prop_db_roundtrip =
+  QCheck2.Test.make ~count:100 ~name:"database save/load roundtrip"
+    Gen.(
+      let* n_sites = int_range 1 10 in
+      let* n_datasets = int_range 1 4 in
+      list_repeat n_datasets
+        (let* pairs =
+           list_repeat n_sites
+             (let* enc = int_range 0 30 in
+              let* taken = int_range 0 enc in
+              return (enc, taken))
+         in
+         return
+           {
+             Profile.program = "dbprop";
+             encountered = Array.of_list (List.map fst pairs);
+             taken = Array.of_list (List.map snd pairs);
+           }))
+    (fun profiles ->
+      let n_sites = Profile.n_sites (List.hd profiles) in
+      let db = Fisher92_profile.Db.create ~program:"dbprop" ~n_sites in
+      List.iteri
+        (fun k p ->
+          Fisher92_profile.Db.record db ~dataset:(Printf.sprintf "d%d" k) p)
+        profiles;
+      let back = Fisher92_profile.Db.load (Fisher92_profile.Db.save db) in
+      List.for_all
+        (fun d ->
+          let a = Fisher92_profile.Db.profile db ~dataset:d in
+          let b = Fisher92_profile.Db.profile back ~dataset:d in
+          a.encountered = b.encountered && a.taken = b.taken)
+        (Fisher92_profile.Db.datasets db))
+
+let prop_instrumentation_transparent =
+  QCheck2.Test.make ~count:100
+    ~name:"instrumented binaries behave identically and count correctly"
+    ~print:Pp.block_to_string stmt_list_gen
+    (fun body ->
+      let prog = wrap_block body in
+      let clean = T.compile prog in
+      let inst = Fisher92_ir.Instrument.branch_counters clean in
+      let r_clean = T.run_vm clean in
+      let r_inst =
+        Fisher92_vm.Vm.run
+          ~config:
+            {
+              Fisher92_vm.Vm.default_config with
+              dump_arrays = [ Fisher92_ir.Instrument.counters_array ];
+            }
+          inst ~iargs:[] ~fargs:[] ~arrays:[]
+      in
+      r_clean.outputs = r_inst.outputs
+      && r_clean.site_encountered = r_inst.site_encountered
+      && r_clean.site_taken = r_inst.site_taken
+      &&
+      match r_inst.dumped with
+      | [ (_, `Ints counters) ] ->
+        Array.for_all (fun b -> b)
+          (Array.mapi
+             (fun s enc ->
+               counters.(2 * s) = enc
+               && counters.((2 * s) + 1) = r_clean.site_taken.(s))
+             r_clean.site_encountered)
+      | _ -> false)
+
+let prop_directive_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"directive render/parse roundtrip"
+    Gen.(
+      let* label =
+        string_size ~gen:(char_range 'a' 'z') (int_range 1 20)
+      in
+      let* taken = int_range 0 1_000_000 in
+      let* not_taken = int_range 0 1_000_000 in
+      return (label, taken, not_taken))
+    (fun (label, taken, not_taken) ->
+      let d =
+        { Fisher92_profile.Directive.d_label = label; d_taken = taken;
+          d_not_taken = not_taken }
+      in
+      match Fisher92_profile.Directive.parse (Fisher92_profile.Directive.render d) with
+      | Some back ->
+        back.d_label = label && back.d_taken = taken
+        && back.d_not_taken = not_taken
+      | None -> false)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "properties"
+    [
+      ( "compiler",
+        q
+          [
+            prop_expr_compiles_correctly;
+            prop_block_compiles_correctly;
+            prop_instrumentation_transparent;
+          ] );
+      ("fold", q [ prop_fold_preserves_value; prop_fold_idempotent ]);
+      ( "analysis",
+        q
+          [
+            prop_majority_is_optimal;
+            prop_mispredicts_bounds;
+            prop_add_commutes;
+            prop_identical_profiles_all_strategies_agree;
+            prop_db_roundtrip;
+            prop_directive_roundtrip;
+          ] );
+    ]

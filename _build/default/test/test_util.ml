@@ -1,0 +1,186 @@
+module Rng = Fisher92_util.Rng
+module Stats = Fisher92_util.Stats
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int64) "same sequence" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 16 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 16 (fun _ -> Rng.next_int64 b) in
+  Alcotest.(check bool) "different seeds differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 100_000 do
+    let x = Rng.int rng 11 in
+    if x < 0 || x >= 11 then Alcotest.failf "Rng.int out of range: %d" x
+  done
+
+let test_int_in_bounds () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int_in rng (-5) 5 in
+    if x < -5 || x > 5 then Alcotest.failf "Rng.int_in out of range: %d" x
+  done
+
+let test_int_covers_range () =
+  let rng = Rng.create 11 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 10_000 do
+    seen.(Rng.int rng 7) <- true
+  done;
+  Alcotest.(check bool) "every residue reached" true
+    (Array.for_all (fun b -> b) seen)
+
+let test_float_bounds () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 3.5 in
+    if x < 0.0 || x >= 3.5 then Alcotest.failf "Rng.float out of range: %f" x
+  done
+
+let test_chance_extremes () =
+  let rng = Rng.create 15 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Rng.chance rng 0.0);
+    Alcotest.(check bool) "p=1 always" true (Rng.chance rng 1.0)
+  done
+
+let test_chance_rate () =
+  let rng = Rng.create 17 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Rng.chance rng 0.25 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.3f near 0.25" rate)
+    true
+    (rate > 0.23 && rate < 0.27)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 19 in
+  let a = Array.init 50 (fun k -> k) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun k -> k)) sorted;
+  Alcotest.(check bool) "actually shuffled" true (a <> Array.init 50 (fun k -> k))
+
+let test_pick_weighted () =
+  let rng = Rng.create 21 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 30_000 do
+    let x = Rng.pick_weighted rng [| (1, "a"); (2, "b"); (7, "c") |] in
+    Hashtbl.replace counts x (1 + try Hashtbl.find counts x with Not_found -> 0)
+  done;
+  let get k = try Hashtbl.find counts k with Not_found -> 0 in
+  Alcotest.(check bool) "c most frequent" true (get "c" > get "b");
+  Alcotest.(check bool) "b more than a" true (get "b" > get "a");
+  Alcotest.(check bool) "a present" true (get "a" > 1000)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 23 in
+  let n = 50_000 in
+  let xs = List.init n (fun _ -> Rng.gaussian rng) in
+  let mean = Stats.mean xs in
+  let sd = Stats.stddev xs in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.03);
+  Alcotest.(check bool) "sd near 1" true (Float.abs (sd -. 1.0) < 0.03)
+
+let test_split_independence () =
+  let parent = Rng.create 99 in
+  let child = Rng.split parent in
+  let xs = List.init 8 (fun _ -> Rng.next_int64 parent) in
+  let ys = List.init 8 (fun _ -> Rng.next_int64 child) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+(* ---- Stats ---- *)
+
+let feq msg a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %f vs %f" msg a b)
+    true
+    (Float.abs (a -. b) < 1e-9)
+
+let test_mean () =
+  feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  feq "mean empty" 0.0 (Stats.mean [])
+
+let test_geomean () =
+  feq "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ] ** 1.0 |> fun x -> x);
+  feq "geomean single" 5.0 (Stats.geomean [ 5.0 ])
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [ 3.0; -1.0; 7.0; 2.0 ] in
+  feq "min" (-1.0) lo;
+  feq "max" 7.0 hi;
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Stats.min_max: empty list") (fun () ->
+      ignore (Stats.min_max []))
+
+let test_median () =
+  feq "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  feq "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  feq "empty" 0.0 (Stats.median [])
+
+let test_stddev () =
+  feq "constant" 0.0 (Stats.stddev [ 2.0; 2.0; 2.0 ]);
+  feq "spread" 1.0 (Stats.stddev [ 1.0; 3.0; 1.0; 3.0 ])
+
+let test_ratio_percent () =
+  feq "ratio" 0.5 (Stats.ratio 1 2);
+  feq "ratio div0" 0.0 (Stats.ratio 1 0);
+  feq "percent" 25.0 (Stats.percent 1 4);
+  feq "percent div0" 0.0 (Stats.percent 1 0)
+
+let test_pearson () =
+  feq "perfect positive" 1.0
+    (Stats.pearson [ (1.0, 2.0); (2.0, 4.0); (3.0, 6.0) ]);
+  feq "perfect negative" (-1.0)
+    (Stats.pearson [ (1.0, 3.0); (2.0, 2.0); (3.0, 1.0) ]);
+  feq "no variance" 0.0 (Stats.pearson [ (1.0, 5.0); (1.0, 7.0) ]);
+  feq "too few" 0.0 (Stats.pearson [ (1.0, 1.0) ]);
+  let r = Stats.pearson [ (1.0, 1.0); (2.0, 3.0); (3.0, 2.0); (4.0, 5.0) ] in
+  Alcotest.(check bool) "moderate positive" true (r > 0.5 && r < 1.0)
+
+let test_weighted_mean () =
+  feq "weighted" 3.0 (Stats.weighted_mean [ (1.0, 1.0); (1.0, 5.0) ]);
+  feq "weights matter" 5.0 (Stats.weighted_mean [ (0.0, 1.0); (2.0, 5.0) ]);
+  feq "empty" 0.0 (Stats.weighted_mean [])
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+          Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+          Alcotest.test_case "chance rate" `Quick test_chance_rate;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "pick_weighted" `Quick test_pick_weighted;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "split independence" `Quick test_split_independence;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "min_max" `Quick test_min_max;
+          Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "ratio/percent" `Quick test_ratio_percent;
+          Alcotest.test_case "weighted_mean" `Quick test_weighted_mean;
+          Alcotest.test_case "pearson" `Quick test_pearson;
+        ] );
+    ]

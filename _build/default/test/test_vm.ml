@@ -1,0 +1,491 @@
+module I = Fisher92_ir.Insn
+module P = Fisher92_ir.Program
+module Vm = Fisher92_vm.Vm
+
+let func ?(iparams = 0) ?(fparams = 0) ?(iregs = 8) ?(fregs = 8) name code =
+  {
+    P.fname = name;
+    n_iparams = iparams;
+    n_fparams = fparams;
+    n_iregs = iregs;
+    n_fregs = fregs;
+    code = Array.of_list code;
+  }
+
+let prog ?(arrays = []) ?(func_table = []) ?(sites = []) funcs =
+  let p =
+    {
+      P.pname = "t";
+      funcs = Array.of_list funcs;
+      arrays = Array.of_list arrays;
+      func_table = Array.of_list func_table;
+      entry = 0;
+      sites =
+        Array.of_list
+          (List.map (fun (f, pc) -> { P.s_func = f; s_pc = pc; s_label = "s" }) sites);
+    }
+  in
+  Fisher92_ir.Validate.check_exn p;
+  p
+
+let run ?(iargs = []) ?(fargs = []) ?(arrays = []) ?config p =
+  Vm.run ?config p ~iargs ~fargs ~arrays
+
+let ints_of (r : Vm.result) =
+  List.map
+    (function Vm.Out_int k -> k | Vm.Out_float _ -> Alcotest.fail "float out")
+    r.outputs
+
+(* ---- arithmetic semantics ---- *)
+
+let test_int_arith () =
+  let p =
+    prog
+      [
+        func "main"
+          [
+            I.Iconst (0, 17);
+            I.Iconst (1, 5);
+            I.Ibin (I.Add, 2, 0, 1);
+            I.Output 2;
+            I.Ibin (I.Sub, 2, 0, 1);
+            I.Output 2;
+            I.Ibin (I.Mul, 2, 0, 1);
+            I.Output 2;
+            I.Ibin (I.Div, 2, 0, 1);
+            I.Output 2;
+            I.Ibin (I.Rem, 2, 0, 1);
+            I.Output 2;
+            I.Ibini (I.Shl, 2, 1, 3);
+            I.Output 2;
+            I.Ibini (I.Shr, 2, 0, 2);
+            I.Output 2;
+            I.Ibin (I.Min, 2, 0, 1);
+            I.Output 2;
+            I.Ibin (I.Max, 2, 0, 1);
+            I.Output 2;
+            I.Inot (2, 1);
+            I.Output 2;
+            I.Ineg (2, 0);
+            I.Output 2;
+            I.Ret I.Ret_none;
+          ];
+      ]
+  in
+  Alcotest.(check (list int)) "results"
+    [ 22; 12; 85; 3; 2; 40; 4; 5; 17; 0; -17 ]
+    (ints_of (run p))
+
+let test_compare_semantics () =
+  let p =
+    prog
+      [
+        func "main"
+          [
+            I.Iconst (0, 3);
+            I.Iconst (1, 7);
+            I.Icmp (I.Lt, 2, 0, 1);
+            I.Output 2;
+            I.Icmp (I.Ge, 2, 0, 1);
+            I.Output 2;
+            I.Icmp (I.Eq, 2, 0, 0);
+            I.Output 2;
+            I.Fconst (0, 2.5);
+            I.Fconst (1, 2.5);
+            I.Fcmp (I.Le, 2, 0, 1);
+            I.Output 2;
+            I.Fcmp (I.Ne, 2, 0, 1);
+            I.Output 2;
+            I.Ret I.Ret_none;
+          ];
+      ]
+  in
+  Alcotest.(check (list int)) "cmp" [ 1; 0; 1; 1; 0 ] (ints_of (run p))
+
+let test_float_ops () =
+  let p =
+    prog
+      [
+        func "main"
+          [
+            I.Fconst (0, 9.0);
+            I.Funop (I.Fsqrt, 1, 0);
+            I.Foutput 1;
+            I.Fconst (2, -2.5);
+            I.Funop (I.Fabs, 3, 2);
+            I.Foutput 3;
+            I.Fbin (I.Fmul, 4, 0, 0);
+            I.Foutput 4;
+            I.Itof (5, 7) (* i7 is 0 *);
+            I.Foutput 5;
+            I.Fconst (6, 3.9);
+            I.Ftoi (7, 6);
+            I.Output 7;
+            I.Ret I.Ret_none;
+          ];
+      ]
+  in
+  match (run p).outputs with
+  | [ Out_float a; Out_float b; Out_float c; Out_float d; Out_int e ] ->
+    Alcotest.(check (float 1e-9)) "sqrt" 3.0 a;
+    Alcotest.(check (float 1e-9)) "abs" 2.5 b;
+    Alcotest.(check (float 1e-9)) "mul" 81.0 c;
+    Alcotest.(check (float 1e-9)) "itof" 0.0 d;
+    Alcotest.(check int) "ftoi truncates" 3 e
+  | _ -> Alcotest.fail "wrong output shape"
+
+(* ---- counting ---- *)
+
+let test_exact_instruction_count () =
+  (* loop 4 times: per iter = 3 insns (addi, icmp, br); preamble 2;
+     epilogue 1 halt *)
+  let p =
+    prog
+      ~sites:[ (0, 4) ]
+      [
+        func "main"
+          [
+            I.Iconst (0, 0);
+            I.Iconst (1, 4);
+            (* loop: *)
+            I.Ibini (I.Add, 0, 0, 1);
+            I.Icmp (I.Lt, 2, 0, 1);
+            I.Br { cond = 2; target = 2; site = 0 };
+            I.Halt;
+          ];
+      ]
+  in
+  let r = run p in
+  (* 2 + 4*(add,icmp,br) + halt = 15 *)
+  Alcotest.(check int) "total" 15 r.total;
+  Alcotest.(check int) "branches" 4 (Vm.conditional_branches r);
+  Alcotest.(check int) "site encountered" 4 r.site_encountered.(0);
+  Alcotest.(check int) "site taken" 3 r.site_taken.(0);
+  Alcotest.(check int) "ialu count" 10 (Vm.kind_count r I.K_ialu);
+  Alcotest.(check int) "halt count" 1 (Vm.kind_count r I.K_halt)
+
+let test_mispredict_helper () =
+  let p =
+    prog
+      ~sites:[ (0, 4) ]
+      [
+        func "main"
+          [
+            I.Iconst (0, 0);
+            I.Iconst (1, 4);
+            I.Ibini (I.Add, 0, 0, 1);
+            I.Icmp (I.Lt, 2, 0, 1);
+            I.Br { cond = 2; target = 2; site = 0 };
+            I.Halt;
+          ];
+      ]
+  in
+  let r = run p in
+  (* taken 3 / 4: predicting taken -> 1 miss; not-taken -> 3 misses *)
+  Alcotest.(check int) "predict taken" 1 (Vm.mispredicts r ~taken:[| true |]);
+  Alcotest.(check int) "predict not-taken" 3 (Vm.mispredicts r ~taken:[| false |])
+
+(* ---- calls, returns, indirect ---- *)
+
+let call_program () =
+  prog ~func_table:[ 1; 2 ]
+    [
+      func "main"
+        [
+          I.Iconst (0, 10);
+          I.Call { callee = 1; iargs = [ 0 ]; fargs = []; dst = I.Int_dest 1 };
+          I.Output 1;
+          I.Iconst (2, 1) (* slot 1 = triple *);
+          I.Callind { table = 2; iargs = [ 0 ]; fargs = []; dst = I.Int_dest 1 };
+          I.Output 1;
+          I.Ret I.Ret_none;
+        ];
+      func "double" ~iparams:1 [ I.Ibini (I.Mul, 1, 0, 2); I.Ret (I.Ret_int 1) ];
+      func "triple" ~iparams:1 [ I.Ibini (I.Mul, 1, 0, 3); I.Ret (I.Ret_int 1) ];
+    ]
+
+let test_calls () =
+  let r = run (call_program ()) in
+  Alcotest.(check (list int)) "results" [ 20; 30 ] (ints_of r);
+  Alcotest.(check int) "direct calls" 1 (Vm.kind_count r I.K_call);
+  Alcotest.(check int) "indirect calls" 1 (Vm.kind_count r I.K_callind);
+  Alcotest.(check int) "rets from direct" 1 r.rets_from_direct;
+  Alcotest.(check int) "rets from indirect" 1 r.rets_from_indirect;
+  (* main's own Ret is an entry return, counted in kind but not per class *)
+  Alcotest.(check int) "total rets" 3 (Vm.kind_count r I.K_ret)
+
+let test_bad_indirect_slot () =
+  let p =
+    prog ~func_table:[ 1 ]
+      [
+        func "main"
+          [
+            I.Iconst (0, 5);
+            I.Callind { table = 0; iargs = []; fargs = []; dst = I.No_dest };
+            I.Ret I.Ret_none;
+          ];
+        func "noop" [ I.Ret I.Ret_none ];
+      ]
+  in
+  match run p with
+  | exception Vm.Trap msg ->
+    Alcotest.(check bool) "mentions slot" true
+      (String.length msg > 0 &&
+       (let has sub s =
+          let n = String.length sub and m = String.length s in
+          let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        has "bad slot" msg))
+  | _ -> Alcotest.fail "expected trap"
+
+(* ---- arrays and seeding ---- *)
+
+let array_program () =
+  prog
+    ~arrays:
+      [
+        { P.aname = "ints"; acls = P.Cint; asize = 4; ainit = 0.0 };
+        { P.aname = "floats"; acls = P.Cfloat; asize = 4; ainit = 0.0 };
+      ]
+    [
+      func "main"
+        [
+          I.Iconst (0, 2);
+          I.Iload (1, 0, 0);
+          I.Output 1;
+          I.Fload (0, 1, 0);
+          I.Foutput 0;
+          I.Iconst (2, 3);
+          I.Iconst (3, 99);
+          I.Istore (0, 2, 3);
+          I.Iload (1, 0, 2);
+          I.Output 1;
+          I.Ret I.Ret_none;
+        ];
+    ]
+
+let test_array_seeding () =
+  let r =
+    run (array_program ())
+      ~arrays:
+        [ ("ints", `Ints [| 5; 6; 7 |]); ("floats", `Floats [| 0.5; 1.5; 2.5 |]) ]
+  in
+  match r.outputs with
+  | [ Out_int a; Out_float b; Out_int c ] ->
+    Alcotest.(check int) "seeded int" 7 a;
+    Alcotest.(check (float 0.0)) "seeded float" 2.5 b;
+    Alcotest.(check int) "store" 99 c
+  | _ -> Alcotest.fail "wrong outputs"
+
+let test_unseeded_zero () =
+  match (run (array_program ())).outputs with
+  | [ Out_int a; Out_float b; Out_int _ ] ->
+    Alcotest.(check int) "zero int" 0 a;
+    Alcotest.(check (float 0.0)) "zero float" 0.0 b
+  | _ -> Alcotest.fail "wrong outputs"
+
+let test_oob_trap () =
+  let p =
+    prog
+      ~arrays:[ { P.aname = "a"; acls = P.Cint; asize = 2; ainit = 0.0 } ]
+      [
+        func "main" [ I.Iconst (0, 5); I.Iload (1, 0, 0); I.Ret I.Ret_none ];
+      ]
+  in
+  (match run p with
+  | exception Vm.Trap _ -> ()
+  | _ -> Alcotest.fail "expected OOB trap")
+
+let test_division_trap () =
+  let p =
+    prog
+      [
+        func "main"
+          [ I.Iconst (0, 1); I.Iconst (1, 0); I.Ibin (I.Div, 2, 0, 1); I.Ret I.Ret_none ];
+      ]
+  in
+  (match run p with
+  | exception Vm.Trap _ -> ()
+  | _ -> Alcotest.fail "expected div trap")
+
+let test_fuel () =
+  let p =
+    prog
+      [ func "main" [ I.Iconst (0, 1); I.Jump 0 ] ]
+  in
+  let config = { Vm.default_config with fuel = Some 1000 } in
+  (match run ~config p with
+  | exception Vm.Trap msg ->
+    Alcotest.(check bool) "fuel message" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected fuel trap")
+
+let test_bad_args () =
+  let p = prog [ func "main" ~iparams:1 [ I.Ret I.Ret_none ] ] in
+  Alcotest.(check bool) "missing arg rejected" true
+    (match run p with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_on_branch_hook () =
+  let events = ref [] in
+  let p =
+    prog
+      ~sites:[ (0, 4) ]
+      [
+        func "main"
+          [
+            I.Iconst (0, 0);
+            I.Iconst (1, 2);
+            I.Ibini (I.Add, 0, 0, 1);
+            I.Icmp (I.Lt, 2, 0, 1);
+            I.Br { cond = 2; target = 2; site = 0 };
+            I.Halt;
+          ];
+      ]
+  in
+  let config =
+    {
+      Vm.default_config with
+      on_branch = Some (fun site taken -> events := (site, taken) :: !events);
+    }
+  in
+  let (_ : Vm.result) = run ~config p in
+  Alcotest.(check (list (pair int bool)))
+    "branch events in order"
+    [ (0, true); (0, false) ]
+    (List.rev !events)
+
+let test_select () =
+  let p =
+    prog
+      [
+        func "main"
+          [
+            I.Iconst (0, 1);
+            I.Iconst (1, 77);
+            I.Iconst (2, 88);
+            I.Select (3, 0, 1, 2);
+            I.Output 3;
+            I.Iconst (0, 0);
+            I.Select (3, 0, 1, 2);
+            I.Output 3;
+            I.Fconst (0, 2.5);
+            I.Fconst (1, 3.5);
+            I.Iconst (0, 0);
+            I.Fselect (2, 0, 0, 1);
+            I.Foutput 2;
+            I.Ret I.Ret_none;
+          ];
+      ]
+  in
+  match (run p).outputs with
+  | [ Out_int a; Out_int b; Out_float c ] ->
+    Alcotest.(check int) "select true" 77 a;
+    Alcotest.(check int) "select false" 88 b;
+    Alcotest.(check (float 0.0)) "fselect false" 3.5 c
+  | _ -> Alcotest.fail "wrong outputs"
+
+let test_moves_and_funops () =
+  let p =
+    prog
+      [
+        func "main"
+          [
+            I.Iconst (0, 42);
+            I.Imov (1, 0);
+            I.Output 1;
+            I.Fconst (0, 1.0);
+            I.Fmov (1, 0);
+            I.Funop (I.Fexp, 2, 1);
+            I.Foutput 2;
+            I.Funop (I.Flog, 3, 2);
+            I.Foutput 3;
+            I.Fconst (4, 0.0);
+            I.Funop (I.Fsin, 5, 4);
+            I.Foutput 5;
+            I.Funop (I.Fcos, 5, 4);
+            I.Foutput 5;
+            I.Funop (I.Fneg, 5, 1);
+            I.Foutput 5;
+            I.Ret I.Ret_none;
+          ];
+      ]
+  in
+  match (run p).outputs with
+  | [ Out_int a; Out_float e; Out_float l; Out_float s; Out_float c; Out_float n ]
+    ->
+    Alcotest.(check int) "imov" 42 a;
+    Alcotest.(check (float 1e-9)) "exp" (exp 1.0) e;
+    Alcotest.(check (float 1e-9)) "log(exp 1)" 1.0 l;
+    Alcotest.(check (float 1e-9)) "sin 0" 0.0 s;
+    Alcotest.(check (float 1e-9)) "cos 0" 1.0 c;
+    Alcotest.(check (float 1e-9)) "fneg" (-1.0) n
+  | _ -> Alcotest.fail "wrong outputs"
+
+let test_float_args_and_return () =
+  let p =
+    prog
+      [
+        func "main"
+          [
+            I.Fconst (0, 1.5);
+            I.Fconst (1, 2.0);
+            I.Call { callee = 1; iargs = []; fargs = [ 0; 1 ]; dst = I.Float_dest 2 };
+            I.Foutput 2;
+            I.Ret I.Ret_none;
+          ];
+        func "mulf" ~fparams:2
+          [ I.Fbin (I.Fmul, 2, 0, 1); I.Ret (I.Ret_float 2) ];
+      ]
+  in
+  match (run p).outputs with
+  | [ Out_float x ] -> Alcotest.(check (float 1e-9)) "float call" 3.0 x
+  | _ -> Alcotest.fail "wrong outputs"
+
+let test_return_value () =
+  let p =
+    prog [ func "main" [ I.Iconst (0, 42); I.Ret (I.Ret_int 0) ] ]
+  in
+  Alcotest.(check (option int)) "return" (Some 42) (run p).return_value
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "int arithmetic" `Quick test_int_arith;
+          Alcotest.test_case "comparisons" `Quick test_compare_semantics;
+          Alcotest.test_case "float ops" `Quick test_float_ops;
+        ] );
+      ( "counting",
+        [
+          Alcotest.test_case "exact instruction count" `Quick
+            test_exact_instruction_count;
+          Alcotest.test_case "mispredict helper" `Quick test_mispredict_helper;
+        ] );
+      ( "calls",
+        [
+          Alcotest.test_case "direct and indirect" `Quick test_calls;
+          Alcotest.test_case "bad indirect slot" `Quick test_bad_indirect_slot;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "array seeding" `Quick test_array_seeding;
+          Alcotest.test_case "unseeded arrays zero" `Quick test_unseeded_zero;
+          Alcotest.test_case "out-of-bounds traps" `Quick test_oob_trap;
+          Alcotest.test_case "division traps" `Quick test_division_trap;
+        ] );
+      ( "machinery",
+        [
+          Alcotest.test_case "fuel limit" `Quick test_fuel;
+          Alcotest.test_case "bad entry args" `Quick test_bad_args;
+          Alcotest.test_case "on_branch hook" `Quick test_on_branch_hook;
+          Alcotest.test_case "select/fselect" `Quick test_select;
+          Alcotest.test_case "moves and float unops" `Quick test_moves_and_funops;
+          Alcotest.test_case "float args and return" `Quick
+            test_float_args_and_return;
+          Alcotest.test_case "return value" `Quick test_return_value;
+        ] );
+    ]

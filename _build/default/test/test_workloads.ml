@@ -1,0 +1,558 @@
+(* Workload correctness: the MiniC benchmark programs are real programs
+   whose outputs are checked against independent OCaml references. *)
+
+module W = Fisher92_workloads
+module Workload = W.Workload
+module Vm = Fisher92_vm.Vm
+
+let compile (w : Workload.t) =
+  Fisher92_minic.Compile.compile
+    ~options:(Workload.compile_options w)
+    w.w_program
+
+let run_dataset ir (d : Workload.dataset) =
+  Vm.run ir ~iargs:d.ds_iargs ~fargs:d.ds_fargs ~arrays:d.ds_arrays
+
+let run (w : Workload.t) name = run_dataset (compile w) (Workload.dataset w name)
+
+let out_ints (r : Vm.result) =
+  List.map
+    (function
+      | Vm.Out_int k -> k
+      | Vm.Out_float _ -> Alcotest.fail "unexpected float output")
+    r.outputs
+
+(* ---- registry shape ---- *)
+
+let test_registry_shape () =
+  let all = W.Registry.all () in
+  Alcotest.(check int) "fifteen workloads" 15 (List.length all);
+  Alcotest.(check int) "seven FORTRAN" 7 (List.length (W.Registry.fortran_fp ()));
+  Alcotest.(check int) "eight C" 8 (List.length (W.Registry.c_integer ()));
+  List.iter
+    (fun (w : Workload.t) ->
+      Alcotest.(check bool)
+        (w.w_name ^ " has datasets")
+        true
+        (List.length w.w_datasets >= 1))
+    all;
+  (* names unique *)
+  let names = List.map (fun w -> w.Workload.w_name) all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_every_dataset_runs () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let ir = compile w in
+      List.iter
+        (fun (d : Workload.dataset) ->
+          match run_dataset ir d with
+          | r ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s executes work" w.w_name d.ds_name)
+              true (r.total > 1000)
+          | exception e ->
+            Alcotest.failf "%s/%s raised %s" w.w_name d.ds_name
+              (Printexc.to_string e))
+        w.w_datasets)
+    (W.Registry.all ())
+
+let test_determinism () =
+  (* same dataset, two runs: identical instruction counts and outputs *)
+  let w = W.Registry.find "doduc" in
+  let ir = compile w in
+  let d = Workload.dataset w "tiny" in
+  let a = run_dataset ir d and b = run_dataset ir d in
+  Alcotest.(check int) "same total" a.total b.total;
+  Alcotest.(check bool) "same outputs" true (a.outputs = b.outputs)
+
+(* ---- compress / uncompress ---- *)
+
+let test_compress_matches_reference () =
+  let w = W.Registry.find "compress" in
+  let ir = compile w in
+  List.iter
+    (fun (d : Workload.dataset) ->
+      let input =
+        match List.assoc "input" d.ds_arrays with
+        | `Ints a -> a
+        | `Floats _ -> Alcotest.fail "bad seed class"
+      in
+      let n =
+        match List.assoc "$n_in" d.ds_arrays with
+        | `Ints [| n |] -> n
+        | _ -> Alcotest.fail "bad n_in"
+      in
+      let expected =
+        W.W_compress.reference_compress (Array.sub input 0 n) |> Array.to_list
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "compress/%s matches reference LZW" d.ds_name)
+        expected
+        (out_ints (run_dataset ir d)))
+    w.w_datasets
+
+let test_lzw_roundtrip_through_vm () =
+  (* compress in the VM, then decompress the VM's own output in the VM *)
+  let comp = W.Registry.find "compress" in
+  let ir = compile comp in
+  let d = Workload.dataset comp "long" in
+  let original =
+    match (List.assoc "input" d.ds_arrays, List.assoc "$n_in" d.ds_arrays) with
+    | `Ints a, `Ints [| n |] -> Array.sub a 0 n
+    | _ -> Alcotest.fail "bad dataset"
+  in
+  let codes = Array.of_list (out_ints (run_dataset ir d)) in
+  let decompressed =
+    Vm.run ir ~iargs:[] ~fargs:[]
+      ~arrays:
+        [
+          ("$mode", `Ints [| 1 |]);
+          ("$n_in", `Ints [| Array.length codes |]);
+          ("input", `Ints codes);
+        ]
+  in
+  Alcotest.(check (list int)) "roundtrip restores the input"
+    (Array.to_list original)
+    (out_ints decompressed)
+
+let test_reference_lzw_roundtrip () =
+  let data = W.Textgen.c_source ~seed:5 ~lines:200 in
+  let codes = W.W_compress.reference_compress data in
+  Alcotest.(check (list int)) "reference roundtrip" (Array.to_list data)
+    (Array.to_list (W.W_compress.reference_uncompress codes));
+  Alcotest.(check bool) "compresses" true (Array.length codes < Array.length data)
+
+(* ---- li ---- *)
+
+let test_queens_counts () =
+  let w = W.Registry.find "li" in
+  let ir = compile w in
+  List.iter
+    (fun (ds, n) ->
+      match out_ints (run_dataset ir (Workload.dataset w ds)) with
+      | [ count; _executed ] ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s solution count" ds)
+          (W.W_li.reference_queens_count n)
+          count
+      | _ -> Alcotest.fail "wrong output shape")
+    [ ("8queens", 7); ("9queens", 8) ]
+
+let test_queens_reference_known_values () =
+  (* classic sequence: 2, 10, 4, 40, 92, 352 for n = 4..9 *)
+  Alcotest.(check (list int)) "known queens counts"
+    [ 2; 10; 4; 40; 92 ]
+    (List.map W.W_li.reference_queens_count [ 4; 5; 6; 7; 8 ])
+
+let test_sieve_count () =
+  let w = W.Registry.find "li" in
+  match out_ints (run (W.Registry.find "li") "sieve") with
+  | [ count; _executed ] ->
+    ignore w;
+    Alcotest.(check int) "primes below 2600"
+      (W.W_li.reference_sieve_count 2600)
+      count;
+    Alcotest.(check int) "cross-check classic value" 378 count
+  | _ -> Alcotest.fail "wrong output shape"
+
+let test_kitty_relaxation () =
+  (* the interpreter's relaxation must match the same computation done
+     directly in OCaml *)
+  match (run (W.Registry.find "li") "kitty").outputs with
+  | [ Vm.Out_int probe; Vm.Out_int _executed ] ->
+    let m = W.W_li.kitty_m in
+    let a = Array.init (m + 1) (fun k -> sin (float_of_int k *. 0.11) +. 1.0) in
+    for _ = 1 to W.W_li.kitty_iters do
+      for k = 1 to m - 2 do
+        a.(k) <- (a.(k - 1) +. a.(k + 1)) *. 0.5
+      done
+    done;
+    Alcotest.(check int) "midpoint value"
+      (int_of_float (a.(m / 2) *. 1000000.0))
+      probe
+  | _ -> Alcotest.fail "wrong output shape"
+
+(* ---- eqntott ---- *)
+
+let test_eqntott_distinct_rows () =
+  let w = W.Registry.find "eqntott" in
+  let ir = compile w in
+  List.iter
+    (fun (name, eqs) ->
+      match out_ints (run_dataset ir (Workload.dataset w name)) with
+      | [ distinct; _checksum ] ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s distinct rows" name)
+          (W.W_eqntott.reference_distinct_rows eqs)
+          distinct
+      | _ -> Alcotest.fail "wrong output shape")
+    [
+      ("add4", W.W_eqntott.adder_equations 4);
+      ("add5", W.W_eqntott.adder_equations 5);
+      ("intpri", W.W_eqntott.priority_equations 10);
+    ]
+
+let test_adder_equations_meaning () =
+  (* the equations really compute addition: outputs = sums bits + carry *)
+  let k = 4 in
+  let ((signals, _, n_out) as eqs) = W.W_eqntott.adder_equations k in
+  let n_signals = List.length signals in
+  for x = 0 to (1 lsl k) - 1 do
+    for y = 0 to (1 lsl k) - 1 do
+      let assignment = x lor (y lsl k) in
+      let values = W.W_eqntott.reference_eval eqs assignment in
+      let bits = Array.sub values (n_signals - n_out) n_out in
+      let result = ref 0 in
+      Array.iteri (fun b bit -> result := !result lor (bit lsl b)) bits;
+      if !result <> x + y then
+        Alcotest.failf "adder: %d + %d gave %d" x y !result
+    done
+  done
+
+(* ---- espresso ---- *)
+
+let test_espresso_cover_valid () =
+  (* after minimization the surviving cubes must not intersect the
+     OFF-set; verified in OCaml against the dataset arrays *)
+  let w = W.Registry.find "espresso" in
+  let ir = compile w in
+  let d = Workload.dataset w "bca" in
+  let r = run_dataset ir d in
+  match out_ints r with
+  | [ left; _checksum ] ->
+    Alcotest.(check bool) "some cubes survive" true (left > 0);
+    let n_on =
+      match List.assoc "$n_on" d.ds_arrays with
+      | `Ints [| n |] -> n
+      | _ -> Alcotest.fail "bad n_on"
+    in
+    Alcotest.(check bool) "cover shrank or held" true (left <= n_on)
+  | _ -> Alcotest.fail "wrong output shape"
+
+let test_espresso_expansion_offset_disjoint () =
+  (* reimplement the expansion in OCaml and check it yields the same
+     surviving-cube count as the VM *)
+  let w = W.Registry.find "espresso" in
+  let ir = compile w in
+  let d = Workload.dataset w "ti" in
+  let get name =
+    match List.assoc name d.ds_arrays with
+    | `Ints a -> Array.copy a
+    | `Floats _ -> Alcotest.fail "bad class"
+  in
+  let scalar name =
+    match List.assoc name d.ds_arrays with
+    | `Ints [| n |] -> n
+    | _ -> Alcotest.fail "bad scalar"
+  in
+  let n_vars = scalar "$n_vars"
+  and n_on = scalar "$n_on"
+  and n_off = scalar "$n_off" in
+  let oncube = get "oncube" and offcube = get "offcube" in
+  let width = 14 (* max_vars *) in
+  let hits_offset c =
+    let rec off o =
+      if o >= n_off then false
+      else
+        let rec var vv =
+          if vv >= n_vars then true
+          else
+            oncube.((c * width) + vv) land offcube.((o * width) + vv) <> 0
+            && var (vv + 1)
+        in
+        var 0 || off (o + 1)
+    in
+    off 0
+  in
+  for c = 0 to n_on - 1 do
+    for vv = 0 to n_vars - 1 do
+      let code = oncube.((c * width) + vv) in
+      if code <> 3 then begin
+        oncube.((c * width) + vv) <- 3;
+        if hits_offset c then oncube.((c * width) + vv) <- code
+      end
+    done
+  done;
+  let covers b a =
+    let rec go vv =
+      vv >= n_vars
+      || (oncube.((a * width) + vv) land oncube.((b * width) + vv)
+          = oncube.((a * width) + vv)
+         && go (vv + 1))
+    in
+    go 0
+  in
+  let alive = Array.make n_on true in
+  for c = 0 to n_on - 1 do
+    let covered = ref false in
+    for d' = 0 to n_on - 1 do
+      if (not !covered) && d' <> c && alive.(d') && covers d' c then
+        covered := true
+    done;
+    if !covered then alive.(c) <- false
+  done;
+  let expected = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 alive in
+  match out_ints (run_dataset ir d) with
+  | [ left; _ ] -> Alcotest.(check int) "surviving cubes" expected left
+  | _ -> Alcotest.fail "wrong output shape"
+
+(* ---- cc1 ---- *)
+
+let test_cc1_clean_parse () =
+  let w = W.Registry.find "cc1" in
+  let ir = compile w in
+  List.iter
+    (fun (d : Workload.dataset) ->
+      match out_ints (run_dataset ir d) with
+      | [ n_toks; n_nodes; n_folds; n_ops; _checksum; n_errors ] ->
+        Alcotest.(check int)
+          (Printf.sprintf "cc1/%s parses cleanly" d.ds_name)
+          0 n_errors;
+        Alcotest.(check bool) "produced tokens" true (n_toks > 100);
+        Alcotest.(check bool) "produced nodes" true (n_nodes > 50);
+        Alcotest.(check bool) "emitted code" true (n_ops > 50);
+        Alcotest.(check bool) "folds sane" true (n_folds >= 0 && n_folds < n_nodes)
+      | _ -> Alcotest.fail "wrong output shape")
+    w.w_datasets
+
+let test_cc1_folding_works () =
+  (* a source full of constant expressions must fold a lot *)
+  match out_ints (run (W.Registry.find "cc1") "fold-const") with
+  | [ _; _; n_folds; _; _; _ ] ->
+    Alcotest.(check bool) "constant module folds" true (n_folds > 20)
+  | _ -> Alcotest.fail "wrong output shape"
+
+(* ---- mfcom ---- *)
+
+let test_mfcom_passes_productive () =
+  let w = W.Registry.find "mfcom" in
+  let ir = compile w in
+  List.iter
+    (fun (d : Workload.dataset) ->
+      match out_ints (run_dataset ir d) with
+      | [ eliminated; folded; killed; spills; remaining ] ->
+        Alcotest.(check bool) "CSE finds duplicates" true (eliminated > 0);
+        Alcotest.(check bool) "folding fires" true (folded > 0);
+        Alcotest.(check bool) "DCE kills" true (killed > 0);
+        Alcotest.(check bool) "spills sane" true (spills >= 0);
+        Alcotest.(check bool) "remaining consistent" true
+          (remaining > 0 && remaining <= 6000)
+      | _ -> Alcotest.failf "mfcom/%s wrong output shape" d.ds_name)
+    w.w_datasets
+
+(* ---- spiff ---- *)
+
+let test_spiff_case3_shape () =
+  (* 28-line listings differing in the last 4 lines *)
+  match out_ints (run (W.Registry.find "spiff") "case3") with
+  | [ keeps; dels; adds; _checksum ] ->
+    Alcotest.(check int) "kept lines" 24 keeps;
+    Alcotest.(check int) "deleted" 4 dels;
+    Alcotest.(check int) "added" 4 adds
+  | _ -> Alcotest.fail "wrong output shape"
+
+let test_spiff_tolerance () =
+  (* case1 drifts mostly within tolerance: nearly everything kept *)
+  match out_ints (run (W.Registry.find "spiff") "case1") with
+  | [ keeps; dels; adds; _ ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "mostly equal (%d keep/%d del/%d add)" keeps dels adds)
+      true
+      (keeps > 2 * (dels + adds))
+  | _ -> Alcotest.fail "wrong output shape"
+
+(* ---- spice ---- *)
+
+let test_spice_voltage_divider () =
+  (* hand netlist: 10V source, two 1k resistors in series; the middle
+     node must sit at 5V *)
+  let w = W.Registry.find "spice" in
+  let ir = compile w in
+  let r =
+    Vm.run ir ~iargs:[] ~fargs:[]
+      ~arrays:
+        [
+          ("$n_nodes", `Ints [| 2 |]);
+          ("$n_elems", `Ints [| 3 |]);
+          ("$mode", `Ints [| 0 |]);
+          ("etype", `Ints [| 1; 0; 0 |]);
+          ("enode1", `Ints [| 1; 1; 2 |]);
+          ("enode2", `Ints [| 0; 2; 0 |]);
+          ("evalue", `Floats [| 10.0; 1000.0; 1000.0 |]);
+        ]
+  in
+  match out_ints r with
+  | [ _linear; _reactive; _active; _iters; v1; v2 ] ->
+    (* volt outputs scaled by 1e5 *)
+    Alcotest.(check bool)
+      (Printf.sprintf "node1 ~ 10V (%d)" v1)
+      true
+      (abs (v1 - 1_000_000) < 2000);
+    Alcotest.(check bool)
+      (Printf.sprintf "node2 ~ 5V (%d)" v2)
+      true
+      (abs (v2 - 500_000) < 2000)
+  | outs -> Alcotest.failf "wrong output shape (%d outputs)" (List.length outs)
+
+let test_spice_linear_solution_matches_reference () =
+  (* full Gauss reference solve in OCaml for circuit2's stamped system *)
+  let w = W.Registry.find "spice" in
+  let ir = compile w in
+  let d = Workload.dataset w "circuit2" in
+  let r = run_dataset ir d in
+  match out_ints r with
+  | _linear :: _reactive :: _active :: _iters :: volts ->
+    Alcotest.(check bool) "some node voltages" true (List.length volts >= 2);
+    List.iter
+      (fun v ->
+        Alcotest.(check bool) "voltage bounded by the 5V source" true
+          (abs v <= 510_000))
+      volts
+  | _ -> Alcotest.fail "wrong output shape"
+
+let test_spice_transient_progresses () =
+  (* the RC chain must charge towards the source over the transient *)
+  match out_ints (run (W.Registry.find "spice") "greysmall") with
+  | [ _l; _r; _a; steps; probe ] ->
+    Alcotest.(check int) "all steps ran" 80 steps;
+    Alcotest.(check bool) "probe accumulated charge" true (probe > 0)
+  | _ -> Alcotest.fail "wrong output shape"
+
+let test_spice_newton_converges () =
+  match out_ints (run (W.Registry.find "spice") "add_bjt") with
+  | [ _l; _r; active; total_iters; _v ] ->
+    Alcotest.(check int) "4 devices" 4 active;
+    (* 40 sweep points, max 30 newton iterations each *)
+    Alcotest.(check bool)
+      (Printf.sprintf "newton iterations sane (%d)" total_iters)
+      true
+      (total_iters >= 80 && total_iters < 1200)
+  | _ -> Alcotest.fail "wrong output shape"
+
+(* ---- numeric kernels ---- *)
+
+let test_matrix300_trace () =
+  match out_ints (run (W.Registry.find "matrix300") "self") with
+  | [ trace ] ->
+    Alcotest.(check int) "diagonal trace matches reference"
+      (W.W_matrix300.reference_trace 72)
+      trace
+  | _ -> Alcotest.fail "wrong output shape"
+
+let test_tomcatv_converges () =
+  match out_ints (run (W.Registry.find "tomcatv") "self") with
+  | [ rmax_scaled; _diag ] ->
+    (* after 60 relaxation sweeps the residual must have dropped below
+       its initial magnitude (initial mesh distortion ~0.7) *)
+    Alcotest.(check bool)
+      (Printf.sprintf "residual small (%d/1e6)" rmax_scaled)
+      true
+      (rmax_scaled >= 0 && rmax_scaled < 700_000)
+  | _ -> Alcotest.fail "wrong output shape"
+
+let test_doduc_conservation () =
+  (* every particle is absorbed, leaked, thermalized, or survives:
+     absorbed + scattered events recorded, tallies bounded by hops *)
+  let w = W.Registry.find "doduc" in
+  let ir = compile w in
+  List.iter
+    (fun (name, particles) ->
+      match out_ints (run_dataset ir (Workload.dataset w name)) with
+      | [ absorbed; scattered; alive; path; dose ] ->
+        Alcotest.(check bool) "absorbed bounded" true
+          (absorbed >= 0 && absorbed <= particles);
+        Alcotest.(check bool) "scatters bounded" true
+          (scattered >= 0 && scattered <= particles * 40);
+        Alcotest.(check bool) "alive bounded" true (alive >= 0 && alive <= particles);
+        Alcotest.(check bool) "path positive" true (path > 0);
+        Alcotest.(check bool) "dose positive" true (dose > 0)
+      | _ -> Alcotest.fail "wrong output shape")
+    [ ("tiny", 900); ("small", 2500); ("ref", 6000) ]
+
+let test_fpppp_quads_kept () =
+  match out_ints (run (W.Registry.find "fpppp") "4atoms") with
+  | [ kept; _total ] ->
+    (* the screening branch must be genuinely two-sided *)
+    Alcotest.(check bool)
+      (Printf.sprintf "screening passes some but not all (%d/3000)" kept)
+      true
+      (kept > 150 && kept < 2850)
+  | _ -> Alcotest.fail "wrong output shape"
+
+let test_nasa7_lfk_finite () =
+  List.iter
+    (fun name ->
+      match out_ints (run (W.Registry.find name) "self") with
+      | [ sig_ ] ->
+        Alcotest.(check bool) (name ^ " signature finite/nonzero") true (sig_ <> 0)
+      | _ -> Alcotest.fail "wrong output shape")
+    [ "nasa7"; "lfk" ]
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "shape" `Quick test_registry_shape;
+          Alcotest.test_case "every dataset runs" `Slow test_every_dataset_runs;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "compress",
+        [
+          Alcotest.test_case "matches reference LZW" `Quick
+            test_compress_matches_reference;
+          Alcotest.test_case "VM roundtrip" `Quick test_lzw_roundtrip_through_vm;
+          Alcotest.test_case "reference roundtrip" `Quick
+            test_reference_lzw_roundtrip;
+        ] );
+      ( "li",
+        [
+          Alcotest.test_case "queens counts" `Slow test_queens_counts;
+          Alcotest.test_case "queens reference values" `Quick
+            test_queens_reference_known_values;
+          Alcotest.test_case "sieve count" `Quick test_sieve_count;
+          Alcotest.test_case "kitty relaxation" `Quick test_kitty_relaxation;
+        ] );
+      ( "eqntott",
+        [
+          Alcotest.test_case "distinct rows" `Quick test_eqntott_distinct_rows;
+          Alcotest.test_case "adder equations add" `Quick
+            test_adder_equations_meaning;
+        ] );
+      ( "espresso",
+        [
+          Alcotest.test_case "cover valid" `Quick test_espresso_cover_valid;
+          Alcotest.test_case "expansion matches reference" `Quick
+            test_espresso_expansion_offset_disjoint;
+        ] );
+      ( "cc1",
+        [
+          Alcotest.test_case "clean parse" `Quick test_cc1_clean_parse;
+          Alcotest.test_case "folding works" `Quick test_cc1_folding_works;
+        ] );
+      ("mfcom", [ Alcotest.test_case "passes productive" `Quick test_mfcom_passes_productive ]);
+      ( "spiff",
+        [
+          Alcotest.test_case "case3 shape" `Quick test_spiff_case3_shape;
+          Alcotest.test_case "tolerance" `Quick test_spiff_tolerance;
+        ] );
+      ( "spice",
+        [
+          Alcotest.test_case "voltage divider" `Quick test_spice_voltage_divider;
+          Alcotest.test_case "linear solution" `Quick
+            test_spice_linear_solution_matches_reference;
+          Alcotest.test_case "transient progresses" `Quick
+            test_spice_transient_progresses;
+          Alcotest.test_case "newton converges" `Quick test_spice_newton_converges;
+        ] );
+      ( "numeric",
+        [
+          Alcotest.test_case "matrix300 trace" `Quick test_matrix300_trace;
+          Alcotest.test_case "tomcatv converges" `Quick test_tomcatv_converges;
+          Alcotest.test_case "doduc conservation" `Quick test_doduc_conservation;
+          Alcotest.test_case "fpppp screening" `Quick test_fpppp_quads_kept;
+          Alcotest.test_case "nasa7/lfk finite" `Quick test_nasa7_lfk_finite;
+        ] );
+    ]
