@@ -7,6 +7,7 @@
    fisher92 predict PROG TARGET         cross-predict one dataset from
                                         the others
    fisher92 experiments [SECTION...]    regenerate paper tables/figures
+   fisher92 lint [PROG]                 IR lint (CFG + dataflow checks)
    fisher92 disasm PROG                 dump the compiled IR *)
 
 open Cmdliner
@@ -259,6 +260,33 @@ let hotspots_cmd =
     (Cmd.info "hotspots" ~doc:"Show the busiest branch sites of one run")
     Term.(const run $ prog $ dataset $ top)
 
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let module Lint = Fisher92_analysis.Lint in
+  let run prog =
+    let workloads =
+      match prog with None -> Registry.all () | Some p -> [ find_workload p ]
+    in
+    let dirty = ref 0 in
+    List.iter
+      (fun (w : Workload.t) ->
+        let ir = compile w in
+        let findings = Lint.check ir in
+        if findings <> [] then incr dirty;
+        print_string (Lint.render ir findings))
+      workloads;
+    if !dirty > 0 then exit 1
+  in
+  let prog = Arg.(value & pos 0 (some string) None & info [] ~docv:"PROGRAM") in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the IR lint (unreachable code, use-before-def, dead stores, \
+          infinite loops) on one workload, or on every registered workload. \
+          Exits 1 if any program has findings.")
+    Term.(const run $ prog)
+
 (* ---- disasm ---- *)
 
 let disasm_cmd =
@@ -281,4 +309,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; profile_cmd; predict_cmd; experiments_cmd;
-            hotspots_cmd; disasm_cmd ]))
+            hotspots_cmd; lint_cmd; disasm_cmd ]))

@@ -25,7 +25,9 @@ let () =
 
   let static_rows =
     ("self profile (best possible)", Measure.self_prediction run)
-    :: List.map (fun (name, h) -> ("heuristic: " ^ name, h ir)) Heuristic.all
+    :: List.map
+         (fun (h : Heuristic.t) -> ("heuristic: " ^ h.h_name, h.h_derive ir))
+         Heuristic.all
   in
   let rows =
     List.map

@@ -1,0 +1,124 @@
+open Fisher92_ir.Insn
+
+type block = {
+  b_id : int;
+  b_start : int;
+  b_stop : int;
+  b_succs : int list;
+  b_preds : int list;
+}
+
+type t = {
+  blocks : block array;
+  block_of_pc : int array;
+  entry : int;
+  reachable : bool array;
+}
+
+(* Successor pcs of the instruction at [pc].  A conditional branch falls
+   through to [pc+1] and may jump to its target; validated code never
+   ends a function with a Br, but we guard anyway so the CFG is total
+   even on sick inputs. *)
+let insn_succs code pc =
+  let len = Array.length code in
+  let fall = if pc + 1 < len then [ pc + 1 ] else [] in
+  match code.(pc) with
+  | Br { target; _ } -> if List.mem target fall then fall else fall @ [ target ]
+  | Jump t -> [ t ]
+  | Ret _ | Halt -> []
+  | _ -> fall
+
+let terminator = function Br _ | Jump _ | Ret _ | Halt -> true | _ -> false
+
+let build (f : Fisher92_ir.Program.func) =
+  let code = f.code in
+  let len = Array.length code in
+  if len = 0 then
+    {
+      blocks = [||];
+      block_of_pc = [||];
+      entry = 0;
+      reachable = [||];
+    }
+  else begin
+    (* Leaders: entry, every branch/jump target, every pc following a
+       control transfer. *)
+    let leader = Array.make len false in
+    leader.(0) <- true;
+    Array.iteri
+      (fun pc insn ->
+        (match insn with
+        | Br { target; _ } | Jump target ->
+          if target >= 0 && target < len then leader.(target) <- true
+        | _ -> ());
+        if terminator insn && pc + 1 < len then leader.(pc + 1) <- true)
+      code;
+    let block_of_pc = Array.make len 0 in
+    let starts = ref [] in
+    for pc = len - 1 downto 0 do
+      if leader.(pc) then starts := pc :: !starts
+    done;
+    let starts = Array.of_list !starts in
+    let n = Array.length starts in
+    let stop i = if i + 1 < n then starts.(i + 1) else len in
+    Array.iteri
+      (fun i s ->
+        for pc = s to stop i - 1 do
+          block_of_pc.(pc) <- i
+        done)
+      starts;
+    let succs_of i =
+      (* Block successors come from its last instruction only. *)
+      let last = stop i - 1 in
+      List.sort_uniq compare (List.map (fun pc -> block_of_pc.(pc)) (insn_succs code last))
+    in
+    let succs = Array.init n succs_of in
+    let preds = Array.make n [] in
+    Array.iteri
+      (fun i ss -> List.iter (fun s -> preds.(s) <- i :: preds.(s)) ss)
+      succs;
+    let blocks =
+      Array.init n (fun i ->
+          {
+            b_id = i;
+            b_start = starts.(i);
+            b_stop = stop i;
+            b_succs = succs.(i);
+            b_preds = List.rev preds.(i);
+          })
+    in
+    let reachable = Array.make n false in
+    let rec dfs i =
+      if not reachable.(i) then begin
+        reachable.(i) <- true;
+        List.iter dfs blocks.(i).b_succs
+      end
+    in
+    dfs block_of_pc.(0);
+    { blocks; block_of_pc; entry = block_of_pc.(0); reachable }
+  end
+
+let n_blocks t = Array.length t.blocks
+
+let rpo t =
+  let n = n_blocks t in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec dfs i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter dfs t.blocks.(i).b_succs;
+      order := i :: !order
+    end
+  in
+  if n > 0 then dfs t.entry;
+  !order
+
+let pp fmt t =
+  Array.iter
+    (fun b ->
+      Format.fprintf fmt "B%d [%d..%d) -> %s%s@."
+        b.b_id b.b_start b.b_stop
+        (String.concat "," (List.map (fun s -> "B" ^ string_of_int s) b.b_succs))
+        (if t.reachable.(b.b_id) then "" else "  (unreachable)"))
+    t.blocks

@@ -1,0 +1,35 @@
+(** Basic blocks and the control-flow graph of one function.
+
+    Blocks partition the code array: block [i] spans pcs
+    [[b_start, b_stop)].  Unreachable blocks are kept (the lint reports
+    them); [reachable] marks which blocks a DFS from pc 0 visits. *)
+
+type block = {
+  b_id : int;
+  b_start : int;  (** first pc of the block *)
+  b_stop : int;  (** one past the last pc *)
+  b_succs : int list;  (** successor block ids, deduplicated *)
+  b_preds : int list;
+}
+
+type t = {
+  blocks : block array;
+  block_of_pc : int array;  (** pc -> owning block id *)
+  entry : int;  (** block containing pc 0 *)
+  reachable : bool array;  (** per block, reachable from entry *)
+}
+
+val insn_succs : Fisher92_ir.Insn.insn array -> int -> int list
+(** Successor pcs of one instruction (fall-through and/or target). *)
+
+val terminator : Fisher92_ir.Insn.insn -> bool
+(** Does the instruction end a basic block? *)
+
+val build : Fisher92_ir.Program.func -> t
+
+val n_blocks : t -> int
+
+val rpo : t -> int list
+(** Reverse postorder over the blocks reachable from entry. *)
+
+val pp : Format.formatter -> t -> unit

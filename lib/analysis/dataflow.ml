@@ -1,0 +1,267 @@
+(* A generic iterative bitvector dataflow solver, plus the two classic
+   instantiations the lint needs: reaching definitions (forward, union)
+   and liveness (backward, union). *)
+
+module Bits = struct
+  type t = { words : int array; nbits : int }
+
+  let word_bits = Sys.int_size  (* 63 on 64-bit OCaml *)
+
+  let create nbits =
+    { words = Array.make ((nbits + word_bits - 1) / word_bits + 1) 0; nbits }
+
+  let copy t = { t with words = Array.copy t.words }
+
+  let set t i = t.words.(i / word_bits) <- t.words.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+  let clear t i =
+    t.words.(i / word_bits) <- t.words.(i / word_bits) land lnot (1 lsl (i mod word_bits))
+
+  let get t i = t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+  let fill t =
+    for i = 0 to t.nbits - 1 do
+      set t i
+    done
+
+  let union_into ~dst src =
+    let changed = ref false in
+    Array.iteri
+      (fun i w ->
+        let merged = dst.words.(i) lor w in
+        if merged <> dst.words.(i) then begin
+          dst.words.(i) <- merged;
+          changed := true
+        end)
+      src.words;
+    !changed
+
+  let inter_into ~dst src =
+    let changed = ref false in
+    Array.iteri
+      (fun i w ->
+        let merged = dst.words.(i) land w in
+        if merged <> dst.words.(i) then begin
+          dst.words.(i) <- merged;
+          changed := true
+        end)
+      src.words;
+    !changed
+
+  (* dst := gen ∪ (src \ kill); returns whether dst changed. *)
+  let transfer_into ~dst ~gen ~kill src =
+    let changed = ref false in
+    Array.iteri
+      (fun i w ->
+        let next = gen.words.(i) lor (w land lnot kill.words.(i)) in
+        if next <> dst.words.(i) then begin
+          dst.words.(i) <- next;
+          changed := true
+        end)
+      src.words;
+    !changed
+
+  let iter t visit =
+    for i = 0 to t.nbits - 1 do
+      if get t i then visit i
+    done
+end
+
+type direction = Forward | Backward
+type meet = Union | Intersect
+
+type result = { ins : Bits.t array; outs : Bits.t array }
+
+(* Round-robin over RPO (or its reverse) until the fixpoint.  [boundary]
+   seeds the entry's in-set (Forward) or every exit's out-set (Backward);
+   with an Intersect meet the interior sets start full, with Union they
+   start empty. *)
+let solve ~(cfg : Cfg.t) ~direction ~meet ~nbits ~gen ~kill ~boundary =
+  let n = Cfg.n_blocks cfg in
+  let ins = Array.init n (fun _ -> Bits.create nbits) in
+  let outs = Array.init n (fun _ -> Bits.create nbits) in
+  if n > 0 then begin
+    let order = Cfg.rpo cfg in
+    let order = match direction with Forward -> order | Backward -> List.rev order in
+    let inputs b =
+      match direction with
+      | Forward -> cfg.blocks.(b).b_preds
+      | Backward -> cfg.blocks.(b).b_succs
+    in
+    let before = match direction with Forward -> ins | Backward -> outs in
+    let after = match direction with Forward -> outs | Backward -> ins in
+    (if meet = Intersect then
+       List.iter
+         (fun b ->
+           Bits.fill before.(b);
+           Bits.fill after.(b))
+         order);
+    let is_boundary b =
+      match direction with
+      | Forward -> b = cfg.entry
+      | Backward -> cfg.blocks.(b).b_succs = []
+    in
+    List.iter
+      (fun b ->
+        if is_boundary b then begin
+          before.(b) <- Bits.copy boundary;
+          ignore (Bits.transfer_into ~dst:after.(b) ~gen:(gen b) ~kill:(kill b) before.(b))
+        end)
+      order;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun b ->
+          (match (inputs b, meet) with
+          | [], _ -> ()
+          | first :: rest, Intersect ->
+            let acc = Bits.copy after.(first) in
+            List.iter (fun p -> ignore (Bits.inter_into ~dst:acc after.(p))) rest;
+            if is_boundary b then ignore (Bits.union_into ~dst:acc boundary);
+            ignore (Bits.inter_into ~dst:before.(b) acc)
+          | inputs, Union ->
+            List.iter
+              (fun p ->
+                if Bits.union_into ~dst:before.(b) after.(p) then changed := true)
+              inputs);
+          if Bits.transfer_into ~dst:after.(b) ~gen:(gen b) ~kill:(kill b) before.(b)
+          then changed := true)
+        order
+    done
+  end;
+  { ins; outs }
+
+(* ------------------------------------------------------------------ *)
+(* Reaching definitions                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Reaching = struct
+  (* Bit layout: bits [0, n_regs) are per-register entry pseudo-defs (the
+     value a register has on function entry — real for parameters, the
+     zero-init otherwise); real defs follow, one bit per (pc, reg). *)
+  type t = {
+    n_regs : int;
+    def_pc : int array;  (* per real-def bit, its pc *)
+    def_reg : int array;  (* per bit (incl. pseudo), unified reg index *)
+    real_defs_of_reg : int list array;
+    block_in : Bits.t array;
+  }
+
+  let compute (f : Fisher92_ir.Program.func) (cfg : Cfg.t) =
+    let nr = Defuse.n_regs f in
+    let real = ref [] and n_real = ref 0 in
+    Array.iteri
+      (fun pc insn ->
+        List.iter
+          (fun d ->
+            real := (pc, Defuse.index f d) :: !real;
+            incr n_real)
+          (Defuse.defs insn))
+      f.code;
+    let real = Array.of_list (List.rev !real) in
+    let nbits = nr + !n_real in
+    let def_pc = Array.make !n_real (-1) in
+    let def_reg = Array.make nbits 0 in
+    for r = 0 to nr - 1 do
+      def_reg.(r) <- r
+    done;
+    let real_defs_of_reg = Array.make nr [] in
+    Array.iteri
+      (fun i (pc, r) ->
+        def_pc.(i) <- pc;
+        def_reg.(nr + i) <- r;
+        real_defs_of_reg.(r) <- (nr + i) :: real_defs_of_reg.(r))
+      real;
+    (* gen/kill per block: last def of each register generates; any def
+       kills every other def of the same register. *)
+    let bit_of = Hashtbl.create 64 in
+    Array.iteri (fun i (pc, r) -> Hashtbl.replace bit_of (pc, r) (nr + i)) real;
+    let gen_of b =
+      let g = Bits.create nbits in
+      let blk = cfg.blocks.(b) in
+      let last_def = Array.make nr (-1) in
+      for pc = blk.b_start to blk.b_stop - 1 do
+        List.iter
+          (fun d -> last_def.(Defuse.index f d) <- pc)
+          (Defuse.defs f.code.(pc))
+      done;
+      Array.iteri
+        (fun r pc -> if pc >= 0 then Bits.set g (Hashtbl.find bit_of (pc, r)))
+        last_def;
+      g
+    in
+    let kill_of b =
+      let k = Bits.create nbits in
+      let blk = cfg.blocks.(b) in
+      for pc = blk.b_start to blk.b_stop - 1 do
+        List.iter
+          (fun d ->
+            let r = Defuse.index f d in
+            Bits.set k r;
+            List.iter (fun bit -> Bits.set k bit) real_defs_of_reg.(r))
+          (Defuse.defs f.code.(pc))
+      done;
+      k
+    in
+    let gens = Array.init (Cfg.n_blocks cfg) gen_of in
+    let kills = Array.init (Cfg.n_blocks cfg) kill_of in
+    let boundary = Bits.create nbits in
+    for r = 0 to nr - 1 do
+      Bits.set boundary r
+    done;
+    let res =
+      solve ~cfg ~direction:Forward ~meet:Union ~nbits
+        ~gen:(fun b -> gens.(b))
+        ~kill:(fun b -> kills.(b))
+        ~boundary
+    in
+    { n_regs = nr; def_pc; def_reg; real_defs_of_reg; block_in = res.ins }
+
+  let entry_bit (_ : t) r = r
+end
+
+(* ------------------------------------------------------------------ *)
+(* Liveness                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Liveness = struct
+  type t = { block_out : Bits.t array }
+
+  let compute (f : Fisher92_ir.Program.func) (cfg : Cfg.t) =
+    let nr = Defuse.n_regs f in
+    let gen_of b =
+      (* Upward-exposed uses: used before any def in the block. *)
+      let g = Bits.create nr in
+      let defined = Array.make nr false in
+      let blk = cfg.blocks.(b) in
+      for pc = blk.b_start to blk.b_stop - 1 do
+        List.iter
+          (fun u ->
+            let r = Defuse.index f u in
+            if not defined.(r) then Bits.set g r)
+          (Defuse.uses f.code.(pc));
+        List.iter
+          (fun d -> defined.(Defuse.index f d) <- true)
+          (Defuse.defs f.code.(pc))
+      done;
+      g
+    in
+    let kill_of b =
+      let k = Bits.create nr in
+      let blk = cfg.blocks.(b) in
+      for pc = blk.b_start to blk.b_stop - 1 do
+        List.iter (fun d -> Bits.set k (Defuse.index f d)) (Defuse.defs f.code.(pc))
+      done;
+      k
+    in
+    let gens = Array.init (Cfg.n_blocks cfg) gen_of in
+    let kills = Array.init (Cfg.n_blocks cfg) kill_of in
+    let res =
+      solve ~cfg ~direction:Backward ~meet:Union ~nbits:nr
+        ~gen:(fun b -> gens.(b))
+        ~kill:(fun b -> kills.(b))
+        ~boundary:(Bits.create nr)
+    in
+    { block_out = res.outs }
+end

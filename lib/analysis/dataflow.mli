@@ -1,0 +1,62 @@
+(** A generic iterative bitvector dataflow solver over a function CFG,
+    with the two instantiations the lint uses. *)
+
+module Bits : sig
+  type t
+
+  val create : int -> t
+  val copy : t -> t
+  val set : t -> int -> unit
+  val clear : t -> int -> unit
+  val get : t -> int -> bool
+  val fill : t -> unit
+  val union_into : dst:t -> t -> bool
+  val inter_into : dst:t -> t -> bool
+
+  val transfer_into : dst:t -> gen:t -> kill:t -> t -> bool
+  (** [dst := gen ∪ (src \ kill)]; true when [dst] changed. *)
+
+  val iter : t -> (int -> unit) -> unit
+end
+
+type direction = Forward | Backward
+type meet = Union | Intersect
+
+type result = { ins : Bits.t array; outs : Bits.t array }
+
+val solve :
+  cfg:Cfg.t ->
+  direction:direction ->
+  meet:meet ->
+  nbits:int ->
+  gen:(int -> Bits.t) ->
+  kill:(int -> Bits.t) ->
+  boundary:Bits.t ->
+  result
+(** Fixpoint of [after = gen ∪ (before \ kill)] with [before] the meet
+    over CFG neighbors; [boundary] seeds the entry (Forward) or the exit
+    blocks (Backward). *)
+
+module Reaching : sig
+  type t = {
+    n_regs : int;
+    def_pc : int array;  (** per real-def bit (offset by [n_regs]), its pc *)
+    def_reg : int array;  (** per bit, the unified register it defines *)
+    real_defs_of_reg : int list array;
+    block_in : Bits.t array;  (** defs reaching each block's entry *)
+  }
+
+  val compute : Fisher92_ir.Program.func -> Cfg.t -> t
+  (** Forward/union reaching definitions.  Bits [0, n_regs) are entry
+      pseudo-defs: the parameter value for parameter registers, the
+      zero-init for the rest. *)
+
+  val entry_bit : t -> int -> int
+  (** Bit index of register [r]'s entry pseudo-def. *)
+end
+
+module Liveness : sig
+  type t = { block_out : Bits.t array }  (** regs live at each block's exit *)
+
+  val compute : Fisher92_ir.Program.func -> Cfg.t -> t
+end

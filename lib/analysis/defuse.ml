@@ -1,0 +1,66 @@
+open Fisher92_ir.Insn
+
+type reg = Ir of int | Fr of int
+
+let defs = function
+  | Iconst (d, _) | Imov (d, _) | Inot (d, _) | Ineg (d, _)
+  | Ibin (_, d, _, _) | Ibini (_, d, _, _)
+  | Icmp (_, d, _, _) | Fcmp (_, d, _, _)
+  | Ftoi (d, _) | Iload (d, _, _) | Select (d, _, _, _) ->
+    [ Ir d ]
+  | Fconst (d, _) | Fmov (d, _) | Funop (_, d, _) | Fbin (_, d, _, _)
+  | Itof (d, _) | Fload (d, _, _) | Fselect (d, _, _, _) ->
+    [ Fr d ]
+  | Call { dst; _ } | Callind { dst; _ } -> (
+    match dst with
+    | No_dest -> []
+    | Int_dest d -> [ Ir d ]
+    | Float_dest d -> [ Fr d ])
+  | Istore _ | Fstore _ | Br _ | Jump _ | Ret _ | Output _ | Foutput _ | Halt
+    ->
+    []
+
+let uses = function
+  | Iconst _ | Fconst _ | Jump _ | Ret Ret_none | Halt -> []
+  | Imov (_, s) | Inot (_, s) | Ineg (_, s) | Ibini (_, _, s, _)
+  | Iload (_, _, s) ->
+    [ Ir s ]
+  | Fmov (_, s) | Funop (_, _, s) | Ftoi (_, s) -> [ Fr s ]
+  | Ibin (_, _, a, b) | Icmp (_, _, a, b) -> [ Ir a; Ir b ]
+  | Fbin (_, _, a, b) | Fcmp (_, _, a, b) -> [ Fr a; Fr b ]
+  | Itof (_, s) -> [ Ir s ]
+  | Istore (_, i, s) -> [ Ir i; Ir s ]
+  | Fstore (_, i, s) -> [ Ir i; Fr s ]
+  | Fload (_, _, i) -> [ Ir i ]
+  | Select (_, c, a, b) -> [ Ir c; Ir a; Ir b ]
+  | Fselect (_, c, a, b) -> [ Ir c; Fr a; Fr b ]
+  | Br { cond; _ } -> [ Ir cond ]
+  | Call { iargs; fargs; _ } ->
+    List.map (fun r -> Ir r) iargs @ List.map (fun r -> Fr r) fargs
+  | Callind { table; iargs; fargs; _ } ->
+    Ir table :: (List.map (fun r -> Ir r) iargs @ List.map (fun r -> Fr r) fargs)
+  | Ret (Ret_int r) | Output r -> [ Ir r ]
+  | Ret (Ret_float r) | Foutput r -> [ Fr r ]
+
+let pure = function
+  | Iconst _ | Fconst _ | Imov _ | Fmov _ | Ibin _ | Ibini _ | Inot _ | Ineg _
+  | Fbin _ | Funop _ | Icmp _ | Fcmp _ | Itof _ | Ftoi _ | Iload _ | Fload _
+  | Select _ | Fselect _ ->
+    true
+  | Istore _ | Fstore _ | Br _ | Jump _ | Call _ | Callind _ | Ret _
+  | Output _ | Foutput _ | Halt ->
+    false
+
+let n_regs (f : Fisher92_ir.Program.func) = f.n_iregs + f.n_fregs
+
+let index (f : Fisher92_ir.Program.func) = function
+  | Ir r -> r
+  | Fr r -> f.n_iregs + r
+
+let is_param (f : Fisher92_ir.Program.func) = function
+  | Ir r -> r < f.n_iparams
+  | Fr r -> r < f.n_fparams
+
+let name = function
+  | Ir r -> Printf.sprintf "i%d" r
+  | Fr r -> Printf.sprintf "f%d" r

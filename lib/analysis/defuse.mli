@@ -1,0 +1,28 @@
+(** Register-level def/use summaries of single instructions — the atoms
+    every dataflow instance and the lint build on. *)
+
+type reg = Ir of int | Fr of int  (** an integer or float register *)
+
+val defs : Fisher92_ir.Insn.insn -> reg list
+(** Registers written (0 or 1 for every instruction in this IR). *)
+
+val uses : Fisher92_ir.Insn.insn -> reg list
+(** Registers read. *)
+
+val pure : Fisher92_ir.Insn.insn -> bool
+(** True when the instruction's only observable effect is its register
+    def: deleting it is safe if the def is dead.  Loads count as pure
+    (arrays are in range by validation); stores, outputs, calls and
+    control transfers do not. *)
+
+val n_regs : Fisher92_ir.Program.func -> int
+(** Size of the unified register index space: int regs then float regs. *)
+
+val index : Fisher92_ir.Program.func -> reg -> int
+(** Unified index: [Ir r -> r], [Fr r -> n_iregs + r]. *)
+
+val is_param : Fisher92_ir.Program.func -> reg -> bool
+(** Does the register hold a parameter on function entry? *)
+
+val name : reg -> string
+(** Display form, ["i3"] / ["f1"]. *)

@@ -1,0 +1,48 @@
+(* Iterative dominator computation (Cooper, Harvey & Kennedy, "A Simple,
+   Fast Dominance Algorithm").  Runs over the reachable subgraph; the
+   idom of an unreachable block is -1. *)
+
+type t = { idom : int array; rpo_index : int array; cfg : Cfg.t }
+
+let compute (cfg : Cfg.t) =
+  let n = Cfg.n_blocks cfg in
+  let idom = Array.make n (-1) in
+  let rpo_index = Array.make n (-1) in
+  if n > 0 then begin
+    let order = Cfg.rpo cfg in
+    List.iteri (fun i b -> rpo_index.(b) <- i) order;
+    let rec intersect a b =
+      if a = b then a
+      else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+      else intersect a idom.(b)
+    in
+    idom.(cfg.entry) <- cfg.entry;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun b ->
+          if b <> cfg.entry then begin
+            let processed =
+              List.filter (fun p -> idom.(p) <> -1) cfg.blocks.(b).b_preds
+            in
+            match processed with
+            | [] -> ()
+            | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+          end)
+        order
+    done
+  end;
+  { idom; rpo_index; cfg }
+
+let idom t b = if b = t.cfg.entry then -1 else t.idom.(b)
+
+let dominates t a b =
+  (* Walk b's idom chain up to the entry looking for a. *)
+  let rec go b = b = a || (b <> t.cfg.entry && t.idom.(b) <> -1 && go t.idom.(b)) in
+  t.idom.(b) <> -1 && go b

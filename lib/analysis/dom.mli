@@ -1,0 +1,13 @@
+(** Dominator tree over a function's CFG (iterative RPO algorithm). *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val idom : t -> int -> int
+(** Immediate dominator of a block; [-1] for the entry block and for
+    unreachable blocks. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does block [a] dominate block [b]?  False when
+    [b] is unreachable. *)

@@ -1,0 +1,142 @@
+module P = Fisher92_ir.Program
+module I = Fisher92_ir.Insn
+module Validate = Fisher92_ir.Validate
+
+type kind =
+  | Invalid
+  | Unreachable_code
+  | Use_before_def
+  | Dead_store
+  | Infinite_loop
+
+let kind_name = function
+  | Invalid -> "invalid"
+  | Unreachable_code -> "unreachable-code"
+  | Use_before_def -> "use-before-def"
+  | Dead_store -> "dead-store"
+  | Infinite_loop -> "infinite-loop"
+
+type finding = { f_func : string; f_pc : int; f_kind : kind; f_message : string }
+
+let finding f_func f_pc f_kind fmt =
+  Format.kasprintf (fun f_message -> { f_func; f_pc; f_kind; f_message }) fmt
+
+let check_func (p : P.t) fid acc =
+  let f = p.funcs.(fid) in
+  let cfg = Cfg.build f in
+  let acc = ref acc in
+  let report pc kind fmt = Format.kasprintf
+      (fun f_message ->
+        acc := { f_func = f.fname; f_pc = pc; f_kind = kind; f_message } :: !acc)
+      fmt
+  in
+  (* Unreachable blocks, one finding per maximal dead region. *)
+  let n = Cfg.n_blocks cfg in
+  let i = ref 0 in
+  while !i < n do
+    if not cfg.reachable.(!i) then begin
+      let first = !i in
+      while !i < n && not cfg.reachable.(!i) do
+        incr i
+      done;
+      let last_blk = cfg.blocks.(!i - 1) in
+      report cfg.blocks.(first).b_start Unreachable_code
+        "instructions %d..%d can never execute" cfg.blocks.(first).b_start
+        (last_blk.b_stop - 1)
+    end
+    else incr i
+  done;
+  let reaching = Dataflow.Reaching.compute f cfg in
+  let liveness = Dataflow.Liveness.compute f cfg in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      if cfg.reachable.(b.b_id) then begin
+        (* Use before definition: flag a use when no real definition and
+           no parameter value can reach it — only the zero-init does. *)
+        let rin = reaching.block_in.(b.b_id) in
+        let defined = Array.make reaching.n_regs false in
+        for r = 0 to reaching.n_regs - 1 do
+          defined.(r) <-
+            List.exists (Dataflow.Bits.get rin) reaching.real_defs_of_reg.(r)
+        done;
+        for pc = b.b_start to b.b_stop - 1 do
+          List.iter
+            (fun u ->
+              let r = Defuse.index f u in
+              if (not defined.(r)) && not (Defuse.is_param f u) then
+                report pc Use_before_def
+                  "register %s read before any definition" (Defuse.name u))
+            (Defuse.uses f.code.(pc));
+          List.iter
+            (fun d -> defined.(Defuse.index f d) <- true)
+            (Defuse.defs f.code.(pc))
+        done;
+        (* Dead stores: a pure instruction whose result no path reads. *)
+        let live = Dataflow.Bits.copy liveness.block_out.(b.b_id) in
+        for pc = b.b_stop - 1 downto b.b_start do
+          let insn = f.code.(pc) in
+          let defs = Defuse.defs insn in
+          (match defs with
+          | [ d ] when Defuse.pure insn ->
+            if not (Dataflow.Bits.get live (Defuse.index f d)) then
+              report pc Dead_store "register %s written but never read"
+                (Defuse.name d)
+          | _ -> ());
+          List.iter (fun d -> Dataflow.Bits.clear live (Defuse.index f d)) defs;
+          List.iter (fun u -> Dataflow.Bits.set live (Defuse.index f u))
+            (Defuse.uses insn)
+        done;
+        (* A reachable block whose only successor is itself never exits
+           unless a callee halts the whole program. *)
+        if b.b_succs = [ b.b_id ] then begin
+          let has_call = ref false in
+          for pc = b.b_start to b.b_stop - 1 do
+            match f.code.(pc) with
+            | I.Call _ | I.Callind _ -> has_call := true
+            | _ -> ()
+          done;
+          if not !has_call then
+            report b.b_start Infinite_loop
+              "block %d..%d loops to itself with no exit" b.b_start
+              (b.b_stop - 1)
+        end
+      end)
+    cfg.blocks;
+  !acc
+
+let check (p : P.t) =
+  match Validate.check p with
+  | _ :: _ as errs ->
+    (* Structurally broken programs get only the validator's findings:
+       the analyses below assume in-range targets and registers. *)
+    List.map
+      (fun (e : Validate.error) ->
+        finding e.location (-1) Invalid "%s" e.message)
+      errs
+  | [] ->
+    let acc = ref [] in
+    Array.iteri (fun fid _ -> acc := check_func p fid !acc) p.funcs;
+    List.sort
+      (fun a b ->
+        match compare a.f_func b.f_func with
+        | 0 -> compare a.f_pc b.f_pc
+        | c -> c)
+      (List.rev !acc)
+
+let render (p : P.t) findings =
+  match findings with
+  | [] -> Printf.sprintf "%s: clean (no findings)\n" p.pname
+  | fs ->
+    let lines =
+      List.map
+        (fun f ->
+          if f.f_pc < 0 then
+            Printf.sprintf "%s: [%s] %s" f.f_func (kind_name f.f_kind)
+              f.f_message
+          else
+            Printf.sprintf "%s@%d: [%s] %s" f.f_func f.f_pc
+              (kind_name f.f_kind) f.f_message)
+        fs
+    in
+    Printf.sprintf "%s: %d finding(s)\n%s\n" p.pname (List.length fs)
+      (String.concat "\n" lines)

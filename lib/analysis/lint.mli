@@ -1,0 +1,37 @@
+(** The IR lint: structural validation plus CFG/dataflow-derived
+    diagnostics.
+
+    [check] first runs {!Fisher92_ir.Validate.check}; if the program is
+    structurally broken it reports those as [Invalid] findings and stops
+    (the deeper analyses assume in-range targets and registers).  On
+    well-formed programs it reports, per function:
+
+    - [Unreachable_code]: basic blocks no path from the entry reaches
+      (one finding per maximal dead region);
+    - [Use_before_def]: a register read that no real definition and no
+      parameter can reach — only the VM's zero-init;
+    - [Dead_store]: a side-effect-free instruction whose destination is
+      never read afterwards on any path;
+    - [Infinite_loop]: a reachable block whose only successor is itself
+      and which contains no call that could halt the program. *)
+
+type kind =
+  | Invalid
+  | Unreachable_code
+  | Use_before_def
+  | Dead_store
+  | Infinite_loop
+
+val kind_name : kind -> string
+
+type finding = {
+  f_func : string;  (** function name, or the validator's location string *)
+  f_pc : int;  (** pc of the offending instruction, -1 for [Invalid] *)
+  f_kind : kind;
+  f_message : string;
+}
+
+val check : Fisher92_ir.Program.t -> finding list
+(** Sorted by function then pc; empty means clean. *)
+
+val render : Fisher92_ir.Program.t -> finding list -> string

@@ -1,0 +1,99 @@
+(* Natural loops from back edges.  A CFG edge u -> v is a back edge when
+   v dominates u; the loop body is everything that reaches u without
+   passing through v.  Loops sharing a header are merged (they come from
+   the same source loop with `continue`-like shapes). *)
+
+type loop = {
+  l_header : int;
+  l_back_edges : (int * int) list;
+  l_body : int list;
+}
+
+type t = {
+  loops : loop array;
+  depth : int array;  (** per block, number of enclosing loops *)
+  innermost : int array;  (** per block, smallest enclosing loop, or -1 *)
+  in_loop : bool array array;  (** in_loop.(l).(b) *)
+}
+
+let compute (cfg : Cfg.t) (dom : Dom.t) =
+  let n = Cfg.n_blocks cfg in
+  let back_edges = ref [] in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      if cfg.reachable.(b.b_id) then
+        List.iter
+          (fun s -> if Dom.dominates dom s b.b_id then
+              back_edges := (b.b_id, s) :: !back_edges)
+          b.b_succs)
+    cfg.blocks;
+  (* Group back edges by header, then collect each loop's body with a
+     backward DFS from the tails, stopping at the header. *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (u, v) ->
+      let tails = try Hashtbl.find by_header v with Not_found -> [] in
+      Hashtbl.replace by_header v (u :: tails))
+    !back_edges;
+  let headers =
+    Hashtbl.fold (fun h _ acc -> h :: acc) by_header [] |> List.sort compare
+  in
+  let loops =
+    List.map
+      (fun h ->
+        let tails = Hashtbl.find by_header h in
+        let in_body = Array.make n false in
+        in_body.(h) <- true;
+        let rec up b =
+          if not in_body.(b) then begin
+            in_body.(b) <- true;
+            List.iter up cfg.blocks.(b).b_preds
+          end
+        in
+        List.iter up tails;
+        let body = ref [] in
+        for b = n - 1 downto 0 do
+          if in_body.(b) then body := b :: !body
+        done;
+        {
+          l_header = h;
+          l_back_edges = List.map (fun u -> (u, h)) (List.rev tails);
+          l_body = !body;
+        })
+      headers
+    |> Array.of_list
+  in
+  let in_loop =
+    Array.map
+      (fun l ->
+        let mem = Array.make n false in
+        List.iter (fun b -> mem.(b) <- true) l.l_body;
+        mem)
+      loops
+  in
+  let depth = Array.make n 0 in
+  let innermost = Array.make n (-1) in
+  Array.iteri
+    (fun li mem ->
+      Array.iteri
+        (fun b inside ->
+          if inside then begin
+            depth.(b) <- depth.(b) + 1;
+            (* Smaller body = more deeply nested. *)
+            let better =
+              innermost.(b) = -1
+              || List.length loops.(li).l_body
+                 < List.length loops.(innermost.(b)).l_body
+            in
+            if better then innermost.(b) <- li
+          end)
+        mem)
+    in_loop;
+  { loops; depth; innermost; in_loop }
+
+let n_loops t = Array.length t.loops
+
+let is_back_edge t u v =
+  Array.exists (fun l -> List.mem (u, v) l.l_back_edges) t.loops
+
+let in_loop t li b = t.in_loop.(li).(b)

@@ -1,0 +1,24 @@
+(** Natural-loop detection from dominator-identified back edges. *)
+
+type loop = {
+  l_header : int;  (** header block id *)
+  l_back_edges : (int * int) list;  (** (tail, header) CFG edges *)
+  l_body : int list;  (** block ids in the loop, header included, sorted *)
+}
+
+type t = {
+  loops : loop array;
+  depth : int array;  (** per block: number of loops containing it *)
+  innermost : int array;  (** per block: index into [loops], or -1 *)
+  in_loop : bool array array;
+}
+
+val compute : Cfg.t -> Dom.t -> t
+
+val n_loops : t -> int
+
+val is_back_edge : t -> int -> int -> bool
+(** Is the CFG edge [u -> v] a loop back edge? *)
+
+val in_loop : t -> int -> int -> bool
+(** [in_loop t li b]: is block [b] inside loop [li]? *)

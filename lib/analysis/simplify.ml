@@ -1,0 +1,82 @@
+(* Unreachable-code elimination over validated programs.  The lowering
+   pipeline synthesizes epilogues and join jumps that become unreachable
+   when a source function ends in an explicit return; dropping them here
+   keeps the lint's "no unreachable code" promise for every compiled
+   program and shrinks the static image.
+
+   Branch sites of deleted branches disappear, so surviving sites are
+   renumbered densely (preserving their relative order) and the site
+   table is rebuilt with updated back-pointers. *)
+
+module P = Fisher92_ir.Program
+module I = Fisher92_ir.Insn
+
+let reachable_pcs (code : I.insn array) =
+  let len = Array.length code in
+  let live = Array.make len false in
+  let rec dfs pc =
+    if pc >= 0 && pc < len && not live.(pc) then begin
+      live.(pc) <- true;
+      List.iter dfs (Cfg.insn_succs code pc)
+    end
+  in
+  if len > 0 then dfs 0;
+  live
+
+let program (p : P.t) =
+  let site_alive = Array.make (Array.length p.sites) false in
+  let live_by_func =
+    Array.map
+      (fun (f : P.func) ->
+        let live = reachable_pcs f.code in
+        Array.iteri
+          (fun pc insn ->
+            match insn with
+            | I.Br { site; _ } when live.(pc) -> site_alive.(site) <- true
+            | _ -> ())
+          f.code;
+        live)
+      p.funcs
+  in
+  let new_site = Array.make (Array.length p.sites) (-1) in
+  let n_alive = ref 0 in
+  Array.iteri
+    (fun s alive ->
+      if alive then begin
+        new_site.(s) <- !n_alive;
+        incr n_alive
+      end)
+    site_alive;
+  let sites =
+    if !n_alive = 0 then [||] else Array.make !n_alive p.sites.(0)
+  in
+  let funcs =
+    Array.mapi
+      (fun fid (f : P.func) ->
+        let live = live_by_func.(fid) in
+        let len = Array.length f.code in
+        let new_pc = Array.make len (-1) in
+        let n_live = ref 0 in
+        for pc = 0 to len - 1 do
+          if live.(pc) then begin
+            new_pc.(pc) <- !n_live;
+            incr n_live
+          end
+        done;
+        let code = Array.make !n_live I.Halt in
+        for pc = 0 to len - 1 do
+          if live.(pc) then
+            code.(new_pc.(pc)) <-
+              (match f.code.(pc) with
+              | I.Br { cond; target; site } ->
+                let s = new_site.(site) in
+                sites.(s) <-
+                  { p.sites.(site) with s_func = fid; s_pc = new_pc.(pc) };
+                I.Br { cond; target = new_pc.(target); site = s }
+              | I.Jump t -> I.Jump new_pc.(t)
+              | insn -> insn)
+        done;
+        { f with code })
+      p.funcs
+  in
+  { p with funcs; sites }

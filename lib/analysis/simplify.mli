@@ -1,0 +1,10 @@
+(** Unreachable-code elimination.
+
+    Drops every instruction no path from pc 0 can reach, remaps branch
+    and jump targets, and renumbers the surviving branch sites densely
+    (relative order preserved) with fresh back-pointers.  The input must
+    be well-formed ({!Fisher92_ir.Validate.check}); the output is too —
+    a reachable conditional branch always has a reachable fall-through,
+    so the last surviving instruction is an unconditional transfer. *)
+
+val program : Fisher92_ir.Program.t -> Fisher92_ir.Program.t

@@ -386,8 +386,12 @@ type heuristic_row = {
   h_program : string;
   h_dataset : string;
   h_self : float;
+  h_ball_larus : float;
+  h_loop_struct : float;
+  h_opcode : float;
+  h_call : float;
+  h_ret : float;
   h_btfn : float;
-  h_loop_label : float;
   h_taken : float;
   h_not_taken : float;
 }
@@ -401,39 +405,55 @@ let heuristics study =
         h_program = l.workload.w_name;
         h_dataset = run.dataset;
         h_self = Measure.ipb_self run;
+        h_ball_larus = apply Heuristic.ball_larus;
+        h_loop_struct = apply Heuristic.loop_struct;
+        h_opcode = apply Heuristic.opcode;
+        h_call = apply Heuristic.call_avoiding;
+        h_ret = apply Heuristic.return_avoiding;
         h_btfn = apply Heuristic.backward_taken;
-        h_loop_label = apply Heuristic.loop_label;
         h_taken = apply Heuristic.always_taken;
         h_not_taken = apply Heuristic.always_not_taken;
       })
     (Study.items study)
 
 let render_heuristics rows =
-  let ratios =
-    List.filter_map
-      (fun r ->
-        if r.h_btfn > 0.0 && r.h_self < infinity then Some (r.h_self /. r.h_btfn)
-        else None)
-      rows
+  let geomean_vs field =
+    Stats.geomean
+      (List.filter_map
+         (fun r ->
+           let v = field r in
+           if v > 0.0 && r.h_self < infinity then Some (r.h_self /. v)
+           else None)
+         rows)
   in
-  "Simple opcode/loop heuristics vs profile feedback (instrs per\n\
+  "Structural (CFG-derived) heuristics vs profile feedback (instrs per\n\
    mispredicted break; paper: heuristics give up ~2x)\n"
   ^ Table.render
       ~header:
-        [ "PROGRAM"; "DATASET"; "SELF"; "BTFN"; "LOOP-LABEL"; "TAKEN"; "NOT-TAKEN" ]
+        [ "PROGRAM"; "DATASET"; "SELF"; "B-L"; "LOOP"; "OPCODE"; "CALL";
+          "RET"; "BTFN"; "TAKEN"; "NOT-TKN" ]
       (List.map
          (fun r ->
            [
              r.h_program;
              r.h_dataset;
              Table.fnum r.h_self;
+             Table.fnum r.h_ball_larus;
+             Table.fnum r.h_loop_struct;
+             Table.fnum r.h_opcode;
+             Table.fnum r.h_call;
+             Table.fnum r.h_ret;
              Table.fnum r.h_btfn;
-             Table.fnum r.h_loop_label;
              Table.fnum r.h_taken;
              Table.fnum r.h_not_taken;
            ])
          rows)
-  ^ Printf.sprintf "geomean self/BTFN ratio: %.2fx\n" (Stats.geomean ratios)
+  ^ Printf.sprintf
+      "geomean self/heuristic ratio: ball-larus %.2fx  loop-struct %.2fx  \
+       btfn %.2fx\n"
+      (geomean_vs (fun r -> r.h_ball_larus))
+      (geomean_vs (fun r -> r.h_loop_struct))
+      (geomean_vs (fun r -> r.h_btfn))
 
 (* ------------------------------------------------------------------ *)
 (* compress <-> uncompress                                             *)

@@ -93,8 +93,12 @@ type heuristic_row = {
   h_program : string;
   h_dataset : string;
   h_self : float;  (** instrs/break, self profile *)
+  h_ball_larus : float;  (** the combined structural family *)
+  h_loop_struct : float;  (** natural-loop back edges / exits *)
+  h_opcode : float;
+  h_call : float;  (** call-avoiding *)
+  h_ret : float;  (** return-avoiding *)
   h_btfn : float;
-  h_loop_label : float;
   h_taken : float;
   h_not_taken : float;
 }

@@ -36,4 +36,9 @@ let compile ?(options = default_options) prog =
   let env = Typecheck.check prog in
   let ir = Lower.lower env in
   Fisher92_ir.Validate.check_exn ir;
+  (* Lowering synthesizes epilogues and join jumps that are unreachable
+     when a source path ends in an explicit return; strip them so every
+     compiled program is lint-clean and the static image is tight. *)
+  let ir = Fisher92_analysis.Simplify.program ir in
+  Fisher92_ir.Validate.check_exn ir;
   ir

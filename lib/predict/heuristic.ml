@@ -1,5 +1,171 @@
 module I = Fisher92_ir.Insn
 module P = Fisher92_ir.Program
+module Cfg = Fisher92_analysis.Cfg
+module Dom = Fisher92_analysis.Dom
+module Loops = Fisher92_analysis.Loops
+
+(* Structural facts about one branch site, computed from the CFG,
+   dominators and natural loops of its function.  [Some dir] is an
+   opinion ("predict [dir]"), [None] abstains. *)
+type site_info = {
+  si_backward : bool;  (* target pc <= branch pc *)
+  si_back_edge : bool option;  (* a successor edge closes a natural loop *)
+  si_stay : bool option;  (* header exit test: one successor stays in *)
+  si_opcode : bool option;  (* comparison-opcode shape of the condition *)
+  si_ret : bool option;  (* one successor returns, the other does not *)
+  si_call : bool option;  (* one successor calls, the other does not *)
+}
+
+let no_info =
+  {
+    si_backward = false;
+    si_back_edge = None;
+    si_stay = None;
+    si_opcode = None;
+    si_ret = None;
+    si_call = None;
+  }
+
+(* The Ball-Larus opcode heuristic, transplanted to our compare codes:
+   equality and less-than comparisons usually fail (error/boundary
+   checks), their negations usually succeed.  Floating comparisons only
+   have a reliable shape for (in)equality. *)
+let opcode_opinion cmp ~float_cmp =
+  match (cmp, float_cmp) with
+  | I.Eq, _ -> Some false
+  | I.Ne, _ -> Some true
+  | (I.Lt | I.Le), false -> Some false
+  | (I.Gt | I.Ge), false -> Some true
+  | _ -> None
+
+(* Walk backwards inside the branch's block for the definition of the
+   condition register, following moves and negations a bounded number of
+   steps. *)
+let cond_opinion (code : I.insn array) ~b_start ~pc ~cond =
+  let rec scan pc reg flipped fuel =
+    if pc < b_start || fuel = 0 then None
+    else
+      let continue () = scan (pc - 1) reg flipped fuel in
+      match code.(pc) with
+      | I.Icmp (cmp, d, _, _) when d = reg ->
+        Option.map
+          (fun dir -> if flipped then not dir else dir)
+          (opcode_opinion cmp ~float_cmp:false)
+      | I.Fcmp (cmp, d, _, _) when d = reg ->
+        Option.map
+          (fun dir -> if flipped then not dir else dir)
+          (opcode_opinion cmp ~float_cmp:true)
+      | I.Inot (d, s) when d = reg -> scan (pc - 1) s (not flipped) (fuel - 1)
+      | I.Imov (d, s) when d = reg -> scan (pc - 1) s flipped (fuel - 1)
+      | insn when List.mem (Fisher92_analysis.Defuse.Ir reg) (Fisher92_analysis.Defuse.defs insn) ->
+        None (* defined by something with no comparison shape *)
+      | _ -> continue ()
+  in
+  scan (pc - 1) cond false 8
+
+let block_has_call (f : P.func) (b : Cfg.block) =
+  let rec go pc =
+    pc < b.b_stop
+    && (match f.code.(pc) with I.Call _ | I.Callind _ -> true | _ -> go (pc + 1))
+  in
+  go b.b_start
+
+let block_returns (f : P.func) (b : Cfg.block) =
+  match f.code.(b.b_stop - 1) with I.Ret _ -> true | _ -> false
+
+(* One [site_info] per site of the program. *)
+let analyze (prog : P.t) =
+  let infos = Array.make (P.n_sites prog) no_info in
+  Array.iter
+    (fun (f : P.func) ->
+      let cfg = Cfg.build f in
+      if Cfg.n_blocks cfg > 0 then begin
+        let dom = Dom.compute cfg in
+        let loops = Loops.compute cfg dom in
+        Array.iteri
+          (fun pc insn ->
+            match insn with
+            | I.Br { cond; target; site } ->
+              let b = cfg.block_of_pc.(pc) in
+              let taken_b = cfg.block_of_pc.(target) in
+              let fall_b =
+                if pc + 1 < Array.length f.code then
+                  Some cfg.block_of_pc.(pc + 1)
+                else None
+              in
+              let back_edge =
+                (* Only a backward taken edge counts as an iteration
+                   branch.  A forward taken edge can also close a
+                   natural loop (an if skipping the rest of a rotated
+                   loop's body lands on the test cluster): that is a
+                   continue, not a latch, and its direction carries no
+                   loop signal. *)
+                if target <= pc && Loops.is_back_edge loops b taken_b then
+                  Some true
+                else
+                  match fall_b with
+                  | Some fb when Loops.is_back_edge loops b fb -> Some false
+                  | _ -> None
+              in
+              let stay =
+                (* In-loop branches with one exiting side predict
+                   staying in the loop (loops iterate).  One shape
+                   abstains: a forward branch, outside the header, whose
+                   exit leaves by returning.  Those are data-dependent
+                   early-outs — a diff-like program may leave its scan
+                   loop on the first mismatch — unlike loop condition
+                   tests (header or rotated-backward) and break-style
+                   exits that rejoin the code after the loop. *)
+                let li = loops.innermost.(b) in
+                if li < 0 then None
+                else
+                  let taken_in = Loops.in_loop loops li taken_b in
+                  let fall_in =
+                    match fall_b with
+                    | Some fb -> Loops.in_loop loops li fb
+                    | None -> false
+                  in
+                  let grants exit_b =
+                    loops.loops.(li).Loops.l_header = b
+                    || target <= pc
+                    || not (block_returns f cfg.blocks.(exit_b))
+                  in
+                  if taken_in && not fall_in then
+                    match fall_b with
+                    | Some fb -> if grants fb then Some true else None
+                    | None -> Some true
+                  else if fall_in && not taken_in then
+                    if grants taken_b then Some false else None
+                  else None
+              in
+              let succ_opinion prop =
+                (* predict the direction AVOIDING the property *)
+                match fall_b with
+                | None -> None
+                | Some fb -> (
+                  match (prop cfg.blocks.(taken_b), prop cfg.blocks.(fb)) with
+                  | true, false -> Some false
+                  | false, true -> Some true
+                  | _ -> None)
+              in
+              infos.(site) <-
+                {
+                  si_backward = target <= pc;
+                  si_back_edge = back_edge;
+                  si_stay = stay;
+                  si_opcode =
+                    cond_opinion f.code ~b_start:cfg.blocks.(b).b_start ~pc ~cond;
+                  si_ret = succ_opinion (block_returns f);
+                  si_call = succ_opinion (block_has_call f);
+                }
+            | _ -> ())
+          f.code
+      end)
+    prog.funcs;
+  infos
+
+let of_infos infos pick =
+  Array.map (fun si -> Option.value (pick si) ~default:false) infos
 
 let backward_taken (prog : P.t) =
   let pred = Array.make (P.n_sites prog) false in
@@ -9,26 +175,73 @@ let backward_taken (prog : P.t) =
       | _ -> ());
   pred
 
-let contains_sub ~sub s =
-  let n = String.length sub and m = String.length s in
-  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
-  n = 0 || go 0
+let loop_struct prog =
+  of_infos (analyze prog) (fun si ->
+      match si.si_back_edge with Some _ as d -> d | None -> si.si_stay)
 
-let loop_label (prog : P.t) =
-  Array.init (P.n_sites prog) (fun s ->
-      let label = P.site_label prog s in
-      contains_sub ~sub:":while" label || contains_sub ~sub:":for" label)
+let opcode prog = of_infos (analyze prog) (fun si -> si.si_opcode)
+let call_avoiding prog = of_infos (analyze prog) (fun si -> si.si_call)
+let return_avoiding prog = of_infos (analyze prog) (fun si -> si.si_ret)
+
+let ball_larus prog =
+  of_infos (analyze prog) (fun si ->
+      (* priority: loop structure, then condition shape, then successor
+         shape; abstention falls through to not-taken *)
+      let ( <|> ) a b = match a with Some _ -> a | None -> b in
+      si.si_back_edge <|> si.si_stay <|> si.si_opcode <|> si.si_ret
+      <|> si.si_call)
 
 let always_taken prog = Prediction.always true ~n_sites:(P.n_sites prog)
 let always_not_taken prog = Prediction.always false ~n_sites:(P.n_sites prog)
 
+type t = {
+  h_name : string;
+  h_descr : string;
+  h_derive : P.t -> Prediction.t;
+}
+
 let all =
   [
-    ("btfn", backward_taken);
-    ("loop-label", loop_label);
-    ("always-taken", always_taken);
-    ("always-not-taken", always_not_taken);
+    {
+      h_name = "btfn";
+      h_descr = "backward taken, forward not taken (pc order only)";
+      h_derive = backward_taken;
+    };
+    {
+      h_name = "loop-struct";
+      h_descr = "natural-loop back edges taken, loop exits not taken";
+      h_derive = loop_struct;
+    };
+    {
+      h_name = "opcode";
+      h_descr = "comparison-shape of the branch condition";
+      h_derive = opcode;
+    };
+    {
+      h_name = "call-avoiding";
+      h_descr = "prefer the successor without a call";
+      h_derive = call_avoiding;
+    };
+    {
+      h_name = "return-avoiding";
+      h_descr = "prefer the successor that does not return";
+      h_derive = return_avoiding;
+    };
+    {
+      h_name = "ball-larus";
+      h_descr = "loop structure, then opcode, then return/call avoidance";
+      h_derive = ball_larus;
+    };
+    {
+      h_name = "always-taken";
+      h_descr = "every branch predicted taken";
+      h_derive = always_taken;
+    };
+    {
+      h_name = "always-not-taken";
+      h_descr = "every branch predicted not taken";
+      h_derive = always_not_taken;
+    };
   ]
 
-let name_of f =
-  List.find_map (fun (name, g) -> if g == f then Some name else None) all
+let find name = List.find_opt (fun h -> h.h_name = name) all

@@ -3,24 +3,71 @@
     calls "unsurprisingly, terrible" (about a factor of two in
     instructions per break on non-vector codes).
 
-    These heuristics inspect only the compiled program, never a run. *)
+    These heuristics inspect only the compiled program, never a run.
+    The structural family (everything except [btfn] and the constant
+    predictors) is derived from {!Fisher92_analysis}: basic blocks,
+    dominators and natural loops — in the style of Ball & Larus,
+    "Branch Prediction for Free". *)
+
+type site_info = {
+  si_backward : bool;  (** branch target precedes the branch *)
+  si_back_edge : bool option;
+      (** [Some dir]: predicting [dir] follows a natural-loop back edge.
+          Taken edges only count when backward — a forward edge closing
+          a loop is a continue skipping to a rotated loop's test, not an
+          iteration branch. *)
+  si_stay : bool option;
+      (** [Some dir]: predicting [dir] stays in the innermost loop while
+          the other direction exits it.  Forward non-header branches
+          whose exit leaves by returning abstain — those data-dependent
+          early-outs are coin tosses, unlike loop condition tests and
+          break-style exits. *)
+  si_opcode : bool option;
+      (** comparison-opcode opinion of the condition's definition:
+          equality/less-than tests usually fail *)
+  si_ret : bool option;  (** [Some dir]: the other direction returns *)
+  si_call : bool option;  (** [Some dir]: the other direction calls *)
+}
+
+val analyze : Fisher92_ir.Program.t -> site_info array
+(** One record per branch site, from each function's CFG analysis. *)
 
 val backward_taken : Fisher92_ir.Program.t -> Prediction.t
-(** BTFN: a branch whose target precedes it (a loop back edge) is
-    predicted taken; forward branches not taken.  This is the classic
-    [Smith 81]-era opcode-free heuristic. *)
+(** BTFN: a branch whose target precedes it is predicted taken; forward
+    branches not taken.  The classic [Smith 81]-era heuristic — pure pc
+    arithmetic, no CFG needed. *)
 
-val loop_label : Fisher92_ir.Program.t -> Prediction.t
-(** Source-structure variant: branches whose site label marks a loop test
-    ([while]/[for]) are predicted taken, everything else not taken —
-    i.e. "assume loops repeat, assume ifs fall through". *)
+val loop_struct : Fisher92_ir.Program.t -> Prediction.t
+(** Natural-loop structure: back edges predicted taken, loop exit
+    tests predicted to stay in the loop, everything else not taken.
+    Subsumes the old label-matching [loop-label] heuristic without
+    looking at site names. *)
+
+val opcode : Fisher92_ir.Program.t -> Prediction.t
+(** Predict from the comparison that computes the condition: [=], [<],
+    [<=] usually fail; [<>], [>], [>=] usually hold. *)
+
+val call_avoiding : Fisher92_ir.Program.t -> Prediction.t
+(** Prefer the successor block without a call. *)
+
+val return_avoiding : Fisher92_ir.Program.t -> Prediction.t
+(** Prefer the successor block that does not immediately return. *)
+
+val ball_larus : Fisher92_ir.Program.t -> Prediction.t
+(** The combined family, first opinion wins: back edge, loop stay,
+    opcode, return-avoiding, call-avoiding, default not-taken. *)
 
 val always_taken : Fisher92_ir.Program.t -> Prediction.t
-
 val always_not_taken : Fisher92_ir.Program.t -> Prediction.t
 
-val name_of : (Fisher92_ir.Program.t -> Prediction.t) -> string option
-(** Display name for the four heuristics above. *)
+type t = {
+  h_name : string;  (** display name, e.g. ["loop-struct"] *)
+  h_descr : string;
+  h_derive : Fisher92_ir.Program.t -> Prediction.t;
+}
 
-val all : (string * (Fisher92_ir.Program.t -> Prediction.t)) list
-(** Every heuristic with its display name. *)
+val all : t list
+(** Every heuristic with its display name and one-line description. *)
+
+val find : string -> t option
+(** Look a heuristic up by [h_name]. *)

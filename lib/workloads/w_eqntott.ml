@@ -121,10 +121,9 @@ let program =
       (* iterative quicksort over perm, keyed by cmp_rows *)
       fn "sort_rows" [ pi "n" ]
         [
-          leti "top" (i 0);
+          leti "top" (i 2);
           st "sortstack" (i 0) (i 0);
           st "sortstack" (i 1) (v "n" -: i 1);
-          set "top" (i 2);
           while_ (v "top" >: i 0)
             [
               set "top" (v "top" -: i 2);

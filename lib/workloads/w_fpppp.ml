@@ -22,25 +22,29 @@ let tname k = Printf.sprintf "t%d" k
 
 (* A deterministic straight-line block over t0..t13 that keeps every value
    in [-1, 1] and away from 0: affine mixes, half-differences, damped
-   products, square roots with an offset. *)
+   products, square roots with an offset.  Every statement reads its own
+   destination (the chains the original's dependent FP expressions have),
+   which also means no store in the block is ever dead: each overwrite of
+   a temporary consumes the previous value first. *)
 let giant_block rng =
   List.init block_len (fun _ ->
       let d = tname (Rng.int rng pool) in
       let a = v (tname (Rng.int rng pool)) in
-      let b = v (tname (Rng.int rng pool)) in
+      let _b = v (tname (Rng.int rng pool)) in
+      let old = v d in
       let k = 0.05 +. (0.01 *. float_of_int (Rng.int rng 50)) in
       match Rng.int rng 12 with
-      | 0 | 1 | 2 -> set d ((a *: fl 0.55) +: (b *: fl 0.35) +: fl (k *. 0.2))
-      | 3 | 4 -> set d (((a -: b) *: fl 0.5) +: fl (k *. 0.1))
-      | 5 | 6 -> set d ((a *: b *: fl 0.8) +: fl k)
-      | 7 -> set d (sqrt_ (abs_ a +: fl k) *: fl 0.9)
-      | 8 -> set d (sin_ ((a *: fl 2.7) +: fl k))
-      | 9 -> set d (cos_ ((b *: fl 1.9) -: fl k) *: fl 0.95)
+      | 0 | 1 | 2 -> set d ((a *: fl 0.55) +: (old *: fl 0.35) +: fl (k *. 0.2))
+      | 3 | 4 -> set d (((a -: old) *: fl 0.5) +: fl (k *. 0.1))
+      | 5 | 6 -> set d ((a *: old *: fl 0.8) +: fl k)
+      | 7 -> set d (sqrt_ (abs_ old +: fl k) *: fl 0.9)
+      | 8 -> set d (sin_ ((old *: fl 2.7) +: fl k))
+      | 9 -> set d (cos_ ((old *: fl 1.9) -: fl k) *: fl 0.95)
       | _ ->
         (* re-inject dependence on the quadruple index so values do not
            contract to a q-independent fixed point *)
         set d
-          ((a *: fl 0.5)
+          ((old *: fl 0.5)
           +: (sin_ (to_float (v "q") *: fl (0.37 +. k)) *: fl 0.5)))
 
 let program =
@@ -58,26 +62,31 @@ let program =
         @ List.init pool (fun k -> letf (tname k) (fl 0.0))
         @ [
             for_ "q" (i 0) (v "nq")
-              ((* seed every temporary from the quadruple index *)
+              ((* seed every temporary from the quadruple index, with a
+                  whiff of the previous quadruple's value (keeps every
+                  cross-iteration store observable) *)
                List.init pool (fun k ->
                    let c = 0.21 +. (0.17 *. float_of_int k) in
-                   set (tname k) (sin_ (to_float (v "q") *: fl c) *: fl 0.9))
+                   set (tname k)
+                     ((sin_ (to_float (v "q") *: fl c) *: fl 0.85)
+                     +: (v (tname k) *: fl 0.05)))
               @ giant_block rng
               @ [
                   (* integral screening: data-dependent cutoffs, the only
                      conditional work in the block.  Thresholds sit inside
-                     the value distributions so each test has a 15-30%
-                     minority side, matching the paper's 83%-majority
-                     observation for fpppp *)
+                     the value distributions so each test keeps a healthy
+                     minority side, matching the paper's only-83%-majority
+                     observation for fpppp while staying between nasa7 and
+                     LFK in Table 3's self-predicted ordering *)
                   when_ (v "t0" +: sin_ (to_float (v "q") *: fl 0.917) >: fl 0.62)
                     [
                       set "total" (v "total" +: v "t0");
-                      when_ (v "t1" >: fl 0.1)
+                      when_ (v "t1" +: sin_ (to_float (v "q") *: fl 1.313) >: fl 0.9)
                         [ set "total" (v "total" +: (v "t1" *: fl 0.5)) ];
                     ];
                   when_ (v "t2" +: sin_ (to_float (v "q") *: fl 1.71) >: fl 0.7)
                     [ set "kept" (v "kept" +: i 1) ];
-                  when_ (v "t3" -: sin_ (to_float (v "q") *: fl 2.33) >: fl 0.68)
+                  when_ (v "t3" -: sin_ (to_float (v "q") *: fl 2.33) >: fl 0.42)
                     [ set "total" (v "total" -: (v "t3" *: fl 0.25)) ];
                   st "integrals" (band (v "q") (i 4095)) (v "total");
                 ]);

@@ -169,11 +169,12 @@ let program =
           letf "vgs" (ld "estate" (v "k"));
           letf "beta" (ld "evalue" (v "k"));
           letf "vth" (fl 0.7);
-          letf "gm" (fl 0.0);
+          (* region selection: cutoff / linear-ish / saturation.  The
+             declarations carry the cutoff values so the conducting
+             regions are the guarded path. *)
+          letf "gm" (fl 0.0000001);
           letf "id0" (fl 0.0);
-          (* region selection: cutoff / linear-ish / saturation *)
-          if_ (v "vgs" <=: v "vth")
-            [ set "gm" (fl 0.0000001); set "id0" (fl 0.0) ]
+          when_ (v "vgs" >: v "vth")
             [
               letf "vov" (v "vgs" -: v "vth");
               if_ (v "vov" <: fl 0.4)

@@ -163,6 +163,39 @@ let test_heuristics_factor () =
         (r.h_btfn >= 0.99 *. r.h_self))
     [ "matrix300"; "tomcatv"; "lfk" ]
 
+(* The structural loop heuristic must subsume the label-matching one it
+   replaced: never worse on instructions per mispredict, on any program.
+   The old heuristic is reimplemented inline from site labels — string
+   matching is fine in a test, it is only banned from lib/predict. *)
+let test_loop_struct_subsumes_labels () =
+  let contains_sub ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let label_heuristic ir =
+    Array.init
+      (Fisher92_ir.Program.n_sites ir)
+      (fun s ->
+        let label = Fisher92_ir.Program.site_label ir s in
+        contains_sub ~sub:":while" label || contains_sub ~sub:":for" label)
+  in
+  List.iter
+    (fun (l : Study.loaded) ->
+      let structural = Fisher92_predict.Heuristic.loop_struct l.ir in
+      let labeled = label_heuristic l.ir in
+      List.iter
+        (fun run ->
+          let ipb p = Fisher92_metrics.Measure.ipb_predicted run p in
+          let s = ipb structural and lab = ipb labeled in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: loop-struct %.1f >= loop-label %.1f"
+               l.workload.w_name run.Fisher92_metrics.Measure.dataset s lab)
+            true
+            (s >= lab -. 1e-9))
+        l.runs)
+    (Study.items (Lazy.force study))
+
 (* compress <-> uncompress: no correlation. *)
 let test_crossmode_uncorrelated () =
   let rows = E.crossmode (Lazy.force study) in
@@ -242,6 +275,8 @@ let () =
           Alcotest.test_case "table1 shape" `Slow test_table1_shape;
           Alcotest.test_case "taken constancy" `Slow test_taken_constancy;
           Alcotest.test_case "heuristics factor" `Slow test_heuristics_factor;
+          Alcotest.test_case "loop-struct subsumes labels" `Slow
+            test_loop_struct_subsumes_labels;
           Alcotest.test_case "crossmode uncorrelated" `Slow
             test_crossmode_uncorrelated;
           Alcotest.test_case "static competitive" `Slow test_static_competitive;

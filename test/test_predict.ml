@@ -98,12 +98,33 @@ let test_btfn_marks_back_edges () =
   Alcotest.(check int) "one backward branch" 1 (List.length backward);
   Alcotest.(check int) "two sites" 2 (Array.length pred)
 
-let test_loop_label_heuristic () =
+let test_loop_struct_heuristic () =
   let ir = T.compile loopy_program in
-  let pred = Heuristic.loop_label ir in
-  (* for-loop site predicted taken, if site not *)
+  let pred = Heuristic.loop_struct ir in
+  (* for-loop back edge predicted taken, if site not *)
   Alcotest.(check int) "one loop site" 1
-    (Array.to_list pred |> List.filter (fun b -> b) |> List.length)
+    (Array.to_list pred |> List.filter (fun b -> b) |> List.length);
+  (* and it is the same site BTFN calls backward *)
+  Alcotest.(check (array bool)) "agrees with btfn here"
+    (Heuristic.backward_taken ir) pred
+
+let test_site_infos () =
+  let ir = T.compile loopy_program in
+  let infos = Heuristic.analyze ir in
+  Alcotest.(check int) "two sites" 2 (Array.length infos);
+  (* the for loop is rotated (entry jumps to the test cluster, which is
+     the natural-loop header), so its latch shows up as a backward
+     branch whose taken side stays in the loop *)
+  let iter_sites =
+    Array.to_list infos
+    |> List.filter (fun (si : Heuristic.site_info) ->
+           si.si_back_edge = Some true || si.si_stay = Some true)
+  in
+  Alcotest.(check int) "one iteration site" 1 (List.length iter_sites);
+  List.iter
+    (fun (si : Heuristic.site_info) ->
+      Alcotest.(check bool) "iteration branch is backward" true si.si_backward)
+    iter_sites
 
 let test_btfn_beats_naive_on_loops () =
   let ir = T.compile loopy_program in
@@ -118,9 +139,13 @@ let test_btfn_beats_naive_on_loops () =
     (miss Heuristic.backward_taken)
 
 let test_heuristic_names () =
-  Alcotest.(check (option string)) "btfn name" (Some "btfn")
-    (Heuristic.name_of Heuristic.backward_taken);
-  Alcotest.(check int) "all heuristics" 4 (List.length Heuristic.all)
+  let names = List.map (fun (h : Heuristic.t) -> h.h_name) Heuristic.all in
+  Alcotest.(check (list string)) "names"
+    [ "btfn"; "loop-struct"; "opcode"; "call-avoiding"; "return-avoiding";
+      "ball-larus"; "always-taken"; "always-not-taken" ]
+    names;
+  Alcotest.(check bool) "find btfn" true (Heuristic.find "btfn" <> None);
+  Alcotest.(check bool) "find unknown" true (Heuristic.find "nope" = None)
 
 (* ---- dynamic ---- *)
 
@@ -185,7 +210,8 @@ let () =
       ( "heuristic",
         [
           Alcotest.test_case "btfn back edges" `Quick test_btfn_marks_back_edges;
-          Alcotest.test_case "loop labels" `Quick test_loop_label_heuristic;
+          Alcotest.test_case "loop structure" `Quick test_loop_struct_heuristic;
+          Alcotest.test_case "site infos" `Quick test_site_infos;
           Alcotest.test_case "btfn beats naive" `Quick test_btfn_beats_naive_on_loops;
           Alcotest.test_case "names" `Quick test_heuristic_names;
         ] );

@@ -121,8 +121,12 @@ let test_heuristics_never_beat_self () =
             Alcotest.failf "%s: heuristic %s (%f) beats self (%f)" r.h_program
               name value r.h_self)
         [
+          ("ball-larus", r.h_ball_larus);
+          ("loop-struct", r.h_loop_struct);
+          ("opcode", r.h_opcode);
+          ("call", r.h_call);
+          ("ret", r.h_ret);
           ("btfn", r.h_btfn);
-          ("loop", r.h_loop_label);
           ("taken", r.h_taken);
           ("not-taken", r.h_not_taken);
         ])

@@ -67,6 +67,20 @@ let test_determinism () =
   Alcotest.(check int) "same total" a.total b.total;
   Alcotest.(check bool) "same outputs" true (a.outputs = b.outputs)
 
+let test_lint_clean () =
+  (* every registered workload compiles to IR the lint pass accepts with
+     zero findings — the same bar `fisher92 lint` enforces *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let ir = compile w in
+      let findings = Fisher92_analysis.Lint.check ir in
+      Alcotest.(check string)
+        (w.w_name ^ " lint-clean")
+        ""
+        (Fisher92_analysis.Lint.render ir findings |> fun s ->
+         if findings = [] then "" else s))
+    (W.Registry.all ())
+
 (* ---- compress / uncompress ---- *)
 
 let test_compress_matches_reference () =
@@ -498,6 +512,7 @@ let () =
           Alcotest.test_case "shape" `Quick test_registry_shape;
           Alcotest.test_case "every dataset runs" `Slow test_every_dataset_runs;
           Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "lint clean" `Quick test_lint_clean;
         ] );
       ( "compress",
         [
