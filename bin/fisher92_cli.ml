@@ -7,6 +7,8 @@
    fisher92 predict PROG TARGET         cross-predict one dataset from
                                         the others
    fisher92 experiments [SECTION...]    regenerate paper tables/figures
+   fisher92 db check|repair|migrate     verify / salvage / upgrade profile
+                                        databases
    fisher92 lint [PROG]                 IR lint (CFG + dataflow checks)
    fisher92 disasm PROG                 dump the compiled IR *)
 
@@ -98,6 +100,9 @@ let profile_cmd =
         Fisher92_profile.Db.record db ~dataset:d.ds_name
           (Profile.of_run ~program:prog r))
       w.w_datasets;
+    Fisher92_profile.Db.set_identity db
+      ~fingerprint:(Fisher92_analysis.Fingerprint.program_hash ir)
+      ~sitekeys:(Fisher92_analysis.Fingerprint.site_keys ir);
     let text =
       if directives then
         Fisher92_profile.Directive.render_all
@@ -108,9 +113,12 @@ let profile_cmd =
     match output with
     | None -> print_string text
     | Some path ->
-      let oc = open_out path in
-      output_string oc text;
-      close_out oc;
+      if directives then begin
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+      end
+      else Fisher92_profile.Db.save_file db path;
       Printf.printf "wrote %s (%d bytes)\n" path (String.length text)
   in
   let prog = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM") in
@@ -180,7 +188,7 @@ let experiments_cmd =
     let all =
       [ "table2"; "table1"; "fig1"; "fig2"; "table3"; "fig3"; "taken";
         "combine"; "heuristics"; "crossmode"; "dynamic"; "inline"; "gaps";
-        "switchsort"; "overhead"; "coverage" ]
+        "switchsort"; "overhead"; "coverage"; "staleness" ]
     in
     let sections = if sections = [] then all else sections in
     List.iter
@@ -204,6 +212,7 @@ let experiments_cmd =
           | "switchsort" -> E.render_switchsort (E.switchsort (Lazy.force study))
           | "overhead" -> E.render_overhead (E.overhead (Lazy.force study))
           | "coverage" -> E.render_coverage (E.coverage (Lazy.force study))
+          | "staleness" -> E.render_staleness (E.staleness (Lazy.force study))
           | other ->
             Printf.eprintf "unknown section %S\n" other;
             exit 2
@@ -216,6 +225,104 @@ let experiments_cmd =
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures (all, or named sections)")
     Term.(const run $ sections)
+
+(* ---- db ---- *)
+
+let db_cmd =
+  let module Db = Fisher92_profile.Db in
+  let module Remap = Fisher92_predict.Remap in
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the result here instead of overwriting FILE")
+  in
+  let check =
+    let run file prog =
+      let text = read_file file in
+      let strict =
+        match Db.load text with
+        | _ -> None
+        | exception Failure msg -> Some msg
+      in
+      (match strict with
+      | None -> Printf.printf "%s: strict load ok\n" file
+      | Some msg -> Printf.printf "%s: strict load FAILED: %s\n" file msg);
+      let db, report = Db.load_lenient text in
+      print_string (Db.render_report report);
+      (match prog with
+      | None -> ()
+      | Some p ->
+        let w = find_workload p in
+        let ir = compile w in
+        let chain = Remap.plan ir db in
+        let e, r, h, d = Remap.counts chain in
+        Printf.printf "against %s (%d sites): %s, %s\n" p
+          (Fisher92_ir.Program.n_sites ir)
+          (if chain.Remap.r_stale then "STALE" else "fresh")
+          (if chain.Remap.r_verified then "fingerprinted"
+           else "no fingerprint");
+        Printf.printf
+          "  provenance: %d exact, %d remapped, %d heuristic, %d default\n"
+          e r h d);
+      if strict <> None || not (Db.clean report) then exit 1
+    in
+    let prog =
+      Arg.(value & opt (some string) None & info [ "program" ] ~docv:"PROGRAM"
+             ~doc:"Also report prediction provenance against this workload's \
+                   current build")
+    in
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:
+           "Verify a profile database: strict load, salvage report, and \
+            (with --program) staleness/provenance against the current build. \
+            Exits 1 unless the file is fully intact.")
+      Term.(const run $ file_arg $ prog)
+  in
+  let repair =
+    let run file output =
+      let db, report = Db.load_lenient (read_file file) in
+      print_string (Db.render_report report);
+      let dest = match output with Some o -> o | None -> file in
+      Db.save_file db dest;
+      Printf.printf "wrote %s (%d datasets kept)\n" dest
+        (List.length (Db.datasets db))
+    in
+    Cmd.v
+      (Cmd.info "repair"
+         ~doc:
+           "Salvage whatever checksum-verified sections survive in a damaged \
+            database and rewrite it as clean v2.")
+      Term.(const run $ file_arg $ out_arg)
+  in
+  let migrate =
+    let run file output =
+      let db = Db.load_file file in
+      let dest = match output with Some o -> o | None -> file in
+      Db.save_file db dest;
+      Printf.printf "wrote %s (v2, %d datasets)\n" dest
+        (List.length (Db.datasets db))
+    in
+    Cmd.v
+      (Cmd.info "migrate"
+         ~doc:
+           "Strict-load a v1 or v2 database and rewrite it in the v2 format. \
+            Idempotent: migrating a v2 file reproduces it byte for byte.")
+      Term.(const run $ file_arg $ out_arg)
+  in
+  Cmd.group
+    (Cmd.info "db"
+       ~doc:"Inspect, salvage, and migrate IFPROB profile databases")
+    [ check; repair; migrate ]
 
 (* ---- hotspots ---- *)
 
@@ -309,4 +416,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; profile_cmd; predict_cmd; experiments_cmd;
-            hotspots_cmd; lint_cmd; disasm_cmd ]))
+            db_cmd; hotspots_cmd; lint_cmd; disasm_cmd ]))

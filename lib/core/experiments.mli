@@ -216,3 +216,33 @@ val coverage : Study.t -> coverage_row list
     cross-prediction quality, per multi-dataset program. *)
 
 val render_coverage : coverage_row list -> string
+
+type stale_row = {
+  st_program : string;
+  st_dataset : string;
+  st_self : float;  (** fresh self-prediction on the mutated build *)
+  st_remap : float;
+      (** stale database fed through the remap → heuristic → default
+          degradation chain ({!Fisher92_predict.Remap}) *)
+  st_heur : float;  (** bare structural heuristic, no profile at all *)
+  st_exact : int;  (** provenance counts over the mutated build's sites *)
+  st_remapped : int;
+  st_heuristic : int;
+  st_default : int;
+}
+
+val mutate_source :
+  Fisher92_minic.Ast.program -> Fisher92_minic.Ast.program
+(** The staleness experiment's single-site source mutation: insert one
+    never-taken guard branch at the top of the entry function, shifting
+    every later site index (exposed for tests). *)
+
+val staleness : Study.t -> stale_row list
+(** Staleness extension: profile every dataset against the measured
+    build, mutate the source by one branch site, recompile, and compare
+    the stale database remapped through the degradation chain against
+    the bare structural heuristic on the first dataset.  The paper
+    sidesteps this hazard by recompiling before profiling; a production
+    feedback loop cannot. *)
+
+val render_staleness : stale_row list -> string

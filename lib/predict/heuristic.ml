@@ -183,13 +183,14 @@ let opcode prog = of_infos (analyze prog) (fun si -> si.si_opcode)
 let call_avoiding prog = of_infos (analyze prog) (fun si -> si.si_call)
 let return_avoiding prog = of_infos (analyze prog) (fun si -> si.si_ret)
 
-let ball_larus prog =
-  of_infos (analyze prog) (fun si ->
-      (* priority: loop structure, then condition shape, then successor
-         shape; abstention falls through to not-taken *)
-      let ( <|> ) a b = match a with Some _ -> a | None -> b in
-      si.si_back_edge <|> si.si_stay <|> si.si_opcode <|> si.si_ret
-      <|> si.si_call)
+(* priority: loop structure, then condition shape, then successor
+   shape; abstention falls through to the caller's default *)
+let ball_larus_pick si =
+  let ( <|> ) a b = match a with Some _ -> a | None -> b in
+  si.si_back_edge <|> si.si_stay <|> si.si_opcode <|> si.si_ret <|> si.si_call
+
+let ball_larus prog = of_infos (analyze prog) ball_larus_pick
+let ball_larus_opinions prog = Array.map ball_larus_pick (analyze prog)
 
 let always_taken prog = Prediction.always true ~n_sites:(P.n_sites prog)
 let always_not_taken prog = Prediction.always false ~n_sites:(P.n_sites prog)

@@ -57,6 +57,12 @@ val ball_larus : Fisher92_ir.Program.t -> Prediction.t
 (** The combined family, first opinion wins: back edge, loop stay,
     opcode, return-avoiding, call-avoiding, default not-taken. *)
 
+val ball_larus_opinions : Fisher92_ir.Program.t -> bool option array
+(** The combined family's per-site opinion, [None] where every member
+    abstains — the middle link of the remap → heuristic → default
+    degradation chain ({!Remap}), which needs to know the difference
+    between "the heuristic says not-taken" and "nobody has an opinion". *)
+
 val always_taken : Fisher92_ir.Program.t -> Prediction.t
 val always_not_taken : Fisher92_ir.Program.t -> Prediction.t
 

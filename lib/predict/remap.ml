@@ -1,0 +1,100 @@
+module P = Fisher92_ir.Program
+module Fp = Fisher92_analysis.Fingerprint
+module Profile = Fisher92_profile.Profile
+module Db = Fisher92_profile.Db
+
+type provenance = Exact | Remapped | Heuristic | Default
+
+let provenance_name = function
+  | Exact -> "exact"
+  | Remapped -> "remapped"
+  | Heuristic -> "heuristic"
+  | Default -> "default"
+
+type t = {
+  r_prediction : Prediction.t;
+  r_provenance : provenance array;
+  r_stale : bool;
+  r_verified : bool;
+}
+
+let counts t =
+  Array.fold_left
+    (fun (e, r, h, d) -> function
+      | Exact -> (e + 1, r, h, d)
+      | Remapped -> (e, r + 1, h, d)
+      | Heuristic -> (e, r, h + 1, d)
+      | Default -> (e, r, h, d + 1))
+    (0, 0, 0, 0) t.r_provenance
+
+(* Unique-key index: match keys are unique per side by construction
+   (the ordinal numbers clones), but a hand-edited database could break
+   that, so collisions are demoted to "no match". *)
+let index_by_match_key keys =
+  let tbl = Hashtbl.create (Array.length keys * 2) in
+  Array.iteri
+    (fun s k ->
+      let mk = Fp.match_key k in
+      match Hashtbl.find_opt tbl mk with
+      | None -> Hashtbl.replace tbl mk (Some s)
+      | Some _ -> Hashtbl.replace tbl mk None (* ambiguous: poison *))
+    keys;
+  tbl
+
+let plan prog db =
+  let n = P.n_sites prog in
+  let prediction = Array.make n false in
+  let provenance = Array.make n Default in
+  let opinions = Heuristic.ball_larus_opinions prog in
+  let fallback s =
+    match opinions.(s) with
+    | Some dir ->
+      prediction.(s) <- dir;
+      provenance.(s) <- Heuristic
+    | None ->
+      prediction.(s) <- false;
+      provenance.(s) <- Default
+  in
+  let verified = Db.fingerprint db <> None in
+  let fresh =
+    match Db.fingerprint db with
+    | Some fp -> String.equal fp (Fp.program_hash prog) && Db.n_sites db = n
+    | None -> Db.n_sites db = n (* legacy: trust a matching shape *)
+  in
+  let acc = Db.accumulated db in
+  if fresh then begin
+    for s = 0 to n - 1 do
+      match Profile.majority_taken acc s with
+      | Some dir ->
+        prediction.(s) <- dir;
+        provenance.(s) <- Exact
+      | None -> fallback s
+    done;
+    { r_prediction = prediction; r_provenance = provenance;
+      r_stale = false; r_verified = verified }
+  end
+  else begin
+    (match Db.sitekeys db with
+    | None -> for s = 0 to n - 1 do fallback s done
+    | Some old_keys ->
+      let old_index = index_by_match_key old_keys in
+      let new_keys = Fp.site_keys prog in
+      let new_index = index_by_match_key new_keys in
+      for s = 0 to n - 1 do
+        let mk = Fp.match_key new_keys.(s) in
+        match Hashtbl.find_opt new_index mk with
+        | Some (Some _) -> (
+          (* unique on our side; look for a unique counterpart *)
+          match Hashtbl.find_opt old_index mk with
+          | Some (Some old_s)
+            when old_s < Profile.n_sites acc
+                 && acc.Profile.encountered.(old_s) > 0 ->
+            prediction.(s) <-
+              2 * acc.Profile.taken.(old_s) >= acc.Profile.encountered.(old_s);
+            provenance.(s) <- Remapped
+          | _ -> fallback s)
+        | _ -> fallback s
+      done);
+    { r_prediction = prediction; r_provenance = provenance;
+      r_stale = true; r_verified = verified }
+  end

@@ -1,0 +1,41 @@
+(** Graceful degradation from a possibly-stale profile database.
+
+    The paper sidesteps the "profile from a previous version of the
+    program" hazard by always recompiling before profiling.  A production
+    feedback loop cannot: the database on disk was recorded against
+    whatever build ran last week.  This module turns a database plus the
+    {e current} build into one prediction, choosing per site the best
+    evidence available:
+
+    + {b Exact} — the database's fingerprint matches the build: its
+      counters apply verbatim (sites the profile never saw fall through);
+    + {b Remapped} — the fingerprint mismatches, but the site's
+      structural key ({!Fisher92_analysis.Fingerprint}) identifies a
+      unique counterpart among the recorded sites whose counters carry
+      real evidence: the old majority direction is re-used;
+    + {b Heuristic} — no usable counters: the structural Ball-Larus
+      family's opinion, when it has one;
+    + {b Default} — static not-taken, the last resort.
+
+    A legacy database with no fingerprint but the right site count is
+    trusted as Exact (the pre-v2 behaviour); with the wrong site count,
+    or when fingerprints mismatch and no site keys were stored, nothing
+    can be salvaged and the whole chain degrades to heuristic/default. *)
+
+type provenance = Exact | Remapped | Heuristic | Default
+
+val provenance_name : provenance -> string
+
+type t = {
+  r_prediction : Prediction.t;
+  r_provenance : provenance array;  (** per site of the current build *)
+  r_stale : bool;  (** the database did not match the build *)
+  r_verified : bool;  (** the database carried a fingerprint at all *)
+}
+
+val counts : t -> int * int * int * int
+(** (exact, remapped, heuristic, default) site counts. *)
+
+val plan : Fisher92_ir.Program.t -> Fisher92_profile.Db.t -> t
+(** Build the degradation-chain prediction of a program from a database
+    recorded against the same or an earlier build of it. *)

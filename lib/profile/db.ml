@@ -1,14 +1,32 @@
+module Fnv = Fisher92_util.Fnv
+
 type t = {
   db_program : string;
   db_sites : int;
   tbl : (string, Profile.t) Hashtbl.t;
   mutable order : string list;  (* reversed *)
+  mutable db_fp : string option;
+  mutable db_keys : string array option;
 }
 
+let check_no_newline what s =
+  if String.contains s '\n' || String.contains s '\r' then
+    invalid_arg (Printf.sprintf "Db: %s contains a newline" what)
+
 let create ~program ~n_sites =
-  { db_program = program; db_sites = n_sites; tbl = Hashtbl.create 8; order = [] }
+  if n_sites < 0 then invalid_arg "Db.create: negative site count";
+  check_no_newline "program name" program;
+  {
+    db_program = program;
+    db_sites = n_sites;
+    tbl = Hashtbl.create 8;
+    order = [];
+    db_fp = None;
+    db_keys = None;
+  }
 
 let program t = t.db_program
+let n_sites t = t.db_sites
 
 let record t ~dataset (p : Profile.t) =
   if not (String.equal p.program t.db_program) then
@@ -17,6 +35,7 @@ let record t ~dataset (p : Profile.t) =
          p.program t.db_program);
   if Profile.n_sites p <> t.db_sites then
     invalid_arg "Db.record: site count mismatch";
+  check_no_newline "dataset name" dataset;
   match Hashtbl.find_opt t.tbl dataset with
   | Some existing -> Hashtbl.replace t.tbl dataset (Profile.add existing p)
   | None ->
@@ -37,93 +56,716 @@ let accumulated_except t ~dataset =
   | [] -> None
   | ds -> Some (Profile.sum (List.map (fun d -> profile t ~dataset:d) ds))
 
-(* Format:
+let fingerprint t = t.db_fp
+let sitekeys t = t.db_keys
+
+let set_identity t ~fingerprint ~sitekeys =
+  if Array.length sitekeys <> t.db_sites then
+    invalid_arg "Db.set_identity: one key per site required";
+  check_no_newline "fingerprint" fingerprint;
+  Array.iter (check_no_newline "site key") sitekeys;
+  t.db_fp <- Some fingerprint;
+  t.db_keys <- Some sitekeys
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* v1 (legacy):
      ifprobdb <program> <n_sites>
      dataset <name-len> <name>
      <site> <encountered> <taken>     (only non-zero sites)
      end
-*)
-let save t =
+
+   v2 (written by [save]):
+     ifprobdb2
+     meta
+     program <len> <name>
+     sites <n_sites>
+     fingerprint <hex16>              (when known)
+     endmeta <fnv1a64 of the section>
+     sitemap                          (when site keys are known)
+     <site> <len> <key>               (one line per site, in order)
+     endsitemap <fnv1a64>
+     dataset <len> <name>
+     <site> <encountered> <taken>     (only non-zero sites)
+     enddataset <fnv1a64>
+     end
+
+   Every section checksum covers the section's own lines, header line
+   included, each terminated by '\n', so damage anywhere inside a
+   section invalidates exactly that section and nothing else. *)
+
+let sized s = Printf.sprintf "%d %s" (String.length s) s
+
+let checksum_of body_lines =
+  Fnv.to_hex
+    (List.fold_left (fun h l -> Fnv.fold (Fnv.fold h l) "\n") Fnv.seed
+       body_lines)
+
+let counter_lines (p : Profile.t) =
+  let acc = ref [] in
+  Array.iteri
+    (fun s n ->
+      if n > 0 then
+        acc := Printf.sprintf "%d %d %d" s n p.taken.(s) :: !acc)
+    p.encountered;
+  List.rev !acc
+
+let save_v1 t =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf (Printf.sprintf "ifprobdb %s %d\n" t.db_program t.db_sites);
+  Buffer.add_string buf
+    (Printf.sprintf "ifprobdb %s %d\n" t.db_program t.db_sites);
   List.iter
     (fun d ->
       let p = profile t ~dataset:d in
-      Buffer.add_string buf (Printf.sprintf "dataset %d %s\n" (String.length d) d);
-      Array.iteri
-        (fun s n ->
-          if n > 0 then
-            Buffer.add_string buf (Printf.sprintf "%d %d %d\n" s n p.taken.(s)))
-        p.encountered;
+      Buffer.add_string buf (Printf.sprintf "dataset %s\n" (sized d));
+      List.iter
+        (fun l -> Buffer.add_string buf (l ^ "\n"))
+        (counter_lines p);
       Buffer.add_string buf "end\n")
     (datasets t);
   Buffer.contents buf
 
-let load text =
-  let lines = String.split_on_char '\n' text in
-  let fail fmt = Format.kasprintf failwith fmt in
-  match lines with
-  | [] -> fail "Db.load: empty input"
-  | header :: rest -> (
-    match String.split_on_char ' ' header with
-    | [ "ifprobdb"; prog; sites ] ->
-      let n_sites =
-        match int_of_string_opt sites with
-        | Some n when n >= 0 -> n
-        | _ -> fail "Db.load: bad site count %s" sites
-      in
-      let db = create ~program:prog ~n_sites in
-      let current = ref None in
-      List.iter
-        (fun line ->
-          if String.equal line "" then ()
-          else if String.length line > 8 && String.sub line 0 8 = "dataset " then begin
-            let after = String.sub line 8 (String.length line - 8) in
-            match String.index_opt after ' ' with
-            | None -> fail "Db.load: malformed dataset line"
-            | Some i ->
-              let len =
-                match int_of_string_opt (String.sub after 0 i) with
-                | Some l -> l
-                | None -> fail "Db.load: malformed dataset length"
-              in
-              let name = String.sub after (i + 1) len in
-              current := Some (name, Profile.empty ~program:prog ~n_sites)
-          end
-          else if String.equal line "end" then begin
+let save t =
+  let buf = Buffer.create 4096 in
+  let section header body end_tag =
+    let lines = header :: body in
+    List.iter (fun l -> Buffer.add_string buf (l ^ "\n")) lines;
+    Buffer.add_string buf
+      (Printf.sprintf "%s %s\n" end_tag (checksum_of lines))
+  in
+  Buffer.add_string buf "ifprobdb2\n";
+  section "meta"
+    ([ "program " ^ sized t.db_program;
+       Printf.sprintf "sites %d" t.db_sites ]
+    @ match t.db_fp with Some fp -> [ "fingerprint " ^ fp ] | None -> [])
+    "endmeta";
+  (match t.db_keys with
+  | None -> ()
+  | Some keys ->
+    section "sitemap"
+      (Array.to_list
+         (Array.mapi (fun s k -> Printf.sprintf "%d %s" s (sized k)) keys))
+      "endsitemap");
+  List.iter
+    (fun d ->
+      section ("dataset " ^ sized d)
+        (counter_lines (profile t ~dataset:d))
+        "enddataset")
+    (datasets t);
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Internal: parse errors carry the 1-based line they were detected on;
+   strict loading turns them into the documented [Failure], lenient
+   loading into report entries. *)
+exception Bad of int * string
+
+let failf line fmt = Printf.ksprintf (fun m -> raise (Bad (line, m))) fmt
+
+(* "<len> <payload>" where the payload is exactly [len] bytes. *)
+let parse_sized ~line ~what s =
+  match String.index_opt s ' ' with
+  | None -> failf line "malformed %s (expected \"<len> <text>\")" what
+  | Some i -> (
+    match int_of_string_opt (String.sub s 0 i) with
+    | None -> failf line "malformed %s length %S" what (String.sub s 0 i)
+    | Some len when len < 0 -> failf line "negative %s length" what
+    | Some len ->
+      let avail = String.length s - i - 1 in
+      if len > avail then
+        failf line "declared %s length %d exceeds the line (%d bytes left)"
+          what len avail
+      else if len < avail then failf line "trailing bytes after %s" what
+      else String.sub s (i + 1) len)
+
+let parse_counter ~line ~n_sites s =
+  match String.split_on_char ' ' s |> List.map int_of_string_opt with
+  | [ Some site; Some enc; Some taken ] ->
+    if site < 0 || site >= n_sites then
+      failf line "site %d out of range (%d sites)" site n_sites
+    else if enc < 0 || taken < 0 || taken > enc then
+      failf line "bad counts (%d taken of %d encountered)" taken enc
+    else (site, enc, taken)
+  | _ -> failf line "malformed counter line %S" s
+
+let add_counter (p : Profile.t) (site, enc, taken) =
+  p.encountered.(site) <- p.encountered.(site) + enc;
+  p.taken.(site) <- p.taken.(site) + taken
+
+let prefixed ~prefix s =
+  if String.starts_with ~prefix s then
+    Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  else None
+
+(* ---- v1, strict ---- *)
+
+let load_v1_strict (lines : string array) =
+  let header = lines.(0) in
+  match String.split_on_char ' ' header with
+  | [ "ifprobdb"; prog; sites ] ->
+    let n_sites =
+      match int_of_string_opt sites with
+      | Some n when n >= 0 -> n
+      | _ -> failf 1 "bad site count %S" sites
+    in
+    let db =
+      try create ~program:prog ~n_sites
+      with Invalid_argument m -> failf 1 "%s" m
+    in
+    let current = ref None in
+    for i = 1 to Array.length lines - 1 do
+      let line = lines.(i) and ln = i + 1 in
+      if String.equal line "" then ()
+      else
+        match prefixed ~prefix:"dataset " line with
+        | Some rest ->
+          (match !current with
+          | Some _ -> failf ln "dataset begins before previous end"
+          | None -> ());
+          let name = parse_sized ~line:ln ~what:"dataset name" rest in
+          current := Some (name, Profile.empty ~program:prog ~n_sites)
+        | None ->
+          if String.equal line "end" then (
             match !current with
-            | None -> fail "Db.load: end without dataset"
+            | None -> failf ln "end without dataset"
             | Some (name, p) ->
-              record db ~dataset:name p;
-              current := None
-          end
-          else
+              (try record db ~dataset:name p
+               with Invalid_argument m -> failf ln "%s" m);
+              current := None)
+          else (
             match !current with
-            | None -> fail "Db.load: counter line outside dataset"
-            | Some (_, p) -> (
-              match
-                String.split_on_char ' ' line |> List.map int_of_string_opt
-              with
-              | [ Some s; Some n; Some taken ] ->
-                if s < 0 || s >= n_sites then fail "Db.load: bad site %d" s;
-                if taken < 0 || taken > n then fail "Db.load: bad counts";
-                p.encountered.(s) <- p.encountered.(s) + n;
-                p.taken.(s) <- p.taken.(s) + taken
-              | _ -> fail "Db.load: malformed counter line %S" line))
-        rest;
+            | None -> failf ln "counter line outside dataset"
+            | Some (_, p) ->
+              add_counter p (parse_counter ~line:ln ~n_sites line))
+    done;
+    (match !current with
+    | Some _ -> failf (Array.length lines) "missing final end"
+    | None -> ());
+    db
+  | _ -> failf 1 "bad header %S" header
+
+(* ---- v2 section scanning (shared by strict and lenient) ---- *)
+
+type raw_section = {
+  rs_idx : int;  (* 0-based index of the section's header line *)
+  rs_header : string;
+  rs_lines : string list;  (* header plus body, in order *)
+  rs_end : string option;  (* terminator line, [None] = never closed *)
+  rs_end_idx : int;  (* index just past the section *)
+}
+
+let section_start l =
+  String.equal l "meta" || String.equal l "sitemap"
+  || String.starts_with ~prefix:"dataset " l
+
+let end_tag_of header =
+  if String.equal header "meta" then "endmeta"
+  else if String.equal header "sitemap" then "endsitemap"
+  else "enddataset"
+
+(* Split the line stream into sections and leftover (noise) lines.
+   Resynchronizes on every section-start line, so one damaged section
+   cannot swallow the intact sections after it. *)
+let scan_sections (lines : string array) ~from =
+  let n = Array.length lines in
+  let sections = ref [] and noise = ref [] in
+  let i = ref from in
+  while !i < n do
+    let l = lines.(!i) in
+    if section_start l then begin
+      let idx = !i in
+      let tag = end_tag_of l in
+      let body = ref [ l ] in
+      let fin = ref None in
+      incr i;
+      while !fin = None && !i < n && not (section_start lines.(!i)) do
+        let l2 = lines.(!i) in
+        if String.equal l2 tag || String.starts_with ~prefix:(tag ^ " ") l2
+        then fin := Some l2
+        else body := l2 :: !body;
+        incr i
+      done;
+      sections :=
+        {
+          rs_idx = idx;
+          rs_header = l;
+          rs_lines = List.rev !body;
+          rs_end = !fin;
+          rs_end_idx = !i;
+        }
+        :: !sections
+    end
+    else begin
+      if not (String.equal l "" || String.equal l "end") then
+        noise := !i :: !noise;
+      incr i
+    end
+  done;
+  (List.rev !sections, List.rev !noise)
+
+let section_checksum_ok rs =
+  match rs.rs_end with
+  | None -> false
+  | Some endl -> (
+    match String.split_on_char ' ' endl with
+    | [ _tag; h ] -> String.equal h (checksum_of rs.rs_lines)
+    | _ -> false)
+
+(* Meta fields out of a meta section's body; raises [Bad]. *)
+let parse_meta_fields rs =
+  let prog = ref None and sites = ref None and fp = ref None in
+  List.iteri
+    (fun k l ->
+      if k = 0 then () (* the "meta" header itself *)
+      else
+        let ln = rs.rs_idx + k + 1 in
+        match prefixed ~prefix:"program " l with
+        | Some rest -> prog := Some (parse_sized ~line:ln ~what:"program name" rest)
+        | None -> (
+          match prefixed ~prefix:"sites " l with
+          | Some rest -> (
+            match int_of_string_opt rest with
+            | Some n when n >= 0 -> sites := Some n
+            | _ -> failf ln "bad site count %S" rest)
+          | None -> (
+            match prefixed ~prefix:"fingerprint " l with
+            | Some rest ->
+              if String.equal rest "" || String.contains rest ' ' then
+                failf ln "malformed fingerprint"
+              else fp := Some rest
+            | None -> failf ln "unexpected line in meta section")))
+    rs.rs_lines;
+  match (!prog, !sites) with
+  | Some p, Some n -> (p, n, !fp)
+  | None, _ -> failf (rs.rs_idx + 1) "meta section lacks a program line"
+  | _, None -> failf (rs.rs_idx + 1) "meta section lacks a sites line"
+
+(* Sitemap entries; raises [Bad].  Strict about shape and order: the
+   writer emits exactly one key per site, ascending. *)
+let parse_sitemap_entries ~n_sites rs =
+  let keys = Array.make n_sites "" in
+  let expect = ref 0 in
+  List.iteri
+    (fun k l ->
+      if k = 0 then ()
+      else
+        let ln = rs.rs_idx + k + 1 in
+        match String.index_opt l ' ' with
+        | None -> failf ln "malformed sitemap entry"
+        | Some i -> (
+          match int_of_string_opt (String.sub l 0 i) with
+          | Some s when s = !expect && s < n_sites ->
+            keys.(s) <-
+              parse_sized ~line:ln ~what:"site key"
+                (String.sub l (i + 1) (String.length l - i - 1));
+            incr expect
+          | Some s -> failf ln "sitemap entry %d out of order or range" s
+          | None -> failf ln "malformed sitemap entry"))
+    rs.rs_lines;
+  if !expect <> n_sites then
+    failf (rs.rs_end_idx + 1) "sitemap covers %d of %d sites" !expect n_sites;
+  keys
+
+let parse_dataset_section ~n_sites ~program rs =
+  let name =
+    match prefixed ~prefix:"dataset " rs.rs_header with
+    | Some rest -> parse_sized ~line:(rs.rs_idx + 1) ~what:"dataset name" rest
+    | None -> failf (rs.rs_idx + 1) "malformed dataset header"
+  in
+  let p = Profile.empty ~program ~n_sites in
+  List.iteri
+    (fun k l ->
+      if k > 0 then
+        add_counter p (parse_counter ~line:(rs.rs_idx + k + 1) ~n_sites l))
+    rs.rs_lines;
+  (name, p)
+
+(* ---- v2, strict ---- *)
+
+let load_v2_strict (lines : string array) =
+  let sections, noise = scan_sections lines ~from:1 in
+  (match noise with
+  | i :: _ -> failf (i + 1) "unexpected line %S" lines.(i)
+  | [] -> ());
+  (* the final "end" marker must be present (it is skipped by the
+     scanner, so probe the raw lines) *)
+  if not (Array.exists (String.equal "end") lines) then
+    failf (Array.length lines) "missing final end";
+  let check rs =
+    match rs.rs_end with
+    | None -> failf rs.rs_end_idx "unterminated %s section" rs.rs_header
+    | Some endl ->
+      if not (section_checksum_ok rs) then
+        failf (rs.rs_end_idx + 1) "%s checksum mismatch on %S"
+          (end_tag_of rs.rs_header) endl
+  in
+  match sections with
+  | meta :: rest when String.equal meta.rs_header "meta" ->
+    check meta;
+    let prog, n_sites, fp = parse_meta_fields meta in
+    let db =
+      try create ~program:prog ~n_sites
+      with Invalid_argument m -> failf (meta.rs_idx + 1) "%s" m
+    in
+    db.db_fp <- fp;
+    List.iteri
+      (fun k rs ->
+        check rs;
+        if String.equal rs.rs_header "sitemap" then begin
+          if k > 0 then
+            failf (rs.rs_idx + 1) "sitemap must be the first section";
+          if db.db_keys <> None then
+            failf (rs.rs_idx + 1) "duplicate sitemap section";
+          db.db_keys <- Some (parse_sitemap_entries ~n_sites rs)
+        end
+        else if String.equal rs.rs_header "meta" then
+          failf (rs.rs_idx + 1) "duplicate meta section"
+        else
+          let name, p = parse_dataset_section ~n_sites ~program:prog rs in
+          try record db ~dataset:name p
+          with Invalid_argument m -> failf (rs.rs_idx + 1) "%s" m)
+      rest;
+    db
+  | rs :: _ -> failf (rs.rs_idx + 1) "expected meta as the first section"
+  | [] -> failf 2 "expected meta section"
+
+let split_lines text = Array.of_list (String.split_on_char '\n' text)
+
+let load text =
+  let lines = split_lines text in
+  try
+    if Array.length lines > 0 && String.equal lines.(0) "ifprobdb2" then
+      load_v2_strict lines
+    else if
+      Array.length lines > 0
+      && String.starts_with ~prefix:"ifprobdb " lines.(0)
+    then load_v1_strict lines
+    else if String.equal text "" then failf 1 "empty input"
+    else failf 1 "bad header %S" lines.(0)
+  with Bad (line, m) ->
+    failwith (Printf.sprintf "Db.load: line %d: %s" line m)
+
+(* ------------------------------------------------------------------ *)
+(* Salvage loading                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type issue = { i_line : int; i_section : string; i_reason : string }
+
+type report = {
+  r_version : int;
+  r_program : string option;
+  r_meta_ok : bool;
+  r_sitemap_present : bool;
+  r_sitemap_ok : bool;
+  r_recovered : string list;
+  r_dropped : issue list;
+}
+
+let dataset_section_name name =
+  match name with
+  | Some n -> Printf.sprintf "dataset %S" n
+  | None -> "dataset"
+
+let lenient_v1 (lines : string array) =
+  let issues = ref [] in
+  let drop ~line ~section reason =
+    issues := { i_line = line; i_section = section; i_reason = reason } :: !issues
+  in
+  let finish db prog meta_ok =
+    ( db,
+      {
+        r_version = 1;
+        r_program = prog;
+        r_meta_ok = meta_ok;
+        r_sitemap_present = false;
+        r_sitemap_ok = false;
+        r_recovered = datasets db;
+        r_dropped = List.rev !issues;
+      } )
+  in
+  match String.split_on_char ' ' lines.(0) with
+  | [ "ifprobdb"; prog; sites ]
+    when (match int_of_string_opt sites with Some n -> n >= 0 | None -> false)
+    -> (
+    let n_sites = int_of_string sites in
+    match create ~program:prog ~n_sites with
+    | exception Invalid_argument m ->
+      drop ~line:1 ~section:"header" m;
+      finish (create ~program:"" ~n_sites:0) None false
+    | db ->
+      (* (start line, name if the header parsed, counters, first error) *)
+      let current = ref None in
+      let close ln =
+        match !current with
+        | None -> ()
+        | Some (sl, name, p, poison) -> (
+          current := None;
+          match poison with
+          | Some (l, m) -> drop ~line:l ~section:(dataset_section_name name) m
+          | None -> (
+            match name with
+            | None -> ()
+            | Some nm ->
+              if Hashtbl.mem db.tbl nm then
+                drop ~line:sl ~section:(dataset_section_name name)
+                  "duplicate dataset (first occurrence kept)"
+              else (
+                try record db ~dataset:nm p
+                with Invalid_argument m ->
+                  drop ~line:ln ~section:(dataset_section_name name) m)))
+      in
+      let last_was_noise = ref false in
+      for i = 1 to Array.length lines - 1 do
+        let line = lines.(i) and ln = i + 1 in
+        let noise = ref false in
+        (if String.equal line "" then ()
+         else
+           match prefixed ~prefix:"dataset " line with
+           | Some rest ->
+             (match !current with
+             | Some (sl, name, _, _) ->
+               drop ~line:sl ~section:(dataset_section_name name)
+                 "missing end (next dataset begins)";
+               current := None
+             | None -> ());
+             (try
+                let name = parse_sized ~line:ln ~what:"dataset name" rest in
+                current :=
+                  Some (ln, Some name, Profile.empty ~program:prog ~n_sites, None)
+              with Bad (l, m) -> current := Some (ln, None, Profile.empty ~program:prog ~n_sites, Some (l, m)))
+           | None ->
+             if String.equal line "end" then close ln
+             else (
+               match !current with
+               | None ->
+                 noise := true;
+                 if not !last_was_noise then
+                   drop ~line:ln ~section:"file"
+                     "counter line outside any dataset"
+               | Some (sl, name, p, None) -> (
+                 try add_counter p (parse_counter ~line:ln ~n_sites line)
+                 with Bad (l, m) -> current := Some (sl, name, p, Some (l, m)))
+               | Some (_, _, _, Some _) -> () (* already condemned *)));
+        last_was_noise := !noise
+      done;
       (match !current with
-      | Some _ -> fail "Db.load: missing final end"
+      | Some (sl, name, _, _) ->
+        drop ~line:sl ~section:(dataset_section_name name)
+          "missing end (file truncated?)"
       | None -> ());
-      db
-    | _ -> fail "Db.load: bad header %S" header)
+      current := None;
+      finish db (Some prog) true)
+  | _ ->
+    drop ~line:1 ~section:"header" "bad v1 header";
+    finish (create ~program:"" ~n_sites:0) None false
+
+let lenient_v2 (lines : string array) =
+  let issues = ref [] in
+  let drop ~line ~section reason =
+    issues := { i_line = line; i_section = section; i_reason = reason } :: !issues
+  in
+  let sections, noise = scan_sections lines ~from:1 in
+  (* coalesce consecutive noise lines into one issue per run *)
+  let rec note_noise = function
+    | [] -> ()
+    | i :: rest ->
+      let rec skip_run prev = function
+        | j :: more when j = prev + 1 -> skip_run j more
+        | tail -> tail
+      in
+      drop ~line:(i + 1) ~section:"file" "unrecognized line(s)";
+      note_noise (skip_run i rest)
+  in
+  note_noise noise;
+  let meta_rs, other =
+    match
+      List.partition (fun rs -> String.equal rs.rs_header "meta") sections
+    with
+    | m :: dups, rest ->
+      List.iter
+        (fun rs ->
+          drop ~line:(rs.rs_idx + 1) ~section:"meta" "duplicate meta section")
+        dups;
+      (Some m, rest)
+    | [], rest -> (None, rest)
+  in
+  let meta_crc_ok, meta_fields =
+    match meta_rs with
+    | None ->
+      drop ~line:1 ~section:"meta" "missing meta section";
+      (false, None)
+    | Some rs ->
+      let crc = section_checksum_ok rs in
+      if not crc then
+        drop ~line:(rs.rs_idx + 1) ~section:"meta"
+          (if rs.rs_end = None then "section never terminated"
+           else "checksum mismatch");
+      (match parse_meta_fields rs with
+      | fields -> (crc, Some fields)
+      | exception Bad (l, m) ->
+        drop ~line:l ~section:"meta" m;
+        (crc, None))
+  in
+  match meta_fields with
+  | None ->
+    (* without a trustworthy site count nothing can be validated *)
+    List.iter
+      (fun rs ->
+        drop ~line:(rs.rs_idx + 1)
+          ~section:(if String.equal rs.rs_header "sitemap" then "sitemap"
+                    else "dataset")
+          "dropped: no usable meta section")
+      other;
+    ( create ~program:"" ~n_sites:0,
+      {
+        r_version = 2;
+        r_program = None;
+        r_meta_ok = false;
+        r_sitemap_present =
+          List.exists (fun rs -> String.equal rs.rs_header "sitemap") other;
+        r_sitemap_ok = false;
+        r_recovered = [];
+        r_dropped = List.rev !issues;
+      } )
+  | Some (prog, n_sites, fp) ->
+    let db =
+      match create ~program:prog ~n_sites with
+      | db -> db
+      | exception Invalid_argument _ -> create ~program:"" ~n_sites
+    in
+    (* only trust the stored fingerprint when the meta bytes verified:
+       a damaged fingerprint must not masquerade as a fresh profile *)
+    if meta_crc_ok then db.db_fp <- fp;
+    let sitemap_present = ref false and sitemap_ok = ref false in
+    List.iter
+      (fun rs ->
+        if String.equal rs.rs_header "sitemap" then begin
+          if !sitemap_present then
+            drop ~line:(rs.rs_idx + 1) ~section:"sitemap"
+              "duplicate sitemap section"
+          else begin
+            sitemap_present := true;
+            if not (section_checksum_ok rs) then
+              drop ~line:(rs.rs_idx + 1) ~section:"sitemap"
+                (if rs.rs_end = None then "section never terminated"
+                 else "checksum mismatch")
+            else
+              match parse_sitemap_entries ~n_sites rs with
+              | keys ->
+                db.db_keys <- Some keys;
+                sitemap_ok := true
+              | exception Bad (l, m) -> drop ~line:l ~section:"sitemap" m
+          end
+        end
+        else if not (section_checksum_ok rs) then
+          drop ~line:(rs.rs_idx + 1) ~section:"dataset"
+            (if rs.rs_end = None then "section never terminated"
+             else "checksum mismatch")
+        else
+          match parse_dataset_section ~n_sites ~program:(program db) rs with
+          | name, p ->
+            if Hashtbl.mem db.tbl name then
+              drop ~line:(rs.rs_idx + 1)
+                ~section:(dataset_section_name (Some name))
+                "duplicate dataset (first occurrence kept)"
+            else (
+              try record db ~dataset:name p
+              with Invalid_argument m ->
+                drop ~line:(rs.rs_idx + 1)
+                  ~section:(dataset_section_name (Some name))
+                  m)
+          | exception Bad (l, m) -> drop ~line:l ~section:"dataset" m)
+      other;
+    ( db,
+      {
+        r_version = 2;
+        r_program = Some prog;
+        r_meta_ok = meta_crc_ok;
+        r_sitemap_present = !sitemap_present;
+        r_sitemap_ok = !sitemap_ok;
+        r_recovered = datasets db;
+        r_dropped = List.rev !issues;
+      } )
+
+let load_lenient text =
+  let lines = split_lines text in
+  if Array.length lines > 0 && String.equal lines.(0) "ifprobdb2" then
+    lenient_v2 lines
+  else if
+    Array.length lines > 0 && String.starts_with ~prefix:"ifprobdb " lines.(0)
+  then lenient_v1 lines
+  else
+    ( create ~program:"" ~n_sites:0,
+      {
+        r_version = 0;
+        r_program = None;
+        r_meta_ok = false;
+        r_sitemap_present = false;
+        r_sitemap_ok = false;
+        r_recovered = [];
+        r_dropped =
+          [ { i_line = 1; i_section = "header"; i_reason = "unrecognized header" } ];
+      } )
+
+let clean r =
+  r.r_version > 0 && r.r_meta_ok
+  && ((not r.r_sitemap_present) || r.r_sitemap_ok)
+  && r.r_dropped = []
+
+let render_report r =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (match r.r_version with
+  | 0 -> line "format:    unrecognized"
+  | v -> line "format:    ifprobdb v%d" v);
+  (match r.r_program with
+  | Some p -> line "program:   %s" p
+  | None -> line "program:   (unknown)");
+  line "meta:      %s" (if r.r_meta_ok then "ok" else "DAMAGED");
+  line "sitemap:   %s"
+    (if not r.r_sitemap_present then "absent"
+     else if r.r_sitemap_ok then "ok"
+     else "DAMAGED");
+  line "recovered: %d dataset(s)%s"
+    (List.length r.r_recovered)
+    (match r.r_recovered with
+    | [] -> ""
+    | ds -> ": " ^ String.concat ", " ds);
+  if r.r_dropped = [] then line "dropped:   nothing"
+  else begin
+    line "dropped:   %d section(s)/line(s)" (List.length r.r_dropped);
+    List.iter
+      (fun i -> line "  line %d [%s]: %s" i.i_line i.i_section i.i_reason)
+      r.r_dropped
+  end;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
 
 let save_file t path =
-  let oc = open_out path in
-  (try output_string oc (save t)
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "ifprobdb" ".tmp" in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  (try
+     let oc = open_out tmp in
+     (try
+        output_string oc (save t);
+        close_out oc
+      with e ->
+        close_out_noerr oc;
+        raise e);
+     Sys.rename tmp path
    with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc
+     cleanup ();
+     raise e)
 
 let load_file path =
   let ic = open_in path in

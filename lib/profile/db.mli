@@ -5,18 +5,44 @@
     totals back into the source as directives.  This module is that
     database, keyed by dataset name so that experiment code can also pull
     out per-dataset profiles (the paper kept those separate when studying
-    cross-dataset prediction). *)
+    cross-dataset prediction).
+
+    {2 On-disk format}
+
+    Two formats are understood:
+
+    - {b v1} (legacy): a bare line format — header, then per-dataset
+      counter blocks.  No checksums, no identity: a corrupt byte loses the
+      whole file and a recompiled program silently mis-keys every counter.
+    - {b v2} (written by {!save}): versioned and sectioned.  A [meta]
+      section carries the program name, site count and the program's
+      structural fingerprint (see {!Fisher92_analysis.Fingerprint}); an
+      optional [sitemap] section stores one structural key per site so
+      stale counters can be remapped onto a recompiled program; each
+      dataset is its own section.  Every section ends with a 64-bit
+      FNV-1a checksum of its bytes, so damage is localized: {!load_lenient}
+      recovers every section whose checksum still verifies.
+
+    {!load} reads both formats strictly; {!save} always writes v2 (so
+    loading a v1 file and saving it back is the migration path, and it is
+    byte-stable: migrating twice yields identical bytes). *)
 
 type t
 
 val create : program:string -> n_sites:int -> t
+(** @raise Invalid_argument on a negative site count or a program name
+    containing a newline. *)
 
 val program : t -> string
+
+val n_sites : t -> int
+(** Number of branch sites every recorded profile must have. *)
 
 val record : t -> dataset:string -> Profile.t -> unit
 (** Add one run's counters under [dataset] (accumulating if the dataset
     was already recorded, as repeated runs did in the paper).
-    @raise Invalid_argument on a profile for a different program. *)
+    @raise Invalid_argument on a profile for a different program, a site
+    count mismatch, or a dataset name containing a newline. *)
 
 val datasets : t -> string list
 (** Recorded dataset names, in first-recorded order. *)
@@ -32,14 +58,75 @@ val accumulated_except : t -> dataset:string -> Profile.t option
 (** Sum over all datasets except one (the paper's "sum of the other
     datasets" predictor); [None] if that leaves nothing. *)
 
+(** {2 Program identity} *)
+
+val fingerprint : t -> string option
+(** The structural fingerprint of the build the counters were recorded
+    against, when known ([None] for v1 files and freshly created dbs). *)
+
+val sitekeys : t -> string array option
+(** Per-site structural keys ({!Fisher92_analysis.Fingerprint.site_key})
+    of the recorded build, when known. *)
+
+val set_identity : t -> fingerprint:string -> sitekeys:string array -> unit
+(** Attach the recorded build's identity (stored in the v2 [meta] and
+    [sitemap] sections).  @raise Invalid_argument if the key array does
+    not have exactly [n_sites] entries or a key contains a newline. *)
+
+(** {2 Serialization} *)
+
 val save : t -> string
-(** Serialize to a line-oriented text format. *)
+(** Serialize in the v2 sectioned, checksummed format. *)
+
+val save_v1 : t -> string
+(** Serialize in the legacy v1 line format (kept for migration tests and
+    for generating fixtures; new code should never write it). *)
 
 val load : string -> t
-(** @raise Failure on malformed input. *)
+(** Strict load of either format.  @raise Failure on any malformed input,
+    with the offending line number in the message
+    (["Db.load: line 42: malformed counter line ..."]). *)
+
+(** {2 Salvage loading} *)
+
+type issue = {
+  i_line : int;  (** 1-based line where the problem was detected *)
+  i_section : string;  (** ["meta"], ["sitemap"], ["dataset NAME"], ... *)
+  i_reason : string;
+}
+
+type report = {
+  r_version : int;  (** 1, 2, or 0 when the header is unrecognizable *)
+  r_program : string option;
+  r_meta_ok : bool;  (** v2: meta section present and checksum-clean;
+                         v1: header line parsed *)
+  r_sitemap_present : bool;
+  r_sitemap_ok : bool;  (** false when present but damaged *)
+  r_recovered : string list;  (** datasets kept, in file order *)
+  r_dropped : issue list;  (** everything rejected, and why *)
+}
+
+val load_lenient : string -> t * report
+(** Best-effort load: never raises.  Returns every dataset whose section
+    is intact (v2: checksum verifies; v1: every line parses) and a report
+    of what was dropped and why.  Recovered profiles always satisfy
+    [0 <= taken <= encountered] per site; duplicate dataset sections keep
+    the first intact occurrence.  When the meta section is too damaged to
+    yield a site count, nothing can be validated and everything is
+    dropped. *)
+
+val render_report : report -> string
+(** Human-readable multi-line summary (the [db check] CLI output). *)
+
+val clean : report -> bool
+(** No drops, no damage: the file is exactly what {!load} would accept. *)
+
+(** {2 Files} *)
 
 val save_file : t -> string -> unit
-(** Write {!save}'s text to a path (the paper's on-disk database). *)
+(** Write {!save}'s text to a path {b atomically}: the text is written to
+    a temporary file in the same directory and renamed over the target,
+    so a crash mid-write can never leave a half-written database. *)
 
 val load_file : string -> t
 (** @raise Sys_error if unreadable, [Failure] if malformed. *)

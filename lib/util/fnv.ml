@@ -1,0 +1,20 @@
+let seed = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let fold h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let hash s = fold seed s
+
+let to_hex h = Printf.sprintf "%016Lx" h
+
+let hash_strings parts =
+  to_hex
+    (List.fold_left (fun h s -> fold (fold h s) "\x00") seed parts)
+
+let hex s = to_hex (hash s)

@@ -190,6 +190,71 @@ let test_two_bit_tracks_majority () =
   Alcotest.(check bool) "2-bit close to 90%" true
     (Dynamic.percent_correct sim2 > 84.0)
 
+(* ---- remap: the stale-profile degradation chain ---- *)
+
+module Remap = Fisher92_predict.Remap
+module Db = Fisher92_profile.Db
+module Fingerprint = Fisher92_analysis.Fingerprint
+module Program = Fisher92_ir.Program
+
+let sample_db () =
+  let ir = T.compile T.sample_program in
+  let r = T.run_vm ~iargs:[ 6 ] ir in
+  let p = Profile.of_run ~program:"sample" r in
+  let db = Db.create ~program:"sample" ~n_sites:(Program.n_sites ir) in
+  Db.record db ~dataset:"d" p;
+  Db.set_identity db
+    ~fingerprint:(Fingerprint.program_hash ir)
+    ~sitekeys:(Fingerprint.site_keys ir);
+  (ir, p, db)
+
+let test_remap_fresh_is_exact () =
+  let ir, p, db = sample_db () in
+  let plan = Remap.plan ir db in
+  Alcotest.(check bool) "not stale" false plan.Remap.r_stale;
+  Alcotest.(check bool) "verified" true plan.Remap.r_verified;
+  let exact, remapped, _, _ = Remap.counts plan in
+  Alcotest.(check int) "exact = covered sites" (Profile.covered_sites p) exact;
+  Alcotest.(check int) "nothing remapped" 0 remapped;
+  (* on covered sites the chain reproduces the majority prediction *)
+  let majority = Fisher92_predict.Prediction.of_profile p in
+  Array.iteri
+    (fun s enc ->
+      if enc > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "site %d" s)
+          majority.(s)
+          plan.Remap.r_prediction.(s))
+    p.Profile.encountered
+
+let test_remap_stale_recovers_counters () =
+  let ir, p, db = sample_db () in
+  let mutated = Fisher92.Experiments.mutate_source T.sample_program in
+  let mir = T.compile mutated in
+  Alcotest.(check int) "mutation adds one site"
+    (Program.n_sites ir + 1) (Program.n_sites mir);
+  let plan = Remap.plan mir db in
+  Alcotest.(check bool) "stale" true plan.Remap.r_stale;
+  let exact, remapped, heuristic, default = Remap.counts plan in
+  Alcotest.(check int) "no exact sites on a stale db" 0 exact;
+  Alcotest.(check bool) "most old sites remap" true
+    (remapped >= Profile.covered_sites p);
+  Alcotest.(check int) "every site accounted for" (Program.n_sites mir)
+    (exact + remapped + heuristic + default)
+
+let test_remap_without_sitekeys_degrades () =
+  let ir, _, _ = sample_db () in
+  (* a shape-mismatched legacy db: no fingerprint, no keys, wrong count *)
+  let old = Db.create ~program:"sample" ~n_sites:(Program.n_sites ir + 3) in
+  let plan = Remap.plan ir old in
+  Alcotest.(check bool) "stale" true plan.Remap.r_stale;
+  Alcotest.(check bool) "unverified" false plan.Remap.r_verified;
+  let exact, remapped, heuristic, default = Remap.counts plan in
+  Alcotest.(check int) "no exact" 0 exact;
+  Alcotest.(check int) "no remap without keys" 0 remapped;
+  Alcotest.(check int) "all heuristic/default" (Program.n_sites ir)
+    (heuristic + default)
+
 let () =
   Alcotest.run "predict"
     [
@@ -222,5 +287,13 @@ let () =
           Alcotest.test_case "static scheme" `Quick test_static_scheme;
           Alcotest.test_case "2-bit near majority" `Quick
             test_two_bit_tracks_majority;
+        ] );
+      ( "remap",
+        [
+          Alcotest.test_case "fresh db is exact" `Quick test_remap_fresh_is_exact;
+          Alcotest.test_case "stale db remaps counters" `Quick
+            test_remap_stale_recovers_counters;
+          Alcotest.test_case "keyless mismatch degrades" `Quick
+            test_remap_without_sitekeys_degrades;
         ] );
     ]

@@ -3,6 +3,21 @@ module Db = Fisher92_profile.Db
 module Directive = Fisher92_profile.Directive
 module T = Fisher92_testsupport.Testsupport
 
+let string_contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* byte offset just past the first occurrence of [sub] *)
+let index_after s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then Alcotest.failf "%S not found" sub
+    else if String.sub s i m = sub then i + m
+    else go (i + 1)
+  in
+  go 0
+
 let mk ?(program = "p") encountered taken =
   {
     Profile.program;
@@ -123,6 +138,114 @@ let test_db_load_rejects_garbage () =
       "ifprobdb p 2\ndataset 1 a\n0 1 1\n" (* missing end *);
     ]
 
+let test_db_load_oversized_length () =
+  (* a dataset length that overruns its line used to escape as
+     Invalid_argument from String.sub; it must be a proper Failure *)
+  List.iter
+    (fun text ->
+      match Db.load text with
+      | exception Failure msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S names a line" msg)
+          true
+          (string_contains ~sub:"line 2" msg)
+      | exception e ->
+        Alcotest.failf "expected Failure, got %s" (Printexc.to_string e)
+      | _ -> Alcotest.failf "accepted %S" text)
+    [
+      "ifprobdb p 2\ndataset 99 a\n0 1 1\nend\n";
+      "ifprobdb p 2\ndataset -3 a\n0 1 1\nend\n";
+      "ifprobdb p 2\ndataset 1 abc\n0 1 1\nend\n" (* trailing bytes *);
+    ]
+
+let test_db_load_line_numbers () =
+  List.iter
+    (fun (text, want) ->
+      match Db.load text with
+      | exception Failure msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S" msg want)
+          true
+          (string_contains ~sub:want msg)
+      | _ -> Alcotest.failf "accepted %S" text)
+    [
+      ("ifprobdb p 2\ndataset 1 a\n0 1 1\nbogus counter\nend\n", "line 4");
+      ("ifprobdb p 2\ndataset 1 a\n5 1 1\nend\n", "line 3");
+      ("ifprobdb p notanumber\n", "line 1");
+    ]
+
+let test_db_v2_identity_roundtrip () =
+  let db = Db.create ~program:"px" ~n_sites:2 in
+  Db.record db ~dataset:"a" (mk ~program:"px" [ 3; 4 ] [ 1; 4 ]);
+  Db.set_identity db ~fingerprint:"00deadbeef00cafe"
+    ~sitekeys:[| "f|if|eq|L0|F|#0|D1"; "f|while|lt|L1|B|#0|D2" |];
+  let back = Db.load (Db.save db) in
+  Alcotest.(check (option string)) "fingerprint survives"
+    (Some "00deadbeef00cafe") (Db.fingerprint back);
+  (match Db.sitekeys back with
+  | Some keys ->
+    Alcotest.(check (array string)) "sitekeys survive"
+      [| "f|if|eq|L0|F|#0|D1"; "f|while|lt|L1|B|#0|D2" |] keys
+  | None -> Alcotest.fail "sitekeys lost");
+  (* migration is byte-stable: save . load is the identity on v2 text *)
+  let text = Db.save db in
+  Alcotest.(check string) "migrate twice = same bytes" text
+    (Db.save (Db.load text))
+
+let test_db_lenient_drops_only_damage () =
+  let db = Db.create ~program:"px" ~n_sites:2 in
+  Db.set_identity db ~fingerprint:"00deadbeef00cafe" ~sitekeys:[| "k0"; "k1" |];
+  Db.record db ~dataset:"a" (mk ~program:"px" [ 3; 4 ] [ 1; 4 ]);
+  Db.record db ~dataset:"b" (mk ~program:"px" [ 9; 0 ] [ 2; 0 ]);
+  Db.record db ~dataset:"c" (mk ~program:"px" [ 1; 1 ] [ 1; 0 ]);
+  let text = Db.save db in
+  (* flip one digit inside dataset b's counter block *)
+  let i = index_after text "dataset 1 b" in
+  let broken = Bytes.of_string text in
+  Bytes.set broken (i + String.length "dataset 1 b\n0 ") 'X';
+  let loaded, report = Db.load_lenient (Bytes.to_string broken) in
+  Alcotest.(check (list string)) "a and c survive" [ "a"; "c" ]
+    (Db.datasets loaded);
+  Alcotest.(check bool) "not clean" false (Db.clean report);
+  Alcotest.(check int) "one drop" 1 (List.length report.Db.r_dropped);
+  Alcotest.(check (option string)) "fingerprint kept (meta untouched)"
+    (Some "00deadbeef00cafe") (Db.fingerprint loaded)
+
+let test_db_lenient_distrusts_damaged_meta () =
+  let db = Db.create ~program:"px" ~n_sites:1 in
+  Db.set_identity db ~fingerprint:"00deadbeef00cafe" ~sitekeys:[| "k0" |];
+  Db.record db ~dataset:"a" (mk ~program:"px" [ 3 ] [ 1 ]);
+  let text = Db.save db in
+  (* corrupt one fingerprint digit: meta checksum now fails, and the
+     damaged fingerprint must not be trusted as a freshness witness *)
+  let i = index_after text "fingerprint " in
+  let broken = Bytes.of_string text in
+  Bytes.set broken i (if text.[i] = '0' then '1' else '0');
+  let loaded, report = Db.load_lenient (Bytes.to_string broken) in
+  Alcotest.(check (option string)) "fingerprint distrusted" None
+    (Db.fingerprint loaded);
+  Alcotest.(check bool) "meta flagged" false report.Db.r_meta_ok;
+  (* the site count still parsed, so intact datasets are still salvaged *)
+  Alcotest.(check (list string)) "dataset salvaged" [ "a" ]
+    (Db.datasets loaded)
+
+let test_db_committed_samples_load () =
+  (* the fixtures CI smoke-checks must keep strict-loading forever *)
+  let v1 = Db.load_file "data/sample_v1.db" in
+  Alcotest.(check string) "v1 program" "compress" (Db.program v1);
+  Alcotest.(check (option string)) "v1 has no fingerprint" None
+    (Db.fingerprint v1);
+  let v2 = Db.load_file "data/sample_v2.db" in
+  Alcotest.(check string) "v2 program" "compress" (Db.program v2);
+  Alcotest.(check bool) "v2 fingerprinted" true (Db.fingerprint v2 <> None);
+  Alcotest.(check int) "v2 datasets" 5 (List.length (Db.datasets v2));
+  (* and migration of the committed v2 fixture is the identity *)
+  let text = Db.save v2 in
+  let ic = open_in_bin "data/sample_v2.db" in
+  let disk = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "fixture is canonical v2 bytes" disk text
+
 (* ---- directives ---- *)
 
 let test_directive_roundtrip () =
@@ -188,6 +311,18 @@ let () =
           Alcotest.test_case "file roundtrip" `Quick test_db_file_roundtrip;
           Alcotest.test_case "load rejects garbage" `Quick
             test_db_load_rejects_garbage;
+          Alcotest.test_case "oversized length is Failure" `Quick
+            test_db_load_oversized_length;
+          Alcotest.test_case "errors carry line numbers" `Quick
+            test_db_load_line_numbers;
+          Alcotest.test_case "v2 identity roundtrip" `Quick
+            test_db_v2_identity_roundtrip;
+          Alcotest.test_case "lenient drops only damage" `Quick
+            test_db_lenient_drops_only_damage;
+          Alcotest.test_case "lenient distrusts damaged meta" `Quick
+            test_db_lenient_distrusts_damaged_meta;
+          Alcotest.test_case "committed samples load" `Quick
+            test_db_committed_samples_load;
         ] );
       ( "directive",
         [

@@ -165,6 +165,31 @@ let test_inline_reduces_call_breaks () =
         Alcotest.failf "%s: removal %% out of range" r.il_program)
     (E.inline_ablation (Lazy.force mini))
 
+let test_staleness_remap_beats_heuristic () =
+  let rows = E.staleness (Lazy.force mini) in
+  Alcotest.(check int) "one row per workload" 5 (List.length rows);
+  List.iter
+    (fun (r : E.stale_row) ->
+      if r.st_self < 1.0 then Alcotest.failf "%s: bad self ipb" r.st_program;
+      if r.st_remap < 1.0 || r.st_heur < 1.0 then
+        Alcotest.failf "%s: degradation chain below floor" r.st_program;
+      if r.st_exact <> 0 then
+        Alcotest.failf "%s: stale db cannot be exact" r.st_program;
+      (* the self-profile is the per-branch optimum on its own run *)
+      if r.st_remap > r.st_self +. 1e-6 then
+        Alcotest.failf "%s: remap (%f) beats self (%f)" r.st_program r.st_remap
+          r.st_self)
+    rows;
+  (* the acceptance criterion: remapped stale counters beat the bare
+     structural heuristic on a majority of the workloads *)
+  let wins =
+    List.length (List.filter (fun r -> r.E.st_remap > r.E.st_heur) rows)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "remap wins majority (%d/5)" wins)
+    true
+    (wins * 2 > 5)
+
 let test_render_all_nonempty () =
   let text = E.render_all (Lazy.force mini) in
   List.iter
@@ -177,7 +202,7 @@ let test_render_all_nonempty () =
       "Figure 2b"; "Figure 3a"; "Figure 3b"; "percent-taken"; "polling";
       "heuristics"; "compress <-> uncompress"; "dynamic"; "Inlining";
       "Distribution of instruction runs"; "switch reordering";
-      "instrumentation overhead"; "Coverage";
+      "instrumentation overhead"; "Coverage"; "Stale-profile";
     ]
 
 let test_render_table2 () =
@@ -211,6 +236,8 @@ let () =
           Alcotest.test_case "crossmode is bad" `Quick test_crossmode_is_bad;
           Alcotest.test_case "dynamic sane" `Quick test_dynamic_static_competitive;
           Alcotest.test_case "inline sane" `Quick test_inline_reduces_call_breaks;
+          Alcotest.test_case "staleness: remap beats heuristic" `Slow
+            test_staleness_remap_beats_heuristic;
         ] );
       ( "render",
         [
