@@ -6,17 +6,30 @@
      main.exe <section> ...      run selected sections only; sections:
                                  table1 table2 table3 fig1 fig2 fig3
                                  taken combine heuristics crossmode
-                                 dynamic inline
+                                 dynamic inline gaps switchsort overhead
+                                 coverage
+     main.exe --timing ...       additionally print the per-workload
+                                 compile/simulate/cache-hit timing table
+     main.exe --domains N        run the study over N domains
+     main.exe --parbench         compare 1-domain vs N-domain vs warm-cache
+                                 wall clock of the full study
      main.exe --bechamel         additionally run Bechamel wall-clock
                                  micro-benchmarks (one Test.make per
                                  table/figure harness, on a trimmed study)
 
    The experiment pipeline executes every (program, dataset) pair once on
-   the simulator; everything is derived from those runs. *)
+   the simulator (or serves it from the on-disk study cache; set
+   FISHER92_NO_CACHE=1 to force simulation); everything is derived from
+   those runs. *)
 
 let sections_needing_study =
   [ "table1"; "table3"; "fig1"; "fig2"; "fig3"; "taken"; "combine";
     "heuristics"; "crossmode"; "dynamic"; "inline"; "gaps"; "switchsort"; "overhead"; "coverage" ]
+
+let valid_sections = "table2" :: sections_needing_study
+
+let unknown_sections requested =
+  List.filter (fun s -> not (List.mem s valid_sections)) requested
 
 let run_section study name =
   let module E = Fisher92.Experiments in
@@ -44,11 +57,49 @@ let run_section study name =
   | "coverage" ->
     print_endline (E.render_coverage (E.coverage (Lazy.force study)))
   | other ->
-    Printf.eprintf "unknown section %S; known: table1 table2 table3 fig1 fig2 \
-                    fig3 taken combine heuristics crossmode dynamic inline gaps \
-                    switchsort\n"
-      other;
+    (* unreachable: sections are validated before any work starts *)
+    Printf.eprintf "unknown section %S; valid sections: %s\n" other
+      (String.concat " " valid_sections);
     exit 2
+
+(* ---------- 1-domain vs N-domain vs warm-cache comparison ---------- *)
+
+let parbench domains =
+  let module S = Fisher92.Study in
+  let module C = Fisher92.Study_cache in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let render study = Fisher92.Experiments.render_all study in
+  C.clear ();
+  let (r_seq, _), t_seq =
+    time (fun () -> S.load_timed ~domains:1 ~cache:false ())
+  in
+  let (r_par, _), t_par =
+    time (fun () -> S.load_timed ~domains ~cache:false ())
+  in
+  C.clear ();
+  let (_, _), t_cold = time (fun () -> S.load_timed ~domains ()) in
+  let (r_warm, warm_tm), t_warm = time (fun () -> S.load_timed ~domains ()) in
+  let hits =
+    List.concat_map (fun tm -> tm.S.tm_runs) warm_tm
+    |> List.filter (fun r -> r.S.rt_cached)
+    |> List.length
+  in
+  let runs = List.length (List.concat_map (fun tm -> tm.S.tm_runs) warm_tm) in
+  let seq_out = render r_seq in
+  Printf.printf "study wall clock (full registry; cache: %s):\n"
+    (if C.enabled () then C.cache_dir () else "disabled");
+  Printf.printf "  sequential, no cache (1 domain):   %6.2fs\n" t_seq;
+  Printf.printf "  parallel,   no cache (%d domains): %6.2fs  (%.2fx)\n"
+    domains t_par (t_seq /. t_par);
+  Printf.printf "  parallel,   cold cache:            %6.2fs\n" t_cold;
+  Printf.printf "  parallel,   warm cache:            %6.2fs  (%.2fx, %d/%d hits)\n"
+    t_warm (t_seq /. t_warm) hits runs;
+  Printf.printf "  outputs byte-identical: %b\n"
+    (String.equal seq_out (render r_par) && String.equal seq_out (render r_warm))
 
 (* ---------- bechamel timing micro-benchmarks ---------- *)
 
@@ -120,12 +171,54 @@ let bechamel_suite () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let bech = List.mem "--bechamel" args in
-  let sections = List.filter (fun a -> a <> "--bechamel") args in
+  let timing = List.mem "--timing" args in
+  let par = List.mem "--parbench" args in
+  let domains = ref None in
+  let rec strip = function
+    | [] -> []
+    | "--domains" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some d when d >= 1 ->
+        domains := Some d;
+        strip rest
+      | Some _ | None ->
+        Printf.eprintf "--domains expects a positive integer, got %S\n" n;
+        exit 2)
+    | "--domains" :: [] ->
+      Printf.eprintf "--domains expects a positive integer\n";
+      exit 2
+    | ("--bechamel" | "--timing" | "--parbench") :: rest -> strip rest
+    | s :: rest -> s :: strip rest
+  in
+  let sections = strip args in
+  (match unknown_sections sections with
+  | [] -> ()
+  | bad ->
+    Printf.eprintf "unknown section%s: %s; valid sections: %s\n"
+      (match bad with [ _ ] -> "" | _ -> "s")
+      (String.concat " " bad)
+      (String.concat " " valid_sections);
+    exit 2);
   let sections =
     if sections = [] then "table2" :: sections_needing_study else sections
   in
-  let t0 = Unix.gettimeofday () in
-  let study = lazy (Fisher92.Study.load ()) in
-  List.iter (run_section study) sections;
-  Printf.printf "\n[experiments completed in %.1fs]\n" (Unix.gettimeofday () -. t0);
-  if bech then bechamel_suite ()
+  let domains = !domains in
+  if par then parbench (match domains with Some d -> d | None -> Fisher92_util.Pool.default_domains ())
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let timings = ref None in
+    let study =
+      lazy
+        (let s, tm = Fisher92.Study.load_timed ?domains () in
+         timings := Some tm;
+         s)
+    in
+    List.iter (run_section study) sections;
+    (match (timing, !timings) with
+    | true, Some tm -> print_string (Fisher92.Study.render_timings tm)
+    | true, None ->
+      print_endline "(no study was loaded; nothing to time)"
+    | false, _ -> ());
+    Printf.printf "\n[experiments completed in %.1fs]\n" (Unix.gettimeofday () -. t0);
+    if bech then bechamel_suite ()
+  end

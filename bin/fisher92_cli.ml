@@ -183,14 +183,32 @@ let predict_cmd =
 (* ---- experiments ---- *)
 
 let experiments_cmd =
-  let run sections =
-    let study = lazy (Fisher92.Study.load ()) in
-    let all =
-      [ "table2"; "table1"; "fig1"; "fig2"; "table3"; "fig3"; "taken";
-        "combine"; "heuristics"; "crossmode"; "dynamic"; "inline"; "gaps";
-        "switchsort"; "overhead"; "coverage"; "staleness" ]
+  let all_sections =
+    [ "table2"; "table1"; "fig1"; "fig2"; "table3"; "fig3"; "taken";
+      "combine"; "heuristics"; "crossmode"; "dynamic"; "inline"; "gaps";
+      "switchsort"; "overhead"; "coverage"; "staleness" ]
+  in
+  let run sections timing domains =
+    (* validate the whole request before simulating anything, so a typo
+       in a mixed valid/invalid list costs nothing *)
+    (match
+       List.filter (fun s -> not (List.mem s all_sections)) sections
+     with
+    | [] -> ()
+    | bad ->
+      Printf.eprintf "unknown section%s: %s; valid sections: %s\n"
+        (match bad with [ _ ] -> "" | _ -> "s")
+        (String.concat " " bad)
+        (String.concat " " all_sections);
+      exit 2);
+    let timings = ref None in
+    let study =
+      lazy
+        (let s, tm = Fisher92.Study.load_timed ?domains () in
+         timings := Some tm;
+         s)
     in
-    let sections = if sections = [] then all else sections in
+    let sections = if sections = [] then all_sections else sections in
     List.iter
       (fun section ->
         let module E = Fisher92.Experiments in
@@ -213,18 +231,33 @@ let experiments_cmd =
           | "overhead" -> E.render_overhead (E.overhead (Lazy.force study))
           | "coverage" -> E.render_coverage (E.coverage (Lazy.force study))
           | "staleness" -> E.render_staleness (E.staleness (Lazy.force study))
-          | other ->
-            Printf.eprintf "unknown section %S\n" other;
-            exit 2
+          | _ -> assert false (* validated above *)
         in
         print_endline text)
-      sections
+      sections;
+    match (timing, !timings) with
+    | true, Some tm -> print_string (Fisher92.Study.render_timings tm)
+    | true, None -> print_endline "(no study was loaded; nothing to time)"
+    | false, _ -> ()
   in
   let sections = Arg.(value & pos_all string [] & info [] ~docv:"SECTION") in
+  let timing =
+    Arg.(value & flag
+         & info [ "timing" ]
+             ~doc:"Print the per-workload compile/simulate/cache-hit timing \
+                   table after the experiments")
+  in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Run the study over $(docv) domains (default: the \
+                   machine's recommended domain count, or \
+                   FISHER92_DOMAINS)")
+  in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures (all, or named sections)")
-    Term.(const run $ sections)
+    Term.(const run $ sections $ timing $ domains)
 
 (* ---- db ---- *)
 

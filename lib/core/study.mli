@@ -6,7 +6,14 @@
     One [load] executes every (program, dataset) pair exactly once; all
     figures and tables are then derived from the stored profiles and
     counts, mirroring how the paper derived everything from one
-    IFPROBBER + MFPixie collection per run. *)
+    IFPROBBER + MFPixie collection per run.
+
+    The pairs are independent, so [load] drives them through a
+    {!Fisher92_util.Pool} of domains and consults the on-disk
+    {!Study_cache} before simulating; results are merged by task index,
+    which makes the parallel, cached study byte-identical to a
+    sequential, cold one.  [FISHER92_DOMAINS], [FISHER92_CACHE_DIR] and
+    [FISHER92_NO_CACHE] tune this from the environment. *)
 
 type loaded = {
   workload : Fisher92_workloads.Workload.t;
@@ -16,8 +23,50 @@ type loaded = {
 
 type t
 
-val load : ?workloads:Fisher92_workloads.Workload.t list -> unit -> t
-(** Compile and execute; default is the full registry.  Deterministic. *)
+type progress_event =
+  | Compiled of { workload : string; seconds : float }
+  | Executed of {
+      workload : string;
+      dataset : string;
+      seconds : float;
+      cached : bool;  (** served from {!Study_cache}, not simulated *)
+    }
+
+type run_timing = { rt_dataset : string; rt_seconds : float; rt_cached : bool }
+
+type timing = {
+  tm_workload : string;
+  tm_compile : float;  (** seconds spent compiling this workload *)
+  tm_runs : run_timing list;  (** one per dataset, in order *)
+}
+
+val load :
+  ?workloads:Fisher92_workloads.Workload.t list ->
+  ?domains:int ->
+  ?cache:bool ->
+  ?progress:(progress_event -> unit) ->
+  unit ->
+  t
+(** Compile and execute; default is the full registry.  Deterministic:
+    the result does not depend on [domains] (default
+    {!Fisher92_util.Pool.default_domains}) or on cache state.
+    [~cache:false] skips the on-disk cache even when the environment
+    allows it.  [progress] callbacks may fire from worker domains but
+    are serialized by a mutex. *)
+
+val load_timed :
+  ?workloads:Fisher92_workloads.Workload.t list ->
+  ?domains:int ->
+  ?cache:bool ->
+  ?progress:(progress_event -> unit) ->
+  unit ->
+  t * timing list
+(** [load] plus per-workload wall-clock timings (one entry per workload,
+    in input order) for `--timing` style reporting. *)
+
+val render_timings : timing list -> string
+(** The `--timing` table: per-workload compile/simulate seconds, per-run
+    cache hits, and a totals row. *)
 
 val items : t -> loaded list
 

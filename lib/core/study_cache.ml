@@ -1,0 +1,269 @@
+module Fnv = Fisher92_util.Fnv
+module Workload = Fisher92_workloads.Workload
+module Measure = Fisher92_metrics.Measure
+module Breaks = Fisher92_metrics.Breaks
+module Profile = Fisher92_profile.Profile
+
+(* Bump on any change to the entry layout: old entries then fail the
+   header check and are recomputed, never misparsed. *)
+let format_version = 1
+
+let enabled () =
+  match Sys.getenv_opt "FISHER92_NO_CACHE" with
+  | None | Some "" | Some "0" -> true
+  | Some _ -> false
+
+let cache_dir () =
+  match Sys.getenv_opt "FISHER92_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | Some _ | None -> Filename.concat "_build" ".fisher92-cache"
+
+(* ---- dataset identity ---- *)
+
+let dataset_hash (d : Workload.dataset) =
+  let h = ref (Fnv.fold Fnv.seed d.ds_name) in
+  let add s = h := Fnv.fold (Fnv.fold !h s) "\n" in
+  List.iter (fun k -> add (string_of_int k)) d.ds_iargs;
+  add "|";
+  List.iter (fun x -> add (Printf.sprintf "%Lx" (Int64.bits_of_float x))) d.ds_fargs;
+  List.iter
+    (fun (name, seed) ->
+      add ("array " ^ name);
+      match seed with
+      | `Ints cells -> Array.iter (fun k -> add (string_of_int k)) cells
+      | `Floats cells ->
+        Array.iter
+          (fun x -> add (Printf.sprintf "%Lx" (Int64.bits_of_float x)))
+          cells)
+    d.ds_arrays;
+  Fnv.to_hex !h
+
+(* File names carry the whole key, so distinct builds and datasets never
+   collide; the program name prefix is purely for humans. *)
+let entry_path ~fingerprint ~program d =
+  Filename.concat (cache_dir ())
+    (Printf.sprintf "%s.%s.%s.run" program fingerprint (dataset_hash d))
+
+(* ---- serialization (profile-db v2 conventions) ---- *)
+
+let sized s = Printf.sprintf "%d %s" (String.length s) s
+
+let checksum_of body_lines =
+  Fnv.to_hex
+    (List.fold_left (fun h l -> Fnv.fold (Fnv.fold h l) "\n") Fnv.seed
+       body_lines)
+
+let render ~fingerprint ~n_sites d (run : Measure.run) =
+  let buf = Buffer.create 1024 in
+  let section header body end_tag =
+    let lines = header :: body in
+    List.iter (fun l -> Buffer.add_string buf (l ^ "\n")) lines;
+    Buffer.add_string buf
+      (Printf.sprintf "%s %s\n" end_tag (checksum_of lines))
+  in
+  Buffer.add_string buf (Printf.sprintf "fisher92runcache %d\n" format_version);
+  section "meta"
+    [
+      "program " ^ sized run.program;
+      "dataset " ^ sized run.dataset;
+      "fingerprint " ^ fingerprint;
+      "dshash " ^ dataset_hash d;
+      Printf.sprintf "sites %d" n_sites;
+    ]
+    "endmeta";
+  section "counts"
+    [
+      Printf.sprintf "instructions %d" run.counts.Breaks.instructions;
+      Printf.sprintf "cond_branches %d" run.counts.Breaks.cond_branches;
+      Printf.sprintf "unavoidable %d" run.counts.Breaks.unavoidable;
+      Printf.sprintf "direct_call_ret %d" run.counts.Breaks.direct_call_ret;
+      Printf.sprintf "jumps %d" run.counts.Breaks.jumps;
+    ]
+    "endcounts";
+  let counters = ref [] in
+  Array.iteri
+    (fun s n ->
+      if n > 0 then
+        counters :=
+          Printf.sprintf "%d %d %d" s n run.profile.Profile.taken.(s)
+          :: !counters)
+    run.profile.Profile.encountered;
+  section "profile" (List.rev !counters) "endprofile";
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+(* ---- parsing: strict and total.  Any deviation returns None. ---- *)
+
+exception Reject
+
+let parse_sized s =
+  match String.index_opt s ' ' with
+  | None -> raise Reject
+  | Some i -> (
+    match int_of_string_opt (String.sub s 0 i) with
+    | Some len when len >= 0 && len = String.length s - i - 1 ->
+      String.sub s (i + 1) len
+    | Some _ | None -> raise Reject)
+
+let parse ~fingerprint ~n_sites ~program (d : Workload.dataset) text =
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let pos = ref 0 in
+  let next () =
+    if !pos >= Array.length lines then raise Reject
+    else begin
+      incr pos;
+      lines.(!pos - 1)
+    end
+  in
+  (* A section is the run of lines from its header to its end tag; the
+     stored checksum must match the bytes we just read. *)
+  let section header end_tag =
+    if not (String.equal (next ()) header) then raise Reject;
+    let body = ref [ header ] in
+    let rec go () =
+      let l = next () in
+      match
+        if String.starts_with ~prefix:(end_tag ^ " ") l then
+          Some (String.sub l (String.length end_tag + 1)
+                  (String.length l - String.length end_tag - 1))
+        else None
+      with
+      | Some crc ->
+        if not (String.equal crc (checksum_of (List.rev !body))) then
+          raise Reject;
+        List.tl (List.rev !body)
+      | None ->
+        body := l :: !body;
+        go ()
+    in
+    go ()
+  in
+  let field prefix l =
+    match
+      if String.starts_with ~prefix:(prefix ^ " ") l then
+        Some (String.sub l (String.length prefix + 1)
+                (String.length l - String.length prefix - 1))
+      else None
+    with
+    | Some rest -> rest
+    | None -> raise Reject
+  in
+  let int_field prefix l =
+    match int_of_string_opt (field prefix l) with
+    | Some n when n >= 0 -> n
+    | Some _ | None -> raise Reject
+  in
+  if not (String.equal (next ())
+            (Printf.sprintf "fisher92runcache %d" format_version))
+  then raise Reject;
+  (match section "meta" "endmeta" with
+  | [ prog; ds; fp; dh; sites ] ->
+    if not (String.equal (parse_sized (field "program" prog)) program) then
+      raise Reject;
+    if not (String.equal (parse_sized (field "dataset" ds)) d.ds_name) then
+      raise Reject;
+    if not (String.equal (field "fingerprint" fp) fingerprint) then
+      raise Reject;
+    if not (String.equal (field "dshash" dh) (dataset_hash d)) then
+      raise Reject;
+    if int_field "sites" sites <> n_sites then raise Reject
+  | _ -> raise Reject);
+  let counts =
+    match section "counts" "endcounts" with
+    | [ a; b; c; e; f ] ->
+      {
+        Breaks.instructions = int_field "instructions" a;
+        cond_branches = int_field "cond_branches" b;
+        unavoidable = int_field "unavoidable" c;
+        direct_call_ret = int_field "direct_call_ret" e;
+        jumps = int_field "jumps" f;
+      }
+    | _ -> raise Reject
+  in
+  let profile = Profile.empty ~program ~n_sites in
+  List.iter
+    (fun l ->
+      match String.split_on_char ' ' l |> List.map int_of_string_opt with
+      | [ Some site; Some enc; Some taken ]
+        when site >= 0 && site < n_sites && enc > 0 && taken >= 0
+             && taken <= enc
+             && profile.Profile.encountered.(site) = 0 ->
+        profile.Profile.encountered.(site) <- enc;
+        profile.Profile.taken.(site) <- taken
+      | _ -> raise Reject)
+    (section "profile" "endprofile");
+  if not (String.equal (next ()) "end") then raise Reject;
+  (* nothing but a trailing newline may follow *)
+  (match !pos with
+  | p when p = Array.length lines -> ()
+  | p when p = Array.length lines - 1 && String.equal lines.(p) "" -> ()
+  | _ -> raise Reject);
+  { Measure.program; dataset = d.ds_name; counts; profile }
+
+(* ---- file operations ---- *)
+
+let lookup ~fingerprint ~n_sites ~program d =
+  if not (enabled ()) then None
+  else
+    let path = entry_path ~fingerprint ~program d in
+    match
+      let ic = open_in_bin path in
+      let text =
+        try really_input_string ic (in_channel_length ic)
+        with e ->
+          close_in_noerr ic;
+          raise e
+      in
+      close_in ic;
+      text
+    with
+    | exception Sys_error _ -> None
+    | exception End_of_file -> None
+    | text -> (
+      match parse ~fingerprint ~n_sites ~program d text with
+      | run -> Some run
+      | exception Reject -> None)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ -> () (* lost a race, or unwritable: caller copes *)
+  end
+
+let store ~fingerprint (d : Workload.dataset) (run : Measure.run) =
+  if enabled () then begin
+    let n_sites = Profile.n_sites run.profile in
+    let text = render ~fingerprint ~n_sites d run in
+    let dir = cache_dir () in
+    (* Best-effort: a read-only or vanished cache directory must never
+       fail the study, so every syscall error is swallowed here. *)
+    try
+      mkdir_p dir;
+      let tmp = Filename.temp_file ~temp_dir:dir "runcache" ".tmp" in
+      let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+      (try
+         let oc = open_out_bin tmp in
+         (try
+            output_string oc text;
+            close_out oc
+          with e ->
+            close_out_noerr oc;
+            raise e);
+         Sys.rename tmp (entry_path ~fingerprint ~program:run.program d)
+       with e ->
+         cleanup ();
+         raise e)
+    with Sys_error _ -> ()
+  end
+
+let clear () =
+  match Sys.readdir (cache_dir ()) with
+  | exception Sys_error _ -> ()
+  | entries ->
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".run" then
+          try Sys.remove (Filename.concat (cache_dir ()) f)
+          with Sys_error _ -> ())
+      entries

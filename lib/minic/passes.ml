@@ -483,11 +483,15 @@ let is_self_reachable prog name =
   in
   visit name
 
-let fresh_counter = ref 0
+(* Atomic: compiles may run on several domains at once (Study.load's
+   pool), and a torn counter could hand two inlined bindings the same
+   name.  Names stay unique under concurrency; the measured build never
+   inlines, so parallel Study.load output does not depend on this
+   counter's interleaving. *)
+let fresh_counter = Atomic.make 0
 
 let fresh_name base =
-  incr fresh_counter;
-  Printf.sprintf "%%inl%d_%s" !fresh_counter base
+  Printf.sprintf "%%inl%d_%s" (Atomic.fetch_and_add fresh_counter 1 + 1) base
 
 let rename_expr table e =
   let rec go = function

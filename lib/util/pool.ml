@@ -1,0 +1,111 @@
+(* Fixed-size domain pool: a queue of indexed tasks drained by
+   [workers - 1] spawned domains plus the calling domain.  Results land
+   in a slot array by task index, so the output order (and, with
+   [domains:1], the evaluation order) matches the input list exactly. *)
+
+let default_domains () =
+  let requested =
+    match Sys.getenv_opt "FISHER92_DOMAINS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None -> Domain.recommended_domain_count ())
+    | None -> Domain.recommended_domain_count ()
+  in
+  max 1 (min 64 requested)
+
+type 'a queue = {
+  mutex : Mutex.t;
+  more : Condition.t;  (* signalled when work arrives or intake closes *)
+  todo : 'a Queue.t;
+  mutable closed : bool;
+}
+
+let make_queue () =
+  {
+    mutex = Mutex.create ();
+    more = Condition.create ();
+    todo = Queue.create ();
+    closed = false;
+  }
+
+let push q x =
+  Mutex.lock q.mutex;
+  Queue.add x q.todo;
+  Condition.signal q.more;
+  Mutex.unlock q.mutex
+
+let close q =
+  Mutex.lock q.mutex;
+  q.closed <- true;
+  Condition.broadcast q.more;
+  Mutex.unlock q.mutex
+
+(* Blocks until a task is available or the queue is closed and drained. *)
+let take q =
+  Mutex.lock q.mutex;
+  let rec loop () =
+    match Queue.take_opt q.todo with
+    | Some x ->
+      Mutex.unlock q.mutex;
+      Some x
+    | None ->
+      if q.closed then begin
+        Mutex.unlock q.mutex;
+        None
+      end
+      else begin
+        Condition.wait q.more q.mutex;
+        loop ()
+      end
+  in
+  loop ()
+
+let mapi ?domains f xs =
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  if n = 0 then []
+  else begin
+    let workers =
+      let d = match domains with Some d -> d | None -> default_domains () in
+      max 1 (min d n)
+    in
+    let q = make_queue () in
+    Array.iteri (fun i x -> push q (i, x)) tasks;
+    close q;
+    let results = Array.make n None in
+    (* Failures are captured with their backtraces, never allowed to
+       escape a worker domain; the lowest task index wins so the caller
+       sees a deterministic error regardless of completion order. *)
+    let failures = Mutex.create () in
+    let first_failure = ref None in
+    let record_failure i exn bt =
+      Mutex.lock failures;
+      (match !first_failure with
+      | Some (j, _, _) when j <= i -> ()
+      | Some _ | None -> first_failure := Some (i, exn, bt));
+      Mutex.unlock failures
+    in
+    let rec drain () =
+      match take q with
+      | None -> ()
+      | Some (i, x) ->
+        (match f i x with
+        | y -> results.(i) <- Some y
+        | exception exn ->
+          record_failure i exn (Printexc.get_raw_backtrace ()));
+        drain ()
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn drain) in
+    drain ();
+    List.iter Domain.join spawned;
+    match !first_failure with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None ->
+      Array.to_list results
+      |> List.map (function
+           | Some y -> y
+           | None -> invalid_arg "Pool.mapi: task produced no result")
+  end
+
+let map ?domains f xs = mapi ?domains (fun _ x -> f x) xs

@@ -1,0 +1,31 @@
+(** A small fixed-size work pool over OCaml 5 domains.
+
+    The study runner fans the independent (program, dataset) simulations
+    out over [Domain.recommended_domain_count] workers.  The pool is
+    deliberately tiny: all tasks are known up front, the work queue is a
+    [Queue.t] guarded by a [Mutex.t]/[Condition.t] pair, and results are
+    collected {e by task index}, never by completion order, so a parallel
+    map is observably identical to [List.map].
+
+    The calling domain participates as a worker, so [domains:1] runs the
+    tasks inline with zero spawning overhead and exactly the sequential
+    evaluation order. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], overridable with the
+    [FISHER92_DOMAINS] environment variable (clamped to [1 .. 64]). *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] applies [f] to every element of [xs] using at
+    most [domains] concurrent workers (default {!default_domains}) and
+    returns the results in input order.
+
+    If any task raises, the pool finishes draining (tasks already taken
+    keep running, queued tasks are still executed), every spawned domain
+    is joined, and then the exception of the {e lowest-indexed} failing
+    task is re-raised in the caller with the backtrace captured at the
+    original raise site.  Which task fails first is therefore
+    deterministic even though completion order is not. *)
+
+val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** [map] with the task index passed to [f]. *)

@@ -2,22 +2,32 @@ let mean = function
   | [] -> 0.0
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
-let geomean = function
+let geomean xs =
+  (* Restrict to strictly positive samples: [log 0. = neg_infinity] and
+     [log] of a negative is nan, either of which would poison the whole
+     summary.  A nan sample fails the [> 0.] test, so it is skipped too. *)
+  match List.filter (fun x -> x > 0.0) xs with
   | [] -> 0.0
-  | xs ->
-    let logsum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
-    exp (logsum /. float_of_int (List.length xs))
+  | pos ->
+    let logsum = List.fold_left (fun acc x -> acc +. log x) 0.0 pos in
+    exp (logsum /. float_of_int (List.length pos))
 
 let min_max = function
   | [] -> invalid_arg "Stats.min_max: empty list"
   | x :: xs ->
+    (* Float.min/Float.max return nan when either argument is nan, so a
+       nan sample propagates to both bounds no matter where it sits in
+       the list — corrupt input yields visibly-corrupt bounds instead of
+       a position-dependent answer. *)
     List.fold_left (fun (lo, hi) y -> (Float.min lo y, Float.max hi y)) (x, x) xs
 
 let median = function
   | [] -> 0.0
   | xs ->
     let a = Array.of_list xs in
-    Array.sort compare a;
+    (* Float.compare is a total order (nan sorts below every number and
+       equals itself), so the result cannot depend on input order. *)
+    Array.sort Float.compare a;
     let n = Array.length a in
     if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 

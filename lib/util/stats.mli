@@ -4,13 +4,23 @@ val mean : float list -> float
 (** Arithmetic mean; 0 for the empty list. *)
 
 val geomean : float list -> float
-(** Geometric mean of positive values; 0 for the empty list. *)
+(** Geometric mean of the {e strictly positive} samples.  Zero,
+    negative, and nan samples are skipped rather than folded through
+    [log] (where they would turn the whole summary into [0.] or nan);
+    the result is 0 when no positive sample remains.  Report footers can
+    therefore never print nan. *)
 
 val min_max : float list -> float * float
-(** Smallest and largest element.  @raise Invalid_argument on []. *)
+(** Smallest and largest element, via [Float.min]/[Float.max]: a nan
+    sample anywhere in the list makes both bounds nan (deliberate — a
+    corrupt input is reported as corrupt, independent of its position).
+    @raise Invalid_argument on []. *)
 
 val median : float list -> float
-(** Median (mean of the two middle elements for even lengths). *)
+(** Median (mean of the two middle elements for even lengths), sorted
+    with [Float.compare] — a total order, so the result is deterministic
+    even when nan samples are present (nan sorts below every number;
+    e.g. [median [nan; 1.; 2.] = 1.]). *)
 
 val stddev : float list -> float
 (** Population standard deviation; 0 for lists shorter than 2. *)

@@ -77,77 +77,16 @@ let db_gen : Db.t Gen.t =
   | None -> ());
   return db
 
-(* ---------- corruption operators ---------- *)
+(* ---------- corruption operators (shared with the study-cache
+   poisoning tests via the support library) ---------- *)
 
-type op =
-  | Bitflip of float * int  (* position fraction, bit index *)
-  | Truncate of float
-  | Delete of float * float  (* start fraction, length knob *)
-  | Splice of float * float * float  (* source start, length knob, dest *)
-  | Swap_lines of (float * float) list
+module Corrupt = Fisher92_testsupport.Corrupt
 
-let op_name = function
-  | Bitflip _ -> "bitflip"
-  | Truncate _ -> "truncate"
-  | Delete _ -> "delete"
-  | Splice _ -> "splice"
-  | Swap_lines _ -> "swap-lines"
+let op_name = Corrupt.op_name
+let apply_op = Corrupt.apply_op
+let op_gen = Corrupt.op_gen
 
-let apply_op text op =
-  let n = String.length text in
-  if n = 0 then text
-  else
-    let pos f = min (n - 1) (int_of_float (f *. float_of_int n)) in
-    match op with
-    | Bitflip (f, bit) ->
-      let b = Bytes.of_string text in
-      let i = pos f in
-      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
-      Bytes.to_string b
-    | Truncate f -> String.sub text 0 (pos f)
-    | Delete (f, g) ->
-      let i = pos f in
-      let len = min (n - i) (1 + int_of_float (g *. 40.0)) in
-      String.sub text 0 i ^ String.sub text (i + len) (n - i - len)
-    | Splice (f, g, h) ->
-      let i = pos f in
-      let len = min (n - i) (1 + int_of_float (g *. 60.0)) in
-      let chunk = String.sub text i len in
-      let j = pos h in
-      String.sub text 0 j ^ chunk ^ String.sub text j (n - j)
-    | Swap_lines swaps ->
-      let lines = Array.of_list (String.split_on_char '\n' text) in
-      let m = Array.length lines in
-      List.iter
-        (fun (a, b) ->
-          let i = min (m - 1) (int_of_float (a *. float_of_int m)) in
-          let j = min (m - 1) (int_of_float (b *. float_of_int m)) in
-          let t = lines.(i) in
-          lines.(i) <- lines.(j);
-          lines.(j) <- t)
-        swaps;
-      String.concat "\n" (Array.to_list lines)
-
-let op_gen : op Gen.t =
-  let open Gen in
-  let f = float_bound_exclusive 1.0 in
-  oneof
-    [
-      (let* a = f in
-       let+ bit = int_bound 7 in
-       Bitflip (a, bit));
-      map (fun a -> Truncate a) f;
-      map2 (fun a b -> Delete (a, b)) f f;
-      (let* a = f in
-       let* b = f in
-       let+ c = f in
-       Splice (a, b, c));
-      map
-        (fun ps -> Swap_lines ps)
-        (list_size (int_range 1 4) (pair f f));
-    ]
-
-let case_gen : (Db.t * bool * op list) Gen.t =
+let case_gen : (Db.t * bool * Corrupt.op list) Gen.t =
   let open Gen in
   let* db = db_gen in
   let* v1 = frequency [ (1, return true); (3, return false) ] in

@@ -1,0 +1,294 @@
+(* The parallel study runner: pool semantics, sequential/parallel
+   byte-identity, and the on-disk study cache (round-trip, poisoning,
+   warm-run identity). *)
+
+module Pool = Fisher92_util.Pool
+module Study = Fisher92.Study
+module Cache = Fisher92.Study_cache
+module E = Fisher92.Experiments
+module Registry = Fisher92_workloads.Registry
+module Workload = Fisher92_workloads.Workload
+module Measure = Fisher92_metrics.Measure
+module Profile = Fisher92_profile.Profile
+module Fingerprint = Fisher92_analysis.Fingerprint
+module Corrupt = Fisher92_testsupport.Corrupt
+module Gen = QCheck2.Gen
+
+(* Isolate the cache: this suite owns a private directory and must be
+   immune to FISHER92_NO_CACHE in the surrounding environment. *)
+let cache_dir =
+  let d = Filename.temp_file "f92cache" ".d" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let () =
+  Unix.putenv "FISHER92_CACHE_DIR" cache_dir;
+  Unix.putenv "FISHER92_NO_CACHE" ""
+
+(* ---------- pool ---------- *)
+
+let test_pool_map_order () =
+  let xs = List.init 200 (fun i -> i) in
+  Alcotest.(check (list int))
+    "order preserved" (List.map (fun i -> i * i) xs)
+    (Pool.map ~domains:4 (fun i -> i * i) xs);
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~domains:4 (fun i -> i) []);
+  Alcotest.(check (list int)) "singleton" [ 7 ]
+    (Pool.map ~domains:4 (fun i -> i) [ 7 ])
+
+let test_pool_mapi () =
+  Alcotest.(check (list int))
+    "index matches position" [ 10; 21; 32; 43 ]
+    (Pool.mapi ~domains:3 (fun i x -> (10 * x) + i) [ 1; 2; 3; 4 ])
+
+let test_pool_one_domain_is_sequential () =
+  (* with domains:1 the caller runs everything inline, in order *)
+  let trace = ref [] in
+  let out =
+    Pool.map ~domains:1
+      (fun i ->
+        trace := i :: !trace;
+        i)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check (list int)) "results" [ 1; 2; 3; 4; 5 ] out;
+  Alcotest.(check (list int)) "evaluation order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !trace)
+
+exception Boom of int
+
+let test_pool_exception_propagates () =
+  Printexc.record_backtrace true;
+  (* several tasks fail; the lowest-indexed failure must win, and the
+     join must terminate rather than hang *)
+  match
+    Pool.map ~domains:4
+      (fun i -> if i >= 3 then raise (Boom i) else i)
+      (List.init 10 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom k ->
+    Alcotest.(check int) "deterministic first failure" 3 k;
+    (* the re-raise used Printexc.raise_with_backtrace with the trace
+       captured at the original raise site inside the worker *)
+    let bt = Printexc.get_backtrace () in
+    Alcotest.(check bool)
+      (Printf.sprintf "original backtrace carried across the join: %S" bt)
+      true
+      (String.length bt > 0)
+
+let test_pool_survivors_complete () =
+  (* a failure must not discard the other tasks' work: every non-failing
+     task still runs (observable via the side-effect counter) *)
+  let ran = Atomic.make 0 in
+  (match
+     Pool.map ~domains:2
+       (fun i ->
+         if i = 0 then raise (Boom 0);
+         Atomic.incr ran;
+         i)
+       (List.init 8 (fun i -> i))
+   with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom _ -> ());
+  Alcotest.(check int) "seven survivors ran" 7 (Atomic.get ran)
+
+(* ---------- sequential == parallel (qcheck) ---------- *)
+
+(* subsets drawn from cheap workloads so the property stays fast; the
+   pair compress/uncompress keeps the crossmode section non-trivial *)
+let subset_gen : string list Gen.t =
+  let open Gen in
+  let pool = [ "lfk"; "spiff"; "mfcom"; "compress"; "uncompress" ] in
+  let* picks = list_repeat (List.length pool) bool in
+  let chosen =
+    List.filteri (fun i _ -> List.nth picks i) pool
+  in
+  return (if chosen = [] then [ "lfk" ] else chosen)
+
+let render_study names ~domains =
+  let workloads = List.map Registry.find names in
+  E.render_all (Study.load ~workloads ~domains ~cache:false ())
+
+let prop_parallel_equals_sequential =
+  QCheck2.Test.make ~count:3
+    ~name:"parallel Study.load renders byte-identical to sequential"
+    ~print:(String.concat " ") subset_gen
+    (fun names ->
+      String.equal
+        (render_study names ~domains:1)
+        (render_study names ~domains:4))
+
+(* ---------- study cache ---------- *)
+
+let spiff = lazy (Registry.find "spiff")
+
+let measured_run () =
+  let w = Lazy.force spiff in
+  let ir = Study.compile_variant w in
+  let d = List.hd w.Workload.w_datasets in
+  let fp = Fingerprint.program_hash ir in
+  let run =
+    Measure.of_result ~program:w.w_name ~dataset:d.ds_name
+      (Study.execute ir d ())
+  in
+  (w, ir, d, fp, run)
+
+let run_equal (a : Measure.run) (b : Measure.run) =
+  String.equal a.program b.program
+  && String.equal a.dataset b.dataset
+  && a.counts = b.counts
+  && String.equal a.profile.Profile.program b.profile.Profile.program
+  && a.profile.Profile.encountered = b.profile.Profile.encountered
+  && a.profile.Profile.taken = b.profile.Profile.taken
+
+let entry_file ~fp (w : Workload.t) (d : Workload.dataset) =
+  Filename.concat cache_dir
+    (Printf.sprintf "%s.%s.%s.run" w.w_name fp (Cache.dataset_hash d))
+
+let test_cache_roundtrip () =
+  Cache.clear ();
+  let w, ir, d, fp, run = measured_run () in
+  let n_sites = Fisher92_ir.Program.n_sites ir in
+  Alcotest.(check bool) "miss on empty cache" true
+    (Cache.lookup ~fingerprint:fp ~n_sites ~program:w.w_name d = None);
+  Cache.store ~fingerprint:fp d run;
+  (match Cache.lookup ~fingerprint:fp ~n_sites ~program:w.w_name d with
+  | None -> Alcotest.fail "stored entry not found"
+  | Some back ->
+    Alcotest.(check bool) "round-trips exactly" true (run_equal run back));
+  (* a different build fingerprint must miss *)
+  Alcotest.(check bool) "stale fingerprint misses" true
+    (Cache.lookup ~fingerprint:"0000000000000000" ~n_sites ~program:w.w_name d
+     = None);
+  (* a different site count must be rejected, not misread *)
+  Alcotest.(check bool) "site count mismatch misses" true
+    (Cache.lookup ~fingerprint:fp ~n_sites:(n_sites + 1) ~program:w.w_name d
+     = None)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+(* poisoned entries: any corruption either misses (recompute) or — when
+   the bytes happen to be untouched, e.g. an identity line swap — yields
+   the exact original record; and lookup never raises *)
+let prop_poisoned_entry_never_trusted =
+  let case_gen =
+    let open Gen in
+    let+ ops = list_size (int_range 1 3) Corrupt.op_gen in
+    ops
+  in
+  QCheck2.Test.make ~count:150
+    ~name:"corrupted cache entries are recomputed, never trusted"
+    ~print:(fun ops ->
+      String.concat "; " (List.map Corrupt.op_name ops))
+    case_gen
+    (fun ops ->
+      let w, ir, d, fp, run = measured_run () in
+      let n_sites = Fisher92_ir.Program.n_sites ir in
+      Cache.clear ();
+      Cache.store ~fingerprint:fp d run;
+      let path = entry_file ~fp w d in
+      let original = read_file path in
+      let corrupted = List.fold_left Corrupt.apply_op original ops in
+      write_file path corrupted;
+      match Cache.lookup ~fingerprint:fp ~n_sites ~program:w.w_name d with
+      | None -> true
+      | Some back ->
+        (* only bit-identical survivors may be served *)
+        String.equal corrupted original && run_equal run back)
+
+let test_cache_truncation_and_bitflip () =
+  let w, ir, d, fp, run = measured_run () in
+  let n_sites = Fisher92_ir.Program.n_sites ir in
+  Cache.clear ();
+  Cache.store ~fingerprint:fp d run;
+  let path = entry_file ~fp w d in
+  let original = read_file path in
+  (* truncation *)
+  write_file path (String.sub original 0 (String.length original / 2));
+  Alcotest.(check bool) "truncated entry misses" true
+    (Cache.lookup ~fingerprint:fp ~n_sites ~program:w.w_name d = None);
+  (* single bit flip in the middle (lands inside a checksummed section) *)
+  let b = Bytes.of_string original in
+  let mid = Bytes.length b / 2 in
+  Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 1));
+  write_file path (Bytes.to_string b);
+  Alcotest.(check bool) "bit-flipped entry misses" true
+    (Cache.lookup ~fingerprint:fp ~n_sites ~program:w.w_name d = None);
+  (* a future format version must also miss *)
+  write_file path
+    ("fisher92runcache 999\n"
+    ^ String.concat "\n"
+        (List.tl (String.split_on_char '\n' original)));
+  Alcotest.(check bool) "version mismatch misses" true
+    (Cache.lookup ~fingerprint:fp ~n_sites ~program:w.w_name d = None)
+
+let test_warm_cache_identical () =
+  Cache.clear ();
+  let names = [ "lfk"; "compress"; "uncompress" ] in
+  let workloads () = List.map Registry.find names in
+  let cold, cold_tm = Study.load_timed ~workloads:(workloads ()) () in
+  let warm, warm_tm = Study.load_timed ~workloads:(workloads ()) () in
+  Alcotest.(check bool) "cold run simulated everything" true
+    (List.for_all
+       (fun tm -> List.for_all (fun r -> not r.Study.rt_cached) tm.Study.tm_runs)
+       cold_tm);
+  Alcotest.(check bool) "warm run served everything from cache" true
+    (List.for_all
+       (fun tm -> List.for_all (fun r -> r.Study.rt_cached) tm.Study.tm_runs)
+       warm_tm);
+  Alcotest.(check string) "rendered output byte-identical"
+    (E.render_all cold) (E.render_all warm)
+
+let test_progress_events () =
+  Cache.clear ();
+  let events = ref [] in
+  let _ =
+    Study.load
+      ~workloads:[ Registry.find "lfk" ]
+      ~progress:(fun e -> events := e :: !events)
+      ()
+  in
+  let compiles, runs =
+    List.partition (function Study.Compiled _ -> true | _ -> false) !events
+  in
+  Alcotest.(check int) "one compile event" 1 (List.length compiles);
+  Alcotest.(check int) "one run event per dataset" 1 (List.length runs)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map keeps order" `Quick test_pool_map_order;
+          Alcotest.test_case "mapi" `Quick test_pool_mapi;
+          Alcotest.test_case "1 domain is sequential" `Quick
+            test_pool_one_domain_is_sequential;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "survivors complete" `Quick
+            test_pool_survivors_complete;
+        ] );
+      ("determinism", q [ prop_parallel_equals_sequential ]);
+      ( "cache",
+        [
+          Alcotest.test_case "round-trip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "truncation/bitflip/version" `Quick
+            test_cache_truncation_and_bitflip;
+          Alcotest.test_case "warm run identical" `Slow
+            test_warm_cache_identical;
+          Alcotest.test_case "progress events" `Quick test_progress_events;
+        ] );
+      ("poisoning", q [ prop_poisoned_entry_never_trusted ]);
+    ]

@@ -116,6 +116,17 @@ let test_geomean () =
   feq "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ] ** 1.0 |> fun x -> x);
   feq "geomean single" 5.0 (Stats.geomean [ 5.0 ])
 
+(* regression: a single zero sample used to drive the whole geomean to 0
+   (log 0 = -inf), and a negative one to nan — footers must never print
+   either *)
+let test_geomean_nonpositive () =
+  feq "zero sample skipped" 2.0 (Stats.geomean [ 0.0; 1.0; 2.0; 4.0 ]);
+  feq "negative sample skipped" 2.0 (Stats.geomean [ -3.0; 1.0; 2.0; 4.0 ]);
+  feq "nan sample skipped" 2.0 (Stats.geomean [ Float.nan; 1.0; 2.0; 4.0 ]);
+  feq "all non-positive" 0.0 (Stats.geomean [ 0.0; -1.0 ]);
+  Alcotest.(check bool) "never nan" false
+    (Float.is_nan (Stats.geomean [ -5.0; 0.0; Float.nan; 3.0 ]))
+
 let test_min_max () =
   let lo, hi = Stats.min_max [ 3.0; -1.0; 7.0; 2.0 ] in
   feq "min" (-1.0) lo;
@@ -124,10 +135,45 @@ let test_min_max () =
     (Invalid_argument "Stats.min_max: empty list") (fun () ->
       ignore (Stats.min_max []))
 
+(* the documented nan contract: a nan sample poisons both bounds no
+   matter where it appears (Float.min/max propagate, unlike a naive
+   [if x < lo] fold which would drop nan depending on position) *)
+let test_min_max_nan () =
+  List.iter
+    (fun xs ->
+      let lo, hi = Stats.min_max xs in
+      Alcotest.(check bool) "nan lo" true (Float.is_nan lo);
+      Alcotest.(check bool) "nan hi" true (Float.is_nan hi))
+    [
+      [ Float.nan; 1.0; 2.0 ];
+      [ 1.0; Float.nan; 2.0 ];
+      [ 1.0; 2.0; Float.nan ];
+    ]
+
 let test_median () =
   feq "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
   feq "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
   feq "empty" 0.0 (Stats.median [])
+
+(* regression: polymorphic compare gave nan an order-dependent position;
+   Float.compare is total (nan below every number), so every permutation
+   agrees *)
+let test_median_nan () =
+  feq "nan sorts first (odd)" 1.0 (Stats.median [ Float.nan; 1.0; 2.0 ]);
+  feq "order independent" 1.0 (Stats.median [ 2.0; Float.nan; 1.0 ]);
+  feq "order independent 2" 1.0 (Stats.median [ 1.0; 2.0; Float.nan ]);
+  let perms =
+    [
+      [ Float.nan; 1.0; 2.0; 3.0 ];
+      [ 3.0; Float.nan; 2.0; 1.0 ];
+      [ 1.0; 2.0; 3.0; Float.nan ];
+    ]
+  in
+  let results = List.map Stats.median perms in
+  match results with
+  | r :: rest ->
+    List.iter (fun r' -> feq "permutations agree" r r') rest
+  | [] -> assert false
 
 let test_stddev () =
   feq "constant" 0.0 (Stats.stddev [ 2.0; 2.0; 2.0 ]);
@@ -176,8 +222,12 @@ let () =
         [
           Alcotest.test_case "mean" `Quick test_mean;
           Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "geomean non-positive" `Quick
+            test_geomean_nonpositive;
           Alcotest.test_case "min_max" `Quick test_min_max;
+          Alcotest.test_case "min_max nan" `Quick test_min_max_nan;
           Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "median nan" `Quick test_median_nan;
           Alcotest.test_case "stddev" `Quick test_stddev;
           Alcotest.test_case "ratio/percent" `Quick test_ratio_percent;
           Alcotest.test_case "weighted_mean" `Quick test_weighted_mean;
