@@ -3,11 +3,8 @@
 
    Usage:
      main.exe                    run every experiment, print paper-style output
-     main.exe <section> ...      run selected sections only; sections:
-                                 table1 table2 table3 fig1 fig2 fig3
-                                 taken combine heuristics crossmode
-                                 dynamic inline gaps switchsort overhead
-                                 coverage
+     main.exe <section> ...      run selected sections only (see --list)
+     main.exe --list             print the experiment registry and exit
      main.exe --timing ...       additionally print the per-workload
                                  compile/simulate/cache-hit timing table
      main.exe --domains N        run the study over N domains
@@ -22,44 +19,25 @@
    FISHER92_NO_CACHE=1 to force simulation); everything is derived from
    those runs. *)
 
-let sections_needing_study =
-  [ "table1"; "table3"; "fig1"; "fig2"; "fig3"; "taken"; "combine";
-    "heuristics"; "crossmode"; "dynamic"; "inline"; "gaps"; "switchsort"; "overhead"; "coverage" ]
+(* The section list is the experiment registry — never a hand-written
+   name list; going through [Experiments.registry] forces the
+   registrations to be linked. *)
+let registry () = Fisher92.Experiments.registry ()
 
-let valid_sections = "table2" :: sections_needing_study
+let valid_sections () =
+  List.map (fun e -> e.Fisher92.Experiment.e_id) (registry ())
 
 let unknown_sections requested =
-  List.filter (fun s -> not (List.mem s valid_sections)) requested
+  let valid = valid_sections () in
+  List.filter (fun s -> not (List.mem s valid)) requested
 
 let run_section study name =
-  let module E = Fisher92.Experiments in
-  match name with
-  | "table1" -> print_endline (E.render_table1 (E.table1 (Lazy.force study)))
-  | "table2" -> print_endline (E.render_table2 ())
-  | "table3" -> print_endline (E.render_table3 (E.table3 (Lazy.force study)))
-  | "fig1" -> print_endline (E.render_fig1 (E.fig1 (Lazy.force study)))
-  | "fig2" -> print_endline (E.render_fig2 (E.fig2 (Lazy.force study)))
-  | "fig3" -> print_endline (E.render_fig3 (E.fig3 (Lazy.force study)))
-  | "taken" -> print_endline (E.render_taken (E.taken (Lazy.force study)))
-  | "combine" -> print_endline (E.render_combine (E.combine (Lazy.force study)))
-  | "heuristics" ->
-    print_endline (E.render_heuristics (E.heuristics (Lazy.force study)))
-  | "crossmode" ->
-    print_endline (E.render_crossmode (E.crossmode (Lazy.force study)))
-  | "dynamic" -> print_endline (E.render_dynamic (E.dynamic (Lazy.force study)))
-  | "inline" ->
-    print_endline (E.render_inline (E.inline_ablation (Lazy.force study)))
-  | "gaps" -> print_endline (E.render_gaps (E.gaps (Lazy.force study)))
-  | "switchsort" ->
-    print_endline (E.render_switchsort (E.switchsort (Lazy.force study)))
-  | "overhead" ->
-    print_endline (E.render_overhead (E.overhead (Lazy.force study)))
-  | "coverage" ->
-    print_endline (E.render_coverage (E.coverage (Lazy.force study)))
-  | other ->
+  match Fisher92.Experiment.find name with
+  | Some e -> print_endline (Fisher92.Experiment.render_text e study)
+  | None ->
     (* unreachable: sections are validated before any work starts *)
-    Printf.eprintf "unknown section %S; valid sections: %s\n" other
-      (String.concat " " valid_sections);
+    Printf.eprintf "unknown section %S; valid sections: %s\n" name
+      (String.concat " " (valid_sections ()));
     exit 2
 
 (* ---------- 1-domain vs N-domain vs warm-cache comparison ---------- *)
@@ -173,6 +151,7 @@ let () =
   let bech = List.mem "--bechamel" args in
   let timing = List.mem "--timing" args in
   let par = List.mem "--parbench" args in
+  let listing = List.mem "--list" args in
   let domains = ref None in
   let rec strip = function
     | [] -> []
@@ -187,21 +166,25 @@ let () =
     | "--domains" :: [] ->
       Printf.eprintf "--domains expects a positive integer\n";
       exit 2
-    | ("--bechamel" | "--timing" | "--parbench") :: rest -> strip rest
+    | ("--bechamel" | "--timing" | "--parbench" | "--list") :: rest ->
+      strip rest
     | s :: rest -> s :: strip rest
   in
   let sections = strip args in
+  if listing then begin
+    ignore (registry ()); (* force the registrations before listing *)
+    print_string (Fisher92.Experiment.list_table ());
+    exit 0
+  end;
   (match unknown_sections sections with
   | [] -> ()
   | bad ->
     Printf.eprintf "unknown section%s: %s; valid sections: %s\n"
       (match bad with [ _ ] -> "" | _ -> "s")
       (String.concat " " bad)
-      (String.concat " " valid_sections);
+      (String.concat " " (valid_sections ()));
     exit 2);
-  let sections =
-    if sections = [] then "table2" :: sections_needing_study else sections
-  in
+  let sections = if sections = [] then valid_sections () else sections in
   let domains = !domains in
   if par then parbench (match domains with Some d -> d | None -> Fisher92_util.Pool.default_domains ())
   else begin

@@ -7,6 +7,8 @@
    fisher92 predict PROG TARGET         cross-predict one dataset from
                                         the others
    fisher92 experiments [SECTION...]    regenerate paper tables/figures
+                                        (--list for the registry,
+                                        --format=tsv for machine output)
    fisher92 db check|repair|migrate     verify / salvage / upgrade profile
                                         databases
    fisher92 lint [PROG]                 IR lint (CFG + dataflow checks)
@@ -183,64 +185,72 @@ let predict_cmd =
 (* ---- experiments ---- *)
 
 let experiments_cmd =
-  let all_sections =
-    [ "table2"; "table1"; "fig1"; "fig2"; "table3"; "fig3"; "taken";
-      "combine"; "heuristics"; "crossmode"; "dynamic"; "inline"; "gaps";
-      "switchsort"; "overhead"; "coverage"; "staleness" ]
-  in
-  let run sections timing domains =
-    (* validate the whole request before simulating anything, so a typo
-       in a mixed valid/invalid list costs nothing *)
-    (match
-       List.filter (fun s -> not (List.mem s all_sections)) sections
-     with
-    | [] -> ()
-    | bad ->
-      Printf.eprintf "unknown section%s: %s; valid sections: %s\n"
-        (match bad with [ _ ] -> "" | _ -> "s")
-        (String.concat " " bad)
-        (String.concat " " all_sections);
-      exit 2);
-    let timings = ref None in
-    let study =
-      lazy
-        (let s, tm = Fisher92.Study.load_timed ?domains () in
-         timings := Some tm;
-         s)
-    in
-    let sections = if sections = [] then all_sections else sections in
-    List.iter
-      (fun section ->
-        let module E = Fisher92.Experiments in
-        let text =
-          match section with
-          | "table1" -> E.render_table1 (E.table1 (Lazy.force study))
-          | "table2" -> E.render_table2 ()
-          | "table3" -> E.render_table3 (E.table3 (Lazy.force study))
-          | "fig1" -> E.render_fig1 (E.fig1 (Lazy.force study))
-          | "fig2" -> E.render_fig2 (E.fig2 (Lazy.force study))
-          | "fig3" -> E.render_fig3 (E.fig3 (Lazy.force study))
-          | "taken" -> E.render_taken (E.taken (Lazy.force study))
-          | "combine" -> E.render_combine (E.combine (Lazy.force study))
-          | "heuristics" -> E.render_heuristics (E.heuristics (Lazy.force study))
-          | "crossmode" -> E.render_crossmode (E.crossmode (Lazy.force study))
-          | "dynamic" -> E.render_dynamic (E.dynamic (Lazy.force study))
-          | "inline" -> E.render_inline (E.inline_ablation (Lazy.force study))
-          | "gaps" -> E.render_gaps (E.gaps (Lazy.force study))
-          | "switchsort" -> E.render_switchsort (E.switchsort (Lazy.force study))
-          | "overhead" -> E.render_overhead (E.overhead (Lazy.force study))
-          | "coverage" -> E.render_coverage (E.coverage (Lazy.force study))
-          | "staleness" -> E.render_staleness (E.staleness (Lazy.force study))
-          | _ -> assert false (* validated above *)
-        in
-        print_endline text)
-      sections;
-    match (timing, !timings) with
-    | true, Some tm -> print_string (Fisher92.Study.render_timings tm)
-    | true, None -> print_endline "(no study was loaded; nothing to time)"
-    | false, _ -> ()
+  let module Experiment = Fisher92.Experiment in
+  let run sections listing format timing domains =
+    (* the registry; going through [Experiments.registry] (not
+       [Experiment.all]) forces the registrations to be linked *)
+    let registry = Fisher92.Experiments.registry () in
+    if listing then print_string (Experiment.list_table ())
+    else begin
+      let ids = List.map (fun e -> e.Experiment.e_id) registry in
+      (* validate the whole request before simulating anything, so a typo
+         in a mixed valid/invalid list costs nothing *)
+      (match List.filter (fun s -> not (List.mem s ids)) sections with
+      | [] -> ()
+      | bad ->
+        Printf.eprintf "unknown section%s: %s; valid sections: %s\n"
+          (match bad with [ _ ] -> "" | _ -> "s")
+          (String.concat " " bad)
+          (String.concat " " ids);
+        exit 2);
+      let timings = ref None in
+      let study =
+        lazy
+          (let s, tm = Fisher92.Study.load_timed ?domains () in
+           timings := Some tm;
+           s)
+      in
+      let selected =
+        match sections with
+        | [] -> registry
+        | names ->
+          List.map
+            (fun s ->
+              match Experiment.find s with
+              | Some e -> e
+              | None -> assert false (* validated above *))
+            names
+      in
+      List.iter
+        (fun e ->
+          let text =
+            match format with
+            | `Text -> Experiment.render_text e study
+            | `Tsv -> Experiment.render_tsv e study
+          in
+          print_endline text)
+        selected;
+      match (timing, !timings) with
+      | true, Some tm -> print_string (Fisher92.Study.render_timings tm)
+      | true, None -> print_endline "(no study was loaded; nothing to time)"
+      | false, _ -> ()
+    end
   in
   let sections = Arg.(value & pos_all string [] & info [] ~docv:"SECTION") in
+  let listing =
+    Arg.(value & flag
+         & info [ "list" ]
+             ~doc:"List the registered experiments (section name, paper \
+                   reference, description) and exit")
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("tsv", `Tsv) ]) `Text
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:"Output format: $(b,text) (the paper-style tables and \
+                   figures) or $(b,tsv) (one tab-separated header line \
+                   plus data rows, for downstream plotting)")
+  in
   let timing =
     Arg.(value & flag
          & info [ "timing" ]
@@ -257,7 +267,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures (all, or named sections)")
-    Term.(const run $ sections $ timing $ domains)
+    Term.(const run $ sections $ listing $ format $ timing $ domains)
 
 (* ---- db ---- *)
 

@@ -1,0 +1,74 @@
+module Table = Fisher92_report.Table
+
+type 'row shape = {
+  sh_compute : Study.t Lazy.t -> 'row list;
+  sh_render : 'row list -> string;
+  sh_chart : ('row list -> string) option;
+  sh_columns : string list;
+  sh_cells : 'row -> string list list;
+}
+
+type packed = Shape : 'row shape -> packed
+
+type t = {
+  e_id : string;
+  e_paper : string;
+  e_descr : string;
+  e_shape : packed;
+}
+
+let make ~id ~paper ~descr ?chart ~render ~columns ~cells compute =
+  {
+    e_id = id;
+    e_paper = paper;
+    e_descr = descr;
+    e_shape =
+      Shape
+        {
+          sh_compute = compute;
+          sh_render = render;
+          sh_chart = chart;
+          sh_columns = columns;
+          sh_cells = cells;
+        };
+  }
+
+let fcell x = Printf.sprintf "%.6g" x
+
+let render_text e study =
+  let (Shape sh) = e.e_shape in
+  sh.sh_render (sh.sh_compute study)
+
+let render_tsv e study =
+  let (Shape sh) = e.e_shape in
+  let rows = sh.sh_compute study in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "\t" sh.sh_columns);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      List.iter
+        (fun line ->
+          Buffer.add_string buf (String.concat "\t" line);
+          Buffer.add_char buf '\n')
+        (sh.sh_cells row))
+    rows;
+  Buffer.contents buf
+
+(* ---- registry ---- *)
+
+let registered : t list ref = ref [] (* reversed *)
+
+let register e =
+  if List.exists (fun e' -> String.equal e'.e_id e.e_id) !registered then
+    invalid_arg (Printf.sprintf "Experiment.register: duplicate %S" e.e_id);
+  registered := e :: !registered
+
+let all () = List.rev !registered
+let ids () = List.map (fun e -> e.e_id) (all ())
+let find id = List.find_opt (fun e -> String.equal e.e_id id) (all ())
+
+let list_table () =
+  Table.render
+    ~header:[ "SECTION"; "PAPER"; "DESCRIPTION" ]
+    (List.map (fun e -> [ e.e_id; e.e_paper; e.e_descr ]) (all ()))

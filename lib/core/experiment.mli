@@ -1,0 +1,71 @@
+(** First-class experiments and their registry.
+
+    Each table or figure of the paper is one {!t}: an identifier, the
+    paper section it reproduces, a one-line description, and an
+    existentially packed {!shape} — the row type stays abstract while
+    the value carries everything needed to compute the rows from a
+    (lazily loaded) study and to render them as the paper-style text
+    block or as machine-readable TSV.
+
+    [Experiments] populates the registry at module-initialization time;
+    the CLI and the benchmark driver derive their section lists,
+    [--list] output and unknown-name errors from {!all}, so adding an
+    experiment is one {!register} call.  Drivers must reference the
+    [Experiments] module (e.g. via [Experiments.registry]) to force its
+    registrations to run — OCaml only initializes linked modules. *)
+
+type 'row shape = {
+  sh_compute : Study.t Lazy.t -> 'row list;
+      (** Forcing the study is the experiment's choice: the inventory
+          table never touches it, so listing it stays free. *)
+  sh_render : 'row list -> string;  (** the paper-style text block *)
+  sh_chart : ('row list -> string) option;
+      (** the bar-chart part alone, for experiments rendered as
+          figures; [None] for plain tables *)
+  sh_columns : string list;  (** TSV header *)
+  sh_cells : 'row -> string list list;
+      (** TSV lines per row (several for experiments whose text table
+          nests per-dataset lines under one row) *)
+}
+
+type packed = Shape : 'row shape -> packed
+
+type t = {
+  e_id : string;  (** section name, e.g. ["fig2"] *)
+  e_paper : string;  (** paper reference, e.g. ["Figure 2"] *)
+  e_descr : string;
+  e_shape : packed;
+}
+
+val make :
+  id:string ->
+  paper:string ->
+  descr:string ->
+  ?chart:('row list -> string) ->
+  render:('row list -> string) ->
+  columns:string list ->
+  cells:('row -> string list list) ->
+  (Study.t Lazy.t -> 'row list) ->
+  t
+
+val fcell : float -> string
+(** TSV float formatting, [%.6g]. *)
+
+val render_text : t -> Study.t Lazy.t -> string
+
+val render_tsv : t -> Study.t Lazy.t -> string
+(** One tab-separated header line, then the rows' cell lines. *)
+
+(** {2 Registry} *)
+
+val register : t -> unit
+(** @raise Invalid_argument on a duplicate id. *)
+
+val all : unit -> t list
+(** Registration order — the order [render_all] and the drivers use. *)
+
+val ids : unit -> string list
+val find : string -> t option
+
+val list_table : unit -> string
+(** The [--list] rendering: id, paper reference, description. *)

@@ -4,10 +4,9 @@ module Measure = Fisher92_metrics.Measure
 module Cross = Fisher92_metrics.Cross
 module Breaks = Fisher92_metrics.Breaks
 module Prediction = Fisher92_predict.Prediction
-module Combine = Fisher92_predict.Combine
-module Heuristic = Fisher92_predict.Heuristic
 module Dynamic = Fisher92_predict.Dynamic
 module Remap = Fisher92_predict.Remap
+module Predictor = Fisher92_predict.Predictor
 module Fingerprint = Fisher92_analysis.Fingerprint
 module Ast = Fisher92_minic.Ast
 module Db = Fisher92_profile.Db
@@ -251,6 +250,32 @@ let render_table2 () =
       ~header:[ "PROGRAM"; "MODELS"; "DATASET"; "DESCRIPTION" ]
       (rows Workload.C_int)
 
+type table2_row = {
+  t2_lang : Workload.lang;
+  t2_program : string;
+  t2_models : string;
+  t2_dataset : string;
+  t2_descr : string;
+}
+
+let table2 () =
+  List.concat_map
+    (fun lang ->
+      List.concat_map
+        (fun (w : Workload.t) ->
+          List.map
+            (fun (d : Workload.dataset) ->
+              {
+                t2_lang = lang;
+                t2_program = w.w_name;
+                t2_models = w.w_paper_name;
+                t2_dataset = d.ds_name;
+                t2_descr = d.ds_descr;
+              })
+            w.w_datasets)
+        (List.filter (fun w -> w.Workload.w_lang = lang) (Registry.all ())))
+    [ Workload.Fortran_fp; Workload.C_int ]
+
 (* ------------------------------------------------------------------ *)
 (* Table 3                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -335,17 +360,16 @@ let render_taken rows =
 
 type combine_row = {
   cb_program : string;
-  cb_scaled : float;
-  cb_unscaled : float;
-  cb_polling : float;
+  cb_cols : (string * float) list;
 }
 
 let combine study =
+  let family = Predictor.summary_family () in
   List.filter_map
     (fun (l : Study.loaded) ->
       if List.length l.runs < 2 then None
       else
-        let mean_quality strategy =
+        let mean_quality (p : Predictor.t) =
           Stats.mean
             (List.map
                (fun (target : Measure.run) ->
@@ -354,32 +378,35 @@ let combine study =
                      (fun (r : Measure.run) -> r.dataset <> target.dataset)
                      l.runs
                  in
-                 let profiles = List.map (fun (r : Measure.run) -> r.profile) others in
-                 let p = Combine.predict strategy profiles in
-                 Measure.prediction_quality target p)
+                 let cx =
+                   Predictor.context
+                     ~profiles:(List.map (fun (r : Measure.run) -> r.profile) others)
+                     l.ir
+                 in
+                 Measure.prediction_quality target (Predictor.predict p cx))
                l.runs)
         in
         Some
           {
             cb_program = l.workload.w_name;
-            cb_scaled = mean_quality Combine.Scaled;
-            cb_unscaled = mean_quality Combine.Unscaled;
-            cb_polling = mean_quality Combine.Polling;
+            cb_cols =
+              List.map (fun p -> (p.Predictor.p_name, mean_quality p)) family;
           })
     (Study.items study)
 
 let render_combine rows =
   "Scaled vs unscaled vs polling summary predictors (mean fraction of\n\
    self-prediction quality; paper: scaled ~ unscaled, polling poor)\n"
-  ^ Table.render ~header:[ "PROGRAM"; "SCALED"; "UNSCALED"; "POLLING" ]
+  ^ Table.render
+      ~header:
+        ("PROGRAM"
+        :: List.map
+             (fun p -> p.Predictor.p_column)
+             (Predictor.summary_family ()))
       (List.map
          (fun r ->
-           [
-             r.cb_program;
-             Table.pct (100.0 *. r.cb_scaled);
-             Table.pct (100.0 *. r.cb_unscaled);
-             Table.pct (100.0 *. r.cb_polling);
-           ])
+           r.cb_program
+           :: List.map (fun (_, q) -> Table.pct (100.0 *. q)) r.cb_cols)
          rows)
 
 (* ------------------------------------------------------------------ *)
@@ -390,42 +417,34 @@ type heuristic_row = {
   h_program : string;
   h_dataset : string;
   h_self : float;
-  h_ball_larus : float;
-  h_loop_struct : float;
-  h_opcode : float;
-  h_call : float;
-  h_ret : float;
-  h_btfn : float;
-  h_taken : float;
-  h_not_taken : float;
+  h_cols : (string * float) list;
 }
 
 let heuristics study =
+  let family = Predictor.heuristic_family () in
   List.map
     (fun (l : Study.loaded) ->
       let run = List.hd l.runs in
-      let apply h = Measure.ipb_predicted run (h l.ir) in
+      let cx = Predictor.context l.ir in
       {
         h_program = l.workload.w_name;
         h_dataset = run.dataset;
         h_self = Measure.ipb_self run;
-        h_ball_larus = apply Heuristic.ball_larus;
-        h_loop_struct = apply Heuristic.loop_struct;
-        h_opcode = apply Heuristic.opcode;
-        h_call = apply Heuristic.call_avoiding;
-        h_ret = apply Heuristic.return_avoiding;
-        h_btfn = apply Heuristic.backward_taken;
-        h_taken = apply Heuristic.always_taken;
-        h_not_taken = apply Heuristic.always_not_taken;
+        h_cols =
+          List.map
+            (fun p ->
+              ( p.Predictor.p_name,
+                Measure.ipb_predicted run (Predictor.predict p cx) ))
+            family;
       })
     (Study.items study)
 
 let render_heuristics rows =
-  let geomean_vs field =
+  let geomean_vs name =
     Stats.geomean
       (List.filter_map
          (fun r ->
-           let v = field r in
+           let v = List.assoc name r.h_cols in
            if v > 0.0 && r.h_self < infinity then Some (r.h_self /. v)
            else None)
          rows)
@@ -434,30 +453,21 @@ let render_heuristics rows =
    mispredicted break; paper: heuristics give up ~2x)\n"
   ^ Table.render
       ~header:
-        [ "PROGRAM"; "DATASET"; "SELF"; "B-L"; "LOOP"; "OPCODE"; "CALL";
-          "RET"; "BTFN"; "TAKEN"; "NOT-TKN" ]
+        ("PROGRAM" :: "DATASET" :: "SELF"
+        :: List.map
+             (fun p -> p.Predictor.p_column)
+             (Predictor.heuristic_family ()))
       (List.map
          (fun r ->
-           [
-             r.h_program;
-             r.h_dataset;
-             Table.fnum r.h_self;
-             Table.fnum r.h_ball_larus;
-             Table.fnum r.h_loop_struct;
-             Table.fnum r.h_opcode;
-             Table.fnum r.h_call;
-             Table.fnum r.h_ret;
-             Table.fnum r.h_btfn;
-             Table.fnum r.h_taken;
-             Table.fnum r.h_not_taken;
-           ])
+           r.h_program :: r.h_dataset :: Table.fnum r.h_self
+           :: List.map (fun (_, v) -> Table.fnum v) r.h_cols)
          rows)
   ^ Printf.sprintf
       "geomean self/heuristic ratio: ball-larus %.2fx  loop-struct %.2fx  \
        btfn %.2fx\n"
-      (geomean_vs (fun r -> r.h_ball_larus))
-      (geomean_vs (fun r -> r.h_loop_struct))
-      (geomean_vs (fun r -> r.h_btfn))
+      (geomean_vs "ball-larus")
+      (geomean_vs "loop-struct")
+      (geomean_vs "btfn")
 
 (* ------------------------------------------------------------------ *)
 (* compress <-> uncompress                                             *)
@@ -954,6 +964,13 @@ let mutate_source (p : Ast.program) : Ast.program =
   }
 
 let staleness study =
+  let predictor name =
+    match Predictor.find name with
+    | Some p -> p
+    | None -> invalid_arg ("staleness: unregistered predictor " ^ name)
+  in
+  let remap_chain = predictor "remap-chain" in
+  let bare_heuristic = predictor "ball-larus" in
   List.map
     (fun (l : Study.loaded) ->
       let w = l.workload in
@@ -976,14 +993,17 @@ let staleness study =
         Measure.of_result ~program:w.w_name ~dataset:d.ds_name
           (Study.execute mir d ())
       in
-      let chain = Remap.plan mir db in
-      let e, r, h, dflt = Remap.counts chain in
+      (* one extra [Remap.plan] beyond the registered predictor's own
+         call — cheap static analysis, and the provenance counts are
+         not part of the predictor interface *)
+      let e, r, h, dflt = Remap.counts (Remap.plan mir db) in
+      let cx = Predictor.context ~db mir in
       {
         st_program = w.w_name;
         st_dataset = d.ds_name;
         st_self = Measure.ipb_self run;
-        st_remap = Measure.ipb_predicted run chain.Remap.r_prediction;
-        st_heur = Measure.ipb_predicted run (Heuristic.ball_larus mir);
+        st_remap = Measure.ipb_predicted run (Predictor.predict remap_chain cx);
+        st_heur = Measure.ipb_predicted run (Predictor.predict bare_heuristic cx);
         st_exact = e;
         st_remapped = r;
         st_heuristic = h;
@@ -1021,27 +1041,231 @@ let render_staleness rows =
       wins (List.length rows)
 
 (* ------------------------------------------------------------------ *)
+(* Registry: every experiment, in the paper's presentation order.      *)
+(* This block is the single source of the section-name list — the CLI, *)
+(* the benchmark driver, the golden test and render_all all derive     *)
+(* from it.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fcell = Experiment.fcell
+let icell = string_of_int
+
+let reg ~id ~paper ~descr ?chart ~render ~columns ~cells compute =
+  Experiment.register
+    (Experiment.make ~id ~paper ~descr ?chart ~render ~columns ~cells compute)
+
+let () =
+  reg ~id:"table2" ~paper:"Table 2"
+    ~descr:"programs and datasets of the sample base"
+    ~render:(fun _ -> render_table2 ())
+    ~columns:[ "lang"; "program"; "models"; "dataset"; "description" ]
+    ~cells:(fun r ->
+      [
+        [
+          Workload.lang_name r.t2_lang; r.t2_program; r.t2_models;
+          r.t2_dataset; r.t2_descr;
+        ];
+      ])
+    (fun _ -> table2 ());
+  reg ~id:"table1" ~paper:"Table 1"
+    ~descr:"dynamic dead code that global DCE would eliminate"
+    ~render:render_table1
+    ~columns:[ "program"; "dead_pct" ]
+    ~cells:(fun r -> [ [ r.t1_program; fcell r.t1_dead_pct ] ])
+    (fun study -> table1 (Lazy.force study));
+  reg ~id:"fig1" ~paper:"Figure 1"
+    ~descr:"instrs per break with no prediction, +/- call/return breaks"
+    ~chart:render_fig1 ~render:render_fig1
+    ~columns:[ "program"; "dataset"; "lang"; "ipb_no_calls"; "ipb_with_calls" ]
+    ~cells:(fun r ->
+      [
+        [
+          r.f1_program; r.f1_dataset; Workload.lang_name r.f1_lang;
+          fcell r.f1_no_calls; fcell r.f1_with_calls;
+        ];
+      ])
+    (fun study -> fig1 (Lazy.force study));
+  reg ~id:"fig2" ~paper:"Figure 2"
+    ~descr:"instrs per mispredicted break, self vs scaled-others prediction"
+    ~chart:render_fig2 ~render:render_fig2
+    ~columns:[ "program"; "dataset"; "lang"; "self_ipb"; "others_ipb" ]
+    ~cells:(fun r ->
+      [
+        [
+          r.f2_program; r.f2_dataset; Workload.lang_name r.f2_lang;
+          fcell r.f2_self;
+          (match r.f2_others with Some v -> fcell v | None -> "-");
+        ];
+      ])
+    (fun study -> fig2 (Lazy.force study));
+  reg ~id:"table3" ~paper:"Table 3"
+    ~descr:"self-predicted instrs/break, low-variability FORTRAN programs"
+    ~render:render_table3
+    ~columns:[ "program"; "dataset"; "ipb" ]
+    ~cells:(fun r -> [ [ r.t3_program; r.t3_dataset; fcell r.t3_ipb ] ])
+    (fun study -> table3 (Lazy.force study));
+  reg ~id:"fig3" ~paper:"Figure 3"
+    ~descr:"best and worst single-dataset predictors per target"
+    ~chart:render_fig3 ~render:render_fig3
+    ~columns:
+      [
+        "program"; "dataset"; "lang"; "best"; "best_quality"; "worst";
+        "worst_quality";
+      ]
+    ~cells:(fun r ->
+      let bname, bq = r.f3_best and wname, wq = r.f3_worst in
+      [
+        [
+          r.f3_program; r.f3_dataset; Workload.lang_name r.f3_lang;
+          bname; fcell bq; wname; fcell wq;
+        ];
+      ])
+    (fun study -> fig3 (Lazy.force study));
+  reg ~id:"taken" ~paper:"section 3"
+    ~descr:"branch percent-taken stability across datasets"
+    ~render:render_taken
+    ~columns:[ "program"; "dataset"; "pct_taken"; "spread" ]
+    ~cells:(fun r ->
+      List.map
+        (fun (ds, pct) -> [ r.tk_program; ds; fcell pct; fcell r.tk_spread ])
+        r.tk_per_dataset)
+    (fun study -> taken (Lazy.force study));
+  reg ~id:"combine" ~paper:"section 3"
+    ~descr:"scaled vs unscaled vs polling summary predictors"
+    ~render:render_combine
+    ~columns:
+      ("program"
+      :: List.map
+           (fun p -> p.Predictor.p_name)
+           (Predictor.summary_family ()))
+    ~cells:(fun r ->
+      [ r.cb_program :: List.map (fun (_, q) -> fcell q) r.cb_cols ])
+    (fun study -> combine (Lazy.force study));
+  reg ~id:"heuristics" ~paper:"section 3"
+    ~descr:"structural (CFG-derived) heuristics vs profile feedback"
+    ~render:render_heuristics
+    ~columns:
+      ("program" :: "dataset" :: "self"
+      :: List.map
+           (fun p -> p.Predictor.p_name)
+           (Predictor.heuristic_family ()))
+    ~cells:(fun r ->
+      [
+        r.h_program :: r.h_dataset :: fcell r.h_self
+        :: List.map (fun (_, v) -> fcell v) r.h_cols;
+      ])
+    (fun study -> heuristics (Lazy.force study));
+  reg ~id:"crossmode" ~paper:"section 3"
+    ~descr:"compress <-> uncompress cross-mode prediction"
+    ~render:render_crossmode
+    ~columns:[ "predictor"; "target"; "dataset"; "quality" ]
+    ~cells:(fun r ->
+      [ [ r.cm_predictor; r.cm_target; r.cm_dataset; fcell r.cm_quality ] ])
+    (fun study -> crossmode (Lazy.force study));
+  reg ~id:"dynamic" ~paper:"extension"
+    ~descr:"static self-profile vs 1-bit/2-bit hardware predictors"
+    ~render:render_dynamic
+    ~columns:[ "program"; "dataset"; "static_pct"; "onebit_pct"; "twobit_pct" ]
+    ~cells:(fun r ->
+      [
+        [
+          r.dy_program; r.dy_dataset; fcell r.dy_static_pct;
+          fcell r.dy_onebit_pct; fcell r.dy_twobit_pct;
+        ];
+      ])
+    (fun study -> dynamic (Lazy.force study));
+  reg ~id:"inline" ~paper:"extension"
+    ~descr:"inlining ablation on call/return break density"
+    ~render:render_inline
+    ~columns:
+      [ "program"; "dataset"; "base_ipb"; "inlined_ipb"; "calls_removed_pct" ]
+    ~cells:(fun r ->
+      [
+        [
+          r.il_program; r.il_dataset; fcell r.il_base_with_calls;
+          fcell r.il_inlined_with_calls; fcell r.il_calls_removed_pct;
+        ];
+      ])
+    (fun study -> inline_ablation (Lazy.force study));
+  reg ~id:"gaps" ~paper:"section 3"
+    ~descr:"distribution of instruction runs between breaks"
+    ~render:render_gaps
+    ~columns:[ "program"; "dataset"; "mean_gap"; "median_gap"; "p90_gap"; "skew" ]
+    ~cells:(fun r ->
+      [
+        [
+          r.gp_program; r.gp_dataset; fcell r.gp_mean; fcell r.gp_median;
+          fcell r.gp_p90; fcell r.gp_skew;
+        ];
+      ])
+    (fun study -> gaps (Lazy.force study));
+  reg ~id:"switchsort" ~paper:"section 2"
+    ~descr:"profile-guided switch cascade reordering"
+    ~render:render_switchsort
+    ~columns:
+      [
+        "program"; "dataset"; "base_insns"; "sorted_insns"; "saved_pct";
+        "base_ipb"; "sorted_ipb";
+      ]
+    ~cells:(fun r ->
+      [
+        [
+          r.ss_program; r.ss_dataset; icell r.ss_base_insns;
+          icell r.ss_sorted_insns; fcell r.ss_insns_saved_pct;
+          fcell r.ss_base_ipb; fcell r.ss_sorted_ipb;
+        ];
+      ])
+    (fun study -> switchsort (Lazy.force study));
+  reg ~id:"overhead" ~paper:"section 2 methodology"
+    ~descr:"IFPROBBER instrumentation overhead and counter cross-check"
+    ~render:render_overhead
+    ~columns:
+      [
+        "program"; "dataset"; "clean_insns"; "instrumented_insns";
+        "overhead_pct"; "counters_ok";
+      ]
+    ~cells:(fun r ->
+      [
+        [
+          r.ov_program; r.ov_dataset; icell r.ov_clean_insns;
+          icell r.ov_instrumented_insns; fcell r.ov_overhead_pct;
+          string_of_bool r.ov_counters_match;
+        ];
+      ])
+    (fun study -> overhead (Lazy.force study));
+  reg ~id:"coverage" ~paper:"section 3"
+    ~descr:"coverage/agreement correlation with prediction quality"
+    ~render:render_coverage
+    ~columns:[ "program"; "pairs"; "coverage_r"; "agreement_r" ]
+    ~cells:(fun r ->
+      [
+        [
+          r.co_program; icell r.co_pairs; fcell r.co_coverage_r;
+          fcell r.co_agreement_r;
+        ];
+      ])
+    (fun study -> coverage (Lazy.force study));
+  reg ~id:"staleness" ~paper:"extension"
+    ~descr:"stale database through the remap degradation chain"
+    ~render:render_staleness
+    ~columns:
+      [
+        "program"; "dataset"; "self_ipb"; "remap_ipb"; "heur_ipb"; "exact";
+        "remapped"; "heuristic"; "default";
+      ]
+    ~cells:(fun r ->
+      [
+        [
+          r.st_program; r.st_dataset; fcell r.st_self; fcell r.st_remap;
+          fcell r.st_heur; icell r.st_exact; icell r.st_remapped;
+          icell r.st_heuristic; icell r.st_default;
+        ];
+      ])
+    (fun study -> staleness (Lazy.force study))
+
+let registry () = Experiment.all ()
 
 let render_all study =
-  let sections =
-    [
-      render_table2 ();
-      render_table1 (table1 study);
-      render_fig1 (fig1 study);
-      render_fig2 (fig2 study);
-      render_table3 (table3 study);
-      render_fig3 (fig3 study);
-      render_taken (taken study);
-      render_combine (combine study);
-      render_heuristics (heuristics study);
-      render_crossmode (crossmode study);
-      render_dynamic (dynamic study);
-      render_inline (inline_ablation study);
-      render_gaps (gaps study);
-      render_switchsort (switchsort study);
-      render_overhead (overhead study);
-      render_coverage (coverage study);
-      render_staleness (staleness study);
-    ]
-  in
-  String.concat "\n\n" sections
+  let study = lazy study in
+  String.concat "\n\n"
+    (List.map (fun e -> Experiment.render_text e study) (registry ()))

@@ -62,6 +62,17 @@ val render_table1 : table1_row list -> string
 val render_table2 : unit -> string
 (** The program/dataset inventory (needs no study). *)
 
+type table2_row = {
+  t2_lang : Fisher92_workloads.Workload.lang;
+  t2_program : string;
+  t2_models : string;  (** the paper program this workload stands in for *)
+  t2_dataset : string;
+  t2_descr : string;
+}
+
+val table2 : unit -> table2_row list
+(** The inventory as rows (for the TSV emitter; needs no study). *)
+
 type table3_row = { t3_program : string; t3_dataset : string; t3_ipb : float }
 
 val table3 : Study.t -> table3_row list
@@ -81,9 +92,10 @@ val render_taken : taken_row list -> string
 
 type combine_row = {
   cb_program : string;
-  cb_scaled : float;  (** mean quality ratio over targets *)
-  cb_unscaled : float;
-  cb_polling : float;
+  cb_cols : (string * float) list;
+      (** mean quality ratio over targets, per registered summary
+          predictor ({!Fisher92_predict.Predictor.summary_family}), keyed
+          by predictor name *)
 }
 
 val combine : Study.t -> combine_row list
@@ -93,14 +105,10 @@ type heuristic_row = {
   h_program : string;
   h_dataset : string;
   h_self : float;  (** instrs/break, self profile *)
-  h_ball_larus : float;  (** the combined structural family *)
-  h_loop_struct : float;  (** natural-loop back edges / exits *)
-  h_opcode : float;
-  h_call : float;  (** call-avoiding *)
-  h_ret : float;  (** return-avoiding *)
-  h_btfn : float;
-  h_taken : float;
-  h_not_taken : float;
+  h_cols : (string * float) list;
+      (** instrs/break per registered structural predictor
+          ({!Fisher92_predict.Predictor.heuristic_family}), keyed by
+          predictor name *)
 }
 
 val heuristics : Study.t -> heuristic_row list
@@ -143,8 +151,14 @@ type inline_row = {
 val inline_ablation : Study.t -> inline_row list
 val render_inline : inline_row list -> string
 
+val registry : unit -> Experiment.t list
+(** Every registered experiment in paper order.  Referencing this (rather
+    than {!Experiment.all} directly) forces this module's registrations
+    to run — OCaml only initializes linked modules, and a driver that
+    never touched [Experiments] would see an empty registry. *)
+
 val render_all : Study.t -> string
-(** Every experiment in paper order, ready for stdout. *)
+(** Every registered experiment in paper order, ready for stdout. *)
 
 type gaps_row = {
   gp_program : string;

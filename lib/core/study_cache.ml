@@ -1,4 +1,6 @@
 module Fnv = Fisher92_util.Fnv
+module Sectfile = Fisher92_util.Sectfile
+module Env = Fisher92_util.Env
 module Workload = Fisher92_workloads.Workload
 module Measure = Fisher92_metrics.Measure
 module Breaks = Fisher92_metrics.Breaks
@@ -8,15 +10,8 @@ module Profile = Fisher92_profile.Profile
    header check and are recomputed, never misparsed. *)
 let format_version = 1
 
-let enabled () =
-  match Sys.getenv_opt "FISHER92_NO_CACHE" with
-  | None | Some "" | Some "0" -> true
-  | Some _ -> false
-
-let cache_dir () =
-  match Sys.getenv_opt "FISHER92_CACHE_DIR" with
-  | Some d when d <> "" -> d
-  | Some _ | None -> Filename.concat "_build" ".fisher92-cache"
+let enabled = Env.cache_enabled
+let cache_dir = Env.cache_dir
 
 (* ---- dataset identity ---- *)
 
@@ -44,22 +39,15 @@ let entry_path ~fingerprint ~program d =
   Filename.concat (cache_dir ())
     (Printf.sprintf "%s.%s.%s.run" program fingerprint (dataset_hash d))
 
-(* ---- serialization (profile-db v2 conventions) ---- *)
+(* ---- serialization (the Sectfile conventions the profile db also
+   follows) ---- *)
 
-let sized s = Printf.sprintf "%d %s" (String.length s) s
-
-let checksum_of body_lines =
-  Fnv.to_hex
-    (List.fold_left (fun h l -> Fnv.fold (Fnv.fold h l) "\n") Fnv.seed
-       body_lines)
+let sized = Sectfile.sized
 
 let render ~fingerprint ~n_sites d (run : Measure.run) =
   let buf = Buffer.create 1024 in
   let section header body end_tag =
-    let lines = header :: body in
-    List.iter (fun l -> Buffer.add_string buf (l ^ "\n")) lines;
-    Buffer.add_string buf
-      (Printf.sprintf "%s %s\n" end_tag (checksum_of lines))
+    Sectfile.add_section buf ~header ~body ~end_tag
   in
   Buffer.add_string buf (Printf.sprintf "fisher92runcache %d\n" format_version);
   section "meta"
@@ -92,52 +80,22 @@ let render ~fingerprint ~n_sites d (run : Measure.run) =
   Buffer.add_string buf "end\n";
   Buffer.contents buf
 
-(* ---- parsing: strict and total.  Any deviation returns None. ---- *)
+(* ---- parsing: strict and total.  Any deviation returns None: a
+   cache entry is repopulated, never salvaged.  Sectfile's strict
+   reader raises [Sectfile.Bad] on format damage; [lookup] converts
+   both that and [Reject] into a miss. ---- *)
 
 exception Reject
 
 let parse_sized s =
-  match String.index_opt s ' ' with
-  | None -> raise Reject
-  | Some i -> (
-    match int_of_string_opt (String.sub s 0 i) with
-    | Some len when len >= 0 && len = String.length s - i - 1 ->
-      String.sub s (i + 1) len
-    | Some _ | None -> raise Reject)
+  match Sectfile.parse_sized ~line:0 ~what:"field" s with
+  | payload -> payload
+  | exception Sectfile.Bad _ -> raise Reject
 
 let parse ~fingerprint ~n_sites ~program (d : Workload.dataset) text =
-  let lines = Array.of_list (String.split_on_char '\n' text) in
-  let pos = ref 0 in
-  let next () =
-    if !pos >= Array.length lines then raise Reject
-    else begin
-      incr pos;
-      lines.(!pos - 1)
-    end
-  in
-  (* A section is the run of lines from its header to its end tag; the
-     stored checksum must match the bytes we just read. *)
-  let section header end_tag =
-    if not (String.equal (next ()) header) then raise Reject;
-    let body = ref [ header ] in
-    let rec go () =
-      let l = next () in
-      match
-        if String.starts_with ~prefix:(end_tag ^ " ") l then
-          Some (String.sub l (String.length end_tag + 1)
-                  (String.length l - String.length end_tag - 1))
-        else None
-      with
-      | Some crc ->
-        if not (String.equal crc (checksum_of (List.rev !body))) then
-          raise Reject;
-        List.tl (List.rev !body)
-      | None ->
-        body := l :: !body;
-        go ()
-    in
-    go ()
-  in
+  let c = Sectfile.cursor (Sectfile.split_lines text) in
+  let next () = Sectfile.next c in
+  let section header end_tag = Sectfile.strict_section c ~header ~end_tag in
   let field prefix l =
     match
       if String.starts_with ~prefix:(prefix ^ " ") l then
@@ -194,10 +152,7 @@ let parse ~fingerprint ~n_sites ~program (d : Workload.dataset) text =
     (section "profile" "endprofile");
   if not (String.equal (next ()) "end") then raise Reject;
   (* nothing but a trailing newline may follow *)
-  (match !pos with
-  | p when p = Array.length lines -> ()
-  | p when p = Array.length lines - 1 && String.equal lines.(p) "" -> ()
-  | _ -> raise Reject);
+  if not (Sectfile.at_end c) then raise Reject;
   { Measure.program; dataset = d.ds_name; counts; profile }
 
 (* ---- file operations ---- *)
@@ -206,23 +161,14 @@ let lookup ~fingerprint ~n_sites ~program d =
   if not (enabled ()) then None
   else
     let path = entry_path ~fingerprint ~program d in
-    match
-      let ic = open_in_bin path in
-      let text =
-        try really_input_string ic (in_channel_length ic)
-        with e ->
-          close_in_noerr ic;
-          raise e
-      in
-      close_in ic;
-      text
-    with
+    match Sectfile.read_file path with
     | exception Sys_error _ -> None
     | exception End_of_file -> None
     | text -> (
       match parse ~fingerprint ~n_sites ~program d text with
       | run -> Some run
-      | exception Reject -> None)
+      | exception Reject -> None
+      | exception Sectfile.Bad _ -> None)
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -240,20 +186,9 @@ let store ~fingerprint (d : Workload.dataset) (run : Measure.run) =
        fail the study, so every syscall error is swallowed here. *)
     try
       mkdir_p dir;
-      let tmp = Filename.temp_file ~temp_dir:dir "runcache" ".tmp" in
-      let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
-      (try
-         let oc = open_out_bin tmp in
-         (try
-            output_string oc text;
-            close_out oc
-          with e ->
-            close_out_noerr oc;
-            raise e);
-         Sys.rename tmp (entry_path ~fingerprint ~program:run.program d)
-       with e ->
-         cleanup ();
-         raise e)
+      Sectfile.write_atomic
+        ~path:(entry_path ~fingerprint ~program:run.program d)
+        ~tmp_prefix:"runcache" text
     with Sys_error _ -> ()
   end
 

@@ -1,0 +1,138 @@
+module Db = Fisher92_profile.Db
+module Profile = Fisher92_profile.Profile
+
+type context = {
+  cx_ir : Fisher92_ir.Program.t;
+  cx_db : Db.t option;
+  cx_profiles : Profile.t list;
+}
+
+let context ?db ?(profiles = []) ir =
+  { cx_ir = ir; cx_db = db; cx_profiles = profiles }
+
+type provenance = Profile_direct | Profile_summary | Structural | Degradation
+
+let provenance_name = function
+  | Profile_direct -> "profile-direct"
+  | Profile_summary -> "profile-summary"
+  | Structural -> "structural"
+  | Degradation -> "degradation"
+
+type t = {
+  p_name : string;
+  p_column : string;
+  p_provenance : provenance;
+  p_descr : string;
+  p_predict : context -> Prediction.t;
+}
+
+let predict p cx = p.p_predict cx
+
+(* ---- registry ---- *)
+
+let registered : t list ref = ref [] (* reversed *)
+
+let register p =
+  if List.exists (fun q -> String.equal q.p_name p.p_name) !registered then
+    invalid_arg (Printf.sprintf "Predictor.register: duplicate %S" p.p_name);
+  registered := p :: !registered
+
+let all () = List.rev !registered
+let find name = List.find_opt (fun p -> String.equal p.p_name name) (all ())
+let by_provenance prov = List.filter (fun p -> p.p_provenance = prov) (all ())
+let heuristic_family () = by_provenance Structural
+let summary_family () = by_provenance Profile_summary
+
+(* ---- built-in registrations ---- *)
+
+let n_sites cx = Fisher92_ir.Program.n_sites cx.cx_ir
+
+(* An empty training set predicts the static default (not taken)
+   everywhere rather than raising: registry consumers probe predictors
+   generically and must be safe on any context. *)
+let of_profiles cx =
+  match cx.cx_profiles with
+  | [] -> Prediction.always false ~n_sites:(n_sites cx)
+  | ps -> Prediction.of_profile (Profile.sum ps)
+
+let () =
+  register
+    {
+      p_name = "self";
+      p_column = "SELF";
+      p_provenance = Profile_direct;
+      p_descr = "majority direction of the target's own profile (the best \
+                 any static method can do)";
+      p_predict = of_profiles;
+    };
+  register
+    {
+      p_name = "profile";
+      p_column = "PROFILE";
+      p_provenance = Profile_direct;
+      p_descr = "majority direction of the accumulated profile database \
+                 (what the feedback utility feeds back)";
+      p_predict =
+        (fun cx ->
+          match cx.cx_db with
+          | Some db -> Prediction.of_profile (Db.accumulated db)
+          | None -> of_profiles cx);
+    };
+  List.iter
+    (fun (strategy, column) ->
+      register
+        {
+          p_name = Combine.strategy_name strategy;
+          p_column = column;
+          p_provenance = Profile_summary;
+          p_descr =
+            (match strategy with
+            | Combine.Scaled ->
+              "other datasets' counters, each normalized to equal weight \
+               first (the paper's reported variant)"
+            | Combine.Unscaled -> "other datasets' raw counters, added"
+            | Combine.Polling ->
+              "one majority-direction vote per other dataset (\"performed \
+               poorly and was discarded\")");
+          p_predict =
+            (fun cx ->
+              match cx.cx_profiles with
+              | [] -> Prediction.always false ~n_sites:(n_sites cx)
+              | ps -> Combine.predict strategy ps);
+        })
+    [ (Combine.Scaled, "SCALED"); (Combine.Unscaled, "UNSCALED");
+      (Combine.Polling, "POLLING") ];
+  (* the structural family, in the heuristics table's column order *)
+  List.iter
+    (fun (name, column) ->
+      match List.find_opt (fun h -> h.Heuristic.h_name = name) Heuristic.all with
+      | None -> invalid_arg ("Predictor: unknown heuristic " ^ name)
+      | Some h ->
+        register
+          {
+            p_name = h.h_name;
+            p_column = column;
+            p_provenance = Structural;
+            p_descr = h.h_descr;
+            p_predict = (fun cx -> h.h_derive cx.cx_ir);
+          })
+    [ ("ball-larus", "B-L"); ("loop-struct", "LOOP"); ("opcode", "OPCODE");
+      ("call-avoiding", "CALL"); ("return-avoiding", "RET"); ("btfn", "BTFN");
+      ("always-taken", "TAKEN"); ("always-not-taken", "NOT-TKN") ];
+  register
+    {
+      p_name = "remap-chain";
+      p_column = "REMAP";
+      p_provenance = Degradation;
+      p_descr = "per-site best evidence from a possibly-stale database: \
+                 exact counters, structurally remapped counters, heuristic \
+                 opinion, default";
+      p_predict =
+        (fun cx ->
+          match cx.cx_db with
+          | Some db -> (Remap.plan cx.cx_ir db).Remap.r_prediction
+          | None ->
+            (* no database at all: the chain is all heuristic/default,
+               which is exactly the structural family's prediction *)
+            Heuristic.ball_larus cx.cx_ir);
+    }

@@ -1,4 +1,7 @@
-module Fnv = Fisher92_util.Fnv
+(* The on-disk format conventions — sized strings, checksummed
+   sections, atomic writes — live in the codec shared with the study
+   cache. *)
+open Fisher92_util.Sectfile
 
 type t = {
   db_program : string;
@@ -96,13 +99,6 @@ let set_identity t ~fingerprint ~sitekeys =
    included, each terminated by '\n', so damage anywhere inside a
    section invalidates exactly that section and nothing else. *)
 
-let sized s = Printf.sprintf "%d %s" (String.length s) s
-
-let checksum_of body_lines =
-  Fnv.to_hex
-    (List.fold_left (fun h l -> Fnv.fold (Fnv.fold h l) "\n") Fnv.seed
-       body_lines)
-
 let counter_lines (p : Profile.t) =
   let acc = ref [] in
   Array.iteri
@@ -129,12 +125,7 @@ let save_v1 t =
 
 let save t =
   let buf = Buffer.create 4096 in
-  let section header body end_tag =
-    let lines = header :: body in
-    List.iter (fun l -> Buffer.add_string buf (l ^ "\n")) lines;
-    Buffer.add_string buf
-      (Printf.sprintf "%s %s\n" end_tag (checksum_of lines))
-  in
+  let section header body end_tag = add_section buf ~header ~body ~end_tag in
   Buffer.add_string buf "ifprobdb2\n";
   section "meta"
     ([ "program " ^ sized t.db_program;
@@ -161,28 +152,9 @@ let save t =
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Internal: parse errors carry the 1-based line they were detected on;
-   strict loading turns them into the documented [Failure], lenient
-   loading into report entries. *)
-exception Bad of int * string
-
-let failf line fmt = Printf.ksprintf (fun m -> raise (Bad (line, m))) fmt
-
-(* "<len> <payload>" where the payload is exactly [len] bytes. *)
-let parse_sized ~line ~what s =
-  match String.index_opt s ' ' with
-  | None -> failf line "malformed %s (expected \"<len> <text>\")" what
-  | Some i -> (
-    match int_of_string_opt (String.sub s 0 i) with
-    | None -> failf line "malformed %s length %S" what (String.sub s 0 i)
-    | Some len when len < 0 -> failf line "negative %s length" what
-    | Some len ->
-      let avail = String.length s - i - 1 in
-      if len > avail then
-        failf line "declared %s length %d exceeds the line (%d bytes left)"
-          what len avail
-      else if len < avail then failf line "trailing bytes after %s" what
-      else String.sub s (i + 1) len)
+(* Parse errors ({!Sectfile.Bad}) carry the 1-based line they were
+   detected on; strict loading turns them into the documented [Failure],
+   lenient loading into report entries. *)
 
 let parse_counter ~line ~n_sites s =
   match String.split_on_char ' ' s |> List.map int_of_string_opt with
@@ -252,14 +224,6 @@ let load_v1_strict (lines : string array) =
 
 (* ---- v2 section scanning (shared by strict and lenient) ---- *)
 
-type raw_section = {
-  rs_idx : int;  (* 0-based index of the section's header line *)
-  rs_header : string;
-  rs_lines : string list;  (* header plus body, in order *)
-  rs_end : string option;  (* terminator line, [None] = never closed *)
-  rs_end_idx : int;  (* index just past the section *)
-}
-
 let section_start l =
   String.equal l "meta" || String.equal l "sitemap"
   || String.starts_with ~prefix:"dataset " l
@@ -269,53 +233,12 @@ let end_tag_of header =
   else if String.equal header "sitemap" then "endsitemap"
   else "enddataset"
 
-(* Split the line stream into sections and leftover (noise) lines.
-   Resynchronizes on every section-start line, so one damaged section
-   cannot swallow the intact sections after it. *)
-let scan_sections (lines : string array) ~from =
-  let n = Array.length lines in
-  let sections = ref [] and noise = ref [] in
-  let i = ref from in
-  while !i < n do
-    let l = lines.(!i) in
-    if section_start l then begin
-      let idx = !i in
-      let tag = end_tag_of l in
-      let body = ref [ l ] in
-      let fin = ref None in
-      incr i;
-      while !fin = None && !i < n && not (section_start lines.(!i)) do
-        let l2 = lines.(!i) in
-        if String.equal l2 tag || String.starts_with ~prefix:(tag ^ " ") l2
-        then fin := Some l2
-        else body := l2 :: !body;
-        incr i
-      done;
-      sections :=
-        {
-          rs_idx = idx;
-          rs_header = l;
-          rs_lines = List.rev !body;
-          rs_end = !fin;
-          rs_end_idx = !i;
-        }
-        :: !sections
-    end
-    else begin
-      if not (String.equal l "" || String.equal l "end") then
-        noise := !i :: !noise;
-      incr i
-    end
-  done;
-  (List.rev !sections, List.rev !noise)
+let scan_sections lines ~from =
+  scan ~section_start ~end_tag_of
+    ~skip:(fun l -> String.equal l "" || String.equal l "end")
+    lines ~from
 
-let section_checksum_ok rs =
-  match rs.rs_end with
-  | None -> false
-  | Some endl -> (
-    match String.split_on_char ' ' endl with
-    | [ _tag; h ] -> String.equal h (checksum_of rs.rs_lines)
-    | _ -> false)
+let section_checksum_ok = checksum_ok
 
 (* Meta fields out of a meta section's body; raises [Bad]. *)
 let parse_meta_fields rs =
@@ -434,8 +357,6 @@ let load_v2_strict (lines : string array) =
     db
   | rs :: _ -> failf (rs.rs_idx + 1) "expected meta as the first section"
   | [] -> failf 2 "expected meta section"
-
-let split_lines text = Array.of_list (String.split_on_char '\n' text)
 
 let load text =
   let lines = split_lines text in
@@ -750,31 +671,5 @@ let render_report r =
 (* Files                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let save_file t path =
-  let dir = Filename.dirname path in
-  let tmp = Filename.temp_file ~temp_dir:dir "ifprobdb" ".tmp" in
-  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
-  (try
-     let oc = open_out tmp in
-     (try
-        output_string oc (save t);
-        close_out oc
-      with e ->
-        close_out_noerr oc;
-        raise e);
-     Sys.rename tmp path
-   with e ->
-     cleanup ();
-     raise e)
-
-let load_file path =
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let text =
-    try really_input_string ic n
-    with e ->
-      close_in_noerr ic;
-      raise e
-  in
-  close_in ic;
-  load text
+let save_file t path = write_atomic ~path ~tmp_prefix:"ifprobdb" (save t)
+let load_file path = load (read_file path)

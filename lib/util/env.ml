@@ -1,0 +1,25 @@
+let domains () =
+  match Sys.getenv_opt "FISHER92_DOMAINS" with
+  | None -> None
+  | Some s -> int_of_string_opt (String.trim s)
+
+let cache_dir () =
+  match Sys.getenv_opt "FISHER92_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | Some _ | None -> Filename.concat "_build" ".fisher92-cache"
+
+let cache_enabled () =
+  match Sys.getenv_opt "FISHER92_NO_CACHE" with
+  | None | Some "" | Some "0" -> true
+  | Some _ -> false
+
+let knobs =
+  [
+    ( "FISHER92_DOMAINS",
+      "worker domains for the parallel study runner (default: the \
+       machine's recommended count, clamped to 1..64)" );
+    ( "FISHER92_CACHE_DIR",
+      "study-cache location (default: _build/.fisher92-cache)" );
+    ( "FISHER92_NO_CACHE",
+      "set to anything but \"\" or \"0\" to disable the study cache" );
+  ]

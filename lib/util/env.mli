@@ -1,0 +1,27 @@
+(** The single home of every [FISHER92_*] environment knob.
+
+    Every module that tunes itself from the environment reads through
+    this table, so the README's knob documentation, the [--help] text,
+    and the code can never drift apart.  The knobs:
+
+    - [FISHER92_DOMAINS]: worker domain count for the parallel study
+      runner (clamped to [1 .. 64] by {!Pool});
+    - [FISHER92_CACHE_DIR]: study-cache location (default
+      [_build/.fisher92-cache]);
+    - [FISHER92_NO_CACHE]: disable the study cache entirely when set to
+      anything but [""] or ["0"]. *)
+
+val domains : unit -> int option
+(** [FISHER92_DOMAINS] parsed as an integer; [None] when unset or
+    unparsable (callers fall back to the recommended domain count). *)
+
+val cache_dir : unit -> string
+(** [FISHER92_CACHE_DIR], or the default [_build/.fisher92-cache]. *)
+
+val cache_enabled : unit -> bool
+(** False when [FISHER92_NO_CACHE] is set to anything but ["0"] or
+    [""]. *)
+
+val knobs : (string * string) list
+(** [(name, one-line effect)] for every knob above — the machine-readable
+    side of the README table, for [--help]-style listings. *)

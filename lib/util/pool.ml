@@ -5,11 +5,8 @@
 
 let default_domains () =
   let requested =
-    match Sys.getenv_opt "FISHER92_DOMAINS" with
-    | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n -> n
-      | None -> Domain.recommended_domain_count ())
+    match Env.domains () with
+    | Some n -> n
     | None -> Domain.recommended_domain_count ()
   in
   max 1 (min 64 requested)

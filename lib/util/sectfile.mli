@@ -1,0 +1,110 @@
+(** The sectioned, checksummed text-file codec shared by the profile
+    database ({!Fisher92_profile.Db}) and the study cache
+    ({!Fisher92.Study_cache}).
+
+    Both on-disk formats follow the same conventions, extracted here so
+    one implementation serves every reader and writer:
+
+    - {b sized strings}: ["<len> <payload>"], so names may contain
+      spaces but never swallow the rest of a line;
+    - {b sections}: a header line, body lines, and a terminator line
+      ["<endtag> <crc>"] whose [crc] is the 64-bit FNV-1a checksum of
+      every preceding section line (header included, each terminated by
+      ['\n']), so damage anywhere inside a section invalidates exactly
+      that section and nothing else;
+    - {b strict readers} report the first problem with its 1-based line
+      number ({!Bad}); {b lenient readers} scan for sections
+      ({!scan}), resynchronizing on every section start so one damaged
+      section cannot swallow the intact sections after it;
+    - {b atomic writes}: text lands in a temp file in the destination
+      directory and is renamed over the target, so a crash mid-write
+      never leaves a half-written file. *)
+
+exception Bad of int * string
+(** A parse error at a 1-based line number.  Strict loaders translate
+    it into their documented error type; lenient loaders into report
+    entries. *)
+
+val failf : int -> ('a, unit, string, 'b) format4 -> 'a
+(** [failf line fmt ...] raises {!Bad} with a formatted message. *)
+
+(** {2 Sized strings} *)
+
+val sized : string -> string
+(** ["<len> <s>"]. *)
+
+val parse_sized : line:int -> what:string -> string -> string
+(** Inverse of {!sized}: the payload must be exactly the declared
+    length, with nothing trailing.  @raise Bad (naming [what]). *)
+
+(** {2 Checksums and section writing} *)
+
+val checksum_of : string list -> string
+(** 16-hex-digit FNV-1a over the lines, each terminated by ['\n']. *)
+
+val add_line : Buffer.t -> string -> unit
+(** One line plus its ['\n']. *)
+
+val add_section :
+  Buffer.t -> header:string -> body:string list -> end_tag:string -> unit
+(** Header, body, and the checksummed terminator line. *)
+
+(** {2 Lenient section scanning} *)
+
+type raw = {
+  rs_idx : int;  (** 0-based index of the section's header line *)
+  rs_header : string;
+  rs_lines : string list;  (** header plus body, in order *)
+  rs_end : string option;  (** terminator line, [None] = never closed *)
+  rs_end_idx : int;  (** index just past the section *)
+}
+
+val scan :
+  section_start:(string -> bool) ->
+  end_tag_of:(string -> string) ->
+  skip:(string -> bool) ->
+  string array ->
+  from:int ->
+  raw list * int list
+(** Split a line stream into sections and leftover (noise) line
+    indices.  [section_start] recognizes header lines, [end_tag_of]
+    names a header's terminator tag, and [skip] marks lines that are
+    neither sections nor noise (blank lines, a format's final marker).
+    Resynchronizes on every section-start line. *)
+
+val checksum_ok : raw -> bool
+(** The terminator is present, has the ["<tag> <crc>"] shape, and its
+    [crc] matches {!checksum_of} of [rs_lines]. *)
+
+(** {2 Strict sequential reading} *)
+
+type cursor
+(** A read position over the lines of a file, for formats whose
+    sections appear in one fixed order. *)
+
+val cursor : string array -> cursor
+
+val next : cursor -> string
+(** Consume one line.  @raise Bad past the last line. *)
+
+val expect : cursor -> string -> unit
+(** Consume one line and require it verbatim.  @raise Bad. *)
+
+val strict_section : cursor -> header:string -> end_tag:string -> string list
+(** Consume a whole section — header line, body, checksummed
+    terminator — and return the body.  @raise Bad on a wrong header, a
+    missing terminator, or a checksum mismatch. *)
+
+val at_end : cursor -> bool
+(** Everything consumed (at most a trailing empty line remains). *)
+
+val split_lines : string -> string array
+
+(** {2 Files} *)
+
+val read_file : string -> string
+(** @raise Sys_error if unreadable. *)
+
+val write_atomic : path:string -> tmp_prefix:string -> string -> unit
+(** Write via temp-file + rename in [path]'s directory.  @raise
+    Sys_error on failure (the temp file is removed). *)

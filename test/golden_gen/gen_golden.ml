@@ -1,0 +1,37 @@
+(* Golden-file generator: render every registered experiment on the
+   trimmed study and write one file per experiment into the directory
+   given as argv(1).
+
+   The committed files under test/golden/ are the byte-identity contract
+   the golden test (test_golden.ml) enforces; regenerate them with
+
+     dune exec test/golden_gen/gen_golden.exe -- test/golden
+
+   only when an output change is intended. *)
+
+module Registry = Fisher92_workloads.Registry
+
+let mini () =
+  Fisher92.Study.load
+    ~workloads:
+      [
+        Registry.find "lfk";
+        Registry.find "doduc";
+        Registry.find "compress";
+        Registry.find "uncompress";
+        Registry.find "spiff";
+      ]
+    ()
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
+  let study = lazy (mini ()) in
+  List.iter
+    (fun (e : Fisher92.Experiment.t) ->
+      let text = Fisher92.Experiment.render_text e study in
+      let path = Filename.concat dir (e.e_id ^ ".txt") in
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length text))
+    (Fisher92.Experiments.registry ())

@@ -106,10 +106,10 @@ let test_combine_bounds () =
   List.iter
     (fun (r : E.combine_row) ->
       List.iter
-        (fun q ->
+        (fun (_, q) ->
           if q < 0.0 || q > 1.0 +. 1e-9 then
             Alcotest.failf "%s: combine quality %f out of bounds" r.cb_program q)
-        [ r.cb_scaled; r.cb_unscaled; r.cb_polling ])
+        r.cb_cols)
     (E.combine (Lazy.force mini))
 
 let test_heuristics_never_beat_self () =
@@ -120,16 +120,7 @@ let test_heuristics_never_beat_self () =
           if value > r.h_self +. 1e-6 then
             Alcotest.failf "%s: heuristic %s (%f) beats self (%f)" r.h_program
               name value r.h_self)
-        [
-          ("ball-larus", r.h_ball_larus);
-          ("loop-struct", r.h_loop_struct);
-          ("opcode", r.h_opcode);
-          ("call", r.h_call);
-          ("ret", r.h_ret);
-          ("btfn", r.h_btfn);
-          ("taken", r.h_taken);
-          ("not-taken", r.h_not_taken);
-        ])
+        r.h_cols)
     (E.heuristics (Lazy.force mini))
 
 let test_crossmode_is_bad () =
