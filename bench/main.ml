@@ -10,6 +10,8 @@
      main.exe --domains N        run the study over N domains
      main.exe --parbench         compare 1-domain vs N-domain vs warm-cache
                                  wall clock of the full study
+     main.exe --tracebench       compare per-scheme VM re-execution against
+                                 record-once + trace-driven simulation
      main.exe --bechamel         additionally run Bechamel wall-clock
                                  micro-benchmarks (one Test.make per
                                  table/figure harness, on a trimmed study)
@@ -79,6 +81,81 @@ let parbench domains =
   Printf.printf "  outputs byte-identical: %b\n"
     (String.equal seq_out (render r_par) && String.equal seq_out (render r_warm))
 
+(* ---------- trace-driven simulation vs VM re-execution ---------- *)
+
+let tracebench () =
+  let module Trace = Fisher92_trace.Trace in
+  let module Tracing = Fisher92.Tracing in
+  let module Dynamic = Fisher92_predict.Dynamic in
+  let module Workload = Fisher92_workloads.Workload in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let schemes = Fisher92.Experiments.dynsim_schemes () in
+  let workloads =
+    List.map Fisher92_workloads.Registry.find
+      [ "lfk"; "doduc"; "compress"; "uncompress"; "spiff" ]
+  in
+  Printf.printf
+    "trace-driven simulation vs one VM re-execution per scheme\n\
+     (%d schemes; first dataset of each workload):\n"
+    (List.length schemes);
+  let speedups =
+    List.map
+      (fun (w : Workload.t) ->
+        let ir = Fisher92.Study.compile_variant w in
+        let d = List.hd w.w_datasets in
+        let n_sites = Fisher92_ir.Program.n_sites ir in
+        (* baseline: what the inline [dynamic] experiment pays per scheme *)
+        let inline_sims, t_vm =
+          time (fun () ->
+              List.map
+                (fun scheme ->
+                  let sim = Dynamic.create scheme ~n_sites in
+                  let config =
+                    {
+                      Fisher92_vm.Vm.default_config with
+                      on_branch = Some (Dynamic.hook sim);
+                    }
+                  in
+                  let (_ : Fisher92_vm.Vm.result) =
+                    Fisher92.Study.execute ir d ~config ()
+                  in
+                  sim)
+                schemes)
+        in
+        let writer, t_record =
+          time (fun () -> Tracing.record ~ir ~program:w.w_name d)
+        in
+        let reader = Trace.Reader.of_string (Trace.Writer.render writer) in
+        let trace_sims, t_sim =
+          time (fun () ->
+              List.map
+                (fun scheme ->
+                  Dynamic.simulate scheme ~n_sites (Trace.Reader.iter reader))
+                schemes)
+        in
+        let agree =
+          List.for_all2
+            (fun a b ->
+              Dynamic.correct a = Dynamic.correct b
+              && Dynamic.incorrect a = Dynamic.incorrect b)
+            inline_sims trace_sims
+        in
+        Printf.printf
+          "  %-10s %9d ev  vm %6.3fs  record %6.3fs  sim %6.3fs  \
+           (warm %5.1fx)  identical %b\n"
+          w.w_name
+          (Trace.Writer.events writer)
+          t_vm t_record t_sim (t_vm /. t_sim) agree;
+        t_vm /. t_sim)
+      workloads
+  in
+  Printf.printf "  geomean warm-trace speedup over per-scheme VM: %.1fx\n"
+    (Fisher92_util.Stats.geomean speedups)
+
 (* ---------- bechamel timing micro-benchmarks ---------- *)
 
 let bechamel_suite () =
@@ -114,6 +191,8 @@ let bechamel_suite () =
       bench "heuristics" (fun () -> E.heuristics (Lazy.force mini));
       bench "crossmode" (fun () -> E.crossmode (Lazy.force mini));
       bench "dynamic(1/2-bit)" (fun () -> E.dynamic (Lazy.force mini));
+      bench "dynsim(trace)" (fun () -> E.dynsim (Lazy.force mini));
+      bench "predictability" (fun () -> E.predictability (Lazy.force mini));
       bench "inline-ablation" (fun () -> E.inline_ablation (Lazy.force mini));
       bench "gaps(distribution)" (fun () -> E.gaps (Lazy.force mini));
       bench "switchsort(reorder)" (fun () -> E.switchsort (Lazy.force mini));
@@ -151,6 +230,7 @@ let () =
   let bech = List.mem "--bechamel" args in
   let timing = List.mem "--timing" args in
   let par = List.mem "--parbench" args in
+  let tracing = List.mem "--tracebench" args in
   let listing = List.mem "--list" args in
   let domains = ref None in
   let rec strip = function
@@ -166,7 +246,8 @@ let () =
     | "--domains" :: [] ->
       Printf.eprintf "--domains expects a positive integer\n";
       exit 2
-    | ("--bechamel" | "--timing" | "--parbench" | "--list") :: rest ->
+    | ("--bechamel" | "--timing" | "--parbench" | "--tracebench" | "--list")
+      :: rest ->
       strip rest
     | s :: rest -> s :: strip rest
   in
@@ -187,6 +268,7 @@ let () =
   let sections = if sections = [] then valid_sections () else sections in
   let domains = !domains in
   if par then parbench (match domains with Some d -> d | None -> Fisher92_util.Pool.default_domains ())
+  else if tracing then tracebench ()
   else begin
     let t0 = Unix.gettimeofday () in
     let timings = ref None in

@@ -11,6 +11,8 @@
                                         --format=tsv for machine output)
    fisher92 db check|repair|migrate     verify / salvage / upgrade profile
                                         databases
+   fisher92 trace record|info|sim       capture, inspect, and replay branch
+                                        traces (trace-driven simulation)
    fisher92 lint [PROG]                 IR lint (CFG + dataflow checks)
    fisher92 disasm PROG                 dump the compiled IR *)
 
@@ -367,6 +369,149 @@ let db_cmd =
        ~doc:"Inspect, salvage, and migrate IFPROB profile databases")
     [ check; repair; migrate ]
 
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let module Trace = Fisher92_trace.Trace in
+  let module Tracing = Fisher92.Tracing in
+  let module Dynamic = Fisher92_predict.Dynamic in
+  let resolve prog dataset =
+    let w = find_workload prog in
+    let d =
+      match dataset with
+      | None -> List.hd w.Workload.w_datasets
+      | Some name -> (
+        match Workload.dataset w name with
+        | d -> d
+        | exception Not_found ->
+          Printf.eprintf "unknown dataset %S for %s\n" name prog;
+          exit 2)
+    in
+    (w, compile w, d)
+  in
+  let prog_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM")
+  in
+  let dataset_arg =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"DATASET"
+           ~doc:"Dataset name (default: the workload's first)")
+  in
+  let describe w (d : Workload.dataset) (m : Trace.meta) ~source =
+    Printf.printf "%s / %s: %s dynamic branches over %d sites (%s)\n"
+      w.Workload.w_name d.ds_name (Table.inum m.Trace.t_events)
+      m.Trace.t_n_sites source;
+    Printf.printf "  fingerprint: %s  dataset hash: %s\n" m.Trace.t_fingerprint
+      m.Trace.t_dshash
+  in
+  let record =
+    let run prog dataset output =
+      let w, ir, d = resolve prog dataset in
+      let wr = Tracing.record ~ir ~program:w.w_name d in
+      Trace.Store.save wr;
+      let text = Trace.Writer.render wr in
+      (match output with
+      | None -> ()
+      | Some path ->
+        let oc = open_out_bin path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s (%d bytes)\n" path (String.length text));
+      let r = Trace.Reader.of_string text in
+      describe w d (Trace.Reader.meta r) ~source:"captured";
+      let events = max 1 (Trace.Writer.events wr) in
+      Printf.printf "  payload: %d bytes = %.2f bits/branch (file: %d bytes)\n"
+        (Trace.Reader.payload_bytes r)
+        (8.0 *. float_of_int (Trace.Reader.payload_bytes r)
+        /. float_of_int events)
+        (String.length text);
+      if Trace.Store.enabled () then
+        Printf.printf "  stored in %s\n" (Trace.Store.dir ())
+    in
+    let output =
+      Arg.(value & opt (some string) None & info [ "o"; "output" ]
+             ~docv:"FILE" ~doc:"Also write the trace file here")
+    in
+    Cmd.v
+      (Cmd.info "record"
+         ~doc:
+           "Execute one (program, dataset) pair with the trace recorder \
+            attached and store the branch trace.")
+      Term.(const run $ prog_arg $ dataset_arg $ output)
+  in
+  let info_cmd =
+    let run prog dataset =
+      let w, ir, d = resolve prog dataset in
+      let ob = Tracing.obtain ~ir ~program:w.w_name d in
+      let m = Trace.Reader.meta ob.Tracing.reader in
+      describe w d m
+        ~source:(if ob.Tracing.from_store then "from store" else "captured");
+      let enc, _ = Trace.Reader.counts ob.Tracing.reader in
+      let covered = Array.fold_left (fun n c -> if c > 0 then n + 1 else n) 0 enc in
+      Printf.printf "  sites covered: %d / %d\n" covered m.Trace.t_n_sites;
+      Printf.printf "  payload: %d bytes = %.2f bits/branch\n"
+        (Trace.Reader.payload_bytes ob.Tracing.reader)
+        (8.0 *. float_of_int (Trace.Reader.payload_bytes ob.Tracing.reader)
+        /. float_of_int (max 1 m.Trace.t_events))
+    in
+    Cmd.v
+      (Cmd.info "info"
+         ~doc:
+           "Show a trace's metadata and compression (loads the stored \
+            trace, capturing it first if absent or stale).")
+      Term.(const run $ prog_arg $ dataset_arg)
+  in
+  let sim =
+    let run prog dataset warm =
+      let w, ir, d = resolve prog dataset in
+      let ob = Tracing.obtain ~ir ~program:w.w_name d in
+      let m = Trace.Reader.meta ob.Tracing.reader in
+      describe w d m
+        ~source:(if ob.Tracing.from_store then "from store" else "captured");
+      if warm then
+        print_string "  (warm: counters trained by one replay, then measured)\n";
+      let n_sites = Fisher92_ir.Program.n_sites ir in
+      let replay = Trace.Reader.iter ob.Tracing.reader in
+      let rows =
+        List.map
+          (fun scheme ->
+            let t = Dynamic.simulate scheme ~n_sites replay in
+            if warm then begin
+              Dynamic.reset_counts t;
+              replay (Dynamic.hook t)
+            end;
+            [
+              Dynamic.scheme_name scheme;
+              Table.inum (Dynamic.correct t);
+              Table.inum (Dynamic.incorrect t);
+              Table.pct (Dynamic.percent_correct t);
+            ])
+          (Fisher92.Experiments.dynsim_schemes ())
+      in
+      print_string
+        (Table.render
+           ~header:[ "SCHEME"; "CORRECT"; "INCORRECT"; "%CORRECT" ]
+           rows)
+    in
+    let warm =
+      Arg.(value & flag & info [ "warm" ]
+             ~doc:
+               "Measure steady-state accuracy: replay the trace once to \
+                train each predictor, reset the tallies, and measure a \
+                second replay (default is a cold predictor).")
+    in
+    Cmd.v
+      (Cmd.info "sim"
+         ~doc:
+           "Replay a branch trace through the dynamic predictor family \
+            (1-bit, 2-bit, 2-level, gshare) without re-executing the \
+            program.")
+      Term.(const run $ prog_arg $ dataset_arg $ warm)
+  in
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Record, inspect, and simulate from branch traces")
+    [ record; info_cmd; sim ]
+
 (* ---- hotspots ---- *)
 
 let hotspots_cmd =
@@ -459,4 +604,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; profile_cmd; predict_cmd; experiments_cmd;
-            db_cmd; hotspots_cmd; lint_cmd; disasm_cmd ]))
+            db_cmd; trace_cmd; hotspots_cmd; lint_cmd; disasm_cmd ]))

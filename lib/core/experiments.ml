@@ -574,6 +574,157 @@ let render_dynamic rows =
          rows)
 
 (* ------------------------------------------------------------------ *)
+(* Trace-driven simulation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let dynsim_schemes () =
+  [
+    Dynamic.Last_direction;
+    Dynamic.Two_bit;
+    Dynamic.Two_level { history_bits = 10 };
+    Dynamic.Gshare { history_bits = 12 };
+  ]
+
+type dynsim_row = {
+  dn_program : string;
+  dn_dataset : string;
+  dn_static_self : float;
+  dn_static_prof : float;
+  dn_schemes : (string * float) list;
+}
+
+let dynsim study =
+  List.map
+    (fun ((l : Study.loaded), (_ : Tracing.obtained), sims) ->
+      let run = List.hd l.runs in
+      let prof =
+        Profile.sum (List.map (fun (r : Measure.run) -> r.profile) l.runs)
+      in
+      {
+        dn_program = l.workload.w_name;
+        dn_dataset = run.dataset;
+        dn_static_self =
+          Measure.percent_correct run (Measure.self_prediction run);
+        dn_static_prof =
+          Measure.percent_correct run (Prediction.of_profile prof);
+        dn_schemes =
+          List.map
+            (fun (s, t) -> (Dynamic.scheme_name s, Dynamic.percent_correct t))
+            sims;
+      })
+    (Tracing.simulate_study ~schemes:(dynsim_schemes ()) study)
+
+let render_dynsim rows =
+  let scheme_names =
+    match rows with [] -> [] | r :: _ -> List.map fst r.dn_schemes
+  in
+  let geo f = Stats.geomean (List.map f rows) in
+  "Trace-driven predictor comparison, first dataset (% dynamic branches\n\
+   correct; static-prof is the accumulated profile of every dataset)\n"
+  ^ Table.render
+      ~header:
+        ("PROGRAM" :: "DATASET" :: "STATIC-SELF" :: "STATIC-PROF"
+        :: List.map String.uppercase_ascii scheme_names)
+      (List.map
+         (fun r ->
+           r.dn_program :: r.dn_dataset
+           :: Table.pct r.dn_static_self
+           :: Table.pct r.dn_static_prof
+           :: List.map (fun (_, v) -> Table.pct v) r.dn_schemes)
+         rows)
+  ^
+  if rows = [] then ""
+  else
+    Printf.sprintf "geomean: static-self %.1f  static-prof %.1f  %s\n"
+      (geo (fun r -> r.dn_static_self))
+      (geo (fun r -> r.dn_static_prof))
+      (String.concat "  "
+         (List.map
+            (fun name ->
+              Printf.sprintf "%s %.1f" name
+                (geo (fun r -> List.assoc name r.dn_schemes)))
+            scheme_names))
+
+(* ------------------------------------------------------------------ *)
+(* Predictability buckets                                              *)
+(* ------------------------------------------------------------------ *)
+
+type predictability_row = {
+  pd_program : string;
+  pd_dataset : string;
+  pd_sites : int;
+  pd_always : int;
+  pd_mostly : int;
+  pd_history : int;
+  pd_hard : int;
+  pd_hard_dyn_pct : float;
+}
+
+let predictability study =
+  List.map
+    (fun ((l : Study.loaded), (_ : Tracing.obtained), sims) ->
+      let run = List.hd l.runs in
+      let gshare = snd (List.hd sims) in
+      let sc = Dynamic.site_correct gshare
+      and si = Dynamic.site_incorrect gshare in
+      let enc = run.profile.Profile.encountered
+      and tak = run.profile.Profile.taken in
+      let covered = ref 0 and always = ref 0 and mostly = ref 0 in
+      let history = ref 0 and hard = ref 0 in
+      let dyn_total = ref 0 and dyn_hard = ref 0 in
+      Array.iteri
+        (fun s n ->
+          if n > 0 then begin
+            incr covered;
+            dyn_total := !dyn_total + n;
+            let bias =
+              float_of_int (max tak.(s) (n - tak.(s))) /. float_of_int n
+            in
+            let acc = float_of_int sc.(s) /. float_of_int (sc.(s) + si.(s)) in
+            if bias = 1.0 then incr always
+            else if bias >= 0.95 then incr mostly
+            else if acc >= 0.9 then incr history
+            else begin
+              incr hard;
+              dyn_hard := !dyn_hard + n
+            end
+          end)
+        enc;
+      {
+        pd_program = l.workload.w_name;
+        pd_dataset = run.dataset;
+        pd_sites = !covered;
+        pd_always = !always;
+        pd_mostly = !mostly;
+        pd_history = !history;
+        pd_hard = !hard;
+        pd_hard_dyn_pct = Stats.percent !dyn_hard !dyn_total;
+      })
+    (Tracing.simulate_study
+       ~schemes:[ Dynamic.Gshare { history_bits = 12 } ]
+       study)
+
+let render_predictability rows =
+  "Per-site predictability buckets, first dataset (always = one\n\
+   direction only; mostly = >=95% biased; history = gshare/12 gets\n\
+   >=90% right; hard = the rest, with its share of dynamic branches)\n"
+  ^ Table.render
+      ~header:
+        [
+          "PROGRAM"; "DATASET"; "SITES"; "ALWAYS"; "MOSTLY"; "HISTORY";
+          "HARD"; "HARD-DYN";
+        ]
+      (List.map
+         (fun r ->
+           [
+             r.pd_program; r.pd_dataset; Table.inum r.pd_sites;
+             Table.inum r.pd_always; Table.inum r.pd_mostly;
+             Table.inum r.pd_history; Table.inum r.pd_hard;
+             Table.pct r.pd_hard_dyn_pct;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
 (* Inlining ablation                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1174,6 +1325,38 @@ let () =
         ];
       ])
     (fun study -> dynamic (Lazy.force study));
+  reg ~id:"dynsim" ~paper:"extension"
+    ~descr:"trace-driven static vs 1-bit/2-bit/2-level/gshare predictors"
+    ~render:render_dynsim
+    ~columns:
+      [
+        "program"; "dataset"; "static_self_pct"; "static_prof_pct";
+        "onebit_pct"; "twobit_pct"; "twolevel_pct"; "gshare_pct";
+      ]
+    ~cells:(fun r ->
+      [
+        r.dn_program :: r.dn_dataset :: fcell r.dn_static_self
+        :: fcell r.dn_static_prof
+        :: List.map (fun (_, v) -> fcell v) r.dn_schemes;
+      ])
+    (fun study -> dynsim (Lazy.force study));
+  reg ~id:"predictability" ~paper:"extension"
+    ~descr:"per-site predictability buckets from the branch trace"
+    ~render:render_predictability
+    ~columns:
+      [
+        "program"; "dataset"; "sites"; "always"; "mostly"; "history"; "hard";
+        "hard_dyn_pct";
+      ]
+    ~cells:(fun r ->
+      [
+        [
+          r.pd_program; r.pd_dataset; icell r.pd_sites; icell r.pd_always;
+          icell r.pd_mostly; icell r.pd_history; icell r.pd_hard;
+          fcell r.pd_hard_dyn_pct;
+        ];
+      ])
+    (fun study -> predictability (Lazy.force study));
   reg ~id:"inline" ~paper:"extension"
     ~descr:"inlining ablation on call/return break density"
     ~render:render_inline

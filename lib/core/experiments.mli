@@ -140,6 +140,45 @@ val dynamic : Study.t -> dynamic_row list
 
 val render_dynamic : dynamic_row list -> string
 
+val dynsim_schemes : unit -> Fisher92_predict.Dynamic.scheme list
+(** The fixed scheme list of the [dynsim] experiment: 1-bit, 2-bit,
+    2-level/10, gshare/12. *)
+
+type dynsim_row = {
+  dn_program : string;
+  dn_dataset : string;
+  dn_static_self : float;  (** self-profile static prediction, % correct *)
+  dn_static_prof : float;
+      (** static prediction from the accumulated profile of every
+          dataset, % correct *)
+  dn_schemes : (string * float) list;
+      (** (scheme name, % correct), in {!dynsim_schemes} order *)
+}
+
+val dynsim : Study.t -> dynsim_row list
+(** Trace-driven: obtains each workload's first-dataset branch trace
+    (store hit or one capture run) and replays it through every scheme
+    of {!dynsim_schemes} — one execution, many simulators. *)
+
+val render_dynsim : dynsim_row list -> string
+
+type predictability_row = {
+  pd_program : string;
+  pd_dataset : string;
+  pd_sites : int;  (** branch sites executed at least once *)
+  pd_always : int;  (** one direction only *)
+  pd_mostly : int;  (** >= 95% biased to one direction *)
+  pd_history : int;  (** not biased, but gshare/12 gets >= 90% right *)
+  pd_hard : int;  (** the rest *)
+  pd_hard_dyn_pct : float;  (** % of dynamic branches at hard sites *)
+}
+
+val predictability : Study.t -> predictability_row list
+(** Buckets every covered site of the first dataset by how it can be
+    predicted, from the replayed trace's per-site gshare accuracy. *)
+
+val render_predictability : predictability_row list -> string
+
 type inline_row = {
   il_program : string;
   il_dataset : string;

@@ -170,13 +170,6 @@ let lookup ~fingerprint ~n_sites ~program d =
       | exception Reject -> None
       | exception Sectfile.Bad _ -> None)
 
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Sys.mkdir dir 0o755
-    with Sys_error _ -> () (* lost a race, or unwritable: caller copes *)
-  end
-
 let store ~fingerprint (d : Workload.dataset) (run : Measure.run) =
   if enabled () then begin
     let n_sites = Profile.n_sites run.profile in
@@ -185,7 +178,7 @@ let store ~fingerprint (d : Workload.dataset) (run : Measure.run) =
     (* Best-effort: a read-only or vanished cache directory must never
        fail the study, so every syscall error is swallowed here. *)
     try
-      mkdir_p dir;
+      Sectfile.mkdir_p dir;
       Sectfile.write_atomic
         ~path:(entry_path ~fingerprint ~program:run.program d)
         ~tmp_prefix:"runcache" text

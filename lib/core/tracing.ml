@@ -1,0 +1,56 @@
+module Trace = Fisher92_trace.Trace
+module Dynamic = Fisher92_predict.Dynamic
+module Workload = Fisher92_workloads.Workload
+module Vm = Fisher92_vm.Vm
+module Pool = Fisher92_util.Pool
+module Fingerprint = Fisher92_analysis.Fingerprint
+
+type obtained = { reader : Trace.Reader.t; from_store : bool }
+
+let record ~ir ~program (d : Workload.dataset) =
+  let w =
+    Trace.Writer.create ~program ~dataset:d.ds_name
+      ~fingerprint:(Fingerprint.program_hash ir)
+      ~dshash:(Study_cache.dataset_hash d)
+      ~n_sites:(Fisher92_ir.Program.n_sites ir)
+  in
+  let config =
+    { Vm.default_config with on_branch = Some (Trace.Writer.feed w) }
+  in
+  let (_ : Vm.result) = Study.execute ir d ~config () in
+  w
+
+let obtain ?(store = true) ~ir ~program (d : Workload.dataset) =
+  let use_store = store && Trace.Store.enabled () in
+  let fingerprint = Fingerprint.program_hash ir in
+  let dshash = Study_cache.dataset_hash d in
+  let stored =
+    if use_store then
+      Trace.Store.load ~program ~dataset:d.ds_name ~fingerprint ~dshash
+        ~n_sites:(Fisher92_ir.Program.n_sites ir)
+    else None
+  in
+  match stored with
+  | Some reader -> { reader; from_store = true }
+  | None ->
+    let w = record ~ir ~program d in
+    if use_store then Trace.Store.save w;
+    (* Round-tripping through the codec (rather than keeping the event
+       list) means the store-hit and store-miss paths replay the exact
+       same decoder output. *)
+    { reader = Trace.Reader.of_string (Trace.Writer.render w); from_store = false }
+
+let simulate_study ?domains ?store ~schemes study =
+  Pool.map ?domains
+    (fun (l : Study.loaded) ->
+      let dataset = List.hd l.workload.Workload.w_datasets in
+      let ob = obtain ?store ~ir:l.ir ~program:l.workload.w_name dataset in
+      let n_sites = Fisher92_ir.Program.n_sites l.ir in
+      let sims =
+        List.map
+          (fun scheme ->
+            (scheme, Dynamic.simulate scheme ~n_sites (Trace.Reader.iter ob.reader)))
+          schemes
+      in
+      (l, ob, sims))
+    (Study.items study)

@@ -1,0 +1,50 @@
+(** Glue between the branch-trace subsystem ({!Fisher92_trace.Trace})
+    and the study: key computation, capture through the VM's
+    [on_branch] hook, the load-or-record store round-trip, and the
+    parallel trace-driven simulation fan-out the [dynsim] and
+    [predictability] experiments run on.
+
+    Keys mirror {!Study_cache}: the workload name, the structural
+    {!Fisher92_analysis.Fingerprint.program_hash} of the measured build,
+    and the FNV-1a dataset-contents hash — so a recompiled program or a
+    regenerated dataset silently invalidates its stored traces. *)
+
+module Trace = Fisher92_trace.Trace
+module Dynamic = Fisher92_predict.Dynamic
+
+type obtained = {
+  reader : Trace.Reader.t;
+  from_store : bool;  (** served from the on-disk store, not re-executed *)
+}
+
+val record :
+  ir:Fisher92_ir.Program.t ->
+  program:string ->
+  Fisher92_workloads.Workload.dataset ->
+  Trace.Writer.t
+(** Execute the dataset once with a trace writer attached to
+    [on_branch].  Does not touch the store. *)
+
+val obtain :
+  ?store:bool ->
+  ir:Fisher92_ir.Program.t ->
+  program:string ->
+  Fisher92_workloads.Workload.dataset ->
+  obtained
+(** The trace for this (build, dataset) key: loaded from the store when
+    present and intact, otherwise captured by running the VM (and saved
+    back, best-effort).  [~store:false] bypasses the store in both
+    directions.  The replayed stream is identical either way. *)
+
+val simulate_study :
+  ?domains:int ->
+  ?store:bool ->
+  schemes:Dynamic.scheme list ->
+  Study.t ->
+  (Study.loaded * obtained * (Dynamic.scheme * Dynamic.t) list) list
+(** For every loaded workload: obtain the trace of its {e first}
+    dataset (the convention the [dynamic] experiment established) and
+    replay it through a cold simulator per scheme.  Fans the
+    per-workload work over a {!Fisher92_util.Pool}; results are merged
+    by index, so the output is deterministic and identical to a
+    sequential run. *)

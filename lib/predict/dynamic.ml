@@ -1,19 +1,57 @@
-type scheme = Last_direction | Two_bit | Static of Prediction.t
+type scheme =
+  | Last_direction
+  | Two_bit
+  | Static of Prediction.t
+  | Two_level of { history_bits : int }
+  | Gshare of { history_bits : int }
 
 let scheme_name = function
   | Last_direction -> "1-bit"
   | Two_bit -> "2-bit"
   | Static _ -> "static"
+  | Two_level { history_bits } -> Printf.sprintf "2-level/%d" history_bits
+  | Gshare { history_bits } -> Printf.sprintf "gshare/%d" history_bits
 
 type t = {
   scheme : scheme;
   state : int array;  (* 1-bit: 0/1; 2-bit: 0..3, >=2 predicts taken *)
+  pattern : int array;  (* history-indexed 2-bit counters (2-level, gshare) *)
+  hist_mask : int;
+  mutable history : int;  (* global history register, newest bit lowest *)
   mutable correct : int;
   mutable incorrect : int;
+  site_correct : int array;
+  site_incorrect : int array;
 }
 
+let check_history_bits history_bits =
+  if history_bits < 1 || history_bits > 24 then
+    invalid_arg "Dynamic.create: history_bits out of [1, 24]"
+
 let create scheme ~n_sites =
-  { scheme; state = Array.make n_sites 0; correct = 0; incorrect = 0 }
+  let pattern_size =
+    match scheme with
+    | Last_direction | Two_bit | Static _ -> 0
+    | Two_level { history_bits } | Gshare { history_bits } ->
+      check_history_bits history_bits;
+      1 lsl history_bits
+  in
+  {
+    scheme;
+    state = Array.make (max 1 n_sites) 0;
+    pattern = Array.make (max 1 pattern_size) 0;
+    hist_mask = max 0 (pattern_size - 1);
+    history = 0;
+    correct = 0;
+    incorrect = 0;
+    site_correct = Array.make (max 1 n_sites) 0;
+    site_incorrect = Array.make (max 1 n_sites) 0;
+  }
+
+let pattern_index t site =
+  match t.scheme with
+  | Gshare _ -> (t.history lxor site) land t.hist_mask
+  | _ -> t.history land t.hist_mask
 
 let hook t site taken =
   let predicted =
@@ -21,18 +59,43 @@ let hook t site taken =
     | Last_direction -> t.state.(site) = 1
     | Two_bit -> t.state.(site) >= 2
     | Static p -> p.(site)
+    | Two_level _ | Gshare _ -> t.pattern.(pattern_index t site) >= 2
   in
-  if predicted = taken then t.correct <- t.correct + 1
-  else t.incorrect <- t.incorrect + 1;
+  if predicted = taken then begin
+    t.correct <- t.correct + 1;
+    t.site_correct.(site) <- t.site_correct.(site) + 1
+  end
+  else begin
+    t.incorrect <- t.incorrect + 1;
+    t.site_incorrect.(site) <- t.site_incorrect.(site) + 1
+  end;
   match t.scheme with
   | Last_direction -> t.state.(site) <- (if taken then 1 else 0)
   | Two_bit ->
     t.state.(site) <-
       (if taken then min 3 (t.state.(site) + 1) else max 0 (t.state.(site) - 1))
   | Static _ -> ()
+  | Two_level _ | Gshare _ ->
+    let i = pattern_index t site in
+    t.pattern.(i) <-
+      (if taken then min 3 (t.pattern.(i) + 1) else max 0 (t.pattern.(i) - 1));
+    t.history <- ((t.history lsl 1) lor Bool.to_int taken) land t.hist_mask
+
+let reset_counts t =
+  t.correct <- 0;
+  t.incorrect <- 0;
+  Array.fill t.site_correct 0 (Array.length t.site_correct) 0;
+  Array.fill t.site_incorrect 0 (Array.length t.site_incorrect) 0
+
+let simulate scheme ~n_sites replay =
+  let t = create scheme ~n_sites in
+  replay (fun site taken -> hook t site taken);
+  t
 
 let correct t = t.correct
 let incorrect t = t.incorrect
+let site_correct t = Array.copy t.site_correct
+let site_incorrect t = Array.copy t.site_incorrect
 
 let percent_correct t =
   Fisher92_util.Stats.percent t.correct (t.correct + t.incorrect)

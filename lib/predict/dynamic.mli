@@ -2,28 +2,65 @@
     ablation.
 
     The paper contrasts its static scheme with the 1- and 2-bit per-branch
-    counters of [Smith 81] / [Lee and Smith 84].  These simulators attach
-    to a VM run through {!Fisher92_vm.Vm.config}'s [on_branch] hook and
-    update their state on every dynamic branch, so they see the program in
-    execution order just as a branch-prediction cache would. *)
+    counters of [Smith 81] / [Lee and Smith 84]; the two history schemes
+    ([Yeh and Patt 91]'s two-level adaptive and McFarling's gshare) extend
+    that comparison to predictors that exploit inter-branch correlation.
+    These simulators attach to a VM run through
+    {!Fisher92_vm.Vm.config}'s [on_branch] hook — or replay a recorded
+    {!Fisher92_trace.Trace} through {!simulate} — and update their state
+    on every dynamic branch, so they see the program in execution order
+    just as a branch-prediction cache would.
+
+    {b Cold start}: every counter (per-site and pattern-table) starts at
+    0 and the global history register is empty, so a cold predictor
+    predicts not-taken everywhere until trained.  There is no warm-up
+    pass; callers wanting steady-state numbers replay the stream once to
+    train and then {!reset_counts} before the measured replay (the
+    [--warm] flag of [fisher92 trace sim]). *)
 
 type scheme =
   | Last_direction  (** 1-bit: predict whatever the branch last did *)
   | Two_bit  (** 2-bit saturating counter per site *)
   | Static of Prediction.t  (** fixed assignment, for head-to-head runs *)
+  | Two_level of { history_bits : int }
+      (** GAg two-level adaptive: a global history register of
+          [history_bits] outcomes indexes one shared table of 2-bit
+          counters. *)
+  | Gshare of { history_bits : int }
+      (** gshare: the history register XOR the site number indexes the
+          pattern table, de-aliasing branches that share history. *)
 
 val scheme_name : scheme -> string
 
 type t
 
 val create : scheme -> n_sites:int -> t
-(** Counters start predicting not-taken (a cold predictor). *)
+(** Counters start predicting not-taken (a cold predictor; see above).
+    @raise Invalid_argument if a history scheme's [history_bits] is
+    outside [1, 24]. *)
 
 val hook : t -> Fisher92_ir.Insn.site -> bool -> unit
 (** Feed one dynamic branch: records correct/incorrect, then updates. *)
 
+val simulate :
+  scheme -> n_sites:int -> ((Fisher92_ir.Insn.site -> bool -> unit) -> unit) -> t
+(** [simulate scheme ~n_sites replay] runs a cold predictor over a
+    branch stream: [replay] is called once with the predictor's
+    {!hook}.  Feeding the exact captured stream reproduces the inline
+    [on_branch] tallies bit-for-bit. *)
+
+val reset_counts : t -> unit
+(** Zero the correct/incorrect tallies (total and per-site) but keep
+    all predictor state — the trained predictor measures its
+    steady-state accuracy on the next replay. *)
+
 val correct : t -> int
 
 val incorrect : t -> int
+
+val site_correct : t -> int array
+(** Per-site correct-prediction tallies (a copy). *)
+
+val site_incorrect : t -> int array
 
 val percent_correct : t -> float

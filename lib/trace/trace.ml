@@ -1,0 +1,367 @@
+module Sectfile = Fisher92_util.Sectfile
+module B64 = Fisher92_util.B64
+module Env = Fisher92_util.Env
+
+(* Bump on any change to the codec or the section layout: old traces
+   then fail the header check and are recaptured, never misparsed. *)
+let format_version = 1
+let b64_width = 76
+
+type meta = {
+  t_program : string;
+  t_dataset : string;
+  t_fingerprint : string;
+  t_dshash : string;
+  t_n_sites : int;
+  t_events : int;
+}
+
+(* ---- varints and zigzag ---- *)
+
+let add_varint buf v =
+  let v = ref v in
+  while !v land lnot 0x7f <> 0 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!v land 0x7f)));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !v)
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag u = (u lsr 1) lxor (-(u land 1))
+
+(* Decode errors surface as [Sectfile.Bad] so the store and the fault
+   corpus treat format damage and payload damage identically. *)
+let corrupt fmt = Sectfile.failf 0 fmt
+
+let read_varint payload pos =
+  let n = String.length payload in
+  let rec go shift acc count =
+    if !pos >= n then corrupt "varint runs past the payload";
+    if count >= 9 then corrupt "varint too long";
+    let b = Char.code payload.[!pos] in
+    incr pos;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc (count + 1) else acc
+  in
+  go 0 0 0
+
+(* ---- capture ---- *)
+
+module Writer = struct
+  type t = {
+    program : string;
+    dataset : string;
+    fingerprint : string;
+    dshash : string;
+    n_sites : int;
+    sites_buf : Buffer.t;
+    taken_buf : Buffer.t;
+    next : int array;  (* successor model: next.(2*site + taken), -1 = cold *)
+    mutable prev_site : int;
+    mutable prev_taken : bool;
+    mutable have_prev : bool;
+    mutable hits : int;  (* pending run of successor-model hits *)
+    mutable first_taken : bool;
+    mutable run_taken : bool;
+    mutable run_len : int;  (* pending taken-direction run *)
+    mutable events : int;
+  }
+
+  let create ~program ~dataset ~fingerprint ~dshash ~n_sites =
+    if n_sites < 0 then invalid_arg "Trace.Writer.create: negative n_sites";
+    {
+      program;
+      dataset;
+      fingerprint;
+      dshash;
+      n_sites;
+      sites_buf = Buffer.create 4096;
+      taken_buf = Buffer.create 1024;
+      next = Array.make (max 1 (2 * n_sites)) (-1);
+      prev_site = 0;
+      prev_taken = false;
+      have_prev = false;
+      hits = 0;
+      first_taken = false;
+      run_taken = false;
+      run_len = 0;
+      events = 0;
+    }
+
+  let feed t site taken =
+    if site < 0 || site >= t.n_sites then
+      invalid_arg "Trace.Writer.feed: site out of range";
+    (* site stream: successor-model hit runs, explicit deltas on miss *)
+    let slot = (2 * t.prev_site) + Bool.to_int t.prev_taken in
+    let predicted = if t.have_prev then t.next.(slot) else -1 in
+    if t.have_prev && predicted = site then t.hits <- t.hits + 1
+    else begin
+      add_varint t.sites_buf t.hits;
+      add_varint t.sites_buf
+        (zigzag (site - if t.have_prev then t.prev_site else 0));
+      t.hits <- 0
+    end;
+    if t.have_prev then t.next.(slot) <- site;
+    t.prev_site <- site;
+    t.prev_taken <- taken;
+    t.have_prev <- true;
+    (* taken stream: alternating run lengths *)
+    if t.events = 0 then begin
+      t.first_taken <- taken;
+      t.run_taken <- taken;
+      t.run_len <- 1
+    end
+    else if taken = t.run_taken then t.run_len <- t.run_len + 1
+    else begin
+      add_varint t.taken_buf t.run_len;
+      t.run_taken <- taken;
+      t.run_len <- 1
+    end;
+    t.events <- t.events + 1
+
+  let events t = t.events
+
+  (* Pending runs are flushed into copies, so rendering is pure. *)
+  let payloads t =
+    let sites = Buffer.create (Buffer.length t.sites_buf + 10) in
+    Buffer.add_buffer sites t.sites_buf;
+    if t.hits > 0 then add_varint sites t.hits;
+    let taken = Buffer.create (Buffer.length t.taken_buf + 11) in
+    if t.events > 0 then begin
+      Buffer.add_char taken (if t.first_taken then '\001' else '\000');
+      Buffer.add_buffer taken t.taken_buf;
+      add_varint taken t.run_len
+    end;
+    (Buffer.contents sites, Buffer.contents taken)
+
+  let render t =
+    let sites_payload, taken_payload = payloads t in
+    let buf = Buffer.create (1024 + (String.length sites_payload * 2)) in
+    Buffer.add_string buf
+      (Printf.sprintf "fisher92trace %d\n" format_version);
+    Sectfile.add_section buf ~header:"meta"
+      ~body:
+        [
+          "program " ^ Sectfile.sized t.program;
+          "dataset " ^ Sectfile.sized t.dataset;
+          "fingerprint " ^ t.fingerprint;
+          "dshash " ^ t.dshash;
+          Printf.sprintf "sites %d" t.n_sites;
+          Printf.sprintf "events %d" t.events;
+          Printf.sprintf "sitebytes %d" (String.length sites_payload);
+          Printf.sprintf "takenbytes %d" (String.length taken_payload);
+        ]
+      ~end_tag:"endmeta";
+    Sectfile.add_section buf ~header:"sites"
+      ~body:(B64.wrap ~width:b64_width (B64.encode sites_payload))
+      ~end_tag:"endsites";
+    Sectfile.add_section buf ~header:"taken"
+      ~body:(B64.wrap ~width:b64_width (B64.encode taken_payload))
+      ~end_tag:"endtaken";
+    Buffer.add_string buf "end\n";
+    Buffer.contents buf
+end
+
+(* ---- replay ---- *)
+
+module Reader = struct
+  type t = { meta : meta; sites_payload : string; taken_payload : string }
+
+  let field ~line prefix l =
+    if String.starts_with ~prefix:(prefix ^ " ") l then
+      String.sub l
+        (String.length prefix + 1)
+        (String.length l - String.length prefix - 1)
+    else Sectfile.failf line "expected %S field, got %S" prefix l
+
+  let int_field ~line prefix l =
+    match int_of_string_opt (field ~line prefix l) with
+    | Some n when n >= 0 -> n
+    | Some _ | None -> Sectfile.failf line "bad %S count in %S" prefix l
+
+  let decode_payload ~what ~declared body =
+    match B64.decode (String.concat "" body) with
+    | None -> corrupt "undecodable base64 in the %s section" what
+    | Some payload ->
+      if String.length payload <> declared then
+        corrupt "%s payload is %d bytes, meta declares %d" what
+          (String.length payload) declared;
+      payload
+
+  let of_string text =
+    let c = Sectfile.cursor (Sectfile.split_lines text) in
+    Sectfile.expect c (Printf.sprintf "fisher92trace %d" format_version);
+    let meta, sitebytes, takenbytes =
+      match Sectfile.strict_section c ~header:"meta" ~end_tag:"endmeta" with
+      | [ prog; ds; fp; dh; sites; events; sb; tb ] ->
+        let line = 0 in
+        ( {
+            t_program =
+              Sectfile.parse_sized ~line ~what:"program"
+                (field ~line "program" prog);
+            t_dataset =
+              Sectfile.parse_sized ~line ~what:"dataset"
+                (field ~line "dataset" ds);
+            t_fingerprint = field ~line "fingerprint" fp;
+            t_dshash = field ~line "dshash" dh;
+            t_n_sites = int_field ~line "sites" sites;
+            t_events = int_field ~line "events" events;
+          },
+          int_field ~line "sitebytes" sb,
+          int_field ~line "takenbytes" tb )
+      | body -> corrupt "meta section has %d lines, want 8" (List.length body)
+    in
+    let sites_body =
+      Sectfile.strict_section c ~header:"sites" ~end_tag:"endsites"
+    in
+    let taken_body =
+      Sectfile.strict_section c ~header:"taken" ~end_tag:"endtaken"
+    in
+    Sectfile.expect c "end";
+    if not (Sectfile.at_end c) then corrupt "trailing lines after end";
+    {
+      meta;
+      sites_payload =
+        decode_payload ~what:"sites" ~declared:sitebytes sites_body;
+      taken_payload =
+        decode_payload ~what:"taken" ~declared:takenbytes taken_body;
+    }
+
+  let meta t = t.meta
+
+  let payload_bytes t =
+    String.length t.sites_payload + String.length t.taken_payload
+
+  let iter t f =
+    let total = t.meta.t_events and n_sites = t.meta.t_n_sites in
+    if total = 0 then begin
+      if t.sites_payload <> "" || t.taken_payload <> "" then
+        corrupt "payload bytes on an empty trace"
+    end
+    else begin
+      (* taken stream: initial direction byte, then alternating runs *)
+      if String.length t.taken_payload = 0 then corrupt "empty taken stream";
+      let first_bit =
+        match t.taken_payload.[0] with
+        | '\000' -> false
+        | '\001' -> true
+        | c -> corrupt "bad initial-direction byte %d" (Char.code c)
+      in
+      let tpos = ref 1 in
+      let bit = ref (not first_bit) and left = ref 0 in
+      let take_taken () =
+        if !left = 0 then begin
+          bit := not !bit;
+          let r = read_varint t.taken_payload tpos in
+          if r <= 0 then corrupt "empty taken run";
+          left := r
+        end;
+        decr left;
+        !bit
+      in
+      (* site stream: replays the writer's successor model *)
+      let next = Array.make (max 1 (2 * n_sites)) (-1) in
+      let spos = ref 0 in
+      let prev = ref 0 and prev_taken = ref false and have_prev = ref false in
+      let hits_left = ref (-1) in
+      let take_site () =
+        if !hits_left < 0 then hits_left := read_varint t.sites_payload spos;
+        if !hits_left > 0 then begin
+          decr hits_left;
+          if not !have_prev then corrupt "hit run before any explicit site";
+          let p = next.((2 * !prev) + Bool.to_int !prev_taken) in
+          if p < 0 then corrupt "hit run without a trained successor";
+          p
+        end
+        else begin
+          hits_left := -1;
+          let d = unzigzag (read_varint t.sites_payload spos) in
+          let s = (if !have_prev then !prev else 0) + d in
+          if s < 0 || s >= n_sites then corrupt "site %d out of range" s;
+          s
+        end
+      in
+      for _ = 1 to total do
+        let site = take_site () in
+        let taken = take_taken () in
+        if !have_prev then
+          next.((2 * !prev) + Bool.to_int !prev_taken) <- site;
+        prev := site;
+        prev_taken := taken;
+        have_prev := true;
+        f site taken
+      done;
+      if !hits_left > 0 then corrupt "site stream continues past the events";
+      if !spos <> String.length t.sites_payload then
+        corrupt "leftover bytes in the sites stream";
+      if !left <> 0 then corrupt "taken run continues past the events";
+      if !tpos <> String.length t.taken_payload then
+        corrupt "leftover bytes in the taken stream"
+    end
+
+  let counts t =
+    let n = t.meta.t_n_sites in
+    let encountered = Array.make n 0 and taken = Array.make n 0 in
+    iter t (fun site tk ->
+        encountered.(site) <- encountered.(site) + 1;
+        if tk then taken.(site) <- taken.(site) + 1);
+    (encountered, taken)
+end
+
+(* ---- the on-disk store ---- *)
+
+module Store = struct
+  let enabled () = Env.trace_enabled ()
+  let dir () = Env.trace_dir ()
+
+  (* File names carry the whole key, so distinct builds and datasets
+     never collide; the program name prefix is purely for humans. *)
+  let path ~program ~fingerprint ~dshash =
+    Filename.concat (dir ())
+      (Printf.sprintf "%s.%s.%s.trace" program fingerprint dshash)
+
+  let load ~program ~dataset ~fingerprint ~dshash ~n_sites =
+    if not (enabled ()) then None
+    else
+      match Sectfile.read_file (path ~program ~fingerprint ~dshash) with
+      | exception Sys_error _ -> None
+      | exception End_of_file -> None
+      | text -> (
+        match Reader.of_string text with
+        | exception Sectfile.Bad _ -> None
+        | r ->
+          let m = Reader.meta r in
+          if
+            String.equal m.t_program program
+            && String.equal m.t_dataset dataset
+            && String.equal m.t_fingerprint fingerprint
+            && String.equal m.t_dshash dshash
+            && m.t_n_sites = n_sites
+          then Some r
+          else None)
+
+  let save (w : Writer.t) =
+    if enabled () then begin
+      (* Best-effort: a read-only or vanished store directory must never
+         fail the caller, so every syscall error is swallowed here. *)
+      try
+        Sectfile.mkdir_p (dir ());
+        Sectfile.write_atomic
+          ~path:
+            (path ~program:w.Writer.program ~fingerprint:w.Writer.fingerprint
+               ~dshash:w.Writer.dshash)
+          ~tmp_prefix:"trace" (Writer.render w)
+      with Sys_error _ -> ()
+    end
+
+  let clear () =
+    match Sys.readdir (dir ()) with
+    | exception Sys_error _ -> ()
+    | entries ->
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".trace" then
+            try Sys.remove (Filename.concat (dir ()) f)
+            with Sys_error _ -> ())
+        entries
+end

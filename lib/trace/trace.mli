@@ -1,0 +1,133 @@
+(** Branch traces: the exact dynamic (site, taken) stream of one
+    (program, dataset) execution, captured once and replayed into any
+    number of predictor simulations.
+
+    The inline [on_branch] ablation pays a full VM re-execution for
+    every predictor scheme, and order-sensitive history predictors
+    (two-level adaptive, gshare) cannot be studied from the per-site
+    aggregate counters at all.  A trace records the stream once;
+    replaying it is a linear scan over a few hundred kilobytes, so a
+    whole family of simulators costs one execution.
+
+    {2 On-disk format}
+
+    A trace file follows the {!Fisher92_util.Sectfile} conventions the
+    profile database and study cache already use — versioned header,
+    FNV-1a-checksummed sections, atomic writes — so the shared
+    fault-injection corpus applies unchanged.  The two payload sections
+    carry binary streams as base64 lines:
+
+    - {b sites}: the site sequence, compressed with a successor model.
+      The next branch site is usually a deterministic function of the
+      previous (site, taken) pair — the CFG path between branches
+      contains no other choice points — so the encoder keeps a
+      [next : (site, taken) -> site] table and emits only
+      {e (hit-run varint, zigzag site-delta varint)} tokens: a count of
+      events whose site the table predicted, then one explicit delta
+      for the event that broke the pattern (which also trains the
+      table).  Loops are near-free; only cold edges and data-dependent
+      successors (e.g. returns from indirect calls) cost bytes.
+    - {b taken}: the outcome bit-stream as run-length encoding — one
+      initial-direction byte, then varint run lengths of alternating
+      direction.
+
+    Real workloads land well under a byte per branch (the test suite
+    asserts this).  The decoder is strict: a varint running past the
+    payload, a site out of range, a hit-run with no trained successor,
+    or leftover bytes all raise, so a damaged trace is recaptured,
+    never replayed wrong. *)
+
+type meta = {
+  t_program : string;
+  t_dataset : string;
+  t_fingerprint : string;
+      (** {!Fisher92_analysis.Fingerprint.program_hash} of the build the
+          trace was captured on *)
+  t_dshash : string;  (** FNV-1a hash of the full dataset contents *)
+  t_n_sites : int;  (** branch sites of the build *)
+  t_events : int;  (** dynamic conditional branches recorded *)
+}
+
+(** Capture side: feed from {!Fisher92_vm.Vm.config}[.on_branch]. *)
+module Writer : sig
+  type t
+
+  val create :
+    program:string ->
+    dataset:string ->
+    fingerprint:string ->
+    dshash:string ->
+    n_sites:int ->
+    t
+
+  val feed : t -> int -> bool -> unit
+  (** Record one dynamic branch (site, taken) — the [on_branch] hook.
+      @raise Invalid_argument on a site outside [0 .. n_sites-1]. *)
+
+  val events : t -> int
+
+  val render : t -> string
+  (** The complete on-disk text.  Pure: feeding more events after a
+      render and rendering again is allowed. *)
+end
+
+(** Replay side: a streaming decoder over the captured stream. *)
+module Reader : sig
+  type t
+
+  val of_string : string -> t
+  (** Parse and checksum-verify the sections and decode the payloads'
+      base64.  @raise Fisher92_util.Sectfile.Bad on any damage. *)
+
+  val meta : t -> meta
+
+  val iter : t -> (int -> bool -> unit) -> unit
+  (** Replay the stream in capture order.  Decodes incrementally (the
+      payload is never materialized as an event list).
+      @raise Fisher92_util.Sectfile.Bad if the payload does not decode
+      to exactly [meta.t_events] well-formed events. *)
+
+  val counts : t -> int array * int array
+  (** Replayed per-site (encountered, taken) aggregates — bit-exact
+      equal to the VM's [site_encountered]/[site_taken] arrays of the
+      captured run. *)
+
+  val payload_bytes : t -> int
+  (** Decoded binary payload size (sites + taken streams), for
+      compression reporting. *)
+end
+
+(** The on-disk trace store: one file per (build, dataset) key, shared
+    with every process.  Keys mirror the study cache: program name,
+    structural program fingerprint, dataset-contents hash.  A missing,
+    damaged, version-mismatched or stale entry is a miss — the caller
+    recaptures, never salvages.
+
+    Environment ({!Fisher92_util.Env}): [FISHER92_TRACE_DIR] overrides
+    the location, [FISHER92_NO_TRACE] disables the store. *)
+module Store : sig
+  val enabled : unit -> bool
+
+  val dir : unit -> string
+
+  val path : program:string -> fingerprint:string -> dshash:string -> string
+  (** Where an entry lives; the whole key is in the file name. *)
+
+  val load :
+    program:string ->
+    dataset:string ->
+    fingerprint:string ->
+    dshash:string ->
+    n_sites:int ->
+    Reader.t option
+  (** The stored trace for this exact key, or [None] when absent,
+      damaged, or recorded against a different build, dataset, or site
+      count.  Never raises. *)
+
+  val save : Writer.t -> unit
+  (** Persist one trace (atomic write).  Best-effort: an unwritable
+      store directory is ignored, never fatal. *)
+
+  val clear : unit -> unit
+  (** Remove every stored trace (used by the benchmark's cold runs). *)
+end

@@ -1,0 +1,88 @@
+let alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+(* decode table: -1 = invalid, -2 = padding *)
+let table =
+  let t = Array.make 256 (-1) in
+  String.iteri (fun i c -> t.(Char.code c) <- i) alphabet;
+  t.(Char.code '=') <- -2;
+  t
+
+let encode s =
+  let n = String.length s in
+  let out = Buffer.create ((n + 2) / 3 * 4) in
+  let byte i = Char.code s.[i] in
+  let emit k = Buffer.add_char out alphabet.[k land 63] in
+  let i = ref 0 in
+  while !i + 3 <= n do
+    let w = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) lor byte (!i + 2) in
+    emit (w lsr 18);
+    emit (w lsr 12);
+    emit (w lsr 6);
+    emit w;
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+    let w = byte !i lsl 16 in
+    emit (w lsr 18);
+    emit (w lsr 12);
+    Buffer.add_string out "=="
+  | 2 ->
+    let w = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) in
+    emit (w lsr 18);
+    emit (w lsr 12);
+    emit (w lsr 6);
+    Buffer.add_char out '='
+  | _ -> ());
+  Buffer.contents out
+
+let decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then None
+  else if n = 0 then Some ""
+  else begin
+    let out = Buffer.create (n / 4 * 3) in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let q j = table.(Char.code s.[!i + j]) in
+      let a = q 0 and b = q 1 and c = q 2 and d = q 3 in
+      let last = !i + 4 = n in
+      if a < 0 || b < 0 then ok := false
+      else if c = -2 then begin
+        (* "xx==": only at the very end, and the dropped bits must be 0 *)
+        if (not last) || d <> -2 || b land 15 <> 0 then ok := false
+        else Buffer.add_char out (Char.chr ((a lsl 2) lor (b lsr 4)))
+      end
+      else if c < 0 then ok := false
+      else if d = -2 then begin
+        (* "xxx=": only at the very end *)
+        if (not last) || c land 3 <> 0 then ok := false
+        else begin
+          Buffer.add_char out (Char.chr ((a lsl 2) lor (b lsr 4)));
+          Buffer.add_char out (Char.chr (((b land 15) lsl 4) lor (c lsr 2)))
+        end
+      end
+      else if d < 0 then ok := false
+      else begin
+        let w = (a lsl 18) lor (b lsl 12) lor (c lsl 6) lor d in
+        Buffer.add_char out (Char.chr (w lsr 16));
+        Buffer.add_char out (Char.chr ((w lsr 8) land 255));
+        Buffer.add_char out (Char.chr (w land 255))
+      end;
+      i := !i + 4
+    done;
+    if !ok then Some (Buffer.contents out) else None
+  end
+
+let wrap ~width s =
+  if width <= 0 then invalid_arg "B64.wrap: width must be positive";
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let len = min width (n - i) in
+      go (i + len) (String.sub s i len :: acc)
+  in
+  if n = 0 then [] else go 0 []

@@ -1,0 +1,20 @@
+(** Strict base64 (RFC 4648, with padding), for binary payloads carried
+    inside the line-oriented {!Sectfile} formats.
+
+    The trace codec stores varint/RLE byte streams; a section body must
+    be text lines, so payload bytes are base64-encoded and wrapped at a
+    fixed width.  The decoder is strict — any character outside the
+    alphabet, a length that is not a multiple of four, or misplaced
+    padding is rejected — so a damaged payload line is always detected
+    even before the section checksum is consulted. *)
+
+val encode : string -> string
+(** Standard alphabet, padded with ['='] to a multiple of four. *)
+
+val decode : string -> string option
+(** Inverse of {!encode}.  [None] on any deviation: bad characters
+    (including whitespace), bad length, or bad padding. *)
+
+val wrap : width:int -> string -> string list
+(** Split an encoded string into lines of at most [width] characters
+    (the last line may be shorter).  [width] must be positive. *)

@@ -13,6 +13,16 @@ let cache_enabled () =
   | None | Some "" | Some "0" -> true
   | Some _ -> false
 
+let trace_dir () =
+  match Sys.getenv_opt "FISHER92_TRACE_DIR" with
+  | Some d when d <> "" -> d
+  | Some _ | None -> Filename.concat "_build" ".fisher92-traces"
+
+let trace_enabled () =
+  match Sys.getenv_opt "FISHER92_NO_TRACE" with
+  | None | Some "" | Some "0" -> true
+  | Some _ -> false
+
 let knobs =
   [
     ( "FISHER92_DOMAINS",
@@ -22,4 +32,9 @@ let knobs =
       "study-cache location (default: _build/.fisher92-cache)" );
     ( "FISHER92_NO_CACHE",
       "set to anything but \"\" or \"0\" to disable the study cache" );
+    ( "FISHER92_TRACE_DIR",
+      "branch-trace store location (default: _build/.fisher92-traces)" );
+    ( "FISHER92_NO_TRACE",
+      "set to anything but \"\" or \"0\" to disable the branch-trace \
+       store" );
   ]

@@ -9,7 +9,11 @@
     - [FISHER92_CACHE_DIR]: study-cache location (default
       [_build/.fisher92-cache]);
     - [FISHER92_NO_CACHE]: disable the study cache entirely when set to
-      anything but [""] or ["0"]. *)
+      anything but [""] or ["0"];
+    - [FISHER92_TRACE_DIR]: branch-trace store location (default
+      [_build/.fisher92-traces]);
+    - [FISHER92_NO_TRACE]: disable the branch-trace store entirely when
+      set to anything but [""] or ["0"]. *)
 
 val domains : unit -> int option
 (** [FISHER92_DOMAINS] parsed as an integer; [None] when unset or
@@ -20,6 +24,13 @@ val cache_dir : unit -> string
 
 val cache_enabled : unit -> bool
 (** False when [FISHER92_NO_CACHE] is set to anything but ["0"] or
+    [""]. *)
+
+val trace_dir : unit -> string
+(** [FISHER92_TRACE_DIR], or the default [_build/.fisher92-traces]. *)
+
+val trace_enabled : unit -> bool
+(** False when [FISHER92_NO_TRACE] is set to anything but ["0"] or
     [""]. *)
 
 val knobs : (string * string) list

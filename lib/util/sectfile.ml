@@ -156,6 +156,13 @@ let read_file path =
   close_in ic;
   text
 
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ -> () (* lost a race, or unwritable: caller copes *)
+  end
+
 let write_atomic ~path ~tmp_prefix text =
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir tmp_prefix ".tmp" in

@@ -105,6 +105,11 @@ val split_lines : string -> string array
 val read_file : string -> string
 (** @raise Sys_error if unreadable. *)
 
+val mkdir_p : string -> unit
+(** Create a directory and its parents.  Best-effort: a creation race or
+    an unwritable parent is swallowed (the caller's subsequent write
+    reports the real problem). *)
+
 val write_atomic : path:string -> tmp_prefix:string -> string -> unit
 (** Write via temp-file + rename in [path]'s directory.  @raise
     Sys_error on failure (the temp file is removed). *)

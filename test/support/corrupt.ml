@@ -11,6 +11,10 @@ type op =
   | Delete of float * float  (* start fraction, length knob *)
   | Splice of float * float * float  (* source start, length knob, dest *)
   | Swap_lines of (float * float) list
+  | Chop_line of float * float
+      (* line fraction, cut fraction: truncate one line mid-way, as a
+         partial write would — breaks base64 quartets and varint
+         terminators without touching any other line *)
 
 let op_name = function
   | Bitflip _ -> "bitflip"
@@ -18,6 +22,7 @@ let op_name = function
   | Delete _ -> "delete"
   | Splice _ -> "splice"
   | Swap_lines _ -> "swap-lines"
+  | Chop_line _ -> "chop-line"
 
 let apply_op text op =
   let n = String.length text in
@@ -53,6 +58,14 @@ let apply_op text op =
           lines.(j) <- t)
         swaps;
       String.concat "\n" (Array.to_list lines)
+    | Chop_line (f, g) ->
+      let lines = Array.of_list (String.split_on_char '\n' text) in
+      let m = Array.length lines in
+      let i = min (m - 1) (int_of_float (f *. float_of_int m)) in
+      let l = lines.(i) in
+      lines.(i) <-
+        String.sub l 0 (int_of_float (g *. float_of_int (String.length l)));
+      String.concat "\n" (Array.to_list lines)
 
 let op_gen : op Gen.t =
   let open Gen in
@@ -71,4 +84,5 @@ let op_gen : op Gen.t =
       map
         (fun ps -> Swap_lines ps)
         (list_size (int_range 1 4) (pair f f));
+      map2 (fun a b -> Chop_line (a, b)) f f;
     ]
