@@ -196,6 +196,10 @@ let bechamel_suite () =
       bench "inline-ablation" (fun () -> E.inline_ablation (Lazy.force mini));
       bench "gaps(distribution)" (fun () -> E.gaps (Lazy.force mini));
       bench "switchsort(reorder)" (fun () -> E.switchsort (Lazy.force mini));
+      bench "static-proof" (fun () -> E.static_proof (Lazy.force mini));
+      bench "brclass(doduc)" (fun () ->
+          Fisher92_analysis.Brclass.classify
+            (List.hd (Fisher92.Study.items (Lazy.force mini))).Fisher92.Study.ir);
     ]
   in
   let test = Test.make_grouped ~name:"fisher92" tests in

@@ -14,6 +14,7 @@
    fisher92 trace record|info|sim       capture, inspect, and replay branch
                                         traces (trace-driven simulation)
    fisher92 lint [PROG]                 IR lint (CFG + dataflow checks)
+   fisher92 analyze PROG                static branch-proof classifications
    fisher92 disasm PROG                 dump the compiled IR *)
 
 open Cmdliner
@@ -309,15 +310,16 @@ let db_cmd =
         let w = find_workload p in
         let ir = compile w in
         let chain = Remap.plan ir db in
-        let e, r, h, d = Remap.counts chain in
+        let e, r, pf, h, d = Remap.counts chain in
         Printf.printf "against %s (%d sites): %s, %s\n" p
           (Fisher92_ir.Program.n_sites ir)
           (if chain.Remap.r_stale then "STALE" else "fresh")
           (if chain.Remap.r_verified then "fingerprinted"
            else "no fingerprint");
         Printf.printf
-          "  provenance: %d exact, %d remapped, %d heuristic, %d default\n"
-          e r h d);
+          "  provenance: %d exact, %d remapped, %d proof, %d heuristic, \
+           %d default\n"
+          e r pf h d);
       if strict <> None || not (Db.clean report) then exit 1
     in
     let prog =
@@ -559,28 +561,135 @@ let hotspots_cmd =
 
 let lint_cmd =
   let module Lint = Fisher92_analysis.Lint in
-  let run prog =
+  let run prog format =
     let workloads =
       match prog with None -> Registry.all () | Some p -> [ find_workload p ]
     in
+    if format = `Tsv then
+      print_string "program\tfunction\tpc\tkind\tmessage\n";
     let dirty = ref 0 in
     List.iter
       (fun (w : Workload.t) ->
         let ir = compile w in
         let findings = Lint.check ir in
         if findings <> [] then incr dirty;
-        print_string (Lint.render ir findings))
+        match format with
+        | `Text -> print_string (Lint.render ir findings)
+        | `Tsv ->
+          List.iter
+            (fun (f : Lint.finding) ->
+              Printf.printf "%s\t%s\t%d\t%s\t%s\n" ir.Fisher92_ir.Program.pname
+                f.Lint.f_func f.Lint.f_pc (Lint.kind_name f.Lint.f_kind)
+                f.Lint.f_message)
+            findings)
       workloads;
     if !dirty > 0 then exit 1
   in
   let prog = Arg.(value & pos 0 (some string) None & info [] ~docv:"PROGRAM") in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("tsv", `Tsv) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,text) (per-program reports) or $(b,tsv) \
+             (one tab-separated header line, then one row per finding).")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run the IR lint (unreachable code, use-before-def, dead stores, \
-          infinite loops) on one workload, or on every registered workload. \
-          Exits 1 if any program has findings.")
-    Term.(const run $ prog)
+          infinite loops, proof-backed constant branches and contradictory \
+          guards) on one workload, or on every registered workload. Exits 1 \
+          if any program has findings.")
+    Term.(const run $ prog $ format)
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let module B = Fisher92_analysis.Brclass in
+  let run prog format show_unknown =
+    let w = find_workload prog in
+    let ir = compile w in
+    let classes = (B.classify ir).B.classes in
+    let pt, pn, lb, un = B.counts { B.classes } in
+    let source_name = function
+      | B.Src_const -> "sccp"
+      | B.Src_range -> "range"
+      | B.Src_loop -> "loop"
+      | B.Src_none -> "-"
+    in
+    let rows =
+      List.filteri (fun _ _ -> true)
+        (Array.to_list
+           (Array.mapi
+              (fun s (sc : B.site_class) ->
+                let site = ir.Fisher92_ir.Program.sites.(s) in
+                ( s,
+                  ir.Fisher92_ir.Program.funcs.(site.Fisher92_ir.Program.s_func)
+                    .Fisher92_ir.Program.fname,
+                  site.Fisher92_ir.Program.s_pc,
+                  sc ))
+              classes))
+    in
+    let rows =
+      if show_unknown then rows
+      else List.filter (fun (_, _, _, sc) -> sc.B.sc_cls <> B.Unknown) rows
+    in
+    match format with
+    | `Tsv ->
+      print_string "program\tsite\tfunction\tpc\tclass\tsource\tdetail\n";
+      List.iter
+        (fun (s, fname, pc, (sc : B.site_class)) ->
+          Printf.printf "%s\t%d\t%s\t%d\t%s\t%s\t%s\n" w.Workload.w_name s
+            fname pc (B.cls_name sc.B.sc_cls) (source_name sc.B.sc_source)
+            sc.B.sc_detail)
+        rows
+    | `Text ->
+      Printf.printf
+        "%s: %d sites — %d proved taken, %d proved not-taken, %d \
+         loop-bounded, %d unknown\n"
+        w.Workload.w_name (Array.length classes) pt pn lb un;
+      if rows <> [] then
+        print_string
+          (Table.render
+             ~header:[ "SITE"; "LABEL"; "PC"; "CLASS"; "SOURCE"; "DETAIL" ]
+             (List.map
+                (fun (s, fname, pc, (sc : B.site_class)) ->
+                  [
+                    string_of_int s;
+                    fname;
+                    string_of_int pc;
+                    B.cls_name sc.B.sc_cls;
+                    source_name sc.B.sc_source;
+                    sc.B.sc_detail;
+                  ])
+                rows))
+  in
+  let prog = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM") in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("tsv", `Tsv) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,text) (summary plus a site table) or \
+             $(b,tsv) (one tab-separated header line, then one row per \
+             site).")
+  in
+  let show_unknown =
+    Arg.(
+      value & flag
+      & info [ "unknown" ]
+          ~doc:"Also list sites the analysis could not classify.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Classify a workload's conditional branches with the static \
+          branch-proof pass (SCCP + value ranges + counted-loop trip \
+          bounds) and render the per-site verdicts.")
+    Term.(const run $ prog $ format $ show_unknown)
 
 (* ---- disasm ---- *)
 
@@ -604,4 +713,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; profile_cmd; predict_cmd; experiments_cmd;
-            db_cmd; trace_cmd; hotspots_cmd; lint_cmd; disasm_cmd ]))
+            db_cmd; trace_cmd; hotspots_cmd; lint_cmd; analyze_cmd;
+            disasm_cmd ]))

@@ -8,6 +8,8 @@ type kind =
   | Use_before_def
   | Dead_store
   | Infinite_loop
+  | Constant_branch
+  | Contradictory_guard
 
 let kind_name = function
   | Invalid -> "invalid"
@@ -15,6 +17,8 @@ let kind_name = function
   | Use_before_def -> "use-before-def"
   | Dead_store -> "dead-store"
   | Infinite_loop -> "infinite-loop"
+  | Constant_branch -> "constant-branch"
+  | Contradictory_guard -> "contradictory-guard"
 
 type finding = { f_func : string; f_pc : int; f_kind : kind; f_message : string }
 
@@ -86,22 +90,55 @@ let check_func (p : P.t) fid acc =
           List.iter (fun u -> Dataflow.Bits.set live (Defuse.index f u))
             (Defuse.uses insn)
         done;
-        (* A reachable block whose only successor is itself never exits
-           unless a callee halts the whole program. *)
-        if b.b_succs = [ b.b_id ] then begin
-          let has_call = ref false in
-          for pc = b.b_start to b.b_stop - 1 do
-            match f.code.(pc) with
-            | I.Call _ | I.Callind _ -> has_call := true
-            | _ -> ()
-          done;
-          if not !has_call then
-            report b.b_start Infinite_loop
-              "block %d..%d loops to itself with no exit" b.b_start
-              (b.b_stop - 1)
-        end
       end)
     cfg.blocks;
+  (* A reachable natural loop with no edge leaving its body never exits
+     unless a callee halts the whole program.  Nested no-exit loops
+     would all qualify (nothing leaves the outer body either), so only
+     the innermost offender per header chain is reported. *)
+  let dom = Dom.compute cfg in
+  let loops = (Loops.compute cfg dom).Loops.loops in
+  let body = Array.map (fun _ -> Array.make n false) loops in
+  Array.iteri
+    (fun li (l : Loops.loop) ->
+      List.iter (fun b -> body.(li).(b) <- true) l.l_body)
+    loops;
+  let block_has_call bid =
+    let b = cfg.blocks.(bid) in
+    let found = ref false in
+    for pc = b.b_start to b.b_stop - 1 do
+      match f.code.(pc) with
+      | I.Call _ | I.Callind _ -> found := true
+      | _ -> ()
+    done;
+    !found
+  in
+  let sealed =
+    Array.mapi
+      (fun li (l : Loops.loop) ->
+        cfg.reachable.(l.l_header)
+        && List.for_all
+             (fun bid ->
+               List.for_all (fun s -> body.(li).(s)) cfg.blocks.(bid).b_succs
+               && not (block_has_call bid))
+             l.l_body)
+      loops
+  in
+  Array.iteri
+    (fun li (l : Loops.loop) ->
+      let has_sealed_inner =
+        Array.exists Fun.id
+          (Array.mapi
+             (fun lj (l' : Loops.loop) ->
+               lj <> li && sealed.(lj) && body.(li).(l'.l_header)
+               && List.length l'.l_body < List.length l.l_body)
+             loops)
+      in
+      if sealed.(li) && not has_sealed_inner then
+        report cfg.blocks.(l.l_header).b_start Infinite_loop
+          "loop at blocks {%s} never exits (no exit edge, no call)"
+          (String.concat "," (List.map string_of_int l.l_body)))
+    loops;
   !acc
 
 let check (p : P.t) =
@@ -116,6 +153,30 @@ let check (p : P.t) =
   | [] ->
     let acc = ref [] in
     Array.iteri (fun fid _ -> acc := check_func p fid !acc) p.funcs;
+    (* Branches the static proof pass decides are suspicious source:
+       a constant condition is dead code wearing a guard, and a range
+       contradiction is a check that an earlier check already settled. *)
+    let classes = (Brclass.classify p).Brclass.classes in
+    Array.iteri
+      (fun s (sc : Brclass.site_class) ->
+        let site = p.sites.(s) in
+        let fname = p.funcs.(site.P.s_func).P.fname in
+        match (sc.Brclass.sc_cls, sc.Brclass.sc_source) with
+        | (Brclass.Proved_taken | Brclass.Proved_not_taken), Brclass.Src_const
+          ->
+          acc :=
+            finding fname site.P.s_pc Constant_branch
+              "branch condition is a known constant: %s" sc.Brclass.sc_detail
+            :: !acc
+        | (Brclass.Proved_taken | Brclass.Proved_not_taken), Brclass.Src_range
+          ->
+          acc :=
+            finding fname site.P.s_pc Contradictory_guard
+              "guard is decided by a dominating check: %s"
+              sc.Brclass.sc_detail
+            :: !acc
+        | _ -> ())
+      classes;
     List.sort
       (fun a b ->
         match compare a.f_func b.f_func with

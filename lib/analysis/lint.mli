@@ -12,8 +12,14 @@
       parameter can reach — only the VM's zero-init;
     - [Dead_store]: a side-effect-free instruction whose destination is
       never read afterwards on any path;
-    - [Infinite_loop]: a reachable block whose only successor is itself
-      and which contains no call that could halt the program. *)
+    - [Infinite_loop]: a reachable natural loop with no edge leaving its
+      body and no call that could halt the program (covers multi-block
+      loops, not just self-loops; nested sealed loops report only the
+      innermost);
+    - [Constant_branch]: the branch condition is a compile-time constant
+      (proved by SCCP over feasible edges) — dead code wearing a guard;
+    - [Contradictory_guard]: value-range analysis proves a dominating
+      check already decides this guard, so one direction is impossible. *)
 
 type kind =
   | Invalid
@@ -21,6 +27,8 @@ type kind =
   | Use_before_def
   | Dead_store
   | Infinite_loop
+  | Constant_branch
+  | Contradictory_guard
 
 val kind_name : kind -> string
 

@@ -80,3 +80,36 @@ let program (p : P.t) =
       p.funcs
   in
   { p with funcs; sites }
+
+(* Folding proved branches: a [Proved_taken] conditional is an
+   unconditional jump wearing a condition, and a [Proved_not_taken] one
+   is a jump to its own fall-through.  Rewriting them leaves the
+   condition computation behind (a later dead-store pass's business) and
+   strands the never-taken arm, which the unreachable-code pass above
+   then deletes along with the folded sites' table entries. *)
+let fold_proved (p : P.t) =
+  let classes = (Brclass.classify p).Brclass.classes in
+  let changed = ref false in
+  let funcs =
+    Array.map
+      (fun (f : P.func) ->
+        let code =
+          Array.mapi
+            (fun pc insn ->
+              match insn with
+              | I.Br { target; site; _ } -> (
+                match classes.(site).Brclass.sc_cls with
+                | Brclass.Proved_taken ->
+                  changed := true;
+                  I.Jump target
+                | Brclass.Proved_not_taken ->
+                  changed := true;
+                  I.Jump (pc + 1)
+                | _ -> insn)
+              | _ -> insn)
+            f.P.code
+        in
+        { f with P.code })
+      p.P.funcs
+  in
+  if !changed then program { p with P.funcs } else p

@@ -8,3 +8,13 @@
     so the last surviving instruction is an unconditional transfer. *)
 
 val program : Fisher92_ir.Program.t -> Fisher92_ir.Program.t
+
+val fold_proved : Fisher92_ir.Program.t -> Fisher92_ir.Program.t
+(** Rewrite every conditional branch the static proof pass
+    ({!Brclass}) decides — [Proved_taken] becomes a jump to its target,
+    [Proved_not_taken] a jump to its fall-through — then run {!program}
+    to delete the stranded arm and renumber the surviving sites.
+    Returns the input unchanged (same physical program) when nothing is
+    proved, so unproved programs cost one classification and no
+    rebuild.  Behaviour-preserving: the proofs hold on every execution
+    over every input. *)

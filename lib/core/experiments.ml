@@ -1069,6 +1069,7 @@ type stale_row = {
   st_heur : float;
   st_exact : int;
   st_remapped : int;
+  st_proof : int;
   st_heuristic : int;
   st_default : int;
 }
@@ -1147,7 +1148,7 @@ let staleness study =
       (* one extra [Remap.plan] beyond the registered predictor's own
          call — cheap static analysis, and the provenance counts are
          not part of the predictor interface *)
-      let e, r, h, dflt = Remap.counts (Remap.plan mir db) in
+      let e, r, pf, h, dflt = Remap.counts (Remap.plan mir db) in
       let cx = Predictor.context ~db mir in
       {
         st_program = w.w_name;
@@ -1157,6 +1158,7 @@ let staleness study =
         st_heur = Measure.ipb_predicted run (Predictor.predict bare_heuristic cx);
         st_exact = e;
         st_remapped = r;
+        st_proof = pf;
         st_heuristic = h;
         st_default = dflt;
       })
@@ -1174,7 +1176,7 @@ let render_staleness rows =
   ^ Table.render
       ~header:
         [ "PROGRAM"; "DATASET"; "SELF"; "REMAP"; "HEUR"; "REMAPPED";
-          "HEUR-N"; "DEFAULT" ]
+          "PROOF"; "HEUR-N"; "DEFAULT" ]
       (List.map
          (fun r ->
            [
@@ -1184,12 +1186,132 @@ let render_staleness rows =
              Table.fnum r.st_remap;
              Table.fnum r.st_heur;
              string_of_int r.st_remapped;
+             string_of_int r.st_proof;
              string_of_int r.st_heuristic;
              string_of_int r.st_default;
            ])
          rows)
   ^ Printf.sprintf "stale-remapped beats the bare heuristic on %d/%d workloads\n"
       wins (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* Static proof: what the branch-proof pass decides without a profile  *)
+(* ------------------------------------------------------------------ *)
+
+type proof_row = {
+  pr_program : string;
+  pr_sites : int;
+  pr_taken : int;
+  pr_not_taken : int;
+  pr_loop : int;
+  pr_unknown : int;
+  pr_static_cover : float;
+  pr_dyn_cover : float;
+  pr_accuracy : float;
+  pr_profile_mr : int;
+  pr_proof_mr : int;
+}
+
+let static_proof study =
+  let module B = Fisher92_analysis.Brclass in
+  List.map
+    (fun (l : Study.loaded) ->
+      let classes = (B.classify l.ir).B.classes in
+      let pt, pn, lb, un = B.counts { B.classes } in
+      let n = Array.length classes in
+      let profiles = List.map (fun (r : Measure.run) -> r.profile) l.runs in
+      let acc = Profile.sum profiles in
+      (* dynamic weight of the classified sites, and how often the
+         proof-predicted direction was the one executed *)
+      let dyn_classified = ref 0 in
+      let pred_enc = ref 0 and pred_correct = ref 0 in
+      Array.iteri
+        (fun s (sc : B.site_class) ->
+          let enc = acc.Profile.encountered.(s)
+          and tk = acc.Profile.taken.(s) in
+          if sc.B.sc_cls <> B.Unknown then
+            dyn_classified := !dyn_classified + enc;
+          match B.predicted_direction sc.B.sc_cls with
+          | Some dir ->
+            pred_enc := !pred_enc + enc;
+            pred_correct := !pred_correct + (if dir then tk else enc - tk)
+          | None -> ())
+        classes;
+      (* leave-one-out cross prediction: fill the sites the training
+         profiles never saw with the proved direction instead of the
+         static default and count total mispredicts over all targets *)
+      let profile_mr = ref 0 and proof_mr = ref 0 in
+      List.iteri
+        (fun i target ->
+          let others = List.filteri (fun j _ -> j <> i) profiles in
+          let majority s =
+            match others with
+            | [] -> None
+            | ps -> Profile.majority_taken (Profile.sum ps) s
+          in
+          let alone =
+            Array.init n (fun s ->
+                match majority s with Some d -> d | None -> false)
+          in
+          let proofed =
+            Array.init n (fun s ->
+                match majority s with
+                | Some d -> d
+                | None -> (
+                  match B.predicted_direction classes.(s).B.sc_cls with
+                  | Some d -> d
+                  | None -> false))
+          in
+          profile_mr := !profile_mr + Profile.mispredicts ~prediction:alone target;
+          proof_mr := !proof_mr + Profile.mispredicts ~prediction:proofed target)
+        profiles;
+      {
+        pr_program = l.workload.Workload.w_name;
+        pr_sites = n;
+        pr_taken = pt;
+        pr_not_taken = pn;
+        pr_loop = lb;
+        pr_unknown = un;
+        pr_static_cover = Stats.percent (n - un) n;
+        pr_dyn_cover =
+          Stats.percent !dyn_classified (Profile.total_branches acc);
+        pr_accuracy = Stats.percent !pred_correct (max !pred_enc 1);
+        pr_profile_mr = !profile_mr;
+        pr_proof_mr = !proof_mr;
+      })
+    (Study.items study)
+
+let render_static_proof rows =
+  let never_worse =
+    List.length (List.filter (fun r -> r.pr_proof_mr <= r.pr_profile_mr) rows)
+  in
+  "Static branch proofs (SCCP + value ranges + counted-loop bounds):\n\
+   per-site classifications, their dynamic weight, and leave-one-out\n\
+   cross-prediction with proved directions filling unprofiled sites\n\
+   (PROFILE/+PROOF are total mispredicts; lower is better)\n"
+  ^ Table.render
+      ~header:
+        [ "PROGRAM"; "SITES"; "TAKEN"; "NOT-TKN"; "LOOP"; "UNKNOWN";
+          "STATIC%"; "DYN%"; "ACC%"; "PROFILE"; "+PROOF" ]
+      (List.map
+         (fun r ->
+           [
+             r.pr_program;
+             string_of_int r.pr_sites;
+             string_of_int r.pr_taken;
+             string_of_int r.pr_not_taken;
+             string_of_int r.pr_loop;
+             string_of_int r.pr_unknown;
+             Table.pct r.pr_static_cover;
+             Table.pct r.pr_dyn_cover;
+             Table.pct r.pr_accuracy;
+             Table.inum r.pr_profile_mr;
+             Table.inum r.pr_proof_mr;
+           ])
+         rows)
+  ^ Printf.sprintf
+      "proof-filled prediction is never worse on %d/%d workloads\n"
+      never_worse (List.length rows)
 
 (* ------------------------------------------------------------------ *)
 (* Registry: every experiment, in the paper's presentation order.      *)
@@ -1434,17 +1556,36 @@ let () =
     ~columns:
       [
         "program"; "dataset"; "self_ipb"; "remap_ipb"; "heur_ipb"; "exact";
-        "remapped"; "heuristic"; "default";
+        "remapped"; "proof"; "heuristic"; "default";
       ]
     ~cells:(fun r ->
       [
         [
           r.st_program; r.st_dataset; fcell r.st_self; fcell r.st_remap;
           fcell r.st_heur; icell r.st_exact; icell r.st_remapped;
-          icell r.st_heuristic; icell r.st_default;
+          icell r.st_proof; icell r.st_heuristic; icell r.st_default;
         ];
       ])
-    (fun study -> staleness (Lazy.force study))
+    (fun study -> staleness (Lazy.force study));
+  reg ~id:"static_proof" ~paper:"extension"
+    ~descr:"static branch proofs: coverage, accuracy, profile fallback"
+    ~render:render_static_proof
+    ~columns:
+      [
+        "program"; "sites"; "proved_taken"; "proved_not_taken";
+        "loop_bounded"; "unknown"; "static_cover_pct"; "dyn_cover_pct";
+        "accuracy_pct"; "profile_mr"; "proof_profile_mr";
+      ]
+    ~cells:(fun r ->
+      [
+        [
+          r.pr_program; icell r.pr_sites; icell r.pr_taken;
+          icell r.pr_not_taken; icell r.pr_loop; icell r.pr_unknown;
+          fcell r.pr_static_cover; fcell r.pr_dyn_cover;
+          fcell r.pr_accuracy; icell r.pr_profile_mr; icell r.pr_proof_mr;
+        ];
+      ])
+    (fun study -> static_proof (Lazy.force study))
 
 let registry () = Experiment.all ()
 

@@ -280,6 +280,7 @@ type stale_row = {
   st_heur : float;  (** bare structural heuristic, no profile at all *)
   st_exact : int;  (** provenance counts over the mutated build's sites *)
   st_remapped : int;
+  st_proof : int;  (** sites decided by the static branch-proof pass *)
   st_heuristic : int;
   st_default : int;
 }
@@ -299,3 +300,34 @@ val staleness : Study.t -> stale_row list
     feedback loop cannot. *)
 
 val render_staleness : stale_row list -> string
+
+type proof_row = {
+  pr_program : string;
+  pr_sites : int;  (** static conditional-branch sites *)
+  pr_taken : int;  (** proved always-taken *)
+  pr_not_taken : int;  (** proved never-taken *)
+  pr_loop : int;  (** counted loops with proved trip bounds *)
+  pr_unknown : int;
+  pr_static_cover : float;  (** % of sites with any classification *)
+  pr_dyn_cover : float;
+      (** % of dynamic branches executed at classified sites *)
+  pr_accuracy : float;
+      (** % of dynamic branches at proof-predicted sites that went the
+          predicted way (proved directions are 100% by soundness; loop
+          stay-predictions pay one exit per activation) *)
+  pr_profile_mr : int;
+      (** leave-one-out cross-prediction mispredicts, unprofiled sites
+          defaulting to not-taken, summed over all target datasets *)
+  pr_proof_mr : int;
+      (** same, with proved directions filling the unprofiled sites —
+          never worse than [pr_profile_mr] by construction *)
+}
+
+val static_proof : Study.t -> proof_row list
+(** Static-proof extension: classify every branch site of every
+    measured build with {!Fisher92_analysis.Brclass} and quantify what
+    a profile-free sound analysis contributes: coverage, dynamic
+    accuracy, and the mispredict delta when proofs back up a profile
+    recorded on other datasets. *)
+
+val render_static_proof : proof_row list -> string

@@ -5,6 +5,7 @@ type options = {
   inline : bool;
   inline_max_stmts : int;
   switch_heat : (fname:string -> int -> int) option;
+  prove_fold : bool;
 }
 
 let default_options =
@@ -15,6 +16,7 @@ let default_options =
     inline = false;
     inline_max_stmts = 8;
     switch_heat = None;
+    prove_fold = false;
   }
 
 let optimized_ast options prog =
@@ -41,4 +43,9 @@ let compile ?(options = default_options) prog =
      compiled program is lint-clean and the static image is tight. *)
   let ir = Fisher92_analysis.Simplify.program ir in
   Fisher92_ir.Validate.check_exn ir;
-  ir
+  if options.prove_fold then begin
+    let ir = Fisher92_analysis.Simplify.fold_proved ir in
+    Fisher92_ir.Validate.check_exn ir;
+    ir
+  end
+  else ir

@@ -20,6 +20,12 @@ type options = {
           per-(function, case-constant) selection counts before lowering
           — the paper's suggested feedback use for multi-way branches
           (default [None], i.e. source order like the Multiflow compiler) *)
+  prove_fold : bool;
+      (** fold branches the static proof pass decides
+          ({!Fisher92_analysis.Simplify.fold_proved}) after lowering.
+          Off by default: folding removes branch sites, and the measured
+          configuration must keep site numbering aligned with the
+          profiles. *)
 }
 
 val default_options : options

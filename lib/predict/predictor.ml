@@ -10,12 +10,18 @@ type context = {
 let context ?db ?(profiles = []) ir =
   { cx_ir = ir; cx_db = db; cx_profiles = profiles }
 
-type provenance = Profile_direct | Profile_summary | Structural | Degradation
+type provenance =
+  | Profile_direct
+  | Profile_summary
+  | Structural
+  | Proof
+  | Degradation
 
 let provenance_name = function
   | Profile_direct -> "profile-direct"
   | Profile_summary -> "profile-summary"
   | Structural -> "structural"
+  | Proof -> "proof"
   | Degradation -> "degradation"
 
 type t = {
@@ -119,6 +125,25 @@ let () =
     [ ("ball-larus", "B-L"); ("loop-struct", "LOOP"); ("opcode", "OPCODE");
       ("call-avoiding", "CALL"); ("return-avoiding", "RET"); ("btfn", "BTFN");
       ("always-taken", "TAKEN"); ("always-not-taken", "NOT-TKN") ];
+  register
+    {
+      p_name = "proof";
+      p_column = "PROOF";
+      p_provenance = Proof;
+      p_descr = "directions proved by SCCP + value-range analysis (plus \
+                 majority-stay counted loops); unproved sites fall back \
+                 to not-taken";
+      p_predict =
+        (fun cx ->
+          let module B = Fisher92_analysis.Brclass in
+          let classes = (B.classify cx.cx_ir).B.classes in
+          Array.map
+            (fun sc ->
+              match B.predicted_direction sc.B.sc_cls with
+              | Some dir -> dir
+              | None -> false)
+            classes);
+    };
   register
     {
       p_name = "remap-chain";

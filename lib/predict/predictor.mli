@@ -36,6 +36,10 @@ type provenance =
   | Profile_direct  (** counters of the run(s) being predicted *)
   | Profile_summary  (** counters of {e other} runs, merged *)
   | Structural  (** the compiled program only, never a run *)
+  | Proof
+      (** sound static analysis of the compiled program: directions the
+          branch-proof pass ({!Fisher92_analysis.Brclass}) established
+          hold on {e every} run, unlike a [Structural] guess *)
   | Degradation  (** database + build, best evidence per site *)
 
 val provenance_name : provenance -> string

@@ -1,13 +1,15 @@
 module P = Fisher92_ir.Program
 module Fp = Fisher92_analysis.Fingerprint
+module Brclass = Fisher92_analysis.Brclass
 module Profile = Fisher92_profile.Profile
 module Db = Fisher92_profile.Db
 
-type provenance = Exact | Remapped | Heuristic | Default
+type provenance = Exact | Remapped | Proof | Heuristic | Default
 
 let provenance_name = function
   | Exact -> "exact"
   | Remapped -> "remapped"
+  | Proof -> "proof"
   | Heuristic -> "heuristic"
   | Default -> "default"
 
@@ -20,12 +22,13 @@ type t = {
 
 let counts t =
   Array.fold_left
-    (fun (e, r, h, d) -> function
-      | Exact -> (e + 1, r, h, d)
-      | Remapped -> (e, r + 1, h, d)
-      | Heuristic -> (e, r, h + 1, d)
-      | Default -> (e, r, h, d + 1))
-    (0, 0, 0, 0) t.r_provenance
+    (fun (e, r, p, h, d) -> function
+      | Exact -> (e + 1, r, p, h, d)
+      | Remapped -> (e, r + 1, p, h, d)
+      | Proof -> (e, r, p + 1, h, d)
+      | Heuristic -> (e, r, p, h + 1, d)
+      | Default -> (e, r, p, h, d + 1))
+    (0, 0, 0, 0, 0) t.r_provenance
 
 (* Unique-key index: match keys are unique per side by construction
    (the ordinal numbers clones), but a hand-edited database could break
@@ -46,14 +49,22 @@ let plan prog db =
   let prediction = Array.make n false in
   let provenance = Array.make n Default in
   let opinions = Heuristic.ball_larus_opinions prog in
+  let proofs = lazy (Brclass.classify prog).Brclass.classes in
   let fallback s =
-    match opinions.(s) with
+    match
+      Brclass.predicted_direction (Lazy.force proofs).(s).Brclass.sc_cls
+    with
     | Some dir ->
       prediction.(s) <- dir;
-      provenance.(s) <- Heuristic
-    | None ->
-      prediction.(s) <- false;
-      provenance.(s) <- Default
+      provenance.(s) <- Proof
+    | None -> (
+      match opinions.(s) with
+      | Some dir ->
+        prediction.(s) <- dir;
+        provenance.(s) <- Heuristic
+      | None ->
+        prediction.(s) <- false;
+        provenance.(s) <- Default)
   in
   let verified = Db.fingerprint db <> None in
   let fresh =

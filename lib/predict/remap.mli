@@ -13,8 +13,13 @@
       structural key ({!Fisher92_analysis.Fingerprint}) identifies a
       unique counterpart among the recorded sites whose counters carry
       real evidence: the old majority direction is re-used;
-    + {b Heuristic} — no usable counters: the structural Ball-Larus
-      family's opinion, when it has one;
+    + {b Proof} — no usable counters, but the static branch-proof pass
+      ({!Fisher92_analysis.Brclass}) pins the site down: a proved
+      direction, or the stay direction of a counted loop whose minimum
+      trip count makes staying the majority.  Unlike a heuristic this
+      never loses to any profile;
+    + {b Heuristic} — the structural Ball-Larus family's opinion, when
+      it has one;
     + {b Default} — static not-taken, the last resort.
 
     A legacy database with no fingerprint but the right site count is
@@ -22,7 +27,7 @@
     or when fingerprints mismatch and no site keys were stored, nothing
     can be salvaged and the whole chain degrades to heuristic/default. *)
 
-type provenance = Exact | Remapped | Heuristic | Default
+type provenance = Exact | Remapped | Proof | Heuristic | Default
 
 val provenance_name : provenance -> string
 
@@ -33,8 +38,8 @@ type t = {
   r_verified : bool;  (** the database carried a fingerprint at all *)
 }
 
-val counts : t -> int * int * int * int
-(** (exact, remapped, heuristic, default) site counts. *)
+val counts : t -> int * int * int * int * int
+(** (exact, remapped, proof, heuristic, default) site counts. *)
 
 val plan : Fisher92_ir.Program.t -> Fisher92_profile.Db.t -> t
 (** Build the degradation-chain prediction of a program from a database

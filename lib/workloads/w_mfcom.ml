@@ -151,8 +151,11 @@ let program =
                       st "const_val" (ld "idst" (v "k")) (ld "isrc1" (v "k"));
                     ]
                     [
+                      (* ops above 4 fall to the switch default (ok=0),
+                         so no upper-bound conjunct here: it would make
+                         the switch's last compare statically decided *)
                       if_
-                        ((v "op" >=: i 1) &&: (v "op" <=: i 4)
+                        ((v "op" >=: i 1)
                         &&: (ld "const_known" (ld "isrc1" (v "k")) =: i 1)
                         &&: (ld "const_known" (ld "isrc2" (v "k")) =: i 1))
                         [

@@ -171,6 +171,65 @@ let test_liveness () =
   Alcotest.(check bool) "nothing live at exit" false
     (Dataflow.Bits.get out2 0 || Dataflow.Bits.get out2 1)
 
+let test_bits_edge_cases () =
+  let open Dataflow.Bits in
+  (* zero-width vectors: every operation is a no-op, nothing crashes *)
+  let z1 = create 0 and z2 = create 0 in
+  fill z1;
+  Alcotest.(check bool) "union on empty reports no change" false
+    (union_into ~dst:z1 z2);
+  Alcotest.(check bool) "inter on empty reports no change" false
+    (inter_into ~dst:z1 z2);
+  Alcotest.(check bool) "transfer on empty reports no change" false
+    (transfer_into ~dst:z1 ~gen:z2 ~kill:z2 z2);
+  let hits = ref 0 in
+  iter z1 (fun _ -> incr hits);
+  Alcotest.(check int) "iter on empty visits nothing" 0 !hits;
+  (* transfer_into with dst == src: dst := gen ∪ (src \ kill) must read
+     src's pre-assignment value even though it is the destination *)
+  let v = create 8 in
+  set v 1;
+  set v 3;
+  let gen = create 8 and kill = create 8 in
+  set gen 2;
+  set kill 3;
+  Alcotest.(check bool) "aliased transfer changes" true
+    (transfer_into ~dst:v ~gen ~kill v);
+  Alcotest.(check (list int)) "aliased transfer result" [ 1; 2 ]
+    (let l = ref [] in
+     iter v (fun b -> l := b :: !l);
+     List.sort compare !l);
+  Alcotest.(check bool) "aliased transfer reaches fixpoint" false
+    (transfer_into ~dst:v ~gen ~kill v);
+  (* inter_into change detection: equal sets do not report a change *)
+  let a = create 8 and b = create 8 in
+  set a 0;
+  set a 5;
+  set b 0;
+  set b 5;
+  Alcotest.(check bool) "inter with equal set" false (inter_into ~dst:a b);
+  clear b 5;
+  Alcotest.(check bool) "inter with strict subset" true (inter_into ~dst:a b);
+  Alcotest.(check bool) "then stable" false (inter_into ~dst:a b);
+  Alcotest.(check bool) "bit 5 gone" false (get a 5);
+  Alcotest.(check bool) "bit 0 kept" true (get a 0)
+
+let test_defuse_unused_params () =
+  (* three int parameters, only the first ever read: the others are
+     still parameter-defined (no use-before-def pseudo-lint material)
+     and not dead stores (nothing stores them) *)
+  let p = mkprog ~n_iparams:3 [ Insn.Output 0; Insn.Halt ] in
+  let f = p.Program.funcs.(0) in
+  Alcotest.(check bool) "used param" true (Defuse.is_param f (Defuse.Ir 0));
+  Alcotest.(check bool) "unused param is still a param" true
+    (Defuse.is_param f (Defuse.Ir 2));
+  Alcotest.(check bool) "non-param register" false
+    (Defuse.is_param f (Defuse.Ir 3));
+  Alcotest.(check bool) "float file is separate" false
+    (Defuse.is_param f (Defuse.Fr 0));
+  Alcotest.(check int) "unused parameters lint clean" 0
+    (List.length (Lint.check p))
+
 let test_defuse () =
   Alcotest.(check bool) "ftoi reads a float register" true
     (Defuse.uses (Insn.Ftoi (1, 2)) = [ Defuse.Fr 2 ]);
@@ -227,6 +286,40 @@ let test_lint_infinite_loop () =
   let p = mkprog [ Insn.Jump 0 ] in
   Alcotest.(check bool) "self loop flagged" true
     (List.mem Lint.Infinite_loop (kinds p))
+
+(* A two-block loop with no exit edge: the single-block special case
+   never caught these. *)
+let test_lint_infinite_loop_multiblock () =
+  let p =
+    mkprog
+      [
+        Insn.Iconst (0, 1);
+        Insn.Iconst (1, 2);
+        Insn.Ibini (Insn.Add, 0, 0, 1);
+        Insn.Jump 4;
+        Insn.Ibini (Insn.Add, 1, 1, 1);
+        Insn.Jump 2;
+      ]
+  in
+  Alcotest.(check (list string)) "only the loop finding"
+    [ Lint.kind_name Lint.Infinite_loop ]
+    (List.map Lint.kind_name (kinds p));
+  let f = List.find (fun f -> f.Lint.f_kind = Lint.Infinite_loop) (Lint.check p) in
+  Alcotest.(check int) "reported at the header" 2 f.Lint.f_pc;
+  (* a call in the body can halt the program: not flagged *)
+  let q =
+    mkprog
+      [
+        Insn.Iconst (0, 1);
+        Insn.Iconst (1, 2);
+        Insn.Ibini (Insn.Add, 0, 0, 1);
+        Insn.Jump 4;
+        Insn.Call { callee = 0; iargs = []; fargs = []; dst = Insn.No_dest };
+        Insn.Jump 2;
+      ]
+  in
+  Alcotest.(check bool) "call suppresses the finding" false
+    (List.mem Lint.Infinite_loop (kinds q))
 
 let test_lint_invalid () =
   let p =
@@ -352,6 +445,10 @@ let () =
           Alcotest.test_case "reaching defs" `Quick test_reaching;
           Alcotest.test_case "liveness" `Quick test_liveness;
           Alcotest.test_case "def/use atoms" `Quick test_defuse;
+          Alcotest.test_case "bitvector edge cases" `Quick
+            test_bits_edge_cases;
+          Alcotest.test_case "unused parameters" `Quick
+            test_defuse_unused_params;
         ] );
       ( "lint",
         [
@@ -360,6 +457,8 @@ let () =
           Alcotest.test_case "use before def" `Quick test_lint_use_before_def;
           Alcotest.test_case "dead store" `Quick test_lint_dead_store;
           Alcotest.test_case "infinite loop" `Quick test_lint_infinite_loop;
+          Alcotest.test_case "multi-block infinite loop" `Quick
+            test_lint_infinite_loop_multiblock;
           Alcotest.test_case "invalid program" `Quick test_lint_invalid;
         ] );
       ("corruption properties", props);

@@ -213,7 +213,7 @@ let test_remap_fresh_is_exact () =
   let plan = Remap.plan ir db in
   Alcotest.(check bool) "not stale" false plan.Remap.r_stale;
   Alcotest.(check bool) "verified" true plan.Remap.r_verified;
-  let exact, remapped, _, _ = Remap.counts plan in
+  let exact, remapped, _, _, _ = Remap.counts plan in
   Alcotest.(check int) "exact = covered sites" (Profile.covered_sites p) exact;
   Alcotest.(check int) "nothing remapped" 0 remapped;
   (* on covered sites the chain reproduces the majority prediction *)
@@ -235,12 +235,12 @@ let test_remap_stale_recovers_counters () =
     (Program.n_sites ir + 1) (Program.n_sites mir);
   let plan = Remap.plan mir db in
   Alcotest.(check bool) "stale" true plan.Remap.r_stale;
-  let exact, remapped, heuristic, default = Remap.counts plan in
+  let exact, remapped, proof, heuristic, default = Remap.counts plan in
   Alcotest.(check int) "no exact sites on a stale db" 0 exact;
   Alcotest.(check bool) "most old sites remap" true
     (remapped >= Profile.covered_sites p);
   Alcotest.(check int) "every site accounted for" (Program.n_sites mir)
-    (exact + remapped + heuristic + default)
+    (exact + remapped + proof + heuristic + default)
 
 let test_remap_without_sitekeys_degrades () =
   let ir, _, _ = sample_db () in
@@ -249,11 +249,11 @@ let test_remap_without_sitekeys_degrades () =
   let plan = Remap.plan ir old in
   Alcotest.(check bool) "stale" true plan.Remap.r_stale;
   Alcotest.(check bool) "unverified" false plan.Remap.r_verified;
-  let exact, remapped, heuristic, default = Remap.counts plan in
+  let exact, remapped, proof, heuristic, default = Remap.counts plan in
   Alcotest.(check int) "no exact" 0 exact;
   Alcotest.(check int) "no remap without keys" 0 remapped;
-  Alcotest.(check int) "all heuristic/default" (Program.n_sites ir)
-    (heuristic + default)
+  Alcotest.(check int) "all proof/heuristic/default" (Program.n_sites ir)
+    (proof + heuristic + default)
 
 let () =
   Alcotest.run "predict"
