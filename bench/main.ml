@@ -12,6 +12,11 @@
                                  wall clock of the full study
      main.exe --tracebench       compare per-scheme VM re-execution against
                                  record-once + trace-driven simulation
+                                 (writes BENCH_trace.json)
+     main.exe --ingestbench      load-test the crash-safe ingest service:
+                                 N domains x M synthetic clients; reports
+                                 deltas/s, merge-tail latency, recovery
+                                 time (writes BENCH_ingest.json)
      main.exe --bechamel         additionally run Bechamel wall-clock
                                  micro-benchmarks (one Test.make per
                                  table/figure harness, on a trimmed study)
@@ -80,6 +85,62 @@ let parbench domains =
     t_warm (t_seq /. t_warm) hits runs;
   Printf.printf "  outputs byte-identical: %b\n"
     (String.equal seq_out (render r_par) && String.equal seq_out (render r_warm))
+
+(* ---------- BENCH_*.json emission ---------- *)
+
+(* Tiny hand-rolled JSON: the perf-trajectory files hold numbers and
+   short names only, so a serializer dependency would be overkill. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type json =
+  | J_num of float
+  | J_int of int
+  | J_bool of bool
+  | J_str of string
+  | J_obj of (string * json) list
+  | J_arr of json list
+
+let rec render_json ~indent j =
+  let pad = String.make indent ' ' in
+  match j with
+  | J_num x -> Printf.sprintf "%.6g" x
+  | J_int n -> string_of_int n
+  | J_bool b -> string_of_bool b
+  | J_str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | J_obj fields ->
+    let inner =
+      List.map
+        (fun (k, v) ->
+          Printf.sprintf "%s  \"%s\": %s" pad (json_escape k)
+            (render_json ~indent:(indent + 2) v))
+        fields
+    in
+    Printf.sprintf "{\n%s\n%s}" (String.concat ",\n" inner) pad
+  | J_arr items ->
+    let inner =
+      List.map
+        (fun v ->
+          Printf.sprintf "%s  %s" pad (render_json ~indent:(indent + 2) v))
+        items
+    in
+    Printf.sprintf "[\n%s\n%s]" (String.concat ",\n" inner) pad
+
+let write_json path j =
+  Fisher92_util.Sectfile.write_atomic ~path ~tmp_prefix:"bench"
+    (render_json ~indent:0 j ^ "\n");
+  Printf.printf "  wrote %s\n" path
 
 (* ---------- trace-driven simulation vs VM re-execution ---------- *)
 
@@ -150,11 +211,167 @@ let tracebench () =
           w.w_name
           (Trace.Writer.events writer)
           t_vm t_record t_sim (t_vm /. t_sim) agree;
-        t_vm /. t_sim)
+        (w.w_name, Trace.Writer.events writer, t_vm, t_record, t_sim, agree))
       workloads
   in
+  let geomean =
+    Fisher92_util.Stats.geomean
+      (List.map (fun (_, _, t_vm, _, t_sim, _) -> t_vm /. t_sim) speedups)
+  in
   Printf.printf "  geomean warm-trace speedup over per-scheme VM: %.1fx\n"
-    (Fisher92_util.Stats.geomean speedups)
+    geomean;
+  write_json "BENCH_trace.json"
+    (J_obj
+       [
+         ("bench", J_str "tracebench");
+         ("schemes", J_int (List.length schemes));
+         ( "workloads",
+           J_arr
+             (List.map
+                (fun (name, events, t_vm, t_record, t_sim, agree) ->
+                  J_obj
+                    [
+                      ("name", J_str name);
+                      ("events", J_int events);
+                      ("vm_s", J_num t_vm);
+                      ("record_s", J_num t_record);
+                      ("sim_s", J_num t_sim);
+                      ("speedup", J_num (t_vm /. t_sim));
+                      ("identical", J_bool agree);
+                    ])
+                speedups) );
+         ("geomean_speedup", J_num geomean);
+       ])
+
+(* ---------- ingest service load + recovery benchmark ---------- *)
+
+let ingestbench domains =
+  let module Service = Fisher92_ingest.Service in
+  let module Delta = Fisher92_ingest.Delta in
+  let module Client = Fisher92_ingest.Client in
+  let module Db = Fisher92_profile.Db in
+  let module Rng = Fisher92_util.Rng in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let prog = "compress" in
+  let w = Fisher92_workloads.Registry.find prog in
+  let ir = Fisher92.Study.compile_variant w in
+  let n_sites = Fisher92_ir.Program.n_sites ir in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fisher92-ingestbench-%d" (Unix.getpid ()))
+  in
+  (* a fresh directory per run: recovery must start from our debris only *)
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  let cfg =
+    {
+      Service.c_dir = dir;
+      c_program = prog;
+      c_n_sites = n_sites;
+      c_fingerprint = Fisher92_analysis.Fingerprint.program_hash ir;
+      c_sitekeys = Fisher92_analysis.Fingerprint.site_keys ir;
+      c_shards = None;
+    }
+  in
+  let per_client = 64 in
+  let entries_per_delta = 32 in
+  let svc = Service.open_ cfg in
+  (* N domains of synthetic clients, each submitting its own delta
+     stream; latencies cover the full durable path (WAL append + fsync
+     + sharded merge). *)
+  let latencies = Array.make (domains * per_client) 0.0 in
+  let synth rng d k =
+    let entries =
+      List.init entries_per_delta (fun i ->
+          let site = ((i * 97) + (d * 13) + k) mod n_sites in
+          let e = 1 + Rng.int rng 1000 in
+          (site, e, Rng.int rng (e + 1)))
+      (* distinct sites per delta: dedup via sorted uniq *)
+      |> List.sort_uniq (fun (a, _, _) (b, _, _) -> compare a b)
+    in
+    Delta.make ~program:prog ~fingerprint:cfg.Service.c_fingerprint
+      ~label:(Printf.sprintf "client%d" d) ~n_sites
+      ~nonce:((d * per_client) + k)
+      entries
+  in
+  let (), t_submit =
+    time (fun () ->
+        let spawned =
+          List.init domains (fun d ->
+              Domain.spawn (fun () ->
+                  let rng = Rng.create (0x1ce5 + d) in
+                  for k = 0 to per_client - 1 do
+                    let delta = synth rng d k in
+                    let t0 = Unix.gettimeofday () in
+                    (match Client.submit ~rng svc delta with
+                    | Service.Acked -> ()
+                    | o -> failwith (Service.outcome_name o));
+                    latencies.((d * per_client) + k) <-
+                      Unix.gettimeofday () -. t0
+                  done))
+        in
+        List.iter Domain.join spawned)
+  in
+  let total = domains * per_client in
+  Array.sort compare latencies;
+  let pct p = latencies.(min (total - 1) (p * total / 100)) in
+  (* crash before compaction: recovery must replay the whole log *)
+  let svc2, t_recover = time (fun () -> Service.open_ cfg) in
+  let replayed = (Service.stats svc2).Service.st_replayed in
+  let (), t_compact = time (fun () -> Service.compact svc2) in
+  Service.close svc2;
+  Service.close ~fold:false svc;
+  let check_ok =
+    match Db.load_file (Service.db_path ~dir) with
+    | (_ : Db.t) -> true
+    | exception _ -> false
+  in
+  Printf.printf
+    "ingest load (%d domains x %d deltas x %d entries, fsync %s):\n"
+    domains per_client entries_per_delta
+    (if Fisher92_util.Env.fsync_enabled () then "on" else "off");
+  Printf.printf "  submit wall clock:   %6.3fs  (%.0f deltas/s)\n" t_submit
+    (float_of_int total /. t_submit);
+  Printf.printf
+    "  submit latency:      p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n"
+    (pct 50 *. 1e3) (pct 95 *. 1e3) (pct 99 *. 1e3)
+    (latencies.(total - 1) *. 1e3);
+  Printf.printf "  recovery (replay %d): %6.3fs\n" replayed t_recover;
+  Printf.printf "  compaction:          %6.3fs\n" t_compact;
+  Printf.printf "  db strict load ok:   %b\n" check_ok;
+  write_json "BENCH_ingest.json"
+    (J_obj
+       [
+         ("bench", J_str "ingestbench");
+         ("program", J_str prog);
+         ("domains", J_int domains);
+         ("deltas", J_int total);
+         ("entries_per_delta", J_int entries_per_delta);
+         ("fsync", J_bool (Fisher92_util.Env.fsync_enabled ()));
+         ("submit_s", J_num t_submit);
+         ("deltas_per_sec", J_num (float_of_int total /. t_submit));
+         ("latency_p50_ms", J_num (pct 50 *. 1e3));
+         ("latency_p95_ms", J_num (pct 95 *. 1e3));
+         ("latency_p99_ms", J_num (pct 99 *. 1e3));
+         ("latency_max_ms", J_num (latencies.(total - 1) *. 1e3));
+         ("recovery_s", J_num t_recover);
+         ("recovered_records", J_int replayed);
+         ("compaction_s", J_num t_compact);
+         ("db_check_ok", J_bool check_ok);
+       ]);
+  rm dir;
+  if not check_ok then exit 1
 
 (* ---------- bechamel timing micro-benchmarks ---------- *)
 
@@ -235,6 +452,7 @@ let () =
   let timing = List.mem "--timing" args in
   let par = List.mem "--parbench" args in
   let tracing = List.mem "--tracebench" args in
+  let ingest = List.mem "--ingestbench" args in
   let listing = List.mem "--list" args in
   let domains = ref None in
   let rec strip = function
@@ -250,7 +468,8 @@ let () =
     | "--domains" :: [] ->
       Printf.eprintf "--domains expects a positive integer\n";
       exit 2
-    | ("--bechamel" | "--timing" | "--parbench" | "--tracebench" | "--list")
+    | ( "--bechamel" | "--timing" | "--parbench" | "--tracebench"
+      | "--ingestbench" | "--list" )
       :: rest ->
       strip rest
     | s :: rest -> s :: strip rest
@@ -273,6 +492,11 @@ let () =
   let domains = !domains in
   if par then parbench (match domains with Some d -> d | None -> Fisher92_util.Pool.default_domains ())
   else if tracing then tracebench ()
+  else if ingest then
+    ingestbench
+      (match domains with
+      | Some d -> d
+      | None -> min 4 (Fisher92_util.Pool.default_domains ()))
   else begin
     let t0 = Unix.gettimeofday () in
     let timings = ref None in

@@ -13,6 +13,10 @@
                                         databases
    fisher92 trace record|info|sim       capture, inspect, and replay branch
                                         traces (trace-driven simulation)
+   fisher92 serve PROG --dir DIR        crash-safe profile-ingest service
+                                        (WAL + sharded merge + compaction)
+   fisher92 submit PROG --dir DIR       run a dataset and spool its profile
+                                        as an ingest delta
    fisher92 lint [PROG]                 IR lint (CFG + dataflow checks)
    fisher92 analyze PROG                static branch-proof classifications
    fisher92 disasm PROG                 dump the compiled IR *)
@@ -691,6 +695,124 @@ let analyze_cmd =
           bounds) and render the per-site verdicts.")
     Term.(const run $ prog $ format $ show_unknown)
 
+(* ---- serve / submit: the crash-safe profile-ingest service ---- *)
+
+let ingest_config ~dir ~shards prog ir =
+  {
+    Fisher92_ingest.Service.c_dir = dir;
+    c_program = prog;
+    c_n_sites = Fisher92_ir.Program.n_sites ir;
+    c_fingerprint = Fisher92_analysis.Fingerprint.program_hash ir;
+    c_sitekeys = Fisher92_analysis.Fingerprint.site_keys ir;
+    c_shards = shards;
+  }
+
+let serve_cmd =
+  let module S = Fisher92_ingest.Service in
+  let run prog dir rounds interval shards =
+    let w = find_workload prog in
+    let ir = compile w in
+    let svc = S.open_ (ingest_config ~dir ~shards prog ir) in
+    List.iter (fun n -> Printf.printf "note: %s\n" n) (S.notes svc);
+    for round = 1 to rounds do
+      if round > 1 then Unix.sleepf interval;
+      let d = S.drain_spool svc in
+      Printf.printf "round %d: %d acked, %d duplicate, %d quarantined\n%!"
+        round d.S.dr_acked d.S.dr_duplicates d.S.dr_quarantined;
+      S.compact svc
+    done;
+    S.close svc;
+    let st = S.stats svc in
+    Printf.printf
+      "served: %d accepted (%d remapped, %d entries dropped), %d \
+       duplicates, %d quarantined, %d replayed, %d compactions\n"
+      st.S.st_accepted st.S.st_remapped st.S.st_dropped_entries
+      st.S.st_duplicates st.S.st_quarantined st.S.st_replayed
+      st.S.st_compactions;
+    Printf.printf "database: %s (generation %d)\n" (S.db_path ~dir)
+      (Fisher92_profile.Db.generation (S.base_db svc))
+  in
+  let prog = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM") in
+  let dir =
+    Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Service directory (database, WAL, spool, quarantine)")
+  in
+  let rounds =
+    Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"N"
+           ~doc:"Drain-and-compact rounds to run (default 1: one-shot)")
+  in
+  let interval =
+    Arg.(value & opt float 0.5 & info [ "interval" ] ~docv:"SECS"
+           ~doc:"Sleep between rounds")
+  in
+  let shards =
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
+           ~doc:"Merge shard count (default: $(b,FISHER92_SHARDS))")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the crash-safe profile-ingest service: recover (salvage \
+          database, replay WAL), drain spooled deltas, compact into the \
+          v2 database")
+    Term.(const run $ prog $ dir $ rounds $ interval $ shards)
+
+let submit_cmd =
+  let run prog dir dataset label nonce =
+    let w = find_workload prog in
+    let ir = compile w in
+    let d =
+      let name =
+        match dataset with
+        | Some n -> n
+        | None -> (List.hd w.Workload.w_datasets).ds_name
+      in
+      match Workload.dataset w name with
+      | d -> d
+      | exception Not_found ->
+        Printf.eprintf "unknown dataset %S for %s\n" name prog;
+        exit 2
+    in
+    let r = execute ir d in
+    let delta =
+      Fisher92_ingest.Delta.of_profile
+        ~fingerprint:(Fisher92_analysis.Fingerprint.program_hash ir)
+        ~label:(Option.value label ~default:d.ds_name)
+        ~keys:(Fisher92_analysis.Fingerprint.site_keys ir)
+        ~nonce
+        (Profile.of_run ~program:prog r)
+    in
+    let rng = Fisher92_util.Rng.create (nonce + 7) in
+    let path = Fisher92_ingest.Client.spool_submit ~rng ~dir delta in
+    Printf.printf "spooled %s (id %s, %d site entries)\n" path
+      delta.Fisher92_ingest.Delta.d_id
+      (Array.length delta.Fisher92_ingest.Delta.d_sites)
+  in
+  let prog = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM") in
+  let dir =
+    Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Service directory (the delta lands in its spool)")
+  in
+  let dataset =
+    Arg.(value & opt (some string) None & info [ "dataset" ] ~docv:"NAME"
+           ~doc:"Dataset to run and submit (default: the workload's first)")
+  in
+  let label =
+    Arg.(value & opt (some string) None & info [ "label" ] ~docv:"NAME"
+           ~doc:"Dataset bucket in the pool database (default: the dataset)")
+  in
+  let nonce =
+    Arg.(value & opt int 0 & info [ "nonce" ] ~docv:"N"
+           ~doc:"Submission nonce: same counters + same nonce = same \
+                 delta id (an idempotent retry)")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Run one (program, dataset) pair and spool its profile as an \
+          ingest delta for $(b,fisher92 serve)")
+    Term.(const run $ prog $ dir $ dataset $ label $ nonce)
+
 (* ---- disasm ---- *)
 
 let disasm_cmd =
@@ -714,4 +836,4 @@ let () =
        (Cmd.group info
           [ list_cmd; run_cmd; profile_cmd; predict_cmd; experiments_cmd;
             db_cmd; trace_cmd; hotspots_cmd; lint_cmd; analyze_cmd;
-            disasm_cmd ]))
+            serve_cmd; submit_cmd; disasm_cmd ]))

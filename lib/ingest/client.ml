@@ -1,0 +1,61 @@
+(* The submitting side: bounded retry with exponential backoff and
+   jitter for transient failures, plus the file-spool protocol a
+   client uses when it cannot hold the service in-process — write the
+   delta atomically into the spool directory and let the service's
+   drain pick it up. *)
+
+module Sectfile = Fisher92_util.Sectfile
+module Rng = Fisher92_util.Rng
+
+type backoff = {
+  bo_retries : int;  (* attempts after the first; >= 0 *)
+  bo_base_delay : float;  (* seconds before the first retry *)
+  bo_max_delay : float;  (* cap on any single delay *)
+  bo_jitter : float;  (* each delay scaled by 1 + jitter*U[-1,1] *)
+}
+
+let default_backoff =
+  { bo_retries = 5; bo_base_delay = 0.05; bo_max_delay = 2.0; bo_jitter = 0.5 }
+
+exception Gave_up of int * exn
+(** Attempts made, and the last transient failure. *)
+
+(* Transient = worth retrying: I/O errors.  Everything else (malformed
+   input, programming errors) propagates immediately. *)
+let transient = function Sys_error _ | Unix.Unix_error _ -> true | _ -> false
+
+let with_retry ?(backoff = default_backoff) ?(sleep = Unix.sleepf) ~rng f =
+  if backoff.bo_retries < 0 then invalid_arg "Client.with_retry: negative retries";
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception e when transient e ->
+      if attempt > backoff.bo_retries then raise (Gave_up (attempt, e))
+      else begin
+        let exp_delay =
+          backoff.bo_base_delay *. (2.0 ** float_of_int (attempt - 1))
+        in
+        let capped = Float.min exp_delay backoff.bo_max_delay in
+        let jitter =
+          1.0 +. (backoff.bo_jitter *. Rng.float_in rng (-1.0) 1.0)
+        in
+        sleep (Float.max 0.0 (capped *. jitter));
+        go (attempt + 1)
+      end
+  in
+  go 1
+
+let submit ?backoff ?sleep ~rng service delta =
+  (* A Quarantined outcome is a verdict, not a failure: retrying an
+     invalid delta can never help, so only transient exceptions (WAL
+     I/O) are retried. *)
+  with_retry ?backoff ?sleep ~rng (fun () -> Service.submit service delta)
+
+let spool_submit ?backoff ?sleep ~rng ~dir delta =
+  let sdir = Service.spool_dir ~dir in
+  let path = Filename.concat sdir (delta.Delta.d_id ^ ".delta") in
+  with_retry ?backoff ?sleep ~rng (fun () ->
+      Sectfile.mkdir_p sdir;
+      Sectfile.write_atomic ~label:"spool" ~path ~tmp_prefix:"delta"
+        (Delta.render delta));
+  path

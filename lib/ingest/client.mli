@@ -1,0 +1,52 @@
+(** The submitting side of the ingest protocol.
+
+    Wraps submission in bounded retry with exponential backoff and
+    jitter — transient I/O failures are retried up to a budget, while
+    verdicts (a {!Service.outcome}, including quarantine) return
+    immediately: retrying an invalid delta can never help. *)
+
+type backoff = {
+  bo_retries : int;  (** attempts after the first; [>= 0] *)
+  bo_base_delay : float;  (** seconds before the first retry *)
+  bo_max_delay : float;  (** cap on any single delay *)
+  bo_jitter : float;
+      (** each delay is scaled by [1 + jitter * U\[-1,1\]], decorrelating
+          a fleet of clients that failed at the same instant *)
+}
+
+val default_backoff : backoff
+(** 5 retries, 50ms doubling, capped at 2s, 50% jitter. *)
+
+exception Gave_up of int * exn
+(** The retry budget ran out: attempts made, last transient failure. *)
+
+val with_retry :
+  ?backoff:backoff ->
+  ?sleep:(float -> unit) ->
+  rng:Fisher92_util.Rng.t ->
+  (unit -> 'a) ->
+  'a
+(** Run [f], retrying [Sys_error]/[Unix_error] with backoff.  [sleep]
+    defaults to [Unix.sleepf]; tests inject a recorder.  Any other
+    exception propagates immediately.  @raise Gave_up. *)
+
+val submit :
+  ?backoff:backoff ->
+  ?sleep:(float -> unit) ->
+  rng:Fisher92_util.Rng.t ->
+  Service.t ->
+  Delta.t ->
+  Service.outcome
+(** In-process submission under {!with_retry}. *)
+
+val spool_submit :
+  ?backoff:backoff ->
+  ?sleep:(float -> unit) ->
+  rng:Fisher92_util.Rng.t ->
+  dir:string ->
+  Delta.t ->
+  string
+(** Write the delta atomically into the service's spool directory
+    (crash label [spool]) for the next {!Service.drain_spool} to pick
+    up; returns the spool path.  Idempotent: the filename is the delta
+    id, so a retried write lands on the same file. *)

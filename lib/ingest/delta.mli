@@ -1,0 +1,70 @@
+(** A client submission: sparse per-site counter increments.
+
+    One delta carries the counters one run (or one batch of runs) of one
+    program build accumulated, keyed by the build's structural
+    fingerprint so the service can tell a current client from a stale
+    one, plus a unique id so a retried submission is idempotent.  The
+    binary payload uses the varint codec shared with the branch traces;
+    the spool-file wrapper uses the Sectfile conventions, so any damage
+    is detected before a byte is believed. *)
+
+type t = {
+  d_id : string;  (** 16 hex digits, unique per submission *)
+  d_program : string;
+  d_fingerprint : string;  (** program_hash of the client's build *)
+  d_label : string;  (** dataset bucket the counters land under *)
+  d_n_sites : int;  (** site count of the client's build *)
+  d_sites : int array;  (** strictly ascending, each [< d_n_sites] *)
+  d_enc : int array;  (** per entry, [>= 0] *)
+  d_taken : int array;  (** per entry, [0 <= taken <= enc] *)
+  d_keys : string array option;
+      (** the client build's site keys ({!Fisher92_analysis.Fingerprint}),
+          one per site — what lets a stale client's counters be remapped
+          instead of dropped *)
+}
+
+val make :
+  program:string ->
+  fingerprint:string ->
+  label:string ->
+  n_sites:int ->
+  ?keys:string array ->
+  nonce:int ->
+  (int * int * int) list ->
+  t
+(** [make ... entries] builds a delta from [(site, encountered, taken)]
+    increments (any order; sorted internally).  The id is a hash of the
+    content and [nonce], so two submissions of the same counters with
+    different nonces are distinct while a retry of one submission is
+    not.  @raise Invalid_argument on out-of-range sites, [taken > enc],
+    duplicate sites, a key array of the wrong length, or embedded
+    newlines. *)
+
+val of_profile :
+  fingerprint:string ->
+  label:string ->
+  ?keys:string array ->
+  nonce:int ->
+  Fisher92_profile.Profile.t ->
+  t
+(** The delta submitting a whole run's profile: one entry per site with
+    [encountered > 0]. *)
+
+val entries : t -> (int * int * int) list
+(** [(site, encountered, taken)] per entry, ascending. *)
+
+val encode : t -> string
+(** Binary varint payload (what the WAL stores). *)
+
+val decode : string -> t
+(** Inverse of {!encode}, validating every invariant of [t].
+    @raise Fisher92_util.Sectfile.Bad on any malformation — truncation,
+    overflowing varints, out-of-range sites, [taken > enc], trailing
+    bytes. *)
+
+val render : t -> string
+(** Spool-file text: a [fisher92delta] header, the base64-wrapped
+    payload in a checksummed section, and an [end] marker. *)
+
+val parse : string -> t
+(** Inverse of {!render}.  @raise Fisher92_util.Sectfile.Bad. *)

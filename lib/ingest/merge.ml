@@ -1,0 +1,91 @@
+(* The sharded in-memory accumulator between the WAL and the database.
+   Counters live in full-size per-label arrays; shard [k] owns every
+   site congruent to [k] modulo the shard count, and each shard has its
+   own lock, so submitters touching disjoint shards never contend.
+   Adds saturate at [max_int] — with both operands satisfying
+   [taken <= encountered] pointwise and clamping monotone, the
+   invariant survives any amount of traffic. *)
+
+module Env = Fisher92_util.Env
+
+type t = {
+  m_n_sites : int;
+  m_locks : Mutex.t array;  (* one per shard *)
+  tables_lock : Mutex.t;  (* guards the label table itself *)
+  tables : (string, int array * int array) Hashtbl.t;
+      (* label -> (encountered, taken), both of length m_n_sites *)
+}
+
+let create ?shards ~n_sites () =
+  if n_sites < 0 then invalid_arg "Merge.create: negative site count";
+  let n =
+    match shards with
+    | Some n when n >= 1 && n <= 256 -> n
+    | Some _ -> invalid_arg "Merge.create: shard count out of range"
+    | None -> Env.shards ()
+  in
+  {
+    m_n_sites = n_sites;
+    m_locks = Array.init n (fun _ -> Mutex.create ());
+    tables_lock = Mutex.create ();
+    tables = Hashtbl.create 8;
+  }
+
+let n_shards t = Array.length t.m_locks
+let n_sites t = t.m_n_sites
+
+let tables_of t label =
+  Mutex.protect t.tables_lock (fun () ->
+      match Hashtbl.find_opt t.tables label with
+      | Some arrays -> arrays
+      | None ->
+        let arrays = (Array.make t.m_n_sites 0, Array.make t.m_n_sites 0) in
+        Hashtbl.replace t.tables label arrays;
+        arrays)
+
+let sat x = if x < 0 then max_int else x
+
+let merge t ~label entries =
+  List.iter
+    (fun (s, e, tk) ->
+      if s < 0 || s >= t.m_n_sites then
+        invalid_arg "Merge.merge: site out of range";
+      if e < 0 || tk < 0 || tk > e then invalid_arg "Merge.merge: bad counts")
+    entries;
+  let enc, taken = tables_of t label in
+  let n = n_shards t in
+  (* Bucket the entries per shard and take each needed lock exactly
+     once, in ascending order (deadlock-free against concurrent
+     submitters). *)
+  let buckets = Array.make n [] in
+  List.iter (fun ((s, _, _) as entry) ->
+      buckets.(s mod n) <- entry :: buckets.(s mod n))
+    entries;
+  Array.iteri
+    (fun k bucket ->
+      if bucket <> [] then
+        Mutex.protect t.m_locks.(k) (fun () ->
+            List.iter
+              (fun (s, e, tk) ->
+                enc.(s) <- sat (enc.(s) + e);
+                taken.(s) <- sat (taken.(s) + tk))
+              bucket))
+    buckets
+
+let snapshot t =
+  (* Only sound under quiescence (the service's compaction gate): reads
+     every shard without locking. *)
+  Mutex.protect t.tables_lock (fun () ->
+      Hashtbl.fold
+        (fun label (enc, taken) acc ->
+          (label, Array.copy enc, Array.copy taken) :: acc)
+        t.tables [])
+  |> List.sort compare
+
+let clear t =
+  Mutex.protect t.tables_lock (fun () -> Hashtbl.reset t.tables)
+
+let total t =
+  List.fold_left
+    (fun acc (_, enc, _) -> Array.fold_left ( + ) acc enc)
+    0 (snapshot t)

@@ -44,6 +44,24 @@ let index_by_match_key keys =
     keys;
   tbl
 
+(* The structural-matching core, shared with the ingest service (which
+   remaps stale clients' deltas the same way plan remaps stale
+   databases): for every site of [from_keys], its unique counterpart in
+   [to_keys], demanding uniqueness on both sides. *)
+let correspondence ~from_keys ~to_keys =
+  let from_index = index_by_match_key from_keys in
+  let to_index = index_by_match_key to_keys in
+  Array.map
+    (fun k ->
+      let mk = Fp.match_key k in
+      match Hashtbl.find_opt from_index mk with
+      | Some (Some _) -> (
+        match Hashtbl.find_opt to_index mk with
+        | Some (Some j) -> Some j
+        | Some None | None -> None)
+      | Some None | None -> None)
+    from_keys
+
 let plan prog db =
   let n = P.n_sites prog in
   let prediction = Array.make n false in
@@ -88,23 +106,18 @@ let plan prog db =
     (match Db.sitekeys db with
     | None -> for s = 0 to n - 1 do fallback s done
     | Some old_keys ->
-      let old_index = index_by_match_key old_keys in
-      let new_keys = Fp.site_keys prog in
-      let new_index = index_by_match_key new_keys in
+      let corr =
+        correspondence ~from_keys:(Fp.site_keys prog) ~to_keys:old_keys
+      in
       for s = 0 to n - 1 do
-        let mk = Fp.match_key new_keys.(s) in
-        match Hashtbl.find_opt new_index mk with
-        | Some (Some _) -> (
-          (* unique on our side; look for a unique counterpart *)
-          match Hashtbl.find_opt old_index mk with
-          | Some (Some old_s)
-            when old_s < Profile.n_sites acc
-                 && acc.Profile.encountered.(old_s) > 0 ->
-            prediction.(s) <-
-              2 * acc.Profile.taken.(old_s) >= acc.Profile.encountered.(old_s);
-            provenance.(s) <- Remapped
-          | _ -> fallback s)
-        | _ -> fallback s
+        match corr.(s) with
+        | Some old_s
+          when old_s < Profile.n_sites acc
+               && acc.Profile.encountered.(old_s) > 0 ->
+          prediction.(s) <-
+            2 * acc.Profile.taken.(old_s) >= acc.Profile.encountered.(old_s);
+          provenance.(s) <- Remapped
+        | Some _ | None -> fallback s
       done);
     { r_prediction = prediction; r_provenance = provenance;
       r_stale = true; r_verified = verified }

@@ -44,3 +44,12 @@ val counts : t -> int * int * int * int * int
 val plan : Fisher92_ir.Program.t -> Fisher92_profile.Db.t -> t
 (** Build the degradation-chain prediction of a program from a database
     recorded against the same or an earlier build of it. *)
+
+val correspondence :
+  from_keys:string array -> to_keys:string array -> int option array
+(** The structural-matching core the Remapped tier (and the ingest
+    service's stale-client degradation) is built on: for every site of
+    [from_keys], the index of its counterpart in [to_keys] under
+    {!Fisher92_analysis.Fingerprint.match_key} equality — [None] unless
+    the key is unique on {e both} sides (an ambiguous match must never
+    feed counters into the wrong branch). *)

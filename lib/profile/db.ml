@@ -10,6 +10,7 @@ type t = {
   mutable order : string list;  (* reversed *)
   mutable db_fp : string option;
   mutable db_keys : string array option;
+  mutable db_gen : int;  (* compaction generation; 0 = never compacted *)
 }
 
 let check_no_newline what s =
@@ -26,6 +27,7 @@ let create ~program ~n_sites =
     order = [];
     db_fp = None;
     db_keys = None;
+    db_gen = 0;
   }
 
 let program t = t.db_program
@@ -61,6 +63,11 @@ let accumulated_except t ~dataset =
 
 let fingerprint t = t.db_fp
 let sitekeys t = t.db_keys
+let generation t = t.db_gen
+
+let set_generation t g =
+  if g < 0 then invalid_arg "Db.set_generation: negative generation";
+  t.db_gen <- g
 
 let set_identity t ~fingerprint ~sitekeys =
   if Array.length sitekeys <> t.db_sites then
@@ -130,7 +137,11 @@ let save t =
   section "meta"
     ([ "program " ^ sized t.db_program;
        Printf.sprintf "sites %d" t.db_sites ]
-    @ match t.db_fp with Some fp -> [ "fingerprint " ^ fp ] | None -> [])
+    @ (match t.db_fp with Some fp -> [ "fingerprint " ^ fp ] | None -> [])
+    @
+    match t.db_gen with
+    | 0 -> []  (* absent on never-compacted dbs: v2 files stay byte-stable *)
+    | g -> [ Printf.sprintf "generation %d" g ])
     "endmeta";
   (match t.db_keys with
   | None -> ()
@@ -242,7 +253,8 @@ let section_checksum_ok = checksum_ok
 
 (* Meta fields out of a meta section's body; raises [Bad]. *)
 let parse_meta_fields rs =
-  let prog = ref None and sites = ref None and fp = ref None in
+  let prog = ref None and sites = ref None in
+  let fp = ref None and gen = ref 0 in
   List.iteri
     (fun k l ->
       if k = 0 then () (* the "meta" header itself *)
@@ -262,10 +274,16 @@ let parse_meta_fields rs =
               if String.equal rest "" || String.contains rest ' ' then
                 failf ln "malformed fingerprint"
               else fp := Some rest
-            | None -> failf ln "unexpected line in meta section")))
+            | None -> (
+              match prefixed ~prefix:"generation " l with
+              | Some rest -> (
+                match int_of_string_opt rest with
+                | Some g when g >= 0 -> gen := g
+                | _ -> failf ln "bad generation %S" rest)
+              | None -> failf ln "unexpected line in meta section"))))
     rs.rs_lines;
   match (!prog, !sites) with
-  | Some p, Some n -> (p, n, !fp)
+  | Some p, Some n -> (p, n, !fp, !gen)
   | None, _ -> failf (rs.rs_idx + 1) "meta section lacks a program line"
   | _, None -> failf (rs.rs_idx + 1) "meta section lacks a sites line"
 
@@ -331,12 +349,13 @@ let load_v2_strict (lines : string array) =
   match sections with
   | meta :: rest when String.equal meta.rs_header "meta" ->
     check meta;
-    let prog, n_sites, fp = parse_meta_fields meta in
+    let prog, n_sites, fp, gen = parse_meta_fields meta in
     let db =
       try create ~program:prog ~n_sites
       with Invalid_argument m -> failf (meta.rs_idx + 1) "%s" m
     in
     db.db_fp <- fp;
+    db.db_gen <- gen;
     List.iteri
       (fun k rs ->
         check rs;
@@ -554,15 +573,20 @@ let lenient_v2 (lines : string array) =
         r_recovered = [];
         r_dropped = List.rev !issues;
       } )
-  | Some (prog, n_sites, fp) ->
+  | Some (prog, n_sites, fp, gen) ->
     let db =
       match create ~program:prog ~n_sites with
       | db -> db
       | exception Invalid_argument _ -> create ~program:"" ~n_sites
     in
-    (* only trust the stored fingerprint when the meta bytes verified:
-       a damaged fingerprint must not masquerade as a fresh profile *)
-    if meta_crc_ok then db.db_fp <- fp;
+    (* only trust the stored fingerprint and generation when the meta
+       bytes verified: a damaged fingerprint must not masquerade as a
+       fresh profile, and a damaged generation must not let a stale WAL
+       replay over counters it is already folded into *)
+    if meta_crc_ok then begin
+      db.db_fp <- fp;
+      db.db_gen <- gen
+    end;
     let sitemap_present = ref false and sitemap_ok = ref false in
     List.iter
       (fun rs ->

@@ -73,6 +73,16 @@ val set_identity : t -> fingerprint:string -> sitekeys:string array -> unit
     [sitemap] sections).  @raise Invalid_argument if the key array does
     not have exactly [n_sites] entries or a key contains a newline. *)
 
+val generation : t -> int
+(** The ingest-compaction generation stored in the v2 [meta] section —
+    the watermark that decides whether a write-ahead log found next to
+    the database still applies to it (see {!Fisher92_ingest.Wal}).  0
+    for v1 files, fresh databases, and databases never compacted. *)
+
+val set_generation : t -> int -> unit
+(** @raise Invalid_argument on a negative generation.  A generation of 0
+    is not serialized, so pre-ingest v2 files stay byte-stable. *)
+
 (** {2 Serialization} *)
 
 val save : t -> string

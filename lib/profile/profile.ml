@@ -30,6 +30,21 @@ let add a b =
     taken = Array.map2 ( + ) a.taken b.taken;
   }
 
+(* Saturating pointwise sum: a fleet-scale ingest pool accumulates
+   counters forever, and an overflowed (negative) counter would make
+   the saved database unloadable.  Saturation keeps [taken <=
+   encountered]: both operands satisfy it pointwise and clamping is
+   monotone. *)
+let sat x = if x < 0 then max_int else x
+
+let sat_add a b =
+  check_compatible a b;
+  {
+    program = a.program;
+    encountered = Array.map2 (fun x y -> sat (x + y)) a.encountered b.encountered;
+    taken = Array.map2 (fun x y -> sat (x + y)) a.taken b.taken;
+  }
+
 let sum = function
   | [] -> invalid_arg "Profile.sum: empty list"
   | p :: rest -> List.fold_left add p rest

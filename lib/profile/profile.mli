@@ -20,6 +20,12 @@ val of_run : program:string -> Fisher92_vm.Vm.result -> t
 val add : t -> t -> t
 (** Pointwise sum.  @raise Invalid_argument on program/size mismatch. *)
 
+val sat_add : t -> t -> t
+(** Pointwise sum saturating at [max_int] instead of overflowing — what
+    the ingest service folds fleet counters with, so an eternally-fed
+    pool can never write a negative (unloadable) counter.  Preserves
+    [taken <= encountered].  @raise Invalid_argument as {!add}. *)
+
 val sum : t list -> t
 (** @raise Invalid_argument on the empty list or mismatched profiles. *)
 

@@ -16,34 +16,15 @@ type meta = {
   t_events : int;
 }
 
-(* ---- varints and zigzag ---- *)
+(* ---- varints and zigzag (the shared Fisher92_util.Varint codec;
+   decode errors surface as [Sectfile.Bad] so the store and the fault
+   corpus treat format damage and payload damage identically) ---- *)
 
-let add_varint buf v =
-  let v = ref v in
-  while !v land lnot 0x7f <> 0 do
-    Buffer.add_char buf (Char.chr (0x80 lor (!v land 0x7f)));
-    v := !v lsr 7
-  done;
-  Buffer.add_char buf (Char.chr !v)
-
-let zigzag n = (n lsl 1) lxor (n asr 62)
-let unzigzag u = (u lsr 1) lxor (-(u land 1))
-
-(* Decode errors surface as [Sectfile.Bad] so the store and the fault
-   corpus treat format damage and payload damage identically. *)
+let add_varint = Fisher92_util.Varint.add
+let zigzag = Fisher92_util.Varint.zigzag
+let unzigzag = Fisher92_util.Varint.unzigzag
 let corrupt fmt = Sectfile.failf 0 fmt
-
-let read_varint payload pos =
-  let n = String.length payload in
-  let rec go shift acc count =
-    if !pos >= n then corrupt "varint runs past the payload";
-    if count >= 9 then corrupt "varint too long";
-    let b = Char.code payload.[!pos] in
-    incr pos;
-    let acc = acc lor ((b land 0x7f) lsl shift) in
-    if b land 0x80 <> 0 then go (shift + 7) acc (count + 1) else acc
-  in
-  go 0 0 0
+let read_varint = Fisher92_util.Varint.read
 
 (* ---- capture ---- *)
 

@@ -1,27 +1,77 @@
-let domains () =
-  match Sys.getenv_opt "FISHER92_DOMAINS" with
-  | None -> None
-  | Some s -> int_of_string_opt (String.trim s)
+(* Every FISHER92_* read goes through here.  Invalid values never
+   raise: numeric knobs fall back to their documented defaults (or are
+   clamped into range) with a one-line warning, so a typo in a shell
+   profile degrades a run instead of killing it. *)
+
+let warn_hook : (string -> unit) ref =
+  ref (fun msg -> Printf.eprintf "fisher92: %s\n%!" msg)
+
+let warned : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+(* One warning per knob per process: these fire from hot paths. *)
+let warn name fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if not (Hashtbl.mem warned name) then begin
+        Hashtbl.add warned name ();
+        !warn_hook msg
+      end)
+    fmt
+
+let reset_warnings () = Hashtbl.reset warned
+
+(* An integer knob clamped to [min..max]; [None] when unset, empty, or
+   unparsable (after a warning), so the caller applies its documented
+   default. *)
+let int_knob name ~min ~max =
+  match Sys.getenv_opt name with
+  | None | Some "" -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | None ->
+      warn name "%s=%S is not an integer; using the default" name s;
+      None
+    | Some n when n < min ->
+      warn name "%s=%d is below the minimum %d; clamping" name n min;
+      Some min
+    | Some n when n > max ->
+      warn name "%s=%d exceeds the maximum %d; clamping" name n max;
+      Some max
+    | Some n -> Some n)
+
+let flag_knob name =
+  match Sys.getenv_opt name with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let domains () = int_knob "FISHER92_DOMAINS" ~min:1 ~max:64
 
 let cache_dir () =
   match Sys.getenv_opt "FISHER92_CACHE_DIR" with
   | Some d when d <> "" -> d
   | Some _ | None -> Filename.concat "_build" ".fisher92-cache"
 
-let cache_enabled () =
-  match Sys.getenv_opt "FISHER92_NO_CACHE" with
-  | None | Some "" | Some "0" -> true
-  | Some _ -> false
+let cache_enabled () = not (flag_knob "FISHER92_NO_CACHE")
 
 let trace_dir () =
   match Sys.getenv_opt "FISHER92_TRACE_DIR" with
   | Some d when d <> "" -> d
   | Some _ | None -> Filename.concat "_build" ".fisher92-traces"
 
-let trace_enabled () =
-  match Sys.getenv_opt "FISHER92_NO_TRACE" with
-  | None | Some "" | Some "0" -> true
-  | Some _ -> false
+let trace_enabled () = not (flag_knob "FISHER92_NO_TRACE")
+
+let default_shards = 16
+let shards () =
+  match int_knob "FISHER92_SHARDS" ~min:1 ~max:256 with
+  | Some n -> n
+  | None -> default_shards
+
+let fsync_enabled () = not (flag_knob "FISHER92_NO_FSYNC")
+
+let crash_at () =
+  match Sys.getenv_opt "FISHER92_CRASH_AT" with
+  | Some s when s <> "" -> Some s
+  | Some _ | None -> None
 
 let knobs =
   [
@@ -37,4 +87,13 @@ let knobs =
     ( "FISHER92_NO_TRACE",
       "set to anything but \"\" or \"0\" to disable the branch-trace \
        store" );
+    ( "FISHER92_SHARDS",
+      "merge shards of the profile-ingest service (default: 16, \
+       clamped to 1..256)" );
+    ( "FISHER92_NO_FSYNC",
+      "set to anything but \"\" or \"0\" to skip fsync on write-ahead \
+       log appends (faster, loses the power-failure guarantee)" );
+    ( "FISHER92_CRASH_AT",
+      "arm a crash point (\"label\" or \"label:N\" for the Nth hit): \
+       the process exits 42 there, for crash-recovery testing" );
   ]

@@ -2,10 +2,15 @@
 
     Every module that tunes itself from the environment reads through
     this table, so the README's knob documentation, the [--help] text,
-    and the code can never drift apart.  The knobs:
+    and the code can never drift apart.
+
+    Robustness contract: an invalid value never raises and never
+    silently disables anything — numeric knobs warn once (one line on
+    stderr) and fall back to their documented default, or are clamped
+    into their documented range.  The knobs:
 
     - [FISHER92_DOMAINS]: worker domain count for the parallel study
-      runner (clamped to [1 .. 64] by {!Pool});
+      runner (clamped to [1 .. 64]);
     - [FISHER92_CACHE_DIR]: study-cache location (default
       [_build/.fisher92-cache]);
     - [FISHER92_NO_CACHE]: disable the study cache entirely when set to
@@ -13,11 +18,18 @@
     - [FISHER92_TRACE_DIR]: branch-trace store location (default
       [_build/.fisher92-traces]);
     - [FISHER92_NO_TRACE]: disable the branch-trace store entirely when
-      set to anything but [""] or ["0"]. *)
+      set to anything but [""] or ["0"];
+    - [FISHER92_SHARDS]: merge shard count of the profile-ingest
+      service (default 16, clamped to [1 .. 256]);
+    - [FISHER92_NO_FSYNC]: skip the fsync after write-ahead-log appends
+      when set to anything but [""] or ["0"];
+    - [FISHER92_CRASH_AT]: arm a {!Sectfile.crash_point} label
+      (["label"] or ["label:N"]). *)
 
 val domains : unit -> int option
-(** [FISHER92_DOMAINS] parsed as an integer; [None] when unset or
-    unparsable (callers fall back to the recommended domain count). *)
+(** [FISHER92_DOMAINS] clamped to [1 .. 64]; [None] when unset or (after
+    a warning) unparsable — callers fall back to the recommended domain
+    count. *)
 
 val cache_dir : unit -> string
 (** [FISHER92_CACHE_DIR], or the default [_build/.fisher92-cache]. *)
@@ -33,6 +45,30 @@ val trace_enabled : unit -> bool
 (** False when [FISHER92_NO_TRACE] is set to anything but ["0"] or
     [""]. *)
 
+val shards : unit -> int
+(** [FISHER92_SHARDS] clamped to [1 .. 256]; 16 when unset or invalid. *)
+
+val fsync_enabled : unit -> bool
+(** False when [FISHER92_NO_FSYNC] is set to anything but ["0"] or
+    [""]. *)
+
+val crash_at : unit -> string option
+(** [FISHER92_CRASH_AT] when set and non-empty. *)
+
+val int_knob : string -> min:int -> max:int -> int option
+(** The shared numeric-knob reader: [None] when the variable is unset,
+    empty, or (after a one-line warning) not an integer; out-of-range
+    values are clamped with a warning.  Exposed for tests and future
+    knobs. *)
+
 val knobs : (string * string) list
 (** [(name, one-line effect)] for every knob above — the machine-readable
     side of the README table, for [--help]-style listings. *)
+
+val warn_hook : (string -> unit) ref
+(** How warnings are emitted (default: one line on stderr).  Tests
+    substitute a collector. *)
+
+val reset_warnings : unit -> unit
+(** Forget which knobs already warned (warnings fire once per knob per
+    process); for tests that probe the warning path repeatedly. *)

@@ -106,3 +106,135 @@ let mapi ?domains f xs =
   end
 
 let map ?domains f xs = mapi ?domains (fun _ x -> f x) xs
+
+(* ------------------------------------------------------------------ *)
+(* Persistent pools                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Long-lived services (the profile-ingest daemon) reuse one set of
+   worker domains across many small batches instead of spawning per
+   call.  The robustness contract differs from [mapi]: a raising task
+   still lets the batch drain and every worker join, but it also
+   *poisons* the handle — further use fails loudly instead of running
+   on a pool whose invariants the failed task may have broken. *)
+
+type state = Live | Poisoned | Stopped
+
+type t = {
+  tq : (unit -> unit) queue;
+  lock : Mutex.t;
+  mutable workers : unit Domain.t list;
+  mutable state : state;
+}
+
+let worker_loop tq =
+  let rec go () =
+    match take tq with
+    | None -> ()
+    | Some task ->
+      (* tasks are total by construction ([run] wraps the user function
+         in its own handler); a raise here means that wrapper itself is
+         broken, and losing the worker is the least-bad outcome *)
+      task ();
+      go ()
+  in
+  go ()
+
+let create ?domains () =
+  let n =
+    max 1 (min 64 (match domains with Some d -> d | None -> default_domains ()))
+  in
+  let tq = make_queue () in
+  {
+    tq;
+    lock = Mutex.create ();
+    workers = List.init n (fun _ -> Domain.spawn (fun () -> worker_loop tq));
+    state = Live;
+  }
+
+let size t =
+  Mutex.lock t.lock;
+  let n = List.length t.workers in
+  Mutex.unlock t.lock;
+  n
+
+(* Idempotent: the first call closes the queue (remaining tasks still
+   drain) and joins every worker; later calls find nothing to do. *)
+let release ~poison t =
+  Mutex.lock t.lock;
+  let ws = t.workers in
+  t.workers <- [];
+  t.state <- (if poison then Poisoned else
+              match t.state with Poisoned -> Poisoned | _ -> Stopped);
+  Mutex.unlock t.lock;
+  if ws <> [] then begin
+    close t.tq;
+    List.iter Domain.join ws
+  end
+
+let shutdown t = release ~poison:false t
+
+let run t f xs =
+  (Mutex.lock t.lock;
+   let st = t.state in
+   Mutex.unlock t.lock;
+   match st with
+   | Live -> ()
+   | Poisoned ->
+     invalid_arg "Pool.run: pool is poisoned (a previous task raised)"
+   | Stopped -> invalid_arg "Pool.run: pool is shut down");
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let batch = Mutex.create () in
+    let finished = Condition.create () in
+    let remaining = ref n in
+    let first_failure = ref None in
+    Array.iteri
+      (fun i x ->
+        push t.tq (fun () ->
+            (match f i x with
+            | y -> results.(i) <- Some y
+            | exception exn ->
+              let bt = Printexc.get_raw_backtrace () in
+              Mutex.lock batch;
+              (match !first_failure with
+              | Some (j, _, _) when j <= i -> ()
+              | Some _ | None -> first_failure := Some (i, exn, bt));
+              Mutex.unlock batch);
+            Mutex.lock batch;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast finished;
+            Mutex.unlock batch))
+      tasks;
+    Mutex.lock batch;
+    while !remaining > 0 do
+      Condition.wait finished batch
+    done;
+    Mutex.unlock batch;
+    match !first_failure with
+    | Some (_, exn, bt) ->
+      (* the queue is already drained (the batch completed); poison the
+         handle and join every worker before re-raising, so no domain
+         outlives the failure *)
+      release ~poison:true t;
+      Printexc.raise_with_backtrace exn bt
+    | None ->
+      Array.to_list results
+      |> List.map (function
+           | Some y -> y
+           | None -> invalid_arg "Pool.run: task produced no result")
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  match f t with
+  | y ->
+    shutdown t;
+    y
+  | exception exn ->
+    let bt = Printexc.get_raw_backtrace () in
+    shutdown t;
+    Printexc.raise_with_backtrace exn bt

@@ -29,3 +29,40 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
 (** [map] with the task index passed to [f]. *)
+
+(** {2 Persistent pools}
+
+    [map]/[mapi] spawn and join their domains per call — right for the
+    study runner's one big fan-out, wasteful for a service that fans
+    out thousands of small batches.  A persistent pool keeps its
+    workers alive across {!run} calls and adds an explicit lifecycle:
+
+    - {!shutdown} drains the queue, joins every worker, and marks the
+      handle stopped; it is idempotent;
+    - a task that raises mid-fan-out still lets its batch drain and all
+      workers join, but {e poisons} the handle: the exception of the
+      lowest-indexed failing task is re-raised, and any further {!run}
+      raises [Invalid_argument] instead of silently reusing a pool
+      whose invariants the failed task may have broken. *)
+
+type t
+(** A handle on live worker domains. *)
+
+val create : ?domains:int -> unit -> t
+(** Spawn [domains] workers (default {!default_domains}, clamped to
+    [1 .. 64]). *)
+
+val size : t -> int
+(** Live worker count (0 after shutdown or poisoning). *)
+
+val run : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** [mapi] over the pool's workers.  The calling domain blocks (it does
+    not participate).  @raise Invalid_argument on a stopped or poisoned
+    pool.  A raising task poisons the pool — see above. *)
+
+val shutdown : t -> unit
+(** Drain, join, stop.  Idempotent; safe after poisoning. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down on any
+    exit, normal or exceptional. *)

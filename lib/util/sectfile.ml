@@ -163,19 +163,78 @@ let rec mkdir_p dir =
     with Sys_error _ -> () (* lost a race, or unwritable: caller copes *)
   end
 
-let write_atomic ~path ~tmp_prefix text =
+(* ---- crash-point injection ----
+
+   Fault-injection for crash-consistency tests: named points in the
+   write paths call [crash_point]; when the armed spec matches, the
+   hook fires.  The default hook prints and exits(42) — the behaviour a
+   kill -9 at that instant would have — so CI can arm a point via the
+   FISHER92_CRASH_AT environment knob and observe a genuine dead
+   process.  In-process harnesses replace [crash_hook] with one that
+   raises {!Crash} and arm points by setting [crash_spec] directly. *)
+
+exception Crash of string
+
+let crash_spec : string option ref = ref (Env.crash_at ())
+
+let crash_hook : (string -> unit) ref =
+  ref (fun label ->
+      Printf.eprintf "fisher92: injected crash at %s\n%!" label;
+      exit 42)
+
+let crash_counts : (string, int) Hashtbl.t = Hashtbl.create 8
+let crash_reset () = Hashtbl.reset crash_counts
+
+let crash_point label =
+  match !crash_spec with
+  | None -> ()
+  | Some spec ->
+    let want, nth =
+      match String.index_opt spec ':' with
+      | None -> (spec, 1)
+      | Some i -> (
+        ( String.sub spec 0 i,
+          match
+            int_of_string_opt
+              (String.sub spec (i + 1) (String.length spec - i - 1))
+          with
+          | Some n when n >= 1 -> n
+          | Some _ | None -> 1 ))
+    in
+    if String.equal want label then begin
+      let seen =
+        1 + (match Hashtbl.find_opt crash_counts label with
+            | Some n -> n
+            | None -> 0)
+      in
+      Hashtbl.replace crash_counts label seen;
+      if seen = nth then !crash_hook label
+    end
+
+let write_atomic ?label ~path ~tmp_prefix text =
+  let label = match label with Some l -> l | None -> tmp_prefix in
+  crash_point (label ^ ".before_write");
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir tmp_prefix ".tmp" in
   let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
   try
     let oc = open_out_bin tmp in
     (try
-       output_string oc text;
+       (* two halves around a crash point, so an armed mid_write leaves
+          a torn temp file — which the rename discipline must render
+          harmless *)
+       let half = String.length text / 2 in
+       output_string oc (String.sub text 0 half);
+       flush oc;
+       crash_point (label ^ ".mid_write");
+       output_string oc (String.sub text half (String.length text - half));
        close_out oc
      with e ->
        close_out_noerr oc;
        raise e);
-    Sys.rename tmp path
+    crash_point (label ^ ".before_rename");
+    Sys.rename tmp path;
+    crash_point (label ^ ".after_rename")
   with e ->
     cleanup ();
     raise e

@@ -110,6 +110,40 @@ val mkdir_p : string -> unit
     an unwritable parent is swallowed (the caller's subsequent write
     reports the real problem). *)
 
-val write_atomic : path:string -> tmp_prefix:string -> string -> unit
+val write_atomic :
+  ?label:string -> path:string -> tmp_prefix:string -> string -> unit
 (** Write via temp-file + rename in [path]'s directory.  @raise
-    Sys_error on failure (the temp file is removed). *)
+    Sys_error on failure (the temp file is removed).
+
+    Crash points [<label>.before_write], [<label>.mid_write] (half the
+    text flushed), [<label>.before_rename] and [<label>.after_rename]
+    fire through {!crash_point}; [label] defaults to [tmp_prefix]. *)
+
+(** {2 Crash-point injection}
+
+    Crash-consistency tests need to kill a writer at a chosen instant.
+    Write paths call {!crash_point} with a stable label; nothing
+    happens unless that label is {e armed} — via the
+    [FISHER92_CRASH_AT] environment knob ([label] or [label:N] to fire
+    on the [N]th hit), or by setting {!crash_spec} directly from an
+    in-process harness.  When an armed point fires, {!crash_hook} runs:
+    by default it prints and exits with code 42 (what a [kill -9] at
+    that instant looks like to the rest of the system); harnesses
+    replace it with a function raising {!Crash} to simulate the crash
+    without losing the process. *)
+
+exception Crash of string
+(** Raised by test harness hooks; never by the default hook. *)
+
+val crash_spec : string option ref
+(** The armed point, initialized from [FISHER92_CRASH_AT]. *)
+
+val crash_hook : (string -> unit) ref
+(** What firing means.  Default: print and [exit 42]. *)
+
+val crash_point : string -> unit
+(** Fire the hook if [label] (or [label:N] on the [N]th call) is armed. *)
+
+val crash_reset : unit -> unit
+(** Forget hit counts — a fault-injection harness calls this between
+    cases so each case's [label:N] counts from zero again. *)

@@ -1,0 +1,27 @@
+(* LEB128 varints and zigzag mapping, shared by the trace codec and the
+   ingest delta codec.  Decode errors raise [Sectfile.Bad] so every
+   binary-payload consumer treats payload damage exactly like format
+   damage. *)
+
+let add buf v =
+  let v = ref v in
+  while !v land lnot 0x7f <> 0 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!v land 0x7f)));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !v)
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag u = (u lsr 1) lxor (-(u land 1))
+
+let read payload pos =
+  let n = String.length payload in
+  let rec go shift acc count =
+    if !pos >= n then Sectfile.failf 0 "varint runs past the payload";
+    if count >= 9 then Sectfile.failf 0 "varint too long";
+    let b = Char.code payload.[!pos] in
+    incr pos;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc (count + 1) else acc
+  in
+  go 0 0 0

@@ -1,0 +1,22 @@
+(** LEB128 varints with zigzag mapping for signed values.
+
+    The branch-trace codec and the ingest delta codec both store
+    non-negative integers as base-128 little-endian varints (7 payload
+    bits per byte, high bit = continuation) and map signed deltas
+    through zigzag first.  One implementation serves both so that their
+    corpora exercise the same decoder. *)
+
+val add : Buffer.t -> int -> unit
+(** Append the varint encoding of a non-negative (or zigzagged) int. *)
+
+val zigzag : int -> int
+(** Map a signed int to a non-negative one: 0, -1, 1, -2 ... to
+    0, 1, 2, 3 ... *)
+
+val unzigzag : int -> int
+(** Inverse of {!zigzag}. *)
+
+val read : string -> int ref -> int
+(** [read payload pos] decodes one varint at [!pos], advancing [pos].
+    @raise Sectfile.Bad when the varint runs past the payload or does
+    not terminate within 9 bytes. *)

@@ -15,6 +15,11 @@ type op =
       (* line fraction, cut fraction: truncate one line mid-way, as a
          partial write would — breaks base64 quartets and varint
          terminators without touching any other line *)
+  | Torn_write of float * float
+      (* cut fraction, fill knob: truncate at an arbitrary byte and
+         append NUL bytes in place of the tail that never hit the
+         platter — what a kill mid-append leaves on an
+         extent-allocating filesystem after power loss *)
 
 let op_name = function
   | Bitflip _ -> "bitflip"
@@ -23,6 +28,7 @@ let op_name = function
   | Splice _ -> "splice"
   | Swap_lines _ -> "swap-lines"
   | Chop_line _ -> "chop-line"
+  | Torn_write _ -> "torn-write"
 
 let apply_op text op =
   let n = String.length text in
@@ -66,6 +72,9 @@ let apply_op text op =
       lines.(i) <-
         String.sub l 0 (int_of_float (g *. float_of_int (String.length l)));
       String.concat "\n" (Array.to_list lines)
+    | Torn_write (f, g) ->
+      let i = pos f in
+      String.sub text 0 i ^ String.make (1 + int_of_float (g *. 24.0)) '\000'
 
 let op_gen : op Gen.t =
   let open Gen in
@@ -85,4 +94,5 @@ let op_gen : op Gen.t =
         (fun ps -> Swap_lines ps)
         (list_size (int_range 1 4) (pair f f));
       map2 (fun a b -> Chop_line (a, b)) f f;
+      map2 (fun a b -> Torn_write (a, b)) f f;
     ]

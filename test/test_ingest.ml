@@ -1,0 +1,624 @@
+(* The ingest subsystem: delta codec, WAL durability, sharded merge,
+   service recovery — and the fault-injection gate.
+
+   The gate is the PR's contract: across hundreds of randomized
+   crash-point, torn-write, and malformed-delta injections, recovery
+   never raises, never loses an acknowledged delta, never applies one
+   twice, and always leaves a database the strict loader accepts. *)
+
+module Sectfile = Fisher92_util.Sectfile
+module Rng = Fisher92_util.Rng
+module Delta = Fisher92_ingest.Delta
+module Wal = Fisher92_ingest.Wal
+module Merge = Fisher92_ingest.Merge
+module Service = Fisher92_ingest.Service
+module Client = Fisher92_ingest.Client
+module Db = Fisher92_profile.Db
+module Profile = Fisher92_profile.Profile
+module Corrupt = Fisher92_testsupport.Corrupt
+module Gen = QCheck2.Gen
+
+(* fsync dominates harness wall clock and adds nothing to the
+   in-process crash simulation (it guards against power loss, which
+   raising [Crash] does not model) *)
+let () = Unix.putenv "FISHER92_NO_FSYNC" "1"
+
+(* ---- a synthetic program identity ---- *)
+
+let n_sites = 12
+let program = "toy"
+let fp_current = "fp-current"
+let fp_old = "fp-old"
+let keys = Array.init n_sites (Printf.sprintf "key%02d")
+
+let dir_counter = ref 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fisher92-ingest-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  rm_rf d;
+  d
+
+let with_dir f =
+  let d = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+
+let cfg dir =
+  {
+    Service.c_dir = dir;
+    c_program = program;
+    c_n_sites = n_sites;
+    c_fingerprint = fp_current;
+    c_sitekeys = keys;
+    c_shards = Some 4;
+  }
+
+let mk ?(fingerprint = fp_current) ?(label = "run") ?keys ~nonce entries =
+  Delta.make ~program ~fingerprint ~label ~n_sites ?keys ~nonce entries
+
+(* expected accumulated counters of a list of entry lists *)
+let expected entry_lists =
+  let enc = Array.make n_sites 0 and taken = Array.make n_sites 0 in
+  List.iter
+    (List.iter (fun (s, e, t) ->
+         let sat x = if x < 0 then max_int else x in
+         enc.(s) <- sat (enc.(s) + e);
+         taken.(s) <- sat (taken.(s) + t)))
+    entry_lists;
+  (enc, taken)
+
+let accumulated_of_db db =
+  let p = Db.accumulated db in
+  (p.Profile.encountered, p.Profile.taken)
+
+let check_counters what (exp_enc, exp_taken) (got_enc, got_taken) =
+  Alcotest.(check (array int)) (what ^ ": encountered") exp_enc got_enc;
+  Alcotest.(check (array int)) (what ^ ": taken") exp_taken got_taken
+
+(* ---- delta codec ---- *)
+
+let test_delta_roundtrip () =
+  let d = mk ~nonce:7 [ (0, 5, 2); (3, 9, 9); (11, 1, 0) ] in
+  let d' = Delta.decode (Delta.encode d) in
+  Alcotest.(check string) "id" d.Delta.d_id d'.Delta.d_id;
+  Alcotest.(check (list (triple int int int)))
+    "entries" (Delta.entries d) (Delta.entries d');
+  let d'' = Delta.parse (Delta.render d) in
+  Alcotest.(check string) "spool id" d.Delta.d_id d''.Delta.d_id;
+  (* keys survive the trip *)
+  let k = mk ~fingerprint:fp_old ~keys ~nonce:8 [ (2, 3, 1) ] in
+  let k' = Delta.parse (Delta.render k) in
+  Alcotest.(check bool) "keys present" true (k'.Delta.d_keys = Some keys)
+
+let test_delta_validation () =
+  let expect_invalid what f =
+    match f () with
+    | (_ : Delta.t) -> Alcotest.fail (what ^ ": expected Invalid_argument")
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "site out of range" (fun () -> mk ~nonce:0 [ (n_sites, 1, 0) ]);
+  expect_invalid "negative site" (fun () -> mk ~nonce:0 [ (-1, 1, 0) ]);
+  expect_invalid "taken > enc" (fun () -> mk ~nonce:0 [ (0, 1, 2) ]);
+  expect_invalid "duplicate site" (fun () -> mk ~nonce:0 [ (0, 1, 0); (0, 2, 1) ]);
+  expect_invalid "newline label" (fun () ->
+      mk ~label:"a\nb" ~nonce:0 [ (0, 1, 0) ]);
+  expect_invalid "short keys" (fun () ->
+      mk ~keys:[| "x" |] ~nonce:0 [ (0, 1, 0) ]);
+  (* nonce separates ids; same content + same nonce collides on purpose *)
+  let a = mk ~nonce:1 [ (0, 1, 0) ] and b = mk ~nonce:2 [ (0, 1, 0) ] in
+  Alcotest.(check bool) "nonce distinguishes" true (a.Delta.d_id <> b.Delta.d_id);
+  let a' = mk ~nonce:1 [ (0, 1, 0) ] in
+  Alcotest.(check string) "retry is idempotent" a.Delta.d_id a'.Delta.d_id
+
+let delta_gen : Delta.t Gen.t =
+  let open Gen in
+  let entry =
+    let* s = int_bound (n_sites - 1) in
+    let* e = int_bound 1000 in
+    let+ t = int_bound e in
+    (s, e, t)
+  in
+  let* entries = list_size (int_bound 6) entry in
+  let entries =
+    List.sort_uniq (fun (a, _, _) (b, _, _) -> compare a b) entries
+  in
+  let* nonce = int_bound 100_000 in
+  let* stale = bool in
+  let+ with_keys = bool in
+  if stale then
+    mk ~fingerprint:fp_old ?keys:(if with_keys then Some keys else None)
+      ~nonce entries
+  else mk ~nonce entries
+
+let prop_delta_codec_roundtrip =
+  QCheck2.Test.make ~name:"delta binary+text round trip" ~count:200 delta_gen
+    (fun d ->
+      let b = Delta.decode (Delta.encode d) in
+      let t = Delta.parse (Delta.render d) in
+      b = d && t = d)
+
+let prop_delta_corruption_detected =
+  QCheck2.Test.make ~name:"corrupted spool delta never lies" ~count:200
+    ~print:(fun (d, ops) ->
+      Printf.sprintf "%s + %s" d.Delta.d_id
+        (String.concat "; " (List.map Corrupt.op_name ops)))
+    Gen.(pair delta_gen (list_size (int_range 1 3) Corrupt.op_gen))
+    (fun (d, ops) ->
+      let bad = List.fold_left Corrupt.apply_op (Delta.render d) ops in
+      match Delta.parse bad with
+      | d' -> d' = d (* undetected mutation must be the identity *)
+      | exception Sectfile.Bad _ -> true)
+
+(* ---- WAL ---- *)
+
+let test_wal_roundtrip () =
+  with_dir @@ fun dir ->
+  Sectfile.mkdir_p dir;
+  let w =
+    Wal.create ~dir ~program ~n_sites ~fingerprint:fp_current ~generation:3
+  in
+  let ds = List.init 5 (fun i -> mk ~nonce:i [ (i, i + 1, i) ]) in
+  List.iter (Wal.append w) ds;
+  Wal.close w;
+  match Wal.replay ~dir with
+  | None -> Alcotest.fail "log vanished"
+  | Some r ->
+    Alcotest.(check int) "generation" 3 r.Wal.rp_generation;
+    Alcotest.(check int) "records" 5 (List.length r.Wal.rp_deltas);
+    Alcotest.(check int) "nothing dropped" 0 (List.length r.Wal.rp_dropped);
+    Alcotest.(check (list string))
+      "order preserved"
+      (List.map (fun d -> d.Delta.d_id) ds)
+      (List.map (fun d -> d.Delta.d_id) r.Wal.rp_deltas)
+
+let test_wal_torn_tail () =
+  with_dir @@ fun dir ->
+  Sectfile.mkdir_p dir;
+  let w =
+    Wal.create ~dir ~program ~n_sites ~fingerprint:fp_current ~generation:0
+  in
+  List.iter (fun i -> Wal.append w (mk ~nonce:i [ (0, 1, 0) ])) [ 0; 1; 2 ];
+  Wal.close w;
+  (* tear the last record mid-line, as a kill between writes would *)
+  let path = Wal.path ~dir in
+  let text = Sectfile.read_file path in
+  let torn = String.sub text 0 (String.length text - 9) in
+  let oc = open_out_bin path in
+  output_string oc torn;
+  close_out oc;
+  match Wal.replay ~dir with
+  | None -> Alcotest.fail "log vanished"
+  | Some r ->
+    Alcotest.(check int) "intact prefix kept" 2 (List.length r.Wal.rp_deltas);
+    Alcotest.(check int) "torn tail reported" 1 (List.length r.Wal.rp_dropped)
+
+(* ---- merge ---- *)
+
+let test_merge_shards_and_saturation () =
+  let m = Merge.create ~shards:3 ~n_sites () in
+  Merge.merge m ~label:"a" [ (0, 5, 2); (4, 7, 7) ];
+  Merge.merge m ~label:"a" [ (0, max_int - 2, max_int - 2) ];
+  Merge.merge m ~label:"b" [ (1, 1, 0) ];
+  match Merge.snapshot m with
+  | [ ("a", enc_a, tk_a); ("b", enc_b, _) ] ->
+    Alcotest.(check int) "saturated" max_int enc_a.(0);
+    Alcotest.(check bool) "taken <= enc" true (tk_a.(0) <= enc_a.(0));
+    Alcotest.(check int) "other shard" 7 enc_a.(4);
+    Alcotest.(check int) "other label" 1 enc_b.(1)
+  | snap -> Alcotest.failf "unexpected snapshot shape (%d labels)" (List.length snap)
+
+(* ---- service: edge cases ---- *)
+
+let test_service_duplicate_and_replay () =
+  with_dir @@ fun dir ->
+  let d = mk ~nonce:1 [ (0, 4, 1); (5, 2, 2) ] in
+  let svc = Service.open_ (cfg dir) in
+  Alcotest.(check bool) "acked" true (Service.submit svc d = Service.Acked);
+  Alcotest.(check bool) "duplicate" true
+    (Service.submit svc d = Service.Duplicate);
+  Service.close ~fold:false svc;
+  (* recovery replays the WAL; the retry must still be a duplicate *)
+  let svc2 = Service.open_ (cfg dir) in
+  Alcotest.(check int) "replayed" 1 (Service.stats svc2).Service.st_replayed;
+  Alcotest.(check bool) "still duplicate" true
+    (Service.submit svc2 d = Service.Duplicate);
+  Service.close svc2;
+  let db = Db.load_file (Service.db_path ~dir) in
+  check_counters "after recovery+compact"
+    (expected [ Delta.entries d ])
+    (accumulated_of_db db)
+
+let test_service_empty_delta () =
+  with_dir @@ fun dir ->
+  let svc = Service.open_ (cfg dir) in
+  Alcotest.(check bool) "empty acked" true
+    (Service.submit svc (mk ~nonce:9 []) = Service.Acked);
+  Service.compact svc;
+  Service.close svc;
+  let db = Db.load_file (Service.db_path ~dir) in
+  check_counters "no counters" (expected []) (accumulated_of_db db)
+
+let test_service_saturation () =
+  with_dir @@ fun dir ->
+  let svc = Service.open_ (cfg dir) in
+  let big = mk ~nonce:1 [ (2, max_int - 1, max_int - 1) ] in
+  let big2 = mk ~nonce:2 [ (2, max_int - 1, 3) ] in
+  ignore (Service.submit svc big);
+  ignore (Service.submit svc big2);
+  Service.compact svc;
+  (* a second compaction round folds db + merge again: still clamped *)
+  ignore (Service.submit svc (mk ~nonce:3 [ (2, 5, 5) ]));
+  Service.close svc;
+  let db = Db.load_file (Service.db_path ~dir) in
+  let enc, taken = accumulated_of_db db in
+  Alcotest.(check int) "clamped at max_int" max_int enc.(2);
+  Alcotest.(check bool) "taken <= enc" true (taken.(2) <= enc.(2))
+
+let test_service_stale_client () =
+  with_dir @@ fun dir ->
+  let svc = Service.open_ (cfg dir) in
+  (* a stale build whose site 1 matches our site 1 (keys identical) *)
+  let stale = mk ~fingerprint:fp_old ~keys ~nonce:4 [ (1, 6, 3) ] in
+  (match Service.submit svc stale with
+  | Service.Acked_remapped 0 -> ()
+  | o -> Alcotest.failf "expected clean remap, got %s" (Service.outcome_name o));
+  (* unmatched structure: every entry dropped, still acked+durable *)
+  let alien_keys = Array.init n_sites (Printf.sprintf "other%02d") in
+  let lost =
+    mk ~fingerprint:fp_old ~keys:alien_keys ~nonce:5 [ (0, 9, 9); (2, 1, 0) ]
+  in
+  (match Service.submit svc lost with
+  | Service.Acked_remapped 2 -> ()
+  | o -> Alcotest.failf "expected 2 drops, got %s" (Service.outcome_name o));
+  (* no keys at all: quarantined, never reaches the log *)
+  (match Service.submit svc (mk ~fingerprint:fp_old ~nonce:6 [ (0, 1, 0) ]) with
+  | Service.Quarantined _ -> ()
+  | o -> Alcotest.failf "expected quarantine, got %s" (Service.outcome_name o));
+  (match Service.submit svc
+           (Delta.make ~program:"other" ~fingerprint:fp_current ~label:"run"
+              ~n_sites ~nonce:7 [])
+   with
+  | Service.Quarantined _ -> ()
+  | o -> Alcotest.failf "expected program quarantine, got %s"
+           (Service.outcome_name o));
+  Service.close svc;
+  let db = Db.load_file (Service.db_path ~dir) in
+  check_counters "only the matched entry landed"
+    (expected [ [ (1, 6, 3) ] ])
+    (accumulated_of_db db);
+  let st = Service.stats svc in
+  Alcotest.(check int) "remapped" 2 st.Service.st_remapped;
+  Alcotest.(check int) "dropped entries" 2 st.Service.st_dropped_entries;
+  Alcotest.(check int) "quarantined" 2 st.Service.st_quarantined
+
+let test_service_spool_drain () =
+  with_dir @@ fun dir ->
+  let rng = Rng.create 11 in
+  let d = mk ~nonce:21 [ (3, 2, 1) ] in
+  ignore (Client.spool_submit ~rng ~dir d);
+  ignore (Client.spool_submit ~rng ~dir d) (* retry lands on the same file *);
+  (* and one malformed spool file *)
+  Sectfile.mkdir_p (Service.spool_dir ~dir);
+  let bad = Filename.concat (Service.spool_dir ~dir) "zz-garbage.delta" in
+  let oc = open_out_bin bad in
+  output_string oc "not a delta at all\n";
+  close_out oc;
+  let svc = Service.open_ (cfg dir) in
+  let r = Service.drain_spool svc in
+  Alcotest.(check int) "acked" 1 r.Service.dr_acked;
+  Alcotest.(check int) "quarantined" 1 r.Service.dr_quarantined;
+  Alcotest.(check (array string)) "spool empty" [||]
+    (Sys.readdir (Service.spool_dir ~dir));
+  Alcotest.(check bool) "quarantine holds the file + reason" true
+    (Sys.file_exists
+       (Filename.concat (Service.quarantine_dir ~dir) "zz-garbage.delta")
+    && Sys.file_exists
+         (Filename.concat (Service.quarantine_dir ~dir)
+            "zz-garbage.delta.reason"));
+  Service.close svc;
+  let db = Db.load_file (Service.db_path ~dir) in
+  check_counters "drained once" (expected [ [ (3, 2, 1) ] ]) (accumulated_of_db db)
+
+let test_service_concurrent_compaction () =
+  with_dir @@ fun dir ->
+  let svc = Service.open_ (cfg dir) in
+  let domains = 4 and per = 50 in
+  let workers =
+    List.init domains (fun w ->
+        Domain.spawn (fun () ->
+            for k = 0 to per - 1 do
+              let nonce = (w * per) + k in
+              let site = nonce mod n_sites in
+              match Service.submit svc (mk ~nonce [ (site, 1, 1) ]) with
+              | Service.Acked -> ()
+              | o -> failwith (Service.outcome_name o)
+            done))
+  in
+  (* compaction races the submitters the whole way *)
+  for _ = 1 to 8 do
+    Service.compact svc
+  done;
+  List.iter Domain.join workers;
+  Service.close svc;
+  let db = Db.load_file (Service.db_path ~dir) in
+  let enc, _ = accumulated_of_db db in
+  Alcotest.(check int) "every ack survived the races"
+    (domains * per)
+    (Array.fold_left ( + ) 0 enc)
+
+let test_client_backoff () =
+  (* transient failures retry with growing, jittered, capped delays;
+     the budget's end surfaces the original exception *)
+  let sleeps = ref [] in
+  let rng = Rng.create 3 in
+  let calls = ref 0 in
+  let v =
+    Client.with_retry
+      ~backoff:{ Client.default_backoff with bo_retries = 4; bo_jitter = 0.0 }
+      ~sleep:(fun s -> sleeps := s :: !sleeps)
+      ~rng
+      (fun () ->
+        incr calls;
+        if !calls < 4 then raise (Sys_error "flaky") else !calls)
+  in
+  Alcotest.(check int) "succeeded on 4th try" 4 v;
+  Alcotest.(check (list (float 1e-9)))
+    "exponential schedule" [ 0.05; 0.1; 0.2 ] (List.rev !sleeps);
+  let attempts = ref 0 in
+  (match
+     Client.with_retry
+       ~backoff:{ Client.default_backoff with bo_retries = 2 }
+       ~sleep:ignore ~rng
+       (fun () ->
+         incr attempts;
+         raise (Sys_error "down"))
+   with
+  | _ -> Alcotest.fail "expected Gave_up"
+  | exception Client.Gave_up (n, Sys_error _) ->
+    Alcotest.(check int) "attempt count" 3 n;
+    Alcotest.(check int) "f ran each attempt" 3 !attempts
+  | exception e -> raise e);
+  (* non-transient exceptions never retry *)
+  let ran = ref 0 in
+  (match
+     Client.with_retry ~sleep:ignore ~rng (fun () ->
+         incr ran;
+         failwith "bug")
+   with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> Alcotest.(check int) "no retry" 1 !ran
+  | exception e -> raise e)
+
+(* ---- the fault-injection gate ---- *)
+
+let crash_labels =
+  [|
+    "wal.append.before"; "wal.append.torn"; "wal.append.after";
+    "ifprobdb.before_write"; "ifprobdb.mid_write"; "ifprobdb.before_rename";
+    "ifprobdb.after_rename"; "wal.reset.before_write"; "wal.reset.mid_write";
+    "wal.reset.before_rename"; "wal.reset.after_rename";
+  |]
+
+type step = Step_submit of Delta.t | Step_compact
+
+let script_gen : (string * step list) Gen.t =
+  let open Gen in
+  let entry =
+    let* s = int_bound (n_sites - 1) in
+    let* e = int_range 1 50 in
+    let+ t = int_bound e in
+    (s, e, t)
+  in
+  let submit nonce =
+    let+ entries = list_size (int_bound 4) entry in
+    Step_submit
+      (mk ~nonce
+         (List.sort_uniq (fun (a, _, _) (b, _, _) -> compare a b) entries))
+  in
+  let* label = oneofa crash_labels in
+  let* nth = int_range 1 6 in
+  let* n_steps = int_range 3 15 in
+  let+ steps =
+    flatten_l
+      (List.init n_steps (fun i ->
+           let* c = int_bound 4 in
+           if c = 0 then return Step_compact else submit i))
+  in
+  (Printf.sprintf "%s:%d" label nth, steps)
+
+(* Run a script with an armed crash point; on the simulated kill,
+   discard the service, recover, and check the contract.  Returns true
+   (or raises an Alcotest failure with the story). *)
+let run_crash_case (spec, steps) =
+  with_dir @@ fun dir ->
+  let svc = Service.open_ (cfg dir) in
+  let acked : (string, (int * int * int) list) Hashtbl.t = Hashtbl.create 16 in
+  let in_flight = ref None in
+  let crashed = ref false in
+  Sectfile.crash_reset ();
+  Sectfile.crash_hook := (fun l -> raise (Sectfile.Crash l));
+  Sectfile.crash_spec := Some spec;
+  Fun.protect
+    ~finally:(fun () ->
+      Sectfile.crash_spec := None;
+      Sectfile.crash_reset ())
+    (fun () ->
+      (try
+         List.iter
+           (fun step ->
+             match step with
+             | Step_compact -> Service.compact svc
+             | Step_submit d -> (
+               in_flight := Some d;
+               let o = Service.submit svc d in
+               in_flight := None;
+               match o with
+               | Service.Acked ->
+                 Hashtbl.replace acked d.Delta.d_id (Delta.entries d)
+               | Service.Duplicate -> ()
+               | o -> Alcotest.failf "unexpected %s" (Service.outcome_name o)))
+           steps
+       with Sectfile.Crash _ -> crashed := true);
+      (try Service.close ~fold:false svc with _ -> ()));
+  (* recovery must not raise, and must not crash (the spec is disarmed) *)
+  let svc2 = Service.open_ (cfg dir) in
+  Service.compact svc2;
+  Service.close ~fold:false svc2;
+  let db = Db.load_file (Service.db_path ~dir) (* strict: Failure = bug *) in
+  let got = accumulated_of_db db in
+  let acked_entries = Hashtbl.fold (fun _ es acc -> es :: acc) acked [] in
+  let candidate_a = expected acked_entries in
+  let matches (exp_enc, exp_tk) = fst got = exp_enc && snd got = exp_tk in
+  let ok =
+    matches candidate_a
+    ||
+    (* the submission interrupted by the kill may have reached the log
+       before the crash point fired: durable-but-unacked is allowed *)
+    match (!crashed, !in_flight) with
+    | true, Some d -> matches (expected (Delta.entries d :: acked_entries))
+    | _ -> false
+  in
+  if not ok then
+    Alcotest.failf
+      "crash at %s: recovered counters match neither acked nor \
+       acked+in-flight (%d acked, crashed %b)"
+      spec (Hashtbl.length acked) !crashed;
+  true
+
+let prop_crash_recovery =
+  QCheck2.Test.make ~name:"crash anywhere loses only unacked deltas"
+    ~count:300
+    ~print:(fun (spec, steps) ->
+      Printf.sprintf "%s over %d steps" spec (List.length steps))
+    script_gen run_crash_case
+
+(* WAL byte corruption beyond the torn-tail model: recovery must stay
+   calm and never invent counters, even when it cannot keep them all. *)
+let prop_wal_corruption =
+  QCheck2.Test.make ~name:"corrupted WAL recovers without inventing data"
+    ~count:200
+    ~print:(fun (n, ops) ->
+      Printf.sprintf "%d deltas + %s" n
+        (String.concat "; " (List.map Corrupt.op_name ops)))
+    Gen.(pair (int_range 1 8) (list_size (int_range 1 3) Corrupt.op_gen))
+    (fun (n, ops) ->
+      with_dir @@ fun dir ->
+      let svc = Service.open_ (cfg dir) in
+      let submitted = ref [] in
+      for nonce = 0 to n - 1 do
+        let d = mk ~nonce [ (nonce mod n_sites, 10, 5) ] in
+        (match Service.submit svc d with
+        | Service.Acked -> submitted := Delta.entries d :: !submitted
+        | o -> failwith (Service.outcome_name o))
+      done;
+      Service.close ~fold:false svc;
+      let wal_path = Wal.path ~dir in
+      let bad = List.fold_left Corrupt.apply_op (Sectfile.read_file wal_path) ops in
+      let oc = open_out_bin wal_path in
+      output_string oc bad;
+      close_out oc;
+      let svc2 = Service.open_ (cfg dir) (* must not raise *) in
+      Service.compact svc2;
+      Service.close ~fold:false svc2;
+      let enc, taken = accumulated_of_db (Db.load_file (Service.db_path ~dir)) in
+      let max_enc, max_taken = expected !submitted in
+      Array.for_all2 ( >= ) max_enc enc
+      && Array.for_all2 ( >= ) max_taken taken
+      && Array.for_all2 ( >= ) enc taken)
+
+(* Malformed spool submissions: random garbage (or a corrupted real
+   delta) must always quarantine, never ingest, never raise. *)
+let prop_malformed_quarantined =
+  QCheck2.Test.make ~name:"malformed spool deltas always quarantine"
+    ~count:100
+    Gen.(
+      oneof
+        [
+          map (fun s -> `Garbage s) (string_size ~gen:printable (int_bound 200));
+          map2
+            (fun d ops -> `Mutant (d, ops))
+            delta_gen
+            (list_size (int_range 1 3) Corrupt.op_gen);
+        ])
+    (fun case ->
+      with_dir @@ fun dir ->
+      Sectfile.mkdir_p (Service.spool_dir ~dir);
+      let text =
+        match case with
+        | `Garbage s -> s
+        | `Mutant (d, ops) -> List.fold_left Corrupt.apply_op (Delta.render d) ops
+      in
+      let parses = match Delta.parse text with
+        | (_ : Delta.t) -> true
+        | exception Sectfile.Bad _ -> false
+      in
+      let path = Filename.concat (Service.spool_dir ~dir) "case.delta" in
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc;
+      let svc = Service.open_ (cfg dir) in
+      let r = Service.drain_spool svc in
+      Service.close svc;
+      (* an (unlikely) checksum-surviving mutation parses as the original
+         delta and is rightly ingested; everything else quarantines *)
+      if parses then r.Service.dr_acked = 1
+      else
+        r.Service.dr_quarantined = 1
+        && Sys.readdir (Service.spool_dir ~dir) = [||]
+        && (Service.stats svc).Service.st_accepted = 0)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ingest"
+    [
+      ( "delta",
+        [
+          Alcotest.test_case "round trip" `Quick test_delta_roundtrip;
+          Alcotest.test_case "validation" `Quick test_delta_validation;
+          q prop_delta_codec_roundtrip;
+          q prop_delta_corruption_detected;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "round trip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "shards + saturation" `Quick
+            test_merge_shards_and_saturation;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "duplicate + WAL replay" `Quick
+            test_service_duplicate_and_replay;
+          Alcotest.test_case "empty delta" `Quick test_service_empty_delta;
+          Alcotest.test_case "saturation near max_int" `Quick
+            test_service_saturation;
+          Alcotest.test_case "stale client degradation" `Quick
+            test_service_stale_client;
+          Alcotest.test_case "spool drain + quarantine" `Quick
+            test_service_spool_drain;
+          Alcotest.test_case "compaction during ingest" `Quick
+            test_service_concurrent_compaction;
+          Alcotest.test_case "client backoff" `Quick test_client_backoff;
+        ] );
+      ( "faults",
+        [
+          q prop_crash_recovery;
+          q prop_wal_corruption;
+          q prop_malformed_quarantined;
+        ] );
+    ]

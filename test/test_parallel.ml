@@ -94,6 +94,70 @@ let test_pool_survivors_complete () =
   | exception Boom _ -> ());
   Alcotest.(check int) "seven survivors ran" 7 (Atomic.get ran)
 
+(* ---------- persistent pools: lifecycle, poisoning ---------- *)
+
+let test_persistent_pool_reuse () =
+  Pool.with_pool ~domains:3 (fun p ->
+      Alcotest.(check int) "workers live" 3 (Pool.size p);
+      for round = 1 to 5 do
+        let out = Pool.run p (fun i x -> i + x) (List.init 20 (fun i -> i)) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "round %d" round)
+          (List.init 20 (fun i -> 2 * i))
+          out
+      done)
+
+let test_persistent_pool_shutdown_idempotent () =
+  let p = Pool.create ~domains:2 () in
+  ignore (Pool.run p (fun _ x -> x) [ 1; 2; 3 ]);
+  Pool.shutdown p;
+  Pool.shutdown p;
+  Alcotest.(check int) "no workers" 0 (Pool.size p);
+  match Pool.run p (fun _ x -> x) [ 1 ] with
+  | _ -> Alcotest.fail "run on a stopped pool must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_poisoned_pool_refuses_reuse () =
+  let p = Pool.create ~domains:2 () in
+  (* a task raising mid-fan-out must drain the batch, join every
+     worker, and poison the handle *)
+  let ran = Atomic.make 0 in
+  (match
+     Pool.run p
+       (fun i x ->
+         if i = 1 then raise (Boom i);
+         Atomic.incr ran;
+         x)
+       (List.init 8 (fun i -> i))
+   with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom k -> Alcotest.(check int) "failing task" 1 k);
+  Alcotest.(check int) "survivors still ran" 7 (Atomic.get ran);
+  Alcotest.(check int) "workers joined" 0 (Pool.size p);
+  (match Pool.run p (fun _ x -> x) [ 1 ] with
+  | _ -> Alcotest.fail "a poisoned pool must refuse work"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error names the poisoning: %S" msg)
+      true
+      (String.length msg > 0));
+  (* and shutdown after poisoning stays safe *)
+  Pool.shutdown p
+
+let test_with_pool_cleans_up_on_raise () =
+  let leaked = ref None in
+  (match
+     Pool.with_pool ~domains:2 (fun p ->
+         leaked := Some p;
+         raise (Boom 9))
+   with
+  | () -> Alcotest.fail "expected Boom"
+  | exception Boom 9 -> ()
+  | exception e -> raise e);
+  match !leaked with
+  | None -> Alcotest.fail "pool never materialized"
+  | Some p -> Alcotest.(check int) "workers joined on the way out" 0 (Pool.size p)
+
 (* ---------- sequential == parallel (qcheck) ---------- *)
 
 (* subsets drawn from cheap workloads so the property stays fast; the
@@ -277,6 +341,14 @@ let () =
             test_pool_one_domain_is_sequential;
           Alcotest.test_case "exceptions propagate" `Quick
             test_pool_exception_propagates;
+          Alcotest.test_case "persistent pool reuse" `Quick
+            test_persistent_pool_reuse;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_persistent_pool_shutdown_idempotent;
+          Alcotest.test_case "poisoned pool refuses reuse" `Quick
+            test_poisoned_pool_refuses_reuse;
+          Alcotest.test_case "with_pool cleans up on raise" `Quick
+            test_with_pool_cleans_up_on_raise;
           Alcotest.test_case "survivors complete" `Quick
             test_pool_survivors_complete;
         ] );

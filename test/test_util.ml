@@ -1,5 +1,6 @@
 module Rng = Fisher92_util.Rng
 module Stats = Fisher92_util.Stats
+module Env = Fisher92_util.Env
 
 let test_determinism () =
   let a = Rng.create 42 and b = Rng.create 42 in
@@ -200,6 +201,127 @@ let test_weighted_mean () =
   feq "weights matter" 5.0 (Stats.weighted_mean [ (0.0, 1.0); (2.0, 5.0) ]);
   feq "empty" 0.0 (Stats.weighted_mean [])
 
+(* ---- environment knobs ----
+   Unix.putenv cannot unset, but every Env reader treats "" as unset,
+   so tests restore knobs by blanking them. *)
+
+let with_env pairs f =
+  List.iter (fun (k, v) -> Unix.putenv k v) pairs;
+  Env.reset_warnings ();
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (k, _) -> Unix.putenv k "") pairs;
+      Env.reset_warnings ())
+    f
+
+let with_warnings f =
+  let captured = ref [] in
+  let old = !Env.warn_hook in
+  Env.warn_hook := (fun msg -> captured := msg :: !captured);
+  Fun.protect ~finally:(fun () -> Env.warn_hook := old) (fun () ->
+      let r = f () in
+      (r, List.rev !captured))
+
+let test_env_domains () =
+  with_env [ ("FISHER92_DOMAINS", "") ] (fun () ->
+      Alcotest.(check (option int)) "unset" None (Env.domains ()));
+  with_env [ ("FISHER92_DOMAINS", "8") ] (fun () ->
+      Alcotest.(check (option int)) "plain" (Some 8) (Env.domains ()));
+  with_env [ ("FISHER92_DOMAINS", "potato") ] (fun () ->
+      let v, warns = with_warnings Env.domains in
+      Alcotest.(check (option int)) "unparsable -> default" None v;
+      Alcotest.(check int) "one warning" 1 (List.length warns));
+  with_env [ ("FISHER92_DOMAINS", "0") ] (fun () ->
+      let v, warns = with_warnings Env.domains in
+      Alcotest.(check (option int)) "clamped up" (Some 1) v;
+      Alcotest.(check int) "warned" 1 (List.length warns));
+  with_env [ ("FISHER92_DOMAINS", "9999") ] (fun () ->
+      let v, warns = with_warnings Env.domains in
+      Alcotest.(check (option int)) "clamped down" (Some 64) v;
+      Alcotest.(check int) "warned" 1 (List.length warns))
+
+let test_env_warns_once () =
+  with_env [ ("FISHER92_DOMAINS", "junk") ] (fun () ->
+      let (), warns =
+        with_warnings (fun () ->
+            ignore (Env.domains ());
+            ignore (Env.domains ());
+            ignore (Env.domains ()))
+      in
+      Alcotest.(check int) "deduplicated" 1 (List.length warns);
+      Env.reset_warnings ();
+      let (), warns = with_warnings (fun () -> ignore (Env.domains ())) in
+      Alcotest.(check int) "re-armed after reset" 1 (List.length warns))
+
+let test_env_shards () =
+  with_env [ ("FISHER92_SHARDS", "") ] (fun () ->
+      Alcotest.(check int) "default" 16 (Env.shards ()));
+  with_env [ ("FISHER92_SHARDS", "4") ] (fun () ->
+      Alcotest.(check int) "plain" 4 (Env.shards ()));
+  with_env [ ("FISHER92_SHARDS", "three") ] (fun () ->
+      let v, warns = with_warnings Env.shards in
+      Alcotest.(check int) "unparsable -> default" 16 v;
+      Alcotest.(check int) "warned" 1 (List.length warns));
+  with_env [ ("FISHER92_SHARDS", "-2") ] (fun () ->
+      Alcotest.(check int) "clamped up"
+        1
+        (fst (with_warnings Env.shards)));
+  with_env [ ("FISHER92_SHARDS", "100000") ] (fun () ->
+      Alcotest.(check int) "clamped down"
+        256
+        (fst (with_warnings Env.shards)))
+
+let test_env_dirs () =
+  with_env [ ("FISHER92_CACHE_DIR", "") ] (fun () ->
+      Alcotest.(check string) "cache default"
+        (Filename.concat "_build" ".fisher92-cache")
+        (Env.cache_dir ()));
+  with_env [ ("FISHER92_CACHE_DIR", "/tmp/c") ] (fun () ->
+      Alcotest.(check string) "cache set" "/tmp/c" (Env.cache_dir ()));
+  with_env [ ("FISHER92_TRACE_DIR", "") ] (fun () ->
+      Alcotest.(check string) "trace default"
+        (Filename.concat "_build" ".fisher92-traces")
+        (Env.trace_dir ()));
+  with_env [ ("FISHER92_TRACE_DIR", "/tmp/t") ] (fun () ->
+      Alcotest.(check string) "trace set" "/tmp/t" (Env.trace_dir ()))
+
+let test_env_flags () =
+  List.iter
+    (fun (name, read) ->
+      with_env [ (name, "") ] (fun () ->
+          Alcotest.(check bool) (name ^ " unset") true (read ()));
+      with_env [ (name, "0") ] (fun () ->
+          Alcotest.(check bool) (name ^ "=0") true (read ()));
+      with_env [ (name, "1") ] (fun () ->
+          Alcotest.(check bool) (name ^ "=1") false (read ()));
+      with_env [ (name, "yes") ] (fun () ->
+          Alcotest.(check bool) (name ^ "=yes") false (read ())))
+    [
+      ("FISHER92_NO_CACHE", Env.cache_enabled);
+      ("FISHER92_NO_TRACE", Env.trace_enabled);
+      ("FISHER92_NO_FSYNC", Env.fsync_enabled);
+    ]
+
+let test_env_crash_at () =
+  with_env [ ("FISHER92_CRASH_AT", "") ] (fun () ->
+      Alcotest.(check (option string)) "unset" None (Env.crash_at ()));
+  with_env [ ("FISHER92_CRASH_AT", "wal.append.after:3") ] (fun () ->
+      Alcotest.(check (option string)) "set"
+        (Some "wal.append.after:3")
+        (Env.crash_at ()))
+
+let test_env_knobs_documented () =
+  (* every knob the module reads appears in its documentation table *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " documented") true
+        (List.mem_assoc name Env.knobs))
+    [
+      "FISHER92_DOMAINS"; "FISHER92_CACHE_DIR"; "FISHER92_NO_CACHE";
+      "FISHER92_TRACE_DIR"; "FISHER92_NO_TRACE"; "FISHER92_SHARDS";
+      "FISHER92_NO_FSYNC"; "FISHER92_CRASH_AT";
+    ]
+
 let () =
   Alcotest.run "util"
     [
@@ -232,5 +354,16 @@ let () =
           Alcotest.test_case "ratio/percent" `Quick test_ratio_percent;
           Alcotest.test_case "weighted_mean" `Quick test_weighted_mean;
           Alcotest.test_case "pearson" `Quick test_pearson;
+        ] );
+      ( "env",
+        [
+          Alcotest.test_case "domains knob" `Quick test_env_domains;
+          Alcotest.test_case "warns once per knob" `Quick test_env_warns_once;
+          Alcotest.test_case "shards knob" `Quick test_env_shards;
+          Alcotest.test_case "directory knobs" `Quick test_env_dirs;
+          Alcotest.test_case "flag knobs" `Quick test_env_flags;
+          Alcotest.test_case "crash-at knob" `Quick test_env_crash_at;
+          Alcotest.test_case "all knobs documented" `Quick
+            test_env_knobs_documented;
         ] );
     ]
