@@ -154,7 +154,7 @@ let tracebench () =
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
-  let schemes = Fisher92.Experiments.dynsim_schemes () in
+  let schemes = Fisher92.Experiments.zoo_schemes () in
   let workloads =
     List.map Fisher92_workloads.Registry.find
       [ "lfk"; "doduc"; "compress"; "uncompress"; "spiff" ]
@@ -410,6 +410,8 @@ let bechamel_suite () =
       bench "dynamic(1/2-bit)" (fun () -> E.dynamic (Lazy.force mini));
       bench "dynsim(trace)" (fun () -> E.dynsim (Lazy.force mini));
       bench "predictability" (fun () -> E.predictability (Lazy.force mini));
+      bench "tournament(zoo)" (fun () -> E.tournament (Lazy.force mini));
+      bench "h2p(hard-class)" (fun () -> E.h2p (Lazy.force mini));
       bench "inline-ablation" (fun () -> E.inline_ablation (Lazy.force mini));
       bench "gaps(distribution)" (fun () -> E.gaps (Lazy.force mini));
       bench "switchsort(reorder)" (fun () -> E.switchsort (Lazy.force mini));

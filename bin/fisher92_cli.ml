@@ -467,20 +467,50 @@ let trace_cmd =
       Term.(const run $ prog_arg $ dataset_arg)
   in
   let sim =
-    let run prog dataset warm =
+    let module Predictor = Fisher92_predict.Predictor in
+    let run prog dataset warm seed scheme_names =
       let w, ir, d = resolve prog dataset in
+      let schemes =
+        match scheme_names with
+        | [] -> List.map (fun z -> z.Predictor.d_scheme) (Predictor.zoo ())
+        | names ->
+          List.map
+            (fun name ->
+              match Predictor.find_dynamic name with
+              | Some z -> z.Predictor.d_scheme
+              | None ->
+                Printf.eprintf "unknown scheme %S; registered: %s\n" name
+                  (String.concat ", "
+                     (List.map
+                        (fun z -> z.Predictor.d_name)
+                        (Predictor.zoo ())));
+                exit 2)
+            names
+      in
       let ob = Tracing.obtain ~ir ~program:w.w_name d in
       let m = Trace.Reader.meta ob.Tracing.reader in
       describe w d m
         ~source:(if ob.Tracing.from_store then "from store" else "captured");
       if warm then
         print_string "  (warm: counters trained by one replay, then measured)\n";
+      let warm_pred =
+        if seed then begin
+          print_string
+            "  (seed: counters start from the accumulated profile via the \
+             remap chain)\n";
+          let loaded =
+            List.hd (Fisher92.Study.items (Fisher92.Study.load ~workloads:[ w ] ()))
+          in
+          Some (Tracing.warm_prediction loaded)
+        end
+        else None
+      in
       let n_sites = Fisher92_ir.Program.n_sites ir in
       let replay = Trace.Reader.iter ob.Tracing.reader in
       let rows =
         List.map
           (fun scheme ->
-            let t = Dynamic.simulate scheme ~n_sites replay in
+            let t = Dynamic.simulate ?warm:warm_pred scheme ~n_sites replay in
             if warm then begin
               Dynamic.reset_counts t;
               replay (Dynamic.hook t)
@@ -491,7 +521,7 @@ let trace_cmd =
               Table.inum (Dynamic.incorrect t);
               Table.pct (Dynamic.percent_correct t);
             ])
-          (Fisher92.Experiments.dynsim_schemes ())
+          schemes
       in
       print_string
         (Table.render
@@ -505,13 +535,28 @@ let trace_cmd =
                 train each predictor, reset the tallies, and measure a \
                 second replay (default is a cold predictor).")
     in
+    let seed =
+      Arg.(value & flag & info [ "seed" ]
+             ~doc:
+               "Profile-warm the predictors: seed counter/choice tables \
+                from the accumulated profile of every dataset (through the \
+                remap degradation chain) before the measured replay.  \
+                Composes with $(b,--warm).")
+    in
+    let schemes =
+      Arg.(value & opt_all string [] & info [ "scheme" ] ~docv:"NAME"
+             ~doc:
+               "Simulate only this scheme (repeatable); default is the \
+                whole registered zoo.  See `fisher92 trace sim --help` for \
+                the roster.")
+    in
     Cmd.v
       (Cmd.info "sim"
          ~doc:
-           "Replay a branch trace through the dynamic predictor family \
-            (1-bit, 2-bit, 2-level, gshare) without re-executing the \
-            program.")
-      Term.(const run $ prog_arg $ dataset_arg $ warm)
+           "Replay a branch trace through the dynamic predictor zoo \
+            (smith, 2-bit, 2-level, gshare, bimode, tage) without \
+            re-executing the program.")
+      Term.(const run $ prog_arg $ dataset_arg $ warm $ seed $ schemes)
   in
   Cmd.group
     (Cmd.info "trace"

@@ -725,6 +725,203 @@ let render_predictability rows =
          rows)
 
 (* ------------------------------------------------------------------ *)
+(* Predictor-zoo tournament                                             *)
+(* ------------------------------------------------------------------ *)
+
+let zoo_schemes () =
+  List.map (fun d -> d.Predictor.d_scheme) (Predictor.zoo ())
+
+type tournament_row = {
+  tn_program : string;
+  tn_scheme : string;
+  tn_cold_pct : float;
+  tn_warm_pct : float;
+  tn_cold_mr : int;
+  tn_warm_mr : int;
+  tn_cold_ipm : float;
+  tn_warm_ipm : float;
+}
+
+let tournament study =
+  List.concat_map
+    (fun ((l : Study.loaded), (_ : Tracing.obtained), races) ->
+      let run = List.hd l.runs in
+      let instrs = run.counts.Breaks.instructions in
+      let ipm t =
+        Breaks.per_break ~instructions:instrs ~breaks:(Dynamic.incorrect t)
+      in
+      List.map
+        (fun (rc : Tracing.raced) ->
+          {
+            tn_program = l.workload.w_name;
+            tn_scheme = Dynamic.scheme_name rc.rc_scheme;
+            tn_cold_pct = Dynamic.percent_correct rc.rc_cold;
+            tn_warm_pct = Dynamic.percent_correct rc.rc_warm;
+            tn_cold_mr = Dynamic.incorrect rc.rc_cold;
+            tn_warm_mr = Dynamic.incorrect rc.rc_warm;
+            tn_cold_ipm = ipm rc.rc_cold;
+            tn_warm_ipm = ipm rc.rc_warm;
+          })
+        races)
+    (Tracing.tournament_study ~schemes:(zoo_schemes ()) study)
+
+(* Geomean of per-row (warm+1)/(cold+1) mispredict ratios — the +1
+   keeps zero-mispredict rows defined; < 1.0 means warming won. *)
+let warm_ratio rows cold warm =
+  Stats.geomean
+    (List.map
+       (fun r ->
+         float_of_int (warm r + 1) /. float_of_int (cold r + 1))
+       rows)
+
+let render_tournament rows =
+  let scheme_names =
+    List.sort_uniq compare (List.map (fun r -> r.tn_scheme) rows)
+  in
+  "Predictor-zoo tournament, first dataset: % dynamic branches correct\n\
+   and instructions per mispredict (ipm), cold vs profile-warmed\n\
+   (counters seeded from every dataset's profile via the remap chain)\n"
+  ^ Table.render
+      ~header:
+        [
+          "PROGRAM"; "SCHEME"; "COLD"; "WARM"; "COLD-IPM"; "WARM-IPM";
+          "WARM/COLD-MR";
+        ]
+      (List.map
+         (fun r ->
+           [
+             r.tn_program; r.tn_scheme; Table.pct r.tn_cold_pct;
+             Table.pct r.tn_warm_pct; Table.fnum r.tn_cold_ipm;
+             Table.fnum r.tn_warm_ipm;
+             Printf.sprintf "%.3f"
+               (float_of_int (r.tn_warm_mr + 1)
+               /. float_of_int (r.tn_cold_mr + 1));
+           ])
+         rows)
+  ^
+  if rows = [] then ""
+  else
+    String.concat ""
+      (List.map
+         (fun name ->
+           let sr = List.filter (fun r -> r.tn_scheme = name) rows in
+           Printf.sprintf
+             "geomean %-12s cold %.1f%%  warm %.1f%%  warm/cold mispredicts \
+              %.3f\n"
+             name
+             (Stats.geomean (List.map (fun r -> r.tn_cold_pct) sr))
+             (Stats.geomean (List.map (fun r -> r.tn_warm_pct) sr))
+             (warm_ratio sr
+                (fun r -> r.tn_cold_mr)
+                (fun r -> r.tn_warm_mr)))
+         scheme_names)
+
+(* ------------------------------------------------------------------ *)
+(* Hard-to-predict branch class                                         *)
+(* ------------------------------------------------------------------ *)
+
+type h2p_row = {
+  hp_program : string;
+  hp_sites : int;  (** H2P sites (of the covered sites) *)
+  hp_dyn_pct : float;  (** their share of dynamic branches *)
+  hp_schemes : (string * int * int) list;
+      (** (scheme, cold mispredicts, warm mispredicts) at H2P sites *)
+}
+
+(* The H2P class of [Lin and Tarsa]: the few static sites a capable
+   history predictor still gets wrong — here, covered sites that are
+   neither >=95% biased nor >=90% predicted by cold gshare/12.  The
+   thresholds match the [predictability] experiment's "hard" bucket. *)
+let h2p_sites (run : Measure.run) gshare_cold =
+  let sc = Dynamic.site_correct gshare_cold
+  and si = Dynamic.site_incorrect gshare_cold in
+  let enc = run.profile.Profile.encountered
+  and tak = run.profile.Profile.taken in
+  let hard = ref [] in
+  Array.iteri
+    (fun s n ->
+      if n > 0 then begin
+        let bias = float_of_int (max tak.(s) (n - tak.(s))) /. float_of_int n in
+        let acc = float_of_int sc.(s) /. float_of_int (sc.(s) + si.(s)) in
+        if bias < 0.95 && acc < 0.9 then hard := s :: !hard
+      end)
+    enc;
+  List.rev !hard
+
+let h2p study =
+  List.map
+    (fun ((l : Study.loaded), (_ : Tracing.obtained), races) ->
+      let run = List.hd l.runs in
+      let gshare_cold =
+        match
+          List.find_opt
+            (fun (rc : Tracing.raced) ->
+              match rc.rc_scheme with Dynamic.Gshare _ -> true | _ -> false)
+            races
+        with
+        | Some rc -> rc.rc_cold
+        | None -> invalid_arg "Experiments.h2p: no gshare scheme in the zoo"
+      in
+      let hard = h2p_sites run gshare_cold in
+      let dyn_total = Array.fold_left ( + ) 0 run.profile.Profile.encountered in
+      let dyn_hard =
+        List.fold_left
+          (fun n s -> n + run.profile.Profile.encountered.(s))
+          0 hard
+      in
+      let at_sites tallies = List.fold_left (fun n s -> n + tallies.(s)) 0 hard in
+      {
+        hp_program = l.workload.w_name;
+        hp_sites = List.length hard;
+        hp_dyn_pct = Stats.percent dyn_hard dyn_total;
+        hp_schemes =
+          List.map
+            (fun (rc : Tracing.raced) ->
+              ( Dynamic.scheme_name rc.rc_scheme,
+                at_sites (Dynamic.site_incorrect rc.rc_cold),
+                at_sites (Dynamic.site_incorrect rc.rc_warm) ))
+            races;
+      })
+    (Tracing.tournament_study ~schemes:(zoo_schemes ()) study)
+
+let render_h2p rows =
+  let scheme_names =
+    match rows with [] -> [] | r :: _ -> List.map (fun (n, _, _) -> n) r.hp_schemes
+  in
+  "Hard-to-predict branch class (covered sites <95% biased that cold\n\
+   gshare/12 gets <90% right): mispredicts at those sites per scheme,\n\
+   cold vs profile-warmed\n"
+  ^ Table.render
+      ~header:[ "PROGRAM"; "H2P-SITES"; "H2P-DYN"; "SCHEME"; "COLD"; "WARM" ]
+      (List.concat_map
+         (fun r ->
+           List.map
+             (fun (name, cold, warm) ->
+               [
+                 r.hp_program; Table.inum r.hp_sites; Table.pct r.hp_dyn_pct;
+                 name; Table.inum cold; Table.inum warm;
+               ])
+             r.hp_schemes)
+         rows)
+  ^
+  if rows = [] then ""
+  else
+    String.concat ""
+      (List.map
+         (fun name ->
+           let pairs =
+             List.filter_map
+               (fun r ->
+                 List.find_opt (fun (n, _, _) -> n = name) r.hp_schemes)
+               rows
+           in
+           Printf.sprintf "geomean %-12s warm/cold H2P mispredicts %.3f\n" name
+             (warm_ratio pairs
+                (fun (_, c, _) -> c)
+                (fun (_, _, w) -> w)))
+         scheme_names)
+
+(* ------------------------------------------------------------------ *)
 (* Inlining ablation                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1479,6 +1676,37 @@ let () =
         ];
       ])
     (fun study -> predictability (Lazy.force study));
+  reg ~id:"tournament" ~paper:"extension"
+    ~descr:"predictor-zoo tournament: cold vs profile-warmed dynamic schemes"
+    ~render:render_tournament
+    ~columns:
+      [
+        "program"; "scheme"; "cold_pct"; "warm_pct"; "cold_mr"; "warm_mr";
+        "cold_ipm"; "warm_ipm";
+      ]
+    ~cells:(fun r ->
+      [
+        [
+          r.tn_program; r.tn_scheme; fcell r.tn_cold_pct; fcell r.tn_warm_pct;
+          icell r.tn_cold_mr; icell r.tn_warm_mr; fcell r.tn_cold_ipm;
+          fcell r.tn_warm_ipm;
+        ];
+      ])
+    (fun study -> tournament (Lazy.force study));
+  reg ~id:"h2p" ~paper:"extension"
+    ~descr:"hard-to-predict branch class: how much profile warming closes"
+    ~render:render_h2p
+    ~columns:
+      [ "program"; "h2p_sites"; "h2p_dyn_pct"; "scheme"; "cold_mr"; "warm_mr" ]
+    ~cells:(fun r ->
+      List.map
+        (fun (name, cold, warm) ->
+          [
+            r.hp_program; icell r.hp_sites; fcell r.hp_dyn_pct; name;
+            icell cold; icell warm;
+          ])
+        r.hp_schemes)
+    (fun study -> h2p (Lazy.force study));
   reg ~id:"inline" ~paper:"extension"
     ~descr:"inlining ablation on call/return break density"
     ~render:render_inline

@@ -179,6 +179,49 @@ val predictability : Study.t -> predictability_row list
 
 val render_predictability : predictability_row list -> string
 
+val zoo_schemes : unit -> Fisher92_predict.Dynamic.scheme list
+(** The tournament roster: every scheme of
+    {!Fisher92_predict.Predictor.zoo} (smith, 2-bit, 2-level, gshare,
+    bimode, tage), in registration order. *)
+
+type tournament_row = {
+  tn_program : string;
+  tn_scheme : string;
+  tn_cold_pct : float;  (** % correct, cold start *)
+  tn_warm_pct : float;  (** % correct, profile-warmed start *)
+  tn_cold_mr : int;  (** mispredicts, cold *)
+  tn_warm_mr : int;  (** mispredicts, warmed *)
+  tn_cold_ipm : float;  (** instructions per mispredict, cold *)
+  tn_warm_ipm : float;
+}
+
+val tournament : Study.t -> tournament_row list
+(** The head-to-head the paper argues for: every zoo scheme replayed
+    over each workload's first-dataset trace twice — cold, and with its
+    counters seeded from the accumulated profile database through the
+    remap chain ({!Tracing.warm_prediction}).  One row per
+    (workload, scheme). *)
+
+val render_tournament : tournament_row list -> string
+
+type h2p_row = {
+  hp_program : string;
+  hp_sites : int;  (** H2P sites (of the covered sites) *)
+  hp_dyn_pct : float;  (** their share of dynamic branches *)
+  hp_schemes : (string * int * int) list;
+      (** (scheme, cold mispredicts, warm mispredicts) at H2P sites,
+          in {!zoo_schemes} order *)
+}
+
+val h2p : Study.t -> h2p_row list
+(** The hard-to-predict branch class of Lin and Tarsa ("Branch
+    Prediction Is Not a Solved Problem"): covered sites under 95%
+    biased that cold gshare/12 still gets under 90% right — few static
+    sites, outsized mispredict share — and how much profile warming
+    closes the gap there, per zoo scheme. *)
+
+val render_h2p : h2p_row list -> string
+
 type inline_row = {
   il_program : string;
   il_dataset : string;

@@ -54,3 +54,41 @@ let simulate_study ?domains ?store ~schemes study =
       in
       (l, ob, sims))
     (Study.items study)
+
+let warm_prediction (l : Study.loaded) =
+  let module Db = Fisher92_profile.Db in
+  let db =
+    Db.create ~program:l.workload.Workload.w_name
+      ~n_sites:(Fisher92_ir.Program.n_sites l.ir)
+  in
+  List.iter
+    (fun (r : Fisher92_metrics.Measure.run) ->
+      Db.record db ~dataset:r.dataset r.profile)
+    l.runs;
+  Db.set_identity db
+    ~fingerprint:(Fingerprint.program_hash l.ir)
+    ~sitekeys:(Fingerprint.site_keys l.ir);
+  (Fisher92_predict.Remap.plan l.ir db).Fisher92_predict.Remap.r_prediction
+
+type raced = { rc_scheme : Dynamic.scheme; rc_cold : Dynamic.t; rc_warm : Dynamic.t }
+
+let tournament_study ?domains ?store ~schemes study =
+  Pool.map ?domains
+    (fun (l : Study.loaded) ->
+      let dataset = List.hd l.workload.Workload.w_datasets in
+      let ob = obtain ?store ~ir:l.ir ~program:l.workload.w_name dataset in
+      let n_sites = Fisher92_ir.Program.n_sites l.ir in
+      let warm = warm_prediction l in
+      let races =
+        List.map
+          (fun scheme ->
+            let replay = Trace.Reader.iter ob.reader in
+            {
+              rc_scheme = scheme;
+              rc_cold = Dynamic.simulate scheme ~n_sites replay;
+              rc_warm = Dynamic.simulate ~warm scheme ~n_sites replay;
+            })
+          schemes
+      in
+      (l, ob, races))
+    (Study.items study)

@@ -48,3 +48,27 @@ val simulate_study :
     per-workload work over a {!Fisher92_util.Pool}; results are merged
     by index, so the output is deterministic and identical to a
     sequential run. *)
+
+val warm_prediction : Study.loaded -> Fisher92_predict.Prediction.t
+(** The profile-warming vector for a workload: an IFPROB database built
+    from {e all} of its datasets' profiles (identity stamped with the
+    build's fingerprint and site keys), pulled through the
+    {!Fisher92_predict.Remap} degradation chain — so the exact tier
+    serves here, and the same call on a stale database would degrade
+    through remapped/proof/heuristic tiers instead of crashing. *)
+
+type raced = {
+  rc_scheme : Dynamic.scheme;
+  rc_cold : Dynamic.t;  (** simulated from cold state *)
+  rc_warm : Dynamic.t;  (** simulated from profile-warmed state *)
+}
+
+val tournament_study :
+  ?domains:int ->
+  ?store:bool ->
+  schemes:Dynamic.scheme list ->
+  Study.t ->
+  (Study.loaded * obtained * raced list) list
+(** {!simulate_study}, but every scheme is replayed twice over the same
+    decoded trace — once cold and once seeded with {!warm_prediction} —
+    which is the tournament and H2P experiments' raw material. *)

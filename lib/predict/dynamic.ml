@@ -4,6 +4,9 @@ type scheme =
   | Static of Prediction.t
   | Two_level of { history_bits : int }
   | Gshare of { history_bits : int }
+  | Smith of { table_bits : int }
+  | Bimode of { history_bits : int; choice_bits : int }
+  | Tage of { table_bits : int; tag_bits : int; histories : int list }
 
 let scheme_name = function
   | Last_direction -> "1-bit"
@@ -11,55 +14,322 @@ let scheme_name = function
   | Static _ -> "static"
   | Two_level { history_bits } -> Printf.sprintf "2-level/%d" history_bits
   | Gshare { history_bits } -> Printf.sprintf "gshare/%d" history_bits
+  | Smith { table_bits } -> Printf.sprintf "smith/%d" table_bits
+  | Bimode { history_bits; choice_bits = _ } ->
+    Printf.sprintf "bimode/%d" history_bits
+  | Tage { histories; _ } ->
+    Printf.sprintf "tage/%s"
+      (String.concat "-" (List.map string_of_int histories))
+
+(* One tagged TAGE component: entries are (tag, 2-bit counter, useful
+   bit); [tg_tag] holds -1 for never-allocated entries so a cold table
+   can never produce a spurious tag match. *)
+type tagged = {
+  tg_hist : int;  (* history length this table consumes, in bits *)
+  tg_mask : int;
+  tg_tagmask : int;
+  tg_tag : int array;
+  tg_ctr : int array;
+  tg_useful : bool array;
+}
+
+type core =
+  | State of int array  (* per-site: 0/1 (1-bit) or 0..3 (2-bit) *)
+  | Fixed of Prediction.t
+  | Pattern of { table : int array; mask : int; xor_site : bool }
+  | Shared of { table : int array; mask : int }  (* Smith: site-indexed *)
+  | Split of {
+      choice : int array;  (* per-site-hash 2-bit bank selectors *)
+      cmask : int;
+      dir : int array array;  (* dir.(0) not-taken bank, dir.(1) taken *)
+      dmask : int;
+    }
+  | Tagged of { base : int array; tables : tagged array }
 
 type t = {
   scheme : scheme;
-  state : int array;  (* 1-bit: 0/1; 2-bit: 0..3, >=2 predicts taken *)
-  pattern : int array;  (* history-indexed 2-bit counters (2-level, gshare) *)
-  hist_mask : int;
-  mutable history : int;  (* global history register, newest bit lowest *)
+  n_sites : int;
+  core : core;
+  hist_mask : int;  (* global history register mask; 0 = no history *)
+  mutable history : int;  (* newest outcome in the lowest bit *)
   mutable correct : int;
   mutable incorrect : int;
   site_correct : int array;
   site_incorrect : int array;
 }
 
-let check_history_bits history_bits =
-  if history_bits < 1 || history_bits > 24 then
-    invalid_arg "Dynamic.create: history_bits out of [1, 24]"
+let check_bits what bits =
+  if bits < 1 || bits > 24 then
+    invalid_arg (Printf.sprintf "Dynamic.create: %s out of [1, 24]" what)
 
-let create scheme ~n_sites =
-  let pattern_size =
-    match scheme with
-    | Last_direction | Two_bit | Static _ -> 0
-    | Two_level { history_bits } | Gshare { history_bits } ->
-      check_history_bits history_bits;
-      1 lsl history_bits
+let rec strictly_increasing = function
+  | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+  | [] | [ _ ] -> true
+
+let check_histories histories =
+  let ok =
+    histories <> []
+    && List.length histories <= 4
+    && List.for_all (fun h -> h >= 1 && h <= 24) histories
+    && strictly_increasing histories
   in
-  {
-    scheme;
-    state = Array.make (max 1 n_sites) 0;
-    pattern = Array.make (max 1 pattern_size) 0;
-    hist_mask = max 0 (pattern_size - 1);
-    history = 0;
-    correct = 0;
-    incorrect = 0;
-    site_correct = Array.make (max 1 n_sites) 0;
-    site_incorrect = Array.make (max 1 n_sites) 0;
-  }
+  if not ok then
+    invalid_arg
+      "Dynamic.create: tage histories must be 1-4 strictly increasing \
+       lengths in [1, 24]"
 
-let pattern_index t site =
-  match t.scheme with
-  | Gshare _ -> (t.history lxor site) land t.hist_mask
-  | _ -> t.history land t.hist_mask
+let bump c taken = if taken then min 3 (c + 1) else max 0 (c - 1)
+
+(* Deterministic integer mix for TAGE index/tag hashing; [land] with a
+   positive mask keeps the result non-negative whatever the products
+   overflow to. *)
+let mix a b =
+  let x = (a * 0x9E3779B1) lxor (b * 0x85EBCA6B) in
+  x lxor (x lsr 15)
+
+let tage_index tg site history =
+  let h = history land ((1 lsl tg.tg_hist) - 1) in
+  mix site h land tg.tg_mask
+
+let tage_tag tg site history =
+  let h = history land ((1 lsl tg.tg_hist) - 1) in
+  mix (h lxor 0x5bd1e995) (site + 0x27d4eb2f) land tg.tg_tagmask
+
+(* Profile warming: seed exactly the state the IFPROB database can
+   speak to.  Site-indexed counters take the warm direction weakly
+   (one contrary outcome flips them); shared tables take a weak
+   majority vote of the sites that alias to each entry; Bi-Mode's
+   direction banks are biased their designed way and its choice table
+   votes per entry; TAGE's tagged tables stay cold — their contents
+   are history-dependent, which no per-site profile can know. *)
+let seed t (w : Prediction.t) =
+  let weak dir = if dir then 2 else 1 in
+  let vote table mask per_entry_default =
+    let votes = Array.make (Array.length table) 0 in
+    let touched = Array.make (Array.length table) false in
+    Array.iteri
+      (fun s dir ->
+        let i = s land mask in
+        touched.(i) <- true;
+        votes.(i) <- votes.(i) + if dir then 1 else -1)
+      w;
+    Array.iteri
+      (fun i v ->
+        if touched.(i) then
+          (* ties take the taken side, matching Profile.majority_taken *)
+          table.(i) <- weak (v >= 0)
+        else table.(i) <- per_entry_default)
+      votes
+  in
+  match t.core with
+  | Fixed _ -> ()
+  | State st ->
+    let one_bit = t.scheme = Last_direction in
+    Array.iteri
+      (fun s dir -> st.(s) <- (if one_bit then Bool.to_int dir else weak dir))
+      w
+  | Pattern { table; _ } ->
+    (* No per-pattern evidence exists statically; seed every entry
+       weakly toward the profile's global majority so the cold
+       all-zeros (strong not-taken) start stops penalizing
+       majority-taken programs. *)
+    let taken = Array.fold_left (fun n d -> n + Bool.to_int d) 0 w in
+    let majority = 2 * taken >= Array.length w in
+    Array.fill table 0 (Array.length table) (weak majority)
+  | Shared { table; mask } -> vote table mask 0
+  | Split { choice; cmask; dir; _ } ->
+    vote choice cmask 0;
+    Array.fill dir.(0) 0 (Array.length dir.(0)) 1;
+    Array.fill dir.(1) 0 (Array.length dir.(1)) 2
+  | Tagged { base; _ } -> Array.iteri (fun s dir -> base.(s) <- weak dir) w
+
+let create ?warm scheme ~n_sites =
+  (match warm with
+  | Some w when Array.length w <> n_sites ->
+    invalid_arg
+      (Printf.sprintf
+         "Dynamic.create: warm prediction covers %d sites but the predictor \
+          tracks %d"
+         (Array.length w) n_sites)
+  | _ -> ());
+  let core, hist_mask =
+    match scheme with
+    | Last_direction | Two_bit -> (State (Array.make (max 1 n_sites) 0), 0)
+    | Static p ->
+      if Array.length p <> n_sites then
+        invalid_arg
+          (Printf.sprintf
+             "Dynamic.create: static prediction covers %d sites but the \
+              trace has %d (profile from a different build?)"
+             (Array.length p) n_sites);
+      (Fixed p, 0)
+    | Two_level { history_bits } ->
+      check_bits "history_bits" history_bits;
+      let size = 1 lsl history_bits in
+      (Pattern { table = Array.make size 0; mask = size - 1; xor_site = false },
+       size - 1)
+    | Gshare { history_bits } ->
+      check_bits "history_bits" history_bits;
+      let size = 1 lsl history_bits in
+      (Pattern { table = Array.make size 0; mask = size - 1; xor_site = true },
+       size - 1)
+    | Smith { table_bits } ->
+      check_bits "table_bits" table_bits;
+      let size = 1 lsl table_bits in
+      (Shared { table = Array.make size 0; mask = size - 1 }, 0)
+    | Bimode { history_bits; choice_bits } ->
+      check_bits "history_bits" history_bits;
+      check_bits "choice_bits" choice_bits;
+      let dsize = 1 lsl history_bits and csize = 1 lsl choice_bits in
+      ( Split
+          {
+            choice = Array.make csize 0;
+            cmask = csize - 1;
+            dir = [| Array.make dsize 0; Array.make dsize 0 |];
+            dmask = dsize - 1;
+          },
+        dsize - 1 )
+    | Tage { table_bits; tag_bits; histories } ->
+      check_bits "table_bits" table_bits;
+      if tag_bits < 1 || tag_bits > 16 then
+        invalid_arg "Dynamic.create: tag_bits out of [1, 16]";
+      check_histories histories;
+      let size = 1 lsl table_bits in
+      let tables =
+        Array.of_list
+          (List.map
+             (fun h ->
+               {
+                 tg_hist = h;
+                 tg_mask = size - 1;
+                 tg_tagmask = (1 lsl tag_bits) - 1;
+                 tg_tag = Array.make size (-1);
+                 tg_ctr = Array.make size 0;
+                 tg_useful = Array.make size false;
+               })
+             histories)
+      in
+      let max_hist = List.fold_left max 1 histories in
+      (Tagged { base = Array.make (max 1 n_sites) 0; tables },
+       (1 lsl max_hist) - 1)
+  in
+  let t =
+    {
+      scheme;
+      n_sites;
+      core;
+      hist_mask;
+      history = 0;
+      correct = 0;
+      incorrect = 0;
+      site_correct = Array.make (max 1 n_sites) 0;
+      site_incorrect = Array.make (max 1 n_sites) 0;
+    }
+  in
+  (match warm with Some w -> seed t w | None -> ());
+  t
+
+(* The provider is the longest-history tagged table whose tag matches;
+   the alternate is the next such table (or the base bimodal).  Both
+   are needed: prediction comes from the provider, the useful bit is
+   set only when provider and alternate disagree. *)
+let tage_lookup tables base site history =
+  let provider = ref None and alt = ref None in
+  for i = Array.length tables - 1 downto 0 do
+    let tg = tables.(i) in
+    let idx = tage_index tg site history in
+    if tg.tg_tag.(idx) = tage_tag tg site history then
+      if !provider = None then provider := Some (i, idx)
+      else if !alt = None then alt := Some (i, idx)
+  done;
+  let pred = function
+    | Some (i, idx) -> tables.(i).tg_ctr.(idx) >= 2
+    | None -> base.(site) >= 2
+  in
+  (!provider, pred !provider, pred !alt)
 
 let hook t site taken =
-  let predicted =
-    match t.scheme with
-    | Last_direction -> t.state.(site) = 1
-    | Two_bit -> t.state.(site) >= 2
-    | Static p -> p.(site)
-    | Two_level _ | Gshare _ -> t.pattern.(pattern_index t site) >= 2
+  if site < 0 || site >= t.n_sites then
+    invalid_arg
+      (Printf.sprintf
+         "Dynamic.hook: site %d out of range for a %d-site predictor (trace \
+          and build disagree?)"
+         site t.n_sites);
+  let push_history taken =
+    t.history <- ((t.history lsl 1) lor Bool.to_int taken) land t.hist_mask
+  in
+  let predicted, update =
+    match t.core with
+    | State st when t.scheme = Last_direction ->
+      (st.(site) = 1, fun () -> st.(site) <- Bool.to_int taken)
+    | State st ->
+      (st.(site) >= 2, fun () -> st.(site) <- bump st.(site) taken)
+    | Fixed p -> (p.(site), fun () -> ())
+    | Pattern { table; mask; xor_site } ->
+      let i =
+        if xor_site then (t.history lxor site) land mask
+        else t.history land mask
+      in
+      ( table.(i) >= 2,
+        fun () ->
+          table.(i) <- bump table.(i) taken;
+          push_history taken )
+    | Shared { table; mask } ->
+      let i = site land mask in
+      (table.(i) >= 2, fun () -> table.(i) <- bump table.(i) taken)
+    | Split { choice; cmask; dir; dmask } ->
+      let ci = site land cmask in
+      let di = (t.history lxor site) land dmask in
+      let bank = if choice.(ci) >= 2 then 1 else 0 in
+      let predicted = dir.(bank).(di) >= 2 in
+      ( predicted,
+        fun () ->
+          dir.(bank).(di) <- bump dir.(bank).(di) taken;
+          (* Bi-Mode choice rule: don't update the selector when it
+             disagreed with the outcome but the selected bank still
+             predicted correctly — that agreement is the bank's bias
+             doing its job, not evidence about this site. *)
+          if not (predicted = taken && (choice.(ci) >= 2) <> taken) then
+            choice.(ci) <- bump choice.(ci) taken;
+          push_history taken )
+    | Tagged { base; tables } ->
+      let provider, predicted, altpred =
+        tage_lookup tables base site t.history
+      in
+      ( predicted,
+        fun () ->
+          (match provider with
+          | Some (i, idx) ->
+            let tg = tables.(i) in
+            tg.tg_ctr.(idx) <- bump tg.tg_ctr.(idx) taken;
+            if predicted <> altpred then
+              tg.tg_useful.(idx) <- predicted = taken
+          | None -> base.(site) <- bump base.(site) taken);
+          if predicted <> taken then begin
+            (* Allocate one entry in a longer-history table, preferring
+               the shortest; a useful entry is never evicted — instead
+               all candidate useful bits decay, so a stubborn row frees
+               up after repeated allocation pressure. *)
+            let floor =
+              match provider with Some (i, _) -> i + 1 | None -> 0
+            in
+            let allocated = ref false in
+            for i = floor to Array.length tables - 1 do
+              let tg = tables.(i) in
+              let idx = tage_index tg site t.history in
+              if (not !allocated) && not tg.tg_useful.(idx) then begin
+                tg.tg_tag.(idx) <- tage_tag tg site t.history;
+                tg.tg_ctr.(idx) <- (if taken then 2 else 1);
+                allocated := true
+              end
+            done;
+            if not !allocated then
+              for i = floor to Array.length tables - 1 do
+                let tg = tables.(i) in
+                tg.tg_useful.(tage_index tg site t.history) <- false
+              done
+          end;
+          push_history taken )
   in
   if predicted = taken then begin
     t.correct <- t.correct + 1;
@@ -69,17 +339,7 @@ let hook t site taken =
     t.incorrect <- t.incorrect + 1;
     t.site_incorrect.(site) <- t.site_incorrect.(site) + 1
   end;
-  match t.scheme with
-  | Last_direction -> t.state.(site) <- (if taken then 1 else 0)
-  | Two_bit ->
-    t.state.(site) <-
-      (if taken then min 3 (t.state.(site) + 1) else max 0 (t.state.(site) - 1))
-  | Static _ -> ()
-  | Two_level _ | Gshare _ ->
-    let i = pattern_index t site in
-    t.pattern.(i) <-
-      (if taken then min 3 (t.pattern.(i) + 1) else max 0 (t.pattern.(i) - 1));
-    t.history <- ((t.history lsl 1) lor Bool.to_int taken) land t.hist_mask
+  update ()
 
 let reset_counts t =
   t.correct <- 0;
@@ -87,8 +347,8 @@ let reset_counts t =
   Array.fill t.site_correct 0 (Array.length t.site_correct) 0;
   Array.fill t.site_incorrect 0 (Array.length t.site_incorrect) 0
 
-let simulate scheme ~n_sites replay =
-  let t = create scheme ~n_sites in
+let simulate ?warm scheme ~n_sites replay =
+  let t = create ?warm scheme ~n_sites in
   replay (fun site taken -> hook t site taken);
   t
 

@@ -2,21 +2,34 @@
     ablation.
 
     The paper contrasts its static scheme with the 1- and 2-bit per-branch
-    counters of [Smith 81] / [Lee and Smith 84]; the two history schemes
-    ([Yeh and Patt 91]'s two-level adaptive and McFarling's gshare) extend
-    that comparison to predictors that exploit inter-branch correlation.
-    These simulators attach to a VM run through
-    {!Fisher92_vm.Vm.config}'s [on_branch] hook — or replay a recorded
-    {!Fisher92_trace.Trace} through {!simulate} — and update their state
-    on every dynamic branch, so they see the program in execution order
-    just as a branch-prediction cache would.
+    counters of [Smith 81] / [Lee and Smith 84]; the history schemes
+    ([Yeh and Patt 91]'s two-level adaptive, McFarling's gshare, Lee,
+    Chen and Mudge's Bi-Mode and a small TAGE) extend that comparison to
+    predictors that exploit inter-branch correlation.  These simulators
+    attach to a VM run through {!Fisher92_vm.Vm.config}'s [on_branch]
+    hook — or replay a recorded {!Fisher92_trace.Trace} through
+    {!simulate} — and update their state on every dynamic branch, so
+    they see the program in execution order just as a branch-prediction
+    cache would.
 
-    {b Cold start}: every counter (per-site and pattern-table) starts at
-    0 and the global history register is empty, so a cold predictor
-    predicts not-taken everywhere until trained.  There is no warm-up
-    pass; callers wanting steady-state numbers replay the stream once to
-    train and then {!reset_counts} before the measured replay (the
-    [--warm] flag of [fisher92 trace sim]). *)
+    {b Cold start}: every counter (per-site, shared, pattern, choice and
+    TAGE base) starts at 0, tagged TAGE entries are empty, and the
+    global history register is empty, so a cold predictor predicts
+    not-taken everywhere until trained.  There is no warm-up pass;
+    callers wanting steady-state numbers replay the stream once to train
+    and then {!reset_counts} before the measured replay (the [--warm]
+    flag of [fisher92 trace sim]).
+
+    {b Profile warming}: passing [?warm] (a per-site direction vector,
+    typically [(Remap.plan ir db).r_prediction] so stale databases
+    degrade through the remapped/proof/heuristic tiers) seeds the state
+    a per-site profile can speak to before the first branch: per-site
+    counters start weakly in the profiled direction, shared (Smith) and
+    choice (Bi-Mode) entries take a weak majority vote of the sites
+    aliasing to them, Bi-Mode's direction banks start weakly biased
+    their designed way, pattern tables start weakly toward the global
+    majority, and TAGE's tagged tables stay cold (their contents are
+    history-dependent, which no per-site profile can know). *)
 
 type scheme =
   | Last_direction  (** 1-bit: predict whatever the branch last did *)
@@ -29,25 +42,55 @@ type scheme =
   | Gshare of { history_bits : int }
       (** gshare: the history register XOR the site number indexes the
           pattern table, de-aliasing branches that share history. *)
+  | Smith of { table_bits : int }
+      (** the original [Smith 81] shape: one shared table of
+          [2^table_bits] 2-bit counters indexed by the site number —
+          sites beyond the table alias onto it; no per-site state at
+          all. *)
+  | Bimode of { history_bits : int; choice_bits : int }
+      (** Bi-Mode [Lee, Chen and Mudge 97]: a per-site choice table
+          ([2^choice_bits] 2-bit selectors) picks between two
+          gshare-indexed direction banks, separating mostly-taken from
+          mostly-not-taken branches so destructive aliasing turns
+          neutral. *)
+  | Tage of { table_bits : int; tag_bits : int; histories : int list }
+      (** TAGE-lite [Seznec and Michaud 06]: a per-site 2-bit bimodal
+          base plus one tagged table of [2^table_bits] entries per
+          history length in [histories] (1–4 strictly increasing
+          lengths); the longest matching tag provides the prediction,
+          mispredicts allocate into a longer table, and useful bits
+          protect entries that beat their alternate until allocation
+          pressure decays them. *)
 
 val scheme_name : scheme -> string
 
 type t
 
-val create : scheme -> n_sites:int -> t
-(** Counters start predicting not-taken (a cold predictor; see above).
-    @raise Invalid_argument if a history scheme's [history_bits] is
-    outside [1, 24]. *)
+val create : ?warm:Prediction.t -> scheme -> n_sites:int -> t
+(** Counters start predicting not-taken (a cold predictor), unless
+    [?warm] seeds them with a per-site profile direction (see above).
+    @raise Invalid_argument if a size parameter is out of range
+    ([history_bits], [table_bits], [choice_bits] in [1, 24]; [tag_bits]
+    in [1, 16]; [histories] 1–4 strictly increasing lengths), or if a
+    [Static] or [warm] prediction's length differs from [n_sites] — a
+    trace and a prediction from different builds must fail loudly, not
+    with a bare [Index_out_of_bounds] mid-replay. *)
 
 val hook : t -> Fisher92_ir.Insn.site -> bool -> unit
-(** Feed one dynamic branch: records correct/incorrect, then updates. *)
+(** Feed one dynamic branch: records correct/incorrect, then updates.
+    @raise Invalid_argument on a site outside [0, n_sites) — a trace
+    recorded against a different build. *)
 
 val simulate :
-  scheme -> n_sites:int -> ((Fisher92_ir.Insn.site -> bool -> unit) -> unit) -> t
-(** [simulate scheme ~n_sites replay] runs a cold predictor over a
-    branch stream: [replay] is called once with the predictor's
-    {!hook}.  Feeding the exact captured stream reproduces the inline
-    [on_branch] tallies bit-for-bit. *)
+  ?warm:Prediction.t ->
+  scheme ->
+  n_sites:int ->
+  ((Fisher92_ir.Insn.site -> bool -> unit) -> unit) ->
+  t
+(** [simulate scheme ~n_sites replay] runs a cold (or profile-warmed,
+    with [?warm]) predictor over a branch stream: [replay] is called
+    once with the predictor's {!hook}.  Feeding the exact captured
+    stream reproduces the inline [on_branch] tallies bit-for-bit. *)
 
 val reset_counts : t -> unit
 (** Zero the correct/incorrect tallies (total and per-site) but keep

@@ -161,3 +161,68 @@ let () =
                which is exactly the structural family's prediction *)
             Heuristic.ball_larus cx.cx_ir);
     }
+
+(* ---- dynamic-scheme zoo ---- *)
+
+type dynamic_spec = {
+  d_name : string;
+  d_scheme : Dynamic.scheme;
+  d_descr : string;
+}
+
+let dyn_registered : dynamic_spec list ref = ref [] (* reversed *)
+
+let register_dynamic d =
+  if List.exists (fun q -> String.equal q.d_name d.d_name) !dyn_registered
+  then
+    invalid_arg
+      (Printf.sprintf "Predictor.register_dynamic: duplicate %S" d.d_name);
+  dyn_registered := d :: !dyn_registered
+
+let zoo () = List.rev !dyn_registered
+
+let find_dynamic name =
+  List.find_opt (fun d -> String.equal d.d_name name) (zoo ())
+
+let () =
+  List.iter register_dynamic
+    [
+      {
+        d_name = "smith";
+        d_scheme = Dynamic.Smith { table_bits = 8 };
+        d_descr = "one shared table of 256 2-bit counters indexed by site \
+                   number, no per-site state [Smith 81]";
+      };
+      {
+        d_name = "2-bit";
+        d_scheme = Dynamic.Two_bit;
+        d_descr = "2-bit saturating counter per site [Lee and Smith 84]";
+      };
+      {
+        d_name = "2-level";
+        d_scheme = Dynamic.Two_level { history_bits = 10 };
+        d_descr = "GAg two-level adaptive: 10-bit global history indexes a \
+                   shared pattern table [Yeh and Patt 91]";
+      };
+      {
+        d_name = "gshare";
+        d_scheme = Dynamic.Gshare { history_bits = 12 };
+        d_descr = "12-bit global history XOR site number indexes the \
+                   pattern table [McFarling 93]";
+      };
+      {
+        d_name = "bimode";
+        d_scheme = Dynamic.Bimode { history_bits = 12; choice_bits = 10 };
+        d_descr = "per-site choice counters select between taken-biased and \
+                   not-taken-biased direction banks [Lee et al. 97]";
+      };
+      {
+        d_name = "tage";
+        d_scheme =
+          Dynamic.Tage
+            { table_bits = 7; tag_bits = 8; histories = [ 4; 8; 16 ] };
+        d_descr = "TAGE-lite: per-site bimodal base plus 3 tagged tables at \
+                   geometric history lengths 4/8/16 with useful-bit \
+                   replacement [Seznec and Michaud 06]";
+      };
+    ]

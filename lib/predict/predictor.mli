@@ -74,3 +74,27 @@ val heuristic_family : unit -> t list
 
 val summary_family : unit -> t list
 (** The combine-comparison predictors (scaled, unscaled, polling). *)
+
+(** {2 Dynamic-scheme zoo}
+
+    The hardware side of the paper's comparison lives in the same
+    registry file: every {!Fisher92_predict.Dynamic.scheme} the
+    tournament races — each sharing [Dynamic]'s
+    [simulate]/[reset_counts]/per-site-tally surface — is one
+    {!dynamic_spec}, so the tournament experiment, [fisher92 trace sim
+    --scheme] and the tracebench derive their rosters from one list. *)
+
+type dynamic_spec = {
+  d_name : string;  (** registry key, e.g. ["gshare"] *)
+  d_scheme : Dynamic.scheme;
+  d_descr : string;
+}
+
+val register_dynamic : dynamic_spec -> unit
+(** @raise Invalid_argument on a duplicate name. *)
+
+val zoo : unit -> dynamic_spec list
+(** Every registered dynamic scheme, in registration order.  Built-ins:
+    [smith], [2-bit], [2-level], [gshare], [bimode], [tage]. *)
+
+val find_dynamic : string -> dynamic_spec option

@@ -11,7 +11,11 @@ let add buf v =
   done;
   Buffer.add_char buf (Char.chr !v)
 
-let zigzag n = (n lsl 1) lxor (n asr 62)
+(* The arithmetic shift must smear the sign bit across the whole word:
+   that is [Sys.int_size - 1] positions, not a hardcoded 62 — a 31- or
+   32-bit-int runtime (or flambda boxing changes) would silently corrupt
+   every negative delta otherwise. *)
+let zigzag n = (n lsl 1) lxor (n asr (Sys.int_size - 1))
 let unzigzag u = (u lsr 1) lxor (-(u land 1))
 
 let read payload pos =

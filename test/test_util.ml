@@ -1,6 +1,7 @@
 module Rng = Fisher92_util.Rng
 module Stats = Fisher92_util.Stats
 module Env = Fisher92_util.Env
+module Varint = Fisher92_util.Varint
 
 let test_determinism () =
   let a = Rng.create 42 and b = Rng.create 42 in
@@ -322,6 +323,55 @@ let test_env_knobs_documented () =
       "FISHER92_NO_FSYNC"; "FISHER92_CRASH_AT";
     ]
 
+(* ---------- varint / zigzag ---------- *)
+
+let varint_roundtrip n =
+  let buf = Buffer.create 10 in
+  Varint.add buf (Varint.zigzag n);
+  let s = Buffer.contents buf in
+  let pos = ref 0 in
+  let back = Varint.unzigzag (Varint.read s pos) in
+  (back, !pos, String.length s)
+
+(* The sign smear must cover the whole word ([Sys.int_size - 1], not a
+   hardcoded 62): pin the extreme magnitudes end-to-end through the
+   encoder, which a wrong shift silently corrupts. *)
+let test_zigzag_extremes () =
+  Alcotest.(check int) "zigzag 0" 0 (Varint.zigzag 0);
+  Alcotest.(check int) "zigzag -1" 1 (Varint.zigzag (-1));
+  Alcotest.(check int) "zigzag 1" 2 (Varint.zigzag 1);
+  Alcotest.(check int) "zigzag -2" 3 (Varint.zigzag (-2));
+  List.iter
+    (fun n ->
+      let back, consumed, len = varint_roundtrip n in
+      Alcotest.(check int) (Printf.sprintf "roundtrip %d" n) n back;
+      Alcotest.(check int) "consumed all" len consumed)
+    [ min_int; min_int + 1; max_int - 1; max_int; 0; 1; -1 ];
+  (* a full-width zigzag needs exactly ceil(int_size / 7) LEB128 bytes *)
+  let _, _, len = varint_roundtrip min_int in
+  Alcotest.(check int) "min_int encoding width"
+    ((Sys.int_size + 6) / 7)
+    len
+
+let prop_zigzag_roundtrip =
+  QCheck2.Test.make ~count:2000 ~name:"zigzag/varint roundtrip"
+    QCheck2.Gen.(
+      oneof
+        [
+          int;
+          oneofl [ min_int; min_int + 1; -1; 0; 1; max_int - 1; max_int ];
+        ])
+    (fun n ->
+      let back, consumed, len = varint_roundtrip n in
+      back = n && consumed = len)
+
+let prop_zigzag_order =
+  QCheck2.Test.make ~count:2000 ~name:"zigzag maps magnitude to magnitude"
+    QCheck2.Gen.(int_range (-1_000_000) 1_000_000)
+    (fun n ->
+      (* |zigzag n| grows with |n|, so varint length tracks magnitude *)
+      Varint.zigzag n = if n >= 0 then 2 * n else (-2 * n) - 1)
+
 let () =
   Alcotest.run "util"
     [
@@ -354,6 +404,13 @@ let () =
           Alcotest.test_case "ratio/percent" `Quick test_ratio_percent;
           Alcotest.test_case "weighted_mean" `Quick test_weighted_mean;
           Alcotest.test_case "pearson" `Quick test_pearson;
+        ] );
+      ( "varint",
+        [
+          Alcotest.test_case "zigzag extremes pinned" `Quick
+            test_zigzag_extremes;
+          QCheck_alcotest.to_alcotest prop_zigzag_roundtrip;
+          QCheck_alcotest.to_alcotest prop_zigzag_order;
         ] );
       ( "env",
         [

@@ -1,0 +1,386 @@
+(* The predictor zoo: qcheck surface properties every scheme must hold
+   (determinism, clean reset, per-site tallies summing to the globals,
+   warm seeding that never crashes), the latent-bug regressions on the
+   dynamic-prediction path (Static/warm length validation, hook site
+   bounds), hand-evaluated cold/warm semantics of the new schemes, and
+   the tournament acceptance gate: profile warming never loses on
+   geomean mispredicts, store hit and miss replay bit-identically. *)
+
+module Dynamic = Fisher92_predict.Dynamic
+module Predictor = Fisher92_predict.Predictor
+module Prediction = Fisher92_predict.Prediction
+module Remap = Fisher92_predict.Remap
+module Db = Fisher92_profile.Db
+module Tracing = Fisher92.Tracing
+module Registry = Fisher92_workloads.Registry
+module Workload = Fisher92_workloads.Workload
+module Gen = QCheck2.Gen
+
+(* Isolate the trace store, as test_trace does. *)
+let trace_dir =
+  let d = Filename.temp_file "f92zoo" ".d" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let () =
+  Unix.putenv "FISHER92_TRACE_DIR" trace_dir;
+  Unix.putenv "FISHER92_NO_TRACE" ""
+
+let replay_of evs f = List.iter (fun (s, t) -> f s t) evs
+let zoo () = Predictor.zoo ()
+
+let tallies sim =
+  ( Dynamic.correct sim,
+    Dynamic.incorrect sim,
+    Dynamic.site_correct sim,
+    Dynamic.site_incorrect sim )
+
+(* ---------- generators ---------- *)
+
+let stream_gen =
+  Gen.(
+    int_range 1 20 >>= fun n_sites ->
+    list_size (int_range 0 400)
+      (pair (int_range 0 (n_sites - 1)) bool)
+    >>= fun evs ->
+    array_size (return n_sites) bool >>= fun warm -> return (n_sites, evs, warm))
+
+let pp_stream (n_sites, evs, _) =
+  Printf.sprintf "n_sites=%d events=%d" n_sites (List.length evs)
+
+(* ---------- zoo-wide qcheck properties ---------- *)
+
+let for_all_schemes f =
+  List.for_all (fun z -> f z.Predictor.d_name z.Predictor.d_scheme) (zoo ())
+
+let prop_deterministic =
+  QCheck2.Test.make ~count:100 ~name:"simulate is deterministic"
+    ~print:pp_stream stream_gen (fun (n_sites, evs, _) ->
+      for_all_schemes (fun _ scheme ->
+          let a = Dynamic.simulate scheme ~n_sites (replay_of evs) in
+          let b = Dynamic.simulate scheme ~n_sites (replay_of evs) in
+          tallies a = tallies b))
+
+let prop_tallies_sum =
+  QCheck2.Test.make ~count:100
+    ~name:"per-site tallies sum to the global counters" ~print:pp_stream
+    stream_gen (fun (n_sites, evs, _) ->
+      for_all_schemes (fun _ scheme ->
+          let sim = Dynamic.simulate scheme ~n_sites (replay_of evs) in
+          let sum = Array.fold_left ( + ) 0 in
+          sum (Dynamic.site_correct sim) = Dynamic.correct sim
+          && sum (Dynamic.site_incorrect sim) = Dynamic.incorrect sim
+          && Dynamic.correct sim + Dynamic.incorrect sim = List.length evs))
+
+let prop_reset_clean =
+  QCheck2.Test.make ~count:100 ~name:"reset_counts yields a clean slate"
+    ~print:pp_stream stream_gen (fun (n_sites, evs, _) ->
+      for_all_schemes (fun _ scheme ->
+          let sim = Dynamic.simulate scheme ~n_sites (replay_of evs) in
+          Dynamic.reset_counts sim;
+          Dynamic.correct sim = 0
+          && Dynamic.incorrect sim = 0
+          && Array.for_all (( = ) 0) (Dynamic.site_correct sim)
+          && Array.for_all (( = ) 0) (Dynamic.site_incorrect sim)))
+
+let prop_warm_total =
+  QCheck2.Test.make ~count:100
+    ~name:"warm seeding never crashes and still counts every branch"
+    ~print:pp_stream stream_gen (fun (n_sites, evs, warm) ->
+      for_all_schemes (fun _ scheme ->
+          let sim = Dynamic.simulate ~warm scheme ~n_sites (replay_of evs) in
+          Dynamic.correct sim + Dynamic.incorrect sim = List.length evs))
+
+(* ---------- latent-bug regressions ---------- *)
+
+let check_invalid name needle f =
+  match f () with
+  | exception Invalid_argument msg ->
+    let has sub s =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s message mentions %S: %s" name needle msg)
+      true (has needle msg)
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+(* Regression: [Static p] with the wrong length used to die mid-replay
+   with a bare Index_out_of_bounds once the trace touched a high site;
+   now create rejects the mismatch up front, descriptively. *)
+let test_static_length_validated () =
+  check_invalid "short static" "static prediction" (fun () ->
+      Dynamic.create (Dynamic.Static [| true; false |]) ~n_sites:5);
+  check_invalid "long static" "static prediction" (fun () ->
+      Dynamic.simulate
+        (Dynamic.Static (Array.make 9 false))
+        ~n_sites:3
+        (replay_of [ (0, true) ]));
+  (* the exact-length case still works *)
+  let sim =
+    Dynamic.simulate
+      (Dynamic.Static [| true; true |])
+      ~n_sites:2
+      (replay_of [ (0, true); (1, false) ])
+  in
+  Alcotest.(check int) "static still predicts" 1 (Dynamic.correct sim)
+
+let test_hook_site_bounds () =
+  let sim = Dynamic.create Dynamic.Two_bit ~n_sites:2 in
+  check_invalid "site too high" "out of range" (fun () ->
+      Dynamic.hook sim 2 true);
+  check_invalid "negative site" "out of range" (fun () ->
+      Dynamic.hook sim (-1) true);
+  List.iter
+    (fun z ->
+      let sim = Dynamic.create z.Predictor.d_scheme ~n_sites:3 in
+      check_invalid (z.Predictor.d_name ^ " bounds") "out of range" (fun () ->
+          Dynamic.hook sim 7 false))
+    (zoo ())
+
+let test_warm_length_validated () =
+  check_invalid "warm too short" "warm prediction" (fun () ->
+      Dynamic.create ~warm:[| true |] Dynamic.Two_bit ~n_sites:3)
+
+(* ---------- new-scheme semantics, hand-evaluated ---------- *)
+
+(* Smith shares one counter table across sites: with a 2-entry table,
+   sites 0 and 2 alias onto entry 0, so training on site 0 predicts
+   site 2's first visit; per-site 2-bit state knows nothing yet. *)
+let test_smith_aliases () =
+  let evs = [ (0, true); (0, true); (2, true) ] in
+  let smith =
+    Dynamic.simulate (Dynamic.Smith { table_bits = 1 }) ~n_sites:3
+      (replay_of evs)
+  in
+  let twobit = Dynamic.simulate Dynamic.Two_bit ~n_sites:3 (replay_of evs) in
+  Alcotest.(check int) "smith rides the shared counter" 1
+    (Dynamic.correct smith);
+  Alcotest.(check int) "2-bit still cold on site 2" 0 (Dynamic.correct twobit)
+
+(* When the table covers every site without aliasing, Smith degenerates
+   to exactly the per-site 2-bit predictor. *)
+let prop_smith_equals_twobit =
+  QCheck2.Test.make ~count:100
+    ~name:"unaliased smith == per-site 2-bit" ~print:pp_stream stream_gen
+    (fun (n_sites, evs, _) ->
+      let smith =
+        Dynamic.simulate (Dynamic.Smith { table_bits = 5 }) ~n_sites
+          (replay_of evs)
+      in
+      let twobit = Dynamic.simulate Dynamic.Two_bit ~n_sites (replay_of evs) in
+      tallies smith = tallies twobit)
+
+let test_bimode_cold () =
+  (* hand-evaluated like test_trace's check_cold: banks and choice all
+     cold predict not-taken; the third event flips to the taken bank
+     whose counter is still weak, so only the not-taken event lands *)
+  let sim =
+    Dynamic.simulate
+      (Dynamic.Bimode { history_bits = 1; choice_bits = 1 })
+      ~n_sites:1
+      (replay_of [ (0, true); (0, true); (0, false); (0, true) ])
+  in
+  Alcotest.(check int) "bimode cold correct" 1 (Dynamic.correct sim);
+  Alcotest.(check int) "bimode cold incorrect" 3 (Dynamic.incorrect sim)
+
+let test_tage_cold_vs_warm () =
+  let all_taken = List.init 4 (fun _ -> (0, true)) in
+  let scheme =
+    Dynamic.Tage { table_bits = 7; tag_bits = 8; histories = [ 4; 8; 16 ] }
+  in
+  let cold = Dynamic.simulate scheme ~n_sites:1 (replay_of all_taken) in
+  let warm =
+    Dynamic.simulate ~warm:[| true |] scheme ~n_sites:1 (replay_of all_taken)
+  in
+  (* cold base needs two outcomes to cross the taken threshold *)
+  Alcotest.(check bool)
+    (Printf.sprintf "cold tage misses the head (%d wrong)"
+       (Dynamic.incorrect cold))
+    true
+    (Dynamic.incorrect cold >= 2);
+  Alcotest.(check int) "warm tage is right from branch one" 4
+    (Dynamic.correct warm)
+
+let test_warm_twobit_beats_cold () =
+  let evs = [ (0, true); (0, true); (0, false); (0, true) ] in
+  let cold = Dynamic.simulate Dynamic.Two_bit ~n_sites:1 (replay_of evs) in
+  let warm =
+    Dynamic.simulate ~warm:[| true |] Dynamic.Two_bit ~n_sites:1
+      (replay_of evs)
+  in
+  Alcotest.(check int) "cold 2-bit all wrong" 0 (Dynamic.correct cold);
+  Alcotest.(check int) "warm 2-bit rides the bias" 3 (Dynamic.correct warm)
+
+(* ---------- warming through the remap chain ---------- *)
+
+let loaded_workloads names =
+  Fisher92.Study.items
+    (Fisher92.Study.load ~workloads:(List.map Registry.find names) ())
+
+(* A database whose shape does not match the build (a "previous
+   version" profile missing sites) must warm through the degradation
+   chain — never crash the simulator with an out-of-bounds seed. *)
+let test_warm_survives_stale_db () =
+  let l = List.hd (loaded_workloads [ "compress" ]) in
+  let ir = l.Fisher92.Study.ir in
+  let n_sites = Fisher92_ir.Program.n_sites ir in
+  let stale =
+    Db.create ~program:l.Fisher92.Study.workload.Workload.w_name
+      ~n_sites:(n_sites + 7)
+  in
+  let plan = Remap.plan ir stale in
+  Alcotest.(check int) "chain fills every site of the build" n_sites
+    (Array.length plan.Remap.r_prediction);
+  let d = List.hd l.Fisher92.Study.workload.Workload.w_datasets in
+  let ob =
+    Tracing.obtain ~ir ~program:l.Fisher92.Study.workload.Workload.w_name d
+  in
+  List.iter
+    (fun z ->
+      let sim =
+        Dynamic.simulate ~warm:plan.Remap.r_prediction z.Predictor.d_scheme
+          ~n_sites
+          (Fisher92_trace.Trace.Reader.iter ob.Tracing.reader)
+      in
+      Alcotest.(check bool)
+        (z.Predictor.d_name ^ " counted every branch")
+        true
+        (Dynamic.correct sim + Dynamic.incorrect sim > 0))
+    (zoo ())
+
+(* ---------- tournament acceptance ---------- *)
+
+(* Geomean over rows of (warm+1)/(cold+1); < 1 means warming won. *)
+let ratio pairs =
+  Fisher92_util.Stats.geomean
+    (List.map
+       (fun (c, w) -> float_of_int (w + 1) /. float_of_int (c + 1))
+       pairs)
+
+let tournament_rows = lazy (Fisher92.Experiments.tournament
+  (Fisher92.Study.load
+     ~workloads:(List.map Registry.find [ "doduc"; "compress"; "spiff" ])
+     ()))
+
+(* The PR's headline claim: on every scheme, profile warming beats the
+   cold start on geomean mispredicts over the raced workloads. *)
+let test_warm_beats_cold_geomean () =
+  let rows = Lazy.force tournament_rows in
+  let schemes =
+    List.sort_uniq compare
+      (List.map (fun r -> r.Fisher92.Experiments.tn_scheme) rows)
+  in
+  Alcotest.(check bool) "zoo raced at least 5 schemes" true
+    (List.length schemes >= 5);
+  List.iter
+    (fun name ->
+      let pairs =
+        List.filter_map
+          (fun (r : Fisher92.Experiments.tournament_row) ->
+            if r.tn_scheme = name then Some (r.tn_cold_mr, r.tn_warm_mr)
+            else None)
+          rows
+      in
+      let g = ratio pairs in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s warm/cold mispredict geomean %.4f < 1" name g)
+        true (g < 1.0))
+    schemes
+
+(* ... and on the H2P class (the few unbiased, history-resistant sites
+   carrying an outsized mispredict share) warming never loses overall. *)
+let test_h2p_warming_closes_gap () =
+  let rows =
+    Fisher92.Experiments.h2p
+      (Fisher92.Study.load
+         ~workloads:(List.map Registry.find [ "doduc"; "compress"; "spiff" ])
+         ())
+  in
+  let all_pairs =
+    List.concat_map
+      (fun (r : Fisher92.Experiments.h2p_row) ->
+        List.map (fun (_, c, w) -> (c, w)) r.hp_schemes)
+      rows
+  in
+  Alcotest.(check bool) "some H2P sites exist" true
+    (List.exists (fun (r : Fisher92.Experiments.h2p_row) -> r.hp_sites > 0) rows);
+  let g = ratio all_pairs in
+  Alcotest.(check bool)
+    (Printf.sprintf "H2P warm/cold mispredict geomean %.4f < 1" g)
+    true (g < 1.0)
+
+(* Store hit and store miss must replay bit-identically: race once with
+   an empty store (capture), once against the populated store. *)
+let test_store_hit_miss_identical () =
+  Fisher92_trace.Trace.Store.clear ();
+  let study =
+    Fisher92.Study.load ~workloads:[ Registry.find "compress" ] ()
+  in
+  let schemes = Fisher92.Experiments.zoo_schemes () in
+  let snapshot results =
+    List.map
+      (fun ((_ : Fisher92.Study.loaded), (ob : Tracing.obtained), races) ->
+        ( ob.Tracing.from_store,
+          List.map
+            (fun (rc : Tracing.raced) ->
+              (tallies rc.rc_cold, tallies rc.rc_warm))
+            races ))
+      results
+  in
+  let miss = snapshot (Tracing.tournament_study ~schemes study) in
+  let hit = snapshot (Tracing.tournament_study ~schemes study) in
+  Alcotest.(check bool) "first pass captured" true
+    (List.for_all (fun (from_store, _) -> not from_store) miss);
+  Alcotest.(check bool) "second pass hit the store" true
+    (List.for_all (fun (from_store, _) -> from_store) hit);
+  Alcotest.(check bool) "bit-identical tallies" true
+    (List.map snd miss = List.map snd hit)
+
+(* ---------- run ---------- *)
+
+let () =
+  Alcotest.run "zoo"
+    [
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_deterministic;
+          QCheck_alcotest.to_alcotest prop_tallies_sum;
+          QCheck_alcotest.to_alcotest prop_reset_clean;
+          QCheck_alcotest.to_alcotest prop_warm_total;
+          QCheck_alcotest.to_alcotest prop_smith_equals_twobit;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "static length validated" `Quick
+            test_static_length_validated;
+          Alcotest.test_case "hook site bounds" `Quick test_hook_site_bounds;
+          Alcotest.test_case "warm length validated" `Quick
+            test_warm_length_validated;
+        ] );
+      ( "schemes",
+        [
+          Alcotest.test_case "smith aliases" `Quick test_smith_aliases;
+          Alcotest.test_case "bimode cold start" `Quick test_bimode_cold;
+          Alcotest.test_case "tage cold vs warm" `Quick test_tage_cold_vs_warm;
+          Alcotest.test_case "warm 2-bit beats cold" `Quick
+            test_warm_twobit_beats_cold;
+        ] );
+      ( "warming",
+        [
+          Alcotest.test_case "stale db warms safely" `Quick
+            test_warm_survives_stale_db;
+        ] );
+      ( "tournament",
+        [
+          Alcotest.test_case "warm beats cold (geomean)" `Slow
+            test_warm_beats_cold_geomean;
+          Alcotest.test_case "h2p gap closes" `Slow test_h2p_warming_closes_gap;
+          Alcotest.test_case "store hit/miss identical" `Quick
+            test_store_hit_miss_identical;
+        ] );
+    ]
