@@ -506,14 +506,16 @@ let trace_cmd =
         else None
       in
       let n_sites = Fisher92_ir.Program.n_sites ir in
-      let replay = Trace.Reader.iter ob.Tracing.reader in
+      let replay = Trace.Reader.iter_runs ob.Tracing.reader in
       let rows =
         List.map
           (fun scheme ->
-            let t = Dynamic.simulate ?warm:warm_pred scheme ~n_sites replay in
+            let t =
+              Dynamic.simulate_runs ?warm:warm_pred scheme ~n_sites replay
+            in
             if warm then begin
               Dynamic.reset_counts t;
-              replay (Dynamic.hook t)
+              replay (Dynamic.hook_batch t)
             end;
             [
               Dynamic.scheme_name scheme;

@@ -46,12 +46,15 @@ let simulate_study ?domains ?store ~schemes study =
       let dataset = List.hd l.workload.Workload.w_datasets in
       let ob = obtain ?store ~ir:l.ir ~program:l.workload.w_name dataset in
       let n_sites = Fisher92_ir.Program.n_sites l.ir in
+      (* one decode feeds every scheme: the chunk fans out over the
+         per-scheme table-update loops, so adding a scheme costs its
+         updates only, not another pass over the codec *)
       let sims =
-        List.map
-          (fun scheme ->
-            (scheme, Dynamic.simulate scheme ~n_sites (Trace.Reader.iter ob.reader)))
-          schemes
+        List.map (fun scheme -> (scheme, Dynamic.create scheme ~n_sites)) schemes
       in
+      let hooks = List.map (fun (_, t) -> Dynamic.hook_batch t) sims in
+      Trace.Reader.iter_runs ob.reader (fun st tk rl pr n ->
+          List.iter (fun h -> h st tk rl pr n) hooks);
       (l, ob, sims))
     (Study.items study)
 
@@ -79,16 +82,23 @@ let tournament_study ?domains ?store ~schemes study =
       let ob = obtain ?store ~ir:l.ir ~program:l.workload.w_name dataset in
       let n_sites = Fisher92_ir.Program.n_sites l.ir in
       let warm = warm_prediction l in
+      (* cold and warm twins for every scheme ride one shared decode *)
       let races =
         List.map
           (fun scheme ->
-            let replay = Trace.Reader.iter ob.reader in
             {
               rc_scheme = scheme;
-              rc_cold = Dynamic.simulate scheme ~n_sites replay;
-              rc_warm = Dynamic.simulate ~warm scheme ~n_sites replay;
+              rc_cold = Dynamic.create scheme ~n_sites;
+              rc_warm = Dynamic.create ~warm scheme ~n_sites;
             })
           schemes
       in
+      let hooks =
+        List.concat_map
+          (fun r -> [ Dynamic.hook_batch r.rc_cold; Dynamic.hook_batch r.rc_warm ])
+          races
+      in
+      Trace.Reader.iter_runs ob.reader (fun st tk rl pr n ->
+          List.iter (fun h -> h st tk rl pr n) hooks);
       (l, ob, races))
     (Study.items study)

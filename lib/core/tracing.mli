@@ -44,10 +44,12 @@ val simulate_study :
   (Study.loaded * obtained * (Dynamic.scheme * Dynamic.t) list) list
 (** For every loaded workload: obtain the trace of its {e first}
     dataset (the convention the [dynamic] experiment established) and
-    replay it through a cold simulator per scheme.  Fans the
-    per-workload work over a {!Fisher92_util.Pool}; results are merged
-    by index, so the output is deterministic and identical to a
-    sequential run. *)
+    replay it through a cold simulator per scheme, on the batched
+    run-level path ({!Trace.Reader.iter_runs} into
+    {!Dynamic.simulate_runs} — bit-identical to streaming replay,
+    several times faster).  Fans the per-workload work over a
+    {!Fisher92_util.Pool}; results are merged by index, so the output
+    is deterministic and identical to a sequential run. *)
 
 val warm_prediction : Study.loaded -> Fisher92_predict.Prediction.t
 (** The profile-warming vector for a workload: an IFPROB database built

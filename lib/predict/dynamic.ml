@@ -21,6 +21,15 @@ let scheme_name = function
     Printf.sprintf "tage/%s"
       (String.concat "-" (List.map string_of_int histories))
 
+(* Shared and pattern tables hold 2-bit counters, so they are packed
+   one counter per byte: a 4096-entry gshare table is 4 KB instead of
+   32 KB of boxed-int-free but 8-byte array words, which keeps every
+   zoo scheme's working set L1-resident during replay.  Entries are
+   masked before every access, so the unsafe byte accessors below are
+   in range by construction. *)
+let[@inline] bget b i = Char.code (Bytes.unsafe_get b i)
+let[@inline] bset b i v = Bytes.unsafe_set b i (Char.unsafe_chr v)
+
 (* One tagged TAGE component: entries are (tag, 2-bit counter, useful
    bit); [tg_tag] holds -1 for never-allocated entries so a cold table
    can never produce a spurious tag match. *)
@@ -29,19 +38,19 @@ type tagged = {
   tg_mask : int;
   tg_tagmask : int;
   tg_tag : int array;
-  tg_ctr : int array;
-  tg_useful : bool array;
+  tg_ctr : Bytes.t;  (* 2-bit counters, one per byte *)
+  tg_useful : Bytes.t;  (* useful bits, '\000' / '\001' *)
 }
 
 type core =
   | State of int array  (* per-site: 0/1 (1-bit) or 0..3 (2-bit) *)
   | Fixed of Prediction.t
-  | Pattern of { table : int array; mask : int; xor_site : bool }
-  | Shared of { table : int array; mask : int }  (* Smith: site-indexed *)
+  | Pattern of { table : Bytes.t; mask : int; xor_site : bool }
+  | Shared of { table : Bytes.t; mask : int }  (* Smith: site-indexed *)
   | Split of {
-      choice : int array;  (* per-site-hash 2-bit bank selectors *)
+      choice : Bytes.t;  (* per-site-hash 2-bit bank selectors *)
       cmask : int;
-      dir : int array array;  (* dir.(0) not-taken bank, dir.(1) taken *)
+      dir : Bytes.t array;  (* dir.(0) not-taken bank, dir.(1) taken *)
       dmask : int;
     }
   | Tagged of { base : int array; tables : tagged array }
@@ -78,20 +87,20 @@ let check_histories histories =
       "Dynamic.create: tage histories must be 1-4 strictly increasing \
        lengths in [1, 24]"
 
-let bump c taken = if taken then min 3 (c + 1) else max 0 (c - 1)
+let[@inline] bump c taken = if taken then min 3 (c + 1) else max 0 (c - 1)
 
 (* Deterministic integer mix for TAGE index/tag hashing; [land] with a
    positive mask keeps the result non-negative whatever the products
    overflow to. *)
-let mix a b =
+let[@inline] mix a b =
   let x = (a * 0x9E3779B1) lxor (b * 0x85EBCA6B) in
   x lxor (x lsr 15)
 
-let tage_index tg site history =
+let[@inline] tage_index tg site history =
   let h = history land ((1 lsl tg.tg_hist) - 1) in
   mix site h land tg.tg_mask
 
-let tage_tag tg site history =
+let[@inline] tage_tag tg site history =
   let h = history land ((1 lsl tg.tg_hist) - 1) in
   mix (h lxor 0x5bd1e995) (site + 0x27d4eb2f) land tg.tg_tagmask
 
@@ -105,8 +114,8 @@ let tage_tag tg site history =
 let seed t (w : Prediction.t) =
   let weak dir = if dir then 2 else 1 in
   let vote table mask per_entry_default =
-    let votes = Array.make (Array.length table) 0 in
-    let touched = Array.make (Array.length table) false in
+    let votes = Array.make (Bytes.length table) 0 in
+    let touched = Array.make (Bytes.length table) false in
     Array.iteri
       (fun s dir ->
         let i = s land mask in
@@ -117,8 +126,8 @@ let seed t (w : Prediction.t) =
       (fun i v ->
         if touched.(i) then
           (* ties take the taken side, matching Profile.majority_taken *)
-          table.(i) <- weak (v >= 0)
-        else table.(i) <- per_entry_default)
+          bset table i (weak (v >= 0))
+        else bset table i per_entry_default)
       votes
   in
   match t.core with
@@ -135,12 +144,12 @@ let seed t (w : Prediction.t) =
        majority-taken programs. *)
     let taken = Array.fold_left (fun n d -> n + Bool.to_int d) 0 w in
     let majority = 2 * taken >= Array.length w in
-    Array.fill table 0 (Array.length table) (weak majority)
+    Bytes.fill table 0 (Bytes.length table) (Char.chr (weak majority))
   | Shared { table; mask } -> vote table mask 0
   | Split { choice; cmask; dir; _ } ->
     vote choice cmask 0;
-    Array.fill dir.(0) 0 (Array.length dir.(0)) 1;
-    Array.fill dir.(1) 0 (Array.length dir.(1)) 2
+    Bytes.fill dir.(0) 0 (Bytes.length dir.(0)) '\001';
+    Bytes.fill dir.(1) 0 (Bytes.length dir.(1)) '\002'
   | Tagged { base; _ } -> Array.iteri (fun s dir -> base.(s) <- weak dir) w
 
 let create ?warm scheme ~n_sites =
@@ -166,26 +175,28 @@ let create ?warm scheme ~n_sites =
     | Two_level { history_bits } ->
       check_bits "history_bits" history_bits;
       let size = 1 lsl history_bits in
-      (Pattern { table = Array.make size 0; mask = size - 1; xor_site = false },
-       size - 1)
+      ( Pattern
+          { table = Bytes.make size '\000'; mask = size - 1; xor_site = false },
+        size - 1 )
     | Gshare { history_bits } ->
       check_bits "history_bits" history_bits;
       let size = 1 lsl history_bits in
-      (Pattern { table = Array.make size 0; mask = size - 1; xor_site = true },
-       size - 1)
+      ( Pattern
+          { table = Bytes.make size '\000'; mask = size - 1; xor_site = true },
+        size - 1 )
     | Smith { table_bits } ->
       check_bits "table_bits" table_bits;
       let size = 1 lsl table_bits in
-      (Shared { table = Array.make size 0; mask = size - 1 }, 0)
+      (Shared { table = Bytes.make size '\000'; mask = size - 1 }, 0)
     | Bimode { history_bits; choice_bits } ->
       check_bits "history_bits" history_bits;
       check_bits "choice_bits" choice_bits;
       let dsize = 1 lsl history_bits and csize = 1 lsl choice_bits in
       ( Split
           {
-            choice = Array.make csize 0;
+            choice = Bytes.make csize '\000';
             cmask = csize - 1;
-            dir = [| Array.make dsize 0; Array.make dsize 0 |];
+            dir = [| Bytes.make dsize '\000'; Bytes.make dsize '\000' |];
             dmask = dsize - 1;
           },
         dsize - 1 )
@@ -204,8 +215,8 @@ let create ?warm scheme ~n_sites =
                  tg_mask = size - 1;
                  tg_tagmask = (1 lsl tag_bits) - 1;
                  tg_tag = Array.make size (-1);
-                 tg_ctr = Array.make size 0;
-                 tg_useful = Array.make size false;
+                 tg_ctr = Bytes.make size '\000';
+                 tg_useful = Bytes.make size '\000';
                })
              histories)
       in
@@ -243,7 +254,7 @@ let tage_lookup tables base site history =
       else if !alt = None then alt := Some (i, idx)
   done;
   let pred = function
-    | Some (i, idx) -> tables.(i).tg_ctr.(idx) >= 2
+    | Some (i, idx) -> bget tables.(i).tg_ctr idx >= 2
     | None -> base.(site) >= 2
   in
   (!provider, pred !provider, pred !alt)
@@ -270,27 +281,27 @@ let hook t site taken =
         if xor_site then (t.history lxor site) land mask
         else t.history land mask
       in
-      ( table.(i) >= 2,
+      ( bget table i >= 2,
         fun () ->
-          table.(i) <- bump table.(i) taken;
+          bset table i (bump (bget table i) taken);
           push_history taken )
     | Shared { table; mask } ->
       let i = site land mask in
-      (table.(i) >= 2, fun () -> table.(i) <- bump table.(i) taken)
+      (bget table i >= 2, fun () -> bset table i (bump (bget table i) taken))
     | Split { choice; cmask; dir; dmask } ->
       let ci = site land cmask in
       let di = (t.history lxor site) land dmask in
-      let bank = if choice.(ci) >= 2 then 1 else 0 in
-      let predicted = dir.(bank).(di) >= 2 in
+      let bank = dir.(if bget choice ci >= 2 then 1 else 0) in
+      let predicted = bget bank di >= 2 in
       ( predicted,
         fun () ->
-          dir.(bank).(di) <- bump dir.(bank).(di) taken;
+          bset bank di (bump (bget bank di) taken);
           (* Bi-Mode choice rule: don't update the selector when it
              disagreed with the outcome but the selected bank still
              predicted correctly — that agreement is the bank's bias
              doing its job, not evidence about this site. *)
-          if not (predicted = taken && (choice.(ci) >= 2) <> taken) then
-            choice.(ci) <- bump choice.(ci) taken;
+          if not (predicted = taken && (bget choice ci >= 2) <> taken) then
+            bset choice ci (bump (bget choice ci) taken);
           push_history taken )
     | Tagged { base; tables } ->
       let provider, predicted, altpred =
@@ -301,9 +312,9 @@ let hook t site taken =
           (match provider with
           | Some (i, idx) ->
             let tg = tables.(i) in
-            tg.tg_ctr.(idx) <- bump tg.tg_ctr.(idx) taken;
+            bset tg.tg_ctr idx (bump (bget tg.tg_ctr idx) taken);
             if predicted <> altpred then
-              tg.tg_useful.(idx) <- predicted = taken
+              bset tg.tg_useful idx (Bool.to_int (predicted = taken))
           | None -> base.(site) <- bump base.(site) taken);
           if predicted <> taken then begin
             (* Allocate one entry in a longer-history table, preferring
@@ -317,16 +328,16 @@ let hook t site taken =
             for i = floor to Array.length tables - 1 do
               let tg = tables.(i) in
               let idx = tage_index tg site t.history in
-              if (not !allocated) && not tg.tg_useful.(idx) then begin
+              if (not !allocated) && bget tg.tg_useful idx = 0 then begin
                 tg.tg_tag.(idx) <- tage_tag tg site t.history;
-                tg.tg_ctr.(idx) <- (if taken then 2 else 1);
+                bset tg.tg_ctr idx (if taken then 2 else 1);
                 allocated := true
               end
             done;
             if not !allocated then
               for i = floor to Array.length tables - 1 do
                 let tg = tables.(i) in
-                tg.tg_useful.(tage_index tg site t.history) <- false
+                bset tg.tg_useful (tage_index tg site t.history) 0
               done
           end;
           push_history taken )
@@ -340,6 +351,695 @@ let hook t site taken =
     t.site_incorrect.(site) <- t.site_incorrect.(site) + 1
   end;
   update ()
+
+(* ---- batched replay ---- *)
+
+let bad_site t site =
+  invalid_arg
+    (Printf.sprintf
+       "Dynamic.hook: site %d out of range for a %d-site predictor (trace \
+        and build disagree?)"
+       site t.n_sites)
+
+(* callers have already range-checked [site] against [n_sites] *)
+let[@inline] tally t site ok =
+  if ok then begin
+    t.correct <- t.correct + 1;
+    Array.unsafe_set t.site_correct site
+      (Array.unsafe_get t.site_correct site + 1)
+  end
+  else begin
+    t.incorrect <- t.incorrect + 1;
+    Array.unsafe_set t.site_incorrect site
+      (Array.unsafe_get t.site_incorrect site + 1)
+  end
+
+(* [m] identical verdicts at once: a fast-forwarded run tail *)
+let[@inline] tally_n t site ok m =
+  if ok then begin
+    t.correct <- t.correct + m;
+    Array.unsafe_set t.site_correct site
+      (Array.unsafe_get t.site_correct site + m)
+  end
+  else begin
+    t.incorrect <- t.incorrect + m;
+    Array.unsafe_set t.site_incorrect site
+      (Array.unsafe_get t.site_incorrect site + m)
+  end
+
+(* a run that splits into [ok] correct then [bad] incorrect verdicts
+   (or vice versa — order does not matter to the counters) *)
+let[@inline] tally2 t site ok bad =
+  if ok > 0 then begin
+    t.correct <- t.correct + ok;
+    Array.unsafe_set t.site_correct site
+      (Array.unsafe_get t.site_correct site + ok)
+  end;
+  if bad > 0 then begin
+    t.incorrect <- t.incorrect + bad;
+    Array.unsafe_set t.site_incorrect site
+      (Array.unsafe_get t.site_incorrect site + bad)
+  end
+
+(* Fast-forward a [p]-periodic stretch of [len] events starting at
+   [i0]: the decoder certifies ev.(j) = ev.(j - p) for every event of
+   the stretch (a steady loop iteration).  [step j] processes event [j]
+   exactly as one {!hook} call would and returns bit 0 = verdict
+   (1 = correct) and bit 1 = some table write changed a stored value;
+   [snap] exposes the scheme's scalar state (its history register, or
+   always 0).  The driver steps whole periods, recording each phase's
+   verdict; once a full period is quiet — no write changed a value and
+   the scalar state came back to its period-start value — the state is
+   at a fixpoint of the period, so by induction every remaining event
+   meets the same state as its phase did and repeats the recorded
+   verdict.  Detecting the fixpoint only through actual value changes
+   keeps this exact for every scheme: a period that is still training
+   (or oscillating) never goes quiet and is simply stepped. *)
+let periodic_skip t sites vbuf ~step ~snap i0 p len =
+  let i = ref i0 and left = ref len in
+  let quiet = ref false in
+  while (not !quiet) && !left >= 2 * p do
+    let h0 = snap () in
+    let ch = ref 0 in
+    for q = 0 to p - 1 do
+      let r = step (!i + q) in
+      Bytes.unsafe_set vbuf q (Char.unsafe_chr (r land 1));
+      ch := !ch lor (r land 2)
+    done;
+    i := !i + p;
+    left := !left - p;
+    quiet := !ch = 0 && snap () = h0
+  done;
+  if !quiet then begin
+    (* [m] whole periods remain; each phase [q] repeats the verdict
+       recorded during the last stepped period, on the same site
+       (periodicity makes sites.(!i + q) safe to read: it equals the
+       stepped sites.(!i + q - p)).  Only full periods are bulk-tallied
+       — a partial trailing period must be stepped so the history
+       register leaves the stretch holding the right outcomes. *)
+    let m = !left / p in
+    if m > 0 then begin
+      for q = 0 to p - 1 do
+        tally_n t
+          (Array.unsafe_get sites (!i + q))
+          (Bytes.unsafe_get vbuf q <> '\000')
+          m
+      done;
+      i := !i + (m * p);
+      left := !left - (m * p)
+    end
+  end;
+  (* the partial trailing period, and any stretch that never went
+     quiet, is simply stepped *)
+  while !left > 0 do
+    ignore (step !i : int);
+    incr i;
+    decr left
+  done
+
+(* a [snap] for the schemes whose whole state lives in their tables *)
+let zero_snap () = 0
+
+(* [hook_batch t] is a chunk consumer equivalent to calling {!hook} on
+   every event of the chunk (the qcheck equivalence property enforces
+   this for all schemes), with the per-event dispatch hoisted: the core
+   is matched once per simulation, each scheme gets one tight loop over
+   the decoded arrays, and the history register lives in a local for
+   the duration of a chunk.  This is the table-update loop behind
+   [simulate_runs].
+
+   The [rl] array carries the trace's run structure: at every run head
+   [i] (the first event of a maximal stretch of identical (site, taken)
+   events within the chunk), [rl.(i)] is the stretch's length; other
+   entries are unspecified, and the lengths must tile [0, n).  Each
+   scheme fast-forwards a run once its state reaches a fixpoint under
+   the constant outcome — a saturated counter stays saturated and a
+   settled history register stays settled — so the remaining verdicts
+   are all equal and are tallied in O(1).  The [pr] array marks
+   periodic stretches the same way ([(len lsl 7) lor p] at the head of
+   a [p]-periodic stretch of [len] events, 0 elsewhere, every head
+   also a run head); those are fast-forwarded with {!periodic_skip}.
+   The fixpoint tests mirror the per-event update rules exactly;
+   nothing observable differs from stepping, and exactness does not
+   require the runs to be maximal, so a run split at a chunk boundary
+   is just two shorter runs. *)
+let hook_batch t =
+  let n_sites = t.n_sites in
+  let hmask = t.hist_mask in
+  let vbuf = Bytes.create 128 in
+  match t.core with
+  | State st when t.scheme = Last_direction ->
+    fun sites tk rl pr n ->
+      let step j =
+        let site = Array.unsafe_get sites j in
+        if site < 0 || site >= n_sites then bad_site t site;
+        let taken = Bytes.unsafe_get tk j <> '\000' in
+        let c = Array.unsafe_get st site in
+        let ok = (c = 1) = taken in
+        tally t site ok;
+        let c' = Bool.to_int taken in
+        Array.unsafe_set st site c';
+        Bool.to_int ok lor (if c' <> c then 2 else 0)
+      in
+      let i = ref 0 in
+      while !i < n do
+        let i0 = !i in
+        let pd = Array.unsafe_get pr i0 in
+        if pd > 0 then begin
+          periodic_skip t sites vbuf ~step ~snap:zero_snap i0 (pd land 0x7f)
+            (pd lsr 7);
+          i := i0 + (pd lsr 7)
+        end
+        else begin
+          let site = Array.unsafe_get sites i0 in
+          if site < 0 || site >= n_sites then bad_site t site;
+          let taken = Bytes.unsafe_get tk i0 <> '\000' in
+          let k = Array.unsafe_get rl i0 in
+          (* the first verdict tests the stored direction; every later
+             event of the run re-predicts the run's own direction *)
+          tally t site (Array.unsafe_get st site = 1 = taken);
+          if k > 1 then tally_n t site true (k - 1);
+          Array.unsafe_set st site (Bool.to_int taken);
+          i := i0 + k
+        end
+      done
+  | State st ->
+    fun sites tk rl pr n ->
+      let step j =
+        let site = Array.unsafe_get sites j in
+        if site < 0 || site >= n_sites then bad_site t site;
+        let taken = Bytes.unsafe_get tk j <> '\000' in
+        let c = Array.unsafe_get st site in
+        let ok = (c >= 2) = taken in
+        tally t site ok;
+        let c' = bump c taken in
+        Array.unsafe_set st site c';
+        Bool.to_int ok lor (if c' <> c then 2 else 0)
+      in
+      let i = ref 0 in
+      while !i < n do
+        let i0 = !i in
+        let pd = Array.unsafe_get pr i0 in
+        if pd > 0 then begin
+          periodic_skip t sites vbuf ~step ~snap:zero_snap i0 (pd land 0x7f)
+            (pd lsr 7);
+          i := i0 + (pd lsr 7)
+        end
+        else begin
+          let site = Array.unsafe_get sites i0 in
+          if site < 0 || site >= n_sites then bad_site t site;
+          let taken = Bytes.unsafe_get tk i0 <> '\000' in
+          let k = Array.unsafe_get rl i0 in
+          (* closed form for k identical outcomes on a 2-bit counter:
+             the counter marches monotonically to saturation, so the
+             mispredicted steps are exactly the ones it spends on the
+             wrong side of the midpoint *)
+          let c = Array.unsafe_get st site in
+          if taken then begin
+            let bad = min k (max 0 (2 - c)) in
+            tally2 t site (k - bad) bad;
+            Array.unsafe_set st site (min 3 (c + k))
+          end
+          else begin
+            let bad = min k (max 0 (c - 1)) in
+            tally2 t site (k - bad) bad;
+            Array.unsafe_set st site (max 0 (c - k))
+          end;
+          i := i0 + k
+        end
+      done
+  | Fixed p ->
+    fun sites tk rl pr n ->
+      let step j =
+        let site = Array.unsafe_get sites j in
+        if site < 0 || site >= n_sites then bad_site t site;
+        let taken = Bytes.unsafe_get tk j <> '\000' in
+        let ok = Array.unsafe_get p site = taken in
+        tally t site ok;
+        Bool.to_int ok
+      in
+      let i = ref 0 in
+      while !i < n do
+        let i0 = !i in
+        let pd = Array.unsafe_get pr i0 in
+        if pd > 0 then begin
+          periodic_skip t sites vbuf ~step ~snap:zero_snap i0 (pd land 0x7f)
+            (pd lsr 7);
+          i := i0 + (pd lsr 7)
+        end
+        else begin
+          let site = Array.unsafe_get sites i0 in
+          if site < 0 || site >= n_sites then bad_site t site;
+          let taken = Bytes.unsafe_get tk i0 <> '\000' in
+          let k = Array.unsafe_get rl i0 in
+          tally_n t site (Array.unsafe_get p site = taken) k;
+          i := i0 + k
+        end
+      done
+  | Pattern { table; mask; xor_site } ->
+    (* [site land xsel] is [site] for gshare and 0 for plain two-level,
+       making one branchless loop serve both indexings *)
+    let xsel = if xor_site then -1 else 0 in
+    fun sites tk rl pr n ->
+      let hist = ref t.history in
+      let step j =
+        let site = Array.unsafe_get sites j in
+        if site < 0 || site >= n_sites then begin
+          t.history <- !hist;
+          bad_site t site
+        end;
+        let taken = Bytes.unsafe_get tk j <> '\000' in
+        let idx = (!hist lxor (site land xsel)) land mask in
+        let c = bget table idx in
+        let ok = (c >= 2) = taken in
+        tally t site ok;
+        let c' = bump c taken in
+        bset table idx c';
+        hist := ((!hist lsl 1) lor Bool.to_int taken) land hmask;
+        Bool.to_int ok lor (if c' <> c then 2 else 0)
+      in
+      let snap () = !hist in
+      let i = ref 0 in
+      while !i < n do
+        let i0 = !i in
+        let pd = Array.unsafe_get pr i0 in
+        if pd > 0 then begin
+          periodic_skip t sites vbuf ~step ~snap i0 (pd land 0x7f)
+            (pd lsr 7);
+          i := i0 + (pd lsr 7)
+        end
+        else begin
+          let site = Array.unsafe_get sites i0 in
+          if site < 0 || site >= n_sites then begin
+            t.history <- !hist;
+            bad_site t site
+          end;
+          let taken = Bytes.unsafe_get tk i0 <> '\000' in
+          let k = Array.unsafe_get rl i0 in
+          let d = Bool.to_int taken in
+          (* under a constant outcome the history register converges to
+             all-ones or all-zeros and then never moves again *)
+          let hstar = if taken then hmask else 0 in
+          let sx = site land xsel in
+          let j = ref 0 in
+          while !j < k do
+            if !hist = hstar then begin
+              (* settled history pins the index for the rest of the
+                 run, so the counter follows the saturating closed
+                 form *)
+              let idx = (hstar lxor sx) land mask in
+              let c = bget table idx in
+              let m = k - !j in
+              if taken then begin
+                let bad = min m (max 0 (2 - c)) in
+                tally2 t site (m - bad) bad;
+                bset table idx (min 3 (c + m))
+              end
+              else begin
+                let bad = min m (max 0 (c - 1)) in
+                tally2 t site (m - bad) bad;
+                bset table idx (max 0 (c - m))
+              end;
+              j := k
+            end
+            else begin
+              let idx = (!hist lxor sx) land mask in
+              let c = bget table idx in
+              tally t site (c >= 2 = taken);
+              bset table idx (bump c taken);
+              hist := ((!hist lsl 1) lor d) land hmask;
+              incr j
+            end
+          done;
+          i := i0 + k
+        end
+      done;
+      t.history <- !hist
+  | Shared { table; mask } ->
+    fun sites tk rl pr n ->
+      let step j =
+        let site = Array.unsafe_get sites j in
+        if site < 0 || site >= n_sites then bad_site t site;
+        let taken = Bytes.unsafe_get tk j <> '\000' in
+        let idx = site land mask in
+        let c = bget table idx in
+        let ok = (c >= 2) = taken in
+        tally t site ok;
+        let c' = bump c taken in
+        bset table idx c';
+        Bool.to_int ok lor (if c' <> c then 2 else 0)
+      in
+      let i = ref 0 in
+      while !i < n do
+        let i0 = !i in
+        let pd = Array.unsafe_get pr i0 in
+        if pd > 0 then begin
+          periodic_skip t sites vbuf ~step ~snap:zero_snap i0 (pd land 0x7f)
+            (pd lsr 7);
+          i := i0 + (pd lsr 7)
+        end
+        else begin
+          let site = Array.unsafe_get sites i0 in
+          if site < 0 || site >= n_sites then bad_site t site;
+          let taken = Bytes.unsafe_get tk i0 <> '\000' in
+          let k = Array.unsafe_get rl i0 in
+          let idx = site land mask in
+          let c = bget table idx in
+          if taken then begin
+            let bad = min k (max 0 (2 - c)) in
+            tally2 t site (k - bad) bad;
+            bset table idx (min 3 (c + k))
+          end
+          else begin
+            let bad = min k (max 0 (c - 1)) in
+            tally2 t site (k - bad) bad;
+            bset table idx (max 0 (c - k))
+          end;
+          i := i0 + k
+        end
+      done
+  | Split { choice; cmask; dir; dmask } ->
+    let d0 = dir.(0) and d1 = dir.(1) in
+    fun sites tk rl pr n ->
+      let hist = ref t.history in
+      let step j =
+        let site = Array.unsafe_get sites j in
+        if site < 0 || site >= n_sites then begin
+          t.history <- !hist;
+          bad_site t site
+        end;
+        let taken = Bytes.unsafe_get tk j <> '\000' in
+        let ci = site land cmask in
+        let cc = bget choice ci in
+        let sel = cc >= 2 in
+        let bank = if sel then d1 else d0 in
+        let di = (!hist lxor site) land dmask in
+        let c = bget bank di in
+        let ok = (c >= 2) = taken in
+        tally t site ok;
+        let c' = bump c taken in
+        bset bank di c';
+        let cc' = if ok && sel <> taken then cc else bump cc taken in
+        bset choice ci cc';
+        hist := ((!hist lsl 1) lor Bool.to_int taken) land hmask;
+        Bool.to_int ok lor (if c' <> c || cc' <> cc then 2 else 0)
+      in
+      let snap () = !hist in
+      let i = ref 0 in
+      while !i < n do
+        let i0 = !i in
+        let pd = Array.unsafe_get pr i0 in
+        if pd > 0 then begin
+          periodic_skip t sites vbuf ~step ~snap i0 (pd land 0x7f)
+            (pd lsr 7);
+          i := i0 + (pd lsr 7)
+        end
+        else begin
+          let site = Array.unsafe_get sites i0 in
+          if site < 0 || site >= n_sites then begin
+            t.history <- !hist;
+            bad_site t site
+          end;
+          let taken = Bytes.unsafe_get tk i0 <> '\000' in
+          let k = Array.unsafe_get rl i0 in
+          let d = Bool.to_int taken in
+          let hstar = if taken then hmask else 0 in
+          let ci = site land cmask in
+          let j = ref 0 in
+          while !j < k do
+            let cc = bget choice ci in
+            let sel = cc >= 2 in
+            let bank = if sel then d1 else d0 in
+            let di = (!hist lxor site) land dmask in
+            let c = bget bank di in
+            let predicted = c >= 2 in
+            let c' = bump c taken in
+            let cc' =
+              if predicted = taken && sel <> taken then cc else bump cc taken
+            in
+            if !hist = hstar && c' = c && cc' = cc then begin
+              (* full fixpoint: one more step would change neither the
+                 direction cell, the choice cell, nor the history, so
+                 every remaining event repeats this verdict *)
+              tally_n t site (predicted = taken) (k - !j);
+              j := k
+            end
+            else begin
+              tally t site (predicted = taken);
+              bset bank di c';
+              bset choice ci cc';
+              hist := ((!hist lsl 1) lor d) land hmask;
+              incr j
+            end
+          done;
+          i := i0 + k
+        end
+      done;
+      t.history <- !hist
+  | Tagged { base; tables } ->
+    (* same provider/alternate discipline as {!tage_lookup}, but carried
+       as table indices with -1 for "none" so the per-event loop
+       allocates nothing, and each table's row index is cached so the
+       allocation/decay pass after a mispredict reuses it instead of
+       re-hashing.  The site-dependent halves of the index and tag
+       hashes are hoisted per event — the formulas must stay in
+       lockstep with {!tage_index} and {!tage_tag}. *)
+    let nt = Array.length tables in
+    let idxs = Array.make (max 1 nt) 0 in
+    let hms = Array.map (fun tg -> (1 lsl tg.tg_hist) - 1) tables in
+    fun sites tk rl pr n ->
+      let hist = ref t.history in
+      let step j =
+        let site = Array.unsafe_get sites j in
+        if site < 0 || site >= n_sites then begin
+          t.history <- !hist;
+          bad_site t site
+        end;
+        let taken = Bytes.unsafe_get tk j <> '\000' in
+        let sc1 = site * 0x9E3779B1 in
+        let sk2 = (site + 0x27d4eb2f) * 0x85EBCA6B in
+        let changed = ref 0 in
+        let p_tbl = ref (-1) and p_idx = ref 0 in
+        let a_tbl = ref (-1) and a_idx = ref 0 in
+        for q = nt - 1 downto 0 do
+          let tg = Array.unsafe_get tables q in
+          let h = !hist land Array.unsafe_get hms q in
+          let x = sc1 lxor (h * 0x85EBCA6B) in
+          let idx = (x lxor (x lsr 15)) land tg.tg_mask in
+          Array.unsafe_set idxs q idx;
+          let y = ((h lxor 0x5bd1e995) * 0x9E3779B1) lxor sk2 in
+          if
+            Array.unsafe_get tg.tg_tag idx
+            = (y lxor (y lsr 15)) land tg.tg_tagmask
+          then
+            if !p_tbl < 0 then begin
+              p_tbl := q;
+              p_idx := idx
+            end
+            else if !a_tbl < 0 then begin
+              a_tbl := q;
+              a_idx := idx
+            end
+        done;
+        let predicted =
+          if !p_tbl >= 0 then
+            bget (Array.unsafe_get tables !p_tbl).tg_ctr !p_idx >= 2
+          else Array.unsafe_get base site >= 2
+        in
+        let altpred =
+          if !a_tbl >= 0 then
+            bget (Array.unsafe_get tables !a_tbl).tg_ctr !a_idx >= 2
+          else Array.unsafe_get base site >= 2
+        in
+        let ok = predicted = taken in
+        tally t site ok;
+        (if !p_tbl >= 0 then begin
+           let tg = Array.unsafe_get tables !p_tbl in
+           let c = bget tg.tg_ctr !p_idx in
+           let c' = bump c taken in
+           if c' <> c then begin
+             changed := 2;
+             bset tg.tg_ctr !p_idx c'
+           end;
+           if predicted <> altpred then begin
+             let u = Bool.to_int ok in
+             if bget tg.tg_useful !p_idx <> u then begin
+               changed := 2;
+               bset tg.tg_useful !p_idx u
+             end
+           end
+         end
+         else begin
+           let c = Array.unsafe_get base site in
+           let c' = bump c taken in
+           if c' <> c then begin
+             changed := 2;
+             Array.unsafe_set base site c'
+           end
+         end);
+        if not ok then begin
+          let floor = !p_tbl + 1 in
+          let allocated = ref false in
+          for q = floor to nt - 1 do
+            let tg = Array.unsafe_get tables q in
+            let idx = Array.unsafe_get idxs q in
+            if (not !allocated) && bget tg.tg_useful idx = 0 then begin
+              (let h = !hist land Array.unsafe_get hms q in
+               let y = ((h lxor 0x5bd1e995) * 0x9E3779B1) lxor sk2 in
+               tg.tg_tag.(idx) <- (y lxor (y lsr 15)) land tg.tg_tagmask);
+              bset tg.tg_ctr idx (if taken then 2 else 1);
+              changed := 2;
+              allocated := true
+            end
+          done;
+          if not !allocated then
+            for q = floor to nt - 1 do
+              let tg = Array.unsafe_get tables q in
+              let idx = Array.unsafe_get idxs q in
+              if bget tg.tg_useful idx <> 0 then begin
+                changed := 2;
+                bset tg.tg_useful idx 0
+              end
+            done
+        end;
+        hist := ((!hist lsl 1) lor Bool.to_int taken) land hmask;
+        Bool.to_int ok lor !changed
+      in
+      let snap () = !hist in
+      let i = ref 0 in
+      while !i < n do
+        let i0 = !i in
+        let pdd = Array.unsafe_get pr i0 in
+        if pdd > 0 then begin
+          periodic_skip t sites vbuf ~step ~snap i0 (pdd land 0x7f)
+            (pdd lsr 7);
+          i := i0 + (pdd lsr 7)
+        end
+        else begin
+        let site = Array.unsafe_get sites i0 in
+        if site < 0 || site >= n_sites then begin
+          t.history <- !hist;
+          bad_site t site
+        end;
+        let taken = Bytes.unsafe_get tk i0 <> '\000' in
+        let k = Array.unsafe_get rl i0 in
+        let d = Bool.to_int taken in
+        let hstar = if taken then hmask else 0 in
+        let sc1 = site * 0x9E3779B1 in
+        let sk2 = (site + 0x27d4eb2f) * 0x85EBCA6B in
+        let j = ref 0 in
+        while !j < k do
+          let p_tbl = ref (-1) and p_idx = ref 0 in
+          let a_tbl = ref (-1) and a_idx = ref 0 in
+          for q = nt - 1 downto 0 do
+            let tg = Array.unsafe_get tables q in
+            let h = !hist land Array.unsafe_get hms q in
+            let x = sc1 lxor (h * 0x85EBCA6B) in
+            let idx = (x lxor (x lsr 15)) land tg.tg_mask in
+            Array.unsafe_set idxs q idx;
+            let y = ((h lxor 0x5bd1e995) * 0x9E3779B1) lxor sk2 in
+            if
+              Array.unsafe_get tg.tg_tag idx
+              = (y lxor (y lsr 15)) land tg.tg_tagmask
+            then
+              if !p_tbl < 0 then begin
+                p_tbl := q;
+                p_idx := idx
+              end
+              else if !a_tbl < 0 then begin
+                a_tbl := q;
+                a_idx := idx
+              end
+          done;
+          let predicted =
+            if !p_tbl >= 0 then
+              bget (Array.unsafe_get tables !p_tbl).tg_ctr !p_idx >= 2
+            else Array.unsafe_get base site >= 2
+          in
+          let altpred =
+            if !a_tbl >= 0 then
+              bget (Array.unsafe_get tables !a_tbl).tg_ctr !a_idx >= 2
+            else Array.unsafe_get base site >= 2
+          in
+          if predicted = taken then begin
+            (* a correct prediction only touches the provider counter
+               and its useful bit (or the base counter); once those are
+               at their target values and the history is settled, every
+               remaining event of the run is an exact repeat *)
+            let fix = ref (!hist = hstar) in
+            (if !p_tbl >= 0 then begin
+               let tg = Array.unsafe_get tables !p_tbl in
+               let c = bget tg.tg_ctr !p_idx in
+               let c' = bump c taken in
+               if c' <> c then begin
+                 fix := false;
+                 bset tg.tg_ctr !p_idx c'
+               end;
+               if predicted <> altpred && bget tg.tg_useful !p_idx <> 1
+               then begin
+                 fix := false;
+                 bset tg.tg_useful !p_idx 1
+               end
+             end
+             else begin
+               let c = Array.unsafe_get base site in
+               let c' = bump c taken in
+               if c' <> c then begin
+                 fix := false;
+                 Array.unsafe_set base site c'
+               end
+             end);
+            if !fix then begin
+              tally_n t site true (k - !j);
+              j := k
+            end
+            else begin
+              tally t site true;
+              hist := ((!hist lsl 1) lor d) land hmask;
+              incr j
+            end
+          end
+          else begin
+            tally t site false;
+            (if !p_tbl >= 0 then begin
+               let tg = Array.unsafe_get tables !p_tbl in
+               bset tg.tg_ctr !p_idx (bump (bget tg.tg_ctr !p_idx) taken);
+               if predicted <> altpred then bset tg.tg_useful !p_idx 0
+             end
+             else
+               Array.unsafe_set base site
+                 (bump (Array.unsafe_get base site) taken));
+            let floor = !p_tbl + 1 in
+            let allocated = ref false in
+            for q = floor to nt - 1 do
+              let tg = Array.unsafe_get tables q in
+              let idx = Array.unsafe_get idxs q in
+              if (not !allocated) && bget tg.tg_useful idx = 0 then begin
+                (let h = !hist land Array.unsafe_get hms q in
+                 let y = ((h lxor 0x5bd1e995) * 0x9E3779B1) lxor sk2 in
+                 tg.tg_tag.(idx) <- (y lxor (y lsr 15)) land tg.tg_tagmask);
+                bset tg.tg_ctr idx (if taken then 2 else 1);
+                allocated := true
+              end
+            done;
+            if not !allocated then
+              for q = floor to nt - 1 do
+                let tg = Array.unsafe_get tables q in
+                bset tg.tg_useful (Array.unsafe_get idxs q) 0
+              done;
+            hist := ((!hist lsl 1) lor d) land hmask;
+            incr j
+          end
+        done;
+        i := i0 + k
+        end
+      done;
+      t.history <- !hist
+
+let simulate_runs ?warm scheme ~n_sites feed =
+  let t = create ?warm scheme ~n_sites in
+  feed (hook_batch t);
+  t
 
 let reset_counts t =
   t.correct <- 0;

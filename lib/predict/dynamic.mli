@@ -92,6 +92,42 @@ val simulate :
     once with the predictor's {!hook}.  Feeding the exact captured
     stream reproduces the inline [on_branch] tallies bit-for-bit. *)
 
+val hook_batch :
+  t -> int array -> Bytes.t -> int array -> int array -> int -> unit
+(** [hook_batch t sites taken runs periods n] feeds one decoded chunk —
+    event [i] ([0 <= i < n]) is site [sites.(i)] with outcome
+    [Bytes.get taken i <> '\000'] — equivalently to [n] {!hook} calls
+    but with the scheme dispatch hoisted out of the loop: partially
+    applying [hook_batch t] selects one tight table-update loop per
+    scheme.  [runs] carries the chunk's run structure: at each run head
+    [i] (the first index of a stretch of consecutive identical
+    (site, outcome) events), [runs.(i)] is the stretch's length [>= 1];
+    other entries are ignored, and the head lengths must tile [0, n).
+    [periods] marks periodic stretches: at the head [i] of a stretch
+    satisfying event [j] = event [j - p] throughout, [periods.(i)] is
+    [(len lsl 7) lor p] with [2 <= p <= 64], every such head also a run
+    head; everywhere else it must be 0 (an all-zero array is always
+    valid).  Both are preconditions, not checked.  Schemes use them to
+    fast-forward state fixpoints — saturated counters across a run in
+    O(1), settled periodic loop state in O(p) — with bit-identical
+    results (neither runs nor stretches need be maximal, so splitting
+    them at chunk boundaries is always sound).  This is the consumer
+    shape produced by {!Fisher92_trace.Trace.Reader.iter_runs}.
+    @raise Invalid_argument as {!hook} on an out-of-range site. *)
+
+val simulate_runs :
+  ?warm:Prediction.t ->
+  scheme ->
+  n_sites:int ->
+  ((int array -> Bytes.t -> int array -> int array -> int -> unit) -> unit) ->
+  t
+(** Batched {!simulate}: [simulate_runs scheme ~n_sites feed] calls
+    [feed] once with the predictor's {!hook_batch} — typically
+    [feed = Trace.Reader.iter_runs reader].  Produces bit-identical
+    tallies and state to streaming {!simulate} over the same events
+    (the qcheck equivalence property in [test/test_zoo.ml] enforces
+    this for all schemes). *)
+
 val reset_counts : t -> unit
 (** Zero the correct/incorrect tallies (total and per-site) but keep
     all predictor state — the trained predictor measures its

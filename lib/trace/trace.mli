@@ -92,6 +92,40 @@ module Reader : sig
       equal to the VM's [site_encountered]/[site_taken] arrays of the
       captured run. *)
 
+  val default_chunk : int
+  (** Events per {!iter_runs} chunk when unspecified (8192 — sized so
+      the decoded buffers and a handful of consumers' tables co-reside
+      in L2). *)
+
+  val iter_runs :
+    ?chunk:int ->
+    t ->
+    (int array -> Bytes.t -> int array -> int array -> int -> unit) ->
+    unit
+  (** Run-level batched replay: decodes the stream into flat buffers a
+      chunk at a time and calls [f sites taken runs periods n] per
+      chunk — event [i] of the chunk ([0 <= i < n]) is branch site
+      [sites.(i)] with outcome [Bytes.get taken i <> '\000'], and
+      [runs.(i)] at each run head [i] (the first index of a maximal
+      stretch of consecutive identical (site, outcome) events within
+      the chunk) is that stretch's length, [>= 1] and tiling [0, n);
+      entries off the run heads are unspecified.  [periods] marks
+      chunk-local periodic stretches — regions satisfying event [j] =
+      event [j - p], the shape a steady loop iteration leaves — as
+      [(len lsl 7) lor p] ([2 <= p <= 64], [len >= 3p]) at the
+      stretch's head, which is always also a run head; every other
+      entry is 0.  Consumers loop tight over the arrays — and may
+      fast-forward whole runs and settled periods, the contract
+      [Dynamic.hook_batch] exploits — so a six-scheme simulation pays
+      one decode instead of six per-event closure chains.  The buffers
+      are reused between chunks; callers must consume, not retain,
+      them.  The event sequence and strictness are exactly {!iter}'s
+      (the qcheck equivalence property in [test/test_trace.ml] enforces
+      both), though when a payload is damaged the two may report a
+      different one of the same errors.
+      @raise Fisher92_util.Sectfile.Bad as {!iter}
+      @raise Invalid_argument when [chunk <= 0]. *)
+
   val payload_bytes : t -> int
   (** Decoded binary payload size (sites + taken streams), for
       compression reporting. *)

@@ -60,6 +60,20 @@ let trace_dir () =
 
 let trace_enabled () = not (flag_knob "FISHER92_NO_TRACE")
 
+let engine () =
+  match Sys.getenv_opt "FISHER92_ENGINE" with
+  | None | Some "" -> None
+  | Some s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "interp" | "interpreter" -> Some `Interp
+    | "threaded" | "closure" -> Some `Threaded
+    | other ->
+      warn "FISHER92_ENGINE"
+        "FISHER92_ENGINE=%S is neither \"interp\" nor \"threaded\"; using \
+         the default"
+        other;
+      None)
+
 let default_shards = 16
 let shards () =
   match int_knob "FISHER92_SHARDS" ~min:1 ~max:256 with
@@ -87,6 +101,9 @@ let knobs =
     ( "FISHER92_NO_TRACE",
       "set to anything but \"\" or \"0\" to disable the branch-trace \
        store" );
+    ( "FISHER92_ENGINE",
+      "IR execution engine: \"threaded\" (closure-threaded, the default) \
+       or \"interp\" (the reference interpreter)" );
     ( "FISHER92_SHARDS",
       "merge shards of the profile-ingest service (default: 16, \
        clamped to 1..256)" );

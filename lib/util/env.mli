@@ -19,6 +19,9 @@
       [_build/.fisher92-traces]);
     - [FISHER92_NO_TRACE]: disable the branch-trace store entirely when
       set to anything but [""] or ["0"];
+    - [FISHER92_ENGINE]: IR execution engine, ["threaded"]
+      (closure-threaded, the default) or ["interp"] (the reference
+      interpreter);
     - [FISHER92_SHARDS]: merge shard count of the profile-ingest
       service (default 16, clamped to [1 .. 256]);
     - [FISHER92_NO_FSYNC]: skip the fsync after write-ahead-log appends
@@ -44,6 +47,13 @@ val trace_dir : unit -> string
 val trace_enabled : unit -> bool
 (** False when [FISHER92_NO_TRACE] is set to anything but ["0"] or
     [""]. *)
+
+val engine : unit -> [ `Interp | `Threaded ] option
+(** [FISHER92_ENGINE] parsed case-insensitively (["interp"] /
+    ["interpreter"] and ["threaded"] / ["closure"] are accepted);
+    [None] when unset, empty, or (after a one-line warning)
+    unrecognized — the caller applies its documented default
+    (the closure-threaded engine). *)
 
 val shards : unit -> int
 (** [FISHER92_SHARDS] clamped to [1 .. 256]; 16 when unset or invalid. *)

@@ -1,0 +1,25 @@
+(** The closure-threaded execution engine.
+
+    Compiles each function's basic blocks into arrays of closures once
+    per run — operands resolved, dispatch eliminated, branch hooks
+    specialized at compile time — then drives them without per-op
+    dispatch.  Bit-identical to the reference interpreter in {!Vm}:
+    results, branch counters, break gaps, outputs, and trap messages all
+    match; [test/test_exec.ml] asserts this differentially on every
+    workload x dataset.
+
+    Not called directly: {!Vm.run} dispatches here (or to the
+    interpreter) after validating entry arguments and seeding memory. *)
+
+open Fisher92_ir
+
+val run :
+  config:Machine.config ->
+  mem:Machine.mem_cell array ->
+  Program.t ->
+  iargs:int list ->
+  fargs:float list ->
+  Machine.result
+(** Runs [p]'s entry function.  [mem] must come from
+    {!Machine.init_mem}; entry arguments must already be validated
+    ({!Machine.check_entry_args}). *)

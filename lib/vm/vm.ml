@@ -1,11 +1,11 @@
 open Fisher92_ir
 open Insn
 
-exception Trap of string
+exception Trap = Machine.Trap
 
-type output = Out_int of int | Out_float of float
+type output = Machine.output = Out_int of int | Out_float of float
 
-type result = {
+type result = Machine.result = {
   kind_counts : int array;
   total : int;
   site_encountered : int array;
@@ -16,41 +16,31 @@ type result = {
   return_value : int option;
   dumped : (string * [ `Ints of int array | `Floats of float array ]) list;
   gap_histogram : int array;
-      (* when [config.predicted] was set: bucket b counts gaps g (dynamic
-         instructions between consecutive breaks) with 2^b <= g < 2^(b+1);
-         all zeros otherwise *)
   gap_count : int;
   gap_sum : int;
 }
 
+type engine = Machine.engine = Interp | Threaded
+
+let engine_name = Machine.engine_name
+let engine_of_string = Machine.engine_of_string
+let default_engine = Machine.default_engine
+
 (* Indices into [kind_counts], in the order of [Insn.all_kinds]. *)
-let k_ialu = 0
-and k_falu = 1
-and k_mem = 2
-and k_cbranch = 3
-and k_jump = 4
-and k_call = 5
-and k_callind = 6
-and k_ret = 7
-and k_output = 8
-and k_halt = 9
+let k_ialu = Machine.k_ialu
+and k_falu = Machine.k_falu
+and k_mem = Machine.k_mem
+and k_cbranch = Machine.k_cbranch
+and k_jump = Machine.k_jump
+and k_call = Machine.k_call
+and k_callind = Machine.k_callind
+and k_ret = Machine.k_ret
+and k_output = Machine.k_output
+and k_halt = Machine.k_halt
 
-let n_kinds = List.length all_kinds
-
-let kind_index = function
-  | K_ialu -> k_ialu
-  | K_falu -> k_falu
-  | K_mem -> k_mem
-  | K_cbranch -> k_cbranch
-  | K_jump -> k_jump
-  | K_call -> k_call
-  | K_callind -> k_callind
-  | K_ret -> k_ret
-  | K_output -> k_output
-  | K_halt -> k_halt
-
+let n_kinds = Machine.n_kinds
+let kind_index = Machine.kind_index
 let kind_count r k = r.kind_counts.(kind_index k)
-
 let conditional_branches r = r.kind_counts.(k_cbranch)
 
 let mispredicts r ~taken =
@@ -64,30 +54,26 @@ let mispredicts r ~taken =
     r.site_encountered;
   !acc
 
-type config = {
+type config = Machine.config = {
   fuel : int option;
   max_outputs : int;
   on_branch : (site -> bool -> unit) option;
   predicted : bool array option;
   dump_arrays : string list;
+  engine : engine option;
 }
 
-let default_config =
-  {
-    fuel = Some 500_000_000;
-    max_outputs = 4_000_000;
-    on_branch = None;
-    predicted = None;
-    dump_arrays = [];
-  }
+let default_config = Machine.default_config
 
-let gap_buckets = 40
+type mem_cell = Machine.mem_cell = Mi of int array | Mf of float array
+type ret_value = Machine.ret_value = R_none | R_int of int | R_float of float
 
-type mem_cell = Mi of int array | Mf of float array
-
-type ret_value = R_none | R_int of int | R_float of float
-
-let run ?(config = default_config) (p : Program.t) ~iargs ~fargs ~arrays =
+(* The reference interpreter: a classic per-instruction dispatch loop,
+   kept as the oracle the closure-threaded engine ([Exec]) is checked
+   against.  [mem] comes pre-seeded from [Machine.init_mem] so both
+   engines share the seeding (and its error messages) exactly. *)
+let run_interp ~(config : config) ~(mem : mem_cell array) (p : Program.t)
+    ~iargs ~fargs =
   let n_sites = Program.n_sites p in
   let kind_counts = Array.make n_kinds 0 in
   let site_encountered = Array.make n_sites 0 in
@@ -99,48 +85,12 @@ let run ?(config = default_config) (p : Program.t) ~iargs ~fargs ~arrays =
   let fuel = ref (match config.fuel with Some f -> f | None -> max_int) in
   (* break-gap tracking, active only when a prediction is supplied *)
   let executed = ref 0 in
-  let gap_histogram = Array.make gap_buckets 0 in
-  let gap_count = ref 0 in
-  let gap_sum = ref 0 in
-  let last_break = ref 0 in
-  let record_break () =
-    let gap = !executed - !last_break in
-    last_break := !executed;
-    let bucket =
-      let rec log2 g acc = if g <= 1 then acc else log2 (g lsr 1) (acc + 1) in
-      min (gap_buckets - 1) (log2 (max gap 1) 0)
-    in
-    gap_histogram.(bucket) <- gap_histogram.(bucket) + 1;
-    incr gap_count;
-    gap_sum := !gap_sum + gap
-  in
-  let mem =
-    Array.map
-      (fun (a : Program.array_decl) ->
-        match a.acls with
-        | Program.Cint -> Mi (Array.make a.asize (int_of_float a.ainit))
-        | Program.Cfloat -> Mf (Array.make a.asize a.ainit))
-      p.arrays
-  in
-  List.iter
-    (fun (name, seed) ->
-      let id =
-        try Program.find_array p name
-        with Not_found ->
-          invalid_arg (Printf.sprintf "Vm.run: no array named %s" name)
-      in
-      match (mem.(id), seed) with
-      | Mi dst, `Ints src ->
-        if Array.length src > Array.length dst then
-          invalid_arg (Printf.sprintf "Vm.run: seed for %s too large" name);
-        Array.blit src 0 dst 0 (Array.length src)
-      | Mf dst, `Floats src ->
-        if Array.length src > Array.length dst then
-          invalid_arg (Printf.sprintf "Vm.run: seed for %s too large" name);
-        Array.blit src 0 dst 0 (Array.length src)
-      | Mi _, `Floats _ | Mf _, `Ints _ ->
-        invalid_arg (Printf.sprintf "Vm.run: seed class mismatch for %s" name))
-    arrays;
+  let gaps = Machine.Gaps.create () in
+  let record_break () = Machine.Gaps.break gaps ~executed:!executed in
+  (* the per-branch observation hook, prebound once so the hook-free
+     path tests a single [None] per branch instead of two config fields *)
+  let branch_note = Machine.branch_note ~config ~gaps ~executed in
+  let gap_calls = config.predicted <> None in
   let trap f pc fmt =
     Format.kasprintf
       (fun msg ->
@@ -247,12 +197,12 @@ let run ?(config = default_config) (p : Program.t) ~iargs ~fargs ~arrays =
       let bvals = Array.make g.n_fparams 0.0 in
       List.iteri (fun i r -> avals.(i) <- ir.(r)) iargs;
       List.iteri (fun i r -> bvals.(i) <- fr.(r)) fargs;
-      if indirect && config.predicted <> None then record_break ();
+      if indirect && gap_calls then record_break ();
       let rv = exec callee avals bvals in
       (* The callee's Ret already executed; attribute it to the right class. *)
       if indirect then begin
         incr rets_from_indirect;
-        if config.predicted <> None then record_break ()
+        if gap_calls then record_break ()
       end
       else incr rets_from_direct;
       match (dst, rv) with
@@ -345,12 +295,7 @@ let run ?(config = default_config) (p : Program.t) ~iargs ~fargs ~arrays =
           site_taken.(site) <- site_taken.(site) + 1;
           pc := target
         end;
-        (match config.predicted with
-        | Some prediction when prediction.(site) <> taken -> record_break ()
-        | Some _ | None -> ());
-        (match config.on_branch with
-        | None -> ()
-        | Some hook -> hook site taken)
+        (match branch_note with None -> () | Some f -> f site taken)
       | Jump target ->
         kind_counts.(k_jump) <- kind_counts.(k_jump) + 1;
         pc := target
@@ -383,15 +328,6 @@ let run ?(config = default_config) (p : Program.t) ~iargs ~fargs ~arrays =
     done;
     !result
   in
-  let entry = p.funcs.(p.entry) in
-  if List.length iargs <> entry.n_iparams then
-    invalid_arg
-      (Printf.sprintf "Vm.run: entry %s expects %d int args, got %d" entry.fname
-         entry.n_iparams (List.length iargs));
-  if List.length fargs <> entry.n_fparams then
-    invalid_arg
-      (Printf.sprintf "Vm.run: entry %s expects %d float args, got %d"
-         entry.fname entry.n_fparams (List.length fargs));
   let rv = exec p.entry (Array.of_list iargs) (Array.of_list fargs) in
   {
     kind_counts;
@@ -402,14 +338,18 @@ let run ?(config = default_config) (p : Program.t) ~iargs ~fargs ~arrays =
     rets_from_indirect = !rets_from_indirect;
     outputs = List.rev !outputs;
     return_value = (match rv with R_int v -> Some v | R_none | R_float _ -> None);
-    dumped =
-      List.map
-        (fun name ->
-          match mem.(Program.find_array p name) with
-          | Mi cells -> (name, `Ints (Array.copy cells))
-          | Mf cells -> (name, `Floats (Array.copy cells)))
-        config.dump_arrays;
-    gap_histogram;
-    gap_count = !gap_count;
-    gap_sum = !gap_sum;
+    dumped = Machine.dump p mem config.dump_arrays;
+    gap_histogram = gaps.Machine.Gaps.hist;
+    gap_count = gaps.Machine.Gaps.count;
+    gap_sum = gaps.Machine.Gaps.sum;
   }
+
+let run ?(config = default_config) (p : Program.t) ~iargs ~fargs ~arrays =
+  let mem = Machine.init_mem p arrays in
+  Machine.check_entry_args p ~iargs ~fargs;
+  let engine =
+    match config.engine with Some e -> e | None -> default_engine ()
+  in
+  match engine with
+  | Interp -> run_interp ~config ~mem p ~iargs ~fargs
+  | Threaded -> Exec.run ~config ~mem p ~iargs ~fargs

@@ -10,7 +10,17 @@
     Control-transfer accounting needed by the metrics layer is also
     recorded: returns are split by whether the frame was entered through a
     direct or an indirect call (the paper counts an indirect call *and its
-    return* as unavoidable breaks). *)
+    return* as unavoidable breaks).
+
+    Two interchangeable engines execute the IR.  The {e reference
+    interpreter} is a per-instruction dispatch loop; the
+    {e closure-threaded engine} ({!Exec}) pre-compiles each function's
+    basic blocks into OCaml closures once per run, eliminating the
+    dispatch match, the per-op fuel decrement, and all hook tests from
+    the hot loop.  Both produce bit-identical results (the differential
+    suite enforces this); the threaded engine is the default, and
+    {!config}[.engine] or the [FISHER92_ENGINE] environment knob selects
+    one explicitly. *)
 
 exception Trap of string
 (** Runtime error in the simulated program: array index out of bounds,
@@ -52,7 +62,22 @@ val mispredicts : result -> taken:bool array -> int
     executions are mispredicts, and vice versa.  [taken.(s)] is the
     predicted direction of site [s]. *)
 
-type config = {
+type engine = Machine.engine = Interp | Threaded
+    (** [Interp] is the reference per-instruction interpreter; [Threaded]
+        is the closure-threaded engine ({!Exec}). *)
+
+val engine_name : engine -> string
+(** ["interp"] or ["threaded"], for logs and bench artifacts. *)
+
+val engine_of_string : string -> engine option
+(** Parses ["interp"]/["interpreter"] and ["threaded"]/["closure"],
+    case-insensitively; [None] otherwise. *)
+
+val default_engine : unit -> engine
+(** The engine used when {!config}[.engine] is [None]: [Threaded],
+    unless the [FISHER92_ENGINE] environment knob overrides it. *)
+
+type config = Machine.config = {
   fuel : int option;
       (** abort with [Trap] after this many dynamic instructions *)
   max_outputs : int;  (** abort if the program emits more than this *)
@@ -68,10 +93,13 @@ type config = {
       (** arrays whose final contents to return in [result.dumped]
           (e.g. the {!Fisher92_ir.Instrument.counters_array} of an
           instrumented build) *)
+  engine : engine option;
+      (** execution engine; [None] defers to {!default_engine} *)
 }
 
 val default_config : config
-(** 500M instruction fuel, 4M outputs, no hooks, no gap tracking. *)
+(** 500M instruction fuel, 4M outputs, no hooks, no gap tracking, the
+    default engine. *)
 
 val run :
   ?config:config ->

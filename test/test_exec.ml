@@ -1,0 +1,205 @@
+(* The closure-threaded execution engine, differentially against the
+   reference interpreter: on every (workload, dataset) pair of the
+   registry the two engines must agree bit-for-bit — outputs, dynamic
+   instruction counts, per-site branch counters, return classification,
+   gap accounting, and the exact on_branch trace.  Plus trap parity on
+   the simulated-machine error paths and the engine-selection knob. *)
+
+module Vm = Fisher92_vm.Vm
+module I = Fisher92_ir.Insn
+module P = Fisher92_ir.Program
+module Registry = Fisher92_workloads.Registry
+module Workload = Fisher92_workloads.Workload
+
+(* ---------- every workload x dataset, both engines ---------- *)
+
+let run_engine ?predicted engine ir d =
+  let trace = Buffer.create 4096 in
+  let config =
+    {
+      Vm.default_config with
+      engine = Some engine;
+      predicted;
+      on_branch =
+        Some
+          (fun site taken ->
+            Buffer.add_string trace (string_of_int site);
+            Buffer.add_char trace (if taken then 'T' else 'F'));
+    }
+  in
+  let r = Fisher92.Study.execute ir d ~config () in
+  (r, Buffer.contents trace)
+
+let check_identical what (ra : Vm.result) ta (rb : Vm.result) tb =
+  let chk name b = Alcotest.(check bool) (what ^ " " ^ name) true b in
+  Alcotest.(check (array int)) (what ^ " kind_counts") ra.kind_counts
+    rb.kind_counts;
+  Alcotest.(check int) (what ^ " total") ra.total rb.total;
+  Alcotest.(check (array int)) (what ^ " site_encountered")
+    ra.site_encountered rb.site_encountered;
+  Alcotest.(check (array int)) (what ^ " site_taken") ra.site_taken
+    rb.site_taken;
+  Alcotest.(check int) (what ^ " rets_from_direct") ra.rets_from_direct
+    rb.rets_from_direct;
+  Alcotest.(check int) (what ^ " rets_from_indirect") ra.rets_from_indirect
+    rb.rets_from_indirect;
+  chk "outputs" (ra.outputs = rb.outputs);
+  chk "return_value" (ra.return_value = rb.return_value);
+  chk "dumped" (ra.dumped = rb.dumped);
+  Alcotest.(check (array int)) (what ^ " gap_histogram") ra.gap_histogram
+    rb.gap_histogram;
+  Alcotest.(check int) (what ^ " gap_count") ra.gap_count rb.gap_count;
+  Alcotest.(check int) (what ^ " gap_sum") ra.gap_sum rb.gap_sum;
+  chk "branch trace" (ta = tb)
+
+let test_differential () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let ir = Fisher92.Study.compile_variant w in
+      List.iter
+        (fun (d : Workload.dataset) ->
+          let what = w.w_name ^ "/" ^ d.ds_name in
+          let ra, ta = run_engine Vm.Interp ir d in
+          let rb, tb = run_engine Vm.Threaded ir d in
+          check_identical what ra ta rb tb)
+        w.w_datasets)
+    (Registry.all ())
+
+(* gap accounting flows through a different hook path (the [predicted]
+   config), so exercise it differentially too, on one real workload *)
+let test_differential_gaps () =
+  let w = Registry.find "compress" in
+  let ir = Fisher92.Study.compile_variant w in
+  let d = List.hd w.Workload.w_datasets in
+  let predicted = Array.make (Fisher92_ir.Program.n_sites ir) false in
+  let ra, ta = run_engine ~predicted Vm.Interp ir d in
+  let rb, tb = run_engine ~predicted Vm.Threaded ir d in
+  Alcotest.(check bool) "gaps were recorded" true (ra.Vm.gap_count > 0);
+  check_identical "compress gaps" ra ta rb tb
+
+(* ---------- trap parity ---------- *)
+
+let func ?(iparams = 0) ?(fparams = 0) ?(iregs = 8) ?(fregs = 8) name code =
+  {
+    P.fname = name;
+    n_iparams = iparams;
+    n_fparams = fparams;
+    n_iregs = iregs;
+    n_fregs = fregs;
+    code = Array.of_list code;
+  }
+
+let prog ?(arrays = []) ?(func_table = []) funcs =
+  let p =
+    {
+      P.pname = "t";
+      funcs = Array.of_list funcs;
+      arrays = Array.of_list arrays;
+      func_table = Array.of_list func_table;
+      entry = 0;
+      sites = [||];
+    }
+  in
+  Fisher92_ir.Validate.check_exn p;
+  p
+
+(* both engines must trap, with the same message — the context strings
+   are part of the contract, a debugging aid the refactor must keep *)
+let check_trap_parity name ?config p =
+  let trap engine =
+    let base = Option.value config ~default:Vm.default_config in
+    let config = { base with Vm.engine = Some engine } in
+    match Vm.run ~config p ~iargs:[] ~fargs:[] ~arrays:[] with
+    | exception Vm.Trap msg -> msg
+    | _ -> Alcotest.failf "%s: %s engine did not trap" name
+              (Vm.engine_name engine)
+  in
+  Alcotest.(check string) (name ^ " trap message") (trap Vm.Interp)
+    (trap Vm.Threaded)
+
+let test_trap_parity () =
+  check_trap_parity "division by zero"
+    (prog
+       [
+         func "main"
+           [
+             I.Iconst (0, 1);
+             I.Iconst (1, 0);
+             I.Ibin (I.Div, 2, 0, 1);
+             I.Ret I.Ret_none;
+           ];
+       ]);
+  check_trap_parity "array out of bounds"
+    (prog
+       ~arrays:[ { P.aname = "a"; acls = P.Cint; asize = 2; ainit = 0.0 } ]
+       [
+         func "main" [ I.Iconst (0, 5); I.Iload (1, 0, 0); I.Ret I.Ret_none ];
+       ]);
+  check_trap_parity "bad indirect slot"
+    (prog ~func_table:[ 1 ]
+       [
+         func "main"
+           [
+             I.Iconst (0, 5);
+             I.Callind { table = 0; iargs = []; fargs = []; dst = I.No_dest };
+             I.Ret I.Ret_none;
+           ];
+         func "noop" [ I.Ret I.Ret_none ];
+       ]);
+  check_trap_parity "fuel exhaustion"
+    ~config:{ Vm.default_config with fuel = Some 1000 }
+    (prog [ func "main" [ I.Iconst (0, 1); I.Jump 0 ] ])
+
+(* ---------- engine selection ---------- *)
+
+let test_engine_parsing () =
+  let chk s e =
+    Alcotest.(check bool)
+      (Printf.sprintf "%S parses" s)
+      true
+      (Vm.engine_of_string s = e)
+  in
+  chk "interp" (Some Vm.Interp);
+  chk "Interpreter" (Some Vm.Interp);
+  chk "THREADED" (Some Vm.Threaded);
+  chk "closure" (Some Vm.Threaded);
+  chk "jit" None;
+  chk "" None;
+  Alcotest.(check string) "interp name" "interp" (Vm.engine_name Vm.Interp);
+  Alcotest.(check string) "threaded name" "threaded"
+    (Vm.engine_name Vm.Threaded)
+
+let test_engine_knob () =
+  let with_env v f =
+    let old = Option.value (Sys.getenv_opt "FISHER92_ENGINE") ~default:"" in
+    Unix.putenv "FISHER92_ENGINE" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "FISHER92_ENGINE" old) f
+  in
+  with_env "" (fun () ->
+      Alcotest.(check bool) "default is threaded" true
+        (Vm.default_engine () = Vm.Threaded));
+  with_env "interp" (fun () ->
+      Alcotest.(check bool) "knob selects interp" true
+        (Vm.default_engine () = Vm.Interp));
+  with_env "closure" (fun () ->
+      Alcotest.(check bool) "knob selects threaded" true
+        (Vm.default_engine () = Vm.Threaded))
+
+(* ---------- run ---------- *)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "every workload x dataset" `Slow
+            test_differential;
+          Alcotest.test_case "gap accounting" `Quick test_differential_gaps;
+        ] );
+      ("traps", [ Alcotest.test_case "trap parity" `Quick test_trap_parity ]);
+      ( "selection",
+        [
+          Alcotest.test_case "engine parsing" `Quick test_engine_parsing;
+          Alcotest.test_case "environment knob" `Quick test_engine_knob;
+        ] );
+    ]

@@ -179,6 +179,116 @@ let prop_never_fabricates =
       | exception Sectfile.Bad _ -> true
       | r -> decode r = evs)
 
+(* ---------- batched decode: iter_runs vs iter ---------- *)
+
+(* [iter_runs] must replay the same stream as [iter] and honour its
+   structural contract: run lengths tile each chunk with maximal
+   stretches of identical events, and every period descriptor certifies
+   ev.(j) = ev.(j - p) across its stretch from a run head.  Checked at
+   a tiny chunk size too, so runs and stretches split by chunk
+   boundaries are exercised. *)
+let check_runs_contract ~chunk text evs =
+  let evs = Array.of_list evs in
+  let k = ref 0 and ok = ref true in
+  Trace.Reader.iter_runs ~chunk (Trace.Reader.of_string text)
+    (fun st tk rl pr n ->
+      let ev i = (st.(i), Bytes.get tk i <> '\000') in
+      let i = ref 0 in
+      while !i < n do
+        let l = rl.(!i) in
+        if l < 1 || !i + l > n then ok := false
+        else begin
+          for j = !i + 1 to !i + l - 1 do
+            if ev j <> ev !i then ok := false
+          done;
+          (* maximal: the next run head starts a different event *)
+          if !i + l < n && ev (!i + l) = ev !i then ok := false
+        end;
+        i := !i + max 1 l
+      done;
+      if !i <> n then ok := false;
+      for i = 0 to n - 1 do
+        let pd = pr.(i) in
+        if pd > 0 then begin
+          let p = pd land 0x7f and len = pd lsr 7 in
+          if p < 2 || p > 64 || len < 3 * p || i + len > n then ok := false
+          else
+            for j = i + p to i + len - 1 do
+              if ev j <> ev (j - p) then ok := false
+            done
+        end;
+        (if !k >= Array.length evs then ok := false
+         else if ev i <> evs.(!k) then ok := false);
+        incr k
+      done);
+  !ok && !k = Array.length evs
+
+let prop_iter_runs_equiv =
+  QCheck2.Test.make ~count:300
+    ~name:"iter_runs replays iter's stream and meets the runs contract"
+    ~print:(fun ((n, evs), chunk) ->
+      Printf.sprintf "chunk=%d n_sites=%d [%s]" chunk n (pp_events evs))
+    Gen.(pair stream_gen (int_range 1 64))
+    (fun ((n_sites, evs), chunk) ->
+      let text = Trace.Writer.render (mk_writer ~n_sites evs) in
+      check_runs_contract ~chunk text evs
+      && check_runs_contract ~chunk:Trace.Reader.default_chunk text evs)
+
+(* periodic streams (the loop shape the fast-forward path exploits)
+   deserve their own generator: random streams almost never produce a
+   usable stretch, so without this the period machinery goes untested *)
+let periodic_gen =
+  let open Gen in
+  let* n_sites = int_range 1 8 in
+  let* body =
+    list_size (int_range 1 8) (pair (int_bound (n_sites - 1)) bool)
+  in
+  let* reps = int_range 3 80 in
+  let* prefix =
+    list_size (int_bound 20) (pair (int_bound (n_sites - 1)) bool)
+  in
+  let+ suffix =
+    list_size (int_bound 20) (pair (int_bound (n_sites - 1)) bool)
+  in
+  (n_sites, prefix @ List.concat (List.init reps (fun _ -> body)) @ suffix)
+
+let prop_iter_runs_periodic =
+  QCheck2.Test.make ~count:300
+    ~name:"iter_runs stays exact on periodic (steady-loop) streams"
+    ~print:(fun ((n, evs), chunk) ->
+      Printf.sprintf "chunk=%d n_sites=%d [%s]" chunk n (pp_events evs))
+    Gen.(pair periodic_gen (int_range 1 64))
+    (fun ((n_sites, evs), chunk) ->
+      let text = Trace.Writer.render (mk_writer ~n_sites evs) in
+      check_runs_contract ~chunk text evs
+      && check_runs_contract ~chunk:Trace.Reader.default_chunk text evs)
+
+let prop_iter_runs_never_fabricates =
+  QCheck2.Test.make ~count:500
+    ~name:"a corrupted trace errors or batch-replays the exact stream"
+    ~print:(fun ((n, evs), ops) ->
+      Printf.sprintf "ops=[%s] n_sites=%d [%s]"
+        (String.concat "; " (List.map Corrupt.op_name ops))
+        n (pp_events evs))
+    Gen.(pair stream_gen (list_size (int_range 1 3) Corrupt.op_gen))
+    (fun ((n_sites, evs), ops) ->
+      let text = Trace.Writer.render (mk_writer ~n_sites evs) in
+      let bad = List.fold_left Corrupt.apply_op text ops in
+      let batch_decode r =
+        let out = ref [] in
+        Trace.Reader.iter_runs r (fun st tk _ _ n ->
+            for i = 0 to n - 1 do
+              out := (st.(i), Bytes.get tk i <> '\000') :: !out
+            done);
+        List.rev !out
+      in
+      match Trace.Reader.of_string bad with
+      | exception Sectfile.Bad _ -> true
+      | r -> (
+        match batch_decode r with
+        | exception Sectfile.Bad _ -> true
+        | out -> out = evs))
+
 (* ---------- real-workload compression and faithfulness ---------- *)
 
 let compiled =
@@ -418,7 +528,10 @@ let () =
             test_bad_varint_terminator;
         ] );
       ("codec-props", q [ prop_roundtrip; prop_counts_match ]);
-      ("fault-corpus", q [ prop_never_fabricates ]);
+      ( "batched-decode",
+        q [ prop_iter_runs_equiv; prop_iter_runs_periodic ] );
+      ( "fault-corpus",
+        q [ prop_never_fabricates; prop_iter_runs_never_fabricates ] );
       ( "workload",
         [
           Alcotest.test_case "compression ratio" `Quick test_compression_ratio;

@@ -92,6 +92,72 @@ let prop_warm_total =
           let sim = Dynamic.simulate ~warm scheme ~n_sites (replay_of evs) in
           Dynamic.correct sim + Dynamic.incorrect sim = List.length evs))
 
+(* ---------- batched replay: simulate_runs == simulate ---------- *)
+
+module Trace = Fisher92_trace.Trace
+
+let trace_text ~n_sites evs =
+  let w =
+    Trace.Writer.create ~program:"q" ~dataset:"d" ~fingerprint:"f" ~dshash:"h"
+      ~n_sites
+  in
+  List.iter (fun (s, t) -> Trace.Writer.feed w s t) evs;
+  Trace.Writer.render w
+
+let batched_equals_streaming ?warm ~n_sites ~chunk evs =
+  let text = trace_text ~n_sites evs in
+  for_all_schemes (fun _ scheme ->
+      let a = Dynamic.simulate ?warm scheme ~n_sites (replay_of evs) in
+      let b =
+        Dynamic.simulate_runs ?warm scheme ~n_sites
+          (Trace.Reader.iter_runs ~chunk (Trace.Reader.of_string text))
+      in
+      tallies a = tallies b)
+
+(* The batched path's run and period fast-forwards must be invisible:
+   cold and warm, any chunk size, every scheme, bit-identical tallies
+   (global and per-site) to the streaming hook. *)
+let prop_batched_equals_streaming =
+  QCheck2.Test.make ~count:100
+    ~name:"simulate_runs == simulate (every scheme, cold and warm)"
+    ~print:(fun ((s : int * (int * bool) list * bool array), chunk) ->
+      Printf.sprintf "%s chunk=%d" (pp_stream s) chunk)
+    Gen.(pair stream_gen (int_range 1 64))
+    (fun ((n_sites, evs, warm), chunk) ->
+      batched_equals_streaming ~n_sites ~chunk evs
+      && batched_equals_streaming ~warm ~n_sites ~chunk evs)
+
+(* Random streams rarely form runs or periodic stretches, so drive the
+   fast-forward machinery deliberately: repeated loop bodies (periodic
+   stretches for every history scheme) and long constant runs
+   (saturating-counter closed forms). *)
+let loopy_gen =
+  let open Gen in
+  let* n_sites = int_range 1 8 in
+  let* body =
+    list_size (int_range 1 8) (pair (int_bound (n_sites - 1)) bool)
+  in
+  let* reps = int_range 3 60 in
+  let* site = int_bound (n_sites - 1) in
+  let* dir = bool in
+  let* runlen = int_range 1 40 in
+  let+ tail =
+    list_size (int_bound 20) (pair (int_bound (n_sites - 1)) bool)
+  in
+  ( n_sites,
+    List.concat (List.init reps (fun _ -> body))
+    @ List.init runlen (fun _ -> (site, dir))
+    @ tail )
+
+let prop_batched_loopy =
+  QCheck2.Test.make ~count:200
+    ~name:"simulate_runs == simulate on loop-shaped streams"
+    ~print:(fun ((n, evs), chunk) ->
+      Printf.sprintf "n_sites=%d events=%d chunk=%d" n (List.length evs) chunk)
+    Gen.(pair loopy_gen (int_range 1 64))
+    (fun ((n_sites, evs), chunk) ->
+      batched_equals_streaming ~n_sites ~chunk evs)
+
 (* ---------- latent-bug regressions ---------- *)
 
 let check_invalid name needle f =
@@ -353,6 +419,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_reset_clean;
           QCheck_alcotest.to_alcotest prop_warm_total;
           QCheck_alcotest.to_alcotest prop_smith_equals_twobit;
+        ] );
+      ( "batched",
+        [
+          QCheck_alcotest.to_alcotest prop_batched_equals_streaming;
+          QCheck_alcotest.to_alcotest prop_batched_loopy;
         ] );
       ( "regressions",
         [
