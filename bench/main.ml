@@ -29,7 +29,7 @@
 (* The section list is the experiment registry — never a hand-written
    name list; going through [Experiments.registry] forces the
    registrations to be linked. *)
-let registry () = Fisher92.Experiments.registry ()
+let registry () = Fisher92_synth.Sweep.registry ()
 
 let valid_sections () =
   List.map (fun e -> e.Fisher92.Experiment.e_id) (registry ())

@@ -19,7 +19,10 @@
                                         as an ingest delta
    fisher92 lint [PROG]                 IR lint (CFG + dataflow checks)
    fisher92 analyze PROG                static branch-proof classifications
-   fisher92 disasm PROG                 dump the compiled IR *)
+   fisher92 disasm PROG                 dump the compiled IR
+   fisher92 synth gen|charz|sweep       seeded synthetic workloads: generate,
+                                        characterize, and sweep the grid
+                                        behind the synthpool experiment *)
 
 open Cmdliner
 module Registry = Fisher92_workloads.Registry
@@ -194,9 +197,10 @@ let predict_cmd =
 let experiments_cmd =
   let module Experiment = Fisher92.Experiment in
   let run sections listing format timing domains =
-    (* the registry; going through [Experiments.registry] (not
-       [Experiment.all]) forces the registrations to be linked *)
-    let registry = Fisher92.Experiments.registry () in
+    (* the registry; going through [Sweep.registry] (not
+       [Experiment.all]) forces both the core and the synth
+       registrations to be linked *)
+    let registry = Fisher92_synth.Sweep.registry () in
     if listing then print_string (Experiment.list_table ())
     else begin
       let ids = List.map (fun e -> e.Experiment.e_id) registry in
@@ -871,6 +875,249 @@ let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc:"Dump a workload's compiled IR")
     Term.(const run $ prog)
 
+(* ---- synth ---- *)
+
+module Gen = Fisher92_synth.Gen
+module Charz = Fisher92_synth.Charz
+module Sweep = Fisher92_synth.Sweep
+module Curated = Fisher92_synth.Curated
+
+let rec ensure_dir d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    ensure_dir (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let write_source dir (w : Workload.t) =
+  ensure_dir dir;
+  let path = Filename.concat dir (w.w_name ^ ".mc") in
+  let oc = open_out_bin path in
+  output_string oc (Fisher92_minic.Pp.program_to_string w.w_program);
+  close_out oc;
+  path
+
+(* The generator's well-formedness gate, as the CI smoke exercises it:
+   compile, then lint; any finding (or compile failure) is a generator
+   bug. *)
+let gate (w : Workload.t) =
+  let module Lint = Fisher92_analysis.Lint in
+  match compile w with
+  | exception e -> Error (Printexc.to_string e)
+  | ir -> (
+    match Lint.check ir with
+    | [] -> Ok ()
+    | findings ->
+      Error
+        (String.concat "; "
+           (List.map (fun (f : Lint.finding) -> f.Lint.f_message) findings)))
+
+let synth_gen_cmd =
+  let run seed count template out =
+    let dir =
+      match out with Some d -> d | None -> Fisher92_util.Env.synth_dir ()
+    in
+    let failures = ref 0 in
+    let rows =
+      List.init count (fun k ->
+          let tmpl =
+            match template with
+            | Some t -> t
+            | None ->
+              List.nth Gen.all_templates (k mod List.length Gen.all_templates)
+          in
+          let params = { Gen.default_params with gp_template = tmpl } in
+          let sd = seed + k in
+          let w = Gen.generate params ~seed:sd in
+          let status =
+            match gate w with
+            | Ok () -> "ok"
+            | Error msg ->
+              incr failures;
+              "FAIL: " ^ msg
+          in
+          let path = write_source dir w in
+          [
+            w.Workload.w_name; string_of_int sd; Gen.template_name tmpl;
+            status; path;
+          ])
+    in
+    print_string
+      (Table.render ~header:[ "NAME"; "SEED"; "TEMPLATE"; "LINT"; "SOURCE" ]
+         rows);
+    if !failures > 0 then begin
+      Printf.eprintf "%d of %d generated programs failed the gate\n" !failures
+        count;
+      exit 1
+    end
+  in
+  let seed =
+    Arg.(value & opt int Sweep.default_seed
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Base seed; program $(i,k) of the batch uses seed N+k")
+  in
+  let count =
+    Arg.(value & opt int 1
+         & info [ "count" ] ~docv:"K" ~doc:"How many programs to generate")
+  in
+  let template =
+    let tconv =
+      Arg.conv
+        ( (fun s ->
+            match Gen.template_of_string s with
+            | Some t -> Ok t
+            | None -> Error (`Msg (Printf.sprintf "unknown template %S" s))),
+          fun fmt t -> Format.pp_print_string fmt (Gen.template_name t) )
+    in
+    Arg.(value & opt (some tconv) None
+         & info [ "template" ] ~docv:"TEMPLATE"
+             ~doc:"Generate only this template (biased, periodic, mixed, \
+                   adversarial); default cycles through all four")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"DIR"
+             ~doc:"Directory for the emitted .mc sources (default: \
+                   FISHER92_SYNTH_DIR)")
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate seeded synthetic programs, run each through the \
+          compile+lint well-formedness gate, and write their MiniC sources. \
+          Exits 1 if any program fails the gate.")
+    Term.(const run $ seed $ count $ template $ out)
+
+let synth_charz_cmd =
+  let run progs domains =
+    Curated.ensure_registered ();
+    let workloads =
+      match progs with
+      | [] -> Curated.all ()
+      | names -> List.map find_workload names
+    in
+    let study = Fisher92.Study.load ~workloads ?domains () in
+    let rows =
+      List.map
+        (fun (l : Fisher92.Study.loaded) ->
+          Charz.row ~name:l.workload.Workload.w_name (Charz.characterize l))
+        (Fisher92.Study.items study)
+    in
+    print_string (Table.render ~header:Charz.header rows)
+  in
+  let progs = Arg.(value & pos_all string [] & info [] ~docv:"PROGRAM") in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N" ~doc:"Study worker domains")
+  in
+  Cmd.v
+    (Cmd.info "charz"
+       ~doc:
+         "Characterize workloads (site counts, skew, entropy, static floor, \
+          gshare recovery, H2P share, class). Defaults to the curated \
+          synthetic set; any registered workload name is accepted.")
+    Term.(const run $ progs $ domains)
+
+let synth_sweep_cmd =
+  let run seed variants domains cache format =
+    let items =
+      Sweep.run ?domains ~cache ~items:(Sweep.grid ~variants ~seed ()) ()
+    in
+    match format with
+    | `Text -> print_string (Sweep.render items)
+    | `Tsv ->
+      print_string
+        "name\tseed\ttemplate\tbias\tshift\tclass\tsites\tcovered\tdyn\t\
+         entropy\tskew\tfloor_pct\tgshare_pct\th2p_share\theur_cov_pct\t\
+         self_mr\tcross_mr\theur_mr\tproved\n";
+      List.iter
+        (fun (it : Sweep.item) ->
+          let p = it.it_point.pt_params in
+          let c = it.it_charz in
+          Printf.printf
+            "%s\t%d\t%s\t%d\t%d\t%s\t%d\t%d\t%d\t%.4f\t%.4f\t%.3f\t%.3f\t\
+             %.4f\t%.3f\t%.3f\t%.3f\t%.3f\t%d\n"
+            it.it_point.pt_name it.it_point.pt_seed
+            (Gen.template_name p.Gen.gp_template)
+            p.Gen.gp_bias p.Gen.gp_shift
+            (Charz.cls_name c.Charz.ch_class)
+            c.Charz.ch_sites c.Charz.ch_covered c.Charz.ch_dyn
+            c.Charz.ch_entropy c.Charz.ch_skew c.Charz.ch_floor_pct
+            c.Charz.ch_gshare_pct c.Charz.ch_h2p_share c.Charz.ch_heur_pct
+            it.it_self_mr it.it_cross_mr it.it_heur_mr it.it_proved)
+        items
+  in
+  let seed =
+    Arg.(value & opt int Sweep.default_seed
+         & info [ "seed" ] ~docv:"N" ~doc:"Grid seed")
+  in
+  let variants =
+    Arg.(value & opt int 5
+         & info [ "variants" ] ~docv:"V"
+             ~doc:"Structural variants per (template, bias, shift) cell")
+  in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N" ~doc:"Worker domains for the sweep")
+  in
+  let cache =
+    Arg.(value & opt bool true
+         & info [ "cache" ] ~docv:"BOOL"
+             ~doc:"Persist compiled runs through the study cache")
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("tsv", `Tsv) ]) `Text
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:"$(b,text) (the synthpool tables) or $(b,tsv) (one row \
+                   per grid point)")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run the full generator sweep: fan the parameter grid over the \
+          domain pool, characterize every workload, race the predictor \
+          roster, and print the per-class summary (or per-point TSV). \
+          Deterministic for a given seed, regardless of domain count and \
+          cache state.")
+    Term.(const run $ seed $ variants $ domains $ cache $ format)
+
+let synth_curated_cmd =
+  let run out =
+    let failures = ref 0 in
+    List.iter
+      (fun (w : Workload.t) ->
+        (match gate w with
+        | Ok () -> ()
+        | Error msg ->
+          incr failures;
+          Printf.eprintf "%s: %s\n" w.w_name msg);
+        let path = write_source out w in
+        Printf.printf "wrote %s\n" path)
+      (Curated.all ());
+    if !failures > 0 then exit 1
+  in
+  let out =
+    Arg.(value & opt string "examples/synth"
+         & info [ "o"; "out" ] ~docv:"DIR"
+             ~doc:"Directory for the curated .mc sources")
+  in
+  Cmd.v
+    (Cmd.info "curated"
+       ~doc:
+         "Regenerate the curated synthetic workloads' MiniC sources (the \
+          committed examples/synth/*.mc); CI diffs a fresh generation \
+          against the committed files.")
+    Term.(const run $ out)
+
+let synth_cmd =
+  Cmd.group
+    (Cmd.info "synth"
+       ~doc:
+         "Seeded synthetic-workload tooling: generate programs, \
+          characterize their branch predictability, and run the full \
+          sweep behind the synthpool experiment")
+    [ synth_gen_cmd; synth_charz_cmd; synth_sweep_cmd; synth_curated_cmd ]
+
 let () =
   let info =
     Cmd.info "fisher92" ~version:"1.0.0"
@@ -883,4 +1130,4 @@ let () =
        (Cmd.group info
           [ list_cmd; run_cmd; profile_cmd; predict_cmd; experiments_cmd;
             db_cmd; trace_cmd; hotspots_cmd; lint_cmd; analyze_cmd;
-            serve_cmd; submit_cmd; disasm_cmd ]))
+            serve_cmd; submit_cmd; disasm_cmd; synth_cmd ]))

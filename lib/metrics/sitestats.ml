@@ -1,0 +1,49 @@
+open Fisher92_util
+
+type summary = {
+  sites : int;
+  covered : int;
+  dyn_branches : int;
+  dyn_taken : int;
+  skew : float;
+  entropy : float;
+}
+
+let site_rate (p : Fisher92_profile.Profile.t) s =
+  let n = p.encountered.(s) in
+  if n = 0 then None else Some (float_of_int p.taken.(s) /. float_of_int n)
+
+let site_skew p s =
+  match site_rate p s with
+  | None -> None
+  | Some r -> Some (2.0 *. Float.abs (r -. 0.5))
+
+let site_entropy p s =
+  match site_rate p s with
+  | None -> None
+  | Some r -> Some (Stats.binary_entropy r)
+
+let summarize (p : Fisher92_profile.Profile.t) =
+  let sites = Array.length p.encountered in
+  let covered = ref 0 and dyn = ref 0 and taken = ref 0 in
+  let skews = ref [] and ents = ref [] in
+  for s = 0 to sites - 1 do
+    let n = p.encountered.(s) in
+    if n > 0 then begin
+      incr covered;
+      dyn := !dyn + n;
+      taken := !taken + p.taken.(s);
+      let w = float_of_int n in
+      let r = float_of_int p.taken.(s) /. w in
+      skews := (w, 2.0 *. Float.abs (r -. 0.5)) :: !skews;
+      ents := (w, Stats.binary_entropy r) :: !ents
+    end
+  done;
+  {
+    sites;
+    covered = !covered;
+    dyn_branches = !dyn;
+    dyn_taken = !taken;
+    skew = Stats.weighted_mean !skews;
+    entropy = Stats.weighted_mean !ents;
+  }

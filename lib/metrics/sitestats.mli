@@ -1,0 +1,37 @@
+(** Per-site predictability statistics over a branch profile.
+
+    The characterization vocabulary of "Workload Characterization for
+    Branch Predictability": per-site taken-rate {e skew} (how far from a
+    coin flip each site sits) and per-site branch {e entropy} (how many
+    bits a static predictor is missing), both summarized over a whole
+    profile weighted by dynamic execution count.  Kept here rather than
+    in [lib/synth] so hand-written workload reports and the synthetic
+    sweep share one definition. *)
+
+type summary = {
+  sites : int;  (** static conditional-branch sites *)
+  covered : int;  (** sites encountered at least once *)
+  dyn_branches : int;  (** dynamic conditional branches *)
+  dyn_taken : int;  (** of which taken *)
+  skew : float;
+      (** dynamic-weighted mean of per-site [2 * |rate - 1/2|]: 0 for
+          all-coin-flip sites, 1 for all-one-direction sites *)
+  entropy : float;
+      (** dynamic-weighted mean per-site branch entropy in bits: 0 when
+          every site always goes one way, 1 when every site is a fair
+          coin *)
+}
+
+val site_rate : Fisher92_profile.Profile.t -> int -> float option
+(** Taken rate of one site in [0 .. 1]; [None] when never encountered. *)
+
+val site_skew : Fisher92_profile.Profile.t -> int -> float option
+(** [2 * |rate - 1/2|] of one site; [None] when never encountered. *)
+
+val site_entropy : Fisher92_profile.Profile.t -> int -> float option
+(** Branch entropy in bits of one site ({!Fisher92_util.Stats.binary_entropy}
+    of its taken rate); [None] when never encountered. *)
+
+val summarize : Fisher92_profile.Profile.t -> summary
+(** Whole-profile summary.  Sites never encountered contribute to
+    [sites] only; [skew]/[entropy] are 0 when nothing was executed. *)

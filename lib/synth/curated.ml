@@ -1,0 +1,113 @@
+module Registry = Fisher92_workloads.Registry
+
+(* One pick per predictability region the sweep exposes.  The seeds are
+   arbitrary but frozen: changing any pick changes the committed .mc
+   source under examples/synth/ and the CI diff gate will say so. *)
+let picks =
+  let base = Gen.default_params in
+  [
+    ( "syn-monotone",
+      {
+        base with
+        Gen.gp_template = Gen.Biased;
+        gp_bias = 99;
+        gp_shift = 0;
+        gp_funcs = 1;
+        gp_depth = 1;
+        gp_stmts = 5;
+        gp_iters = 60;
+        gp_indirect = false;
+        gp_early_exit = false;
+      },
+      1101 );
+    ( "syn-skewed",
+      {
+        base with
+        Gen.gp_template = Gen.Biased;
+        gp_bias = 90;
+        gp_shift = 0;
+        gp_funcs = 2;
+        gp_stmts = 8;
+        gp_iters = 50;
+      },
+      1102 );
+    ( "syn-periodic",
+      {
+        base with
+        Gen.gp_template = Gen.Periodic;
+        gp_bias = 80;
+        gp_shift = 0;
+        gp_funcs = 2;
+        gp_iters = 50;
+      },
+      1103 );
+    ( "syn-history",
+      {
+        base with
+        Gen.gp_template = Gen.Periodic;
+        gp_bias = 70;
+        gp_shift = 0;
+        gp_funcs = 3;
+        gp_depth = 3;
+        gp_stmts = 10;
+        gp_iters = 40;
+      },
+      1104 );
+    ( "syn-hard",
+      {
+        base with
+        Gen.gp_template = Gen.Adversarial;
+        gp_bias = 55;
+        gp_shift = 0;
+        gp_funcs = 1;
+        gp_depth = 1;
+        gp_stmts = 6;
+        gp_iters = 40;
+        gp_switch_arms = 3;
+      },
+      1105 );
+    ( "syn-drift",
+      {
+        base with
+        Gen.gp_template = Gen.Biased;
+        gp_bias = 60;
+        gp_shift = 100;
+        gp_funcs = 2;
+        gp_datasets = 3;
+        gp_iters = 40;
+      },
+      1106 );
+    ( "syn-ladder",
+      {
+        base with
+        Gen.gp_template = Gen.Mixed;
+        gp_bias = 95;
+        gp_shift = 0;
+        gp_switch_arms = 8;
+        gp_stmts = 10;
+        gp_iters = 40;
+      },
+      1107 );
+    ( "syn-web",
+      {
+        base with
+        Gen.gp_template = Gen.Mixed;
+        gp_bias = 95;
+        gp_shift = 40;
+        gp_funcs = 4;
+        gp_indirect = true;
+        gp_datasets = 3;
+        gp_iters = 40;
+      },
+      1408 );
+  ]
+
+let all =
+  let memo =
+    lazy (List.map (fun (name, p, seed) -> Gen.generate ~name p ~seed) picks)
+  in
+  fun () -> Lazy.force memo
+
+let ensure_registered =
+  let once = lazy (List.iter Registry.register_extra (all ())) in
+  fun () -> Lazy.force once

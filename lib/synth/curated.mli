@@ -1,0 +1,22 @@
+(** The curated synthetic workloads: a fixed, named pick per
+    predictability region, promoted into the standard workload registry
+    as extras so experiments, the CLI, and tests can reference stable
+    synthetic programs by name.
+
+    Their MiniC sources are committed under [examples/synth/] (generated
+    artifacts, pinned by a CI byte-identity diff against fresh
+    generation), and their (params, seed) picks live here, so the
+    committed source can always be regenerated bit-for-bit. *)
+
+val picks : (string * Gen.params * int) list
+(** [(name, params, seed)] for every curated workload, in registration
+    order. *)
+
+val all : unit -> Fisher92_workloads.Workload.t list
+(** The generated curated workloads (memoized — generation is
+    deterministic, so this is a pure cache). *)
+
+val ensure_registered : unit -> unit
+(** Register every curated workload as a
+    {!Fisher92_workloads.Registry.register_extra} exactly once;
+    idempotent across callers. *)

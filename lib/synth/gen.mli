@@ -1,0 +1,73 @@
+(** Seeded property-based MiniC workload generator.
+
+    [generate] turns a parameter point plus a seed into a complete
+    {!Fisher92_workloads.Workload.t}: a program built from the branch
+    idioms the predictability literature cares about — data-dependent
+    threshold branches, correlated/anticorrelated guard pairs, periodic
+    counter branches, switch ladders, nested loops with data-dependent
+    trip counts, rare early exits, and indirect-call webs — plus two or
+    more datasets drawn from a skewed distribution, optionally drifted
+    so the same program sees genuinely different branch statistics per
+    dataset (the cross-dataset failure axis the 1992 paper could not
+    sample).
+
+    {b Determinism contract}: every random draw flows from the explicit
+    [seed] through {!Fisher92_util.Rng} (the stdlib [Random] is never
+    touched, and there is no [self_init] anywhere), so the same
+    [(params, seed)] pair yields a byte-identical program source and
+    bit-identical datasets on every run of every build.  The qcheck
+    property in [test/test_synth.ml] pins this.
+
+    {b Well-formedness contract}: every emitted program typechecks,
+    compiles, passes the {!Fisher92_analysis.Lint} pass with zero
+    findings, and terminates well under the VM's default fuel on every
+    emitted dataset.  The generator maintains this by construction:
+    every local is defined before use and read afterwards, every array
+    index is masked into bounds, guards never imply an enclosing guard
+    on the same value (no provably-contradictory branches), loop bounds
+    are loop-invariant and finite, [continue] appears only where the
+    loop increment still runs, and all branch conditions depend on
+    dataset memory — invisible to SCCP, so no constant branches. *)
+
+type template =
+  | Biased  (** threshold branches around the bias point, early exits *)
+  | Periodic  (** counter-driven branches and ladders: history food *)
+  | Mixed  (** every idiom at comparable weight *)
+  | Adversarial  (** data-parity branches: irreducible coin flips *)
+
+val template_name : template -> string
+val template_of_string : string -> template option
+
+val all_templates : template list
+(** In rendering order: Biased, Periodic, Mixed, Adversarial. *)
+
+type params = {
+  gp_template : template;
+  gp_bias : int;
+      (** target taken-percentage of threshold branches, in [50 .. 99] *)
+  gp_shift : int;
+      (** probability (percent) that an odd-numbered dataset flips the
+          data skew — moving per-site taken rates between datasets *)
+  gp_funcs : int;  (** worker functions, in [1 .. 4] *)
+  gp_depth : int;  (** maximum loop/guard nesting inside a body *)
+  gp_stmts : int;  (** statement budget per function body *)
+  gp_iters : int;  (** outer repetitions of the first dataset *)
+  gp_data_len : int;  (** data array length; must be a power of two *)
+  gp_datasets : int;  (** datasets to emit, at least 2 *)
+  gp_switch_arms : int;  (** switch-ladder explicit cases, in [2 .. 8] *)
+  gp_indirect : bool;  (** route some worker calls through the fn table *)
+  gp_early_exit : bool;  (** allow rare break/continue exits in loops *)
+}
+
+val default_params : params
+(** [Mixed], bias 85, shift 0, 2 funcs, depth 2, 8 stmts, 40 iters,
+    256-entry data, 2 datasets, 4 arms, indirect and early exits on. *)
+
+val generate : ?name:string -> params -> seed:int -> Fisher92_workloads.Workload.t
+(** The workload for this parameter point.  [name] defaults to
+    ["syn<seed>"]; it becomes both the workload and the program name.
+    @raise Invalid_argument when a parameter is out of its documented
+    range (non-power-of-two [gp_data_len], fewer than 2 datasets, ...). *)
+
+val describe : params -> string
+(** One-line parameter summary used in workload descriptions. *)

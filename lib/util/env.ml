@@ -60,6 +60,11 @@ let trace_dir () =
 
 let trace_enabled () = not (flag_knob "FISHER92_NO_TRACE")
 
+let synth_dir () =
+  match Sys.getenv_opt "FISHER92_SYNTH_DIR" with
+  | Some d when d <> "" -> d
+  | Some _ | None -> Filename.concat "_build" ".fisher92-synth"
+
 let engine () =
   match Sys.getenv_opt "FISHER92_ENGINE" with
   | None | Some "" -> None
@@ -101,6 +106,9 @@ let knobs =
     ( "FISHER92_NO_TRACE",
       "set to anything but \"\" or \"0\" to disable the branch-trace \
        store" );
+    ( "FISHER92_SYNTH_DIR",
+      "where `fisher92 synth gen` writes generated MiniC sources \
+       (default: _build/.fisher92-synth)" );
     ( "FISHER92_ENGINE",
       "IR execution engine: \"threaded\" (closure-threaded, the default) \
        or \"interp\" (the reference interpreter)" );

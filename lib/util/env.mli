@@ -19,6 +19,8 @@
       [_build/.fisher92-traces]);
     - [FISHER92_NO_TRACE]: disable the branch-trace store entirely when
       set to anything but [""] or ["0"];
+    - [FISHER92_SYNTH_DIR]: where [fisher92 synth gen] writes generated
+      MiniC sources (default [_build/.fisher92-synth]);
     - [FISHER92_ENGINE]: IR execution engine, ["threaded"]
       (closure-threaded, the default) or ["interp"] (the reference
       interpreter);
@@ -47,6 +49,9 @@ val trace_dir : unit -> string
 val trace_enabled : unit -> bool
 (** False when [FISHER92_NO_TRACE] is set to anything but ["0"] or
     [""]. *)
+
+val synth_dir : unit -> string
+(** [FISHER92_SYNTH_DIR], or the default [_build/.fisher92-synth]. *)
 
 val engine : unit -> [ `Interp | `Threaded ] option
 (** [FISHER92_ENGINE] parsed case-insensitively (["interp"] /

@@ -39,6 +39,28 @@ let stddev xs =
     let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
     sqrt var
 
+(* 0 * log2 0 = 0 by contract: the entropy summand of an event that
+   never happens is the limit value, not a nan.  Negative and nan
+   weights also contribute 0 (a corrupt bucket cannot poison the sum —
+   callers feed counter-derived probabilities, where anything outside
+   [0, 1] is already a bug upstream). *)
+let xlog2x p = if p > 0.0 then p *. (log p /. log 2.0) else 0.0
+
+let binary_entropy p =
+  if Float.is_nan p then 0.0
+  else begin
+    let p = Float.min 1.0 (Float.max 0.0 p) in
+    -.xlog2x p -. xlog2x (1.0 -. p)
+  end
+
+let entropy_bits weights =
+  let total = List.fold_left (fun acc w -> if w > 0.0 then acc +. w else acc) 0.0 weights in
+  if total <= 0.0 then 0.0
+  else
+    List.fold_left
+      (fun acc w -> if w > 0.0 then acc -. xlog2x (w /. total) else acc)
+      0.0 weights
+
 let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
 
 let percent part whole = 100.0 *. ratio part whole

@@ -25,6 +25,23 @@ val median : float list -> float
 val stddev : float list -> float
 (** Population standard deviation; 0 for lists shorter than 2. *)
 
+val binary_entropy : float -> float
+(** [binary_entropy p] is the entropy in bits of a Bernoulli(p) event:
+    [-p*log2 p - (1-p)*log2 (1-p)].  Contract: [0 * log2 0 = 0] — the
+    summand of an impossible outcome is its limit value, so
+    [binary_entropy 0. = 0.] and [binary_entropy 1. = 0.] exactly, never
+    nan.  [p] is clamped into [0 .. 1] and a nan argument yields 0 (a
+    corrupt taken-rate reads as perfectly predictable rather than
+    poisoning a dynamic-weighted average downstream).  Maximum is 1.0 at
+    [p = 0.5]. *)
+
+val entropy_bits : float list -> float
+(** Shannon entropy in bits of the distribution given by non-negative
+    weights (normalized internally; they need not sum to 1).  Same
+    [0 * log2 0 = 0] contract as {!binary_entropy}: zero, negative, and
+    nan weights contribute nothing.  0 when no positive weight
+    remains. *)
+
 val ratio : int -> int -> float
 (** [ratio num den] as a float; 0 when [den] is 0. *)
 

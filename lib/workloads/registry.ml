@@ -23,8 +23,27 @@ let memo = lazy (build ())
 
 let all () = Lazy.force memo
 
+(* Registered extras (synthetic/curated workloads) extend [find] and
+   [extras] but deliberately not [all]: the paper roster is a fixed
+   sample base — experiments, goldens, and study defaults iterate it and
+   must not grow when a library that registers extras happens to be
+   linked in. *)
+let extra : Workload.t list ref = ref []
+
+let register_extra w =
+  let name = w.Workload.w_name in
+  let clashes ws = List.exists (fun o -> String.equal o.Workload.w_name name) ws in
+  if clashes (all ()) || clashes !extra then
+    invalid_arg (Printf.sprintf "Registry.register_extra: duplicate workload %S" name);
+  extra := !extra @ [ w ]
+
+let extras () = !extra
+
 let find name =
-  List.find (fun w -> String.equal w.Workload.w_name name) (all ())
+  let named w = String.equal w.Workload.w_name name in
+  match List.find_opt named (all ()) with
+  | Some w -> w
+  | None -> List.find named !extra
 
 let fortran_fp () =
   List.filter (fun w -> w.Workload.w_lang = Workload.Fortran_fp) (all ())

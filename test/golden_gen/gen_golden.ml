@@ -34,4 +34,4 @@ let () =
       output_string oc text;
       close_out oc;
       Printf.printf "wrote %s (%d bytes)\n" path (String.length text))
-    (Fisher92.Experiments.registry ())
+    (Fisher92_synth.Sweep.registry ())

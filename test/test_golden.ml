@@ -37,7 +37,7 @@ let read_file path =
 let test_registry_matches_goldens () =
   let ids =
     List.sort compare
-      (List.map (fun e -> e.Experiment.e_id) (Fisher92.Experiments.registry ()))
+      (List.map (fun e -> e.Experiment.e_id) (Fisher92_synth.Sweep.registry ()))
   in
   let files =
     Sys.readdir golden_dir |> Array.to_list
@@ -80,12 +80,12 @@ let () =
     List.map
       (fun e ->
         Alcotest.test_case e.Experiment.e_id `Slow (test_render e))
-      (Fisher92.Experiments.registry ())
+      (Fisher92_synth.Sweep.registry ())
   in
   let tsvs =
     List.map
       (fun e -> Alcotest.test_case e.Experiment.e_id `Slow (test_tsv e))
-      (Fisher92.Experiments.registry ())
+      (Fisher92_synth.Sweep.registry ())
   in
   Alcotest.run "golden"
     [

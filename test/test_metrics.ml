@@ -251,6 +251,44 @@ let test_coverage_correlate () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* ---- sitestats ---- *)
+
+module Sitestats = Fisher92_metrics.Sitestats
+
+let sprofile counts =
+  let encountered = Array.map fst counts and taken = Array.map snd counts in
+  { Fisher92_profile.Profile.program = "hand"; encountered; taken }
+
+let sfeq msg a b = Alcotest.(check (float 1e-9)) msg a b
+
+let test_sitestats_sites () =
+  let p = sprofile [| (100, 100); (100, 50); (100, 0); (0, 0) |] in
+  Alcotest.(check (option (float 1e-9))) "rate" (Some 0.5)
+    (Sitestats.site_rate p 1);
+  Alcotest.(check (option (float 1e-9))) "uncovered rate" None
+    (Sitestats.site_rate p 3);
+  Alcotest.(check (option (float 1e-9))) "skew all-taken" (Some 1.0)
+    (Sitestats.site_skew p 0);
+  Alcotest.(check (option (float 1e-9))) "skew coin" (Some 0.0)
+    (Sitestats.site_skew p 1);
+  Alcotest.(check (option (float 1e-9))) "entropy never-taken" (Some 0.0)
+    (Sitestats.site_entropy p 2);
+  Alcotest.(check (option (float 1e-9))) "entropy coin" (Some 1.0)
+    (Sitestats.site_entropy p 1)
+
+let test_sitestats_summary () =
+  (* site weights 80/20: skew = 0.8*1 + 0.2*0, entropy = 0.8*0 + 0.2*1 *)
+  let s = Sitestats.summarize (sprofile [| (80, 80); (20, 10); (0, 0) |]) in
+  Alcotest.(check int) "sites" 3 s.Sitestats.sites;
+  Alcotest.(check int) "covered" 2 s.Sitestats.covered;
+  Alcotest.(check int) "dyn" 100 s.Sitestats.dyn_branches;
+  Alcotest.(check int) "taken" 90 s.Sitestats.dyn_taken;
+  sfeq "skew" 0.8 s.Sitestats.skew;
+  sfeq "entropy" 0.2 s.Sitestats.entropy;
+  let empty = Sitestats.summarize (sprofile [| (0, 0) |]) in
+  sfeq "empty skew" 0.0 empty.Sitestats.skew;
+  sfeq "empty entropy" 0.0 empty.Sitestats.entropy
+
 let () =
   Alcotest.run "metrics"
     [
@@ -284,5 +322,10 @@ let () =
           Alcotest.test_case "rejects mixed programs" `Quick
             test_analyze_rejects_mixed;
           Alcotest.test_case "matrix" `Quick test_matrix;
+        ] );
+      ( "sitestats",
+        [
+          Alcotest.test_case "per site" `Quick test_sitestats_sites;
+          Alcotest.test_case "summary" `Quick test_sitestats_summary;
         ] );
     ]

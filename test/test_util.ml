@@ -202,6 +202,32 @@ let test_weighted_mean () =
   feq "weights matter" 5.0 (Stats.weighted_mean [ (0.0, 1.0); (2.0, 5.0) ]);
   feq "empty" 0.0 (Stats.weighted_mean [])
 
+let test_binary_entropy () =
+  (* 0 log2 0 = 0 at both edges *)
+  feq "p=0" 0.0 (Stats.binary_entropy 0.0);
+  feq "p=1" 0.0 (Stats.binary_entropy 1.0);
+  feq "fair coin" 1.0 (Stats.binary_entropy 0.5);
+  (* H(1/4) = 2 - (3/4) log2 3 *)
+  feq "quarter" (2.0 -. (0.75 *. (log 3.0 /. log 2.0)))
+    (Stats.binary_entropy 0.25);
+  feq "symmetric" (Stats.binary_entropy 0.25) (Stats.binary_entropy 0.75);
+  (* out-of-range and nan inputs clamp to certainty *)
+  feq "clamped low" 0.0 (Stats.binary_entropy (-0.5));
+  feq "clamped high" 0.0 (Stats.binary_entropy 2.0);
+  feq "nan" 0.0 (Stats.binary_entropy Float.nan)
+
+let test_entropy_bits () =
+  feq "empty" 0.0 (Stats.entropy_bits []);
+  feq "all zero" 0.0 (Stats.entropy_bits [ 0.0; 0.0 ]);
+  feq "single outcome" 0.0 (Stats.entropy_bits [ 7.0 ]);
+  feq "uniform 4" 2.0 (Stats.entropy_bits [ 1.0; 1.0; 1.0; 1.0 ]);
+  (* zero-weight outcomes contribute nothing (0 log 0 = 0) *)
+  feq "zero weights ignored" 1.0 (Stats.entropy_bits [ 3.0; 3.0; 0.0 ]);
+  (* negative weights are treated as absent, not as mass *)
+  feq "negative ignored" 1.0 (Stats.entropy_bits [ 2.0; 2.0; -5.0 ]);
+  feq "matches binary" (Stats.binary_entropy 0.25)
+    (Stats.entropy_bits [ 1.0; 3.0 ])
+
 (* ---- environment knobs ----
    Unix.putenv cannot unset, but every Env reader treats "" as unset,
    so tests restore knobs by blanking them. *)
@@ -403,6 +429,8 @@ let () =
           Alcotest.test_case "stddev" `Quick test_stddev;
           Alcotest.test_case "ratio/percent" `Quick test_ratio_percent;
           Alcotest.test_case "weighted_mean" `Quick test_weighted_mean;
+          Alcotest.test_case "binary_entropy" `Quick test_binary_entropy;
+          Alcotest.test_case "entropy_bits" `Quick test_entropy_bits;
           Alcotest.test_case "pearson" `Quick test_pearson;
         ] );
       ( "varint",
